@@ -1,0 +1,285 @@
+//===- bench/BenchCommon.h - shared benchmark harness ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the figure/table reproduction benchmarks: input
+/// generators (same deterministic RNG as the tests), a generated-kernel
+/// wrapper with measurement-driven algorithmic autotuning (the paper's
+/// "performance evaluation and search"), and a paper-style series printer
+/// (performance in flops per cycle vs problem size, median of repeated
+/// runs with warm cache -- Sec. 4.1 methodology).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BENCH_BENCHCOMMON_H
+#define SLINGEN_BENCH_BENCHCOMMON_H
+
+#include "cir/CEmitter.h"
+#include "la/Lower.h"
+#include "runtime/Jit.h"
+#include "runtime/Timing.h"
+#include "slingen/SLinGen.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slingen {
+namespace bench {
+
+//===----------------------------------------------------------------------===//
+// Deterministic inputs (mirrors tests/TestData.h).
+//===----------------------------------------------------------------------===//
+
+inline std::vector<double> randGeneral(int Rows, int Cols, Rng &R) {
+  std::vector<double> M(static_cast<size_t>(Rows) * Cols);
+  for (double &V : M)
+    V = R.uniform(-1.0, 1.0);
+  return M;
+}
+
+inline std::vector<double> randSpd(int N, Rng &R) {
+  std::vector<double> B = randGeneral(N, N, R);
+  std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      double S = I == J ? N : 0.0;
+      for (int P = 0; P < N; ++P)
+        S += B[P * N + I] * B[P * N + J];
+      A[I * N + J] = S;
+    }
+  return A;
+}
+
+inline std::vector<double> randLowerTri(int N, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I) {
+    for (int J = 0; J < I; ++J)
+      A[I * N + J] = R.uniform(-1.0, 1.0);
+    A[I * N + I] = R.uniform(1.0, 2.0); // well away from singular
+  }
+  return A;
+}
+
+inline std::vector<double> randUpperTri(int N, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I) {
+    A[I * N + I] = R.uniform(1.0, 2.0);
+    for (int J = I + 1; J < N; ++J)
+      A[I * N + J] = R.uniform(-1.0, 1.0);
+  }
+  return A;
+}
+
+inline std::vector<double> randSymmetric(int N, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(N) * N);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J <= I; ++J)
+      A[I * N + J] = A[J * N + I] = R.uniform(-1.0, 1.0);
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Generated kernels with measured autotuning.
+//===----------------------------------------------------------------------===//
+
+/// A JIT-compiled generated kernel plus its parameter buffers.
+struct GeneratedKernel {
+  GenResult Result;
+  std::optional<runtime::JitKernel> Kernel;
+  std::vector<std::vector<double>> Storage;
+  std::vector<double *> Bufs;
+
+  double *buffer(const std::string &Name) {
+    for (size_t I = 0; I < Result.Func.Params.size(); ++I)
+      if (Result.Func.Params[I]->Name == Name)
+        return Bufs[I];
+    return nullptr;
+  }
+
+  void call() { Kernel->call(Bufs.data()); }
+};
+
+/// Fills the kernel's named input buffers; invoked once per candidate
+/// variant before measuring it.
+using SetupFn = std::function<void(GeneratedKernel &)>;
+
+/// Generates up to \p MaxVariants variants for \p Source (cheap: no C
+/// compiler involved), ranks them by the static cost model, JIT-compiles
+/// the \p JitBudget cheapest, measures each on inputs prepared by
+/// \p Setup, and returns the fastest -- the paper's measurement-driven
+/// algorithmic autotuning, with the compile effort capped for the very
+/// large unrolled kernels. Returns nullopt if generation or every
+/// compilation fails. JitBudget <= 0 means "all enumerated variants".
+inline std::optional<GeneratedKernel>
+makeTunedKernel(const std::string &Source, const SetupFn &Setup,
+                int MaxVariants = 3, int JitBudget = 0,
+                const GenOptions *OptIn = nullptr) {
+  std::string Err;
+  auto P = la::compileLa(Source, Err);
+  if (!P) {
+    fprintf(stderr, "LA error: %s\n", Err.c_str());
+    return std::nullopt;
+  }
+  GenOptions O;
+  if (OptIn)
+    O = *OptIn;
+  else
+    O.Isa = &hostIsa();
+  Generator G(std::move(*P), O);
+  if (!G.isValid()) {
+    fprintf(stderr, "generator error: %s\n", G.error().c_str());
+    return std::nullopt;
+  }
+  std::vector<GenResult> All = G.enumerate(MaxVariants);
+  if (JitBudget > 0 && static_cast<int>(All.size()) > JitBudget)
+    All.resize(JitBudget); // enumerate() returns them cheapest-first
+
+  std::optional<GeneratedKernel> Best;
+  double BestCycles = 0.0;
+  for (GenResult &R : All) {
+    std::string C = cir::emitTranslationUnit(R.Func);
+    // Small kernels afford -O2; very large unrolled ones compile with -O1
+    // to keep the sweep fast (the code is already explicitly optimized).
+    const char *Flags = C.size() < 256 * 1024 ? "-O2" : "-O1";
+    auto K = runtime::JitKernel::compile(
+        C, R.Func.Name, static_cast<int>(R.Func.Params.size()), Err, Flags);
+    if (!K) {
+      fprintf(stderr, "jit error: %s\n", Err.c_str());
+      continue;
+    }
+    GeneratedKernel GK;
+    GK.Result = std::move(R);
+    GK.Kernel = std::move(*K);
+    for (const Operand *Param : GK.Result.Func.Params) {
+      GK.Storage.emplace_back(
+          static_cast<size_t>(Param->Rows) * Param->Cols, 0.0);
+    }
+    for (auto &S : GK.Storage)
+      GK.Bufs.push_back(S.data());
+    Setup(GK);
+    // Re-run Setup per timed call: kernels that factor in place (ow) must
+    // not be tuned on already-factored inputs. The memcpy overhead is the
+    // same for every candidate, so the ranking is unaffected.
+    runtime::Measurement M = runtime::measureCycles(
+        [&] {
+          Setup(GK);
+          GK.call();
+        },
+        /*Repeats=*/9);
+    if (!Best || M.Median < BestCycles) {
+      BestCycles = M.Median;
+      Best = std::move(GK);
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Series collection and printing.
+//===----------------------------------------------------------------------===//
+
+struct Sweep {
+  std::string Title;
+  std::string XLabel = "n";
+  std::vector<int> Sizes;
+  std::vector<std::string> Names;
+  // [series][size index]; <= 0 marks "not available".
+  std::vector<std::vector<double>> FPerC;
+
+  int addSeries(const std::string &Name) {
+    Names.push_back(Name);
+    FPerC.emplace_back(Sizes.size(), 0.0);
+    return static_cast<int>(Names.size()) - 1;
+  }
+};
+
+inline void printSweep(const Sweep &S) {
+  printf("\n%s\n", S.Title.c_str());
+  printf("  performance [flops/cycle], median of repeated runs, warm "
+         "cache\n");
+  printf("  %-6s", S.XLabel.c_str());
+  for (const std::string &N : S.Names)
+    printf(" %14s", N.c_str());
+  printf("\n");
+  for (size_t I = 0; I < S.Sizes.size(); ++I) {
+    printf("  %-6d", S.Sizes[I]);
+    for (size_t J = 0; J < S.Names.size(); ++J) {
+      if (S.FPerC[J][I] > 0.0)
+        printf(" %14.3f", S.FPerC[J][I]);
+      else
+        printf(" %14s", "-");
+    }
+    printf("\n");
+  }
+  // Paper-style summary: speedup of the first series (SLinGen) over each
+  // competitor, geometric mean across sizes.
+  if (S.Names.size() > 1) {
+    printf("  speedup of %s:", S.Names[0].c_str());
+    for (size_t J = 1; J < S.Names.size(); ++J) {
+      double LogSum = 0.0;
+      int Count = 0;
+      for (size_t I = 0; I < S.Sizes.size(); ++I)
+        if (S.FPerC[0][I] > 0.0 && S.FPerC[J][I] > 0.0) {
+          LogSum += std::log(S.FPerC[0][I] / S.FPerC[J][I]);
+          ++Count;
+        }
+      if (Count > 0)
+        printf("  %.2fx vs %s", std::exp(LogSum / Count),
+               S.Names[J].c_str());
+    }
+    printf("\n");
+  }
+}
+
+/// Measures \p Fn and stores flops/cycle into the sweep cell.
+inline void record(Sweep &S, int Series, size_t SizeIdx, double Flops,
+                   const std::function<void()> &Fn, int Repeats = 30) {
+  runtime::Measurement M = runtime::measureCycles(Fn, Repeats);
+  S.FPerC[Series][SizeIdx] = M.flopsPerCycle(Flops);
+}
+
+/// Nominal flop count of an LA program (sum of per-statement costs), used
+/// to normalize application benchmarks whose closed-form cost expressions
+/// in the paper are approximate.
+inline double laFlops(const std::string &Source) {
+  std::string Err;
+  auto P = la::compileLa(Source, Err);
+  if (!P)
+    return 0.0;
+  double Flops = 0.0;
+  for (const EqStmt &S : P->stmts())
+    Flops += static_cast<double>(stmtFlops(S));
+  return Flops;
+}
+
+/// Quick-mode switch: SLINGEN_BENCH_FAST=1 trims sweeps so the full bench
+/// suite stays in CI budgets. Benches honor it by dropping large sizes.
+inline bool fastMode() { return getenv("SLINGEN_BENCH_FAST") != nullptr; }
+
+inline std::vector<int> hlacSizes() {
+  if (fastMode())
+    return {4, 28, 52};
+  return {4, 28, 52, 76, 100, 124};
+}
+
+inline std::vector<int> appSizes() {
+  if (fastMode())
+    return {4, 20, 36};
+  return {4, 12, 20, 28, 36, 44, 52};
+}
+
+} // namespace bench
+} // namespace slingen
+
+#endif // SLINGEN_BENCH_BENCHCOMMON_H

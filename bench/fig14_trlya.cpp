@@ -1,0 +1,91 @@
+//===- bench/fig14_trlya.cpp - paper Fig. 14c reproduction -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Triangular continuous-time Lyapunov equation L X + X L^T = S (X
+// symmetric), cost ~ n^3 flops. Left plot: SLinGen vs refblas (MKL),
+// recursive (RECSY stand-in), smallet (Eigen), naive C. Right plot:
+// SLinGen vs Cl1ck + BLAS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Apps.h"
+#include "baselines/Cl1ckBlas.h"
+#include "baselines/Naive.h"
+#include "baselines/Recursive.h"
+#include "baselines/RefBlas.h"
+#include "la/Programs.h"
+
+using namespace slingen;
+using namespace slingen::bench;
+
+int main() {
+  std::vector<int> Sizes = hlacSizes();
+
+  Sweep Left;
+  Left.Title = "Fig. 14c (left): trlya, L X + X L^T = S  --  cost n^3";
+  Left.Sizes = Sizes;
+  int SGen = Left.addSeries("SLinGen");
+  int SRef = Left.addSeries("refblas(MKL)");
+  int SRec = Left.addSeries("recursive");
+  int SSml = Left.addSeries("smallet(Eig)");
+  int SNai = Left.addSeries("naive-C");
+
+  Sweep Right;
+  Right.Title = "Fig. 14c (right): trlya vs Cl1ck + BLAS";
+  Right.Sizes = Sizes;
+  int RGen = Right.addSeries("SLinGen");
+  int RNb4 = Right.addSeries("cl1ck nb=4");
+  int RNbH = Right.addSeries("cl1ck nb=n/2");
+  int RNbN = Right.addSeries("cl1ck nb=n");
+
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    int N = Sizes[I];
+    double Flops = N * static_cast<double>(N) * N;
+    Rng R(N + 2);
+    std::vector<double> L = randLowerTri(N, R);
+    std::vector<double> S = randSymmetric(N, R);
+    std::vector<double> Work(S.size());
+
+    auto Gen = makeTunedKernel(la::trlyaSource(N), [&](GeneratedKernel &K) {
+      std::memcpy(K.buffer("L"), L.data(), L.size() * sizeof(double));
+      std::memcpy(K.buffer("S"), S.data(), S.size() * sizeof(double));
+    }, /*MaxVariants=*/3, /*JitBudget=*/N >= 76 ? 1 : 0);
+    if (Gen)
+      record(Left, SGen, I, Flops, [&] { Gen->call(); });
+    Right.FPerC[RGen][I] = Left.FPerC[SGen][I];
+
+    record(Left, SRef, I, Flops, [&] {
+      std::memcpy(Work.data(), S.data(), S.size() * sizeof(double));
+      refblas::trlyaLower(N, L.data(), N, Work.data(), N);
+    });
+    record(Left, SRec, I, Flops, [&] {
+      std::memcpy(Work.data(), S.data(), S.size() * sizeof(double));
+      recursive::trlyaLower(N, L.data(), N, Work.data(), N);
+    });
+    if (apps::trlyaSmallet(N, L.data(), Work.data()))
+      record(Left, SSml, I, Flops, [&] {
+        std::memcpy(Work.data(), S.data(), S.size() * sizeof(double));
+        apps::trlyaSmallet(N, L.data(), Work.data());
+      });
+    record(Left, SNai, I, Flops, [&] {
+      std::memcpy(Work.data(), S.data(), S.size() * sizeof(double));
+      naive::trlyaLower(N, L.data(), Work.data());
+    });
+
+    for (auto [Series, Nb] : {std::pair{RNb4, 4}, std::pair{RNbH, N / 2},
+                              std::pair{RNbN, N}})
+      record(Right, Series, I, Flops, [&, Nb = std::max(1, Nb)] {
+        std::memcpy(Work.data(), S.data(), S.size() * sizeof(double));
+        cl1ck::trlyaLower(N, Nb, L.data(), N, Work.data(), N);
+      });
+  }
+
+  printSweep(Left);
+  printSweep(Right);
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===- bench/fig14_trsyl.cpp - paper Fig. 14b reproduction -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Triangular Sylvester equation L X + X U = C, cost ~ 2 n^3 flops.
+// Left plot: SLinGen vs refblas (MKL), recursive (RECSY stand-in),
+// smallet (Eigen), naive C. Right plot: SLinGen vs Cl1ck + BLAS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Apps.h"
+#include "baselines/Cl1ckBlas.h"
+#include "baselines/Naive.h"
+#include "baselines/Recursive.h"
+#include "baselines/RefBlas.h"
+#include "la/Programs.h"
+
+using namespace slingen;
+using namespace slingen::bench;
+
+int main() {
+  std::vector<int> Sizes = hlacSizes();
+
+  Sweep Left;
+  Left.Title = "Fig. 14b (left): trsyl, L X + X U = C  --  cost 2 n^3";
+  Left.Sizes = Sizes;
+  int SGen = Left.addSeries("SLinGen");
+  int SRef = Left.addSeries("refblas(MKL)");
+  int SRec = Left.addSeries("recursive");
+  int SSml = Left.addSeries("smallet(Eig)");
+  int SNai = Left.addSeries("naive-C");
+
+  Sweep Right;
+  Right.Title = "Fig. 14b (right): trsyl vs Cl1ck + BLAS";
+  Right.Sizes = Sizes;
+  int RGen = Right.addSeries("SLinGen");
+  int RNb4 = Right.addSeries("cl1ck nb=4");
+  int RNbH = Right.addSeries("cl1ck nb=n/2");
+  int RNbN = Right.addSeries("cl1ck nb=n");
+
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    int N = Sizes[I];
+    double Flops = 2.0 * N * static_cast<double>(N) * N;
+    Rng R(N + 1);
+    std::vector<double> L = randLowerTri(N, R);
+    std::vector<double> U = randUpperTri(N, R);
+    std::vector<double> C = randGeneral(N, N, R);
+    std::vector<double> Work(C.size());
+
+    // trsyl has up to 16 variants; measure the 4 cheapest by static cost.
+    auto Gen = makeTunedKernel(la::trsylSource(N), [&](GeneratedKernel &K) {
+      std::memcpy(K.buffer("L"), L.data(), L.size() * sizeof(double));
+      std::memcpy(K.buffer("U"), U.data(), U.size() * sizeof(double));
+      std::memcpy(K.buffer("C"), C.data(), C.size() * sizeof(double));
+    }, /*MaxVariants=*/4, /*JitBudget=*/N >= 76 ? 1 : 0);
+    if (Gen)
+      record(Left, SGen, I, Flops, [&] { Gen->call(); });
+    Right.FPerC[RGen][I] = Left.FPerC[SGen][I];
+
+    record(Left, SRef, I, Flops, [&] {
+      std::memcpy(Work.data(), C.data(), C.size() * sizeof(double));
+      refblas::trsylLowerUpper(N, N, L.data(), N, U.data(), N, Work.data(),
+                               N);
+    });
+    record(Left, SRec, I, Flops, [&] {
+      std::memcpy(Work.data(), C.data(), C.size() * sizeof(double));
+      recursive::trsylLowerUpper(N, N, L.data(), N, U.data(), N, Work.data(),
+                                 N);
+    });
+    if (apps::trsylSmallet(N, L.data(), U.data(), Work.data()))
+      record(Left, SSml, I, Flops, [&] {
+        std::memcpy(Work.data(), C.data(), C.size() * sizeof(double));
+        apps::trsylSmallet(N, L.data(), U.data(), Work.data());
+      });
+    record(Left, SNai, I, Flops, [&] {
+      std::memcpy(Work.data(), C.data(), C.size() * sizeof(double));
+      naive::trsylLowerUpper(N, L.data(), U.data(), Work.data());
+    });
+
+    for (auto [Series, Nb] : {std::pair{RNb4, 4}, std::pair{RNbH, N / 2},
+                              std::pair{RNbN, N}})
+      record(Right, Series, I, Flops, [&, Nb = std::max(1, Nb)] {
+        std::memcpy(Work.data(), C.data(), C.size() * sizeof(double));
+        cl1ck::trsylLowerUpper(N, N, Nb, L.data(), N, U.data(), N,
+                               Work.data(), N);
+      });
+  }
+
+  printSweep(Left);
+  printSweep(Right);
+  return 0;
+}

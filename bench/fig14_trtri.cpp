@@ -1,0 +1,88 @@
+//===- bench/fig14_trtri.cpp - paper Fig. 14d reproduction -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Triangular inverse X = L^-1, cost ~ n^3/3 flops. Left plot: SLinGen vs
+// refblas (MKL), recursive (ReLAPACK), smallet (Eigen), naive C. Right
+// plot: SLinGen vs Cl1ck + BLAS.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Apps.h"
+#include "baselines/Cl1ckBlas.h"
+#include "baselines/Naive.h"
+#include "baselines/Recursive.h"
+#include "baselines/RefBlas.h"
+#include "la/Programs.h"
+
+using namespace slingen;
+using namespace slingen::bench;
+
+int main() {
+  std::vector<int> Sizes = hlacSizes();
+
+  Sweep Left;
+  Left.Title = "Fig. 14d (left): trtri, X = inv(L)  --  cost n^3/3";
+  Left.Sizes = Sizes;
+  int SGen = Left.addSeries("SLinGen");
+  int SRef = Left.addSeries("refblas(MKL)");
+  int SRec = Left.addSeries("recursive");
+  int SSml = Left.addSeries("smallet(Eig)");
+  int SNai = Left.addSeries("naive-C");
+
+  Sweep Right;
+  Right.Title = "Fig. 14d (right): trtri vs Cl1ck + BLAS";
+  Right.Sizes = Sizes;
+  int RGen = Right.addSeries("SLinGen");
+  int RNb4 = Right.addSeries("cl1ck nb=4");
+  int RNbH = Right.addSeries("cl1ck nb=n/2");
+  int RNbN = Right.addSeries("cl1ck nb=n");
+
+  for (size_t I = 0; I < Sizes.size(); ++I) {
+    int N = Sizes[I];
+    double Flops = N * static_cast<double>(N) * N / 3.0;
+    Rng R(N + 3);
+    std::vector<double> L = randLowerTri(N, R);
+    std::vector<double> Work(L.size());
+
+    auto Gen = makeTunedKernel(la::trtriSource(N), [&](GeneratedKernel &K) {
+      std::memcpy(K.buffer("L"), L.data(), L.size() * sizeof(double));
+    }, /*MaxVariants=*/3, /*JitBudget=*/N >= 76 ? 1 : 0);
+    if (Gen)
+      record(Left, SGen, I, Flops, [&] { Gen->call(); });
+    Right.FPerC[RGen][I] = Left.FPerC[SGen][I];
+
+    record(Left, SRef, I, Flops, [&] {
+      std::memcpy(Work.data(), L.data(), L.size() * sizeof(double));
+      refblas::trtriLower(N, Work.data(), N);
+    });
+    record(Left, SRec, I, Flops, [&] {
+      std::memcpy(Work.data(), L.data(), L.size() * sizeof(double));
+      recursive::trtriLower(N, Work.data(), N);
+    });
+    if (apps::trtriSmallet(N, Work.data()))
+      record(Left, SSml, I, Flops, [&] {
+        std::memcpy(Work.data(), L.data(), L.size() * sizeof(double));
+        apps::trtriSmallet(N, Work.data());
+      });
+    record(Left, SNai, I, Flops, [&] {
+      std::memcpy(Work.data(), L.data(), L.size() * sizeof(double));
+      naive::trtriLower(N, Work.data());
+    });
+
+    for (auto [Series, Nb] : {std::pair{RNb4, 4}, std::pair{RNbH, N / 2},
+                              std::pair{RNbN, N}})
+      record(Right, Series, I, Flops, [&, Nb = std::max(1, Nb)] {
+        std::memcpy(Work.data(), L.data(), L.size() * sizeof(double));
+        cl1ck::trtriLower(N, Nb, Work.data(), N);
+      });
+  }
+
+  printSweep(Left);
+  printSweep(Right);
+  return 0;
+}

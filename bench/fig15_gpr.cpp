@@ -1,0 +1,77 @@
+//===- bench/fig15_gpr.cpp - paper Fig. 15c reproduction -------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Gaussian process regression (paper Fig. 13b), cost ~ n^3/3 flops
+// (dominated by the Cholesky factorization of the kernel matrix).
+// Competitors: refblas (MKL), smallet (Eigen), naive C (icc). The
+// generated kernel factors K in place (L overwrites K via ow), so its
+// measurement loop restores K each run; the library versions copy
+// internally, which keeps the compared work identical.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Apps.h"
+#include "baselines/Naive.h"
+#include "la/Programs.h"
+
+using namespace slingen;
+using namespace slingen::bench;
+
+int main() {
+  Sweep S;
+  S.Title = "Fig. 15c: Gaussian process regression  --  cost n^3/3";
+  S.Sizes = appSizes();
+  int SGen = S.addSeries("SLinGen");
+  int SRef = S.addSeries("refblas(MKL)");
+  int SSml = S.addSeries("smallet(Eig)");
+  int SNai = S.addSeries("naive-C");
+
+  for (size_t I = 0; I < S.Sizes.size(); ++I) {
+    int N = S.Sizes[I];
+    double Flops = N * static_cast<double>(N) * N / 3.0;
+    Rng R(N * 3);
+    std::vector<double> K = randSpd(N, R);
+    std::vector<double> X = randGeneral(N, N, R);
+    std::vector<double> x = randGeneral(N, 1, R);
+    std::vector<double> y = randGeneral(N, 1, R);
+
+    auto Gen = makeTunedKernel(la::gprSource(N), [&](GeneratedKernel &GK) {
+      std::memcpy(GK.buffer("K"), K.data(), K.size() * sizeof(double));
+      std::memcpy(GK.buffer("X"), X.data(), X.size() * sizeof(double));
+      std::memcpy(GK.buffer("x"), x.data(), x.size() * sizeof(double));
+      std::memcpy(GK.buffer("y"), y.data(), y.size() * sizeof(double));
+    }, /*MaxVariants=*/2);
+    if (Gen) {
+      double *KBuf = Gen->buffer("K");
+      record(S, SGen, I, Flops, [&] {
+        std::memcpy(KBuf, K.data(), K.size() * sizeof(double));
+        Gen->call();
+      });
+    }
+
+    double Phi, Psi, Lambda;
+    std::vector<double> Scratch(N * N + 8 * N);
+    record(S, SRef, I, Flops, [&] {
+      apps::gprRefblas(N, K.data(), X.data(), x.data(), y.data(), &Phi,
+                       &Psi, &Lambda, Scratch.data());
+    });
+    if (apps::gprSmallet(N, K.data(), X.data(), x.data(), y.data(), &Phi,
+                         &Psi, &Lambda))
+      record(S, SSml, I, Flops, [&] {
+        apps::gprSmallet(N, K.data(), X.data(), x.data(), y.data(), &Phi,
+                         &Psi, &Lambda);
+      });
+    record(S, SNai, I, Flops, [&] {
+      naive::gpr(N, K.data(), X.data(), x.data(), y.data(), &Phi, &Psi,
+                 &Lambda, Scratch.data());
+    });
+  }
+
+  printSweep(S);
+  return 0;
+}

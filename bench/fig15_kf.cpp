@@ -1,0 +1,144 @@
+//===- bench/fig15_kf.cpp - paper Fig. 15a/b reproduction ------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Kalman filter, one iteration (paper Fig. 13a).
+//   Fig. 15a: state size = observation size = n in {4..52}, cost ~ 11.3 n^3.
+//   Fig. 15b: state fixed at 28, observation size k in {4..28}, cost ~ k^3/3
+//             (the k-dependent part on top of the fixed-state work).
+// Competitors: refblas (MKL stand-in), smallet (Eigen), naive C (icc).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Apps.h"
+#include "baselines/Naive.h"
+#include "la/Programs.h"
+
+using namespace slingen;
+using namespace slingen::bench;
+
+namespace {
+
+struct KfData {
+  int N, K;
+  std::vector<double> F, B, Q, H, R, u, x, z, P;
+};
+
+KfData makeData(int N, int K) {
+  Rng Rand(N * 100 + K);
+  KfData D;
+  D.N = N;
+  D.K = K;
+  D.F = randGeneral(N, N, Rand);
+  // Scale the dynamics towards stability so repeated filter iterations
+  // remain numerically tame during measurement.
+  for (double &V : D.F)
+    V *= 0.5 / std::sqrt(static_cast<double>(N));
+  for (int I = 0; I < N; ++I)
+    D.F[I * N + I] += 0.5;
+  D.B = randGeneral(N, N, Rand);
+  D.Q = randSpd(N, Rand);
+  D.H = randGeneral(K, N, Rand);
+  D.R = randSpd(K, Rand);
+  D.u = randGeneral(N, 1, Rand);
+  D.x = randGeneral(N, 1, Rand);
+  D.z = randGeneral(K, 1, Rand);
+  D.P = randSpd(N, Rand);
+  return D;
+}
+
+void sweepKf(Sweep &S, const std::vector<int> &Xs, bool FixedState) {
+  int SGen = S.addSeries("SLinGen");
+  int SRef = S.addSeries("refblas(MKL)");
+  int SSml = S.addSeries("smallet(Eig)");
+  int SNai = S.addSeries("naive-C");
+
+  for (size_t I = 0; I < Xs.size(); ++I) {
+    int N = FixedState ? 28 : Xs[I];
+    int K = FixedState ? Xs[I] : Xs[I];
+    // Nominal cost of the LA program itself (close to the paper's 11.3 n^3
+    // for the square case; for the fixed-state sweep the paper's k^3/3
+    // caption ignores the k-independent work, so we normalize honestly --
+    // see EXPERIMENTS.md).
+    double Flops = laFlops(la::kalmanSource(N, K));
+    KfData D = makeData(N, K);
+    std::vector<double> Scratch(8 * N * N + 8 * N);
+
+    auto Gen =
+        makeTunedKernel(la::kalmanSource(N, K), [&](GeneratedKernel &GK) {
+          auto Fill = [&](const char *Name, const std::vector<double> &V) {
+            if (double *B = GK.buffer(Name))
+              std::memcpy(B, V.data(), V.size() * sizeof(double));
+          };
+          Fill("F", D.F);
+          Fill("Bm", D.B);
+          Fill("Q", D.Q);
+          Fill("H", D.H);
+          Fill("R", D.R);
+          Fill("u", D.u);
+          Fill("z", D.z);
+          Fill("x", D.x);
+          Fill("P", D.P);
+        }, /*MaxVariants=*/2);
+    if (Gen) {
+      // Reset the iterated state before the timed runs.
+      std::memcpy(Gen->buffer("x"), D.x.data(), D.x.size() * sizeof(double));
+      std::memcpy(Gen->buffer("P"), D.P.data(), D.P.size() * sizeof(double));
+      record(S, SGen, I, Flops, [&] { Gen->call(); });
+    }
+
+    auto XW = D.x;
+    auto PW = D.P;
+    auto Reset = [&] {
+      XW = D.x;
+      PW = D.P;
+    };
+    Reset();
+    record(S, SRef, I, Flops, [&] {
+      apps::kalmanRefblas(N, K, D.F.data(), D.B.data(), D.Q.data(),
+                          D.H.data(), D.R.data(), D.u.data(), D.z.data(),
+                          XW.data(), PW.data(), Scratch.data());
+    });
+    Reset();
+    if (apps::kalmanSmallet(N, K, D.F.data(), D.B.data(), D.Q.data(),
+                            D.H.data(), D.R.data(), D.u.data(), D.z.data(),
+                            XW.data(), PW.data())) {
+      Reset();
+      record(S, SSml, I, Flops, [&] {
+        apps::kalmanSmallet(N, K, D.F.data(), D.B.data(), D.Q.data(),
+                            D.H.data(), D.R.data(), D.u.data(), D.z.data(),
+                            XW.data(), PW.data());
+      });
+    }
+    Reset();
+    record(S, SNai, I, Flops, [&] {
+      naive::kalman(N, K, D.F.data(), D.B.data(), D.Q.data(), D.H.data(),
+                    D.R.data(), D.u.data(), D.z.data(), XW.data(), PW.data(),
+                    Scratch.data());
+    });
+  }
+}
+
+} // namespace
+
+int main() {
+  Sweep A;
+  A.Title = "Fig. 15a: Kalman filter, state = obs = n  --  cost 11.3 n^3";
+  A.Sizes = appSizes();
+  sweepKf(A, A.Sizes, /*FixedState=*/false);
+  printSweep(A);
+
+  Sweep B;
+  B.Title = "Fig. 15b: Kalman filter, state = 28, obs = k  --  "
+            "cost = nominal program flops";
+  B.XLabel = "k";
+  B.Sizes = fastMode() ? std::vector<int>{4, 12, 20}
+                       : std::vector<int>{4, 8, 12, 16, 20, 24, 28};
+  sweepKf(B, B.Sizes, /*FixedState=*/true);
+  printSweep(B);
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===- bench/fig15_l1a.cpp - paper Fig. 15d reproduction -------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One iteration of the L1-analysis convex solver (paper Fig. 13c), cost
+// ~ 8 n^2 flops: a memory-bound sequence of matrix-vector products and
+// vector updates. Competitors: refblas (MKL), smallet (Eigen), naive C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Apps.h"
+#include "baselines/Naive.h"
+#include "la/Programs.h"
+
+using namespace slingen;
+using namespace slingen::bench;
+
+int main() {
+  Sweep S;
+  S.Title = "Fig. 15d: L1-analysis solver iteration  --  cost 8 n^2";
+  S.Sizes = appSizes();
+  int SGen = S.addSeries("SLinGen");
+  int SRef = S.addSeries("refblas(MKL)");
+  int SSml = S.addSeries("smallet(Eig)");
+  int SNai = S.addSeries("naive-C");
+
+  const double Alpha = 0.5, Beta = 0.2, Tau = 0.2;
+  for (size_t I = 0; I < S.Sizes.size(); ++I) {
+    int N = S.Sizes[I];
+    double Flops = 8.0 * N * static_cast<double>(N);
+    Rng R(N * 5);
+    std::vector<double> W = randGeneral(N, N, R);
+    std::vector<double> A = randGeneral(N, N, R);
+    // Condition the operators like the example does so thousands of
+    // measured iterations stay bounded.
+    for (double &V : W)
+      V *= 0.3 / std::sqrt(static_cast<double>(N));
+    for (double &V : A)
+      V *= 0.3 / std::sqrt(static_cast<double>(N));
+    for (int D = 0; D < N; ++D) {
+      W[D * N + D] += 1.0;
+      A[D * N + D] += 1.0;
+    }
+    std::vector<double> x0 = randGeneral(N, 1, R);
+    std::vector<double> y = randGeneral(N, 1, R);
+    std::vector<double> v1 = randGeneral(N, 1, R);
+    std::vector<double> z1 = randGeneral(N, 1, R);
+    std::vector<double> v2 = randGeneral(N, 1, R);
+    std::vector<double> z2 = randGeneral(N, 1, R);
+
+    auto Gen = makeTunedKernel(la::l1aSource(N), [&](GeneratedKernel &GK) {
+      auto Fill = [&](const char *Name, const std::vector<double> &V) {
+        if (double *B = GK.buffer(Name))
+          std::memcpy(B, V.data(), V.size() * sizeof(double));
+      };
+      Fill("W", W);
+      Fill("A", A);
+      Fill("x0", x0);
+      Fill("y", y);
+      Fill("v1", v1);
+      Fill("z1", z1);
+      Fill("v2", v2);
+      Fill("z2", z2);
+      GK.buffer("alpha")[0] = Alpha;
+      GK.buffer("beta")[0] = Beta;
+      GK.buffer("tau")[0] = Tau;
+    }, /*MaxVariants=*/1);
+    if (Gen)
+      record(S, SGen, I, Flops, [&] { Gen->call(); });
+
+    std::vector<double> Scratch(8 * N);
+    auto V1 = v1, Z1 = z1, V2 = v2, Z2 = z2;
+    record(S, SRef, I, Flops, [&] {
+      apps::l1aRefblas(N, W.data(), A.data(), x0.data(), y.data(), Alpha,
+                       Beta, Tau, V1.data(), Z1.data(), V2.data(), Z2.data(),
+                       Scratch.data());
+    });
+    V1 = v1;
+    Z1 = z1;
+    V2 = v2;
+    Z2 = z2;
+    if (apps::l1aSmallet(N, W.data(), A.data(), x0.data(), y.data(), Alpha,
+                         Beta, Tau, V1.data(), Z1.data(), V2.data(),
+                         Z2.data()))
+      record(S, SSml, I, Flops, [&] {
+        apps::l1aSmallet(N, W.data(), A.data(), x0.data(), y.data(), Alpha,
+                         Beta, Tau, V1.data(), Z1.data(), V2.data(),
+                         Z2.data());
+      });
+    V1 = v1;
+    Z1 = z1;
+    V2 = v2;
+    Z2 = z2;
+    record(S, SNai, I, Flops, [&] {
+      naive::l1a(N, W.data(), A.data(), x0.data(), y.data(), Alpha, Beta,
+                 Tau, V1.data(), Z1.data(), V2.data(), Z2.data(),
+                 Scratch.data());
+    });
+  }
+
+  printSweep(S);
+  return 0;
+}

@@ -1,0 +1,126 @@
+//===- examples/l1a_denoise.cpp - generated L1-analysis solver loop -------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The L1-analysis convex solver (paper Fig. 13c) used for sparse signal
+// recovery: a sparse spike train is observed through a random measurement
+// matrix A with noise; repeated application of the generated per-iteration
+// kernel (a first-order primal-dual update) drives the reconstruction.
+// Demonstrates an iterative application where the same small fixed-size
+// kernel runs thousands of times -- the regime the paper targets.
+//
+//   $ ./l1a_denoise [n] [iterations]
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/Interp.h"
+#include "la/Lower.h"
+#include "la/Programs.h"
+#include "slingen/SLinGen.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace slingen;
+
+int main(int argc, char **argv) {
+  const int N = argc > 1 ? atoi(argv[1]) : 16;
+  const int Iters = argc > 2 ? atoi(argv[2]) : 200;
+
+  std::string Err;
+  auto Program = la::compileLa(la::l1aSource(N), Err);
+  if (!Program) {
+    fprintf(stderr, "LA error: %s\n", Err.c_str());
+    return 1;
+  }
+  GenOptions Options;
+  Options.Isa = &hostIsa();
+  Options.FuncName = "l1a_iter";
+  Generator Gen(std::move(*Program), Options);
+  if (!Gen.isValid()) {
+    fprintf(stderr, "generator error: %s\n", Gen.error().c_str());
+    return 1;
+  }
+  auto Result = Gen.best(4);
+  if (!Result) {
+    fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  printf("generated l1a iteration kernel (%zu basic statements)\n",
+         Result->Basic.stmts().size());
+
+  std::map<std::string, std::vector<double>> Named;
+  std::map<const Operand *, double *> Bufs;
+  for (const Operand *P : Result->Func.Params) {
+    Named[P->Name].assign(static_cast<size_t>(P->Rows) * P->Cols, 0.0);
+    Bufs[P] = Named[P->Name].data();
+  }
+
+  // Ground truth: sparse spikes. Measurements y = A x* + noise; W = I
+  // (identity analysis operator).
+  Rng R(7);
+  std::vector<double> Truth(N, 0.0);
+  Truth[N / 5] = 1.0;
+  Truth[(3 * N) / 5] = -0.7;
+  auto &A = Named["A"];
+  for (int I = 0; I < N * N; ++I)
+    A[I] = (R.uniform() - 0.5) / std::sqrt(static_cast<double>(N));
+  for (int I = 0; I < N; ++I)
+    A[I * N + I] += 1.0; // keep the operator well-conditioned
+  auto &W = Named["W"];
+  for (int I = 0; I < N; ++I)
+    W[I * N + I] = 1.0;
+  auto &y = Named["y"];
+  for (int I = 0; I < N; ++I) {
+    double S = 0.0;
+    for (int J = 0; J < N; ++J)
+      S += A[I * N + J] * Truth[J];
+    y[I] = S + 0.01 * (R.uniform() - 0.5);
+  }
+  Named["alpha"][0] = 0.5;
+  Named["beta"][0] = 0.2;
+  Named["tau"][0] = 0.2;
+
+  // Iterate: x0 tracks the current primal estimate (the LA program of
+  // Fig. 13c exposes one iteration; the outer loop re-feeds x = x0 +
+  // beta*x1 as the next x0).
+  auto &x0 = Named["x0"];
+  double FirstRes = 0.0;
+  for (int It = 0; It < Iters; ++It) {
+    cir::interpret(Result->Func, Bufs);
+    x0 = Named["x"];
+    if (It == 0 || It == Iters - 1) {
+      // Residual ||A x - y||.
+      double Res = 0.0;
+      for (int I = 0; I < N; ++I) {
+        double S = -y[I];
+        for (int J = 0; J < N; ++J)
+          S += A[I * N + J] * x0[J];
+        Res += S * S;
+      }
+      Res = std::sqrt(Res);
+      if (It == 0)
+        FirstRes = Res;
+      else
+        printf("residual ||Ax - y||: %.5f -> %.5f after %d iterations\n",
+               FirstRes, Res, Iters);
+    }
+  }
+
+  // The LA program is the *linear core* of one solver iteration -- the
+  // paper (Fig. 13 caption) notes the original algorithm adds a few
+  // min/max/shrinkage operations that SLinGen leaves outside the kernel.
+  // The fixed point of the smoothed iteration therefore underestimates
+  // magnitudes, but its support identifies the spikes.
+  printf("%6s %10s %12s\n", "index", "truth", "reconstructed");
+  for (int I = 0; I < N; ++I)
+    printf("%6d %10.3f %12.4f%s\n", I, Truth[I], x0[I],
+           std::fabs(Truth[I]) > 0.0 ? "   <- spike" : "");
+  return 0;
+}

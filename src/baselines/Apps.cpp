@@ -1,0 +1,359 @@
+//===- baselines/Apps.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Apps.h"
+
+#include "baselines/RefBlas.h"
+#include "baselines/Smallet.h"
+
+#include <cstring>
+
+using namespace slingen;
+
+//===----------------------------------------------------------------------===//
+// refblas implementations.
+//===----------------------------------------------------------------------===//
+
+void apps::kalmanRefblas(int N, int K, const double *F, const double *B,
+                         const double *Q, const double *H, const double *R,
+                         const double *u, const double *z, double *x,
+                         double *P, double *Scratch) {
+  double *y = Scratch;
+  double *Y = y + N;
+  double *T = Y + N * N;
+  double *v = T + N * N;
+  double *M1 = v + K;
+  double *M2 = M1 + K * N;
+  double *M3 = M2 + N * K;
+  double *M4 = M3 + K * K;
+
+  // y = F x + B u.
+  refblas::gemv(N, N, 1.0, F, N, false, x, 0.0, y);
+  refblas::gemv(N, N, 1.0, B, N, false, u, 1.0, y);
+  // Y = F P F^T + Q.
+  refblas::gemm(N, N, N, 1.0, F, N, false, P, N, false, 0.0, T, N);
+  std::memcpy(Y, Q, sizeof(double) * N * N);
+  refblas::gemm(N, N, N, 1.0, T, N, false, F, N, true, 1.0, Y, N);
+  // v0 = z - H y.
+  std::memcpy(v, z, sizeof(double) * K);
+  refblas::gemv(K, N, -1.0, H, N, false, y, 1.0, v);
+  // M1 = H Y; M2 = Y H^T; M3 = M1 H^T + R.
+  refblas::gemm(K, N, N, 1.0, H, N, false, Y, N, false, 0.0, M1, N);
+  refblas::gemm(N, K, N, 1.0, Y, N, false, H, N, true, 0.0, M2, K);
+  std::memcpy(M3, R, sizeof(double) * K * K);
+  refblas::gemm(K, K, N, 1.0, M1, N, false, H, N, true, 1.0, M3, K);
+  // U^T U = M3 (upper Cholesky); U^T v1 = v0; U v2 = v1.
+  refblas::potrfUpper(K, M3, K);
+  refblas::trsmLeft(/*Upper=*/true, /*TransA=*/true, false, K, 1, M3, K, v,
+                    1);
+  refblas::trsmLeft(/*Upper=*/true, /*TransA=*/false, false, K, 1, M3, K, v,
+                    1);
+  // U^T M4 = M1; U M5 = M4.
+  std::memcpy(M4, M1, sizeof(double) * K * N);
+  refblas::trsmLeft(/*Upper=*/true, /*TransA=*/true, false, K, N, M3, K, M4,
+                    N);
+  refblas::trsmLeft(/*Upper=*/true, /*TransA=*/false, false, K, N, M3, K, M4,
+                    N);
+  // x = y + M2 v2.
+  std::memcpy(x, y, sizeof(double) * N);
+  refblas::gemv(N, K, 1.0, M2, K, false, v, 1.0, x);
+  // P = Y - M2 M5.
+  std::memcpy(P, Y, sizeof(double) * N * N);
+  refblas::gemm(N, N, K, -1.0, M2, K, false, M4, N, false, 1.0, P, N);
+}
+
+void apps::gprRefblas(int N, const double *K, const double *X,
+                      const double *x, const double *y, double *Phi,
+                      double *Psi, double *Lambda, double *Scratch) {
+  double *L = Scratch;
+  double *t = L + N * N;
+  double *k = t + N;
+  double *v = k + N;
+
+  std::memcpy(L, K, sizeof(double) * N * N);
+  refblas::potrfLower(N, L, N);
+  std::memcpy(t, y, sizeof(double) * N);
+  refblas::trsmLeft(/*Upper=*/false, /*TransA=*/false, false, N, 1, L, N, t,
+                    1);
+  refblas::trsmLeft(/*Upper=*/false, /*TransA=*/true, false, N, 1, L, N, t,
+                    1);
+  refblas::gemv(N, N, 1.0, X, N, false, x, 0.0, k);
+  *Phi = refblas::dot(N, k, t);
+  std::memcpy(v, k, sizeof(double) * N);
+  refblas::trsmLeft(/*Upper=*/false, /*TransA=*/false, false, N, 1, L, N, v,
+                    1);
+  *Psi = refblas::dot(N, x, x) - refblas::dot(N, v, v);
+  *Lambda = refblas::dot(N, y, t);
+}
+
+void apps::l1aRefblas(int N, const double *W, const double *A,
+                      const double *x0, const double *y, double Alpha,
+                      double Beta, double Tau, double *V1, double *Z1,
+                      double *V2, double *Z2, double *Scratch) {
+  double *y1 = Scratch;
+  double *y2 = y1 + N;
+  double *x1 = y2 + N;
+  double *x = x1 + N;
+
+  for (int I = 0; I < N; ++I) {
+    y1[I] = Alpha * V1[I] + Tau * Z1[I];
+    y2[I] = Alpha * V2[I] + Tau * Z2[I];
+  }
+  refblas::gemv(N, N, 1.0, W, N, true, y1, 0.0, x1);
+  refblas::gemv(N, N, -1.0, A, N, true, y2, 1.0, x1);
+  std::memcpy(x, x0, sizeof(double) * N);
+  refblas::axpy(N, Beta, x1, x);
+  std::memcpy(Z1, y1, sizeof(double) * N);
+  refblas::gemv(N, N, -1.0, W, N, false, x, 1.0, Z1);
+  for (int I = 0; I < N; ++I)
+    Z2[I] = y2[I] - y[I];
+  refblas::gemv(N, N, 1.0, A, N, false, x, 1.0, Z2);
+  for (int I = 0; I < N; ++I) {
+    V1[I] = Alpha * V1[I] + Tau * Z1[I];
+    V2[I] = Alpha * V2[I] + Tau * Z2[I];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// smallet implementations. Compile-time size set: the union of the paper's
+// benchmark sweeps (Figs. 14/15) and the test sizes.
+//===----------------------------------------------------------------------===//
+
+#define SMALLET_FOREACH_SIZE(X)                                               \
+  X(2) X(4) X(8) X(11) X(12) X(16) X(20) X(24) X(28) X(36) X(44) X(52)        \
+  X(76) X(100) X(124)
+
+#define SMALLET_FOREACH_OBS(X) X(4) X(8) X(12) X(16) X(20) X(24)
+
+namespace {
+
+using namespace slingen::smallet;
+
+template <int R, int C> Dense<R, C, BorrowedStorage> mutm(double *P) {
+  return Dense<R, C, BorrowedStorage>(BorrowedStorage{P});
+}
+// Read-only views: the library templates only call const members on these.
+template <int R, int C> Dense<R, C, BorrowedStorage> cm(const double *P) {
+  return Dense<R, C, BorrowedStorage>(BorrowedStorage{const_cast<double *>(P)});
+}
+
+template <int N> void potrfImpl(double *A) {
+  auto M = mutm<N, N>(A);
+  upperCholInPlace(M);
+}
+
+template <int N> void trtriImpl(double *A) {
+  auto M = mutm<N, N>(A);
+  invertLowerInPlace(M);
+}
+
+template <int N> void trsylImpl(const double *L, const double *U, double *C) {
+  auto Lm = cm<N, N>(L);
+  auto Um = cm<N, N>(U);
+  auto Cm = mutm<N, N>(C);
+  trsylInPlace(Lm, Um, Cm);
+}
+
+template <int N> void trlyaImpl(const double *L, double *S) {
+  auto Lm = cm<N, N>(L);
+  auto Sm = mutm<N, N>(S);
+  trlyaInPlace(Lm, Sm);
+}
+
+template <int N, int K>
+void kalmanImpl(const double *F, const double *B, const double *Q,
+                const double *H, const double *R, const double *u,
+                const double *z, double *x, double *P) {
+  auto Fm = cm<N, N>(F);
+  auto Bm = cm<N, N>(B);
+  auto Qm = cm<N, N>(Q);
+  auto Hm = cm<K, N>(H);
+  auto Rm = cm<K, K>(R);
+  auto um = cm<N, 1>(u);
+  auto zm = cm<K, 1>(z);
+  auto xm = mutm<N, 1>(x);
+  auto Pm = mutm<N, N>(P);
+
+  Vector<N> y;
+  y = Fm * xm + Bm * um;
+  Matrix<N, N> Y;
+  Y = Fm * Pm * Fm.transpose() + Qm;
+  Vector<K> v;
+  v = zm - Hm * y;
+  Matrix<K, N> M1;
+  M1 = Hm * Y;
+  Matrix<N, K> M2;
+  M2 = Y * Hm.transpose();
+  Matrix<K, K> M3;
+  M3 = M1 * Hm.transpose() + Rm;
+  // In-place factorization and solves, as one would write with Eigen's LLT
+  // and triangular views.
+  lltInPlace(M3);
+  solveLowerInPlace(M3, v);
+  solveLowerTInPlace(M3, v);
+  Matrix<K, N> M5;
+  M5 = M1;
+  solveLowerInPlace(M3, M5);
+  solveLowerTInPlace(M3, M5);
+  xm = y + M2 * v;
+  Pm = Y - M2 * M5;
+}
+
+template <int N>
+void gprImpl(const double *K, const double *X, const double *x,
+             const double *y, double *Phi, double *Psi, double *Lambda) {
+  auto Km = cm<N, N>(K);
+  auto Xm = cm<N, N>(X);
+  auto xm = cm<N, 1>(x);
+  auto ym = cm<N, 1>(y);
+
+  Matrix<N, N> L;
+  L = Km;
+  lltInPlace(L);
+  Vector<N> t;
+  t = ym;
+  solveLowerInPlace(L, t);
+  solveLowerTInPlace(L, t);
+  Vector<N> k;
+  k = Xm * xm;
+  *Phi = dot(k, t);
+  Vector<N> v;
+  v = k;
+  solveLowerInPlace(L, v);
+  *Psi = dot(xm, xm) - dot(v, v);
+  *Lambda = dot(ym, t);
+}
+
+template <int N>
+void l1aImpl(const double *W, const double *A, const double *x0,
+             const double *y, double Alpha, double Beta, double Tau,
+             double *V1, double *Z1, double *V2, double *Z2) {
+  auto Wm = cm<N, N>(W);
+  auto Am = cm<N, N>(A);
+  auto x0m = cm<N, 1>(x0);
+  auto ym = cm<N, 1>(y);
+  auto v1 = mutm<N, 1>(V1);
+  auto z1 = mutm<N, 1>(Z1);
+  auto v2 = mutm<N, 1>(V2);
+  auto z2 = mutm<N, 1>(Z2);
+
+  Vector<N> y1, y2, x1, x;
+  y1 = v1 * Alpha + z1 * Tau;
+  y2 = v2 * Alpha + z2 * Tau;
+  x1 = Wm.transpose() * y1 - Am.transpose() * y2;
+  x = x0m + x1 * Beta;
+  z1 = y1 - Wm * x;
+  z2 = y2 - (ym - Am * x);
+  v1 = v1 * Alpha + z1 * Tau;
+  v2 = v2 * Alpha + z2 * Tau;
+}
+
+} // namespace
+
+bool apps::potrfSmallet(int N, double *A) {
+  switch (N) {
+#define X(S)                                                                  \
+  case S:                                                                     \
+    potrfImpl<S>(A);                                                          \
+    return true;
+    SMALLET_FOREACH_SIZE(X)
+#undef X
+  }
+  return false;
+}
+
+bool apps::trtriSmallet(int N, double *A) {
+  switch (N) {
+#define X(S)                                                                  \
+  case S:                                                                     \
+    trtriImpl<S>(A);                                                          \
+    return true;
+    SMALLET_FOREACH_SIZE(X)
+#undef X
+  }
+  return false;
+}
+
+bool apps::trsylSmallet(int N, const double *L, const double *U, double *C) {
+  switch (N) {
+#define X(S)                                                                  \
+  case S:                                                                     \
+    trsylImpl<S>(L, U, C);                                                    \
+    return true;
+    SMALLET_FOREACH_SIZE(X)
+#undef X
+  }
+  return false;
+}
+
+bool apps::trlyaSmallet(int N, const double *L, double *S) {
+  switch (N) {
+#define X(Sz)                                                                 \
+  case Sz:                                                                    \
+    trlyaImpl<Sz>(L, S);                                                      \
+    return true;
+    SMALLET_FOREACH_SIZE(X)
+#undef X
+  }
+  return false;
+}
+
+bool apps::kalmanSmallet(int N, int K, const double *F, const double *B,
+                         const double *Q, const double *H, const double *R,
+                         const double *u, const double *z, double *x,
+                         double *P) {
+  if (N == K) {
+    switch (N) {
+#define X(S)                                                                  \
+  case S:                                                                     \
+    kalmanImpl<S, S>(F, B, Q, H, R, u, z, x, P);                              \
+    return true;
+      SMALLET_FOREACH_SIZE(X)
+#undef X
+    }
+    return false;
+  }
+  if (N == 28) {
+    switch (K) {
+#define X(S)                                                                  \
+  case S:                                                                     \
+    kalmanImpl<28, S>(F, B, Q, H, R, u, z, x, P);                             \
+    return true;
+      SMALLET_FOREACH_OBS(X)
+#undef X
+    }
+  }
+  return false;
+}
+
+bool apps::gprSmallet(int N, const double *K, const double *X,
+                      const double *x, const double *y, double *Phi,
+                      double *Psi, double *Lambda) {
+  switch (N) {
+#define X2(S)                                                                 \
+  case S:                                                                     \
+    gprImpl<S>(K, X, x, y, Phi, Psi, Lambda);                                 \
+    return true;
+    SMALLET_FOREACH_SIZE(X2)
+#undef X2
+  }
+  return false;
+}
+
+bool apps::l1aSmallet(int N, const double *W, const double *A,
+                      const double *x0, const double *y, double Alpha,
+                      double Beta, double Tau, double *V1, double *Z1,
+                      double *V2, double *Z2) {
+  switch (N) {
+#define X(S)                                                                  \
+  case S:                                                                     \
+    l1aImpl<S>(W, A, x0, y, Alpha, Beta, Tau, V1, Z1, V2, Z2);                \
+    return true;
+    SMALLET_FOREACH_SIZE(X)
+#undef X
+  }
+  return false;
+}

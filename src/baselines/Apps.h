@@ -1,0 +1,68 @@
+//===- baselines/Apps.h - library-based application kernels ---------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application-level comparators for paper Fig. 15: the Kalman filter,
+/// Gaussian process regression, and the L1-analysis solver implemented (a)
+/// with BLAS/LAPACK-style library calls (refblas, the MKL stand-in) and
+/// (b) with the smallet expression-template library (the Eigen stand-in,
+/// compile-time sizes dispatched over the benchmark sweep). Also smallet
+/// versions of the Table 3 HLACs for Fig. 14.
+///
+/// All smallet entry points return false when the requested size is not in
+/// the instantiated set (see SMALLET_FOREACH_SIZE in Apps.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BASELINES_APPS_H
+#define SLINGEN_BASELINES_APPS_H
+
+namespace slingen {
+namespace apps {
+
+//===----------------------------------------------------------------------===//
+// refblas ("library") implementations; runtime sizes, same contracts as
+// the naive versions in Naive.h.
+//===----------------------------------------------------------------------===//
+
+void kalmanRefblas(int N, int K, const double *F, const double *B,
+                   const double *Q, const double *H, const double *R,
+                   const double *u, const double *z, double *x, double *P,
+                   double *Scratch);
+
+void gprRefblas(int N, const double *K, const double *X, const double *x,
+                const double *y, double *Phi, double *Psi, double *Lambda,
+                double *Scratch);
+
+void l1aRefblas(int N, const double *W, const double *A, const double *x0,
+                const double *y, double Alpha, double Beta, double Tau,
+                double *V1, double *Z1, double *V2, double *Z2,
+                double *Scratch);
+
+//===----------------------------------------------------------------------===//
+// smallet ("template library") implementations; compile-time sizes.
+//===----------------------------------------------------------------------===//
+
+bool potrfSmallet(int N, double *A);
+bool trtriSmallet(int N, double *A);
+bool trsylSmallet(int N, const double *L, const double *U, double *C);
+bool trlyaSmallet(int N, const double *L, double *S);
+
+bool kalmanSmallet(int N, int K, const double *F, const double *B,
+                   const double *Q, const double *H, const double *R,
+                   const double *u, const double *z, double *x, double *P);
+
+bool gprSmallet(int N, const double *K, const double *X, const double *x,
+                const double *y, double *Phi, double *Psi, double *Lambda);
+
+bool l1aSmallet(int N, const double *W, const double *A, const double *x0,
+                const double *y, double Alpha, double Beta, double Tau,
+                double *V1, double *Z1, double *V2, double *Z2);
+
+} // namespace apps
+} // namespace slingen
+
+#endif // SLINGEN_BASELINES_APPS_H

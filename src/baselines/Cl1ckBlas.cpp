@@ -1,0 +1,125 @@
+//===- baselines/Cl1ckBlas.cpp --------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Cl1ckBlas.h"
+
+#include "baselines/RefBlas.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace slingen;
+
+namespace {
+
+inline double *at(double *A, int Lda, int R, int C) {
+  return A + static_cast<long>(R) * Lda + C;
+}
+inline const double *at(const double *A, int Lda, int R, int C) {
+  return A + static_cast<long>(R) * Lda + C;
+}
+
+} // namespace
+
+int cl1ck::potrfUpper(int N, int Nb, double *A, int Lda) {
+  Nb = std::max(1, Nb);
+  for (int K = 0; K < N; K += Nb) {
+    int B = std::min(Nb, N - K);
+    // Diagonal block factorization (LAPACK unblocked kernel).
+    if (int Info = refblas::potrfUpper(B, at(A, Lda, K, K), Lda))
+      return K + Info;
+    int Rest = N - K - B;
+    if (Rest == 0)
+      break;
+    // Panel solve: A(K, K+B:) = U(K,K)^-T A(K, K+B:).
+    refblas::trsmLeft(/*Upper=*/true, /*TransA=*/true, /*UnitDiag=*/false, B,
+                      Rest, at(A, Lda, K, K), Lda, at(A, Lda, K, K + B), Lda);
+    // Trailing update: A22 -= A12^T A12 (syrk-shaped, done with gemm as
+    // the library call the Cl1ck output maps to).
+    refblas::gemm(Rest, Rest, B, -1.0, at(A, Lda, K, K + B), Lda,
+                  /*TransA=*/true, at(A, Lda, K, K + B), Lda,
+                  /*TransB=*/false, 1.0, at(A, Lda, K + B, K + B), Lda);
+  }
+  // Full-storage convention: zero the strictly-lower triangle.
+  for (int I = 1; I < N; ++I)
+    for (int J = 0; J < I; ++J)
+      *at(A, Lda, I, J) = 0.0;
+  return 0;
+}
+
+void cl1ck::trtriLower(int N, int Nb, double *A, int Lda) {
+  Nb = std::max(1, Nb);
+  // Right-looking: invert the diagonal block, then propagate to the panel
+  // below using the already-inverted leading part.
+  for (int K = 0; K < N; K += Nb) {
+    int B = std::min(Nb, N - K);
+    // Panel below and to the left: A(K:K+B, 0:K) = -inv(A_KK) * A(K:K+B,
+    // 0:K) * inv(A(0:K,0:K)) is handled incrementally: at step K all
+    // columns < K are already final, so only the new block row needs
+    // updating: X21 = -inv(A22) A21 X11.
+    refblas::trsmLeft(/*Upper=*/false, /*TransA=*/false, /*UnitDiag=*/false,
+                      B, K, at(A, Lda, K, K), Lda, at(A, Lda, K, 0), Lda);
+    for (int I = 0; I < B; ++I)
+      for (int J = 0; J < K; ++J)
+        *at(A, Lda, K + I, J) = -*at(A, Lda, K + I, J);
+    refblas::trtriLower(B, at(A, Lda, K, K), Lda);
+    // A(K:K+B, 0:K) currently holds -inv(A22) A21 (pre-multiplied); it
+    // still needs the right factor X11, which is already in place:
+    refblas::trmmRight(/*Upper=*/false, /*TransA=*/false, /*UnitDiag=*/false,
+                       B, K, at(A, Lda, 0, 0), Lda, at(A, Lda, K, 0), Lda);
+  }
+}
+
+void cl1ck::trsylLowerUpper(int M, int N, int Nb, const double *L, int Ldl,
+                            const double *U, int Ldu, double *C, int Ldc) {
+  Nb = std::max(1, Nb);
+  // Block-forward over rows of X (L lower): solve a row panel against the
+  // full U with the library kernel, then update the rows below with gemm.
+  for (int K = 0; K < M; K += Nb) {
+    int B = std::min(Nb, M - K);
+    refblas::trsylLowerUpper(B, N, at(L, Ldl, K, K), Ldl, U, Ldu,
+                             at(C, Ldc, K, 0), Ldc);
+    int Rest = M - K - B;
+    if (Rest > 0)
+      refblas::gemm(Rest, N, B, -1.0, at(L, Ldl, K + B, K), Ldl, false,
+                    at(C, Ldc, K, 0), Ldc, false, 1.0, at(C, Ldc, K + B, 0),
+                    Ldc);
+  }
+}
+
+void cl1ck::trlyaLower(int N, int Nb, const double *L, int Ldl, double *S,
+                       int Lds) {
+  Nb = std::max(1, Nb);
+  std::vector<double> UBuf;
+  for (int K = 0; K < N; K += Nb) {
+    int B = std::min(Nb, N - K);
+    // Diagonal Lyapunov block.
+    refblas::trlyaLower(B, at(L, Ldl, K, K), Ldl, at(S, Lds, K, K), Lds);
+    int Rest = N - K - B;
+    if (Rest == 0)
+      break;
+    // Subdiagonal panel: L22 X21 + X21 L11^T = S21 - L21 X11.
+    refblas::gemm(Rest, B, B, -1.0, at(L, Ldl, K + B, K), Ldl, false,
+                  at(S, Lds, K, K), Lds, false, 1.0, at(S, Lds, K + B, K),
+                  Lds);
+    UBuf.assign(static_cast<size_t>(B) * B, 0.0);
+    for (int I = 0; I < B; ++I)
+      for (int J = 0; J < B; ++J)
+        UBuf[I * B + J] = *at(L, Ldl, K + J, K + I);
+    refblas::trsylLowerUpper(Rest, B, at(L, Ldl, K + B, K + B), Ldl,
+                             UBuf.data(), B, at(S, Lds, K + B, K), Lds);
+    // Mirror the panel (full storage) and update the trailing block.
+    for (int I = 0; I < Rest; ++I)
+      for (int J = 0; J < B; ++J)
+        *at(S, Lds, K + J, K + B + I) = *at(S, Lds, K + B + I, K + J);
+    refblas::gemm(Rest, Rest, B, -1.0, at(L, Ldl, K + B, K), Ldl, false,
+                  at(S, Lds, K, K + B), Lds, false, 1.0,
+                  at(S, Lds, K + B, K + B), Lds);
+    refblas::gemm(Rest, Rest, B, -1.0, at(S, Lds, K + B, K), Lds, false,
+                  at(L, Ldl, K + B, K), Ldl, true, 1.0,
+                  at(S, Lds, K + B, K + B), Lds);
+  }
+}

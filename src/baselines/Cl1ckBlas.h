@@ -1,0 +1,39 @@
+//===- baselines/Cl1ckBlas.h - blocked FLAME algorithms over BLAS ---------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "Cl1ck + MKL" comparator of paper Fig. 14 (right columns): the
+/// blocked algorithms Cl1ck synthesizes, implemented directly on top of the
+/// BLAS/LAPACK-style library (refblas here), with an explicit block size
+/// nb. The paper measures nb in {nu, n/2, n}; the benchmarks sweep the same
+/// values. Row-major, full-storage convention, leading dimensions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BASELINES_CL1CKBLAS_H
+#define SLINGEN_BASELINES_CL1CKBLAS_H
+
+namespace slingen {
+namespace cl1ck {
+
+/// Blocked right-looking Cholesky A = U^T U (Cl1ck variant 3).
+int potrfUpper(int N, int Nb, double *A, int Lda);
+
+/// Blocked lower-triangular inversion (Cl1ck variant with trailing
+/// updates).
+void trtriLower(int N, int Nb, double *A, int Lda);
+
+/// Blocked triangular Sylvester solver L X + X U = C.
+void trsylLowerUpper(int M, int N, int Nb, const double *L, int Ldl,
+                     const double *U, int Ldu, double *C, int Ldc);
+
+/// Blocked triangular Lyapunov solver L X + X L^T = S, X symmetric.
+void trlyaLower(int N, int Nb, const double *L, int Ldl, double *S, int Lds);
+
+} // namespace cl1ck
+} // namespace slingen
+
+#endif // SLINGEN_BASELINES_CL1CKBLAS_H

@@ -1,0 +1,309 @@
+//===- baselines/Naive.cpp ------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Naive.h"
+
+#include <cmath>
+
+using namespace slingen;
+
+void naive::matmul(int M, int N, int K, const double *A, const double *B,
+                   double *C) {
+  for (int I = 0; I < M; ++I)
+    for (int J = 0; J < N; ++J) {
+      double S = 0.0;
+      for (int P = 0; P < K; ++P)
+        S += A[I * K + P] * B[P * N + J];
+      C[I * N + J] = S;
+    }
+}
+
+void naive::matmulNT(int M, int N, int K, const double *A, const double *B,
+                     double *C) {
+  for (int I = 0; I < M; ++I)
+    for (int J = 0; J < N; ++J) {
+      double S = 0.0;
+      for (int P = 0; P < K; ++P)
+        S += A[I * K + P] * B[J * K + P];
+      C[I * N + J] = S;
+    }
+}
+
+void naive::matmulTN(int M, int N, int K, const double *A, const double *B,
+                     double *C) {
+  for (int I = 0; I < M; ++I)
+    for (int J = 0; J < N; ++J) {
+      double S = 0.0;
+      for (int P = 0; P < K; ++P)
+        S += A[P * M + I] * B[P * N + J];
+      C[I * N + J] = S;
+    }
+}
+
+int naive::potrfUpper(int N, double *A) {
+  for (int K = 0; K < N; ++K) {
+    double D = A[K * N + K];
+    for (int P = 0; P < K; ++P)
+      D -= A[P * N + K] * A[P * N + K];
+    if (D <= 0.0)
+      return K + 1;
+    D = std::sqrt(D);
+    A[K * N + K] = D;
+    for (int J = K + 1; J < N; ++J) {
+      double S = A[K * N + J];
+      for (int P = 0; P < K; ++P)
+        S -= A[P * N + K] * A[P * N + J];
+      A[K * N + J] = S / D;
+    }
+  }
+  for (int I = 1; I < N; ++I)
+    for (int J = 0; J < I; ++J)
+      A[I * N + J] = 0.0;
+  return 0;
+}
+
+void naive::trtriLower(int N, double *A) {
+  for (int J = 0; J < N; ++J) {
+    A[J * N + J] = 1.0 / A[J * N + J];
+    for (int I = J + 1; I < N; ++I) {
+      double S = 0.0;
+      for (int P = J; P < I; ++P)
+        S += A[I * N + P] * A[P * N + J];
+      A[I * N + J] = -S / A[I * N + I];
+    }
+  }
+}
+
+void naive::trsylLowerUpper(int N, const double *L, const double *U,
+                            double *C) {
+  // Element-wise forward substitution: X(i,j) depends on rows < i and
+  // columns < j.
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      double S = C[I * N + J];
+      for (int P = 0; P < I; ++P)
+        S -= L[I * N + P] * C[P * N + J];
+      for (int P = 0; P < J; ++P)
+        S -= C[I * N + P] * U[P * N + J];
+      C[I * N + J] = S / (L[I * N + I] + U[J * N + J]);
+    }
+}
+
+void naive::trlyaLower(int N, const double *L, double *S) {
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J <= I; ++J) {
+      double V = S[I * N + J];
+      for (int P = 0; P < I; ++P)
+        V -= L[I * N + P] * S[P * N + J];
+      for (int P = 0; P < J; ++P)
+        V -= S[I * N + P] * L[J * N + P];
+      V /= L[I * N + I] + L[J * N + J];
+      S[I * N + J] = V;
+      S[J * N + I] = V;
+    }
+}
+
+namespace {
+
+void trsvLowerT(int N, const double *L, double *X) {
+  // Solves L^T x = b in place (backward substitution over L's columns).
+  for (int I = N - 1; I >= 0; --I) {
+    double S = X[I];
+    for (int P = I + 1; P < N; ++P)
+      S -= L[P * N + I] * X[P];
+    X[I] = S / L[I * N + I];
+  }
+}
+
+void trsvLower(int N, const double *L, double *X) {
+  for (int I = 0; I < N; ++I) {
+    double S = X[I];
+    for (int P = 0; P < I; ++P)
+      S -= L[I * N + P] * X[P];
+    X[I] = S / L[I * N + I];
+  }
+}
+
+int cholLower(int N, double *A) {
+  // A = L L^T, L in the lower triangle, strictly-upper zeroed.
+  for (int J = 0; J < N; ++J) {
+    double D = A[J * N + J];
+    for (int P = 0; P < J; ++P)
+      D -= A[J * N + P] * A[J * N + P];
+    if (D <= 0.0)
+      return J + 1;
+    D = std::sqrt(D);
+    A[J * N + J] = D;
+    for (int I = J + 1; I < N; ++I) {
+      double S = A[I * N + J];
+      for (int P = 0; P < J; ++P)
+        S -= A[I * N + P] * A[J * N + P];
+      A[I * N + J] = S / D;
+    }
+  }
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      A[I * N + J] = 0.0;
+  return 0;
+}
+
+} // namespace
+
+void naive::kalman(int N, int K, const double *F, const double *B,
+                   const double *Q, const double *H, const double *R,
+                   const double *u, const double *z, double *x, double *P,
+                   double *Scratch) {
+  double *y = Scratch;          // N
+  double *Y = y + N;            // N*N
+  double *T = Y + N * N;        // N*N (F*P, later M2*M5)
+  double *v = T + N * N;        // K  (v0/v1/v2 in place)
+  double *M1 = v + K;           // K*N
+  double *M2 = M1 + K * N;      // N*K
+  double *M3 = M2 + N * K;      // K*K (U overwrites)
+  double *M4 = M3 + K * K;      // K*N (M5 in place)
+
+  // y = F x + B u.
+  for (int I = 0; I < N; ++I) {
+    double S = 0.0;
+    for (int P2 = 0; P2 < N; ++P2)
+      S += F[I * N + P2] * x[P2] + B[I * N + P2] * u[P2];
+    y[I] = S;
+  }
+  // Y = F P F^T + Q.
+  matmul(N, N, N, F, P, T);
+  matmulNT(N, N, N, T, F, Y);
+  for (int I = 0; I < N * N; ++I)
+    Y[I] += Q[I];
+  // v0 = z - H y.
+  for (int I = 0; I < K; ++I) {
+    double S = z[I];
+    for (int P2 = 0; P2 < N; ++P2)
+      S -= H[I * N + P2] * y[P2];
+    v[I] = S;
+  }
+  // M1 = H Y; M2 = Y H^T; M3 = M1 H^T + R.
+  matmul(K, N, N, H, Y, M1);
+  matmulNT(N, K, N, Y, H, M2);
+  matmulNT(K, K, N, M1, H, M3);
+  for (int I = 0; I < K * K; ++I)
+    M3[I] += R[I];
+  // U^T U = M3: with row-major storage an upper factorization of M3 viewed
+  // as L L^T on the transpose; use the lower Cholesky of M3 (symmetric) and
+  // treat U = Lc^T implicitly in the solves below.
+  cholLower(K, M3);
+  // U^T v1 = v0  ->  Lc v1 = v0 (U^T = Lc).
+  trsvLower(K, M3, v);
+  // U v2 = v1    ->  Lc^T v2 = v1.
+  trsvLowerT(K, M3, v);
+  // U^T M4 = M1; U M5 = M4 (column-wise solves).
+  for (int I = 0; I < K * N; ++I)
+    M4[I] = M1[I];
+  for (int C = 0; C < N; ++C) {
+    // Forward then backward substitution on column C of M4.
+    for (int I = 0; I < K; ++I) {
+      double S = M4[I * N + C];
+      for (int P2 = 0; P2 < I; ++P2)
+        S -= M3[I * K + P2] * M4[P2 * N + C];
+      M4[I * N + C] = S / M3[I * K + I];
+    }
+    for (int I = K - 1; I >= 0; --I) {
+      double S = M4[I * N + C];
+      for (int P2 = I + 1; P2 < K; ++P2)
+        S -= M3[P2 * K + I] * M4[P2 * N + C];
+      M4[I * N + C] = S / M3[I * K + I];
+    }
+  }
+  // x = y + M2 v2.
+  for (int I = 0; I < N; ++I) {
+    double S = y[I];
+    for (int P2 = 0; P2 < K; ++P2)
+      S += M2[I * K + P2] * v[P2];
+    x[I] = S;
+  }
+  // P = Y - M2 M5.
+  matmul(N, N, K, M2, M4, T);
+  for (int I = 0; I < N * N; ++I)
+    P[I] = Y[I] - T[I];
+}
+
+void naive::gpr(int N, const double *K, const double *X, const double *x,
+                const double *y, double *Phi, double *Psi, double *Lambda,
+                double *Scratch) {
+  double *L = Scratch;     // N*N
+  double *t = L + N * N;   // N (t0 then t1)
+  double *k = t + N;       // N
+  double *v = k + N;       // N
+
+  for (int I = 0; I < N * N; ++I)
+    L[I] = K[I];
+  cholLower(N, L);
+  // t0 = L^-1 y; t1 = L^-T t0.
+  for (int I = 0; I < N; ++I)
+    t[I] = y[I];
+  trsvLower(N, L, t);
+  trsvLowerT(N, L, t);
+  // k = X x.
+  for (int I = 0; I < N; ++I) {
+    double S = 0.0;
+    for (int P = 0; P < N; ++P)
+      S += X[I * N + P] * x[P];
+    k[I] = S;
+  }
+  // phi = k^T t1.
+  double Ph = 0.0;
+  for (int I = 0; I < N; ++I)
+    Ph += k[I] * t[I];
+  *Phi = Ph;
+  // v = L^-1 k.
+  for (int I = 0; I < N; ++I)
+    v[I] = k[I];
+  trsvLower(N, L, v);
+  // psi = x^T x - v^T v.
+  double Ps = 0.0;
+  for (int I = 0; I < N; ++I)
+    Ps += x[I] * x[I] - v[I] * v[I];
+  *Psi = Ps;
+  // lambda = y^T t1.
+  double La = 0.0;
+  for (int I = 0; I < N; ++I)
+    La += y[I] * t[I];
+  *Lambda = La;
+}
+
+void naive::l1a(int N, const double *W, const double *A, const double *x0,
+                const double *y, double Alpha, double Beta, double Tau,
+                double *V1, double *Z1, double *V2, double *Z2,
+                double *Scratch) {
+  double *y1 = Scratch;   // N
+  double *y2 = y1 + N;    // N
+  double *x1 = y2 + N;    // N
+  double *x = x1 + N;     // N
+
+  for (int I = 0; I < N; ++I) {
+    y1[I] = Alpha * V1[I] + Tau * Z1[I];
+    y2[I] = Alpha * V2[I] + Tau * Z2[I];
+  }
+  // x1 = W^T y1 - A^T y2; x = x0 + beta x1.
+  for (int I = 0; I < N; ++I) {
+    double S = 0.0;
+    for (int P = 0; P < N; ++P)
+      S += W[P * N + I] * y1[P] - A[P * N + I] * y2[P];
+    x1[I] = S;
+    x[I] = x0[I] + Beta * S;
+  }
+  // z1 = y1 - W x; z2 = y2 - (y - A x); v = alpha v + tau z (new z).
+  for (int I = 0; I < N; ++I) {
+    double S1 = y1[I], S2 = y2[I] - y[I];
+    for (int P = 0; P < N; ++P) {
+      S1 -= W[I * N + P] * x[P];
+      S2 += A[I * N + P] * x[P];
+    }
+    Z1[I] = S1;
+    Z2[I] = S2;
+    V1[I] = Alpha * V1[I] + Tau * S1;
+    V2[I] = Alpha * V2[I] + Tau * S2;
+  }
+}

@@ -1,0 +1,66 @@
+//===- baselines/Naive.h - straightforward handwritten C ------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "straightforward C" comparator of the paper's Sec. 4.1: scalar,
+/// handwritten, loop-based code a domain programmer would write directly
+/// from the math, compiled by the optimizing C++ compiler with native
+/// flags (the stand-in for icc / clang+Polly; see DESIGN.md). Sizes are
+/// runtime parameters; no blocking, no manual vectorization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BASELINES_NAIVE_H
+#define SLINGEN_BASELINES_NAIVE_H
+
+namespace slingen {
+namespace naive {
+
+/// C = A * B (M x K times K x N), row-major contiguous.
+void matmul(int M, int N, int K, const double *A, const double *B,
+            double *C);
+/// C = A * B^T.
+void matmulNT(int M, int N, int K, const double *A, const double *B,
+              double *C);
+/// C = A^T * B.
+void matmulTN(int M, int N, int K, const double *A, const double *B,
+              double *C);
+
+/// A = U^T U in place (upper, strictly-lower zeroed). Returns 0 on success.
+int potrfUpper(int N, double *A);
+
+/// In-place lower-triangular inverse.
+void trtriLower(int N, double *A);
+
+/// L X + X U = C in place of C.
+void trsylLowerUpper(int N, const double *L, const double *U, double *C);
+
+/// L X + X L^T = S in place of S (X symmetric, both triangles written).
+void trlyaLower(int N, const double *L, double *S);
+
+/// One Kalman filter iteration (paper Fig. 13a); all matrices N x N except
+/// H (K x N), R (K x K), z (K). x and P are updated in place. Scratch must
+/// hold at least 6*N*N + 3*N doubles.
+void kalman(int N, int K, const double *F, const double *B, const double *Q,
+            const double *H, const double *R, const double *u,
+            const double *z, double *x, double *P, double *Scratch);
+
+/// Gaussian process regression (paper Fig. 13b). Outputs phi, psi, lambda.
+/// Scratch must hold at least N*N + 4*N doubles.
+void gpr(int N, const double *K, const double *X, const double *x,
+         const double *y, double *Phi, double *Psi, double *Lambda,
+         double *Scratch);
+
+/// One iteration of the L1-analysis solver (paper Fig. 13c); v1, z1, v2,
+/// z2 updated in place. Scratch must hold at least 4*N doubles.
+void l1a(int N, const double *W, const double *A, const double *x0,
+         const double *y, double Alpha, double Beta, double Tau, double *V1,
+         double *Z1, double *V2, double *Z2, double *Scratch);
+
+} // namespace naive
+} // namespace slingen
+
+#endif // SLINGEN_BASELINES_NAIVE_H

@@ -1,0 +1,141 @@
+//===- baselines/Recursive.cpp --------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Recursive.h"
+
+#include "baselines/RefBlas.h"
+
+using namespace slingen;
+
+int recursive::potrfUpper(int N, double *A, int Lda) {
+  if (N <= BaseSize)
+    return refblas::potrfUpper(N, A, Lda);
+  int N1 = N / 2, N2 = N - N1;
+  double *A11 = A;
+  double *A12 = A + N1;
+  double *A21 = A + static_cast<long>(N1) * Lda;
+  double *A22 = A21 + N1;
+  if (int Info = potrfUpper(N1, A11, Lda))
+    return Info;
+  // A12 = U11^-T A12.
+  refblas::trsmLeft(/*Upper=*/true, /*TransA=*/true, /*UnitDiag=*/false, N1,
+                    N2, A11, Lda, A12, Lda);
+  // A22 -= A12^T A12 (only the upper triangle matters; the recursion's
+  // base case re-zeroes the strictly-lower part).
+  refblas::gemm(N2, N2, N1, -1.0, A12, Lda, /*TransA=*/true, A12, Lda,
+                /*TransB=*/false, 1.0, A22, Lda);
+  if (int Info = potrfUpper(N2, A22, Lda))
+    return Info ? Info + N1 : 0;
+  // Zero the strictly-lower block (full-storage convention).
+  for (int I = 0; I < N2; ++I)
+    for (int J = 0; J < N1; ++J)
+      A21[static_cast<long>(I) * Lda + J] = 0.0;
+  return 0;
+}
+
+void recursive::trtriLower(int N, double *A, int Lda) {
+  if (N <= BaseSize) {
+    refblas::trtriLower(N, A, Lda);
+    return;
+  }
+  int N1 = N / 2, N2 = N - N1;
+  double *A11 = A;
+  double *A21 = A + static_cast<long>(N1) * Lda;
+  double *A22 = A21 + N1;
+  // inv([A11 0; A21 A22]) = [X11 0; -X22 A21 X11, X22].
+  trtriLower(N1, A11, Lda);
+  trtriLower(N2, A22, Lda);
+  // A21 := -A22 * A21 * A11 (both factors already inverted).
+  refblas::trmmLeft(/*Upper=*/false, /*TransA=*/false, /*UnitDiag=*/false,
+                    N2, N1, A22, Lda, A21, Lda);
+  refblas::trmmRight(/*Upper=*/false, /*TransA=*/false, /*UnitDiag=*/false,
+                     N2, N1, A11, Lda, A21, Lda);
+  for (int I = 0; I < N2; ++I)
+    for (int J = 0; J < N1; ++J)
+      A21[static_cast<long>(I) * Lda + J] = -A21[static_cast<long>(I) * Lda + J];
+}
+
+void recursive::trsylLowerUpper(int M, int N, const double *L, int Ldl,
+                                const double *U, int Ldu, double *C,
+                                int Ldc) {
+  if (M <= BaseSize && N <= BaseSize) {
+    refblas::trsylLowerUpper(M, N, L, Ldl, U, Ldu, C, Ldc);
+    return;
+  }
+  if (M >= N) {
+    // Split the rows: [L11 0; L21 L22].
+    int M1 = M / 2, M2 = M - M1;
+    const double *L11 = L;
+    const double *L21 = L + static_cast<long>(M1) * Ldl;
+    const double *L22 = L21 + M1;
+    double *C1 = C;
+    double *C2 = C + static_cast<long>(M1) * Ldc;
+    trsylLowerUpper(M1, N, L11, Ldl, U, Ldu, C1, Ldc);
+    // C2 -= L21 X1.
+    refblas::gemm(M2, N, M1, -1.0, L21, Ldl, false, C1, Ldc, false, 1.0, C2,
+                  Ldc);
+    trsylLowerUpper(M2, N, L22, Ldl, U, Ldu, C2, Ldc);
+    return;
+  }
+  // Split the columns: [U11 U12; 0 U22].
+  int N1 = N / 2, N2 = N - N1;
+  const double *U11 = U;
+  const double *U12 = U + N1;
+  const double *U22 = U + static_cast<long>(N1) * Ldu + N1;
+  double *C1 = C;
+  double *C2 = C + N1;
+  trsylLowerUpper(M, N1, L, Ldl, U11, Ldu, C1, Ldc);
+  // C2 -= X1 U12.
+  refblas::gemm(M, N2, N1, -1.0, C1, Ldc, false, U12, Ldu, false, 1.0, C2,
+                Ldc);
+  trsylLowerUpper(M, N2, L, Ldl, U22, Ldu, C2, Ldc);
+}
+
+void recursive::trlyaLower(int N, const double *L, int Ldl, double *S,
+                           int Lds) {
+  if (N <= BaseSize) {
+    refblas::trlyaLower(N, L, Ldl, S, Lds);
+    return;
+  }
+  // [L11 0; L21 L22] X + X [L11^T L21^T; 0 L22^T] = S, X symmetric:
+  //   L11 X11 + X11 L11^T = S11                       (Lyapunov)
+  //   L22 X21 + X21 L11^T = S21 - L21 X11             (Sylvester)
+  //   L22 X22 + X22 L22^T = S22 - L21 X12 - X21 L21^T (Lyapunov)
+  int N1 = N / 2, N2 = N - N1;
+  const double *L11 = L;
+  const double *L21 = L + static_cast<long>(N1) * Ldl;
+  const double *L22 = L21 + N1;
+  double *S11 = S;
+  double *S12 = S + N1;
+  double *S21 = S + static_cast<long>(N1) * Lds;
+  double *S22 = S21 + N1;
+
+  trlyaLower(N1, L11, Ldl, S11, Lds);
+  // S21 -= L21 X11; then solve L22 X21 + X21 L11^T = S21. With row-major
+  // storage this is a Sylvester equation with coefficients L22 (lower) and
+  // L11^T (upper).
+  refblas::gemm(N2, N1, N1, -1.0, L21, Ldl, false, S11, Lds, false, 1.0, S21,
+                Lds);
+  // Build U = L11^T once (refblas trsyl wants an explicit upper factor).
+  {
+    // Transposing in a small local buffer keeps refblas interfaces simple.
+    thread_local double UBuf[256 * 256];
+    for (int I = 0; I < N1; ++I)
+      for (int J = 0; J < N1; ++J)
+        UBuf[I * N1 + J] = L11[static_cast<long>(J) * Ldl + I];
+    refblas::trsylLowerUpper(N2, N1, L22, Ldl, UBuf, N1, S21, Lds);
+  }
+  // Mirror X21 into S12 (full storage).
+  for (int I = 0; I < N2; ++I)
+    for (int J = 0; J < N1; ++J)
+      S12[static_cast<long>(J) * Lds + I] = S21[static_cast<long>(I) * Lds + J];
+  // S22 -= L21 X12 + X21 L21^T.
+  refblas::gemm(N2, N2, N1, -1.0, L21, Ldl, false, S12, Lds, false, 1.0, S22,
+                Lds);
+  refblas::gemm(N2, N2, N1, -1.0, S21, Lds, false, L21, Ldl, true, 1.0, S22,
+                Lds);
+  trlyaLower(N2, L22, Ldl, S22, Lds);
+}

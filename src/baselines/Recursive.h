@@ -1,0 +1,43 @@
+//===- baselines/Recursive.h - recursive blocked solvers ------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive blocked implementations of the Table 3 HLACs in the style of
+/// ReLAPACK (potrf, trtri) and RECSY (trsyl, trlya): each operation splits
+/// its operands in half, recurses on the halves, and glues them with large
+/// BLAS-3 updates. These are the paper's ReLAPACK and RECSY comparators
+/// (see DESIGN.md substitutions). Row-major with leading dimensions,
+/// full-storage convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BASELINES_RECURSIVE_H
+#define SLINGEN_BASELINES_RECURSIVE_H
+
+namespace slingen {
+namespace recursive {
+
+/// Crossover below which recursion stops and the unblocked kernel runs.
+inline constexpr int BaseSize = 8;
+
+/// A = U^T U; U overwrites the upper triangle, strictly-lower zeroed.
+/// Returns 0 on success (same contract as refblas::potrfUpper).
+int potrfUpper(int N, double *A, int Lda);
+
+/// In-place inverse of a lower-triangular matrix.
+void trtriLower(int N, double *A, int Lda);
+
+/// L X + X U = C solved for X in place of C (L lower MxM, U upper NxN).
+void trsylLowerUpper(int M, int N, const double *L, int Ldl, const double *U,
+                     int Ldu, double *C, int Ldc);
+
+/// L X + X L^T = S solved for symmetric X in place of S (L lower NxN).
+void trlyaLower(int N, const double *L, int Ldl, double *S, int Lds);
+
+} // namespace recursive
+} // namespace slingen
+
+#endif // SLINGEN_BASELINES_RECURSIVE_H

@@ -1,0 +1,312 @@
+//===- baselines/RefBlas.cpp ----------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RefBlas.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace slingen {
+namespace refblas {
+
+namespace {
+inline double elem(const double *A, int Lda, int R, int C, bool Trans) {
+  return Trans ? A[C * Lda + R] : A[R * Lda + C];
+}
+} // namespace
+
+void gemm(int M, int N, int K, double Alpha, const double *A, int Lda,
+          bool TransA, const double *B, int Ldb, bool TransB, double Beta,
+          double *C, int Ldc) {
+  for (int I = 0; I < M; ++I) {
+    double *CRow = C + I * Ldc;
+    if (Beta == 0.0)
+      for (int J = 0; J < N; ++J)
+        CRow[J] = 0.0;
+    else if (Beta != 1.0)
+      for (int J = 0; J < N; ++J)
+        CRow[J] *= Beta;
+  }
+  if (Alpha == 0.0)
+    return;
+  // ikj order so the innermost loop streams rows of B and C (row-major);
+  // with -O3 -march=native this auto-vectorizes, which is the level of
+  // optimization expected from a decent portable library.
+  for (int I = 0; I < M; ++I) {
+    double *CRow = C + I * Ldc;
+    for (int P = 0; P < K; ++P) {
+      double AV = Alpha * elem(A, Lda, I, P, TransA);
+      if (AV == 0.0)
+        continue;
+      if (!TransB) {
+        const double *BRow = B + P * Ldb;
+        for (int J = 0; J < N; ++J)
+          CRow[J] += AV * BRow[J];
+      } else {
+        for (int J = 0; J < N; ++J)
+          CRow[J] += AV * B[J * Ldb + P];
+      }
+    }
+  }
+}
+
+void gemv(int M, int N, double Alpha, const double *A, int Lda, bool TransA,
+          const double *X, double Beta, double *Y) {
+  int Rows = TransA ? N : M;
+  int Inner = TransA ? M : N;
+  for (int I = 0; I < Rows; ++I) {
+    double Acc = 0.0;
+    for (int J = 0; J < Inner; ++J)
+      Acc += elem(A, Lda, I, J, TransA) * X[J];
+    Y[I] = Alpha * Acc + (Beta == 0.0 ? 0.0 : Beta * Y[I]);
+  }
+}
+
+double dot(int N, const double *X, const double *Y) {
+  double Acc = 0.0;
+  for (int I = 0; I < N; ++I)
+    Acc += X[I] * Y[I];
+  return Acc;
+}
+
+void axpy(int N, double Alpha, const double *X, double *Y) {
+  for (int I = 0; I < N; ++I)
+    Y[I] += Alpha * X[I];
+}
+
+void trsmLeft(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+              const double *A, int Lda, double *B, int Ldb) {
+  // Solving op(A) X = B. Effective orientation of op(A):
+  // Upper ^ TransA == 0 -> forward substitution from the top when lower.
+  bool EffLower = Upper == TransA; // lower triangular after op
+  if (EffLower) {
+    for (int I = 0; I < M; ++I) {
+      for (int P = 0; P < I; ++P) {
+        double L = elem(A, Lda, I, P, TransA);
+        if (L != 0.0)
+          for (int J = 0; J < N; ++J)
+            B[I * Ldb + J] -= L * B[P * Ldb + J];
+      }
+      if (!UnitDiag) {
+        double D = elem(A, Lda, I, I, TransA);
+        for (int J = 0; J < N; ++J)
+          B[I * Ldb + J] /= D;
+      }
+    }
+  } else {
+    for (int I = M - 1; I >= 0; --I) {
+      for (int P = I + 1; P < M; ++P) {
+        double U = elem(A, Lda, I, P, TransA);
+        if (U != 0.0)
+          for (int J = 0; J < N; ++J)
+            B[I * Ldb + J] -= U * B[P * Ldb + J];
+      }
+      if (!UnitDiag) {
+        double D = elem(A, Lda, I, I, TransA);
+        for (int J = 0; J < N; ++J)
+          B[I * Ldb + J] /= D;
+      }
+    }
+  }
+}
+
+void trsmRight(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+               const double *A, int Lda, double *B, int Ldb) {
+  // Solving X op(A) = B, i.e. for each row x of B: x op(A) = b.
+  bool EffUpper = Upper != TransA; // upper triangular after op
+  if (EffUpper) {
+    for (int J = 0; J < N; ++J) {
+      for (int Q = 0; Q < J; ++Q) {
+        double U = elem(A, Lda, Q, J, TransA);
+        if (U != 0.0)
+          for (int I = 0; I < M; ++I)
+            B[I * Ldb + J] -= B[I * Ldb + Q] * U;
+      }
+      if (!UnitDiag) {
+        double D = elem(A, Lda, J, J, TransA);
+        for (int I = 0; I < M; ++I)
+          B[I * Ldb + J] /= D;
+      }
+    }
+  } else {
+    for (int J = N - 1; J >= 0; --J) {
+      for (int Q = J + 1; Q < N; ++Q) {
+        double L = elem(A, Lda, Q, J, TransA);
+        if (L != 0.0)
+          for (int I = 0; I < M; ++I)
+            B[I * Ldb + J] -= B[I * Ldb + Q] * L;
+      }
+      if (!UnitDiag) {
+        double D = elem(A, Lda, J, J, TransA);
+        for (int I = 0; I < M; ++I)
+          B[I * Ldb + J] /= D;
+      }
+    }
+  }
+}
+
+void trmmLeft(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+              const double *A, int Lda, double *B, int Ldb) {
+  bool EffUpper = Upper != TransA;
+  if (EffUpper) {
+    // Row I of the result only reads rows >= I of B: go top-down.
+    for (int I = 0; I < M; ++I) {
+      for (int J = 0; J < N; ++J) {
+        double Acc = UnitDiag ? B[I * Ldb + J]
+                              : elem(A, Lda, I, I, TransA) * B[I * Ldb + J];
+        for (int P = I + 1; P < M; ++P)
+          Acc += elem(A, Lda, I, P, TransA) * B[P * Ldb + J];
+        B[I * Ldb + J] = Acc;
+      }
+    }
+  } else {
+    for (int I = M - 1; I >= 0; --I) {
+      for (int J = 0; J < N; ++J) {
+        double Acc = UnitDiag ? B[I * Ldb + J]
+                              : elem(A, Lda, I, I, TransA) * B[I * Ldb + J];
+        for (int P = 0; P < I; ++P)
+          Acc += elem(A, Lda, I, P, TransA) * B[P * Ldb + J];
+        B[I * Ldb + J] = Acc;
+      }
+    }
+  }
+}
+
+void trmmRight(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+               const double *A, int Lda, double *B, int Ldb) {
+  bool EffUpper = Upper != TransA;
+  if (EffUpper) {
+    // Column J of the result only reads columns <= J of B: go right-left.
+    for (int I = 0; I < M; ++I) {
+      for (int J = N - 1; J >= 0; --J) {
+        double Acc = UnitDiag ? B[I * Ldb + J]
+                              : B[I * Ldb + J] * elem(A, Lda, J, J, TransA);
+        for (int P = 0; P < J; ++P)
+          Acc += B[I * Ldb + P] * elem(A, Lda, P, J, TransA);
+        B[I * Ldb + J] = Acc;
+      }
+    }
+  } else {
+    for (int I = 0; I < M; ++I) {
+      for (int J = 0; J < N; ++J) {
+        double Acc = UnitDiag ? B[I * Ldb + J]
+                              : B[I * Ldb + J] * elem(A, Lda, J, J, TransA);
+        for (int P = J + 1; P < N; ++P)
+          Acc += B[I * Ldb + P] * elem(A, Lda, P, J, TransA);
+        B[I * Ldb + J] = Acc;
+      }
+    }
+  }
+}
+
+int potrfUpper(int N, double *A, int Lda) {
+  for (int I = 0; I < N; ++I) {
+    double D = A[I * Lda + I];
+    for (int P = 0; P < I; ++P)
+      D -= A[P * Lda + I] * A[P * Lda + I];
+    if (D <= 0.0)
+      return I + 1;
+    D = std::sqrt(D);
+    A[I * Lda + I] = D;
+    for (int J = I + 1; J < N; ++J) {
+      double V = A[I * Lda + J];
+      for (int P = 0; P < I; ++P)
+        V -= A[P * Lda + I] * A[P * Lda + J];
+      A[I * Lda + J] = V / D;
+    }
+    // Full-storage convention: zero the non-stored triangle.
+    for (int J = 0; J < I; ++J)
+      A[I * Lda + J] = 0.0;
+  }
+  return 0;
+}
+
+int potrfLower(int N, double *A, int Lda) {
+  for (int J = 0; J < N; ++J) {
+    double D = A[J * Lda + J];
+    for (int P = 0; P < J; ++P)
+      D -= A[J * Lda + P] * A[J * Lda + P];
+    if (D <= 0.0)
+      return J + 1;
+    D = std::sqrt(D);
+    A[J * Lda + J] = D;
+    for (int I = J + 1; I < N; ++I) {
+      double V = A[I * Lda + J];
+      for (int P = 0; P < J; ++P)
+        V -= A[I * Lda + P] * A[J * Lda + P];
+      A[I * Lda + J] = V / D;
+    }
+    for (int I = 0; I < J; ++I)
+      A[I * Lda + J] = 0.0;
+  }
+  return 0;
+}
+
+void trtriLower(int N, double *A, int Lda) {
+  // Column-oriented in-place inversion: X L = I column by column, or
+  // equivalently L X = I solved by forward substitution per column.
+  for (int J = 0; J < N; ++J) {
+    double DJ = 1.0 / A[J * Lda + J];
+    A[J * Lda + J] = DJ;
+    for (int I = J + 1; I < N; ++I) {
+      double Acc = 0.0;
+      for (int P = J; P < I; ++P)
+        Acc += A[I * Lda + P] * A[P * Lda + J];
+      A[I * Lda + J] = -Acc / A[I * Lda + I];
+    }
+  }
+}
+
+void trtriUpper(int N, double *A, int Lda) {
+  // Columns right-to-left so the U entries a column reads (columns < J)
+  // have not been overwritten with inverse entries yet.
+  for (int J = N - 1; J >= 0; --J) {
+    double DJ = 1.0 / A[J * Lda + J];
+    A[J * Lda + J] = DJ;
+    for (int I = J - 1; I >= 0; --I) {
+      double Acc = 0.0;
+      for (int P = I + 1; P <= J; ++P)
+        Acc += A[I * Lda + P] * A[P * Lda + J];
+      A[I * Lda + J] = -Acc / A[I * Lda + I];
+    }
+  }
+}
+
+void trsylLowerUpper(int M, int N, const double *L, int Ldl, const double *U,
+                     int Ldu, double *C, int Ldc) {
+  // Element recurrence: X(i,j) = (C(i,j) - sum_{p<i} L(i,p) X(p,j)
+  //                                      - sum_{q<j} X(i,q) U(q,j))
+  //                               / (L(i,i) + U(j,j)).
+  for (int I = 0; I < M; ++I) {
+    for (int J = 0; J < N; ++J) {
+      double Acc = C[I * Ldc + J];
+      for (int P = 0; P < I; ++P)
+        Acc -= L[I * Ldl + P] * C[P * Ldc + J];
+      for (int Q = 0; Q < J; ++Q)
+        Acc -= C[I * Ldc + Q] * U[Q * Ldu + J];
+      C[I * Ldc + J] = Acc / (L[I * Ldl + I] + U[J * Ldu + J]);
+    }
+  }
+}
+
+void trlyaLower(int N, const double *L, int Ldl, double *S, int Lds) {
+  // Solve L X + X L^T = S for symmetric X, filling both triangles.
+  for (int J = 0; J < N; ++J) {
+    for (int I = J; I < N; ++I) {
+      double Acc = S[I * Lds + J];
+      for (int P = 0; P < I; ++P)
+        Acc -= L[I * Ldl + P] * S[P * Lds + J];
+      for (int Q = 0; Q < J; ++Q)
+        Acc -= S[I * Lds + Q] * L[J * Ldl + Q];
+      Acc /= L[I * Ldl + I] + L[J * Ldl + J];
+      S[I * Lds + J] = Acc;
+      S[J * Lds + I] = Acc;
+    }
+  }
+}
+
+} // namespace refblas
+} // namespace slingen

@@ -1,0 +1,83 @@
+//===- baselines/RefBlas.h - portable BLAS/LAPACK subset -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained, runtime-sized BLAS/LAPACK subset in row-major layout.
+/// It plays two roles in this reproduction:
+///   1. the "optimized library" baseline (the paper compares against Intel
+///      MKL, which is unavailable offline; see DESIGN.md substitutions), and
+///   2. the numerical oracle all generated code is validated against.
+/// All matrices are row-major with an explicit leading dimension (number of
+/// doubles between consecutive rows).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BASELINES_REFBLAS_H
+#define SLINGEN_BASELINES_REFBLAS_H
+
+namespace slingen {
+namespace refblas {
+
+/// C = Alpha * op(A) * op(B) + Beta * C, with op(X) = X or X^T.
+/// A is M x K after op, B is K x N after op, C is M x N.
+void gemm(int M, int N, int K, double Alpha, const double *A, int Lda,
+          bool TransA, const double *B, int Ldb, bool TransB, double Beta,
+          double *C, int Ldc);
+
+/// y = Alpha * op(A) * x + Beta * y. A is M x N before op.
+void gemv(int M, int N, double Alpha, const double *A, int Lda, bool TransA,
+          const double *X, double Beta, double *Y);
+
+/// Dot product of two length-N vectors.
+double dot(int N, const double *X, const double *Y);
+
+/// Y = Alpha * X + Y.
+void axpy(int N, double Alpha, const double *X, double *Y);
+
+/// Solves op(A) * X = B (left) in place of B. A is M x M triangular.
+void trsmLeft(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+              const double *A, int Lda, double *B, int Ldb);
+
+/// Solves X * op(A) = B (right) in place of B. A is N x N triangular.
+void trsmRight(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+               const double *A, int Lda, double *B, int Ldb);
+
+/// B = op(A) * B with A triangular (left triangular matrix product).
+void trmmLeft(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+              const double *A, int Lda, double *B, int Ldb);
+
+/// B = B * op(A) with A triangular (right triangular matrix product).
+/// A is N x N.
+void trmmRight(bool Upper, bool TransA, bool UnitDiag, int M, int N,
+               const double *A, int Lda, double *B, int Ldb);
+
+/// Cholesky factorization, unblocked. Upper: A = U^T U, U written to the
+/// upper triangle and the strictly-lower triangle zeroed (full storage
+/// convention, see DESIGN.md). Lower: A = L L^T analogously.
+/// Returns 0 on success, or 1-based index of the failing pivot.
+int potrfUpper(int N, double *A, int Lda);
+int potrfLower(int N, double *A, int Lda);
+
+/// In-place inversion of a triangular matrix (full-storage convention: the
+/// non-stored triangle is left as-is, callers keep it zero).
+void trtriLower(int N, double *A, int Lda);
+void trtriUpper(int N, double *A, int Lda);
+
+/// Solves the triangular Sylvester equation L X + X U = C for X (in place of
+/// C), with L lower triangular M x M and U upper triangular N x N
+/// (paper Table 3, trsyl).
+void trsylLowerUpper(int M, int N, const double *L, int Ldl, const double *U,
+                     int Ldu, double *C, int Ldc);
+
+/// Solves the triangular continuous-time Lyapunov equation
+/// L X + X L^T = S for symmetric X (in place of S), with L lower triangular
+/// (paper Table 3, trlya). Both triangles of X are written.
+void trlyaLower(int N, const double *L, int Ldl, double *S, int Lds);
+
+} // namespace refblas
+} // namespace slingen
+
+#endif // SLINGEN_BASELINES_REFBLAS_H

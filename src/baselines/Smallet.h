@@ -1,0 +1,376 @@
+//===- baselines/Smallet.h - fixed-size expression-template library -------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "smallet" is the Eigen comparator of the paper (see DESIGN.md
+/// substitutions): a C++ expression-template matrix library with
+/// compile-time fixed sizes, Map interfaces onto existing arrays, lazy
+/// addition/subtraction/scaling (fused into a single evaluation loop),
+/// eager products, and in-place solvers (Cholesky, triangular solve,
+/// triangular inverse). Like Eigen, it relies on the C++ compiler's
+/// auto-vectorizer: the library is compiled with native flags and no
+/// intrinsics. All storage is row-major.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_BASELINES_SMALLET_H
+#define SLINGEN_BASELINES_SMALLET_H
+
+#include <cassert>
+#include <cmath>
+
+namespace slingen {
+namespace smallet {
+
+//===----------------------------------------------------------------------===//
+// Expression base (CRTP).
+//===----------------------------------------------------------------------===//
+
+/// Every expression exposes its compile-time shape and coefficient access;
+/// assignment walks the destination once, pulling coefficients through the
+/// expression tree (the expression-template "fusion" Eigen performs).
+template <typename Derived> struct MatExpr {
+  const Derived &self() const { return *static_cast<const Derived *>(this); }
+  double coeff(int R, int C) const { return self().coeff(R, C); }
+};
+
+template <typename L, typename R> struct SumExpr;
+template <typename L, typename R> struct DiffExpr;
+template <typename E> struct ScaleExpr;
+template <typename E> struct NegExpr;
+template <typename E> struct TransExpr;
+template <typename L, typename R> struct ProdExpr;
+
+#define SMALLET_DEFINE_EXPR_OPS(SELFTYPE)                                     \
+  template <typename O>                                                       \
+  SumExpr<SELFTYPE, O> operator+(const MatExpr<O> &Other) const {             \
+    return {*this->asExprSelf(), Other.self()};                               \
+  }                                                                           \
+  template <typename O>                                                       \
+  DiffExpr<SELFTYPE, O> operator-(const MatExpr<O> &Other) const {            \
+    return {*this->asExprSelf(), Other.self()};                               \
+  }                                                                           \
+  ScaleExpr<SELFTYPE> operator*(double S) const {                             \
+    return {*this->asExprSelf(), S};                                          \
+  }                                                                           \
+  NegExpr<SELFTYPE> operator-() const {                                      \
+    return NegExpr<SELFTYPE>(*this->asExprSelf());                            \
+  }                                                                           \
+  TransExpr<SELFTYPE> transpose() const {                                     \
+    return TransExpr<SELFTYPE>(*this->asExprSelf());                          \
+  }                                                                           \
+  template <typename O>                                                       \
+  ProdExpr<SELFTYPE, O> operator*(const MatExpr<O> &Other) const {            \
+    return ProdExpr<SELFTYPE, O>(*this->asExprSelf(), Other.self());          \
+  }                                                                           \
+  const SELFTYPE *asExprSelf() const {                                        \
+    return static_cast<const SELFTYPE *>(this);                               \
+  }
+
+template <typename L, typename R> struct SumExpr : MatExpr<SumExpr<L, R>> {
+  static constexpr int Rows = L::Rows, Cols = L::Cols;
+  static_assert(L::Rows == R::Rows && L::Cols == R::Cols,
+                "shape mismatch in +");
+  const L &A;
+  const R &B;
+  SumExpr(const L &A, const R &B) : A(A), B(B) {}
+  double coeff(int Ri, int Ci) const { return A.coeff(Ri, Ci) + B.coeff(Ri, Ci); }
+  SMALLET_DEFINE_EXPR_OPS(SumExpr)
+};
+
+template <typename L, typename R> struct DiffExpr : MatExpr<DiffExpr<L, R>> {
+  static constexpr int Rows = L::Rows, Cols = L::Cols;
+  static_assert(L::Rows == R::Rows && L::Cols == R::Cols,
+                "shape mismatch in -");
+  const L &A;
+  const R &B;
+  DiffExpr(const L &A, const R &B) : A(A), B(B) {}
+  double coeff(int Ri, int Ci) const { return A.coeff(Ri, Ci) - B.coeff(Ri, Ci); }
+  SMALLET_DEFINE_EXPR_OPS(DiffExpr)
+};
+
+template <typename E> struct ScaleExpr : MatExpr<ScaleExpr<E>> {
+  static constexpr int Rows = E::Rows, Cols = E::Cols;
+  const E &A;
+  double S;
+  ScaleExpr(const E &A, double S) : A(A), S(S) {}
+  double coeff(int Ri, int Ci) const { return S * A.coeff(Ri, Ci); }
+  SMALLET_DEFINE_EXPR_OPS(ScaleExpr)
+};
+
+template <typename E> struct NegExpr : MatExpr<NegExpr<E>> {
+  static constexpr int Rows = E::Rows, Cols = E::Cols;
+  const E &A;
+  explicit NegExpr(const E &A) : A(A) {}
+  double coeff(int Ri, int Ci) const { return -A.coeff(Ri, Ci); }
+  SMALLET_DEFINE_EXPR_OPS(NegExpr)
+};
+
+template <typename E> struct TransExpr : MatExpr<TransExpr<E>> {
+  static constexpr int Rows = E::Cols, Cols = E::Rows;
+  const E &A;
+  explicit TransExpr(const E &A) : A(A) {}
+  double coeff(int Ri, int Ci) const { return A.coeff(Ci, Ri); }
+  SMALLET_DEFINE_EXPR_OPS(TransExpr)
+};
+
+/// Products evaluate eagerly into an internal buffer at construction (the
+/// Eigen strategy for GEMM-shaped nodes: avoids re-evaluating operands per
+/// coefficient).
+template <typename L, typename R> struct ProdExpr : MatExpr<ProdExpr<L, R>> {
+  static constexpr int Rows = L::Rows, Cols = R::Cols;
+  static_assert(L::Cols == R::Rows, "shape mismatch in *");
+  double D[static_cast<size_t>(Rows) * Cols];
+  ProdExpr(const L &A, const R &B) {
+    for (int I = 0; I < Rows; ++I)
+      for (int J = 0; J < Cols; ++J) {
+        double S = 0.0;
+        for (int P = 0; P < L::Cols; ++P)
+          S += A.coeff(I, P) * B.coeff(P, J);
+        D[I * Cols + J] = S;
+      }
+  }
+  double coeff(int Ri, int Ci) const { return D[Ri * Cols + Ci]; }
+  SMALLET_DEFINE_EXPR_OPS(ProdExpr)
+};
+
+template <typename E>
+ScaleExpr<E> operator*(double S, const MatExpr<E> &A) {
+  return {A.self(), S};
+}
+
+//===----------------------------------------------------------------------===//
+// Storage: Matrix owns, Map borrows.
+//===----------------------------------------------------------------------===//
+
+template <int R, int C, typename Storage> struct Dense;
+
+/// Owning fixed-size matrix.
+template <int R, int C> struct OwnedStorage {
+  double Buf[static_cast<size_t>(R) * C] = {0.0};
+  double *data() { return Buf; }
+  const double *data() const { return Buf; }
+};
+
+/// Borrowed storage over a caller-provided array (Eigen's Map).
+struct BorrowedStorage {
+  double *Ptr;
+  double *data() { return Ptr; }
+  const double *data() const { return Ptr; }
+};
+
+template <int R, int C, typename Storage>
+struct Dense : MatExpr<Dense<R, C, Storage>> {
+  static constexpr int Rows = R, Cols = C;
+  Storage S;
+
+  Dense() = default;
+  explicit Dense(Storage S) : S(S) {}
+
+  double *data() { return S.data(); }
+  const double *data() const { return S.data(); }
+  double &operator()(int Ri, int Ci) { return S.data()[Ri * C + Ci]; }
+  double coeff(int Ri, int Ci) const { return S.data()[Ri * C + Ci]; }
+
+  /// Fused assignment: one pass over the destination.
+  template <typename E> Dense &operator=(const MatExpr<E> &Expr) {
+    static_assert(E::Rows == R && E::Cols == C, "shape mismatch in =");
+    const E &Src = Expr.self();
+    for (int I = 0; I < R; ++I)
+      for (int J = 0; J < C; ++J)
+        S.data()[I * C + J] = Src.coeff(I, J);
+    return *this;
+  }
+  template <typename E> Dense &operator+=(const MatExpr<E> &Expr) {
+    const E &Src = Expr.self();
+    for (int I = 0; I < R; ++I)
+      for (int J = 0; J < C; ++J)
+        S.data()[I * C + J] += Src.coeff(I, J);
+    return *this;
+  }
+  template <typename E> Dense &operator-=(const MatExpr<E> &Expr) {
+    const E &Src = Expr.self();
+    for (int I = 0; I < R; ++I)
+      for (int J = 0; J < C; ++J)
+        S.data()[I * C + J] -= Src.coeff(I, J);
+    return *this;
+  }
+  void setZero() {
+    for (int I = 0; I < R * C; ++I)
+      S.data()[I] = 0.0;
+  }
+
+  SMALLET_DEFINE_EXPR_OPS(Dense)
+};
+
+template <int R, int C> using Matrix = Dense<R, C, OwnedStorage<R, C>>;
+template <int R, int C> using Map = Dense<R, C, BorrowedStorage>;
+template <int N> using Vector = Matrix<N, 1>;
+template <int N> using VecMap = Map<N, 1>;
+
+template <int R, int C> Map<R, C> map(double *P) {
+  return Map<R, C>(BorrowedStorage{P});
+}
+
+/// Dot product of two vector-shaped expressions.
+template <typename A, typename B>
+double dot(const MatExpr<A> &X, const MatExpr<B> &Y) {
+  static_assert(A::Cols == 1 && B::Cols == 1 && A::Rows == B::Rows,
+                "dot() wants equal-length column vectors");
+  double S = 0.0;
+  for (int I = 0; I < A::Rows; ++I)
+    S += X.coeff(I, 0) * Y.coeff(I, 0);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// In-place solvers (the Eigen LLT / triangularView analogues).
+//===----------------------------------------------------------------------===//
+
+/// A = L L^T; L stored in the lower triangle, strictly-upper zeroed.
+/// Returns false if A is not positive definite.
+template <int N, typename S> bool lltInPlace(Dense<N, N, S> &A) {
+  for (int J = 0; J < N; ++J) {
+    double D = A(J, J);
+    for (int P = 0; P < J; ++P)
+      D -= A(J, P) * A(J, P);
+    if (D <= 0.0)
+      return false;
+    D = std::sqrt(D);
+    A(J, J) = D;
+    for (int I = J + 1; I < N; ++I) {
+      double V = A(I, J);
+      for (int P = 0; P < J; ++P)
+        V -= A(I, P) * A(J, P);
+      A(I, J) = V / D;
+    }
+  }
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      A(I, J) = 0.0;
+  return true;
+}
+
+/// Solves L X = B in place of B (L lower triangular).
+template <int N, int M, typename SL, typename SB>
+void solveLowerInPlace(const Dense<N, N, SL> &L, Dense<N, M, SB> &B) {
+  for (int C = 0; C < M; ++C)
+    for (int I = 0; I < N; ++I) {
+      double V = B(I, C);
+      for (int P = 0; P < I; ++P)
+        V -= L.coeff(I, P) * B(P, C);
+      B(I, C) = V / L.coeff(I, I);
+    }
+}
+
+/// Solves L^T X = B in place of B (L lower triangular).
+template <int N, int M, typename SL, typename SB>
+void solveLowerTInPlace(const Dense<N, N, SL> &L, Dense<N, M, SB> &B) {
+  for (int C = 0; C < M; ++C)
+    for (int I = N - 1; I >= 0; --I) {
+      double V = B(I, C);
+      for (int P = I + 1; P < N; ++P)
+        V -= L.coeff(P, I) * B(P, C);
+      B(I, C) = V / L.coeff(I, I);
+    }
+}
+
+/// Solves U X = B in place of B (U upper triangular).
+template <int N, int M, typename SU, typename SB>
+void solveUpperInPlace(const Dense<N, N, SU> &U, Dense<N, M, SB> &B) {
+  for (int C = 0; C < M; ++C)
+    for (int I = N - 1; I >= 0; --I) {
+      double V = B(I, C);
+      for (int P = I + 1; P < N; ++P)
+        V -= U.coeff(I, P) * B(P, C);
+      B(I, C) = V / U.coeff(I, I);
+    }
+}
+
+/// Solves U^T X = B in place of B (U upper triangular).
+template <int N, int M, typename SU, typename SB>
+void solveUpperTInPlace(const Dense<N, N, SU> &U, Dense<N, M, SB> &B) {
+  for (int C = 0; C < M; ++C)
+    for (int I = 0; I < N; ++I) {
+      double V = B(I, C);
+      for (int P = 0; P < I; ++P)
+        V -= U.coeff(P, I) * B(P, C);
+      B(I, C) = V / U.coeff(I, I);
+    }
+}
+
+/// In-place inversion of a lower-triangular matrix.
+template <int N, typename S> void invertLowerInPlace(Dense<N, N, S> &A) {
+  for (int J = 0; J < N; ++J) {
+    A(J, J) = 1.0 / A(J, J);
+    for (int I = J + 1; I < N; ++I) {
+      double V = 0.0;
+      for (int P = J; P < I; ++P)
+        V += A(I, P) * A(P, J);
+      A(I, J) = -V / A(I, I);
+    }
+  }
+}
+
+/// A = U^T U Cholesky (upper factor), matching the paper's potrf. Returns
+/// false if not positive definite.
+template <int N, typename S> bool upperCholInPlace(Dense<N, N, S> &A) {
+  for (int K = 0; K < N; ++K) {
+    double D = A(K, K);
+    for (int P = 0; P < K; ++P)
+      D -= A(P, K) * A(P, K);
+    if (D <= 0.0)
+      return false;
+    D = std::sqrt(D);
+    A(K, K) = D;
+    for (int J = K + 1; J < N; ++J) {
+      double V = A(K, J);
+      for (int P = 0; P < K; ++P)
+        V -= A(P, K) * A(P, J);
+      A(K, J) = V / D;
+    }
+  }
+  for (int I = 1; I < N; ++I)
+    for (int J = 0; J < I; ++J)
+      A(I, J) = 0.0;
+  return true;
+}
+
+/// Triangular Sylvester L X + X U = C in place of C.
+template <int N, typename SL, typename SU, typename SC>
+void trsylInPlace(const Dense<N, N, SL> &L, const Dense<N, N, SU> &U,
+                  Dense<N, N, SC> &C) {
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      double V = C(I, J);
+      for (int P = 0; P < I; ++P)
+        V -= L.coeff(I, P) * C(P, J);
+      for (int P = 0; P < J; ++P)
+        V -= C(I, P) * U.coeff(P, J);
+      C(I, J) = V / (L.coeff(I, I) + U.coeff(J, J));
+    }
+}
+
+/// Triangular Lyapunov L X + X L^T = S in place of S (X symmetric).
+template <int N, typename SL, typename SS>
+void trlyaInPlace(const Dense<N, N, SL> &L, Dense<N, N, SS> &S) {
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J <= I; ++J) {
+      double V = S(I, J);
+      for (int P = 0; P < I; ++P)
+        V -= L.coeff(I, P) * S(P, J);
+      for (int P = 0; P < J; ++P)
+        V -= S(I, P) * L.coeff(J, P);
+      V /= L.coeff(I, I) + L.coeff(J, J);
+      S(I, J) = V;
+      S(J, I) = V;
+    }
+}
+
+} // namespace smallet
+} // namespace slingen
+
+#endif // SLINGEN_BASELINES_SMALLET_H

@@ -1,0 +1,648 @@
+//===- cir/CEmitter.cpp ---------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/CEmitter.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace slingen;
+using namespace slingen::cir;
+
+namespace {
+
+class Emitter {
+public:
+  explicit Emitter(const Function &F) : F(F), Nu(F.Nu) {}
+
+  std::string run() {
+    Sink.line(prototype(F) + " {");
+    Sink.indent();
+    emitLocalDecls();
+    emitRegDecls();
+    emitMaskDecls();
+    emitBlock(F.Body);
+    Sink.dedent();
+    Sink.line("}");
+    return Sink.str();
+  }
+
+  /// Splits the body into static part-functions of roughly
+  /// \p MaxInstsPerPart instructions, cut only where no register is live
+  /// across (see the header comment on emitFunctionSplit).
+  std::string runSplit(int MaxInstsPerPart) {
+    std::vector<std::pair<size_t, size_t>> Parts = partition(MaxInstsPerPart);
+    if (Parts.size() <= 1)
+      return run();
+
+    // Compiler temporaries become file-scope so every part sees them.
+    // (They are always fully written before being read within a call, so
+    // static persistence across calls is unobservable.)
+    for (const Operand *L : F.Locals)
+      Sink.line(formatf("static double %s[%d];", L->Name.c_str(),
+                        L->Rows * L->Cols));
+
+    for (size_t P = 0; P < Parts.size(); ++P) {
+      std::string Name = formatf("%s_part%zu", F.Name.c_str(), P);
+      Sink.line("static " + prototype(F, Name.c_str()) + " {");
+      Sink.indent();
+      emitRegDeclsForRange(Parts[P].first, Parts[P].second);
+      emitMaskDeclsForRange(Parts[P].first, Parts[P].second);
+      for (size_t I = Parts[P].first; I < Parts[P].second; ++I)
+        emitNode(F.Body[I]);
+      Sink.dedent();
+      Sink.line("}");
+      Sink.line("");
+    }
+
+    Sink.line(prototype(F) + " {");
+    Sink.indent();
+    for (size_t P = 0; P < Parts.size(); ++P) {
+      std::string Call = formatf("%s_part%zu(", F.Name.c_str(), P);
+      for (size_t I = 0; I < F.Params.size(); ++I)
+        Call += formatf("%s%s", I ? ", " : "", F.Params[I]->Name.c_str());
+      Sink.line(Call + ");");
+    }
+    Sink.dedent();
+    Sink.line("}");
+    return Sink.str();
+  }
+
+  static std::string prototype(const Function &F,
+                               const char *NameOverride = nullptr) {
+    std::string S =
+        formatf("void %s(", NameOverride ? NameOverride : F.Name.c_str());
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
+      S += formatf("%s%sdouble *restrict %s", I ? ", " : "",
+                   Writable ? "" : "const ", F.Params[I]->Name.c_str());
+    }
+    if (F.Params.empty())
+      S += "void";
+    S += ")";
+    return S;
+  }
+
+private:
+  const Function &F;
+  int Nu;
+  CodeSink Sink;
+
+  std::string reg(int Id) const { return formatf("r%d", Id); }
+  std::string var(int Id) const { return formatf("i%d", Id); }
+
+  std::string address(const Addr &A) const {
+    std::string S = A.Buf->Name;
+    S += formatf(" + %d", A.Const);
+    for (auto [Var, Coeff] : A.Terms) {
+      if (Coeff == 1)
+        S += formatf(" + %s", var(Var).c_str());
+      else
+        S += formatf(" + %d*%s", Coeff, var(Var).c_str());
+    }
+    return S;
+  }
+
+  void collectMaskLanes(const std::vector<Node> &Body,
+                        std::set<int> &Out) const {
+    for (const Node &N : Body) {
+      if (const auto *L = std::get_if<Loop>(&N)) {
+        collectMaskLanes(L->Body, Out);
+        continue;
+      }
+      const Inst &I = std::get<Inst>(N);
+      if ((I.K == Op::VLoad || I.K == Op::VStore) && I.Lanes < Nu)
+        Out.insert(I.Lanes);
+    }
+  }
+
+  void emitLocalDecls() {
+    for (const Operand *L : F.Locals)
+      Sink.line(formatf("double %s[%d] = {0.0};", L->Name.c_str(),
+                        L->Rows * L->Cols));
+  }
+
+  void emitRegDecls() {
+    for (int R = 0; R < F.NumRegs; ++R) {
+      if (F.RegIsVec[R])
+        Sink.line(formatf("%s r%d;", vecType(), R));
+      else
+        Sink.line(formatf("double r%d;", R));
+    }
+  }
+
+  const char *vecType() const {
+    return Nu == 8 ? "__m512d" : (Nu == 4 ? "__m256d" : "__m128d");
+  }
+
+  void emitMaskDecls() {
+    if (Nu != 4)
+      return;
+    std::set<int> Lanes;
+    collectMaskLanes(F.Body, Lanes);
+    emitMaskLines(Lanes);
+  }
+
+  void emitMaskLines(const std::set<int> &Lanes) {
+    for (int L : Lanes) {
+      assert(L >= 1 && L <= 3 && "bad AVX mask lane count");
+      std::string Args;
+      for (int I = 3; I >= 0; --I)
+        Args += formatf("%s%s", I == 3 ? "" : ", ", I < L ? "-1ll" : "0ll");
+      Sink.line(formatf("const __m256i mk%d = _mm256_set_epi64x(%s);", L,
+                        Args.c_str()));
+    }
+  }
+
+  void emitBlock(const std::vector<Node> &Body) {
+    for (const Node &N : Body)
+      emitNode(N);
+  }
+
+  void emitNode(const Node &N) {
+    if (const auto *L = std::get_if<Loop>(&N)) {
+      std::string LoStr = formatf("%d", L->Lo);
+      if (L->LoVar >= 0)
+        LoStr += formatf(" + %d*%s", L->LoVarCoeff, var(L->LoVar).c_str());
+      Sink.line(formatf("for (int %s = %s; %s < %d; %s += %d) {",
+                        var(L->Var).c_str(), LoStr.c_str(),
+                        var(L->Var).c_str(), L->Hi, var(L->Var).c_str(),
+                        L->Step));
+      Sink.indent();
+      emitBlock(L->Body);
+      Sink.dedent();
+      Sink.line("}");
+      return;
+    }
+    emitInst(std::get<Inst>(N));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Splitting machinery.
+  //===--------------------------------------------------------------------===//
+
+  /// Applies \p Fn to every register id an instruction touches.
+  template <typename FnT>
+  static void forEachReg(const Inst &I, FnT Fn) {
+    if (hasDst(I.K) && I.Dst >= 0)
+      Fn(I.Dst);
+    for (int R : {I.A, I.B, I.C})
+      if (R >= 0)
+        Fn(R);
+  }
+
+  template <typename FnT>
+  static void forEachInst(const Node &N, FnT Fn) {
+    if (const auto *I = std::get_if<Inst>(&N)) {
+      Fn(*I);
+      return;
+    }
+    for (const Node &Sub : std::get<Loop>(N).Body)
+      forEachInst(Sub, Fn);
+  }
+
+  /// Registers holding pure constants (single def, SConst/VConst): CSE
+  /// makes them live across the entire function, which would forbid every
+  /// split point. They are rematerialized per part instead, so liveness
+  /// ignores them. ConstDefs maps such a register to its defining
+  /// instruction.
+  std::map<int, const Inst *> ConstDefs;
+
+  void collectConstDefs() {
+    std::vector<int> Defs(F.NumRegs, 0);
+    std::map<int, const Inst *> Single;
+    for (const Node &N : F.Body)
+      forEachInst(N, [&](const Inst &In) {
+        if (!hasDst(In.K) || In.Dst < 0)
+          return;
+        if (++Defs[In.Dst] == 1 &&
+            (In.K == Op::SConst || In.K == Op::VConst))
+          Single[In.Dst] = &In;
+      });
+    for (auto [R, I] : Single)
+      if (Defs[R] == 1)
+        ConstDefs[R] = I;
+  }
+
+  bool isConstReg(int R) const { return ConstDefs.count(R) != 0; }
+
+  /// Greedy partition of the top-level body into [first, last) ranges of
+  /// at least MaxInstsPerPart instructions, cut only at nodes after which
+  /// no (non-constant) register is live.
+  std::vector<std::pair<size_t, size_t>> partition(int MaxInstsPerPart) {
+    collectConstDefs();
+    size_t NNodes = F.Body.size();
+    std::vector<int> InstCount(NNodes, 0);
+    std::vector<int> LastTouch(F.NumRegs, -1);
+    for (size_t I = 0; I < NNodes; ++I)
+      forEachInst(F.Body[I], [&](const Inst &In) {
+        ++InstCount[I];
+        forEachReg(In, [&](int R) { LastTouch[R] = static_cast<int>(I); });
+      });
+    long Active = -1;
+    std::vector<std::pair<size_t, size_t>> Parts;
+    size_t Start = 0;
+    long Accum = 0;
+    for (size_t I = 0; I < NNodes; ++I) {
+      forEachInst(F.Body[I], [&](const Inst &In) {
+        forEachReg(In, [&](int R) {
+          if (!isConstReg(R))
+            Active = std::max(Active, static_cast<long>(LastTouch[R]));
+        });
+      });
+      Accum += InstCount[I];
+      bool Clean = Active <= static_cast<long>(I);
+      if (Clean && Accum >= MaxInstsPerPart && I + 1 < NNodes) {
+        Parts.push_back({Start, I + 1});
+        Start = I + 1;
+        Accum = 0;
+      }
+    }
+    if (Start < NNodes || Parts.empty())
+      Parts.push_back({Start, NNodes});
+    return Parts;
+  }
+
+  void emitRegDeclsForRange(size_t First, size_t Last) {
+    std::set<int> Regs, Defined;
+    for (size_t I = First; I < Last; ++I)
+      forEachInst(F.Body[I], [&](const Inst &In) {
+        forEachReg(In, [&](int R) { Regs.insert(R); });
+        if (hasDst(In.K) && In.Dst >= 0)
+          Defined.insert(In.Dst);
+      });
+    for (int R : Regs) {
+      if (F.RegIsVec[R])
+        Sink.line(formatf("%s r%d;", vecType(), R));
+      else
+        Sink.line(formatf("double r%d;", R));
+    }
+    // Rematerialize constants defined in other parts.
+    for (int R : Regs)
+      if (!Defined.count(R)) {
+        auto It = ConstDefs.find(R);
+        assert(It != ConstDefs.end() &&
+               "non-constant register live across a split point");
+        emitInst(*It->second);
+      }
+  }
+
+  void emitMaskDeclsForRange(size_t First, size_t Last) {
+    if (Nu != 4)
+      return;
+    std::set<int> Lanes;
+    for (size_t I = First; I < Last; ++I)
+      forEachInst(F.Body[I], [&](const Inst &In) {
+        if ((In.K == Op::VLoad || In.K == Op::VStore) && In.Lanes < Nu)
+          Lanes.insert(In.Lanes);
+      });
+    emitMaskLines(Lanes);
+  }
+
+  void emitInst(const Inst &I) {
+    switch (I.K) {
+    case Op::SConst:
+      Sink.line(formatf("r%d = %.17g;", I.Dst, I.Imm));
+      break;
+    case Op::SLoad:
+      Sink.line(formatf("r%d = *(%s);", I.Dst, address(I.Address).c_str()));
+      break;
+    case Op::SStore:
+      Sink.line(formatf("*(%s) = r%d;", address(I.Address).c_str(), I.A));
+      break;
+    case Op::SAdd:
+      Sink.line(formatf("r%d = r%d + r%d;", I.Dst, I.A, I.B));
+      break;
+    case Op::SSub:
+      Sink.line(formatf("r%d = r%d - r%d;", I.Dst, I.A, I.B));
+      break;
+    case Op::SMul:
+      Sink.line(formatf("r%d = r%d * r%d;", I.Dst, I.A, I.B));
+      break;
+    case Op::SDiv:
+      Sink.line(formatf("r%d = r%d / r%d;", I.Dst, I.A, I.B));
+      break;
+    case Op::SSqrt:
+      Sink.line(formatf("r%d = sqrt(r%d);", I.Dst, I.A));
+      break;
+    case Op::SNeg:
+      Sink.line(formatf("r%d = -r%d;", I.Dst, I.A));
+      break;
+    default:
+      emitVector(I);
+      break;
+    }
+  }
+
+  const char *pfx() const {
+    return Nu == 8 ? "_mm512" : (Nu == 4 ? "_mm256" : "_mm");
+  }
+
+  void emitVector(const Inst &I) {
+    assert(Nu > 1 && "vector instruction in a scalar function");
+    switch (I.K) {
+    case Op::VConst:
+      Sink.line(formatf("r%d = %s_set1_pd(%.17g);", I.Dst, pfx(), I.Imm));
+      break;
+    case Op::VBroadcast:
+      Sink.line(formatf("r%d = %s_set1_pd(r%d);", I.Dst, pfx(), I.A));
+      break;
+    case Op::VLoad:
+      if (I.Lanes == Nu) {
+        Sink.line(formatf("r%d = %s_loadu_pd(%s);", I.Dst, pfx(),
+                          address(I.Address).c_str()));
+      } else if (Nu == 8) {
+        // AVX-512 masked loads take an immediate lane mask; masked-off
+        // lanes are zeroed (maskz), matching VLoad semantics.
+        Sink.line(formatf(
+            "r%d = _mm512_maskz_loadu_pd((__mmask8)0x%x, %s);", I.Dst,
+            (1 << I.Lanes) - 1, address(I.Address).c_str()));
+      } else if (Nu == 4) {
+        Sink.line(formatf("r%d = _mm256_maskload_pd(%s, mk%d);", I.Dst,
+                          address(I.Address).c_str(), I.Lanes));
+      } else { // SSE2 single lane
+        Sink.line(formatf("r%d = _mm_load_sd(%s);", I.Dst,
+                          address(I.Address).c_str()));
+      }
+      break;
+    case Op::VStore:
+      if (I.Lanes == Nu) {
+        Sink.line(formatf("%s_storeu_pd(%s, r%d);", pfx(),
+                          address(I.Address).c_str(), I.A));
+      } else if (Nu == 8) {
+        Sink.line(formatf("_mm512_mask_storeu_pd(%s, (__mmask8)0x%x, r%d);",
+                          address(I.Address).c_str(), (1 << I.Lanes) - 1,
+                          I.A));
+      } else if (Nu == 4) {
+        Sink.line(formatf("_mm256_maskstore_pd(%s, mk%d, r%d);",
+                          address(I.Address).c_str(), I.Lanes, I.A));
+      } else {
+        Sink.line(formatf("_mm_store_sd(%s, r%d);",
+                          address(I.Address).c_str(), I.A));
+      }
+      break;
+    case Op::VLoadStrided: {
+      // Gather a strided (column) access with a set; lanes beyond the
+      // active count become zero.
+      std::string Args;
+      for (int L = Nu - 1; L >= 0; --L) {
+        if (L < I.Lanes)
+          Args += formatf("(%s)[%d]", address(I.Address).c_str(),
+                          L * I.Stride);
+        else
+          Args += "0.0";
+        if (L)
+          Args += ", ";
+      }
+      Sink.line(formatf("r%d = %s_set_pd(%s);", I.Dst, pfx(), Args.c_str()));
+      break;
+    }
+    case Op::VStoreStrided: {
+      Sink.line("{");
+      Sink.indent();
+      Sink.line(formatf("double t%d_[%d];", I.A, Nu));
+      Sink.line(formatf("%s_storeu_pd(t%d_, r%d);", pfx(), I.A, I.A));
+      for (int L = 0; L < I.Lanes; ++L)
+        Sink.line(formatf("(%s)[%d] = t%d_[%d];", address(I.Address).c_str(),
+                          L * I.Stride, I.A, L));
+      Sink.dedent();
+      Sink.line("}");
+      break;
+    }
+    case Op::VAdd:
+      Sink.line(formatf("r%d = %s_add_pd(r%d, r%d);", I.Dst, pfx(), I.A,
+                        I.B));
+      break;
+    case Op::VSub:
+      Sink.line(formatf("r%d = %s_sub_pd(r%d, r%d);", I.Dst, pfx(), I.A,
+                        I.B));
+      break;
+    case Op::VMul:
+      Sink.line(formatf("r%d = %s_mul_pd(r%d, r%d);", I.Dst, pfx(), I.A,
+                        I.B));
+      break;
+    case Op::VDiv:
+      Sink.line(formatf("r%d = %s_div_pd(r%d, r%d);", I.Dst, pfx(), I.A,
+                        I.B));
+      break;
+    case Op::VFma:
+      if (Nu == 8)
+        Sink.line(formatf("r%d = _mm512_fmadd_pd(r%d, r%d, r%d);", I.Dst,
+                          I.A, I.B, I.C));
+      else if (Nu == 4)
+        Sink.line(formatf("r%d = _mm256_fmadd_pd(r%d, r%d, r%d);", I.Dst,
+                          I.A, I.B, I.C));
+      else
+        Sink.line(formatf("r%d = _mm_add_pd(_mm_mul_pd(r%d, r%d), r%d);",
+                          I.Dst, I.A, I.B, I.C));
+      break;
+    case Op::VExtract:
+      if (I.Lanes == 0) {
+        Sink.line(formatf("r%d = %s_cvtsd_f64(r%d);", I.Dst, pfx(), I.A));
+      } else if (Nu == 2) {
+        Sink.line(formatf(
+            "r%d = _mm_cvtsd_f64(_mm_unpackhi_pd(r%d, r%d));", I.Dst, I.A,
+            I.A));
+      } else {
+        Sink.line("{");
+        Sink.indent();
+        Sink.line(formatf("double t%d_[%d];", I.Dst, Nu));
+        Sink.line(formatf("%s_storeu_pd(t%d_, r%d);", pfx(), I.Dst, I.A));
+        Sink.line(formatf("r%d = t%d_[%d];", I.Dst, I.Dst, I.Lanes));
+        Sink.dedent();
+        Sink.line("}");
+      }
+      break;
+    case Op::VReduceAdd:
+      if (Nu == 8) {
+        Sink.line(
+            formatf("r%d = _mm512_reduce_add_pd(r%d);", I.Dst, I.A));
+      } else if (Nu == 2) {
+        Sink.line(formatf(
+            "r%d = _mm_cvtsd_f64(_mm_add_sd(r%d, _mm_unpackhi_pd(r%d, "
+            "r%d)));",
+            I.Dst, I.A, I.A, I.A));
+      } else {
+        Sink.line("{");
+        Sink.indent();
+        Sink.line(formatf("__m128d t%d_lo = _mm256_castpd256_pd128(r%d);",
+                          I.Dst, I.A));
+        Sink.line(formatf("__m128d t%d_hi = _mm256_extractf128_pd(r%d, 1);",
+                          I.Dst, I.A));
+        Sink.line(formatf("t%d_lo = _mm_add_pd(t%d_lo, t%d_hi);", I.Dst,
+                          I.Dst, I.Dst));
+        Sink.line(formatf("r%d = _mm_cvtsd_f64(_mm_add_sd(t%d_lo, "
+                          "_mm_unpackhi_pd(t%d_lo, t%d_lo)));",
+                          I.Dst, I.Dst, I.Dst, I.Dst));
+        Sink.dedent();
+        Sink.line("}");
+      }
+      break;
+    case Op::VShuffle:
+      emitShuffle(I);
+      break;
+    default:
+      assert(false && "unhandled opcode");
+    }
+  }
+
+  void emitShuffle(const Inst &I) {
+    if (Nu == 2) {
+      // _mm_shuffle_pd(x, y, imm) yields {x[imm&1], y[imm>>1]}; choose x
+      // and y independently among rA, rB, and a zero vector.
+      std::string Src[2];
+      int LaneBit[2];
+      for (int L = 0; L < 2; ++L) {
+        int S = I.Sel[L];
+        if (S < 0) {
+          Src[L] = "_mm_setzero_pd()";
+          LaneBit[L] = 0;
+        } else if (S < 2) {
+          Src[L] = reg(I.A);
+          LaneBit[L] = S;
+        } else {
+          Src[L] = reg(I.B);
+          LaneBit[L] = S - 2;
+        }
+      }
+      Sink.line(formatf("r%d = _mm_shuffle_pd(%s, %s, %d);", I.Dst,
+                        Src[0].c_str(), Src[1].c_str(),
+                        LaneBit[0] | (LaneBit[1] << 1)));
+      return;
+    }
+    if (Nu == 8) {
+      // One masked two-source lane permutation covers every selector:
+      // index bits [2:0] pick the element, bit 3 picks the source, and
+      // the zeroing mask clears the -1 lanes (VShuffle semantics).
+      int Mask = 0;
+      std::string Idx;
+      for (int L = 7; L >= 0; --L) {
+        int S = I.Sel[L];
+        if (S >= 0)
+          Mask |= 1 << L;
+        Idx += formatf("%s%d", L == 7 ? "" : ", ", S < 0 ? 0 : S);
+      }
+      Sink.line(formatf("r%d = _mm512_maskz_permutex2var_pd((__mmask8)0x%x, "
+                        "r%d, _mm512_set_epi64(%s), r%d);",
+                        I.Dst, Mask, I.A, Idx.c_str(),
+                        I.B < 0 ? I.A : I.B));
+      return;
+    }
+    assert(Nu == 4 && "unsupported vector width");
+    bool UsesA = false, UsesB = false, HasZero = false;
+    bool PerLane = true; // every lane L selects L from A or L from B
+    for (int L = 0; L < 4; ++L) {
+      int S = I.Sel[L];
+      if (S < 0)
+        HasZero = true;
+      else if (S < 4) {
+        UsesA = true;
+        if (S != L)
+          PerLane = false;
+      } else {
+        UsesB = true;
+        if (S - 4 != L)
+          PerLane = false;
+      }
+    }
+    int ZeroMask = 0;
+    for (int L = 0; L < 4; ++L)
+      if (I.Sel[L] < 0)
+        ZeroMask |= 1 << L;
+
+    auto BlendZero = [&](const std::string &Expr) {
+      if (!HasZero)
+        return Expr;
+      return formatf("_mm256_blend_pd(%s, _mm256_setzero_pd(), %d)",
+                     Expr.c_str(), ZeroMask);
+    };
+
+    if (PerLane) {
+      // Pure blend (possibly with zeroing).
+      if (UsesA && UsesB) {
+        int BMask = 0;
+        for (int L = 0; L < 4; ++L)
+          if (I.Sel[L] >= 4)
+            BMask |= 1 << L;
+        Sink.line(formatf(
+            "r%d = %s;", I.Dst,
+            BlendZero(formatf("_mm256_blend_pd(r%d, r%d, %d)", I.A, I.B,
+                              BMask))
+                .c_str()));
+      } else {
+        int Src = UsesB ? I.B : I.A;
+        Sink.line(
+            formatf("r%d = %s;", I.Dst, BlendZero(reg(Src)).c_str()));
+      }
+      return;
+    }
+
+    // General case: permute each source with AVX2 permute4x64, then blend.
+    auto PermImm = [&](bool FromB) {
+      int Imm = 0;
+      for (int L = 0; L < 4; ++L) {
+        int S = I.Sel[L];
+        int Lane = 0;
+        if (S >= 0 && (S >= 4) == FromB)
+          Lane = FromB ? S - 4 : S;
+        Imm |= Lane << (2 * L);
+      }
+      return Imm;
+    };
+    if (UsesA && UsesB) {
+      int BMask = 0;
+      for (int L = 0; L < 4; ++L)
+        if (I.Sel[L] >= 4)
+          BMask |= 1 << L;
+      std::string PA =
+          formatf("_mm256_permute4x64_pd(r%d, %d)", I.A, PermImm(false));
+      std::string PB =
+          formatf("_mm256_permute4x64_pd(r%d, %d)", I.B, PermImm(true));
+      Sink.line(formatf("r%d = %s;", I.Dst,
+                        BlendZero(formatf("_mm256_blend_pd(%s, %s, %d)",
+                                          PA.c_str(), PB.c_str(), BMask))
+                            .c_str()));
+    } else {
+      int Src = UsesB ? I.B : I.A;
+      Sink.line(formatf(
+          "r%d = %s;", I.Dst,
+          BlendZero(formatf("_mm256_permute4x64_pd(r%d, %d)", Src,
+                            PermImm(UsesB)))
+              .c_str()));
+    }
+  }
+};
+
+} // namespace
+
+std::string cir::emitFunction(const Function &F) {
+  Emitter E(F);
+  return E.run();
+}
+
+std::string cir::emitFunctionSplit(const Function &F, int MaxInstsPerPart) {
+  Emitter E(F);
+  return E.runSplit(MaxInstsPerPart);
+}
+
+std::string cir::emitPrototype(const Function &F) {
+  return Emitter::prototype(F);
+}
+
+std::string cir::emitTranslationUnit(const Function &F) {
+  std::string S;
+  S += "#include <math.h>\n";
+  if (F.Nu > 1)
+    S += "#include <immintrin.h>\n";
+  S += "\n";
+  // Very large fully-unrolled kernels are split into part-functions to
+  // keep the C compiler's superlinear per-function analyses tractable.
+  S += emitFunctionSplit(F, /*MaxInstsPerPart=*/1 << 14);
+  return S;
+}

@@ -1,0 +1,188 @@
+//===- cir/Interp.cpp -----------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/Interp.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace slingen;
+using namespace slingen::cir;
+
+namespace {
+
+class Machine {
+public:
+  Machine(const Function &F,
+          const std::map<const Operand *, double *> &Buffers)
+      : F(F), Buffers(Buffers), Vars(F.NumVars, 0),
+        Regs(static_cast<size_t>(F.NumRegs) * F.Nu, 0.0) {}
+
+  void run() { runBlock(F.Body); }
+
+private:
+  const Function &F;
+  const std::map<const Operand *, double *> &Buffers;
+  std::vector<int> Vars;
+  // Register file: scalar regs use lane 0 only.
+  std::vector<double> Regs;
+
+  double *reg(int Id) { return &Regs[static_cast<size_t>(Id) * F.Nu]; }
+
+  double *resolve(const Addr &A) {
+    auto It = Buffers.find(A.Buf);
+    assert(It != Buffers.end() && "missing operand buffer");
+    int Off = A.Const;
+    for (auto [Var, Coeff] : A.Terms)
+      Off += Coeff * Vars[Var];
+    return It->second + Off;
+  }
+
+  void runBlock(const std::vector<Node> &Body) {
+    for (const Node &N : Body) {
+      if (const auto *I = std::get_if<Inst>(&N)) {
+        exec(*I);
+        continue;
+      }
+      const Loop &L = std::get<Loop>(N);
+      int Lo = L.Lo + (L.LoVar >= 0 ? L.LoVarCoeff * Vars[L.LoVar] : 0);
+      for (int V = Lo; V < L.Hi; V += L.Step) {
+        Vars[L.Var] = V;
+        runBlock(L.Body);
+      }
+    }
+  }
+
+  void exec(const Inst &I) {
+    int Nu = F.Nu;
+    switch (I.K) {
+    case Op::SConst:
+      reg(I.Dst)[0] = I.Imm;
+      break;
+    case Op::SLoad:
+      reg(I.Dst)[0] = *resolve(I.Address);
+      break;
+    case Op::SStore:
+      *resolve(I.Address) = reg(I.A)[0];
+      break;
+    case Op::SAdd:
+      reg(I.Dst)[0] = reg(I.A)[0] + reg(I.B)[0];
+      break;
+    case Op::SSub:
+      reg(I.Dst)[0] = reg(I.A)[0] - reg(I.B)[0];
+      break;
+    case Op::SMul:
+      reg(I.Dst)[0] = reg(I.A)[0] * reg(I.B)[0];
+      break;
+    case Op::SDiv:
+      reg(I.Dst)[0] = reg(I.A)[0] / reg(I.B)[0];
+      break;
+    case Op::SSqrt:
+      reg(I.Dst)[0] = std::sqrt(reg(I.A)[0]);
+      break;
+    case Op::SNeg:
+      reg(I.Dst)[0] = -reg(I.A)[0];
+      break;
+    case Op::VConst:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = I.Imm;
+      break;
+    case Op::VLoad: {
+      const double *P = resolve(I.Address);
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = L < I.Lanes ? P[L] : 0.0;
+      break;
+    }
+    case Op::VLoadStrided: {
+      const double *P = resolve(I.Address);
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = L < I.Lanes ? P[static_cast<long>(L) * I.Stride] : 0.0;
+      break;
+    }
+    case Op::VStore: {
+      double *P = resolve(I.Address);
+      for (int L = 0; L < I.Lanes; ++L)
+        P[L] = reg(I.A)[L];
+      break;
+    }
+    case Op::VStoreStrided: {
+      double *P = resolve(I.Address);
+      for (int L = 0; L < I.Lanes; ++L)
+        P[static_cast<long>(L) * I.Stride] = reg(I.A)[L];
+      break;
+    }
+    case Op::VBroadcast:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = reg(I.A)[0];
+      break;
+    case Op::VAdd:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = reg(I.A)[L] + reg(I.B)[L];
+      break;
+    case Op::VSub:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = reg(I.A)[L] - reg(I.B)[L];
+      break;
+    case Op::VMul:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = reg(I.A)[L] * reg(I.B)[L];
+      break;
+    case Op::VDiv:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = reg(I.A)[L] / reg(I.B)[L];
+      break;
+    case Op::VFma:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = reg(I.A)[L] * reg(I.B)[L] + reg(I.C)[L];
+      break;
+    case Op::VExtract:
+      reg(I.Dst)[0] = reg(I.A)[I.Lanes];
+      break;
+    case Op::VReduceAdd: {
+      double Acc = 0.0;
+      for (int L = 0; L < Nu; ++L)
+        Acc += reg(I.A)[L];
+      reg(I.Dst)[0] = Acc;
+      break;
+    }
+    case Op::VShuffle: {
+      assert(static_cast<int>(I.Sel.size()) == Nu && "bad selector");
+      double Tmp[8];
+      for (int L = 0; L < Nu; ++L) {
+        int S = I.Sel[L];
+        if (S < 0)
+          Tmp[L] = 0.0;
+        else if (S < Nu)
+          Tmp[L] = reg(I.A)[S];
+        else
+          Tmp[L] = reg(I.B)[S - Nu];
+      }
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = Tmp[L];
+      break;
+    }
+    }
+  }
+};
+
+} // namespace
+
+void cir::interpret(const Function &F,
+                    const std::map<const Operand *, double *> &Buffers) {
+  // Allocate the function's compiler temporaries, mirroring the
+  // zero-initialized stack arrays the C emitter declares.
+  std::vector<std::vector<double>> LocalStorage;
+  std::map<const Operand *, double *> All = Buffers;
+  for (const Operand *L : F.Locals) {
+    if (All.count(L))
+      continue;
+    LocalStorage.emplace_back(static_cast<size_t>(L->Rows) * L->Cols, 0.0);
+    All[L] = LocalStorage.back().data();
+  }
+  Machine M(F, All);
+  M.run();
+}

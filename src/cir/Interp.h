@@ -1,0 +1,34 @@
+//===- cir/Interp.h - C-IR interpreter -------------------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a C-IR function in-process against operand buffers, simulating
+/// vector registers as Nu-lane double arrays with exact shuffle/blend/mask
+/// semantics. This is what makes the whole pipeline testable without
+/// shelling out to a C compiler: every generated kernel can be run and
+/// compared against the dense evaluator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_CIR_INTERP_H
+#define SLINGEN_CIR_INTERP_H
+
+#include "cir/CIR.h"
+
+#include <map>
+
+namespace slingen {
+namespace cir {
+
+/// Runs \p F against the given operand buffers (keyed by *root* operand,
+/// matching Function::Params). Missing buffers assert.
+void interpret(const Function &F,
+               const std::map<const Operand *, double *> &Buffers);
+
+} // namespace cir
+} // namespace slingen
+
+#endif // SLINGEN_CIR_INTERP_H

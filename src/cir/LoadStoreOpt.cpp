@@ -1,0 +1,358 @@
+//===- cir/LoadStoreOpt.cpp - the domain-specific load/store analysis -----==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the paper's Stage-3 load/store analysis (Sec. 3.3, Figs. 11/12):
+// memory is tracked at element granularity through constant addresses; a
+// vector load whose lanes were all produced by earlier stores (or loads) is
+// replaced by a shuffle/blend of the producing registers, a scalar load by a
+// lane extract, and stores that are overwritten before any read are deleted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/Passes.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace slingen;
+using namespace slingen::cir;
+
+namespace {
+
+/// Where a memory element currently lives in registers: lane -1 means a
+/// scalar register holds it.
+struct LaneVal {
+  int Reg = -1;
+  int Lane = -1;
+  long Time = 0; ///< clock value at publication (for the age window)
+};
+
+using MemKey = std::pair<const Operand *, int>; // (buffer, element offset)
+
+class LoadStorePass {
+public:
+  LoadStorePass(Function &F, int WindowInsts)
+      : F(F), Window(WindowInsts), Defs(F.NumRegs, 0), NextReg(F.NumRegs) {
+    countDefs(F.Body);
+    RegIsVec = F.RegIsVec;
+    Rename.resize(F.NumRegs);
+    for (int I = 0; I < F.NumRegs; ++I)
+      Rename[I] = I;
+    runBlock(F.Body);
+    deadStores(F.Body, /*LiveOutEverything=*/true);
+    F.NumRegs = NextReg;
+    F.RegIsVec = RegIsVec;
+  }
+
+private:
+  Function &F;
+  int Window;
+  long Clock = 0;
+  std::vector<int> Defs;
+  std::vector<int> Rename;
+  std::vector<bool> RegIsVec;
+  int NextReg;
+  std::map<MemKey, LaneVal> Mem;
+
+  void countDefs(const std::vector<Node> &Body) {
+    for (const Node &N : Body) {
+      if (const auto *I = std::get_if<Inst>(&N)) {
+        if (hasDst(I->K) && I->Dst >= 0)
+          ++Defs[I->Dst];
+      } else {
+        countDefs(std::get<Loop>(N).Body);
+      }
+    }
+  }
+
+  bool singleDef(int R) const { return R >= 0 && Defs[R] == 1; }
+
+  int freshVReg() {
+    RegIsVec.push_back(true);
+    Defs.push_back(1);
+    Rename.push_back(NextReg);
+    return NextReg++;
+  }
+
+  void invalidateBuffer(const Operand *Buf) {
+    for (auto It = Mem.begin(); It != Mem.end();)
+      It = It->first.first == Buf ? Mem.erase(It) : std::next(It);
+  }
+
+  void recordStore(const Operand *Buf, int Off, int Reg, int Lane) {
+    if (singleDef(Reg))
+      Mem[{Buf, Off}] = {Reg, Lane, Clock};
+    else
+      Mem.erase({Buf, Off});
+  }
+
+  /// Window-checked lookup: entries older than Window instructions are
+  /// treated as absent. Bounding the forwarding distance keeps register
+  /// live ranges local in the very large unrolled kernels -- both the C
+  /// compiler's register allocator and the function splitter depend on
+  /// that locality; the paper's Fig. 11/12 patterns span only a few
+  /// statements, far below any reasonable window.
+  const LaneVal *lookup(const Operand *Buf, int Off) {
+    auto It = Mem.find({Buf, Off});
+    if (It == Mem.end())
+      return nullptr;
+    if (Window > 0 && Clock - It->second.Time > Window) {
+      Mem.erase(It);
+      return nullptr;
+    }
+    return &It->second;
+  }
+
+  /// Tries to synthesize the value of a vector load (Lanes active lanes at
+  /// Base..Base+Lanes-1 of Buf) out of live registers. Appends replacement
+  /// instructions to Out and returns the register holding the value, or -1.
+  int synthesize(const Operand *Buf, int Base, int Lanes,
+                 std::vector<Node> &Out) {
+    int Nu = F.Nu;
+    LaneVal Vals[8];
+    for (int L = 0; L < Lanes; ++L) {
+      const LaneVal *V = lookup(Buf, Base + L);
+      if (!V)
+        return -1;
+      Vals[L] = *V;
+      if (Vals[L].Lane < 0)
+        return -1; // scalar producer: handled only for scalar loads
+    }
+    // Collect the source registers (at most two for a shuffle).
+    int SrcA = -1, SrcB = -1;
+    for (int L = 0; L < Lanes; ++L) {
+      int R = Vals[L].Reg;
+      if (SrcA < 0 || R == SrcA)
+        SrcA = R;
+      else if (SrcB < 0 || R == SrcB)
+        SrcB = R;
+      else
+        return -1;
+    }
+    // Build the selector; inactive lanes must be zero (VLoad semantics).
+    std::vector<int> Sel(Nu, -1);
+    bool Identity = Lanes == Nu;
+    for (int L = 0; L < Lanes; ++L) {
+      bool FromB = SrcB >= 0 && Vals[L].Reg == SrcB;
+      Sel[L] = (FromB ? Nu : 0) + Vals[L].Lane;
+      if (FromB || Vals[L].Lane != L)
+        Identity = false;
+    }
+    if (Identity)
+      return SrcA; // direct reuse, no instruction needed
+    Inst Sh;
+    Sh.K = Op::VShuffle;
+    Sh.Dst = freshVReg();
+    Sh.A = SrcA;
+    Sh.B = SrcB < 0 ? SrcA : SrcB;
+    Sh.Sel = std::move(Sel);
+    Out.push_back(std::move(Sh));
+    return Out.empty() ? -1 : std::get<Inst>(Out.back()).Dst;
+  }
+
+  void runBlock(std::vector<Node> &Body) {
+    std::vector<Node> Out;
+    for (Node &N : Body) {
+      if (auto *LP = std::get_if<Loop>(&N)) {
+        // Conservative barriers: forget everything around loops.
+        Mem.clear();
+        runBlock(LP->Body);
+        Mem.clear();
+        Out.push_back(std::move(N));
+        continue;
+      }
+      Inst I = std::move(std::get<Inst>(N));
+      ++Clock;
+      if (I.A >= 0)
+        I.A = Rename[I.A];
+      if (I.B >= 0)
+        I.B = Rename[I.B];
+      if (I.C >= 0)
+        I.C = Rename[I.C];
+
+      switch (I.K) {
+      case Op::SStore:
+        if (I.Address.isConstant()) {
+          recordStore(I.Address.Buf, I.Address.Const, I.A, -1);
+        } else {
+          invalidateBuffer(I.Address.Buf);
+        }
+        Out.push_back(std::move(I));
+        continue;
+      case Op::VStore:
+        if (I.Address.isConstant()) {
+          for (int L = 0; L < I.Lanes; ++L)
+            recordStore(I.Address.Buf, I.Address.Const + L, I.A, L);
+        } else {
+          invalidateBuffer(I.Address.Buf);
+        }
+        Out.push_back(std::move(I));
+        continue;
+      case Op::VStoreStrided:
+        if (I.Address.isConstant()) {
+          for (int L = 0; L < I.Lanes; ++L)
+            recordStore(I.Address.Buf, I.Address.Const + L * I.Stride, I.A,
+                        L);
+        } else {
+          invalidateBuffer(I.Address.Buf);
+        }
+        Out.push_back(std::move(I));
+        continue;
+      case Op::SLoad: {
+        if (I.Address.isConstant()) {
+          const LaneVal *V = lookup(I.Address.Buf, I.Address.Const);
+          if (V) {
+            if (V->Lane < 0 && singleDef(I.Dst)) {
+              // Forward the scalar directly.
+              Rename[I.Dst] = V->Reg;
+              continue;
+            }
+            if (V->Lane >= 0) {
+              // Replace the load with a lane extract.
+              Inst Ex;
+    Ex.K = Op::VExtract;
+              Ex.Dst = I.Dst;
+              Ex.A = V->Reg;
+              Ex.Lanes = V->Lane;
+              Out.push_back(std::move(Ex));
+              continue;
+            }
+          }
+          // A kept load publishes its destination for later reuse.
+          if (singleDef(I.Dst))
+            Mem[{I.Address.Buf, I.Address.Const}] = {I.Dst, -1, Clock};
+        }
+        Out.push_back(std::move(I));
+        continue;
+      }
+      case Op::VLoad: {
+        if (I.Address.isConstant()) {
+          int R = synthesize(I.Address.Buf, I.Address.Const, I.Lanes, Out);
+          if (R >= 0) {
+            if (singleDef(I.Dst)) {
+              Rename[I.Dst] = R;
+              continue;
+            }
+          }
+          if (singleDef(I.Dst))
+            for (int L = 0; L < I.Lanes; ++L)
+              Mem[{I.Address.Buf, I.Address.Const + L}] = {I.Dst, L, Clock};
+        }
+        Out.push_back(std::move(I));
+        continue;
+      }
+      case Op::VLoadStrided: {
+        if (I.Address.isConstant() && singleDef(I.Dst))
+          for (int L = 0; L < I.Lanes; ++L)
+            Mem[{I.Address.Buf, I.Address.Const + L * I.Stride}] = {
+                I.Dst, L, Clock};
+        Out.push_back(std::move(I));
+        continue;
+      }
+      default:
+        Out.push_back(std::move(I));
+        continue;
+      }
+    }
+    Body = std::move(Out);
+  }
+
+  /// Backward dead-store elimination within straight-line regions: a store
+  /// all of whose elements are overwritten before any read (and before any
+  /// loop) is removed.
+  void deadStores(std::vector<Node> &Body, bool LiveOutEverything) {
+    std::set<MemKey> Overwritten;
+    std::vector<Node> Out;
+    for (auto It = Body.rbegin(); It != Body.rend(); ++It) {
+      Node &N = *It;
+      if (auto *LP = std::get_if<Loop>(&N)) {
+        deadStores(LP->Body, true);
+        Overwritten.clear();
+        Out.push_back(std::move(N));
+        continue;
+      }
+      Inst &I = std::get<Inst>(N);
+      auto Covered = [&](const Operand *Buf, int Off, int Count,
+                         int Stride) {
+        for (int L = 0; L < Count; ++L)
+          if (!Overwritten.count({Buf, Off + L * Stride}))
+            return false;
+        return true;
+      };
+      auto MarkStore = [&](const Operand *Buf, int Off, int Count,
+                           int Stride) {
+        for (int L = 0; L < Count; ++L)
+          Overwritten.insert({Buf, Off + L * Stride});
+      };
+      auto MarkRead = [&](const Operand *Buf, int Off, int Count,
+                          int Stride) {
+        for (int L = 0; L < Count; ++L)
+          Overwritten.erase({Buf, Off + L * Stride});
+      };
+      switch (I.K) {
+      case Op::SStore:
+        if (I.Address.isConstant()) {
+          if (Covered(I.Address.Buf, I.Address.Const, 1, 1))
+            continue; // dead
+          MarkStore(I.Address.Buf, I.Address.Const, 1, 1);
+        } else {
+          Overwritten.clear();
+        }
+        break;
+      case Op::VStore:
+        if (I.Address.isConstant()) {
+          if (Covered(I.Address.Buf, I.Address.Const, I.Lanes, 1))
+            continue;
+          MarkStore(I.Address.Buf, I.Address.Const, I.Lanes, 1);
+        } else {
+          Overwritten.clear();
+        }
+        break;
+      case Op::VStoreStrided:
+        if (I.Address.isConstant()) {
+          if (Covered(I.Address.Buf, I.Address.Const, I.Lanes, I.Stride))
+            continue;
+          MarkStore(I.Address.Buf, I.Address.Const, I.Lanes, I.Stride);
+        } else {
+          Overwritten.clear();
+        }
+        break;
+      case Op::SLoad:
+        if (I.Address.isConstant())
+          MarkRead(I.Address.Buf, I.Address.Const, 1, 1);
+        else
+          Overwritten.clear();
+        break;
+      case Op::VLoad:
+        if (I.Address.isConstant())
+          MarkRead(I.Address.Buf, I.Address.Const, I.Lanes, 1);
+        else
+          Overwritten.clear();
+        break;
+      case Op::VLoadStrided:
+        if (I.Address.isConstant())
+          MarkRead(I.Address.Buf, I.Address.Const, I.Lanes, I.Stride);
+        else
+          Overwritten.clear();
+        break;
+      default:
+        break;
+      }
+      Out.push_back(std::move(N));
+    }
+    std::reverse(Out.begin(), Out.end());
+    Body = std::move(Out);
+    (void)LiveOutEverything;
+  }
+};
+
+} // namespace
+
+void cir::loadStoreOpt(Function &F, int WindowInsts) {
+  LoadStorePass Pass(F, WindowInsts);
+}

@@ -1,0 +1,280 @@
+//===- cir/Passes.cpp -----------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace slingen;
+using namespace slingen::cir;
+
+//===----------------------------------------------------------------------===//
+// Shared helpers.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void forEachInst(std::vector<Node> &Body,
+                 const std::function<void(Inst &)> &Fn) {
+  for (Node &N : Body) {
+    if (auto *I = std::get_if<Inst>(&N))
+      Fn(*I);
+    else
+      forEachInst(std::get<Loop>(N).Body, Fn);
+  }
+}
+
+void forEachInst(const std::vector<Node> &Body,
+                 const std::function<void(const Inst &)> &Fn) {
+  for (const Node &N : Body) {
+    if (const auto *I = std::get_if<Inst>(&N))
+      Fn(*I);
+    else
+      forEachInst(std::get<Loop>(N).Body, Fn);
+  }
+}
+
+/// Number of definitions of each register across the whole function.
+std::vector<int> defCounts(const Function &F) {
+  std::vector<int> Defs(F.NumRegs, 0);
+  forEachInst(F.Body, [&](const Inst &I) {
+    if (hasDst(I.K) && I.Dst >= 0)
+      ++Defs[I.Dst];
+  });
+  return Defs;
+}
+
+void applyRename(Inst &I, const std::vector<int> &Rename) {
+  auto Rw = [&](int &R) {
+    if (R >= 0)
+      R = Rename[R];
+  };
+  Rw(I.A);
+  Rw(I.B);
+  Rw(I.C);
+}
+
+} // namespace
+
+int cir::countInsts(const Function &F) {
+  int N = 0;
+  forEachInst(F.Body, [&](const Inst &) { ++N; });
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Loop unrolling.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void substVar(std::vector<Node> &Body, int Var, int Value) {
+  for (Node &N : Body) {
+    if (auto *I = std::get_if<Inst>(&N)) {
+      auto &Terms = I->Address.Terms;
+      for (auto It = Terms.begin(); It != Terms.end();) {
+        if (It->first == Var) {
+          I->Address.Const += It->second * Value;
+          It = Terms.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    } else {
+      Loop &L = std::get<Loop>(N);
+      if (L.LoVar == Var) {
+        L.Lo += L.LoVarCoeff * Value;
+        L.LoVar = -1;
+        L.LoVarCoeff = 0;
+      }
+      substVar(L.Body, Var, Value);
+    }
+  }
+}
+
+void unrollBlock(std::vector<Node> &Body, int MaxTrip) {
+  std::vector<Node> Out;
+  for (Node &N : Body) {
+    if (auto *I = std::get_if<Inst>(&N)) {
+      Out.push_back(std::move(*I));
+      continue;
+    }
+    Loop &L = std::get<Loop>(N);
+    unrollBlock(L.Body, MaxTrip);
+    // Loops whose lower bound depends on an outer (non-unrolled) variable
+    // have an unknown trip count and are kept.
+    int Trip = L.Step > 0 ? (L.Hi - L.Lo + L.Step - 1) / L.Step : 0;
+    if (Trip < 0)
+      Trip = 0;
+    if (Trip > MaxTrip || L.LoVar >= 0) {
+      Out.push_back(std::move(L));
+      continue;
+    }
+    for (int V = L.Lo; V < L.Hi; V += L.Step) {
+      std::vector<Node> Copy = L.Body; // deep copy (value semantics)
+      substVar(Copy, L.Var, V);
+      for (Node &C : Copy)
+        Out.push_back(std::move(C));
+    }
+  }
+  Body = std::move(Out);
+}
+
+} // namespace
+
+void cir::unrollLoops(Function &F, int MaxTrip) {
+  unrollBlock(F.Body, MaxTrip);
+}
+
+//===----------------------------------------------------------------------===//
+// Local value numbering (CSE + copy propagation).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CseKey {
+  Op K;
+  int A, B, C;
+  double Imm;
+  int Lanes, Stride;
+  std::vector<int> Sel;
+
+  bool operator<(const CseKey &O) const {
+    return std::tie(K, A, B, C, Imm, Lanes, Stride, Sel) <
+           std::tie(O.K, O.A, O.B, O.C, O.Imm, O.Lanes, O.Stride, O.Sel);
+  }
+};
+
+class CsePass {
+public:
+  CsePass(Function &F) : Defs(defCounts(F)), Rename(F.NumRegs) {
+    for (int I = 0; I < F.NumRegs; ++I)
+      Rename[I] = I;
+    runBlock(F.Body);
+  }
+
+private:
+  std::vector<int> Defs;
+  std::vector<int> Rename;
+
+  bool singleDef(int R) const { return R >= 0 && Defs[R] == 1; }
+
+  void runBlock(std::vector<Node> &Body) {
+    // Value table local to this straight-line region.
+    std::map<CseKey, int> Table;
+    std::vector<Node> Out;
+    for (Node &N : Body) {
+      if (auto *LP = std::get_if<Loop>(&N)) {
+        runBlock(LP->Body);
+        Out.push_back(std::move(N));
+        // Registers redefined in the loop invalidate nothing here because
+        // table entries only involve single-def registers.
+        continue;
+      }
+      Inst I = std::move(std::get<Inst>(N));
+      applyRename(I, Rename);
+      bool Eligible = isPure(I.K) && hasDst(I.K) && singleDef(I.Dst) &&
+                      (I.A < 0 || singleDef(I.A)) &&
+                      (I.B < 0 || singleDef(I.B)) &&
+                      (I.C < 0 || singleDef(I.C));
+      if (Eligible) {
+        // Canonicalize commutative operations.
+        if ((I.K == Op::SAdd || I.K == Op::SMul || I.K == Op::VAdd ||
+             I.K == Op::VMul) &&
+            I.A > I.B)
+          std::swap(I.A, I.B);
+        CseKey Key{I.K, I.A, I.B, I.C, I.Imm, I.Lanes, I.Stride, I.Sel};
+        auto It = Table.find(Key);
+        if (It != Table.end()) {
+          Rename[I.Dst] = It->second;
+          continue; // drop the duplicate instruction
+        }
+        // Identity shuffles are copies.
+        if (I.K == Op::VShuffle) {
+          bool Identity = true;
+          for (size_t L = 0; L < I.Sel.size(); ++L)
+            Identity &= I.Sel[L] == static_cast<int>(L);
+          if (Identity && singleDef(I.A)) {
+            Rename[I.Dst] = I.A;
+            continue;
+          }
+        }
+        Table.emplace(std::move(Key), I.Dst);
+      }
+      Out.push_back(std::move(I));
+    }
+    Body = std::move(Out);
+  }
+};
+
+} // namespace
+
+void cir::cse(Function &F) { CsePass Pass(F); }
+
+//===----------------------------------------------------------------------===//
+// Dead code elimination.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool dceOnce(Function &F) {
+  std::vector<bool> Used(F.NumRegs, false);
+  forEachInst(F.Body, [&](const Inst &I) {
+    if (I.A >= 0)
+      Used[I.A] = true;
+    if (I.B >= 0)
+      Used[I.B] = true;
+    if (I.C >= 0)
+      Used[I.C] = true;
+  });
+  bool Changed = false;
+  std::function<void(std::vector<Node> &)> Walk =
+      [&](std::vector<Node> &Body) {
+        std::vector<Node> Out;
+        for (Node &N : Body) {
+          if (auto *LP = std::get_if<Loop>(&N)) {
+            Walk(LP->Body);
+            if (!LP->Body.empty())
+              Out.push_back(std::move(N));
+            else
+              Changed = true;
+            continue;
+          }
+          const Inst &I = std::get<Inst>(N);
+          bool Removable =
+              hasDst(I.K) && !Used[I.Dst] && I.K != Op::SStore;
+          // Loads are side-effect free in this IR (no traps on generated
+          // addresses), so unused loads die too.
+          if (Removable) {
+            Changed = true;
+            continue;
+          }
+          Out.push_back(std::move(N));
+        }
+        Body = std::move(Out);
+      };
+  Walk(F.Body);
+  return Changed;
+}
+
+} // namespace
+
+void cir::dce(Function &F) {
+  while (dceOnce(F))
+    ;
+}
+
+void cir::optimize(Function &F, int UnrollMaxTrip) {
+  unrollLoops(F, UnrollMaxTrip);
+  cse(F);
+  loadStoreOpt(F);
+  cse(F);
+  dce(F);
+}

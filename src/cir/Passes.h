@@ -1,0 +1,57 @@
+//===- cir/Passes.h - C-IR optimization passes -----------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Code-level optimizations of paper Stage 3: loop unrolling, local common
+/// subexpression elimination (with copy propagation), dead code elimination,
+/// and the domain-specific load/store analysis that replaces memory
+/// round-trips with register shuffles and blends (paper Sec. 3.3 and
+/// Figs. 11/12) plus redundant-load and dead-store elimination.
+///
+/// The pass pipeline relies on a structural property of generated code:
+/// every register has a single definition except explicit loop-carried
+/// accumulators. Passes treat multi-def registers conservatively.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_CIR_PASSES_H
+#define SLINGEN_CIR_PASSES_H
+
+#include "cir/CIR.h"
+
+namespace slingen {
+namespace cir {
+
+/// Fully unrolls (recursively) every loop whose trip count is at most
+/// \p MaxTrip. Addresses referencing the induction variable are folded.
+void unrollLoops(Function &F, int MaxTrip);
+
+/// Local value numbering: CSE + copy propagation on single-def registers,
+/// per straight-line region.
+void cse(Function &F);
+
+/// Removes pure instructions (and dead loads) whose results are unused.
+void dce(Function &F);
+
+/// The load/store analysis: store-to-load forwarding across constant
+/// addresses. Vector reloads of recently stored lanes become VShuffle /
+/// blend combinations (Fig. 12b); redundant loads are reused; stores that
+/// are provably overwritten before being read are removed. Forwarding is
+/// limited to \p WindowInsts instructions of distance so register live
+/// ranges stay local in very large unrolled kernels (0 = unbounded).
+void loadStoreOpt(Function &F, int WindowInsts = 4096);
+
+/// Runs the standard post-generation pipeline:
+/// unroll(MaxTrip) -> cse -> loadStoreOpt -> cse -> dce.
+void optimize(Function &F, int UnrollMaxTrip = 8);
+
+/// Number of instructions (loops counted by body, once).
+int countInsts(const Function &F);
+
+} // namespace cir
+} // namespace slingen
+
+#endif // SLINGEN_CIR_PASSES_H

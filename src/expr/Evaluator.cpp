@@ -1,0 +1,290 @@
+//===- expr/Evaluator.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Evaluator.h"
+
+#include "baselines/RefBlas.h"
+#include "expr/HlacMatch.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace slingen;
+
+double *Env::buffer(const Operand *Op) {
+  const Operand *Root = Op->root();
+  auto It = Buffers.find(Root);
+  if (It == Buffers.end())
+    It = Buffers
+             .emplace(Root, std::vector<double>(
+                                static_cast<size_t>(Root->Rows) * Root->Cols,
+                                0.0))
+             .first;
+  return It->second.data();
+}
+
+const double *Env::buffer(const Operand *Op) const {
+  const Operand *Root = Op->root();
+  auto It = Buffers.find(Root);
+  assert(It != Buffers.end() && "reading an unset operand");
+  return It->second.data();
+}
+
+void Env::set(const Operand *Op, const std::vector<double> &Data) {
+  assert(static_cast<int>(Data.size()) == Op->Rows * Op->Cols &&
+         "set() size mismatch");
+  double *Buf = buffer(Op);
+  // Operands always view their root with identical dimensions (checked by
+  // the front end), so this is a straight copy.
+  assert(Op->root()->Rows == Op->Rows && Op->root()->Cols == Op->Cols &&
+         "ow() with mismatched dimensions");
+  std::copy(Data.begin(), Data.end(), Buf);
+}
+
+std::vector<double> Env::get(const Operand *Op) const {
+  const double *Buf = buffer(Op);
+  return std::vector<double>(Buf,
+                             Buf + static_cast<size_t>(Op->Rows) * Op->Cols);
+}
+
+namespace {
+
+/// Reads the rectangle of a view into a dense row-major result.
+std::vector<double> readView(const ViewExpr *V, const Env &E) {
+  const double *Buf = E.buffer(V->Op);
+  int Ld = Env::ld(V->Op);
+  std::vector<double> Out(static_cast<size_t>(V->rows()) * V->cols());
+  for (int I = 0; I < V->rows(); ++I)
+    for (int J = 0; J < V->cols(); ++J)
+      Out[I * V->cols() + J] = Buf[(V->R0 + I) * Ld + (V->C0 + J)];
+  return Out;
+}
+
+void writeView(const ViewExpr *V, Env &E, const std::vector<double> &Data) {
+  double *Buf = E.buffer(V->Op);
+  int Ld = Env::ld(V->Op);
+  for (int I = 0; I < V->rows(); ++I)
+    for (int J = 0; J < V->cols(); ++J)
+      Buf[(V->R0 + I) * Ld + (V->C0 + J)] = Data[I * V->cols() + J];
+}
+
+/// Enforces the full-storage convention after a structured region has been
+/// (re)computed: zero the non-stored triangle of triangular views; mirror
+/// the computed triangle of symmetric views.
+void normalizeStructuredView(const ViewExpr *V, Env &E) {
+  StructureKind S = V->structure();
+  if (S == StructureKind::General || V->rows() != V->cols())
+    return;
+  double *Buf = E.buffer(V->Op);
+  int Ld = Env::ld(V->Op);
+  int N = V->rows();
+  auto At = [&](int I, int J) -> double & {
+    return Buf[(V->R0 + I) * Ld + (V->C0 + J)];
+  };
+  switch (S) {
+  case StructureKind::LowerTriangular:
+    for (int I = 0; I < N; ++I)
+      for (int J = I + 1; J < N; ++J)
+        At(I, J) = 0.0;
+    break;
+  case StructureKind::UpperTriangular:
+    for (int I = 0; I < N; ++I)
+      for (int J = 0; J < I; ++J)
+        At(I, J) = 0.0;
+    break;
+  case StructureKind::SymmetricUpper:
+    for (int I = 0; I < N; ++I)
+      for (int J = 0; J < I; ++J)
+        At(I, J) = At(J, I);
+    break;
+  case StructureKind::SymmetricLower:
+    for (int I = 0; I < N; ++I)
+      for (int J = I + 1; J < N; ++J)
+        At(I, J) = At(J, I);
+    break;
+  default:
+    break;
+  }
+}
+
+void solveHlac(const HlacMatch &M, Env &E);
+
+} // namespace
+
+std::vector<double> slingen::evalExpr(const ExprPtr &E, const Env &Env_) {
+  if (const auto *V = dyn_cast<ViewExpr>(E))
+    return readView(V, Env_);
+  if (const auto *C = dyn_cast<ConstExpr>(E))
+    return {C->Value};
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    std::vector<double> Sub = evalExpr(U->Sub, Env_);
+    switch (U->kind()) {
+    case ExprKind::Trans: {
+      std::vector<double> Out(Sub.size());
+      int R = U->Sub->rows(), C = U->Sub->cols();
+      for (int I = 0; I < R; ++I)
+        for (int J = 0; J < C; ++J)
+          Out[J * R + I] = Sub[I * C + J];
+      return Out;
+    }
+    case ExprKind::Neg:
+      for (double &X : Sub)
+        X = -X;
+      return Sub;
+    case ExprKind::Sqrt:
+      assert(Sub.size() == 1 && Sub[0] >= 0.0 && "sqrt of a negative value");
+      return {std::sqrt(Sub[0])};
+    case ExprKind::Inv: {
+      // Triangular inverse only (the LA language restricts inv to
+      // triangular operands; checked by the front end).
+      bool T = false;
+      const ViewExpr *AV = asViewMaybeTrans(U->Sub, T);
+      assert(AV && "inv of a non-view expression");
+      // Sub holds the already-evaluated (possibly transposed) argument, so
+      // the structure must be adjusted accordingly.
+      StructureKind S = AV->structure();
+      if (T)
+        S = transposedStructure(S);
+      assert(isTriangular(S) && "inv of a non-triangular view");
+      std::vector<double> Out = Sub;
+      int N = U->rows();
+      if (S == StructureKind::LowerTriangular)
+        refblas::trtriLower(N, Out.data(), N);
+      else
+        refblas::trtriUpper(N, Out.data(), N);
+      return Out;
+    }
+    default:
+      assert(false && "bad unary");
+    }
+  }
+  const auto *B = cast<BinaryExpr>(E);
+  std::vector<double> L = evalExpr(B->L, Env_);
+  std::vector<double> R = evalExpr(B->R, Env_);
+  switch (B->kind()) {
+  case ExprKind::Add:
+    for (size_t I = 0; I < L.size(); ++I)
+      L[I] += R[I];
+    return L;
+  case ExprKind::Sub:
+    for (size_t I = 0; I < L.size(); ++I)
+      L[I] -= R[I];
+    return L;
+  case ExprKind::Div:
+    assert(R.size() == 1 && R[0] != 0.0 && "division by zero");
+    for (double &X : L)
+      X /= R[0];
+    return L;
+  case ExprKind::Mul: {
+    if (B->L->isScalarShaped()) {
+      for (double &X : R)
+        X *= L[0];
+      return R;
+    }
+    if (B->R->isScalarShaped()) {
+      for (double &X : L)
+        X *= R[0];
+      return L;
+    }
+    int M = B->L->rows(), K = B->L->cols(), N = B->R->cols();
+    std::vector<double> Out(static_cast<size_t>(M) * N, 0.0);
+    refblas::gemm(M, N, K, 1.0, L.data(), K, false, R.data(), N, false, 0.0,
+                  Out.data(), N);
+    return Out;
+  }
+  default:
+    assert(false && "bad binary");
+  }
+  return {};
+}
+
+namespace {
+
+void solveHlac(const HlacMatch &M, Env &E) {
+  std::vector<double> Rhs = evalExpr(M.Rhs, E);
+  int XR = M.X->rows(), XC = M.X->cols();
+  switch (M.Kind) {
+  case HlacKind::Chol: {
+    assert(XR == XC && "non-square Cholesky");
+    int Info = M.UpperFactor ? refblas::potrfUpper(XR, Rhs.data(), XC)
+                             : refblas::potrfLower(XR, Rhs.data(), XC);
+    assert(Info == 0 && "Cholesky of a non-PD matrix");
+    (void)Info;
+    break;
+  }
+  case HlacKind::Trsm: {
+    bool Upper = M.A->structure() == StructureKind::UpperTriangular;
+    std::vector<double> A = readView(M.A, E);
+    if (M.LeftA)
+      refblas::trsmLeft(Upper, M.TransA, M.A->Op->UnitDiag, XR, XC, A.data(),
+                        M.A->cols(), Rhs.data(), XC);
+    else
+      refblas::trsmRight(Upper, M.TransA, M.A->Op->UnitDiag, XR, XC, A.data(),
+                         M.A->cols(), Rhs.data(), XC);
+    break;
+  }
+  case HlacKind::Inv: {
+    // Rhs already evaluated inv(A) via evalExpr.
+    break;
+  }
+  case HlacKind::Trsyl: {
+    std::vector<double> A = readView(M.A, E);
+    std::vector<double> B = readView(M.B, E);
+    // Normalize to L X + X U = C with L lower, U upper.
+    assert(!M.TransA && !M.TransB && "transposed trsyl is not yet supported");
+    // 1x1 coefficients are trivially both lower and upper.
+    assert((M.A->rows() == 1 ||
+            M.A->structure() == StructureKind::LowerTriangular) &&
+           (M.B->rows() == 1 ||
+            M.B->structure() == StructureKind::UpperTriangular) &&
+           "trsyl expects L lower / U upper");
+    refblas::trsylLowerUpper(XR, XC, A.data(), M.A->cols(), B.data(),
+                             M.B->cols(), Rhs.data(), XC);
+    break;
+  }
+  case HlacKind::Trlya: {
+    std::vector<double> A = readView(M.A, E);
+    assert(!M.TransA && M.TransB && "trlya expects L X + X L^T");
+    assert(M.A->structure() == StructureKind::LowerTriangular &&
+           "trlya expects a lower-triangular coefficient");
+    refblas::trlyaLower(XR, A.data(), M.A->cols(), Rhs.data(), XC);
+    break;
+  }
+  case HlacKind::None:
+    assert(false && "unmatched HLAC");
+  }
+  writeView(M.X, E, Rhs);
+  normalizeStructuredView(M.X, E);
+}
+
+} // namespace
+
+void slingen::evalProgram(const Program &P, Env &Environment) {
+  std::set<const Operand *> Defined = P.initiallyDefined();
+  for (const EqStmt &S : P.stmts()) {
+    std::set<const Operand *> Before = Defined;
+    StmtInfo Info = classifyStmt(S, Defined);
+    if (!Info.IsHlac) {
+      std::vector<double> R = evalExpr(S.Rhs, Environment);
+      const auto *LhsV = cast<ViewExpr>(S.Lhs.get());
+      // Constant right-hand sides broadcast over the destination (used by
+      // the FLAME layer to zero non-stored triangles).
+      size_t LhsN = static_cast<size_t>(LhsV->rows()) * LhsV->cols();
+      if (isa<ConstExpr>(S.Rhs) && R.size() == 1 && LhsN > 1)
+        R.assign(LhsN, R[0]);
+      writeView(LhsV, Environment, R);
+      normalizeStructuredView(LhsV, Environment);
+      continue;
+    }
+    const Operand *Unknown = Info.Defines;
+    // For InOut HLACs the unknown is the statement's defining operand even
+    // if it was already in the defined set.
+    HlacMatch M = matchHlac(S, Unknown);
+    assert(M && "HLAC did not match any known operation");
+    solveHlac(M, Environment);
+    (void)Before;
+  }
+}

@@ -1,0 +1,57 @@
+//===- expr/Evaluator.h - dense reference execution of LA programs --------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, structure-oblivious interpreter for expr::Program. It is the
+/// numerical oracle: every transformation in the pipeline (FLAME lowering,
+/// LGen tiling, C-IR passes, the final emitted C) is validated against it.
+/// HLAC statements are solved with the refblas routines after classification
+/// by the HLAC matcher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_EXPR_EVALUATOR_H
+#define SLINGEN_EXPR_EVALUATOR_H
+
+#include "expr/Program.h"
+
+#include <map>
+#include <vector>
+
+namespace slingen {
+
+/// Storage environment mapping each root operand (following ow(...) chains)
+/// to a dense row-major buffer of Rows*Cols doubles.
+class Env {
+public:
+  /// Returns the buffer for \p Op's root, allocating it zero-filled on
+  /// first use.
+  double *buffer(const Operand *Op);
+  const double *buffer(const Operand *Op) const;
+
+  /// Leading dimension (row stride) of the buffer seen by \p Op.
+  static int ld(const Operand *Op) { return Op->root()->Cols; }
+
+  /// Copies \p Data (Rows*Cols doubles, row-major) into the operand buffer.
+  void set(const Operand *Op, const std::vector<double> &Data);
+
+  /// Reads the full operand out of its buffer.
+  std::vector<double> get(const Operand *Op) const;
+
+private:
+  std::map<const Operand *, std::vector<double>> Buffers;
+};
+
+/// Evaluates an arbitrary expression to a dense Rows*Cols row-major result.
+std::vector<double> evalExpr(const ExprPtr &E, const Env &Environment);
+
+/// Executes all statements of \p P in order against \p Environment.
+/// Asserts on malformed programs (unmatched HLACs, singular solves).
+void evalProgram(const Program &P, Env &Environment);
+
+} // namespace slingen
+
+#endif // SLINGEN_EXPR_EVALUATOR_H

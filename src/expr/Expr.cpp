@@ -1,0 +1,239 @@
+//===- expr/Expr.cpp ------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Expr.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace slingen;
+
+void Expr::collectOperands(std::set<const Operand *> &Out) const {
+  if (const auto *V = dyn_cast<ViewExpr>(this)) {
+    Out.insert(V->Op);
+    return;
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(this)) {
+    U->Sub->collectOperands(Out);
+    return;
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(this)) {
+    B->L->collectOperands(Out);
+    B->R->collectOperands(Out);
+  }
+}
+
+bool ViewExpr::overlaps(const ViewExpr &Other) const {
+  if (Op->root() != Other.Op->root())
+    return false;
+  bool RowsDisjoint = R0 + rows() <= Other.R0 || Other.R0 + Other.rows() <= R0;
+  bool ColsDisjoint = C0 + cols() <= Other.C0 || Other.C0 + Other.cols() <= C0;
+  return !(RowsDisjoint || ColsDisjoint);
+}
+
+std::string ViewExpr::str() const {
+  if (isFull())
+    return Op->Name;
+  if (Op->Cols == 1) // column vector: single index range
+    return formatf("%s(%d:%d)", Op->Name.c_str(), R0, R0 + rows());
+  return formatf("%s(%d:%d, %d:%d)", Op->Name.c_str(), R0, R0 + rows(), C0,
+                 C0 + cols());
+}
+
+std::string ConstExpr::str() const { return formatf("%g", Value); }
+
+UnaryExpr::UnaryExpr(ExprKind Kind, ExprPtr SubIn)
+    : Expr(Kind,
+           Kind == ExprKind::Trans ? SubIn->cols() : SubIn->rows(),
+           Kind == ExprKind::Trans ? SubIn->rows() : SubIn->cols()),
+      Sub(std::move(SubIn)) {
+  assert((Kind == ExprKind::Trans || Kind == ExprKind::Neg ||
+          Kind == ExprKind::Sqrt || Kind == ExprKind::Inv) &&
+         "invalid unary kind");
+  assert((Kind != ExprKind::Sqrt || Sub->isScalarShaped()) &&
+         "sqrt is scalar-only");
+  assert((Kind != ExprKind::Inv || Sub->rows() == Sub->cols()) &&
+         "inverse requires a square argument");
+}
+
+std::string UnaryExpr::str() const {
+  switch (kind()) {
+  case ExprKind::Trans:
+    return formatf("trans(%s)", Sub->str().c_str());
+  case ExprKind::Neg:
+    return formatf("(-%s)", Sub->str().c_str());
+  case ExprKind::Sqrt:
+    return formatf("sqrt(%s)", Sub->str().c_str());
+  case ExprKind::Inv:
+    return formatf("inv(%s)", Sub->str().c_str());
+  default:
+    return "?";
+  }
+}
+
+static int binRows(ExprKind K, const ExprPtr &L, const ExprPtr &R) {
+  if (K == ExprKind::Mul) {
+    if (L->isScalarShaped())
+      return R->rows();
+    return L->rows();
+  }
+  return L->rows();
+}
+
+static int binCols(ExprKind K, const ExprPtr &L, const ExprPtr &R) {
+  if (K == ExprKind::Mul) {
+    if (L->isScalarShaped())
+      return R->cols();
+    if (R->isScalarShaped())
+      return L->cols();
+    return R->cols();
+  }
+  return L->cols();
+}
+
+BinaryExpr::BinaryExpr(ExprKind Kind, ExprPtr LIn, ExprPtr RIn)
+    : Expr(Kind, binRows(Kind, LIn, RIn), binCols(Kind, LIn, RIn)),
+      L(std::move(LIn)), R(std::move(RIn)) {
+  switch (Kind) {
+  case ExprKind::Add:
+  case ExprKind::Sub:
+    assert(L->rows() == R->rows() && L->cols() == R->cols() &&
+           "add/sub shape mismatch");
+    break;
+  case ExprKind::Mul:
+    assert((L->isScalarShaped() || R->isScalarShaped() ||
+            L->cols() == R->rows()) &&
+           "mul inner dimension mismatch");
+    break;
+  case ExprKind::Div:
+    assert(R->isScalarShaped() && "division by a non-scalar");
+    break;
+  default:
+    assert(false && "invalid binary kind");
+  }
+}
+
+std::string BinaryExpr::str() const {
+  const char *OpStr = "?";
+  switch (kind()) {
+  case ExprKind::Add:
+    OpStr = " + ";
+    break;
+  case ExprKind::Sub:
+    OpStr = " - ";
+    break;
+  case ExprKind::Mul:
+    OpStr = " * ";
+    break;
+  case ExprKind::Div:
+    OpStr = " / ";
+    break;
+  default:
+    break;
+  }
+  return formatf("(%s%s%s)", L->str().c_str(), OpStr, R->str().c_str());
+}
+
+ExprPtr slingen::view(const Operand *Op) {
+  return std::make_shared<ViewExpr>(Op, 0, Op->Rows, 0, Op->Cols);
+}
+
+ExprPtr slingen::view(const Operand *Op, int R0, int NR, int C0, int NC) {
+  assert(R0 >= 0 && C0 >= 0 && R0 + NR <= Op->Rows && C0 + NC <= Op->Cols &&
+         "view out of operand bounds");
+  return std::make_shared<ViewExpr>(Op, R0, NR, C0, NC);
+}
+
+ExprPtr slingen::constant(double V) { return std::make_shared<ConstExpr>(V); }
+
+ExprPtr slingen::trans(ExprPtr E) {
+  // trans(trans(X)) == X.
+  if (const auto *U = dyn_cast<UnaryExpr>(E))
+    if (U->kind() == ExprKind::Trans)
+      return U->Sub;
+  if (E->isScalarShaped())
+    return E;
+  return std::make_shared<UnaryExpr>(ExprKind::Trans, std::move(E));
+}
+
+ExprPtr slingen::neg(ExprPtr E) {
+  return std::make_shared<UnaryExpr>(ExprKind::Neg, std::move(E));
+}
+
+ExprPtr slingen::sqrtExpr(ExprPtr E) {
+  return std::make_shared<UnaryExpr>(ExprKind::Sqrt, std::move(E));
+}
+
+ExprPtr slingen::invExpr(ExprPtr E) {
+  return std::make_shared<UnaryExpr>(ExprKind::Inv, std::move(E));
+}
+
+ExprPtr slingen::add(ExprPtr L, ExprPtr R) {
+  return std::make_shared<BinaryExpr>(ExprKind::Add, std::move(L),
+                                      std::move(R));
+}
+
+ExprPtr slingen::sub(ExprPtr L, ExprPtr R) {
+  return std::make_shared<BinaryExpr>(ExprKind::Sub, std::move(L),
+                                      std::move(R));
+}
+
+ExprPtr slingen::mul(ExprPtr L, ExprPtr R) {
+  return std::make_shared<BinaryExpr>(ExprKind::Mul, std::move(L),
+                                      std::move(R));
+}
+
+ExprPtr slingen::divExpr(ExprPtr L, ExprPtr R) {
+  return std::make_shared<BinaryExpr>(ExprKind::Div, std::move(L),
+                                      std::move(R));
+}
+
+StructureKind slingen::inferStructure(const ExprPtr &E) {
+  if (const auto *V = dyn_cast<ViewExpr>(E))
+    return V->structure();
+  if (isa<ConstExpr>(E))
+    return StructureKind::General;
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    StructureKind S = inferStructure(U->Sub);
+    switch (U->kind()) {
+    case ExprKind::Trans:
+      return transposedStructure(S);
+    case ExprKind::Neg:
+      return S;
+    default:
+      return StructureKind::General;
+    }
+  }
+  const auto *B = cast<BinaryExpr>(E);
+  StructureKind SL = inferStructure(B->L);
+  StructureKind SR = inferStructure(B->R);
+  switch (B->kind()) {
+  case ExprKind::Add:
+  case ExprKind::Sub:
+    return addStructure(SL, SR);
+  case ExprKind::Mul:
+    if (B->L->isScalarShaped())
+      return SR;
+    if (B->R->isScalarShaped())
+      return SL;
+    return mulStructure(SL, SR);
+  default:
+    return StructureKind::General;
+  }
+}
+
+const ViewExpr *slingen::asViewMaybeTrans(const ExprPtr &E, bool &Transposed) {
+  Transposed = false;
+  const Expr *Cur = E.get();
+  while (const auto *U = dyn_cast<UnaryExpr>(Cur)) {
+    if (U->kind() != ExprKind::Trans)
+      return nullptr;
+    Transposed = !Transposed;
+    Cur = U->Sub.get();
+  }
+  return dyn_cast<ViewExpr>(Cur);
+}

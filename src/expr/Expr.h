@@ -1,0 +1,166 @@
+//===- expr/Expr.h - linear algebra expression trees ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable expression trees over fixed-size operand views. This is the
+/// representation of sBLAC right-hand sides and of HLAC equations throughout
+/// the pipeline (paper Sec. 3): after lowering, every index is a concrete
+/// integer, so sizes and structures can be checked eagerly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_EXPR_EXPR_H
+#define SLINGEN_EXPR_EXPR_H
+
+#include "expr/Operand.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace slingen {
+
+enum class ExprKind { View, Const, Trans, Neg, Sqrt, Inv, Add, Sub, Mul, Div };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Base class of all expression nodes. Nodes are immutable and shared; the
+/// shape (Rows x Cols) is computed at construction time.
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+  int rows() const { return Rows; }
+  int cols() const { return Cols; }
+  bool isScalarShaped() const { return Rows == 1 && Cols == 1; }
+
+  /// Human-readable rendering in LA-like syntax.
+  virtual std::string str() const = 0;
+
+  /// Collects the distinct operands referenced by this tree.
+  void collectOperands(std::set<const Operand *> &Out) const;
+
+protected:
+  Expr(ExprKind Kind, int Rows, int Cols)
+      : Kind(Kind), Rows(Rows), Cols(Cols) {}
+
+private:
+  ExprKind Kind;
+  int Rows, Cols;
+};
+
+/// A rectangular view [R0, R0+rows) x [C0, C0+cols) of an operand. A view of
+/// the full operand has R0 == C0 == 0 and the operand's dimensions.
+class ViewExpr : public Expr {
+public:
+  ViewExpr(const Operand *Op, int R0, int NR, int C0, int NC)
+      : Expr(ExprKind::View, NR, NC), Op(Op), R0(R0), C0(C0) {}
+
+  const Operand *Op;
+  int R0, C0;
+
+  bool isFull() const {
+    return R0 == 0 && C0 == 0 && rows() == Op->Rows && cols() == Op->Cols;
+  }
+
+  /// Structure of this view derived from the operand's structure.
+  StructureKind structure() const {
+    return viewStructure(Op->Structure, Op->Rows, Op->Cols, R0, rows(), C0,
+                         cols());
+  }
+
+  /// True if the two views address overlapping storage.
+  bool overlaps(const ViewExpr &Other) const;
+
+  std::string str() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::View; }
+};
+
+/// A literal scalar constant.
+class ConstExpr : public Expr {
+public:
+  explicit ConstExpr(double Value) : Expr(ExprKind::Const, 1, 1), Value(Value) {}
+
+  double Value;
+
+  std::string str() const override;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Const; }
+};
+
+/// Trans / Neg / Sqrt / Inv.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(ExprKind Kind, ExprPtr Sub);
+
+  ExprPtr Sub;
+
+  std::string str() const override;
+  static bool classof(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Trans:
+    case ExprKind::Neg:
+    case ExprKind::Sqrt:
+    case ExprKind::Inv:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+/// Add / Sub / Mul / Div. Mul covers matrix-matrix, matrix-vector and
+/// scalar-anything products; Div is scalar-only (paper Fig. 4).
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(ExprKind Kind, ExprPtr L, ExprPtr R);
+
+  ExprPtr L, R;
+
+  std::string str() const override;
+  static bool classof(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+    case ExprKind::Div:
+      return true;
+    default:
+      return false;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Builders (with shape checking).
+//===----------------------------------------------------------------------===//
+
+ExprPtr view(const Operand *Op);
+ExprPtr view(const Operand *Op, int R0, int NR, int C0, int NC);
+ExprPtr constant(double V);
+ExprPtr trans(ExprPtr E);
+ExprPtr neg(ExprPtr E);
+ExprPtr sqrtExpr(ExprPtr E);
+ExprPtr invExpr(ExprPtr E);
+ExprPtr add(ExprPtr L, ExprPtr R);
+ExprPtr sub(ExprPtr L, ExprPtr R);
+ExprPtr mul(ExprPtr L, ExprPtr R);
+ExprPtr divExpr(ExprPtr L, ExprPtr R);
+
+/// Infers the structure of an arbitrary expression from the structures of
+/// its views (LGen's structure propagation at expression granularity).
+StructureKind inferStructure(const ExprPtr &E);
+
+/// Returns the single ViewExpr if the expression is exactly a view (possibly
+/// wrapped in transposes), together with the accumulated transposition flag.
+const ViewExpr *asViewMaybeTrans(const ExprPtr &E, bool &Transposed);
+
+} // namespace slingen
+
+#endif // SLINGEN_EXPR_EXPR_H

@@ -1,0 +1,183 @@
+//===- expr/HlacMatch.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/HlacMatch.h"
+
+#include <cassert>
+
+using namespace slingen;
+
+const char *slingen::hlacKindName(HlacKind K) {
+  switch (K) {
+  case HlacKind::None:
+    return "none";
+  case HlacKind::Chol:
+    return "chol";
+  case HlacKind::Trsm:
+    return "trsm";
+  case HlacKind::Inv:
+    return "trtri";
+  case HlacKind::Trsyl:
+    return "trsyl";
+  case HlacKind::Trlya:
+    return "trlya";
+  }
+  return "?";
+}
+
+bool HlacMatch::effUpperA() const {
+  assert(A && "no coefficient matched");
+  bool Upper = A->structure() == StructureKind::UpperTriangular;
+  return Upper != TransA;
+}
+
+static bool exprUsesOperand(const ExprPtr &E, const Operand *Op) {
+  std::set<const Operand *> Ops;
+  E->collectOperands(Ops);
+  return Ops.count(Op) != 0;
+}
+
+static bool sameView(const ViewExpr *A, const ViewExpr *B) {
+  return A->Op == B->Op && A->R0 == B->R0 && A->C0 == B->C0 &&
+         A->rows() == B->rows() && A->cols() == B->cols();
+}
+
+/// Matches one product term op(A) * op(X) or op(X) * op(A) where X is the
+/// unknown. Fills Coef/TransCoef/Left and XView/XTrans on success.
+static bool matchCoefTimesUnknown(const ExprPtr &Term, const Operand *Unknown,
+                                  const ViewExpr *&Coef, bool &TransCoef,
+                                  bool &Left, const ViewExpr *&XView,
+                                  bool &XTrans) {
+  const auto *M = dyn_cast<BinaryExpr>(Term);
+  if (!M || M->kind() != ExprKind::Mul)
+    return false;
+  bool LT = false, RT = false;
+  const ViewExpr *LV = asViewMaybeTrans(M->L, LT);
+  const ViewExpr *RV = asViewMaybeTrans(M->R, RT);
+  if (!LV || !RV)
+    return false;
+  bool LIsX = LV->Op == Unknown;
+  bool RIsX = RV->Op == Unknown;
+  if (LIsX == RIsX)
+    return false; // need exactly one side to be the unknown
+  if (RIsX) {
+    Coef = LV;
+    TransCoef = LT;
+    Left = true;
+    XView = RV;
+    XTrans = RT;
+  } else {
+    Coef = RV;
+    TransCoef = RT;
+    Left = false;
+    XView = LV;
+    XTrans = LT;
+  }
+  return true;
+}
+
+HlacMatch slingen::matchHlac(const EqStmt &S, const Operand *Unknown) {
+  HlacMatch R;
+  if (!Unknown)
+    return R;
+
+  // X = inv(A).
+  if (const auto *LhsV = dyn_cast<ViewExpr>(S.Lhs)) {
+    if (LhsV->Op == Unknown) {
+      if (const auto *U = dyn_cast<UnaryExpr>(S.Rhs)) {
+        if (U->kind() == ExprKind::Inv) {
+          bool T = false;
+          const ViewExpr *AV = asViewMaybeTrans(U->Sub, T);
+          if (AV && isTriangular(AV->structure())) {
+            R.Kind = HlacKind::Inv;
+            R.X = LhsV;
+            R.A = AV;
+            R.TransA = T;
+            R.Rhs = S.Rhs;
+            return R;
+          }
+        }
+      }
+      return R; // plain view LHS but not inv: an sBLAC, not an HLAC
+    }
+  }
+
+  // Single product on the LHS: Cholesky or triangular solve.
+  if (const auto *M = dyn_cast<BinaryExpr>(S.Lhs);
+      M && M->kind() == ExprKind::Mul) {
+    bool LT = false, RT = false;
+    const ViewExpr *LV = asViewMaybeTrans(M->L, LT);
+    const ViewExpr *RV = asViewMaybeTrans(M->R, RT);
+    if (LV && RV && LV->Op == Unknown && RV->Op == Unknown &&
+        sameView(LV, RV) &&
+        (LT != RT || (LV->rows() == 1 && LV->cols() == 1))) {
+      // X^T X = S or X X^T = S. At 1x1 the transposition is folded away
+      // by the expression builders, so X * X matches too.
+      R.Kind = HlacKind::Chol;
+      R.X = LV;
+      R.UpperFactor =
+          LT || LV->Op->Structure != StructureKind::LowerTriangular;
+      R.Rhs = S.Rhs;
+      return R;
+    }
+    const ViewExpr *Coef = nullptr, *XV = nullptr;
+    bool TC = false, Left = true, XT = false;
+    if (matchCoefTimesUnknown(S.Lhs, Unknown, Coef, TC, Left, XV, XT) &&
+        !XT && isTriangular(viewStructure(Coef->Op->Structure, Coef->Op->Rows,
+                                          Coef->Op->Cols, Coef->R0,
+                                          Coef->rows(), Coef->C0,
+                                          Coef->cols()))) {
+      R.Kind = HlacKind::Trsm;
+      R.X = XV;
+      R.A = Coef;
+      R.TransA = TC;
+      R.LeftA = Left;
+      R.Rhs = S.Rhs;
+      return R;
+    }
+    return R;
+  }
+
+  // Sum of two products on the LHS: Sylvester or Lyapunov.
+  if (const auto *AddE = dyn_cast<BinaryExpr>(S.Lhs);
+      AddE && AddE->kind() == ExprKind::Add) {
+    const ViewExpr *C1 = nullptr, *X1 = nullptr, *C2 = nullptr, *X2 = nullptr;
+    bool T1 = false, L1 = true, XT1 = false;
+    bool T2 = false, L2 = true, XT2 = false;
+    if (matchCoefTimesUnknown(AddE->L, Unknown, C1, T1, L1, X1, XT1) &&
+        matchCoefTimesUnknown(AddE->R, Unknown, C2, T2, L2, X2, XT2) &&
+        !XT1 && !XT2 && sameView(X1, X2)) {
+      // Normalize so the left-multiplying coefficient comes first.
+      if (!L1 && L2) {
+        std::swap(C1, C2);
+        std::swap(T1, T2);
+        std::swap(L1, L2);
+      }
+      if (L1 && !L2) {
+        if (C1->Op == C2->Op && sameView(C1, C2) && T1 != T2) {
+          R.Kind = HlacKind::Trlya;
+          R.X = X1;
+          R.A = C1;
+          R.TransA = T1;
+          R.B = C2;
+          R.TransB = T2;
+          R.Rhs = S.Rhs;
+          return R;
+        }
+        R.Kind = HlacKind::Trsyl;
+        R.X = X1;
+        R.A = C1;
+        R.TransA = T1;
+        R.B = C2;
+        R.TransB = T2;
+        R.Rhs = S.Rhs;
+        return R;
+      }
+    }
+  }
+  (void)exprUsesOperand;
+  return R;
+}

@@ -1,0 +1,71 @@
+//===- expr/HlacMatch.h - classify higher-level computations --------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pattern matcher that classifies an HLAC equation (paper Fig. 1 / Table 3)
+/// against the operation knowledge base: Cholesky factorization, triangular
+/// solve (all sides/transposes), triangular inverse, and the triangular
+/// Sylvester and Lyapunov equations. This mirrors Cl1ck's pattern-matching
+/// step: the same matcher classifies both user-level HLACs and the quadrant
+/// equations produced by PME generation (which is how "algorithm reuse",
+/// Sec. 3.1, falls out naturally).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_EXPR_HLACMATCH_H
+#define SLINGEN_EXPR_HLACMATCH_H
+
+#include "expr/Program.h"
+
+namespace slingen {
+
+enum class HlacKind {
+  None,
+  Chol,  ///< X^T X = S (X upper) or X X^T = S (X lower)
+  Trsm,  ///< op(A) X = B or X op(A) = B, A triangular
+  Inv,   ///< X = inv(A), A triangular
+  Trsyl, ///< A X + X B = C, A lower and B upper triangular
+  Trlya, ///< A X + X A^T = S, A lower triangular, X symmetric
+};
+
+const char *hlacKindName(HlacKind K);
+
+/// Result of matching one equation; views are borrowed from the statement's
+/// expressions (valid as long as the statement lives).
+struct HlacMatch {
+  HlacKind Kind = HlacKind::None;
+
+  const ViewExpr *X = nullptr; ///< the unknown (solved-for) view
+
+  /// Cholesky: true for X^T X = S (upper factor), false for X X^T = S.
+  bool UpperFactor = false;
+
+  /// Trsm / Inv / Trsyl / Trlya left coefficient (op(A)).
+  const ViewExpr *A = nullptr;
+  bool TransA = false;
+  /// Trsm only: true when A multiplies X from the left.
+  bool LeftA = true;
+
+  /// Trsyl right coefficient (op(B)); for Trlya this aliases A.
+  const ViewExpr *B = nullptr;
+  bool TransB = false;
+
+  /// The equation right-hand side (may be a compound expression).
+  ExprPtr Rhs;
+
+  explicit operator bool() const { return Kind != HlacKind::None; }
+
+  /// Effective triangle of op(A) (true = upper) taking TransA into account.
+  bool effUpperA() const;
+};
+
+/// Tries to classify \p S as an HLAC whose unknown is \p Unknown. Returns a
+/// result with Kind == None if no pattern from the knowledge base applies.
+HlacMatch matchHlac(const EqStmt &S, const Operand *Unknown);
+
+} // namespace slingen
+
+#endif // SLINGEN_EXPR_HLACMATCH_H

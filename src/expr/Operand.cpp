@@ -1,0 +1,46 @@
+//===- expr/Operand.cpp ---------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Operand.h"
+
+#include "support/Format.h"
+
+using namespace slingen;
+
+const char *slingen::ioKindName(IOKind K) {
+  switch (K) {
+  case IOKind::In:
+    return "In";
+  case IOKind::Out:
+    return "Out";
+  case IOKind::InOut:
+    return "InOut";
+  }
+  return "?";
+}
+
+std::string Operand::str() const {
+  std::string S;
+  if (isScalar())
+    S = formatf("Sca %s", Name.c_str());
+  else if (isVector())
+    S = formatf("Vec %s(%d)", Name.c_str(), Rows == 1 ? Cols : Rows);
+  else
+    S = formatf("Mat %s(%d, %d)", Name.c_str(), Rows, Cols);
+  S += formatf(" <%s", ioKindName(IO));
+  if (Structure != StructureKind::General)
+    S += formatf(", %s", structureName(Structure));
+  if (PosDef)
+    S += ", PD";
+  if (NonSingular)
+    S += ", NS";
+  if (UnitDiag)
+    S += ", UnitDiag";
+  if (Overwrites)
+    S += formatf(", ow(%s)", Overwrites->Name.c_str());
+  S += ">";
+  return S;
+}

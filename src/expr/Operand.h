@@ -1,0 +1,69 @@
+//===- expr/Operand.h - declared operands of an LA program ---------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operands are the Mat/Vec/Sca declarations of the LA language (paper
+/// Fig. 4): a name, fixed dimensions, a structure, an I/O kind, and optional
+/// PD / NS / UnitDiag properties plus the ow(...) overwrite annotation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_EXPR_OPERAND_H
+#define SLINGEN_EXPR_OPERAND_H
+
+#include "expr/Structure.h"
+
+#include <string>
+
+namespace slingen {
+
+enum class IOKind { In, Out, InOut };
+
+const char *ioKindName(IOKind K);
+
+/// A declared scalar, vector, or matrix operand with fixed dimensions.
+/// Vectors are column vectors (Cols == 1) or row vectors (Rows == 1);
+/// scalars are 1x1. Instances live in and are owned by an expr::Program so
+/// pointers to them are stable identities throughout the pipeline.
+class Operand {
+public:
+  Operand(std::string Name, int Rows, int Cols)
+      : Name(std::move(Name)), Rows(Rows), Cols(Cols) {}
+
+  std::string Name;
+  int Rows, Cols;
+  StructureKind Structure = StructureKind::General;
+  IOKind IO = IOKind::In;
+  bool PosDef = false;
+  bool NonSingular = false;
+  bool UnitDiag = false;
+  /// If non-null, this output shares storage with (overwrites) the given
+  /// operand, like `Mat U(k,k) <Out, UpTri, NS, ow(S)>` in paper Fig. 5.
+  const Operand *Overwrites = nullptr;
+  /// True for compiler-generated temporaries (from breaking up 3+-factor
+  /// products and from the FLAME lowering).
+  bool IsTemp = false;
+
+  bool isScalar() const { return Rows == 1 && Cols == 1; }
+  bool isVector() const { return !isScalar() && (Rows == 1 || Cols == 1); }
+  bool isMatrix() const { return Rows > 1 && Cols > 1; }
+  bool isWritable() const { return IO != IOKind::In; }
+
+  /// Follows the ow(...) chain to the operand that owns the storage.
+  const Operand *root() const {
+    const Operand *O = this;
+    while (O->Overwrites)
+      O = O->Overwrites;
+    return O;
+  }
+
+  /// Declaration in LA concrete syntax, used by printers and tests.
+  std::string str() const;
+};
+
+} // namespace slingen
+
+#endif // SLINGEN_EXPR_OPERAND_H

@@ -1,0 +1,200 @@
+//===- expr/Program.cpp ---------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Program.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+
+using namespace slingen;
+
+std::string EqStmt::str() const {
+  return Lhs->str() + " = " + Rhs->str() + ";";
+}
+
+static bool containsInv(const ExprPtr &E) {
+  if (E->kind() == ExprKind::Inv)
+    return true;
+  if (const auto *U = dyn_cast<UnaryExpr>(E))
+    return containsInv(U->Sub);
+  if (const auto *B = dyn_cast<BinaryExpr>(E))
+    return containsInv(B->L) || containsInv(B->R);
+  return false;
+}
+
+StmtInfo slingen::classifyStmt(const EqStmt &S,
+                               std::set<const Operand *> &Defined) {
+  StmtInfo Info;
+  std::set<const Operand *> LhsOps;
+  S.Lhs->collectOperands(LhsOps);
+
+  // Unknowns: writable LHS operands not yet defined.
+  std::vector<const Operand *> Unknowns;
+  for (const Operand *Op : LhsOps)
+    if (Op->isWritable() && !Defined.count(Op))
+      Unknowns.push_back(Op);
+
+  const bool LhsIsPlainView =
+      isa<ViewExpr>(S.Lhs) &&
+      cast<ViewExpr>(S.Lhs.get())->Op->isWritable();
+  Info.IsHlac = !LhsIsPlainView || containsInv(S.Rhs);
+
+  if (!Info.IsHlac) {
+    Info.Defines = cast<ViewExpr>(S.Lhs.get())->Op;
+  } else {
+    assert(Unknowns.size() <= 1 && "HLAC with multiple unknowns");
+    if (!Unknowns.empty())
+      Info.Defines = Unknowns.front();
+    else if (LhsIsPlainView) // e.g. InOut solved in place: X = inv(L)
+      Info.Defines = cast<ViewExpr>(S.Lhs.get())->Op;
+  }
+  if (Info.Defines)
+    Defined.insert(Info.Defines);
+  return Info;
+}
+
+static long exprFlops(const ExprPtr &E) {
+  if (isa<ViewExpr>(E) || isa<ConstExpr>(E))
+    return 0;
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    long Sub = exprFlops(U->Sub);
+    switch (U->kind()) {
+    case ExprKind::Sqrt:
+      return Sub + 1;
+    case ExprKind::Neg:
+      return Sub + static_cast<long>(U->rows()) * U->cols();
+    default:
+      return Sub;
+    }
+  }
+  const auto *B = cast<BinaryExpr>(E);
+  long Sub = exprFlops(B->L) + exprFlops(B->R);
+  long M = B->rows(), N = B->cols();
+  switch (B->kind()) {
+  case ExprKind::Add:
+  case ExprKind::Sub:
+    return Sub + M * N;
+  case ExprKind::Mul:
+    if (B->L->isScalarShaped() || B->R->isScalarShaped())
+      return Sub + M * N;
+    return Sub + 2L * M * N * B->L->cols();
+  case ExprKind::Div:
+    return Sub + M * N;
+  default:
+    return Sub;
+  }
+}
+
+long slingen::stmtFlops(const EqStmt &S) { return exprFlops(S.Rhs); }
+
+Operand *Program::addOperand(const std::string &Name, int Rows, int Cols) {
+  assert(!findOperand(Name) && "duplicate operand name");
+  Pool.push_back(std::make_unique<Operand>(Name, Rows, Cols));
+  Decls.push_back(Pool.back().get());
+  return Pool.back().get();
+}
+
+Operand *Program::findOperand(const std::string &Name) {
+  for (Operand *Op : Decls)
+    if (Op->Name == Name)
+      return Op;
+  return nullptr;
+}
+
+const Operand *Program::findOperand(const std::string &Name) const {
+  return const_cast<Program *>(this)->findOperand(Name);
+}
+
+Operand *Program::makeTemp(int Rows, int Cols, StructureKind S) {
+  Operand *T = addOperand(formatf("tmp%d", NextTemp++), Rows, Cols);
+  T->Structure = S;
+  T->IO = IOKind::Out;
+  T->IsTemp = true;
+  return T;
+}
+
+std::set<const Operand *> Program::initiallyDefined() const {
+  std::set<const Operand *> D;
+  for (const Operand *Op : Decls)
+    if (Op->IO != IOKind::Out)
+      D.insert(Op);
+  return D;
+}
+
+static ExprPtr remapExpr(const ExprPtr &E,
+                         const std::map<const Operand *, Operand *> &M) {
+  if (const auto *V = dyn_cast<ViewExpr>(E)) {
+    auto It = M.find(V->Op);
+    assert(It != M.end() && "view of an undeclared operand");
+    return view(It->second, V->R0, V->rows(), V->C0, V->cols());
+  }
+  if (const auto *C = dyn_cast<ConstExpr>(E))
+    return constant(C->Value);
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    ExprPtr S = remapExpr(U->Sub, M);
+    switch (U->kind()) {
+    case ExprKind::Trans:
+      return trans(std::move(S));
+    case ExprKind::Neg:
+      return neg(std::move(S));
+    case ExprKind::Sqrt:
+      return sqrtExpr(std::move(S));
+    case ExprKind::Inv:
+      return invExpr(std::move(S));
+    default:
+      assert(false && "bad unary");
+    }
+  }
+  const auto *B = cast<BinaryExpr>(E.get());
+  ExprPtr L = remapExpr(B->L, M), R = remapExpr(B->R, M);
+  switch (B->kind()) {
+  case ExprKind::Add:
+    return add(std::move(L), std::move(R));
+  case ExprKind::Sub:
+    return sub(std::move(L), std::move(R));
+  case ExprKind::Mul:
+    return mul(std::move(L), std::move(R));
+  case ExprKind::Div:
+    return divExpr(std::move(L), std::move(R));
+  default:
+    assert(false && "bad binary");
+    return nullptr;
+  }
+}
+
+Program Program::clone() const {
+  Program C;
+  std::map<const Operand *, Operand *> M;
+  for (const Operand *Op : Decls) {
+    Operand *N = C.addOperand(Op->Name, Op->Rows, Op->Cols);
+    N->Structure = Op->Structure;
+    N->IO = Op->IO;
+    N->PosDef = Op->PosDef;
+    N->NonSingular = Op->NonSingular;
+    N->UnitDiag = Op->UnitDiag;
+    N->IsTemp = Op->IsTemp;
+    M[Op] = N;
+  }
+  for (const Operand *Op : Decls)
+    if (Op->Overwrites)
+      M[Op]->Overwrites = M.at(Op->Overwrites);
+  C.NextTemp = NextTemp;
+  for (const EqStmt &S : Stmts)
+    C.append({remapExpr(S.Lhs, M), remapExpr(S.Rhs, M)});
+  return C;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const Operand *Op : Decls)
+    Out += Op->str() + ";\n";
+  Out += "\n";
+  for (const EqStmt &S : Stmts)
+    Out += S.str() + "\n";
+  return Out;
+}

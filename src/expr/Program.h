@@ -1,0 +1,96 @@
+//===- expr/Program.h - basic linear algebra programs ---------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is a sequence of equation statements over a pool of declared
+/// operands. The LA front end lowers into this form (loops unrolled, indices
+/// concrete); FLAME synthesis rewrites HLAC statements into sequences of
+/// sBLACs and scalar operations, again in this form (the paper's "basic
+/// linear algebra program", Sec. 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_EXPR_PROGRAM_H
+#define SLINGEN_EXPR_PROGRAM_H
+
+#include "expr/Expr.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace slingen {
+
+/// One computational statement: Lhs = Rhs, where for an sBLAC the left-hand
+/// side is a plain view and for an HLAC it is a compound expression (or the
+/// right-hand side contains inv(...)), exactly as in the LA grammar.
+struct EqStmt {
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+
+  std::string str() const;
+};
+
+/// Classification of a statement relative to the set of already-defined
+/// operands (outputs become defined by the statement that computes them).
+struct StmtInfo {
+  bool IsHlac = false;
+  /// The operand this statement defines (the "unknown" of an HLAC or the
+  /// destination of an sBLAC).
+  const Operand *Defines = nullptr;
+};
+
+/// Classifies \p S given \p Defined and appends newly defined operands to it.
+StmtInfo classifyStmt(const EqStmt &S, std::set<const Operand *> &Defined);
+
+/// Number of floating point operations (adds, muls, divs, sqrts) a direct
+/// evaluation of the statement performs, counting 2mnk for an m x k times
+/// k x n product. Structure-related savings are not modeled here; this is
+/// the nominal cost used for sanity checks.
+long stmtFlops(const EqStmt &S);
+
+/// An LA program after lowering: declarations plus a flat statement list.
+class Program {
+public:
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  Operand *addOperand(const std::string &Name, int Rows, int Cols);
+  Operand *findOperand(const std::string &Name);
+  const Operand *findOperand(const std::string &Name) const;
+
+  /// Creates a compiler temporary with a unique name.
+  Operand *makeTemp(int Rows, int Cols,
+                    StructureKind S = StructureKind::General);
+
+  const std::vector<Operand *> &operands() const { return Decls; }
+  std::vector<EqStmt> &stmts() { return Stmts; }
+  const std::vector<EqStmt> &stmts() const { return Stmts; }
+
+  void append(EqStmt S) { Stmts.push_back(std::move(S)); }
+
+  /// The set of operands defined before any statement runs (In and InOut).
+  std::set<const Operand *> initiallyDefined() const;
+
+  /// Deep copy: fresh operands (ow() chains remapped) and rebuilt
+  /// expressions. Used by the driver to expand several algorithmic variants
+  /// of the same source program.
+  Program clone() const;
+
+  std::string str() const;
+
+private:
+  std::vector<std::unique_ptr<Operand>> Pool;
+  std::vector<Operand *> Decls;
+  std::vector<EqStmt> Stmts;
+  int NextTemp = 0;
+};
+
+} // namespace slingen
+
+#endif // SLINGEN_EXPR_PROGRAM_H

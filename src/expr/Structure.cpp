@@ -1,0 +1,176 @@
+//===- expr/Structure.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Structure.h"
+
+#include <cassert>
+
+using namespace slingen;
+
+const char *slingen::structureName(StructureKind K) {
+  switch (K) {
+  case StructureKind::General:
+    return "General";
+  case StructureKind::LowerTriangular:
+    return "LoTri";
+  case StructureKind::UpperTriangular:
+    return "UpTri";
+  case StructureKind::SymmetricUpper:
+    return "UpSym";
+  case StructureKind::SymmetricLower:
+    return "LoSym";
+  case StructureKind::Diagonal:
+    return "Diag";
+  case StructureKind::Zero:
+    return "Zero";
+  case StructureKind::Identity:
+    return "Identity";
+  }
+  return "?";
+}
+
+bool slingen::isTriangular(StructureKind K) {
+  return K == StructureKind::LowerTriangular ||
+         K == StructureKind::UpperTriangular;
+}
+
+bool slingen::isSymmetric(StructureKind K) {
+  return K == StructureKind::SymmetricUpper ||
+         K == StructureKind::SymmetricLower ||
+         K == StructureKind::Diagonal || K == StructureKind::Identity ||
+         K == StructureKind::Zero;
+}
+
+StructureKind slingen::transposedStructure(StructureKind K) {
+  switch (K) {
+  case StructureKind::LowerTriangular:
+    return StructureKind::UpperTriangular;
+  case StructureKind::UpperTriangular:
+    return StructureKind::LowerTriangular;
+  case StructureKind::SymmetricUpper:
+    return StructureKind::SymmetricLower;
+  case StructureKind::SymmetricLower:
+    return StructureKind::SymmetricUpper;
+  default:
+    return K;
+  }
+}
+
+StructureKind slingen::addStructure(StructureKind A, StructureKind B) {
+  if (A == StructureKind::Zero)
+    return B;
+  if (B == StructureKind::Zero)
+    return A;
+  if (A == B)
+    return A == StructureKind::Identity ? StructureKind::Diagonal : A;
+  // Identity behaves like Diagonal under addition with anything else.
+  auto Norm = [](StructureKind K) {
+    return K == StructureKind::Identity ? StructureKind::Diagonal : K;
+  };
+  StructureKind NA = Norm(A), NB = Norm(B);
+  if (NA == NB)
+    return NA;
+  if (NA == StructureKind::Diagonal)
+    return NB == StructureKind::General ? StructureKind::General : NB;
+  if (NB == StructureKind::Diagonal)
+    return NA == StructureKind::General ? StructureKind::General : NA;
+  // Symmetric + symmetric stays symmetric even with mixed storage.
+  if (isSymmetric(NA) && isSymmetric(NB))
+    return NA;
+  return StructureKind::General;
+}
+
+StructureKind slingen::mulStructure(StructureKind A, StructureKind B) {
+  if (A == StructureKind::Zero || B == StructureKind::Zero)
+    return StructureKind::Zero;
+  if (A == StructureKind::Identity)
+    return B;
+  if (B == StructureKind::Identity)
+    return A;
+  if (A == StructureKind::Diagonal && B == StructureKind::Diagonal)
+    return StructureKind::Diagonal;
+  if (A == StructureKind::Diagonal)
+    return isTriangular(B) ? B : StructureKind::General;
+  if (B == StructureKind::Diagonal)
+    return isTriangular(A) ? A : StructureKind::General;
+  if (A == B && isTriangular(A))
+    return A;
+  return StructureKind::General;
+}
+
+StructureKind slingen::viewStructure(StructureKind K, int Rows, int Cols,
+                                     int R0, int NR, int C0, int NC) {
+  assert(R0 >= 0 && C0 >= 0 && NR >= 1 && NC >= 1 && R0 + NR <= Rows &&
+         C0 + NC <= Cols && "view out of range");
+  if (NR == Rows && NC == Cols)
+    return K;
+  int RHi = R0 + NR - 1, CHi = C0 + NC - 1;
+  switch (K) {
+  case StructureKind::General:
+    return StructureKind::General;
+  case StructureKind::Zero:
+    return StructureKind::Zero;
+  case StructureKind::LowerTriangular:
+    if (RHi < C0)
+      return StructureKind::Zero; // strictly above the diagonal
+    if (R0 == C0 && NR == NC)
+      return StructureKind::LowerTriangular;
+    if (R0 > CHi)
+      return StructureKind::General; // strictly below the diagonal
+    return StructureKind::General;   // crosses the diagonal asymmetrically
+  case StructureKind::UpperTriangular:
+    if (CHi < R0)
+      return StructureKind::Zero;
+    if (R0 == C0 && NR == NC)
+      return StructureKind::UpperTriangular;
+    return StructureKind::General;
+  case StructureKind::SymmetricUpper:
+  case StructureKind::SymmetricLower:
+    if (R0 == C0 && NR == NC)
+      return K;
+    return StructureKind::General;
+  case StructureKind::Diagonal:
+    if (R0 == C0 && NR == NC)
+      return StructureKind::Diagonal;
+    if (RHi < C0 || CHi < R0)
+      return StructureKind::Zero;
+    return StructureKind::General;
+  case StructureKind::Identity:
+    if (R0 == C0 && NR == NC)
+      return StructureKind::Identity;
+    if (RHi < C0 || CHi < R0)
+      return StructureKind::Zero;
+    return StructureKind::General;
+  }
+  return StructureKind::General;
+}
+
+bool slingen::elementInStructure(StructureKind K, int R, int C) {
+  switch (K) {
+  case StructureKind::LowerTriangular:
+    return R >= C;
+  case StructureKind::UpperTriangular:
+    return R <= C;
+  case StructureKind::Diagonal:
+  case StructureKind::Identity:
+    return R == C;
+  case StructureKind::Zero:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool slingen::elementInComputedRegion(StructureKind K, int R, int C) {
+  switch (K) {
+  case StructureKind::SymmetricUpper:
+    return R <= C;
+  case StructureKind::SymmetricLower:
+    return R >= C;
+  default:
+    return elementInStructure(K, R, C);
+  }
+}

@@ -1,0 +1,69 @@
+//===- expr/Structure.h - matrix structure lattice ------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structure lattice for fixed-size operands (paper Fig. 4 properties:
+/// LoTri, UpTri, UpSym, LoSym; plus the derived structures Zero, Identity and
+/// Diagonal that appear during structure propagation). Utilities compute the
+/// structure of sub-blocks (views) and the structure resulting from the basic
+/// operators, which is what LGen's "structure propagation" stage needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_EXPR_STRUCTURE_H
+#define SLINGEN_EXPR_STRUCTURE_H
+
+#include <string>
+
+namespace slingen {
+
+/// Structural shape of a matrix operand or matrix expression.
+enum class StructureKind {
+  General,
+  LowerTriangular,
+  UpperTriangular,
+  SymmetricUpper, ///< symmetric; generator computes/stores the upper part
+  SymmetricLower, ///< symmetric; generator computes/stores the lower part
+  Diagonal,
+  Zero,
+  Identity,
+};
+
+const char *structureName(StructureKind K);
+
+bool isTriangular(StructureKind K);
+bool isSymmetric(StructureKind K);
+
+/// Structure of the transpose of a matrix with structure \p K.
+StructureKind transposedStructure(StructureKind K);
+
+/// Structure of the sum of two conforming matrices.
+StructureKind addStructure(StructureKind A, StructureKind B);
+
+/// Structure of the product of two conforming matrices.
+StructureKind mulStructure(StructureKind A, StructureKind B);
+
+/// Structure of the sub-block [R0, R0+NR) x [C0, C0+NC) of an N x N matrix
+/// (rows x cols for the owner are \p Rows x \p Cols) whose overall structure
+/// is \p K. Non-square owners are only ever General. This powers both tile
+/// classification in LGen and zero-block elimination in the FLAME engine.
+StructureKind viewStructure(StructureKind K, int Rows, int Cols, int R0,
+                            int NR, int C0, int NC);
+
+/// Returns true if element (R, C) of a Rows x Cols matrix with structure
+/// \p K is stored/meaningful (e.g. false for the strictly-upper part of a
+/// lower-triangular matrix). Symmetric matrices use full storage (paper
+/// Sec. 5) so every element is meaningful for them.
+bool elementInStructure(StructureKind K, int R, int C);
+
+/// Returns true if element (R, C) is part of the region the generator is
+/// responsible for *computing* (for SymmetricUpper only the upper triangle is
+/// computed; the mirror pass fills the rest).
+bool elementInComputedRegion(StructureKind K, int R, int C);
+
+} // namespace slingen
+
+#endif // SLINGEN_EXPR_STRUCTURE_H

@@ -1,0 +1,129 @@
+//===- flame/BlockAlg.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flame/BlockAlg.h"
+
+#include <cassert>
+
+using namespace slingen;
+using namespace slingen::flame;
+
+namespace {
+
+/// Normalizes a logical block access (R, C) of op(role) to an underlying
+/// stored block, applying the transpose and the structural rules.
+BBlock blockOf(const Spec &S, const SpecFactor &F, int R, int C) {
+  BBlock B;
+  B.R = F.R;
+  B.Trans = F.Trans;
+  // Underlying indices: op() swaps.
+  B.RI = F.Trans ? C : R;
+  B.CI = F.Trans ? R : C;
+  StructureKind SK = S.Struct[static_cast<int>(F.R)];
+  // Unpartitioned dimensions collapse to one region, so the structural
+  // comparisons below only make sense when both dimensions of the role are
+  // partitioned (square structured roles); otherwise the role is General.
+  switch (SK) {
+  case StructureKind::Zero:
+    B.IsZero = true;
+    break;
+  case StructureKind::LowerTriangular:
+    if (B.RI < B.CI)
+      B.IsZero = true;
+    break;
+  case StructureKind::UpperTriangular:
+    if (B.RI > B.CI)
+      B.IsZero = true;
+    break;
+  case StructureKind::Identity:
+    if (B.RI != B.CI)
+      B.IsZero = true;
+    else
+      B.IsIdentity = true;
+    break;
+  case StructureKind::Diagonal:
+    if (B.RI != B.CI)
+      B.IsZero = true;
+    break;
+  case StructureKind::SymmetricUpper:
+    if (B.RI > B.CI) { // redirect to the stored transpose
+      std::swap(B.RI, B.CI);
+      B.Trans = !B.Trans;
+    }
+    break;
+  case StructureKind::SymmetricLower:
+    if (B.RI < B.CI) {
+      std::swap(B.RI, B.CI);
+      B.Trans = !B.Trans;
+    }
+    break;
+  case StructureKind::General:
+    break;
+  }
+  return B;
+}
+
+} // namespace
+
+std::vector<BTerm> flame::expandAt(const Spec &S, int Gi, int Gj, int NRow,
+                                   int NCol) {
+  std::vector<BTerm> Out;
+  for (size_t TI = 0; TI < S.Lhs.size(); ++TI) {
+    const SpecTerm &T = S.Lhs[TI];
+    int NContract = T.Contraction == Axis::Row ? NRow : NCol;
+    for (int Q = 0; Q < NContract; ++Q) {
+      BBlock F0 = blockOf(S, T.F0, Gi, Q);
+      BBlock F1 = blockOf(S, T.F1, Q, Gj);
+      if (F0.IsZero || F1.IsZero)
+        continue;
+      BTerm BT;
+      BT.ContractionRegion = Q;
+      BT.SpecTermIdx = static_cast<int>(TI);
+      if (!F0.IsIdentity)
+        BT.F.push_back(F0);
+      if (!F1.IsIdentity)
+        BT.F.push_back(F1);
+      assert(!BT.F.empty() && "identity-only term");
+      Out.push_back(std::move(BT));
+    }
+  }
+  return Out;
+}
+
+std::vector<std::pair<int, int>> flame::storedPositions(const Spec &S,
+                                                        int NRow, int NCol) {
+  std::vector<std::pair<int, int>> Out;
+  StructureKind XS = S.Struct[static_cast<int>(Role::X)];
+  for (int I = 0; I < NRow; ++I)
+    for (int J = 0; J < NCol; ++J) {
+      bool Stored = true;
+      // Only square coupled grids carry structure.
+      if (NRow == NCol && NRow > 1) {
+        switch (XS) {
+        case StructureKind::LowerTriangular:
+        case StructureKind::SymmetricLower:
+          Stored = I >= J;
+          break;
+        case StructureKind::UpperTriangular:
+        case StructureKind::SymmetricUpper:
+          Stored = I <= J;
+          break;
+        default:
+          break;
+        }
+      }
+      if (Stored)
+        Out.push_back({I, J});
+    }
+  return Out;
+}
+
+bool flame::termContainsTarget(const BTerm &T, int Ri, int Ci) {
+  for (const BBlock &B : T.F)
+    if (B.R == Role::X && B.RI == Ri && B.CI == Ci)
+      return true;
+  return false;
+}

@@ -1,0 +1,111 @@
+//===- flame/BlockAlg.h - block-symbolic algebra for PME generation -------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic layer under Cl1ck-style algorithm synthesis (paper Sec. 2.2):
+/// an HLAC equation is abstracted into an operation Spec (roles X/A/B/C with
+/// region-space structures and traversal directions), and its left-hand side
+/// is expanded blockwise over a region grid (2 regions for quadrant-level
+/// task analysis, 3 regions for repartitioned loop-body emission). Structure
+/// knowledge prunes zero blocks and redirects symmetric blocks to their
+/// stored (possibly transposed) counterparts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_FLAME_BLOCKALG_H
+#define SLINGEN_FLAME_BLOCKALG_H
+
+#include "expr/HlacMatch.h"
+
+#include <vector>
+
+namespace slingen {
+namespace flame {
+
+enum class Role { X = 0, A = 1, B = 2, C = 3 };
+enum class Axis { Row, Col };
+enum class DimDir { TopDown, BottomUp };
+
+/// One multiplicative factor of a defining-equation term.
+struct SpecFactor {
+  Role R;
+  bool Trans = false;
+};
+
+/// One term of the equation LHS: a product of two factors, exactly one of
+/// which involves the unknown for solvable equations (Cholesky has the
+/// unknown in both). The contraction between the factors runs over the
+/// given grid axis.
+struct SpecTerm {
+  SpecFactor F0, F1;
+  Axis Contraction = Axis::Row;
+};
+
+/// Per-role placement: which grid axis each of the role's two dimensions
+/// partitions along (or none for an unpartitioned dimension).
+struct RoleDims {
+  bool Present = false;
+  Axis RowAxis = Axis::Row, ColAxis = Axis::Col;
+  bool RowPart = true, ColPart = true;
+};
+
+/// The canonicalized operation: LHS(X) = C.
+struct Spec {
+  HlacKind Kind = HlacKind::None;
+  std::vector<SpecTerm> Lhs;
+  bool RowsPartitioned = true;
+  bool ColsPartitioned = true;
+  DimDir RowDir = DimDir::TopDown;
+  DimDir ColDir = DimDir::TopDown;
+  /// Region-space structure per role (traversal flips applied).
+  StructureKind Struct[4] = {StructureKind::General, StructureKind::General,
+                             StructureKind::General, StructureKind::General};
+  RoleDims Dims[4];
+  bool CIsIdentity = false;
+  bool AUnitDiag = false;
+};
+
+/// A concrete block of a role in region coordinates, after structural
+/// normalization (underlying indices; Trans reflects op() plus any
+/// symmetric-alias flip).
+struct BBlock {
+  Role R;
+  bool Trans = false;
+  int RI = 0, CI = 0; ///< underlying (storage) region indices
+  bool IsIdentity = false;
+  bool IsZero = false;
+};
+
+/// One additive term of a block equation.
+struct BTerm {
+  std::vector<BBlock> F; ///< 1 or 2 factors (identity factors dropped)
+  int ContractionRegion = -1; ///< region index summed over (-1: none)
+  int SpecTermIdx = 0; ///< which SpecTerm this came from (the update group)
+};
+
+/// Expands the LHS of \p S at grid position (Gi, Gj) over \p NRow x \p NCol
+/// region grids (axes with a single region use index 0). Zero terms are
+/// pruned; symmetric blocks are alias-normalized.
+std::vector<BTerm> expandAt(const Spec &S, int Gi, int Gj, int NRow,
+                            int NCol);
+
+/// The stored grid positions of the unknown (the equations to solve), for a
+/// grid with NRow x NCol regions, honoring X's region-space structure.
+std::vector<std::pair<int, int>> storedPositions(const Spec &S, int NRow,
+                                                 int NCol);
+
+/// Returns true if \p T contains the unknown block at underlying position
+/// (Ri, Ci) (i.e. it is a solve term of that equation).
+bool termContainsTarget(const BTerm &T, int Ri, int Ci);
+
+/// Underlying (storage) position of the unknown solved by the equation at
+/// grid position (Gi, Gj) -- identical for all our operations.
+inline std::pair<int, int> targetOf(int Gi, int Gj) { return {Gi, Gj}; }
+
+} // namespace flame
+} // namespace slingen
+
+#endif // SLINGEN_FLAME_BLOCKALG_H

@@ -1,0 +1,49 @@
+//===- flame/Invariant.cpp ------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flame/Invariant.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace slingen;
+using namespace slingen::flame;
+
+std::vector<uint32_t> flame::enumerateInvariants(const TaskGraph &G) {
+  int N = static_cast<int>(G.Tasks.size());
+  assert(N <= 20 && "task graph unexpectedly large");
+  int MustHave = G.solveIndex(0, 0);
+  int MustExclude = G.solveIndex(G.NRow2 - 1, G.NCol2 - 1);
+  // For 1x1 grids (fully unpartitioned) there is nothing to enumerate.
+  if (MustHave < 0)
+    return {};
+  std::vector<uint32_t> Out;
+  for (uint32_t S = 0; S < (1u << N); ++S) {
+    if (!invariantHas(S, MustHave))
+      continue;
+    if (MustExclude >= 0 && MustExclude != MustHave &&
+        invariantHas(S, MustExclude))
+      continue;
+    bool Closed = true;
+    for (int T = 0; T < N && Closed; ++T) {
+      if (!invariantHas(S, T))
+        continue;
+      for (int D : G.Deps[T])
+        Closed &= invariantHas(S, D);
+    }
+    if (Closed)
+      Out.push_back(S);
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](uint32_t A, uint32_t B) {
+                     int CA = std::popcount(A), CB = std::popcount(B);
+                     if (CA != CB)
+                       return CA > CB; // most eager first
+                     return A < B;
+                   });
+  return Out;
+}

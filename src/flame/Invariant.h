@@ -1,0 +1,39 @@
+//===- flame/Invariant.h - loop-invariant enumeration ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second Cl1ck stage (paper Sec. 2.2): loop invariants are the
+/// dependency-closed subsets of the PME task graph that (a) hold vacuously
+/// at loop entry -- which excludes the solve task of the all-future
+/// quadrant -- and (b) imply the full computation at loop exit -- which
+/// requires the solve task of the done-quadrant. Each feasible invariant
+/// yields one algorithmic variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_FLAME_INVARIANT_H
+#define SLINGEN_FLAME_INVARIANT_H
+
+#include "flame/PME.h"
+
+#include <cstdint>
+
+namespace slingen {
+namespace flame {
+
+/// Feasible loop invariants as task bitmasks, ordered most-eager first
+/// (descending task count), so variant 0 is the right-looking algorithm.
+std::vector<uint32_t> enumerateInvariants(const TaskGraph &G);
+
+/// True if task \p T is a member of invariant \p Inv.
+inline bool invariantHas(uint32_t Inv, int T) {
+  return T >= 0 && (Inv >> T) & 1u;
+}
+
+} // namespace flame
+} // namespace slingen
+
+#endif // SLINGEN_FLAME_INVARIANT_H

@@ -1,0 +1,105 @@
+//===- flame/PME.cpp ------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flame/PME.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace slingen;
+using namespace slingen::flame;
+
+std::string Task::str() const {
+  if (IsSolve)
+    return formatf("solve(%d,%d)", Pi, Pj);
+  return formatf("apply(%d,%d;g%d)", Pi, Pj, Group);
+}
+
+int TaskGraph::solveIndex(int Pi, int Pj) const {
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    if (Tasks[I].IsSolve && Tasks[I].Pi == Pi && Tasks[I].Pj == Pj)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int TaskGraph::applyIndex(int Pi, int Pj, int Group) const {
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    if (!Tasks[I].IsSolve && Tasks[I].Pi == Pi && Tasks[I].Pj == Pj &&
+        Tasks[I].Group == Group)
+      return static_cast<int>(I);
+  return -1;
+}
+
+TaskGraph flame::buildTaskGraph(const Spec &S) {
+  TaskGraph G;
+  G.NRow2 = S.RowsPartitioned ? 2 : 1;
+  G.NCol2 = S.ColsPartitioned ? 2 : 1;
+
+  // Solve tasks: one per stored quadrant.
+  std::vector<std::pair<int, int>> Positions =
+      storedPositions(S, G.NRow2, G.NCol2);
+  for (auto [Pi, Pj] : Positions)
+    G.Tasks.push_back({/*IsSolve=*/true, Pi, Pj, -1});
+
+  // Apply tasks: one per (position, update group) with dependency terms.
+  for (auto [Pi, Pj] : Positions) {
+    std::vector<BTerm> Terms = expandAt(S, Pi, Pj, G.NRow2, G.NCol2);
+    for (const BTerm &T : Terms) {
+      if (termContainsTarget(T, Pi, Pj))
+        continue;
+      bool HasUnknown = false;
+      for (const BBlock &B : T.F)
+        HasUnknown |= B.R == Role::X;
+      if (!HasUnknown)
+        continue; // purely known update: always foldable, no task needed
+      if (G.applyIndex(Pi, Pj, T.SpecTermIdx) < 0)
+        G.Tasks.push_back({/*IsSolve=*/false, Pi, Pj, T.SpecTermIdx});
+    }
+  }
+
+  // Dependency edges.
+  G.Deps.assign(G.Tasks.size(), {});
+  for (size_t TI = 0; TI < G.Tasks.size(); ++TI) {
+    const Task &T = G.Tasks[TI];
+    std::vector<BTerm> Terms = expandAt(S, T.Pi, T.Pj, G.NRow2, G.NCol2);
+    for (const BTerm &BT : Terms) {
+      bool IsSolveTerm = termContainsTarget(BT, T.Pi, T.Pj);
+      if (T.IsSolve) {
+        if (IsSolveTerm) {
+          // Coefficient blocks of the solve operator that are themselves
+          // unknown quadrants (Cholesky's X(0,0)^T X(0,1) panel solve).
+          for (const BBlock &B : BT.F) {
+            if (B.R != Role::X || (B.RI == T.Pi && B.CI == T.Pj))
+              continue;
+            int Dep = G.solveIndex(B.RI, B.CI);
+            assert(Dep >= 0 && "missing solve task for coefficient block");
+            G.Deps[TI].push_back(Dep);
+          }
+        } else {
+          // The solve requires its update groups to have been applied.
+          int Dep = G.applyIndex(T.Pi, T.Pj, BT.SpecTermIdx);
+          if (Dep >= 0)
+            G.Deps[TI].push_back(Dep);
+        }
+      } else if (!IsSolveTerm && BT.SpecTermIdx == T.Group) {
+        // Applying a group requires the unknown blocks it reads.
+        for (const BBlock &B : BT.F) {
+          if (B.R != Role::X)
+            continue;
+          int Dep = G.solveIndex(B.RI, B.CI);
+          assert(Dep >= 0 && "missing solve task for update source");
+          G.Deps[TI].push_back(Dep);
+        }
+      }
+    }
+    std::sort(G.Deps[TI].begin(), G.Deps[TI].end());
+    G.Deps[TI].erase(std::unique(G.Deps[TI].begin(), G.Deps[TI].end()),
+                     G.Deps[TI].end());
+  }
+  return G;
+}

@@ -1,0 +1,51 @@
+//===- flame/PME.h - partitioned matrix expressions and task graphs -------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PME generation (paper Sec. 2.2, first Cl1ck stage): the operation Spec
+/// is expanded over the 2x2 quadrant grid and decomposed into tasks --
+/// solve(quadrant) for each stored unknown quadrant and apply(quadrant,
+/// group) for each update group feeding it -- together with the dependency
+/// edges between them. Loop invariants are the dependency-closed task
+/// subsets of this graph (see Invariant.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_FLAME_PME_H
+#define SLINGEN_FLAME_PME_H
+
+#include "flame/BlockAlg.h"
+
+#include <string>
+
+namespace slingen {
+namespace flame {
+
+struct Task {
+  bool IsSolve = true;
+  int Pi = 0, Pj = 0; ///< quadrant position (underlying X coordinates)
+  int Group = -1;     ///< spec-term index for apply tasks
+
+  std::string str() const;
+};
+
+struct TaskGraph {
+  std::vector<Task> Tasks;
+  /// Deps[T] lists task indices that must be in any invariant containing T.
+  std::vector<std::vector<int>> Deps;
+  int NRow2 = 2, NCol2 = 2; ///< quadrant grid dimensions (1 or 2 each)
+
+  int solveIndex(int Pi, int Pj) const;
+  int applyIndex(int Pi, int Pj, int Group) const;
+};
+
+/// Builds the quadrant-level PME task graph for \p S.
+TaskGraph buildTaskGraph(const Spec &S);
+
+} // namespace flame
+} // namespace slingen
+
+#endif // SLINGEN_FLAME_PME_H

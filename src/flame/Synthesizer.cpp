@@ -1,0 +1,711 @@
+//===- flame/Synthesizer.cpp ----------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flame/Synthesizer.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace slingen;
+using namespace slingen::flame;
+
+namespace {
+
+const ViewExpr *asView(const ExprPtr &E) {
+  return E ? cast<ViewExpr>(E.get()) : nullptr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Instance and spec construction.
+//===----------------------------------------------------------------------===//
+
+HlacInstance flame::instanceFromMatch(const HlacMatch &M) {
+  HlacInstance I;
+  I.Kind = M.Kind;
+  auto Share = [](const ViewExpr *V) -> ExprPtr {
+    return V ? view(V->Op, V->R0, V->rows(), V->C0, V->cols()) : nullptr;
+  };
+  I.X = Share(M.X);
+  I.A = Share(M.A);
+  I.TransA = M.TransA;
+  I.LeftA = M.LeftA;
+  I.B = Share(M.B);
+  I.TransB = M.TransB;
+  if (M.Kind == HlacKind::Inv) {
+    I.CIsIdentity = true;
+    I.LeftA = true;
+  } else {
+    assert(isa<ViewExpr>(M.Rhs) &&
+           "HLAC RHS must be a view (pre-materialized)");
+    I.C = Share(cast<ViewExpr>(M.Rhs.get()));
+  }
+  I.UpperFactor = M.UpperFactor;
+  return I;
+}
+
+Spec flame::specForInstance(const HlacInstance &Inst) {
+  Spec S;
+  S.Kind = Inst.Kind;
+  S.CIsIdentity = Inst.CIsIdentity;
+  const ViewExpr *X = asView(Inst.X);
+  int XR = X->rows(), XC = X->cols();
+  auto St = [&](Role R) -> StructureKind & {
+    return S.Struct[static_cast<int>(R)];
+  };
+  auto Dim = [&](Role R) -> RoleDims & {
+    return S.Dims[static_cast<int>(R)];
+  };
+
+  switch (Inst.Kind) {
+  case HlacKind::Chol: {
+    assert(XR == XC && "Cholesky of a non-square view");
+    S.RowsPartitioned = S.ColsPartitioned = XR > 1;
+    St(Role::X) = Inst.UpperFactor ? StructureKind::UpperTriangular
+                                   : StructureKind::LowerTriangular;
+    SpecTerm T;
+    T.F0 = {Role::X, Inst.UpperFactor};
+    T.F1 = {Role::X, !Inst.UpperFactor};
+    T.Contraction = Axis::Row;
+    S.Lhs.push_back(T);
+    Dim(Role::X) = {true, Axis::Row, Axis::Col, true, true};
+    break;
+  }
+  case HlacKind::Trsm:
+  case HlacKind::Inv: {
+    bool Square = Inst.Kind == HlacKind::Inv;
+    StructureKind AS = asView(Inst.A)->structure();
+    bool EffUpper = (AS == StructureKind::UpperTriangular) != Inst.TransA;
+    S.AUnitDiag = asView(Inst.A)->Op->UnitDiag;
+    if (Inst.LeftA) {
+      S.RowsPartitioned = XR > 1;
+      S.ColsPartitioned = Square && XC > 1;
+      // Effective-upper left coefficients solve bottom-up; the flip turns
+      // row-axis structures into their transposes in region space.
+      if (EffUpper)
+        S.RowDir = DimDir::BottomUp;
+      St(Role::A) = EffUpper ? transposedStructure(AS) : AS;
+      SpecTerm T;
+      T.F0 = {Role::A, Inst.TransA};
+      T.F1 = {Role::X, false};
+      T.Contraction = Axis::Row;
+      S.Lhs.push_back(T);
+      Dim(Role::A) = {true, Axis::Row, Axis::Row, true, true};
+      Dim(Role::X) = {true, Axis::Row, Axis::Col, S.RowsPartitioned,
+                      S.ColsPartitioned};
+      if (Square) {
+        St(Role::X) = AS;
+        if (EffUpper) {
+          St(Role::X) = transposedStructure(AS);
+          S.ColDir = DimDir::BottomUp;
+        }
+      }
+    } else {
+      S.RowsPartitioned = false;
+      S.ColsPartitioned = XC > 1;
+      bool EffLower = !EffUpper;
+      if (EffLower)
+        S.ColDir = DimDir::BottomUp;
+      St(Role::A) = EffLower ? transposedStructure(AS) : AS;
+      SpecTerm T;
+      T.F0 = {Role::X, false};
+      T.F1 = {Role::A, Inst.TransA};
+      T.Contraction = Axis::Col;
+      S.Lhs.push_back(T);
+      Dim(Role::A) = {true, Axis::Col, Axis::Col, true, true};
+      Dim(Role::X) = {true, Axis::Row, Axis::Col, false,
+                      S.ColsPartitioned};
+    }
+    break;
+  }
+  case HlacKind::Trsyl: {
+    // op(A) X + X op(B) = C; op(A) lower, op(B) upper.
+    bool Coupled = XR > 1 && XC > 1 && XR == XC;
+    if (Coupled) {
+      S.RowsPartitioned = S.ColsPartitioned = true;
+    } else if (XC > 1) {
+      S.ColsPartitioned = true;
+      S.RowsPartitioned = false;
+    } else {
+      S.RowsPartitioned = XR > 1;
+      S.ColsPartitioned = false;
+    }
+    St(Role::A) = asView(Inst.A)->structure();
+    St(Role::B) = asView(Inst.B)->structure();
+    SpecTerm T0;
+    T0.F0 = {Role::A, Inst.TransA};
+    T0.F1 = {Role::X, false};
+    T0.Contraction = Axis::Row;
+    SpecTerm T1;
+    T1.F0 = {Role::X, false};
+    T1.F1 = {Role::B, Inst.TransB};
+    T1.Contraction = Axis::Col;
+    S.Lhs.push_back(T0);
+    S.Lhs.push_back(T1);
+    Dim(Role::A) = {true, Axis::Row, Axis::Row, true, true};
+    Dim(Role::B) = {true, Axis::Col, Axis::Col, true, true};
+    Dim(Role::X) = {true, Axis::Row, Axis::Col, S.RowsPartitioned,
+                    S.ColsPartitioned};
+    break;
+  }
+  case HlacKind::Trlya: {
+    assert(XR == XC && "Lyapunov of a non-square view");
+    S.RowsPartitioned = S.ColsPartitioned = XR > 1;
+    St(Role::A) = asView(Inst.A)->structure();
+    StructureKind XS = asView(Inst.X)->structure();
+    St(Role::X) = isSymmetric(XS) && XS != StructureKind::Zero
+                      ? XS
+                      : StructureKind::SymmetricLower;
+    SpecTerm T0;
+    T0.F0 = {Role::A, Inst.TransA};
+    T0.F1 = {Role::X, false};
+    T0.Contraction = Axis::Row;
+    SpecTerm T1;
+    T1.F0 = {Role::X, false};
+    T1.F1 = {Role::A, !Inst.TransA};
+    T1.Contraction = Axis::Col;
+    S.Lhs.push_back(T0);
+    S.Lhs.push_back(T1);
+    Dim(Role::A) = {true, Axis::Row, Axis::Row, true, true};
+    Dim(Role::X) = {true, Axis::Row, Axis::Col, true, true};
+    break;
+  }
+  default:
+    assert(false && "unsupported HLAC kind");
+  }
+  Dim(Role::C) = {true, Axis::Row, Axis::Col, S.RowsPartitioned,
+                  S.ColsPartitioned};
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Emission.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Regions {
+  int N = 1;
+  int Off[3] = {0, 0, 0};
+  int Ext[3] = {0, 0, 0};
+};
+
+Regions makeRegions(int Size, int K, int Blk, DimDir Dir, bool Partitioned) {
+  Regions R;
+  if (!Partitioned) {
+    R.N = 1;
+    R.Ext[0] = Size;
+    return R;
+  }
+  R.N = 3;
+  int Rest = Size - K - Blk;
+  assert(Rest >= 0 && "block exceeds the matrix");
+  if (Dir == DimDir::TopDown) {
+    R.Off[0] = 0;
+    R.Ext[0] = K;
+    R.Off[1] = K;
+    R.Ext[1] = Blk;
+    R.Off[2] = K + Blk;
+    R.Ext[2] = Rest;
+  } else {
+    R.Off[0] = Size - K;
+    R.Ext[0] = K;
+    R.Off[1] = Size - K - Blk;
+    R.Ext[1] = Blk;
+    R.Off[2] = 0;
+    R.Ext[2] = Rest;
+  }
+  return R;
+}
+
+class Emitter {
+public:
+  Emitter(const HlacInstance &Inst, const SynthOptions &Opts,
+          std::vector<EqStmt> &Out, Database *DB)
+      : Inst(Inst), S(specForInstance(Inst)), Opts(Opts), Out(Out), DB(DB) {}
+
+  bool run();
+
+private:
+  const HlacInstance &Inst;
+  Spec S;
+  const SynthOptions &Opts;
+  std::vector<EqStmt> &Out;
+  Database *DB;
+  TaskGraph Graph;
+  uint32_t Inv = 0;
+  Regions Rows, Cols;
+  /// Identity-RHS elements already initialized, at element granularity:
+  /// region boundaries shift between steps, so a later write may cover a
+  /// sub-rectangle of an earlier one and must not be mistaken for a first
+  /// touch.
+  std::set<std::pair<int, int>> IdentityInit;
+
+  /// True if the rectangle of \p V was already written. Writes nest (later
+  /// rectangles are subsets of earlier ones), so mixed states are a bug.
+  bool identityInitialized(const ViewExpr *V) const {
+    int Hit = 0;
+    for (int R = 0; R < V->rows(); ++R)
+      for (int C = 0; C < V->cols(); ++C)
+        Hit += IdentityInit.count({V->R0 + R, V->C0 + C});
+    assert((Hit == 0 || Hit == V->rows() * V->cols()) &&
+           "partially initialized identity-RHS block");
+    return Hit > 0;
+  }
+
+  void markIdentityInitialized(const ViewExpr *V) {
+    for (int R = 0; R < V->rows(); ++R)
+      for (int C = 0; C < V->cols(); ++C)
+        IdentityInit.insert({V->R0 + R, V->C0 + C});
+  }
+
+  const ViewExpr *roleView(Role R) const {
+    switch (R) {
+    case Role::X:
+      return asView(Inst.X);
+    case Role::A:
+      return asView(Inst.A);
+    case Role::B:
+      return asView(Inst.B);
+    case Role::C:
+      return asView(Inst.C);
+    }
+    return nullptr;
+  }
+
+  const Regions &axisRegions(Axis A) const {
+    return A == Axis::Row ? Rows : Cols;
+  }
+
+  /// Extents of underlying block (Ri, Ci) of a role.
+  std::pair<int, int> blockExt(Role R, int Ri, int Ci) const {
+    const RoleDims &D = S.Dims[static_cast<int>(R)];
+    const Regions &RR = axisRegions(D.RowAxis);
+    const Regions &CR = axisRegions(D.ColAxis);
+    return {RR.Ext[D.RowPart ? Ri : 0], CR.Ext[D.ColPart ? Ci : 0]};
+  }
+
+  /// Concrete view of underlying block (Ri, Ci) of a role. The work view
+  /// of a block is the same region of the unknown's buffer (in-place).
+  ExprPtr blockView(Role R, int Ri, int Ci) const {
+    const RoleDims &D = S.Dims[static_cast<int>(R)];
+    const ViewExpr *Base = roleView(R);
+    const Regions &RR = axisRegions(D.RowAxis);
+    const Regions &CR = axisRegions(D.ColAxis);
+    int Rj = D.RowPart ? Ri : 0;
+    int Cj = D.ColPart ? Ci : 0;
+    return view(Base->Op, Base->R0 + RR.Off[Rj], RR.Ext[Rj],
+                Base->C0 + CR.Off[Cj], CR.Ext[Cj]);
+  }
+
+  ExprPtr workView(int Ri, int Ci) const {
+    return blockView(Role::X, Ri, Ci);
+  }
+
+  bool blockEmpty(Role R, int Ri, int Ci) const {
+    auto [ER, EC] = blockExt(R, Ri, Ci);
+    return ER == 0 || EC == 0;
+  }
+
+  ExprPtr factorExpr(const BBlock &B) const {
+    ExprPtr V = blockView(B.R, B.RI, B.CI);
+    return B.Trans ? trans(V) : V;
+  }
+
+  ExprPtr termExpr(const BTerm &T) const {
+    assert(!T.F.empty());
+    ExprPtr E = factorExpr(T.F[0]);
+    for (size_t I = 1; I < T.F.size(); ++I)
+      E = mul(E, factorExpr(T.F[I]));
+    return E;
+  }
+
+  bool termHasEmptyFactor(const BTerm &T) const {
+    for (const BBlock &B : T.F)
+      if (blockEmpty(B.R, B.RI, B.CI))
+        return true;
+    return false;
+  }
+
+  static int quadBefore(int Region) { return Region == 0 ? 0 : 1; }
+  static int quadAfter(int Region) { return Region <= 1 ? 0 : 1; }
+
+  bool solvedBefore(int Ri, int Ci) const {
+    int T = Graph.solveIndex(S.RowsPartitioned ? quadBefore(Ri) : 0,
+                             S.ColsPartitioned ? quadBefore(Ci) : 0);
+    return invariantHas(Inv, T);
+  }
+  bool solvedAfter(int Ri, int Ci) const {
+    int T = Graph.solveIndex(S.RowsPartitioned ? quadAfter(Ri) : 0,
+                             S.ColsPartitioned ? quadAfter(Ci) : 0);
+    return invariantHas(Inv, T);
+  }
+  bool applyHeldAtBefore(int Ri, int Ci, int Group) const {
+    int T = Graph.applyIndex(S.RowsPartitioned ? quadBefore(Ri) : 0,
+                             S.ColsPartitioned ? quadBefore(Ci) : 0, Group);
+    return invariantHas(Inv, T);
+  }
+  bool applyHeldAtAfter(int Ri, int Ci, int Group) const {
+    int T = Graph.applyIndex(S.RowsPartitioned ? quadAfter(Ri) : 0,
+                             S.ColsPartitioned ? quadAfter(Ci) : 0, Group);
+    return invariantHas(Inv, T);
+  }
+
+  bool inDoneRegion(const BBlock &B) const {
+    return (!S.RowsPartitioned || B.RI == 0) &&
+           (!S.ColsPartitioned || B.CI == 0);
+  }
+
+  void emitUpdate(int Ri, int Ci, const BTerm &T);
+  bool emitSolve(int Ri, int Ci, const std::vector<BTerm> &Solves);
+  void emitSymmetricMirror(int Ri, int Ci);
+  void emitTriangleZeroing();
+  bool emitStep(int K, int Blk);
+  bool emitBase();
+};
+
+bool Emitter::run() {
+  if (!S.RowsPartitioned && !S.ColsPartitioned)
+    return emitBase();
+
+  Graph = buildTaskGraph(S);
+  std::vector<uint32_t> Invs = enumerateInvariants(Graph);
+  if (Invs.empty())
+    return false;
+  if (Opts.Variant >= static_cast<int>(Invs.size()))
+    return false;
+  Inv = Invs[Opts.Variant];
+
+  const ViewExpr *X = asView(Inst.X);
+  int N = S.RowsPartitioned ? X->rows() : X->cols();
+  int BS = N > Opts.BlockSize ? Opts.BlockSize : 1;
+
+  if (DB)
+    DB->record(formatf("%s:n%d:b%d:v%d", hlacKindName(Inst.Kind), N, BS,
+                       Opts.Variant));
+
+  if (!Opts.Nested)
+    emitTriangleZeroing();
+
+  // When the unknown and the RHS live in different buffers, copy once and
+  // work in place afterwards (library in-place semantics).
+  if (Inst.C && asView(Inst.C)->Op->root() != X->Op->root()) {
+    const ViewExpr *C = asView(Inst.C);
+    Out.push_back({view(X->Op, X->R0, X->rows(), X->C0, X->cols()),
+                   view(C->Op, C->R0, C->rows(), C->C0, C->cols())});
+  }
+
+  for (int K = 0; K < N;) {
+    int Blk = std::min(BS, N - K);
+    if (!emitStep(K, Blk))
+      return false;
+    K += Blk;
+  }
+  return true;
+}
+
+bool Emitter::emitStep(int K, int Blk) {
+  const ViewExpr *X = asView(Inst.X);
+  Rows = makeRegions(X->rows(), K, Blk, S.RowDir, S.RowsPartitioned);
+  Cols = makeRegions(X->cols(), K, Blk, S.ColDir, S.ColsPartitioned);
+
+  std::vector<std::pair<int, int>> Positions =
+      storedPositions(S, Rows.N, Cols.N);
+
+  std::vector<std::pair<int, int>> Newly;
+  for (auto [Gi, Gj] : Positions) {
+    auto [Ri, Ci] = targetOf(Gi, Gj);
+    if (blockEmpty(Role::X, Ri, Ci))
+      continue;
+    if (!solvedBefore(Ri, Ci) && solvedAfter(Ri, Ci))
+      Newly.push_back({Ri, Ci});
+  }
+
+  // Topologically order the newly blocks by their mutual dependencies.
+  auto DependsOn = [&](std::pair<int, int> P, std::pair<int, int> Q) {
+    std::vector<BTerm> Terms =
+        expandAt(S, P.first, P.second, Rows.N, Cols.N);
+    for (const BTerm &T : Terms)
+      for (const BBlock &B : T.F)
+        if (B.R == Role::X && B.RI == Q.first && B.CI == Q.second &&
+            !(B.RI == P.first && B.CI == P.second))
+          return true;
+    return false;
+  };
+  for (size_t I = 0; I < Newly.size(); ++I) {
+    bool Moved = true;
+    while (Moved) {
+      Moved = false;
+      for (size_t J = I + 1; J < Newly.size(); ++J)
+        if (DependsOn(Newly[I], Newly[J])) {
+          std::rotate(Newly.begin() + I, Newly.begin() + J,
+                      Newly.begin() + J + 1);
+          Moved = true;
+          break;
+        }
+    }
+  }
+
+  for (auto [Ri, Ci] : Newly) {
+    std::vector<BTerm> Terms = expandAt(S, Ri, Ci, Rows.N, Cols.N);
+    std::vector<BTerm> SolveTerms;
+    for (const BTerm &T : Terms) {
+      if (termHasEmptyFactor(T))
+        continue;
+      if (termContainsTarget(T, Ri, Ci)) {
+        SolveTerms.push_back(T);
+        continue;
+      }
+      // All unknown sources must be available by the time this runs.
+      bool Pre = true;
+      for (const BBlock &B : T.F)
+        if (B.R == Role::X) {
+          if (!solvedAfter(B.RI, B.CI))
+            return false; // infeasible variant for emission
+          Pre &= inDoneRegion(B);
+        }
+      if (Pre && applyHeldAtBefore(Ri, Ci, T.SpecTermIdx))
+        continue; // already reflected in storage
+      emitUpdate(Ri, Ci, T);
+    }
+    if (!emitSolve(Ri, Ci, SolveTerms))
+      return false;
+    emitSymmetricMirror(Ri, Ci);
+  }
+
+  // Advance the promised updates on not-yet-solved stored blocks.
+  for (auto [Gi, Gj] : Positions) {
+    auto [Ri, Ci] = targetOf(Gi, Gj);
+    if (blockEmpty(Role::X, Ri, Ci) || solvedAfter(Ri, Ci))
+      continue;
+    std::vector<BTerm> Terms = expandAt(S, Ri, Ci, Rows.N, Cols.N);
+    for (const BTerm &T : Terms) {
+      if (termContainsTarget(T, Ri, Ci) || termHasEmptyFactor(T))
+        continue;
+      // The advance establishes the invariant at the *next* boundary, so
+      // membership is judged at the block's after-quadrant.
+      if (!applyHeldAtAfter(Ri, Ci, T.SpecTermIdx))
+        continue;
+      bool InFrontier = true, HasPanel = false;
+      for (const BBlock &B : T.F) {
+        if (B.R != Role::X)
+          continue;
+        int MaxR = std::max(S.RowsPartitioned ? B.RI : 0,
+                            S.ColsPartitioned ? B.CI : 0);
+        InFrontier &= MaxR <= 1;
+        HasPanel |= MaxR == 1;
+      }
+      if (InFrontier && HasPanel)
+        emitUpdate(Ri, Ci, T);
+    }
+  }
+  return true;
+}
+
+/// Full-storage maintenance for symmetric unknowns (the paper's "full
+/// storage scheme"): after an off-diagonal stored block is solved, its
+/// transpose is copied into the mirrored position, so later reads of
+/// square regions spanning both triangles see consistent data. Diagonal
+/// sub-blocks are handled by the recursion: their own off-diagonal solves
+/// mirror element-wise.
+void Emitter::emitSymmetricMirror(int Ri, int Ci) {
+  if (Ri == Ci || !isSymmetric(S.Struct[static_cast<int>(Role::X)]))
+    return;
+  ExprPtr Solved = workView(Ri, Ci);
+  ExprPtr Mirror = blockView(Role::X, Ci, Ri);
+  Out.push_back({std::move(Mirror), trans(std::move(Solved))});
+}
+
+/// ow()-dirty triangular unknowns (e.g. paper Fig. 5, where U overwrites
+/// S): the non-stored triangle still holds the previous operand's data, so
+/// establish the full-storage zeros up front. Fresh Out operands are
+/// zero-initialized by the runtime and skip this.
+void Emitter::emitTriangleZeroing() {
+  const ViewExpr *X = asView(Inst.X);
+  if (X->Op->root() == X->Op || X->rows() < 2)
+    return;
+  StructureKind XS = X->structure();
+  int N = X->rows();
+  if (XS == StructureKind::UpperTriangular) {
+    for (int I = 1; I < N; ++I)
+      Out.push_back({view(X->Op, X->R0 + I, 1, X->C0, I), constant(0.0)});
+  } else if (XS == StructureKind::LowerTriangular) {
+    for (int I = 0; I < N - 1; ++I)
+      Out.push_back({view(X->Op, X->R0 + I, 1, X->C0 + I + 1, N - I - 1),
+                     constant(0.0)});
+  }
+}
+
+void Emitter::emitUpdate(int Ri, int Ci, const BTerm &T) {
+  ExprPtr W = workView(Ri, Ci);
+  ExprPtr Term = termExpr(T);
+  const auto *WV = cast<ViewExpr>(W.get());
+  if (S.CIsIdentity && !identityInitialized(WV)) {
+    // First touch of an identity-RHS zero block: W = -term.
+    markIdentityInitialized(WV);
+    Out.push_back({W, neg(std::move(Term))});
+    return;
+  }
+  Out.push_back({W, sub(W, std::move(Term))});
+}
+
+bool Emitter::emitSolve(int Ri, int Ci, const std::vector<BTerm> &Solves) {
+  HlacInstance Sub;
+  Sub.X = workView(Ri, Ci);
+  Sub.C = workView(Ri, Ci); // in place
+  const auto *XV = cast<ViewExpr>(Sub.X.get());
+  if (S.CIsIdentity && !identityInitialized(XV)) {
+    markIdentityInitialized(XV);
+    Sub.C = nullptr;
+    Sub.CIsIdentity = true;
+  }
+  SynthOptions SubOpts = Opts;
+  SubOpts.Variant = 0; // recursive codelets use the default algorithm
+  SubOpts.Nested = true;
+
+  if (Solves.size() == 1) {
+    const BTerm &T = Solves[0];
+    if (T.F.size() == 1) {
+      // Identity coefficient: the initial copy already solved this block.
+      return true;
+    }
+    assert(T.F.size() == 2 && "bad solve term");
+    bool F0IsTarget =
+        T.F[0].R == Role::X && T.F[0].RI == Ri && T.F[0].CI == Ci;
+    bool F1IsTarget =
+        T.F[1].R == Role::X && T.F[1].RI == Ri && T.F[1].CI == Ci;
+    if (F0IsTarget && F1IsTarget) {
+      // Diagonal recursive Cholesky.
+      Sub.Kind = HlacKind::Chol;
+      Sub.UpperFactor = T.F[0].Trans;
+      return expandHlac(Sub, SubOpts, Out, DB);
+    }
+    const BBlock &Coef = F1IsTarget ? T.F[0] : T.F[1];
+    assert((F0IsTarget || F1IsTarget) && "solve term without target");
+    assert(!(F1IsTarget ? T.F[1] : T.F[0]).Trans &&
+           "transposed unknown in solve position");
+    Sub.Kind = Sub.CIsIdentity ? HlacKind::Inv : HlacKind::Trsm;
+    Sub.A = blockView(Coef.R, Coef.RI, Coef.CI);
+    Sub.TransA = Coef.Trans;
+    Sub.LeftA = F1IsTarget;
+    return expandHlac(Sub, SubOpts, Out, DB);
+  }
+
+  if (Solves.size() == 2) {
+    const BTerm *LeftT = nullptr, *RightT = nullptr;
+    for (const BTerm &T : Solves) {
+      if (T.F.size() != 2)
+        return false;
+      if (T.F[1].R == Role::X && T.F[1].RI == Ri && T.F[1].CI == Ci &&
+          !T.F[1].Trans)
+        LeftT = &T;
+      else
+        RightT = &T;
+    }
+    if (!LeftT || !RightT)
+      return false;
+    const BBlock &CA = LeftT->F[0];
+    const BBlock &CB = RightT->F[1];
+    if (S.Kind == HlacKind::Trlya && Ri == Ci && CA.R == CB.R &&
+        CA.RI == CB.RI && CA.CI == CB.CI && CA.Trans != CB.Trans) {
+      Sub.Kind = HlacKind::Trlya;
+      Sub.A = blockView(CA.R, CA.RI, CA.CI);
+      Sub.TransA = CA.Trans;
+      return expandHlac(Sub, SubOpts, Out, DB);
+    }
+    Sub.Kind = HlacKind::Trsyl;
+    Sub.A = blockView(CA.R, CA.RI, CA.CI);
+    Sub.TransA = CA.Trans;
+    Sub.B = blockView(CB.R, CB.RI, CB.CI);
+    Sub.TransB = CB.Trans;
+    return expandHlac(Sub, SubOpts, Out, DB);
+  }
+  return false;
+}
+
+bool Emitter::emitBase() {
+  ExprPtr X = Inst.X;
+  ExprPtr W = Inst.CIsIdentity ? nullptr : Inst.C;
+  switch (Inst.Kind) {
+  case HlacKind::Chol:
+    assert(asView(X)->rows() == 1 && asView(X)->cols() == 1);
+    Out.push_back({X, sqrtExpr(W)});
+    return true;
+  case HlacKind::Trsm: {
+    // The unknown may be a 1 x m or m x 1 slab with a scalar coefficient:
+    // per-element divisions, merged later by rules R0/R1 (paper Fig. 10).
+    const ViewExpr *XV = asView(Inst.X);
+    const ViewExpr *WV = asView(Inst.C);
+    assert(asView(Inst.A)->rows() == 1 && asView(Inst.A)->cols() == 1 &&
+           "non-scalar trsm coefficient in base case");
+    if (asView(Inst.A)->Op->UnitDiag) {
+      if (XV->Op->root() != WV->Op->root())
+        Out.push_back({Inst.X, Inst.C});
+      return true;
+    }
+    for (int R = 0; R < XV->rows(); ++R)
+      for (int C = 0; C < XV->cols(); ++C)
+        Out.push_back({view(XV->Op, XV->R0 + R, 1, XV->C0 + C, 1),
+                       divExpr(view(WV->Op, WV->R0 + R, 1, WV->C0 + C, 1),
+                               Inst.A)});
+    return true;
+  }
+  case HlacKind::Inv:
+    assert(asView(X)->rows() == 1 && asView(X)->cols() == 1);
+    Out.push_back({X, divExpr(constant(1.0), Inst.A)});
+    return true;
+  case HlacKind::Trsyl: {
+    const ViewExpr *XV = asView(Inst.X);
+    const ViewExpr *WV = asView(Inst.C);
+    assert(asView(Inst.A)->rows() == 1 && asView(Inst.B)->rows() == 1 &&
+           "non-scalar trsyl coefficients in base case");
+    for (int R = 0; R < XV->rows(); ++R)
+      for (int C = 0; C < XV->cols(); ++C)
+        Out.push_back({view(XV->Op, XV->R0 + R, 1, XV->C0 + C, 1),
+                       divExpr(view(WV->Op, WV->R0 + R, 1, WV->C0 + C, 1),
+                               add(Inst.A, Inst.B))});
+    return true;
+  }
+  case HlacKind::Trlya:
+    assert(asView(X)->rows() == 1 && asView(X)->cols() == 1);
+    Out.push_back({X, divExpr(W, mul(constant(2.0), Inst.A))});
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+int flame::countVariants(const HlacInstance &Inst) {
+  const ViewExpr *X = asView(Inst.X);
+  if (X->rows() == 1 && X->cols() == 1)
+    return 1;
+  Spec S = specForInstance(Inst);
+  if (!S.RowsPartitioned && !S.ColsPartitioned)
+    return 1;
+  TaskGraph G = buildTaskGraph(S);
+  int N = static_cast<int>(enumerateInvariants(G).size());
+  return N > 0 ? N : 1;
+}
+
+bool Database::record(const std::string &Key) {
+  auto [It, Inserted] = Hits.emplace(Key, 0);
+  ++It->second;
+  if (!Inserted)
+    ++TotalHits;
+  return !Inserted;
+}
+
+bool flame::expandHlac(const HlacInstance &Inst, const SynthOptions &Opts,
+                       std::vector<EqStmt> &Out, Database *DB) {
+  Emitter E(Inst, Opts, Out, DB);
+  return E.run();
+}

@@ -1,0 +1,88 @@
+//===- flame/Synthesizer.h - blocked algorithm construction ---------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third Cl1ck stage plus SLinGen's Stage 1 (paper Secs. 2.2, 3.1):
+/// given an HLAC instance and a loop invariant, emits the blocked algorithm
+/// as a flat sequence of concrete sBLAC / scalar statements (the "basic
+/// linear algebra program"). Panels are BlockSize (= nu) wide; the
+/// vector-size sub-HLACs are synthesized recursively with block size 1 and
+/// unrolled in place (paper Figs. 7-9). An algorithm database records
+/// synthesis reuse (Stage 1a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_FLAME_SYNTHESIZER_H
+#define SLINGEN_FLAME_SYNTHESIZER_H
+
+#include "flame/Invariant.h"
+
+#include <map>
+#include <string>
+
+namespace slingen {
+namespace flame {
+
+/// A concrete occurrence of an HLAC: the unknown view, coefficient views,
+/// and the right-hand-side source.
+struct HlacInstance {
+  HlacKind Kind = HlacKind::None;
+  ExprPtr X;            ///< unknown region (ViewExpr)
+  ExprPtr A;            ///< triangular coefficient (ViewExpr) or null
+  bool TransA = false;
+  bool LeftA = true;
+  ExprPtr B;            ///< second coefficient for trsyl (ViewExpr) or null
+  bool TransB = false;
+  ExprPtr C;            ///< RHS source view, or null when CIsIdentity
+  bool CIsIdentity = false;
+  bool UpperFactor = false; ///< Cholesky X^T X (vs X X^T)
+};
+
+/// Builds an instance from a matched user-level HLAC. The match's RHS must
+/// be a plain view (SLinGen materializes compound right-hand sides into
+/// temporaries beforehand).
+HlacInstance instanceFromMatch(const HlacMatch &M);
+
+/// Derives the operation Spec (roles, structures, traversal directions)
+/// for an instance of the given partitioning. Rows/Cols partitioning is
+/// chosen automatically from the instance shape.
+Spec specForInstance(const HlacInstance &Inst);
+
+/// Number of algorithmic variants (feasible loop invariants) available for
+/// this instance.
+int countVariants(const HlacInstance &Inst);
+
+/// Records which algorithms have been synthesized so repeated requests are
+/// recognized (paper Stage 1a "algorithm reuse").
+class Database {
+public:
+  /// Returns true if the key was already present (a reuse hit).
+  bool record(const std::string &Key);
+  int uniqueAlgorithms() const { return static_cast<int>(Hits.size()); }
+  int reuseHits() const { return TotalHits; }
+
+private:
+  std::map<std::string, int> Hits;
+  int TotalHits = 0;
+};
+
+struct SynthOptions {
+  int BlockSize = 4; ///< panel width nu
+  int Variant = 0;   ///< invariant index for the top-level loop
+  /// Internal: set for recursive sub-expansions, which must not repeat
+  /// whole-operand maintenance (the ow() triangle zeroing).
+  bool Nested = false;
+};
+
+/// Expands the HLAC into basic statements appended to \p Out. Returns false
+/// if the instance shape is unsupported. \p DB may be null.
+bool expandHlac(const HlacInstance &Inst, const SynthOptions &Opts,
+                std::vector<EqStmt> &Out, Database *DB);
+
+} // namespace flame
+} // namespace slingen
+
+#endif // SLINGEN_FLAME_SYNTHESIZER_H

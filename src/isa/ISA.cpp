@@ -1,0 +1,47 @@
+//===- isa/ISA.cpp --------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ISA.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace slingen;
+
+static const VectorISA Scalar{"scalar", 1, false, false};
+static const VectorISA Sse2{"sse2", 2, false, false};
+static const VectorISA Avx{"avx", 4, true, true};
+static const VectorISA Avx512{"avx512", 8, true, true};
+
+const VectorISA &slingen::scalarIsa() { return Scalar; }
+const VectorISA &slingen::sse2Isa() { return Sse2; }
+const VectorISA &slingen::avxIsa() { return Avx; }
+const VectorISA &slingen::avx512Isa() { return Avx512; }
+
+const VectorISA &slingen::hostIsa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f"))
+    return Avx512;
+  if (__builtin_cpu_supports("avx2"))
+    return Avx;
+  if (__builtin_cpu_supports("sse2"))
+    return Sse2;
+#endif
+  return Scalar;
+}
+
+const VectorISA &slingen::isaByName(const char *Name) {
+  if (std::strcmp(Name, "scalar") == 0)
+    return Scalar;
+  if (std::strcmp(Name, "sse2") == 0)
+    return Sse2;
+  if (std::strcmp(Name, "avx") == 0)
+    return Avx;
+  if (std::strcmp(Name, "avx512") == 0)
+    return Avx512;
+  assert(false && "unknown ISA name");
+  return Scalar;
+}

@@ -1,0 +1,112 @@
+//===- la/Ast.h - abstract syntax tree of the LA language ----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parsed form of an LA program, before semantic analysis. Index
+/// expressions are affine in the induction variables of enclosing for-loops
+/// (the paper's ⟨statement⟩_i notation); lowering substitutes concrete values
+/// while unrolling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_LA_AST_H
+#define SLINGEN_LA_AST_H
+
+#include "expr/Structure.h"
+#include "expr/Operand.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slingen {
+namespace la {
+
+/// An affine form c + sum_i coeff_i * var_i over loop induction variables.
+struct Affine {
+  int Const = 0;
+  std::map<std::string, int> Coeffs;
+
+  bool isConstant() const { return Coeffs.empty(); }
+
+  /// Evaluates under a binding of induction variables; asserts all vars
+  /// bound.
+  int eval(const std::map<std::string, int> &Bindings) const;
+
+  Affine operator+(const Affine &O) const;
+  Affine operator-(const Affine &O) const;
+  Affine scaled(int F) const;
+};
+
+enum class AstKind { Ref, Number, Unary, Binary };
+enum class AstUnOp { Trans, Neg, Sqrt, Inv };
+enum class AstBinOp { Add, Sub, Mul, Div };
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+/// One index range Lo:Hi (half-open) or a single index (Hi unset).
+struct AstRange {
+  Affine Lo;
+  Affine Hi;
+  bool Single = false;
+};
+
+struct AstExpr {
+  AstKind Kind;
+  int Line = 0, Col = 0;
+
+  // Ref:
+  std::string Name;
+  std::vector<AstRange> Indices; // 0 (whole), 1 (vector/element), or 2
+
+  // Number:
+  double Value = 0.0;
+
+  // Unary / Binary:
+  AstUnOp UnOp = AstUnOp::Trans;
+  AstBinOp BinOp = AstBinOp::Add;
+  AstExprPtr L, R;
+};
+
+struct AstStmt;
+using AstStmtPtr = std::unique_ptr<AstStmt>;
+
+struct AstStmt {
+  bool IsFor = false;
+  int Line = 0;
+
+  // Equation.
+  AstExprPtr Lhs, Rhs;
+
+  // For loop: for (var = Lo:Hi[:Step]) { body }.
+  std::string Var;
+  Affine Lo, Hi;
+  int Step = 1;
+  std::vector<AstStmtPtr> Body;
+};
+
+struct AstDecl {
+  std::string Name;
+  int Line = 0;
+  enum class Shape { Mat, Vec, Sca } Shape = Shape::Mat;
+  int Rows = 1, Cols = 1;
+  IOKind IO = IOKind::In;
+  StructureKind Structure = StructureKind::General;
+  bool PosDef = false, NonSingular = false, UnitDiag = false;
+  std::string Overwrites; // empty when absent
+};
+
+struct AstProgram {
+  std::vector<AstDecl> Decls;
+  std::vector<AstStmtPtr> Stmts;
+};
+
+} // namespace la
+} // namespace slingen
+
+#endif // SLINGEN_LA_AST_H

@@ -1,0 +1,163 @@
+//===- la/Lexer.cpp -------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "la/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace slingen;
+using namespace slingen::la;
+
+static const std::map<std::string, TokKind> &keywords() {
+  static const std::map<std::string, TokKind> KW = {
+      {"Mat", TokKind::KwMat},           {"Vec", TokKind::KwVec},
+      {"Sca", TokKind::KwSca},           {"In", TokKind::KwIn},
+      {"Out", TokKind::KwOut},           {"InOut", TokKind::KwInOut},
+      {"LoTri", TokKind::KwLoTri},       {"UpTri", TokKind::KwUpTri},
+      {"UpSym", TokKind::KwUpSym},       {"LoSym", TokKind::KwLoSym},
+      {"PD", TokKind::KwPD},             {"NS", TokKind::KwNS},
+      {"UnitDiag", TokKind::KwUnitDiag}, {"ow", TokKind::KwOw},
+      {"for", TokKind::KwFor},           {"trans", TokKind::KwTrans},
+      {"sqrt", TokKind::KwSqrt},         {"inv", TokKind::KwInv},
+  };
+  return KW;
+}
+
+bool la::lex(const std::string &Source, std::vector<Token> &Out,
+             std::string &ErrorMsg) {
+  Out.clear();
+  int Line = 1, Col = 1;
+  size_t I = 0, N = Source.size();
+  auto Make = [&](TokKind K, std::string Text) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::move(Text);
+    T.Line = Line;
+    T.Col = Col;
+    return T;
+  };
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Col;
+      ++I;
+      continue;
+    }
+    if (C == '#') { // line comment
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      std::string Text = Source.substr(Start, I - Start);
+      auto It = keywords().find(Text);
+      Token T = Make(It == keywords().end() ? TokKind::Ident : It->second,
+                     Text);
+      Out.push_back(T);
+      Col += static_cast<int>(I - Start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      size_t Start = I;
+      bool SawDot = false, SawExp = false;
+      while (I < N) {
+        char D = Source[I];
+        if (std::isdigit(static_cast<unsigned char>(D))) {
+          ++I;
+        } else if (D == '.' && !SawDot && !SawExp) {
+          SawDot = true;
+          ++I;
+        } else if ((D == 'e' || D == 'E') && !SawExp) {
+          SawExp = true;
+          ++I;
+          if (I < N && (Source[I] == '+' || Source[I] == '-'))
+            ++I;
+        } else {
+          break;
+        }
+      }
+      std::string Text = Source.substr(Start, I - Start);
+      Token T = Make(TokKind::Number, Text);
+      T.NumValue = std::strtod(Text.c_str(), nullptr);
+      T.IsInt = !SawDot && !SawExp;
+      Out.push_back(T);
+      Col += static_cast<int>(I - Start);
+      continue;
+    }
+    TokKind K;
+    switch (C) {
+    case '(':
+      K = TokKind::LParen;
+      break;
+    case ')':
+      K = TokKind::RParen;
+      break;
+    case '{':
+      K = TokKind::LBrace;
+      break;
+    case '}':
+      K = TokKind::RBrace;
+      break;
+    case '<':
+      K = TokKind::Less;
+      break;
+    case '>':
+      K = TokKind::Greater;
+      break;
+    case ',':
+      K = TokKind::Comma;
+      break;
+    case ';':
+      K = TokKind::Semi;
+      break;
+    case ':':
+      K = TokKind::Colon;
+      break;
+    case '=':
+      K = TokKind::Equal;
+      break;
+    case '+':
+      K = TokKind::Plus;
+      break;
+    case '-':
+      K = TokKind::Minus;
+      break;
+    case '*':
+      K = TokKind::Star;
+      break;
+    case '/':
+      K = TokKind::Slash;
+      break;
+    case '\'':
+      K = TokKind::Quote;
+      break;
+    default:
+      ErrorMsg = formatf("%d:%d: unexpected character '%c'", Line, Col, C);
+      return false;
+    }
+    Out.push_back(Make(K, std::string(1, C)));
+    ++Col;
+    ++I;
+  }
+  Out.push_back(Make(TokKind::Eof, ""));
+  return true;
+}

@@ -1,0 +1,80 @@
+//===- la/Lexer.h - tokenizer for the LA language --------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the LA input language (paper Fig. 4). The concrete syntax
+/// follows the paper closely; transposition is written `trans(X)` or the
+/// MATLAB-style postfix `X'`, and `#` starts a line comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_LA_LEXER_H
+#define SLINGEN_LA_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace slingen {
+namespace la {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwMat,
+  KwVec,
+  KwSca,
+  KwIn,
+  KwOut,
+  KwInOut,
+  KwLoTri,
+  KwUpTri,
+  KwUpSym,
+  KwLoSym,
+  KwPD,
+  KwNS,
+  KwUnitDiag,
+  KwOw,
+  KwFor,
+  KwTrans,
+  KwSqrt,
+  KwInv,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Less,
+  Greater,
+  Comma,
+  Semi,
+  Colon,
+  Equal,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Quote,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  double NumValue = 0.0;
+  bool IsInt = false;
+  int Line = 0, Col = 0;
+};
+
+/// Tokenizes \p Source. On a lexical error, returns false and fills
+/// \p ErrorMsg with a "line:col: message" diagnostic.
+bool lex(const std::string &Source, std::vector<Token> &Out,
+         std::string &ErrorMsg);
+
+} // namespace la
+} // namespace slingen
+
+#endif // SLINGEN_LA_LEXER_H

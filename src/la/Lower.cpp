@@ -1,0 +1,260 @@
+//===- la/Lower.cpp -------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "la/Lower.h"
+
+#include "la/Parser.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace slingen;
+using namespace slingen::la;
+
+namespace {
+
+class Lowerer {
+public:
+  explicit Lowerer(const AstProgram &Ast) : Ast(Ast) {}
+
+  std::optional<Program> run(std::string &ErrorMsg) {
+    if (!lowerDecls() || !lowerStmts(Ast.Stmts)) {
+      ErrorMsg = Error;
+      return std::nullopt;
+    }
+    return std::move(Prog);
+  }
+
+private:
+  const AstProgram &Ast;
+  Program Prog;
+  std::map<std::string, int> Bindings; // induction variables in scope
+  std::string Error;
+
+  bool fail(int Line, const std::string &Msg) {
+    if (Error.empty())
+      Error = formatf("line %d: %s", Line, Msg.c_str());
+    return false;
+  }
+
+  bool lowerDecls();
+  bool lowerStmts(const std::vector<AstStmtPtr> &Stmts);
+  ExprPtr lowerExpr(const AstExpr &E);
+};
+
+bool Lowerer::lowerDecls() {
+  for (const AstDecl &D : Ast.Decls) {
+    if (Prog.findOperand(D.Name))
+      return fail(D.Line, formatf("redeclaration of '%s'", D.Name.c_str()));
+    if (D.Rows < 1 || D.Cols < 1)
+      return fail(D.Line, "operand dimensions must be positive");
+    if (D.Structure != StructureKind::General && D.Rows != D.Cols)
+      return fail(D.Line, "structured matrices must be square");
+    Operand *Op = Prog.addOperand(D.Name, D.Rows, D.Cols);
+    Op->Structure = D.Structure;
+    Op->IO = D.IO;
+    Op->PosDef = D.PosDef;
+    Op->NonSingular = D.NonSingular;
+    Op->UnitDiag = D.UnitDiag;
+    if (!D.Overwrites.empty()) {
+      Operand *Target = Prog.findOperand(D.Overwrites);
+      if (!Target)
+        return fail(D.Line, formatf("ow(%s): unknown operand",
+                                    D.Overwrites.c_str()));
+      if (Target->Rows != D.Rows || Target->Cols != D.Cols)
+        return fail(D.Line, formatf("ow(%s): dimension mismatch",
+                                    D.Overwrites.c_str()));
+      if (D.IO == IOKind::In)
+        return fail(D.Line, "ow(...) requires an output operand");
+      Op->Overwrites = Target;
+    }
+  }
+  return true;
+}
+
+bool Lowerer::lowerStmts(const std::vector<AstStmtPtr> &Stmts) {
+  for (const AstStmtPtr &S : Stmts) {
+    if (S->IsFor) {
+      if (Bindings.count(S->Var))
+        return fail(S->Line,
+                    formatf("shadowed induction variable '%s'",
+                            S->Var.c_str()));
+      if (S->Step <= 0)
+        return fail(S->Line, "loop step must be positive");
+      int Lo, Hi;
+      // Bounds may reference outer induction variables.
+      for (const auto &[Var, Coeff] : S->Lo.Coeffs)
+        if (!Bindings.count(Var))
+          return fail(S->Line, formatf("unknown variable '%s' in loop bound",
+                                       Var.c_str()));
+      for (const auto &[Var, Coeff] : S->Hi.Coeffs)
+        if (!Bindings.count(Var))
+          return fail(S->Line, formatf("unknown variable '%s' in loop bound",
+                                       Var.c_str()));
+      Lo = S->Lo.eval(Bindings);
+      Hi = S->Hi.eval(Bindings);
+      for (int I = Lo; I < Hi; I += S->Step) {
+        Bindings[S->Var] = I;
+        if (!lowerStmts(S->Body))
+          return false;
+      }
+      Bindings.erase(S->Var);
+      continue;
+    }
+    ExprPtr L = lowerExpr(*S->Lhs);
+    if (!L)
+      return false;
+    ExprPtr R = lowerExpr(*S->Rhs);
+    if (!R)
+      return false;
+    if (L->rows() != R->rows() || L->cols() != R->cols())
+      return fail(S->Line, formatf("shape mismatch: %dx%d = %dx%d", L->rows(),
+                                   L->cols(), R->rows(), R->cols()));
+    // If the LHS is a plain view it must be writable (sBLAC destination or
+    // the unknown of an inverse HLAC; either way an output).
+    if (const auto *V = dyn_cast<ViewExpr>(L))
+      if (!V->Op->isWritable())
+        return fail(S->Line,
+                    formatf("'%s' is an input and cannot be assigned",
+                            V->Op->Name.c_str()));
+    Prog.append({std::move(L), std::move(R)});
+  }
+  return true;
+}
+
+ExprPtr Lowerer::lowerExpr(const AstExpr &E) {
+  switch (E.Kind) {
+  case AstKind::Number:
+    return constant(E.Value);
+  case AstKind::Ref: {
+    Operand *Op = Prog.findOperand(E.Name);
+    if (!Op) {
+      fail(E.Line, formatf("unknown operand '%s'", E.Name.c_str()));
+      return nullptr;
+    }
+    // Resolve index ranges to a concrete view.
+    int R0 = 0, NR = Op->Rows, C0 = 0, NC = Op->Cols;
+    auto ResolveRange = [&](const AstRange &Rg, int Limit, int &Off,
+                            int &Ext) -> bool {
+      for (const auto &[Var, Coeff] : Rg.Lo.Coeffs)
+        if (!Bindings.count(Var))
+          return fail(E.Line,
+                      formatf("unknown variable '%s' in index", Var.c_str()));
+      Off = Rg.Lo.eval(Bindings);
+      if (Rg.Single) {
+        Ext = 1;
+      } else {
+        for (const auto &[Var, Coeff] : Rg.Hi.Coeffs)
+          if (!Bindings.count(Var))
+            return fail(E.Line, formatf("unknown variable '%s' in index",
+                                        Var.c_str()));
+        Ext = Rg.Hi.eval(Bindings) - Off;
+      }
+      if (Off < 0 || Ext < 1 || Off + Ext > Limit)
+        return fail(E.Line, formatf("index range [%d, %d) out of bounds "
+                                    "(limit %d)",
+                                    Off, Off + Ext, Limit));
+      return true;
+    };
+    if (!E.Indices.empty()) {
+      if (Op->isScalar())
+        return fail(E.Line, "scalars cannot be indexed"), nullptr;
+      if (Op->isVector()) {
+        if (E.Indices.size() != 1)
+          return fail(E.Line, "vectors take a single index range"), nullptr;
+        if (Op->Cols == 1) {
+          if (!ResolveRange(E.Indices[0], Op->Rows, R0, NR))
+            return nullptr;
+        } else if (!ResolveRange(E.Indices[0], Op->Cols, C0, NC)) {
+          return nullptr;
+        }
+      } else {
+        if (E.Indices.size() != 2)
+          return fail(E.Line, "matrices take two index ranges"), nullptr;
+        if (!ResolveRange(E.Indices[0], Op->Rows, R0, NR) ||
+            !ResolveRange(E.Indices[1], Op->Cols, C0, NC))
+          return nullptr;
+      }
+    }
+    return view(Op, R0, NR, C0, NC);
+  }
+  case AstKind::Unary: {
+    ExprPtr Sub = lowerExpr(*E.L);
+    if (!Sub)
+      return nullptr;
+    switch (E.UnOp) {
+    case AstUnOp::Trans:
+      return trans(Sub);
+    case AstUnOp::Neg:
+      return neg(Sub);
+    case AstUnOp::Sqrt:
+      if (!Sub->isScalarShaped())
+        return fail(E.Line, "sqrt applies to scalars only"), nullptr;
+      return sqrtExpr(Sub);
+    case AstUnOp::Inv: {
+      if (Sub->rows() != Sub->cols())
+        return fail(E.Line, "inv requires a square argument"), nullptr;
+      bool T = false;
+      const ViewExpr *V = asViewMaybeTrans(Sub, T);
+      StructureKind S =
+          V ? (T ? transposedStructure(V->structure()) : V->structure())
+            : StructureKind::General;
+      if (!isTriangular(S) && Sub->rows() > 1)
+        return fail(E.Line, "inv is supported for triangular operands only "
+                            "(factor first, as in the paper's examples)"),
+               nullptr;
+      return invExpr(Sub);
+    }
+    }
+    return nullptr;
+  }
+  case AstKind::Binary: {
+    ExprPtr L = lowerExpr(*E.L);
+    if (!L)
+      return nullptr;
+    ExprPtr R = lowerExpr(*E.R);
+    if (!R)
+      return nullptr;
+    switch (E.BinOp) {
+    case AstBinOp::Add:
+    case AstBinOp::Sub:
+      if (L->rows() != R->rows() || L->cols() != R->cols())
+        return fail(E.Line, "shape mismatch in addition"), nullptr;
+      return E.BinOp == AstBinOp::Add ? add(L, R) : sub(L, R);
+    case AstBinOp::Mul:
+      if (!L->isScalarShaped() && !R->isScalarShaped() &&
+          L->cols() != R->rows())
+        return fail(E.Line, formatf("inner dimension mismatch: %dx%d * %dx%d",
+                                    L->rows(), L->cols(), R->rows(),
+                                    R->cols())),
+               nullptr;
+      return mul(L, R);
+    case AstBinOp::Div:
+      if (!R->isScalarShaped())
+        return fail(E.Line, "division requires a scalar divisor"), nullptr;
+      return divExpr(L, R);
+    }
+    return nullptr;
+  }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+std::optional<Program> la::lower(const AstProgram &Ast,
+                                 std::string &ErrorMsg) {
+  Lowerer L(Ast);
+  return L.run(ErrorMsg);
+}
+
+std::optional<Program> la::compileLa(const std::string &Source,
+                                     std::string &ErrorMsg) {
+  std::optional<AstProgram> Ast = parse(Source, ErrorMsg);
+  if (!Ast)
+    return std::nullopt;
+  return lower(*Ast, ErrorMsg);
+}

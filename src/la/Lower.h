@@ -1,0 +1,38 @@
+//===- la/Lower.h - semantic analysis and lowering to expr::Program -------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis of a parsed LA program and lowering into the concrete
+/// expr::Program form: declarations become Operands, for-loops are unrolled
+/// (all bounds are compile-time constants, paper Sec. 5 "fixed input and
+/// output sizes"), affine indices are evaluated, and shapes are checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_LA_LOWER_H
+#define SLINGEN_LA_LOWER_H
+
+#include "expr/Program.h"
+#include "la/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace slingen {
+namespace la {
+
+/// Lowers \p Ast into an executable program. Returns std::nullopt and fills
+/// \p ErrorMsg on a semantic error.
+std::optional<Program> lower(const AstProgram &Ast, std::string &ErrorMsg);
+
+/// Convenience: parse + lower in one step.
+std::optional<Program> compileLa(const std::string &Source,
+                                 std::string &ErrorMsg);
+
+} // namespace la
+} // namespace slingen
+
+#endif // SLINGEN_LA_LOWER_H

@@ -1,0 +1,492 @@
+//===- la/Parser.cpp ------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "la/Parser.h"
+
+#include "la/Lexer.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace slingen;
+using namespace slingen::la;
+
+int Affine::eval(const std::map<std::string, int> &Bindings) const {
+  int V = Const;
+  for (const auto &[Var, Coeff] : Coeffs) {
+    auto It = Bindings.find(Var);
+    assert(It != Bindings.end() && "unbound induction variable");
+    V += Coeff * It->second;
+  }
+  return V;
+}
+
+Affine Affine::operator+(const Affine &O) const {
+  Affine R = *this;
+  R.Const += O.Const;
+  for (const auto &[Var, Coeff] : O.Coeffs)
+    if ((R.Coeffs[Var] += Coeff) == 0)
+      R.Coeffs.erase(Var);
+  return R;
+}
+
+Affine Affine::operator-(const Affine &O) const {
+  return *this + O.scaled(-1);
+}
+
+Affine Affine::scaled(int F) const {
+  Affine R;
+  R.Const = Const * F;
+  if (F != 0)
+    for (const auto &[Var, Coeff] : Coeffs)
+      R.Coeffs[Var] = Coeff * F;
+  return R;
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens) : Toks(std::move(Tokens)) {}
+
+  std::optional<AstProgram> run(std::string &ErrorMsg) {
+    AstProgram P;
+    while (isDeclStart())
+      if (!parseDecl(P)) {
+        ErrorMsg = Error;
+        return std::nullopt;
+      }
+    while (cur().Kind != TokKind::Eof) {
+      AstStmtPtr S = parseStmt();
+      if (!S) {
+        ErrorMsg = Error;
+        return std::nullopt;
+      }
+      P.Stmts.push_back(std::move(S));
+    }
+    return P;
+  }
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::string Error;
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(int N = 1) const {
+    size_t I = Pos + static_cast<size_t>(N);
+    return Toks[I < Toks.size() ? I : Toks.size() - 1];
+  }
+  void advance() {
+    if (cur().Kind != TokKind::Eof)
+      ++Pos;
+  }
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = formatf("%d:%d: %s", cur().Line, cur().Col, Msg.c_str());
+    return false;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (cur().Kind != K)
+      return fail(formatf("expected %s", What));
+    advance();
+    return true;
+  }
+
+  bool isDeclStart() const {
+    TokKind K = cur().Kind;
+    return K == TokKind::KwMat || K == TokKind::KwVec || K == TokKind::KwSca;
+  }
+
+  bool parseInt(int &Out) {
+    if (cur().Kind != TokKind::Number || !cur().IsInt)
+      return fail("expected an integer literal size");
+    Out = static_cast<int>(cur().NumValue);
+    advance();
+    return true;
+  }
+
+  bool parseDecl(AstProgram &P);
+  AstStmtPtr parseStmt();
+  AstStmtPtr parseFor();
+  AstExprPtr parseExpr();
+  AstExprPtr parseAddSub();
+  AstExprPtr parseMulDiv();
+  AstExprPtr parseUnary();
+  AstExprPtr parsePrimary();
+  bool parseAffine(Affine &Out);
+  bool parseAffineTerm(Affine &Out);
+};
+
+bool Parser::parseDecl(AstProgram &P) {
+  AstDecl D;
+  D.Line = cur().Line;
+  switch (cur().Kind) {
+  case TokKind::KwMat:
+    D.Shape = AstDecl::Shape::Mat;
+    break;
+  case TokKind::KwVec:
+    D.Shape = AstDecl::Shape::Vec;
+    break;
+  case TokKind::KwSca:
+    D.Shape = AstDecl::Shape::Sca;
+    break;
+  default:
+    return fail("expected a declaration");
+  }
+  advance();
+  if (cur().Kind != TokKind::Ident)
+    return fail("expected an operand name");
+  D.Name = cur().Text;
+  advance();
+
+  if (D.Shape == AstDecl::Shape::Mat) {
+    if (!expect(TokKind::LParen, "'('") || !parseInt(D.Rows) ||
+        !expect(TokKind::Comma, "','") || !parseInt(D.Cols) ||
+        !expect(TokKind::RParen, "')'"))
+      return false;
+  } else if (D.Shape == AstDecl::Shape::Vec) {
+    if (!expect(TokKind::LParen, "'('") || !parseInt(D.Rows) ||
+        !expect(TokKind::RParen, "')'"))
+      return false;
+    D.Cols = 1;
+  }
+
+  if (!expect(TokKind::Less, "'<'"))
+    return false;
+  // First entry must be the I/O type.
+  switch (cur().Kind) {
+  case TokKind::KwIn:
+    D.IO = IOKind::In;
+    break;
+  case TokKind::KwOut:
+    D.IO = IOKind::Out;
+    break;
+  case TokKind::KwInOut:
+    D.IO = IOKind::InOut;
+    break;
+  default:
+    return fail("expected In, Out, or InOut");
+  }
+  advance();
+  while (cur().Kind == TokKind::Comma) {
+    advance();
+    switch (cur().Kind) {
+    case TokKind::KwLoTri:
+      D.Structure = StructureKind::LowerTriangular;
+      break;
+    case TokKind::KwUpTri:
+      D.Structure = StructureKind::UpperTriangular;
+      break;
+    case TokKind::KwUpSym:
+      D.Structure = StructureKind::SymmetricUpper;
+      break;
+    case TokKind::KwLoSym:
+      D.Structure = StructureKind::SymmetricLower;
+      break;
+    case TokKind::KwPD:
+      D.PosDef = true;
+      break;
+    case TokKind::KwNS:
+      D.NonSingular = true;
+      break;
+    case TokKind::KwUnitDiag:
+      D.UnitDiag = true;
+      break;
+    case TokKind::KwOw: {
+      advance();
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      if (cur().Kind != TokKind::Ident)
+        return fail("expected an operand name in ow(...)");
+      D.Overwrites = cur().Text;
+      advance();
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      continue; // ow token handling consumed its own tokens
+    }
+    default:
+      return fail("unknown property");
+    }
+    advance();
+  }
+  if (!expect(TokKind::Greater, "'>'") || !expect(TokKind::Semi, "';'"))
+    return false;
+  P.Decls.push_back(std::move(D));
+  return true;
+}
+
+AstStmtPtr Parser::parseStmt() {
+  if (cur().Kind == TokKind::KwFor)
+    return parseFor();
+  auto S = std::make_unique<AstStmt>();
+  S->Line = cur().Line;
+  S->Lhs = parseExpr();
+  if (!S->Lhs)
+    return nullptr;
+  if (!expect(TokKind::Equal, "'='"))
+    return nullptr;
+  S->Rhs = parseExpr();
+  if (!S->Rhs)
+    return nullptr;
+  if (!expect(TokKind::Semi, "';'"))
+    return nullptr;
+  return S;
+}
+
+AstStmtPtr Parser::parseFor() {
+  auto S = std::make_unique<AstStmt>();
+  S->IsFor = true;
+  S->Line = cur().Line;
+  advance(); // for
+  if (!expect(TokKind::LParen, "'('"))
+    return nullptr;
+  if (cur().Kind != TokKind::Ident) {
+    fail("expected an induction variable");
+    return nullptr;
+  }
+  S->Var = cur().Text;
+  advance();
+  if (!expect(TokKind::Equal, "'='"))
+    return nullptr;
+  if (!parseAffine(S->Lo))
+    return nullptr;
+  if (!expect(TokKind::Colon, "':'"))
+    return nullptr;
+  if (!parseAffine(S->Hi))
+    return nullptr;
+  if (cur().Kind == TokKind::Colon) {
+    advance();
+    if (cur().Kind != TokKind::Number || !cur().IsInt) {
+      fail("expected an integer step");
+      return nullptr;
+    }
+    S->Step = static_cast<int>(cur().NumValue);
+    advance();
+  }
+  if (!expect(TokKind::RParen, "')'") || !expect(TokKind::LBrace, "'{'"))
+    return nullptr;
+  while (cur().Kind != TokKind::RBrace) {
+    if (cur().Kind == TokKind::Eof) {
+      fail("unterminated for body");
+      return nullptr;
+    }
+    AstStmtPtr Inner = parseStmt();
+    if (!Inner)
+      return nullptr;
+    S->Body.push_back(std::move(Inner));
+  }
+  advance(); // }
+  return S;
+}
+
+AstExprPtr Parser::parseExpr() { return parseAddSub(); }
+
+AstExprPtr Parser::parseAddSub() {
+  AstExprPtr L = parseMulDiv();
+  if (!L)
+    return nullptr;
+  while (cur().Kind == TokKind::Plus || cur().Kind == TokKind::Minus) {
+    AstBinOp Op =
+        cur().Kind == TokKind::Plus ? AstBinOp::Add : AstBinOp::Sub;
+    advance();
+    AstExprPtr R = parseMulDiv();
+    if (!R)
+      return nullptr;
+    auto E = std::make_unique<AstExpr>();
+    E->Kind = AstKind::Binary;
+    E->BinOp = Op;
+    E->L = std::move(L);
+    E->R = std::move(R);
+    L = std::move(E);
+  }
+  return L;
+}
+
+AstExprPtr Parser::parseMulDiv() {
+  AstExprPtr L = parseUnary();
+  if (!L)
+    return nullptr;
+  while (cur().Kind == TokKind::Star || cur().Kind == TokKind::Slash) {
+    AstBinOp Op =
+        cur().Kind == TokKind::Star ? AstBinOp::Mul : AstBinOp::Div;
+    advance();
+    AstExprPtr R = parseUnary();
+    if (!R)
+      return nullptr;
+    auto E = std::make_unique<AstExpr>();
+    E->Kind = AstKind::Binary;
+    E->BinOp = Op;
+    E->L = std::move(L);
+    E->R = std::move(R);
+    L = std::move(E);
+  }
+  return L;
+}
+
+AstExprPtr Parser::parseUnary() {
+  if (cur().Kind == TokKind::Minus) {
+    int Line = cur().Line, Col = cur().Col;
+    advance();
+    AstExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    auto E = std::make_unique<AstExpr>();
+    E->Kind = AstKind::Unary;
+    E->UnOp = AstUnOp::Neg;
+    E->L = std::move(Sub);
+    E->Line = Line;
+    E->Col = Col;
+    return E;
+  }
+  return parsePrimary();
+}
+
+AstExprPtr Parser::parsePrimary() {
+  AstExprPtr E;
+  int Line = cur().Line, Col = cur().Col;
+  switch (cur().Kind) {
+  case TokKind::KwTrans:
+  case TokKind::KwSqrt:
+  case TokKind::KwInv: {
+    AstUnOp Op = cur().Kind == TokKind::KwTrans  ? AstUnOp::Trans
+                 : cur().Kind == TokKind::KwSqrt ? AstUnOp::Sqrt
+                                                 : AstUnOp::Inv;
+    advance();
+    if (!expect(TokKind::LParen, "'('"))
+      return nullptr;
+    AstExprPtr Sub = parseExpr();
+    if (!Sub || !expect(TokKind::RParen, "')'"))
+      return nullptr;
+    E = std::make_unique<AstExpr>();
+    E->Kind = AstKind::Unary;
+    E->UnOp = Op;
+    E->L = std::move(Sub);
+    break;
+  }
+  case TokKind::LParen: {
+    advance();
+    E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "')'"))
+      return nullptr;
+    break;
+  }
+  case TokKind::Number: {
+    E = std::make_unique<AstExpr>();
+    E->Kind = AstKind::Number;
+    E->Value = cur().NumValue;
+    advance();
+    break;
+  }
+  case TokKind::Ident: {
+    E = std::make_unique<AstExpr>();
+    E->Kind = AstKind::Ref;
+    E->Name = cur().Text;
+    advance();
+    if (cur().Kind == TokKind::LParen) {
+      advance();
+      do {
+        AstRange R;
+        if (!parseAffine(R.Lo))
+          return nullptr;
+        if (cur().Kind == TokKind::Colon) {
+          advance();
+          if (!parseAffine(R.Hi))
+            return nullptr;
+        } else {
+          R.Single = true;
+        }
+        E->Indices.push_back(std::move(R));
+        if (cur().Kind != TokKind::Comma)
+          break;
+        advance();
+      } while (true);
+      if (!expect(TokKind::RParen, "')'"))
+        return nullptr;
+      if (E->Indices.size() > 2) {
+        fail("too many index ranges");
+        return nullptr;
+      }
+    }
+    break;
+  }
+  default:
+    fail("expected an expression");
+    return nullptr;
+  }
+  E->Line = Line;
+  E->Col = Col;
+  // Postfix transpose: X' (possibly repeated).
+  while (cur().Kind == TokKind::Quote) {
+    advance();
+    auto T = std::make_unique<AstExpr>();
+    T->Kind = AstKind::Unary;
+    T->UnOp = AstUnOp::Trans;
+    T->L = std::move(E);
+    T->Line = Line;
+    T->Col = Col;
+    E = std::move(T);
+  }
+  return E;
+}
+
+bool Parser::parseAffine(Affine &Out) {
+  Out = Affine();
+  bool Negate = false;
+  if (cur().Kind == TokKind::Minus) {
+    Negate = true;
+    advance();
+  }
+  Affine Term;
+  if (!parseAffineTerm(Term))
+    return false;
+  Out = Negate ? Term.scaled(-1) : Term;
+  while (cur().Kind == TokKind::Plus || cur().Kind == TokKind::Minus) {
+    bool Minus = cur().Kind == TokKind::Minus;
+    advance();
+    if (!parseAffineTerm(Term))
+      return false;
+    Out = Minus ? Out - Term : Out + Term;
+  }
+  return true;
+}
+
+bool Parser::parseAffineTerm(Affine &Out) {
+  Out = Affine();
+  if (cur().Kind == TokKind::Number && cur().IsInt) {
+    int C = static_cast<int>(cur().NumValue);
+    advance();
+    if (cur().Kind == TokKind::Star) {
+      advance();
+      if (cur().Kind != TokKind::Ident)
+        return fail("expected a variable after '*' in an index");
+      Out.Coeffs[cur().Text] = C;
+      advance();
+      return true;
+    }
+    Out.Const = C;
+    return true;
+  }
+  if (cur().Kind == TokKind::Ident) {
+    Out.Coeffs[cur().Text] = 1;
+    advance();
+    return true;
+  }
+  return fail("expected an index expression");
+}
+
+} // namespace
+
+std::optional<AstProgram> la::parse(const std::string &Source,
+                                    std::string &ErrorMsg) {
+  std::vector<Token> Toks;
+  if (!lex(Source, Toks, ErrorMsg))
+    return std::nullopt;
+  Parser P(std::move(Toks));
+  return P.run(ErrorMsg);
+}

@@ -1,0 +1,34 @@
+//===- la/Parser.h - recursive-descent parser for LA ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser implementing the LA grammar of paper Fig. 4.
+/// Errors are reported as "line:col: message" strings; the parser stops at
+/// the first error (the generator is non-interactive, so error recovery is
+/// not needed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_LA_PARSER_H
+#define SLINGEN_LA_PARSER_H
+
+#include "la/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace slingen {
+namespace la {
+
+/// Parses \p Source into an AST. Returns std::nullopt and fills
+/// \p ErrorMsg on failure.
+std::optional<AstProgram> parse(const std::string &Source,
+                                std::string &ErrorMsg);
+
+} // namespace la
+} // namespace slingen
+
+#endif // SLINGEN_LA_PARSER_H

@@ -1,0 +1,164 @@
+//===- la/Programs.cpp ----------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "la/Programs.h"
+
+#include "support/Format.h"
+
+using namespace slingen;
+
+std::string la::fig5Source(int K, int N) {
+  return formatf(R"la(
+Mat H(%d, %d) <In>;
+Mat P(%d, %d) <In, UpSym, PD>;
+Mat R(%d, %d) <In, UpSym, PD>;
+Mat S(%d, %d) <Out, UpSym, PD>;
+Mat U(%d, %d) <Out, UpTri, NS, ow(S)>;
+Mat B(%d, %d) <Out>;
+
+S = H * H' + R;
+U' * U = S;
+U' * B = P;
+)la",
+                 K, N, K, K, K, K, K, K, K, K, K, K);
+}
+
+std::string la::potrfSource(int N) {
+  return formatf(R"la(
+Mat A(%d, %d) <In, UpSym, PD>;
+Mat X(%d, %d) <Out, UpTri, NS>;
+
+X' * X = A;
+)la",
+                 N, N, N, N);
+}
+
+std::string la::trsylSource(int N) {
+  return formatf(R"la(
+Mat L(%d, %d) <In, LoTri, NS>;
+Mat U(%d, %d) <In, UpTri, NS>;
+Mat C(%d, %d) <In>;
+Mat X(%d, %d) <Out>;
+
+L * X + X * U = C;
+)la",
+                 N, N, N, N, N, N, N, N);
+}
+
+std::string la::trlyaSource(int N) {
+  return formatf(R"la(
+Mat L(%d, %d) <In, LoTri, NS>;
+Mat S(%d, %d) <In, LoSym>;
+Mat X(%d, %d) <Out, LoSym>;
+
+L * X + X * L' = S;
+)la",
+                 N, N, N, N, N, N);
+}
+
+std::string la::trtriSource(int N) {
+  return formatf(R"la(
+Mat L(%d, %d) <In, LoTri, NS>;
+Mat X(%d, %d) <Out, LoTri, NS>;
+
+X = inv(L);
+)la",
+                 N, N, N, N);
+}
+
+std::string la::kalmanSource(int StateN, int ObsK) {
+  int N = StateN, K = ObsK;
+  std::string S;
+  S += formatf("Mat F(%d, %d) <In>;\n", N, N);
+  S += formatf("Mat Bm(%d, %d) <In>;\n", N, N);
+  S += formatf("Mat Q(%d, %d) <In, UpSym>;\n", N, N);
+  S += formatf("Mat H(%d, %d) <In>;\n", K, N);
+  S += formatf("Mat R(%d, %d) <In, UpSym, PD>;\n", K, K);
+  S += formatf("Mat P(%d, %d) <InOut, UpSym, PD>;\n", N, N);
+  S += formatf("Vec u(%d) <In>;\n", N);
+  S += formatf("Vec x(%d) <InOut>;\n", N);
+  S += formatf("Vec z(%d) <In>;\n", K);
+  S += formatf("Vec y(%d) <Out>;\n", N);
+  S += formatf("Mat Y(%d, %d) <Out, UpSym>;\n", N, N);
+  S += formatf("Vec v0(%d) <Out>;\n", K);
+  S += formatf("Mat M1(%d, %d) <Out>;\n", K, N);
+  S += formatf("Mat M2(%d, %d) <Out>;\n", N, K);
+  S += formatf("Mat M3(%d, %d) <Out, UpSym, PD>;\n", K, K);
+  S += formatf("Mat U(%d, %d) <Out, UpTri, NS, ow(M3)>;\n", K, K);
+  S += formatf("Vec v1(%d) <Out>;\n", K);
+  S += formatf("Vec v2(%d) <Out>;\n", K);
+  S += formatf("Mat M4(%d, %d) <Out, ow(M1)>;\n", K, N);
+  S += formatf("Mat M5(%d, %d) <Out, ow(M4)>;\n", K, N);
+  S += R"la(
+y = F * x + Bm * u;
+Y = F * P * F' + Q;
+v0 = z - H * y;
+M1 = H * Y;
+M2 = Y * H';
+M3 = M1 * H' + R;
+U' * U = M3;
+U' * v1 = v0;
+U * v2 = v1;
+U' * M4 = M1;
+U * M5 = M4;
+x = y + M2 * v2;
+P = Y - M2 * M5;
+)la";
+  return S;
+}
+
+std::string la::gprSource(int N) {
+  std::string S;
+  S += formatf("Mat K(%d, %d) <In, UpSym, PD>;\n", N, N);
+  S += formatf("Mat X(%d, %d) <In>;\n", N, N);
+  S += formatf("Vec x(%d) <In>;\n", N);
+  S += formatf("Vec y(%d) <In>;\n", N);
+  S += formatf("Mat L(%d, %d) <Out, LoTri, NS, ow(K)>;\n", N, N);
+  S += formatf("Vec t0(%d) <Out>;\n", N);
+  S += formatf("Vec t1(%d) <Out>;\n", N);
+  S += formatf("Vec k(%d) <Out>;\n", N);
+  S += formatf("Vec v(%d) <Out>;\n", N);
+  S += "Sca phi <Out>;\nSca psi <Out>;\nSca lambda <Out>;\n";
+  S += R"la(
+L * L' = K;
+L * t0 = y;
+L' * t1 = t0;
+k = X * x;
+phi = k' * t1;
+L * v = k;
+psi = x' * x - v' * v;
+lambda = y' * t1;
+)la";
+  return S;
+}
+
+std::string la::l1aSource(int N) {
+  std::string S;
+  S += formatf("Mat W(%d, %d) <In>;\n", N, N);
+  S += formatf("Mat A(%d, %d) <In>;\n", N, N);
+  S += formatf("Vec x0(%d) <In>;\n", N);
+  S += formatf("Vec y(%d) <In>;\n", N);
+  S += formatf("Vec v1(%d) <InOut>;\n", N);
+  S += formatf("Vec z1(%d) <InOut>;\n", N);
+  S += formatf("Vec v2(%d) <InOut>;\n", N);
+  S += formatf("Vec z2(%d) <InOut>;\n", N);
+  S += "Sca alpha <In>;\nSca beta <In>;\nSca tau <In>;\n";
+  S += formatf("Vec y1(%d) <Out>;\n", N);
+  S += formatf("Vec y2(%d) <Out>;\n", N);
+  S += formatf("Vec x1(%d) <Out>;\n", N);
+  S += formatf("Vec x(%d) <Out>;\n", N);
+  S += R"la(
+y1 = alpha * v1 + tau * z1;
+y2 = alpha * v2 + tau * z2;
+x1 = W' * y1 - A' * y2;
+x = x0 + beta * x1;
+z1 = y1 - W * x;
+z2 = y2 - (y - A * x);
+v1 = alpha * v1 + tau * z1;
+v2 = alpha * v2 + tau * z2;
+)la";
+  return S;
+}

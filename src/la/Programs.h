@@ -1,0 +1,47 @@
+//===- la/Programs.h - the paper's LA benchmark programs ------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LA sources for the computations evaluated in the paper: the Fig. 5
+/// Cholesky fragment, the Table 3 HLACs (potrf, trsyl, trlya, trtri) and the
+/// Fig. 13 applications (Kalman filter, Gaussian process regression,
+/// L1-analysis convex solver), parameterized by problem size. Tests,
+/// examples, and every benchmark build their inputs from these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_LA_PROGRAMS_H
+#define SLINGEN_LA_PROGRAMS_H
+
+#include <string>
+
+namespace slingen {
+namespace la {
+
+/// Paper Fig. 5: S = H H^T + R; U^T U = S; U^T B = P.
+std::string fig5Source(int K, int N);
+
+/// Table 3 HLAC drivers. X is the output in all cases.
+std::string potrfSource(int N);  ///< X^T X = A, X upper triangular
+std::string trsylSource(int N);  ///< L X + X U = C
+std::string trlyaSource(int N);  ///< L X + X L^T = S, X symmetric
+std::string trtriSource(int N);  ///< X = inv(L), X lower triangular
+
+/// Paper Fig. 13a: one Kalman filter iteration with \p StateN states and
+/// \p ObsK observations (Fig. 15a uses ObsK == StateN; Fig. 15b fixes
+/// StateN = 28).
+std::string kalmanSource(int StateN, int ObsK);
+
+/// Paper Fig. 13b: Gaussian process regression (predictive mean/variance).
+std::string gprSource(int N);
+
+/// Paper Fig. 13c: one iteration of the L1-analysis convex solver.
+std::string l1aSource(int N);
+
+} // namespace la
+} // namespace slingen
+
+#endif // SLINGEN_LA_PROGRAMS_H

@@ -1,0 +1,275 @@
+//===- lgen/VectorRules.cpp -----------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Run detection: consecutive scalar statements whose expression trees are
+// identical up to a uniform (dr, dc) shift of a subset of their element
+// views are merged into one span statement. Positions that do not shift
+// must be bitwise-identical scalars (the common divisor/multiplier of rules
+// R0/R1). A top-level division by a common scalar becomes a reciprocal
+// temporary plus a scaling sBLAC (rule R1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lgen/VectorRules.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace slingen;
+using namespace slingen::lgen;
+
+namespace {
+
+/// Collects the 1x1 views of a scalar expression in deterministic tree
+/// order, also producing a shape skeleton so trees can be compared.
+void skeleton(const ExprPtr &E, std::string &Skel,
+              std::vector<const ViewExpr *> &Views) {
+  switch (E->kind()) {
+  case ExprKind::View:
+    Skel += 'v';
+    Views.push_back(cast<ViewExpr>(E.get()));
+    return;
+  case ExprKind::Const:
+    Skel += 'c';
+    // Constants are compared via the view-position mechanism being absent;
+    // encode the value in the skeleton for equality.
+    Skel += std::to_string(cast<ConstExpr>(E.get())->Value);
+    return;
+  case ExprKind::Trans:
+  case ExprKind::Neg:
+  case ExprKind::Sqrt:
+  case ExprKind::Inv: {
+    Skel += static_cast<char>('A' + static_cast<int>(E->kind()));
+    skeleton(cast<UnaryExpr>(E.get())->Sub, Skel, Views);
+    return;
+  }
+  default: {
+    const auto *B = cast<BinaryExpr>(E.get());
+    Skel += static_cast<char>('a' + static_cast<int>(E->kind()));
+    Skel += '(';
+    skeleton(B->L, Skel, Views);
+    Skel += ',';
+    skeleton(B->R, Skel, Views);
+    Skel += ')';
+    return;
+  }
+  }
+}
+
+struct StmtSig {
+  std::string Skel;
+  std::vector<const ViewExpr *> Views; // LHS first, then RHS in tree order
+};
+
+bool isElementStmt(const EqStmt &S) {
+  if (!isa<ViewExpr>(S.Lhs) || S.Lhs->rows() != 1 || S.Lhs->cols() != 1)
+    return false;
+  if (!S.Rhs->isScalarShaped())
+    return false;
+  // All views must be single elements.
+  StmtSig Sig;
+  skeleton(S.Rhs, Sig.Skel, Sig.Views);
+  for (const ViewExpr *V : Sig.Views)
+    if (V->rows() != 1 || V->cols() != 1)
+      return false;
+  return true;
+}
+
+StmtSig signatureOf(const EqStmt &S) {
+  StmtSig Sig;
+  Sig.Views.push_back(cast<ViewExpr>(S.Lhs.get()));
+  skeleton(S.Rhs, Sig.Skel, Sig.Views);
+  return Sig;
+}
+
+/// Rebuilds the RHS of the merged statement: shifted view positions become
+/// spans of length Len (orientation given by the delta), common positions
+/// stay scalar.
+ExprPtr buildSpanExpr(const ExprPtr &E, const std::vector<bool> &Shifted,
+                      size_t &Idx, int Dr, int Dc, int Len) {
+  switch (E->kind()) {
+  case ExprKind::View: {
+    const auto *V = cast<ViewExpr>(E.get());
+    bool Sh = Shifted[Idx++];
+    if (!Sh)
+      return E;
+    return view(V->Op, V->R0, Dr ? Len : 1, V->C0, Dc ? Len : 1);
+  }
+  case ExprKind::Const:
+    return E;
+  case ExprKind::Trans:
+  case ExprKind::Neg:
+  case ExprKind::Sqrt:
+  case ExprKind::Inv: {
+    const auto *U = cast<UnaryExpr>(E.get());
+    ExprPtr Sub = buildSpanExpr(U->Sub, Shifted, Idx, Dr, Dc, Len);
+    switch (U->kind()) {
+    case ExprKind::Trans:
+      return trans(Sub);
+    case ExprKind::Neg:
+      return neg(Sub);
+    case ExprKind::Sqrt:
+      return sqrtExpr(Sub);
+    default:
+      return invExpr(Sub);
+    }
+  }
+  default: {
+    const auto *B = cast<BinaryExpr>(E.get());
+    ExprPtr L = buildSpanExpr(B->L, Shifted, Idx, Dr, Dc, Len);
+    ExprPtr R = buildSpanExpr(B->R, Shifted, Idx, Dr, Dc, Len);
+    switch (B->kind()) {
+    case ExprKind::Add:
+      return add(L, R);
+    case ExprKind::Sub:
+      return sub(L, R);
+    case ExprKind::Mul:
+      return mul(L, R);
+    default:
+      return divExpr(L, R);
+    }
+  }
+  }
+}
+
+/// Walks the tree in skeleton order and rejects runs where a shifted view
+/// sits in a position that must stay scalar (a divisor or a sqrt argument):
+/// merging those would produce ill-shaped expressions.
+bool shiftedInScalarOnlyPos(const ExprPtr &E, const std::vector<bool> &Shifted,
+                            size_t &Idx, bool ScalarOnly) {
+  switch (E->kind()) {
+  case ExprKind::View:
+    return Shifted[Idx++] && ScalarOnly;
+  case ExprKind::Const:
+    return false;
+  case ExprKind::Trans:
+  case ExprKind::Neg:
+  case ExprKind::Inv:
+    return shiftedInScalarOnlyPos(cast<UnaryExpr>(E.get())->Sub, Shifted,
+                                  Idx, ScalarOnly);
+  case ExprKind::Sqrt:
+    return shiftedInScalarOnlyPos(cast<UnaryExpr>(E.get())->Sub, Shifted,
+                                  Idx, /*ScalarOnly=*/true);
+  default: {
+    const auto *B = cast<BinaryExpr>(E.get());
+    bool L = shiftedInScalarOnlyPos(B->L, Shifted, Idx, ScalarOnly);
+    bool R = shiftedInScalarOnlyPos(
+        B->R, Shifted, Idx,
+        ScalarOnly || B->kind() == ExprKind::Div);
+    return L || R;
+  }
+  }
+}
+
+} // namespace
+
+int lgen::applyVectorRules(Program &P, int MinRun) {
+  std::vector<EqStmt> &Stmts = P.stmts();
+  std::vector<EqStmt> Out;
+  int Merged = 0;
+  size_t I = 0;
+  while (I < Stmts.size()) {
+    if (!isElementStmt(Stmts[I])) {
+      Out.push_back(Stmts[I]);
+      ++I;
+      continue;
+    }
+    StmtSig Base = signatureOf(Stmts[I]);
+
+    // Determine the candidate shift from the next statement.
+    int Dr = 0, Dc = 0;
+    std::vector<bool> Shifted(Base.Views.size(), false);
+    size_t RunLen = 1;
+    if (I + 1 < Stmts.size() && isElementStmt(Stmts[I + 1])) {
+      StmtSig Next = signatureOf(Stmts[I + 1]);
+      if (Next.Skel == Base.Skel && Next.Views.size() == Base.Views.size()) {
+        bool Ok = true;
+        for (size_t V = 0; V < Base.Views.size() && Ok; ++V) {
+          if (Next.Views[V]->Op != Base.Views[V]->Op) {
+            Ok = false;
+            break;
+          }
+          int DDr = Next.Views[V]->R0 - Base.Views[V]->R0;
+          int DDc = Next.Views[V]->C0 - Base.Views[V]->C0;
+          if (DDr == 0 && DDc == 0)
+            continue;
+          if (Dr == 0 && Dc == 0) {
+            Dr = DDr;
+            Dc = DDc;
+          }
+          if (DDr != Dr || DDc != Dc) {
+            Ok = false;
+            break;
+          }
+          Shifted[V] = true;
+        }
+        // Only unit shifts along one axis produce contiguous spans, and
+        // the LHS must shift (otherwise it is not a run of outputs).
+        bool UnitShift = (Dr == 0 && Dc == 1) || (Dr == 1 && Dc == 0);
+        if (Ok && UnitShift && Shifted[0]) {
+          // Extend the run as far as the pattern holds.
+          while (I + RunLen < Stmts.size() &&
+                 isElementStmt(Stmts[I + RunLen])) {
+            StmtSig Cand = signatureOf(Stmts[I + RunLen]);
+            if (Cand.Skel != Base.Skel ||
+                Cand.Views.size() != Base.Views.size())
+              break;
+            bool Match = true;
+            for (size_t V = 0; V < Base.Views.size() && Match; ++V) {
+              int WantR =
+                  Base.Views[V]->R0 +
+                  (Shifted[V] ? Dr * static_cast<int>(RunLen) : 0);
+              int WantC =
+                  Base.Views[V]->C0 +
+                  (Shifted[V] ? Dc * static_cast<int>(RunLen) : 0);
+              Match = Cand.Views[V]->Op == Base.Views[V]->Op &&
+                      Cand.Views[V]->R0 == WantR &&
+                      Cand.Views[V]->C0 == WantC;
+            }
+            if (!Match)
+              break;
+            ++RunLen;
+          }
+        }
+      }
+    }
+
+    if (RunLen >= static_cast<size_t>(MinRun)) {
+      size_t CheckIdx = 1;
+      if (shiftedInScalarOnlyPos(Stmts[I].Rhs, Shifted, CheckIdx,
+                                 /*ScalarOnly=*/false))
+        RunLen = 1; // cannot merge: a scalar-only position shifts
+    }
+    if (RunLen < static_cast<size_t>(MinRun)) {
+      Out.push_back(Stmts[I]);
+      ++I;
+      continue;
+    }
+
+    // Rebuild as a span statement.
+    int Len = static_cast<int>(RunLen);
+    const ViewExpr *L0 = Base.Views[0];
+    ExprPtr NewLhs =
+        view(L0->Op, L0->R0, Dr ? Len : 1, L0->C0, Dc ? Len : 1);
+    size_t Idx = 1; // views[0] is the LHS
+    ExprPtr NewRhs = buildSpanExpr(Stmts[I].Rhs, Shifted, Idx, Dr, Dc, Len);
+
+    // Rule R1: a top-level division by a common scalar becomes a
+    // reciprocal temporary plus a scaling.
+    if (const auto *DivE = dyn_cast<BinaryExpr>(NewRhs);
+        DivE && DivE->kind() == ExprKind::Div &&
+        !DivE->L->isScalarShaped()) {
+      Operand *T = P.makeTemp(1, 1);
+      Out.push_back({view(T), divExpr(constant(1.0), DivE->R)});
+      NewRhs = mul(view(T), DivE->L);
+    }
+    Out.push_back({std::move(NewLhs), std::move(NewRhs)});
+    Merged += Len - 1;
+    I += RunLen;
+  }
+  Stmts = std::move(Out);
+  return Merged;
+}

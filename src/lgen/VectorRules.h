@@ -1,0 +1,33 @@
+//===- lgen/VectorRules.h - scalar-to-vector rewriting (rules R0/R1) ------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Stage-2 rewriting rules of paper Table 2: runs of scalar statements
+/// of the same shape over contiguous elements are merged into vectorizable
+/// sBLACs. R0 combines scalar divisions by a common divisor into an
+/// element-wise vector division; R1 then turns that into one reciprocal
+/// plus a scalar-times-vector sBLAC (yielding the extra nu-BLACs of paper
+/// Fig. 10). An analogous rule merges runs of scalar multiplications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_LGEN_VECTORRULES_H
+#define SLINGEN_LGEN_VECTORRULES_H
+
+#include "expr/Program.h"
+
+namespace slingen {
+namespace lgen {
+
+/// Applies the R0/R1-style merging rules to the statement list of \p P
+/// in place. Returns the number of scalar statements merged away.
+/// \p MinRun is the minimum run length worth vectorizing (>= 2).
+int applyVectorRules(Program &P, int MinRun = 2);
+
+} // namespace lgen
+} // namespace slingen
+
+#endif // SLINGEN_LGEN_VECTORRULES_H

@@ -1,0 +1,129 @@
+//===- runtime/Jit.cpp ----------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Jit.h"
+
+#include "support/Format.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+using namespace slingen;
+using namespace slingen::runtime;
+
+namespace {
+
+std::string uniqueBase() {
+  static std::atomic<int> Counter{0};
+  const char *Dir = getenv("TMPDIR");
+  return formatf("%s/slingen_%d_%d", Dir ? Dir : "/tmp", getpid(),
+                 Counter.fetch_add(1));
+}
+
+const char *compilerPath() {
+  const char *Env = getenv("SLINGEN_CC");
+  return Env ? Env : "cc";
+}
+
+} // namespace
+
+JitKernel::JitKernel(JitKernel &&O) noexcept
+    : Handle(O.Handle), Entry(O.Entry), NumParams(O.NumParams),
+      SoPath(std::move(O.SoPath)) {
+  O.Handle = nullptr;
+  O.Entry = nullptr;
+}
+
+JitKernel &JitKernel::operator=(JitKernel &&O) noexcept {
+  if (this != &O) {
+    this->~JitKernel();
+    new (this) JitKernel(std::move(O));
+  }
+  return *this;
+}
+
+JitKernel::~JitKernel() {
+  if (Handle)
+    dlclose(Handle);
+  if (!SoPath.empty())
+    unlink(SoPath.c_str());
+}
+
+std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
+                                            const std::string &FuncName,
+                                            int NumParams, std::string &Err,
+                                            const std::string &ExtraFlags) {
+  std::string Base = uniqueBase();
+  std::string CPath = Base + ".c", SoPath = Base + ".so",
+              LogPath = Base + ".log";
+
+  {
+    std::ofstream Out(CPath);
+    if (!Out) {
+      Err = "cannot write " + CPath;
+      return std::nullopt;
+    }
+    Out << CSource;
+    // Uniform entry point: the benchmark harness passes an array of
+    // buffer pointers regardless of the kernel arity.
+    Out << "\nvoid " << FuncName << "_entry(double *const *bufs) {\n  "
+        << FuncName << "(";
+    for (int I = 0; I < NumParams; ++I)
+      Out << (I ? ", " : "") << "bufs[" << I << "]";
+    Out << ");\n}\n";
+  }
+
+  std::string Cmd =
+      formatf("%s -O2 -march=native -fno-math-errno -shared -fPIC -o %s %s "
+              "-lm %s > %s 2>&1",
+              compilerPath(), SoPath.c_str(), CPath.c_str(),
+              ExtraFlags.c_str(), LogPath.c_str());
+  int Rc = system(Cmd.c_str());
+  if (Rc != 0) {
+    Err = "compiler failed (" + Cmd + ")";
+    std::ifstream Log(LogPath);
+    std::string Line;
+    while (std::getline(Log, Line))
+      Err += "\n" + Line;
+    unlink(CPath.c_str());
+    unlink(LogPath.c_str());
+    return std::nullopt;
+  }
+  unlink(CPath.c_str());
+  unlink(LogPath.c_str());
+
+  JitKernel K;
+  K.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!K.Handle) {
+    Err = formatf("dlopen failed: %s", dlerror());
+    unlink(SoPath.c_str());
+    return std::nullopt;
+  }
+  K.SoPath = SoPath;
+  K.Entry = reinterpret_cast<EntryFn>(
+      dlsym(K.Handle, (FuncName + "_entry").c_str()));
+  if (!K.Entry) {
+    Err = "entry symbol not found";
+    return std::nullopt;
+  }
+  K.NumParams = NumParams;
+  return K;
+}
+
+bool runtime::haveSystemCompiler() {
+  static int Cached = -1;
+  if (Cached < 0) {
+    std::string Cmd =
+        formatf("%s --version > /dev/null 2>&1", compilerPath());
+    Cached = system(Cmd.c_str()) == 0 ? 1 : 0;
+  }
+  return Cached == 1;
+}

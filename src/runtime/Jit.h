@@ -1,0 +1,64 @@
+//===- runtime/Jit.h - compile and load generated C kernels ---------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Takes the single-source C emitted by the generator, compiles it with the
+/// system C compiler into a shared object, and loads the kernel for in-
+/// process benchmarking -- the paper's "measure the generated function"
+/// step. A uniform `double **` trampoline is appended to the translation
+/// unit so kernels with any parameter count share one call interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_RUNTIME_JIT_H
+#define SLINGEN_RUNTIME_JIT_H
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace slingen {
+namespace runtime {
+
+/// A loaded kernel. Movable; unloads the shared object and removes the
+/// temporary files on destruction.
+class JitKernel {
+public:
+  JitKernel(JitKernel &&) noexcept;
+  JitKernel &operator=(JitKernel &&) noexcept;
+  ~JitKernel();
+
+  /// Compiles \p CSource (which must define `void FuncName(double*, ...)`
+  /// with \p NumParams pointer parameters). Returns std::nullopt and fills
+  /// \p Err on failure. \p ExtraFlags are appended to the compiler command.
+  static std::optional<JitKernel> compile(const std::string &CSource,
+                                          const std::string &FuncName,
+                                          int NumParams, std::string &Err,
+                                          const std::string &ExtraFlags = "");
+
+  /// Invokes the kernel with the given parameter buffers (size NumParams).
+  void call(double *const *Buffers) const { Entry(Buffers); }
+
+  int numParams() const { return NumParams; }
+
+private:
+  JitKernel() = default;
+
+  using EntryFn = void (*)(double *const *);
+  void *Handle = nullptr;
+  EntryFn Entry = nullptr;
+  int NumParams = 0;
+  std::string SoPath;
+};
+
+/// True if a working system C compiler is available (used to skip the JIT
+/// integration tests in constrained environments).
+bool haveSystemCompiler();
+
+} // namespace runtime
+} // namespace slingen
+
+#endif // SLINGEN_RUNTIME_JIT_H

@@ -1,0 +1,65 @@
+//===- runtime/Timing.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Timing.h"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+using namespace slingen;
+using namespace slingen::runtime;
+
+uint64_t runtime::readCycles() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned Aux;
+  // rdtscp serializes against preceding loads/stores, which is enough for
+  // timing windows that are forced to span thousands of cycles.
+  return __rdtscp(&Aux);
+#else
+  return 0;
+#endif
+}
+
+Measurement runtime::measureCycles(const std::function<void()> &Fn,
+                                   int Repeats, int Warmup,
+                                   uint64_t MinCycles) {
+  for (int I = 0; I < Warmup; ++I)
+    Fn();
+
+  // Choose a batch size so one timing window is long enough for the TSC
+  // read overhead to vanish.
+  int Batch = 1;
+  for (;;) {
+    uint64_t T0 = readCycles();
+    for (int I = 0; I < Batch; ++I)
+      Fn();
+    uint64_t Dt = readCycles() - T0;
+    if (Dt >= MinCycles || Batch >= (1 << 20))
+      break;
+    Batch *= 2;
+  }
+
+  std::vector<double> Samples;
+  Samples.reserve(Repeats);
+  for (int R = 0; R < Repeats; ++R) {
+    uint64_t T0 = readCycles();
+    for (int I = 0; I < Batch; ++I)
+      Fn();
+    uint64_t Dt = readCycles() - T0;
+    Samples.push_back(static_cast<double>(Dt) / Batch);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  Measurement M;
+  size_t N = Samples.size();
+  M.Median = Samples[N / 2];
+  M.Q1 = Samples[N / 4];
+  M.Q3 = Samples[(3 * N) / 4];
+  return M;
+}

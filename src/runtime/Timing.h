@@ -1,0 +1,46 @@
+//===- runtime/Timing.h - cycle-accurate measurement harness --------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement methodology of the paper's Sec. 4.1: kernels run with a
+/// warm cache, every measurement is repeated (median reported, quartiles as
+/// whiskers), and performance is expressed in flops per cycle using the
+/// time-stamp counter. The TSC on modern machines ticks at a constant
+/// reference rate, which is exactly the denominator the paper uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_RUNTIME_TIMING_H
+#define SLINGEN_RUNTIME_TIMING_H
+
+#include <cstdint>
+#include <functional>
+
+namespace slingen {
+namespace runtime {
+
+/// Serialized read of the time-stamp counter.
+uint64_t readCycles();
+
+struct Measurement {
+  double Median = 0.0; ///< cycles
+  double Q1 = 0.0, Q3 = 0.0;
+
+  double flopsPerCycle(double Flops) const {
+    return Median > 0.0 ? Flops / Median : 0.0;
+  }
+};
+
+/// Measures \p Fn: \p Warmup unmeasured runs (warm cache), then \p Repeats
+/// timed runs; short kernels are batched until each timing window exceeds
+/// \p MinCycles so TSC overhead is negligible.
+Measurement measureCycles(const std::function<void()> &Fn, int Repeats = 30,
+                          int Warmup = 3, uint64_t MinCycles = 10000);
+
+} // namespace runtime
+} // namespace slingen
+
+#endif // SLINGEN_RUNTIME_TIMING_H

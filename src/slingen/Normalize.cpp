@@ -1,0 +1,232 @@
+//===- slingen/Normalize.cpp ----------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slingen/Normalize.h"
+
+#include "expr/HlacMatch.h"
+#include "lgen/Tiler.h"
+
+#include <cassert>
+
+using namespace slingen;
+
+namespace {
+
+/// True if E is a view, a transposed view, or a constant: the only factor
+/// forms the tiler's flattener accepts inside a product.
+bool isSimpleFactor(const ExprPtr &E) {
+  if (isa<ViewExpr>(E) || isa<ConstExpr>(E))
+    return true;
+  if (const auto *U = dyn_cast<UnaryExpr>(E))
+    return U->kind() == ExprKind::Trans && isa<ViewExpr>(U->Sub);
+  return false;
+}
+
+bool allViewsScalar(const ExprPtr &E) {
+  if (const auto *V = dyn_cast<ViewExpr>(E))
+    return V->rows() == 1 && V->cols() == 1;
+  if (isa<ConstExpr>(E))
+    return true;
+  if (const auto *U = dyn_cast<UnaryExpr>(E))
+    return allViewsScalar(U->Sub);
+  const auto *B = cast<BinaryExpr>(E.get());
+  return allViewsScalar(B->L) && allViewsScalar(B->R);
+}
+
+class Normalizer {
+public:
+  Normalizer(Program &P, std::string &Err) : P(P), Err(Err) {}
+
+  bool run() {
+    std::vector<EqStmt> Out;
+    std::set<const Operand *> Defined = P.initiallyDefined();
+    for (EqStmt &S : P.stmts()) {
+      StmtInfo Info = classifyStmt(S, Defined);
+      if (Info.IsHlac) {
+        // HLAC right-hand sides must be plain views: pull anything else
+        // into a temporary computed by a preceding sBLAC.
+        if (!normalizeHlacRhs(S, Out))
+          return false;
+        Out.push_back(std::move(S));
+        continue;
+      }
+      // Pure scalar statements may contain division/sqrt and go through
+      // the direct scalar path untouched.
+      const auto *L = cast<ViewExpr>(S.Lhs.get());
+      if (L->rows() == 1 && L->cols() == 1 && allViewsScalar(S.Rhs)) {
+        Out.push_back(std::move(S));
+        continue;
+      }
+      ExprPtr R = rewriteLinear(S.Rhs, Out);
+      if (!R)
+        return false;
+      Out.push_back({std::move(S.Lhs), std::move(R)});
+    }
+    P.stmts() = std::move(Out);
+    return true;
+  }
+
+private:
+  Program &P;
+  std::string &Err;
+
+  Operand *freshTemp(const ExprPtr &E) {
+    return P.makeTemp(E->rows(), E->cols(), inferStructure(E));
+  }
+
+  /// Materializes \p E into a temporary via an auxiliary statement
+  /// (recursively normalized) and returns a view of it.
+  ExprPtr materialize(ExprPtr E, std::vector<EqStmt> &Pre) {
+    if (E->isScalarShaped() && allViewsScalar(E)) {
+      // Scalar temporaries keep division/sqrt in the direct scalar path.
+      Operand *T = freshTemp(E);
+      Pre.push_back({view(T), std::move(E)});
+      return view(T);
+    }
+    ExprPtr R = rewriteLinear(E, Pre);
+    if (!R)
+      return nullptr;
+    Operand *T = freshTemp(R);
+    Pre.push_back({view(T), std::move(R)});
+    return view(T);
+  }
+
+  /// Rewrites an expression in additive (linear) context: Add/Sub/Neg nodes
+  /// are kept, products are normalized, everything else is checked.
+  ExprPtr rewriteLinear(const ExprPtr &E, std::vector<EqStmt> &Pre) {
+    switch (E->kind()) {
+    case ExprKind::Add:
+    case ExprKind::Sub: {
+      const auto *B = cast<BinaryExpr>(E.get());
+      ExprPtr L = rewriteLinear(B->L, Pre);
+      ExprPtr R = rewriteLinear(B->R, Pre);
+      if (!L || !R)
+        return nullptr;
+      return B->kind() == ExprKind::Add ? add(std::move(L), std::move(R))
+                                        : sub(std::move(L), std::move(R));
+    }
+    case ExprKind::Neg: {
+      ExprPtr S = rewriteLinear(cast<UnaryExpr>(E.get())->Sub, Pre);
+      return S ? neg(std::move(S)) : nullptr;
+    }
+    case ExprKind::Mul:
+      return rewriteProduct(E, Pre);
+    case ExprKind::View:
+    case ExprKind::Const:
+      return E;
+    case ExprKind::Trans: {
+      ExprPtr S = rewriteFactor(cast<UnaryExpr>(E.get())->Sub, Pre);
+      return S ? trans(std::move(S)) : nullptr;
+    }
+    case ExprKind::Div: {
+      // Division appears with a scalar divisor only; rewrite X / s into
+      // (1/s) * X with a scalar temporary (this is the paper's rule R1).
+      const auto *B = cast<BinaryExpr>(E.get());
+      if (!B->R->isScalarShaped()) {
+        Err = "division by a non-scalar expression: " + E->str();
+        return nullptr;
+      }
+      ExprPtr Recip = materialize(divExpr(constant(1.0), B->R), Pre);
+      ExprPtr L = rewriteLinear(B->L, Pre);
+      if (!Recip || !L)
+        return nullptr;
+      return mul(std::move(Recip), std::move(L));
+    }
+    default:
+      Err = "unsupported expression in an sBLAC: " + E->str();
+      return nullptr;
+    }
+  }
+
+  /// Rewrites an expression that must become a single factor of a product.
+  ExprPtr rewriteFactor(const ExprPtr &E, std::vector<EqStmt> &Pre) {
+    if (isSimpleFactor(E))
+      return E;
+    // Scalar subexpressions without division can stay inline if they are
+    // products of simple scalars; everything else becomes a temporary.
+    return materialize(E, Pre);
+  }
+
+  /// Normalizes a product tree so the final expression is a single term
+  /// with at most two matrix factors.
+  ExprPtr rewriteProduct(const ExprPtr &E, std::vector<EqStmt> &Pre) {
+    // Collect the multiplicative chain.
+    std::vector<ExprPtr> Factors;
+    if (!collectFactors(E, Factors, Pre))
+      return nullptr;
+    // Split the matrix chain left to right while more than two remain.
+    std::vector<ExprPtr> Mats, Scas;
+    for (ExprPtr &F : Factors)
+      (F->isScalarShaped() ? Scas : Mats).push_back(std::move(F));
+    while (Mats.size() > 2) {
+      ExprPtr Prod = mul(std::move(Mats[0]), std::move(Mats[1]));
+      Operand *T = freshTemp(Prod);
+      Pre.push_back({view(T), std::move(Prod)});
+      Mats.erase(Mats.begin());
+      Mats[0] = view(T);
+    }
+    ExprPtr R;
+    for (ExprPtr &S : Scas)
+      R = R ? mul(std::move(R), std::move(S)) : std::move(S);
+    for (ExprPtr &M : Mats)
+      R = R ? mul(std::move(R), std::move(M)) : std::move(M);
+    assert(R && "empty product");
+    return R;
+  }
+
+  bool collectFactors(const ExprPtr &E, std::vector<ExprPtr> &Out,
+                      std::vector<EqStmt> &Pre) {
+    if (E->kind() == ExprKind::Mul) {
+      const auto *B = cast<BinaryExpr>(E.get());
+      return collectFactors(B->L, Out, Pre) && collectFactors(B->R, Out, Pre);
+    }
+    ExprPtr F = rewriteFactor(E, Pre);
+    if (!F)
+      return false;
+    Out.push_back(std::move(F));
+    return true;
+  }
+
+  bool normalizeHlacRhs(EqStmt &S, std::vector<EqStmt> &Pre) {
+    // X = inv(L) has no RHS source; equation HLACs have the source on the
+    // right. Leave views alone; materialize everything else.
+    if (isa<ViewExpr>(S.Rhs) || S.Rhs->kind() == ExprKind::Inv)
+      return true;
+    ExprPtr V = materialize(S.Rhs, Pre);
+    if (!V)
+      return false;
+    S.Rhs = std::move(V);
+    return true;
+  }
+};
+
+} // namespace
+
+bool slingen::isTilable(const EqStmt &S) {
+  const auto *L = dyn_cast<ViewExpr>(S.Lhs.get());
+  if (!L)
+    return false;
+  if (L->rows() == 1 && L->cols() == 1 && allViewsScalar(S.Rhs))
+    return true;
+  std::vector<lgen::Term> Terms;
+  if (!lgen::flattenRhs(S.Rhs, Terms))
+    return false;
+  for (const lgen::Term &T : Terms) {
+    if (T.Mat.size() > 2)
+      return false;
+    for (const ExprPtr &Sc : T.Sca)
+      if (!isa<ViewExpr>(Sc) && !isa<ConstExpr>(Sc) &&
+          !(Sc->kind() == ExprKind::Trans &&
+            isa<ViewExpr>(cast<UnaryExpr>(Sc.get())->Sub)))
+        return false;
+  }
+  return true;
+}
+
+bool slingen::normalizeProgram(Program &P, std::string &Err) {
+  Normalizer N(P, Err);
+  return N.run();
+}

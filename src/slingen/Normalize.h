@@ -1,0 +1,35 @@
+//===- slingen/Normalize.h - statement normalization ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pre-Stage-1 statement normalization (paper Sec. 3.1/3.2 preconditions):
+/// compound right-hand sides of HLACs are materialized into temporaries so
+/// every HLAC solves against a plain view, and sBLAC right-hand sides are
+/// rewritten until the tiler accepts them -- products with more than two
+/// matrix factors are split (e.g. the Kalman filter's F*P*F^T), compound
+/// factors inside products are materialized, and scalar subexpressions with
+/// division or square root are hoisted into scalar temporaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SLINGEN_NORMALIZE_H
+#define SLINGEN_SLINGEN_NORMALIZE_H
+
+#include "expr/Program.h"
+
+namespace slingen {
+
+/// Rewrites the statements of \p P in place. Returns false (with \p Err
+/// set) for statements outside the supported language.
+bool normalizeProgram(Program &P, std::string &Err);
+
+/// True if the tiler can compile this statement directly (used by
+/// normalization as the fixpoint test and by tests as an invariant check).
+bool isTilable(const EqStmt &S);
+
+} // namespace slingen
+
+#endif // SLINGEN_SLINGEN_NORMALIZE_H

@@ -1,0 +1,134 @@
+//===- slingen/SLinGen.h - the program generator driver --------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SLinGen pipeline of paper Fig. 6. A Generator owns a normalized LA
+/// program and produces optimized C-IR kernels:
+///
+///   Stage 1  HLACs are expanded into basic linear algebra programs via the
+///            FLAME engine; each HLAC has several algorithmic variants
+///            (loop invariants), selected by a per-HLAC choice vector.
+///   Stage 2  Scalar-merging rules (Table 2) run, then every statement is
+///            tiled into nu-BLACs and lowered to C-IR.
+///   Stage 3  C-IR passes run (unrolling, CSE, the load/store analysis,
+///            DCE) and the kernel is unparsed to C with intrinsics.
+///
+/// Autotuning enumerates variant choices; a static cost model pre-ranks
+/// them (used by tests), and the runtime harness re-ranks by measurement
+/// (used by the benchmarks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SLINGEN_SLINGEN_H
+#define SLINGEN_SLINGEN_SLINGEN_H
+
+#include "cir/CIR.h"
+#include "expr/Program.h"
+#include "flame/Synthesizer.h"
+#include "isa/ISA.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace slingen {
+
+struct GenOptions {
+  const VectorISA *Isa = &avxIsa();
+  /// FLAME panel width; 0 means "use the vector length" (the paper's nu).
+  int BlockSize = 0;
+  int UnrollTiles = 32; ///< max tiles per statement before loop emission
+  int UnrollK = 16;     ///< max unrolled reduction length
+  int UnrollMaxTrip = 8;
+  /// Stage/pass toggles, primarily for the ablation benchmarks.
+  bool ApplyVectorRules = true;
+  bool EnableUnroll = true;
+  bool EnableCse = true;
+  bool EnableLoadStoreOpt = true;
+  bool EnableDce = true;
+  std::string FuncName = "kernel";
+
+  int nu() const { return Isa->Nu; }
+  int blockSize() const { return BlockSize > 0 ? BlockSize : Isa->Nu; }
+};
+
+/// One fully generated kernel. Func references operands owned by Basic, so
+/// the two must stay together.
+struct GenResult {
+  Program Basic;            ///< Stage-1 output (basic linear algebra program)
+  cir::Function Func;       ///< optimized C-IR
+  std::vector<int> Choice;  ///< per-HLAC algorithmic variant indices
+  long Cost = 0;            ///< static cycle estimate (see staticCost)
+};
+
+/// Expands every HLAC of \p P (in statement order) using the variant index
+/// from \p Choice (missing entries default to 0). Returns false if some
+/// variant is infeasible for emission.
+bool expandProgramHlacs(Program &P, int BlockSize,
+                        const std::vector<int> &Choice,
+                        flame::Database *DB = nullptr);
+
+/// Compiles a basic (HLAC-free) program to C-IR: Stage 2 tiling plus the
+/// Stage 3 pass pipeline.
+cir::Function compileBasicProgram(Program &P, const GenOptions &O);
+
+/// Weighted static cycle estimate of a C-IR function (division/sqrt heavy,
+/// matching the Sandy-Bridge-like issue costs the paper reports); used to
+/// pre-rank variants without measuring.
+long staticCost(const cir::Function &F);
+
+class Generator {
+public:
+  /// Takes ownership of \p Source; normalization runs immediately.
+  /// isValid()/error() report normalization failures.
+  Generator(Program Source, GenOptions Opts);
+
+  bool isValid() const { return Valid; }
+  const std::string &error() const { return Err; }
+
+  /// Number of HLAC statements found in the normalized program.
+  int hlacCount() const { return static_cast<int>(Counts.size()); }
+  /// Number of algorithmic variants per HLAC, in statement order.
+  const std::vector<int> &variantCounts() const { return Counts; }
+
+  /// Runs the full pipeline for one variant choice.
+  std::optional<GenResult> generate(const std::vector<int> &Choice) const;
+
+  /// Enumerates up to \p MaxVariants choices (cartesian product, clamped),
+  /// compiles each, and returns them sorted by static cost.
+  std::vector<GenResult> enumerate(int MaxVariants = 16) const;
+
+  /// Cheapest result of enumerate() (cost-model autotuning).
+  std::optional<GenResult> best(int MaxVariants = 16) const;
+
+  /// Algorithm-reuse database accumulated across generate() calls
+  /// (paper Stage 1a).
+  const flame::Database &database() const { return DB; }
+
+  const Program &normalized() const { return Src; }
+
+private:
+  Program Src;
+  GenOptions O;
+  std::vector<int> Counts;
+  bool Valid = false;
+  std::string Err;
+  mutable flame::Database DB;
+};
+
+/// Complete C translation unit for a generated kernel.
+std::string emitC(const GenResult &R);
+
+/// Translation unit with an additional batched entry point (the paper's
+/// "batched computations" extension, Sec. 5): `<name>_batch(int count,
+/// p0, p1, ...)` applies the kernel to \p count independent problem
+/// instances stored contiguously per parameter (instance b of parameter i
+/// lives at p_i + b * Rows_i * Cols_i).
+std::string emitBatchedC(const GenResult &R);
+
+} // namespace slingen
+
+#endif // SLINGEN_SLINGEN_SLINGEN_H

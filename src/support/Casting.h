@@ -1,0 +1,71 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast helpers ----------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's isa<>/cast<>/dyn_cast<> templates for
+/// class hierarchies that expose a `Kind getKind() const` discriminator and a
+/// `static bool classof(const Base *)` predicate on each subclass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_CASTING_H
+#define SLINGEN_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+
+namespace slingen {
+
+/// Returns true if \p Val is an instance of class \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From> bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+template <typename To, typename From>
+bool isa(const std::shared_ptr<From> &Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val.get());
+}
+
+/// Checked cast: asserts that \p Val really is a \p To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From>
+const To *cast(const std::shared_ptr<From> &Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val.get());
+}
+
+/// Checking cast: returns null when \p Val is not a \p To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast(const std::shared_ptr<From> &Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val.get()) : nullptr;
+}
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_CASTING_H

@@ -1,0 +1,37 @@
+//===- support/Format.cpp -------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+using namespace slingen;
+
+std::string slingen::formatf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Needed > 0) {
+    std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Buf.data(), Buf.size(), Fmt, Args);
+    Out.assign(Buf.data(), static_cast<size_t>(Needed));
+  }
+  va_end(Args);
+  return Out;
+}
+
+void CodeSink::line(const std::string &Text) {
+  for (int I = 0; I < Depth; ++I)
+    Buffer += "  ";
+  Buffer += Text;
+  Buffer += '\n';
+}

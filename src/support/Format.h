@@ -1,0 +1,49 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string, plus a tiny indenting string
+/// builder used by the C unparser and the various IR printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_FORMAT_H
+#define SLINGEN_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace slingen {
+
+/// Formats like printf and returns the result as a std::string.
+std::string formatf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// A minimal string builder with indentation management. All IR printers and
+/// the C emitter append through this class so the output stays uniformly
+/// indented.
+class CodeSink {
+public:
+  /// Appends one line at the current indentation level.
+  void line(const std::string &Text);
+
+  /// Appends raw text without touching indentation.
+  void raw(const std::string &Text) { Buffer += Text; }
+
+  void indent() { ++Depth; }
+  void dedent() {
+    if (Depth > 0)
+      --Depth;
+  }
+
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string Buffer;
+  int Depth = 0;
+};
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_FORMAT_H

@@ -1,0 +1,46 @@
+//===- support/Random.h - deterministic RNG for tests and benches --------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic xorshift RNG so tests and benchmarks are
+/// reproducible across runs and machines (std::mt19937 distributions are not
+/// guaranteed identical across standard library implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_RANDOM_H
+#define SLINGEN_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace slingen {
+
+/// xorshift64* generator with a uniform-double helper.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL)
+      : State(Seed ? Seed : 1) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo = 0.0, double Hi = 1.0) {
+    double U = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return Lo + U * (Hi - Lo);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_RANDOM_H

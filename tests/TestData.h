@@ -1,0 +1,92 @@
+//===- tests/TestData.h - deterministic well-conditioned test matrices ---===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the random-but-reproducible inputs used across the test
+/// suites and the benchmarks: general matrices, SPD matrices, and
+/// well-conditioned triangular matrices (diagonally dominated so the direct
+/// solvers stay numerically tame at every benchmark size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_TESTS_TESTDATA_H
+#define SLINGEN_TESTS_TESTDATA_H
+
+#include "support/Random.h"
+
+#include <cmath>
+#include <vector>
+
+namespace slingen {
+namespace testdata {
+
+inline std::vector<double> general(int Rows, int Cols, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(Rows) * Cols);
+  for (double &X : A)
+    X = R.uniform(-1.0, 1.0);
+  return A;
+}
+
+/// Symmetric positive definite: B^T B + N * I.
+inline std::vector<double> spd(int N, Rng &R) {
+  std::vector<double> B = general(N, N, R);
+  std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J) {
+      double Acc = 0.0;
+      for (int P = 0; P < N; ++P)
+        Acc += B[P * N + I] * B[P * N + J];
+      A[I * N + J] = Acc + (I == J ? N : 0.0);
+    }
+  return A;
+}
+
+/// Lower triangular with dominant positive diagonal; zeros stored above.
+inline std::vector<double> lowerTri(int N, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I) {
+    for (int J = 0; J < I; ++J)
+      A[I * N + J] = R.uniform(-1.0, 1.0);
+    A[I * N + I] = R.uniform(1.0, 2.0) + 2.0;
+  }
+  return A;
+}
+
+/// Upper triangular with dominant positive diagonal; zeros stored below.
+inline std::vector<double> upperTri(int N, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(N) * N, 0.0);
+  for (int I = 0; I < N; ++I) {
+    A[I * N + I] = R.uniform(1.0, 2.0) + 2.0;
+    for (int J = I + 1; J < N; ++J)
+      A[I * N + J] = R.uniform(-1.0, 1.0);
+  }
+  return A;
+}
+
+/// Symmetric (not necessarily definite).
+inline std::vector<double> symmetric(int N, Rng &R) {
+  std::vector<double> A(static_cast<size_t>(N) * N);
+  for (int I = 0; I < N; ++I)
+    for (int J = I; J < N; ++J) {
+      double V = R.uniform(-1.0, 1.0);
+      A[I * N + J] = V;
+      A[J * N + I] = V;
+    }
+  return A;
+}
+
+inline double maxAbsDiff(const std::vector<double> &A,
+                         const std::vector<double> &B) {
+  double M = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    M = std::max(M, std::fabs(A[I] - B[I]));
+  return M;
+}
+
+} // namespace testdata
+} // namespace slingen
+
+#endif // SLINGEN_TESTS_TESTDATA_H

@@ -1,0 +1,454 @@
+//===- tests/baselines_test.cpp - comparator implementations tests ---------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Validates every comparator used by the Fig. 14/15 benchmarks against the
+// refblas oracle and, for the applications, against the LA program executed
+// with the dense evaluator -- so all benchmark series compute the same
+// mathematical function before we compare their speed.
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Apps.h"
+#include "baselines/Cl1ckBlas.h"
+#include "baselines/Naive.h"
+#include "baselines/Recursive.h"
+#include "baselines/RefBlas.h"
+#include "baselines/Smallet.h"
+#include "expr/Evaluator.h"
+#include "la/Lower.h"
+#include "la/Programs.h"
+#include "support/Random.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+using namespace slingen;
+using namespace slingen::testdata;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// HLAC comparators vs refblas.
+//===----------------------------------------------------------------------===//
+
+class HlacBaselines : public ::testing::TestWithParam<int> {};
+
+TEST_P(HlacBaselines, PotrfAgree) {
+  int N = GetParam();
+  Rng R(N);
+  auto A = spd(N, R);
+  auto Want = A;
+  ASSERT_EQ(refblas::potrfUpper(N, Want.data(), N), 0);
+
+  auto Rec = A;
+  ASSERT_EQ(recursive::potrfUpper(N, Rec.data(), N), 0);
+  EXPECT_LT(maxAbsDiff(Rec, Want), 1e-10 * N);
+
+  for (int Nb : {4, N / 2 > 0 ? N / 2 : 1, N}) {
+    auto Blk = A;
+    ASSERT_EQ(cl1ck::potrfUpper(N, Nb, Blk.data(), N), 0);
+    EXPECT_LT(maxAbsDiff(Blk, Want), 1e-10 * N) << "nb=" << Nb;
+  }
+
+  auto Nai = A;
+  ASSERT_EQ(naive::potrfUpper(N, Nai.data()), 0);
+  EXPECT_LT(maxAbsDiff(Nai, Want), 1e-10 * N);
+
+  auto Sml = A;
+  if (apps::potrfSmallet(N, Sml.data())) {
+    EXPECT_LT(maxAbsDiff(Sml, Want), 1e-10 * N);
+  }
+}
+
+TEST_P(HlacBaselines, TrtriAgree) {
+  int N = GetParam();
+  Rng R(N + 1);
+  auto L = lowerTri(N, R);
+  auto Want = L;
+  refblas::trtriLower(N, Want.data(), N);
+
+  auto Rec = L;
+  recursive::trtriLower(N, Rec.data(), N);
+  EXPECT_LT(maxAbsDiff(Rec, Want), 1e-9 * N);
+
+  for (int Nb : {4, N / 2 > 0 ? N / 2 : 1, N}) {
+    auto Blk = L;
+    cl1ck::trtriLower(N, Nb, Blk.data(), N);
+    EXPECT_LT(maxAbsDiff(Blk, Want), 1e-9 * N) << "nb=" << Nb;
+  }
+
+  auto Nai = L;
+  naive::trtriLower(N, Nai.data());
+  EXPECT_LT(maxAbsDiff(Nai, Want), 1e-9 * N);
+
+  auto Sml = L;
+  if (apps::trtriSmallet(N, Sml.data())) {
+    EXPECT_LT(maxAbsDiff(Sml, Want), 1e-9 * N);
+  }
+}
+
+TEST_P(HlacBaselines, TrsylAgree) {
+  int N = GetParam();
+  Rng R(N + 2);
+  auto L = lowerTri(N, R);
+  auto U = upperTri(N, R);
+  auto C = general(N, N, R);
+  auto Want = C;
+  refblas::trsylLowerUpper(N, N, L.data(), N, U.data(), N, Want.data(), N);
+
+  auto Rec = C;
+  recursive::trsylLowerUpper(N, N, L.data(), N, U.data(), N, Rec.data(), N);
+  EXPECT_LT(maxAbsDiff(Rec, Want), 1e-9 * N);
+
+  for (int Nb : {4, N / 2 > 0 ? N / 2 : 1, N}) {
+    auto Blk = C;
+    cl1ck::trsylLowerUpper(N, N, Nb, L.data(), N, U.data(), N, Blk.data(),
+                           N);
+    EXPECT_LT(maxAbsDiff(Blk, Want), 1e-9 * N) << "nb=" << Nb;
+  }
+
+  auto Nai = C;
+  naive::trsylLowerUpper(N, L.data(), U.data(), Nai.data());
+  EXPECT_LT(maxAbsDiff(Nai, Want), 1e-9 * N);
+
+  auto Sml = C;
+  if (apps::trsylSmallet(N, L.data(), U.data(), Sml.data())) {
+    EXPECT_LT(maxAbsDiff(Sml, Want), 1e-9 * N);
+  }
+}
+
+TEST_P(HlacBaselines, TrlyaAgree) {
+  int N = GetParam();
+  Rng R(N + 3);
+  auto L = lowerTri(N, R);
+  auto S = symmetric(N, R);
+  auto Want = S;
+  refblas::trlyaLower(N, L.data(), N, Want.data(), N);
+
+  auto Rec = S;
+  recursive::trlyaLower(N, L.data(), N, Rec.data(), N);
+  EXPECT_LT(maxAbsDiff(Rec, Want), 1e-9 * N);
+
+  for (int Nb : {4, N / 2 > 0 ? N / 2 : 1, N}) {
+    auto Blk = S;
+    cl1ck::trlyaLower(N, Nb, L.data(), N, Blk.data(), N);
+    EXPECT_LT(maxAbsDiff(Blk, Want), 1e-9 * N) << "nb=" << Nb;
+  }
+
+  auto Nai = S;
+  naive::trlyaLower(N, L.data(), Nai.data());
+  EXPECT_LT(maxAbsDiff(Nai, Want), 1e-9 * N);
+
+  auto Sml = S;
+  if (apps::trlyaSmallet(N, L.data(), Sml.data())) {
+    EXPECT_LT(maxAbsDiff(Sml, Want), 1e-9 * N);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HlacBaselines,
+                         ::testing::Values(1, 2, 4, 8, 11, 16, 24, 28, 52));
+
+//===----------------------------------------------------------------------===//
+// Residual-based property checks (oracle-independent).
+//===----------------------------------------------------------------------===//
+
+TEST(BaselineProperties, RecursivePotrfResidual) {
+  for (int N : {8, 24, 52}) {
+    Rng R(N * 2);
+    auto A = spd(N, R);
+    auto U = A;
+    ASSERT_EQ(recursive::potrfUpper(N, U.data(), N), 0);
+    std::vector<double> Res(N * N, 0.0);
+    refblas::gemm(N, N, N, 1.0, U.data(), N, true, U.data(), N, false, 0.0,
+                  Res.data(), N);
+    EXPECT_LT(maxAbsDiff(Res, A), 1e-10 * N);
+    // Strictly-lower triangle zeroed (full storage).
+    for (int I = 1; I < N; ++I)
+      for (int J = 0; J < I; ++J)
+        EXPECT_EQ(U[I * N + J], 0.0);
+  }
+}
+
+TEST(BaselineProperties, RecursiveTrsylResidual) {
+  for (int M : {8, 20})
+    for (int N : {8, 24}) {
+      Rng R(M * 31 + N);
+      auto L = lowerTri(M, R);
+      auto U = upperTri(N, R);
+      auto C = general(M, N, R);
+      auto X = C;
+      recursive::trsylLowerUpper(M, N, L.data(), M, U.data(), N, X.data(),
+                                 N);
+      std::vector<double> Res(M * N, 0.0);
+      refblas::gemm(M, N, M, 1.0, L.data(), M, false, X.data(), N, false,
+                    0.0, Res.data(), N);
+      refblas::gemm(M, N, N, 1.0, X.data(), N, false, U.data(), N, false,
+                    1.0, Res.data(), N);
+      EXPECT_LT(maxAbsDiff(Res, C), 1e-9 * (M + N)) << M << "x" << N;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// smallet expression templates.
+//===----------------------------------------------------------------------===//
+
+TEST(Smallet, FusedLinearExpression) {
+  smallet::Matrix<3, 3> A, B;
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 3; ++J) {
+      A(I, J) = I * 3 + J;
+      B(I, J) = 1.0;
+    }
+  smallet::Matrix<3, 3> C;
+  C = A + B * 2.0 - A.transpose();
+  for (int I = 0; I < 3; ++I)
+    for (int J = 0; J < 3; ++J)
+      EXPECT_NEAR(C(I, J), (I * 3 + J) + 2.0 - (J * 3 + I), 1e-15);
+}
+
+TEST(Smallet, ProductAgainstRefblas) {
+  Rng R(9);
+  auto AD = general(5, 7, R);
+  auto BD = general(7, 4, R);
+  smallet::Map<5, 7> A = smallet::map<5, 7>(AD.data());
+  smallet::Map<7, 4> B = smallet::map<7, 4>(BD.data());
+  smallet::Matrix<5, 4> C;
+  C = A * B;
+  std::vector<double> Want(5 * 4, 0.0);
+  refblas::gemm(5, 4, 7, 1.0, AD.data(), 7, false, BD.data(), 4, false, 0.0,
+                Want.data(), 4);
+  for (int I = 0; I < 5; ++I)
+    for (int J = 0; J < 4; ++J)
+      EXPECT_NEAR(C(I, J), Want[I * 4 + J], 1e-12);
+}
+
+TEST(Smallet, MapAliasesCallerMemory) {
+  std::vector<double> Buf(4, 0.0);
+  auto M = smallet::map<2, 2>(Buf.data());
+  M(0, 0) = 3.0;
+  M(1, 1) = 4.0;
+  EXPECT_EQ(Buf[0], 3.0);
+  EXPECT_EQ(Buf[3], 4.0);
+}
+
+TEST(Smallet, TriangularSolversRoundTrip) {
+  Rng R(10);
+  auto LD = lowerTri(6, R);
+  auto BD = general(6, 3, R);
+  auto L = smallet::map<6, 6>(LD.data());
+  smallet::Matrix<6, 3> X;
+  X = smallet::map<6, 3>(BD.data());
+  smallet::solveLowerInPlace(L, X);
+  // L X == B.
+  smallet::Matrix<6, 3> Res;
+  Res = L * X;
+  for (int I = 0; I < 6; ++I)
+    for (int J = 0; J < 3; ++J)
+      EXPECT_NEAR(Res(I, J), BD[I * 3 + J], 1e-10);
+}
+
+//===----------------------------------------------------------------------===//
+// Application kernels vs the LA reference.
+//===----------------------------------------------------------------------===//
+
+struct KalmanData {
+  int N, K;
+  std::vector<double> F, B, Q, H, R, u, x, z, P;
+};
+
+KalmanData makeKalman(int N, int K, uint64_t Seed) {
+  Rng R(Seed);
+  KalmanData D;
+  D.N = N;
+  D.K = K;
+  D.F = general(N, N, R);
+  D.B = general(N, N, R);
+  D.Q = spd(N, R);
+  D.H = general(K, N, R);
+  D.R = spd(K, R);
+  D.u = general(N, 1, R);
+  D.x = general(N, 1, R);
+  D.z = general(K, 1, R);
+  D.P = spd(N, R);
+  return D;
+}
+
+/// Reference via the LA program + dense evaluator.
+void kalmanReference(const KalmanData &D, std::vector<double> &X,
+                     std::vector<double> &P) {
+  std::string Err;
+  auto Prog = la::compileLa(la::kalmanSource(D.N, D.K), Err);
+  ASSERT_TRUE(Prog) << Err;
+  Env E;
+  E.set(Prog->findOperand("F"), D.F);
+  E.set(Prog->findOperand("Bm"), D.B);
+  E.set(Prog->findOperand("Q"), D.Q);
+  E.set(Prog->findOperand("H"), D.H);
+  E.set(Prog->findOperand("R"), D.R);
+  E.set(Prog->findOperand("P"), D.P);
+  E.set(Prog->findOperand("u"), D.u);
+  E.set(Prog->findOperand("x"), D.x);
+  E.set(Prog->findOperand("z"), D.z);
+  evalProgram(*Prog, E);
+  X = E.get(Prog->findOperand("x"));
+  P = E.get(Prog->findOperand("P"));
+}
+
+class KalmanBaselines : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(KalmanBaselines, AllAgree) {
+  auto [N, K] = GetParam();
+  KalmanData D = makeKalman(N, K, N * 100 + K);
+  std::vector<double> WantX, WantP;
+  kalmanReference(D, WantX, WantP);
+
+  std::vector<double> Scratch(8 * N * N + 8 * N);
+
+  auto XN = D.x;
+  auto PN = D.P;
+  naive::kalman(N, K, D.F.data(), D.B.data(), D.Q.data(), D.H.data(),
+                D.R.data(), D.u.data(), D.z.data(), XN.data(), PN.data(),
+                Scratch.data());
+  EXPECT_LT(maxAbsDiff(XN, WantX), 1e-8 * N) << "naive x";
+  EXPECT_LT(maxAbsDiff(PN, WantP), 1e-8 * N) << "naive P";
+
+  auto XR = D.x;
+  auto PR = D.P;
+  apps::kalmanRefblas(N, K, D.F.data(), D.B.data(), D.Q.data(), D.H.data(),
+                      D.R.data(), D.u.data(), D.z.data(), XR.data(),
+                      PR.data(), Scratch.data());
+  EXPECT_LT(maxAbsDiff(XR, WantX), 1e-8 * N) << "refblas x";
+  EXPECT_LT(maxAbsDiff(PR, WantP), 1e-8 * N) << "refblas P";
+
+  auto XS = D.x;
+  auto PS = D.P;
+  if (apps::kalmanSmallet(N, K, D.F.data(), D.B.data(), D.Q.data(),
+                          D.H.data(), D.R.data(), D.u.data(), D.z.data(),
+                          XS.data(), PS.data())) {
+    EXPECT_LT(maxAbsDiff(XS, WantX), 1e-8 * N) << "smallet x";
+    EXPECT_LT(maxAbsDiff(PS, WantP), 1e-8 * N) << "smallet P";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, KalmanBaselines,
+                         ::testing::Values(std::pair{4, 4}, std::pair{8, 8},
+                                           std::pair{12, 12},
+                                           std::pair{28, 12},
+                                           std::pair{28, 20}));
+
+TEST(GprBaselines, AllAgree) {
+  for (int N : {4, 8, 12, 28}) {
+    Rng R(N * 7);
+    auto K = spd(N, R);
+    auto X = general(N, N, R);
+    auto x = general(N, 1, R);
+    auto y = general(N, 1, R);
+
+    std::string Err;
+    auto Prog = la::compileLa(la::gprSource(N), Err);
+    ASSERT_TRUE(Prog) << Err;
+    Env E;
+    E.set(Prog->findOperand("K"), K);
+    E.set(Prog->findOperand("X"), X);
+    E.set(Prog->findOperand("x"), x);
+    E.set(Prog->findOperand("y"), y);
+    evalProgram(*Prog, E);
+    double WantPhi = E.get(Prog->findOperand("phi"))[0];
+    double WantPsi = E.get(Prog->findOperand("psi"))[0];
+    double WantLam = E.get(Prog->findOperand("lambda"))[0];
+
+    std::vector<double> Scratch(N * N + 8 * N);
+    double Phi, Psi, Lam;
+    naive::gpr(N, K.data(), X.data(), x.data(), y.data(), &Phi, &Psi, &Lam,
+               Scratch.data());
+    EXPECT_NEAR(Phi, WantPhi, 1e-8 * N);
+    EXPECT_NEAR(Psi, WantPsi, 1e-8 * N);
+    EXPECT_NEAR(Lam, WantLam, 1e-8 * N);
+
+    apps::gprRefblas(N, K.data(), X.data(), x.data(), y.data(), &Phi, &Psi,
+                     &Lam, Scratch.data());
+    EXPECT_NEAR(Phi, WantPhi, 1e-8 * N);
+    EXPECT_NEAR(Psi, WantPsi, 1e-8 * N);
+    EXPECT_NEAR(Lam, WantLam, 1e-8 * N);
+
+    if (apps::gprSmallet(N, K.data(), X.data(), x.data(), y.data(), &Phi,
+                         &Psi, &Lam)) {
+      EXPECT_NEAR(Phi, WantPhi, 1e-8 * N);
+      EXPECT_NEAR(Psi, WantPsi, 1e-8 * N);
+      EXPECT_NEAR(Lam, WantLam, 1e-8 * N);
+    }
+  }
+}
+
+TEST(L1aBaselines, AllAgree) {
+  for (int N : {4, 8, 12, 28}) {
+    Rng R(N * 11);
+    auto W = general(N, N, R);
+    auto A = general(N, N, R);
+    auto x0 = general(N, 1, R);
+    auto y = general(N, 1, R);
+    auto v1 = general(N, 1, R);
+    auto z1 = general(N, 1, R);
+    auto v2 = general(N, 1, R);
+    auto z2 = general(N, 1, R);
+    double Alpha = 0.6, Beta = 0.25, Tau = 0.15;
+
+    std::string Err;
+    auto Prog = la::compileLa(la::l1aSource(N), Err);
+    ASSERT_TRUE(Prog) << Err;
+    Env E;
+    E.set(Prog->findOperand("W"), W);
+    E.set(Prog->findOperand("A"), A);
+    E.set(Prog->findOperand("x0"), x0);
+    E.set(Prog->findOperand("y"), y);
+    E.set(Prog->findOperand("v1"), v1);
+    E.set(Prog->findOperand("z1"), z1);
+    E.set(Prog->findOperand("v2"), v2);
+    E.set(Prog->findOperand("z2"), z2);
+    E.set(Prog->findOperand("alpha"), {Alpha});
+    E.set(Prog->findOperand("beta"), {Beta});
+    E.set(Prog->findOperand("tau"), {Tau});
+    evalProgram(*Prog, E);
+
+    auto CheckOne = [&](auto Run, const char *What) {
+      auto V1 = v1, Z1 = z1, V2 = v2, Z2 = z2;
+      Run(V1, Z1, V2, Z2);
+      EXPECT_LT(maxAbsDiff(V1, E.get(Prog->findOperand("v1"))), 1e-10 * N)
+          << What;
+      EXPECT_LT(maxAbsDiff(Z1, E.get(Prog->findOperand("z1"))), 1e-10 * N)
+          << What;
+      EXPECT_LT(maxAbsDiff(V2, E.get(Prog->findOperand("v2"))), 1e-10 * N)
+          << What;
+      EXPECT_LT(maxAbsDiff(Z2, E.get(Prog->findOperand("z2"))), 1e-10 * N)
+          << What;
+    };
+
+    std::vector<double> Scratch(8 * N);
+    CheckOne(
+        [&](auto &V1, auto &Z1, auto &V2, auto &Z2) {
+          naive::l1a(N, W.data(), A.data(), x0.data(), y.data(), Alpha, Beta,
+                     Tau, V1.data(), Z1.data(), V2.data(), Z2.data(),
+                     Scratch.data());
+        },
+        "naive");
+    CheckOne(
+        [&](auto &V1, auto &Z1, auto &V2, auto &Z2) {
+          apps::l1aRefblas(N, W.data(), A.data(), x0.data(), y.data(), Alpha,
+                           Beta, Tau, V1.data(), Z1.data(), V2.data(),
+                           Z2.data(), Scratch.data());
+        },
+        "refblas");
+    CheckOne(
+        [&](auto &V1, auto &Z1, auto &V2, auto &Z2) {
+          ASSERT_TRUE(apps::l1aSmallet(N, W.data(), A.data(), x0.data(),
+                                       y.data(), Alpha, Beta, Tau, V1.data(),
+                                       Z1.data(), V2.data(), Z2.data()));
+        },
+        "smallet");
+  }
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===- tests/batch_test.cpp - batched kernel extension ---------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The batched entry point (paper Sec. 5 future work, implemented here as
+// an extension) must compute exactly count independent instances. JIT
+// required; skipped without a system compiler.
+//===----------------------------------------------------------------------===//
+
+#include "la/Lower.h"
+#include "la/Programs.h"
+#include "runtime/Jit.h"
+#include "slingen/SLinGen.h"
+#include "support/Random.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+using namespace slingen;
+using namespace slingen::testdata;
+
+namespace {
+
+TEST(Batched, EmittedTextHasBatchEntry) {
+  std::string Err;
+  auto P = la::compileLa(la::potrfSource(8), Err);
+  ASSERT_TRUE(P) << Err;
+  GenOptions O;
+  O.Isa = &avxIsa();
+  O.FuncName = "potrf8";
+  Generator G(std::move(*P), O);
+  ASSERT_TRUE(G.isValid());
+  auto R = G.best(3);
+  ASSERT_TRUE(R);
+  std::string C = emitBatchedC(*R);
+  EXPECT_NE(C.find("void potrf8_batch(int count"), std::string::npos);
+  EXPECT_NE(C.find("for (int b = 0; b < count; ++b)"), std::string::npos);
+}
+
+TEST(Batched, MatchesIndividualRuns) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const int N = 8, Count = 5;
+  std::string Err;
+  auto P = la::compileLa(la::potrfSource(N), Err);
+  ASSERT_TRUE(P) << Err;
+  GenOptions O;
+  O.Isa = &hostIsa();
+  O.FuncName = "potrf_b";
+  Generator G(std::move(*P), O);
+  ASSERT_TRUE(G.isValid());
+  auto R = G.best(3);
+  ASSERT_TRUE(R);
+  const auto &Params = R->Func.Params;
+  ASSERT_EQ(Params.size(), 2u); // A (in), X (out)
+
+  // One TU with both the plain kernel and a fixed-count wrapper around the
+  // batch loop; the wrapper keeps the kernel's parameter order, so both
+  // entries share the same buffer-array call convention.
+  std::string C = emitBatchedC(*R);
+  C += "\nvoid potrf_batch_fixed(";
+  for (size_t I = 0; I < Params.size(); ++I)
+    C += std::string(I ? ", " : "") + "double *restrict " +
+         Params[I]->Name;
+  C += ") {\n  potrf_b_batch(" + std::to_string(Count);
+  for (const Operand *Param : Params)
+    C += ", " + Param->Name;
+  C += ");\n}\n";
+
+  auto KSingle = runtime::JitKernel::compile(C, "potrf_b", 2, Err);
+  ASSERT_TRUE(KSingle) << Err;
+  auto KBatch = runtime::JitKernel::compile(C, "potrf_batch_fixed", 2, Err);
+  ASSERT_TRUE(KBatch) << Err;
+
+  // Contiguous per-parameter instance arrays.
+  std::vector<std::vector<double>> RefStore(2), BatchStore(2);
+  for (size_t I = 0; I < 2; ++I) {
+    size_t Sz = static_cast<size_t>(Params[I]->Rows) * Params[I]->Cols;
+    RefStore[I].assign(Count * Sz, 0.0);
+    BatchStore[I].assign(Count * Sz, 0.0);
+  }
+  for (int B = 0; B < Count; ++B) {
+    Rng Rand(1000 + B);
+    auto A = spd(N, Rand);
+    for (size_t I = 0; I < 2; ++I)
+      if (Params[I]->Name == "A") {
+        std::copy(A.begin(), A.end(), RefStore[I].begin() + B * N * N);
+        std::copy(A.begin(), A.end(), BatchStore[I].begin() + B * N * N);
+      }
+  }
+
+  // Reference: individual calls.
+  for (int B = 0; B < Count; ++B) {
+    double *Bufs[2] = {RefStore[0].data() + B * N * N,
+                       RefStore[1].data() + B * N * N};
+    KSingle->call(Bufs);
+  }
+  // Batched: one call.
+  double *Bufs[2] = {BatchStore[0].data(), BatchStore[1].data()};
+  KBatch->call(Bufs);
+
+  for (size_t I = 0; I < 2; ++I)
+    EXPECT_LT(maxAbsDiff(BatchStore[I], RefStore[I]), 1e-12)
+        << Params[I]->Name;
+}
+
+} // namespace

@@ -1,0 +1,352 @@
+//===- tests/cir_test.cpp - C-IR, interpreter, and pass tests --------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/CEmitter.h"
+#include "cir/CIR.h"
+#include "cir/Interp.h"
+#include "cir/Passes.h"
+#include "expr/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace slingen;
+using namespace slingen::cir;
+
+namespace {
+
+/// Convenience: an environment with one 4x4 input A and one 4x4 output C.
+struct Kernel2 {
+  Program P;
+  Operand *A, *C;
+  std::vector<double> ABuf, CBuf;
+
+  Kernel2() {
+    A = P.addOperand("A", 4, 4);
+    C = P.addOperand("C", 4, 4);
+    C->IO = IOKind::Out;
+    ABuf.resize(16);
+    CBuf.assign(16, 0.0);
+    for (int I = 0; I < 16; ++I)
+      ABuf[I] = I + 1;
+  }
+
+  std::map<const Operand *, double *> buffers() {
+    return {{A, ABuf.data()}, {C, CBuf.data()}};
+  }
+};
+
+TEST(CirInterp, ScalarLoop) {
+  // C[i] = A[i] * 2 + 1 for i in [0,16).
+  Kernel2 K;
+  FuncBuilder B("k", 1);
+  int Two = B.sconst(2.0);
+  int One = B.sconst(1.0);
+  int IV = B.beginLoop(0, 16, 1);
+  int V = B.sload(B.addr(K.A, 0, {{IV, 1}}));
+  int M = B.sbin(Op::SMul, V, Two);
+  int R = B.sbin(Op::SAdd, M, One);
+  B.sstore(B.addr(K.C, 0, {{IV, 1}}), R);
+  B.endLoop();
+  Function F = B.take({K.A, K.C});
+  interpret(F, K.buffers());
+  for (int I = 0; I < 16; ++I)
+    EXPECT_DOUBLE_EQ(K.CBuf[I], K.ABuf[I] * 2.0 + 1.0);
+}
+
+TEST(CirInterp, VectorOpsAndMaskedTail) {
+  // C[0:3) = A[0:3) + A[4:7) using a masked 3-lane AVX-style load/store.
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 3);
+  int V2 = B.vload(B.addr(K.A, 4), 3);
+  int S = B.vbin(Op::VAdd, V1, V2);
+  B.vstore(B.addr(K.C, 0), S, 3);
+  Function F = B.take({K.A, K.C});
+  interpret(F, K.buffers());
+  for (int I = 0; I < 3; ++I)
+    EXPECT_DOUBLE_EQ(K.CBuf[I], K.ABuf[I] + K.ABuf[4 + I]);
+  EXPECT_DOUBLE_EQ(K.CBuf[3], 0.0); // untouched
+}
+
+TEST(CirInterp, StridedColumnAccessAndShuffle) {
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  // Load column 1 of A (stride 4), reverse it with a shuffle, store to row 0
+  // of C.
+  int Col = B.vloadStrided(B.addr(K.A, 1), 4, 4);
+  int Rev = B.vshuffle(Col, Col, {3, 2, 1, 0});
+  B.vstore(B.addr(K.C, 0), Rev, 4);
+  Function F = B.take({K.A, K.C});
+  interpret(F, K.buffers());
+  for (int L = 0; L < 4; ++L)
+    EXPECT_DOUBLE_EQ(K.CBuf[L], K.ABuf[(3 - L) * 4 + 1]);
+}
+
+TEST(CirInterp, ShuffleZeroAndTwoSource) {
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);  // 1 2 3 4
+  int V2 = B.vload(B.addr(K.A, 4), 4);  // 5 6 7 8
+  int Sh = B.vshuffle(V1, V2, {1, 4, -1, 7}); // 2 5 0 8
+  B.vstore(B.addr(K.C, 0), Sh, 4);
+  Function F = B.take({K.A, K.C});
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0);
+  EXPECT_DOUBLE_EQ(K.CBuf[1], 5.0);
+  EXPECT_DOUBLE_EQ(K.CBuf[2], 0.0);
+  EXPECT_DOUBLE_EQ(K.CBuf[3], 8.0);
+}
+
+TEST(CirInterp, ReduceExtractBroadcastFma) {
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4); // 1 2 3 4
+  int Red = B.vreduceAdd(V1);          // 10
+  B.sstore(B.addr(K.C, 0), Red);
+  int E2 = B.vextract(V1, 2); // 3
+  B.sstore(B.addr(K.C, 1), E2);
+  int Bc = B.vbroadcast(E2);
+  int Fma = B.vfma(Bc, V1, V1); // 3*A + A = 4A
+  B.vstore(B.addr(K.C, 4), Fma, 4);
+  Function F = B.take({K.A, K.C});
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[0], 10.0);
+  EXPECT_DOUBLE_EQ(K.CBuf[1], 3.0);
+  for (int L = 0; L < 4; ++L)
+    EXPECT_DOUBLE_EQ(K.CBuf[4 + L], 4.0 * K.ABuf[L]);
+}
+
+//===----------------------------------------------------------------------===//
+// Passes.
+//===----------------------------------------------------------------------===//
+
+TEST(CirPasses, UnrollFoldsAddresses) {
+  Kernel2 K;
+  FuncBuilder B("k", 1);
+  int IV = B.beginLoop(0, 4, 1);
+  int V = B.sload(B.addr(K.A, 0, {{IV, 4}}));
+  B.sstore(B.addr(K.C, 0, {{IV, 4}}), V);
+  B.endLoop();
+  Function F = B.take({K.A, K.C});
+  unrollLoops(F, 8);
+  EXPECT_EQ(countInsts(F), 8);
+  // No loops remain.
+  for (const Node &N : F.Body)
+    EXPECT_TRUE(std::holds_alternative<Inst>(N));
+  interpret(F, K.buffers());
+  for (int I = 0; I < 4; ++I)
+    EXPECT_DOUBLE_EQ(K.CBuf[I * 4], K.ABuf[I * 4]);
+}
+
+TEST(CirPasses, UnrollKeepsLargeLoops) {
+  Kernel2 K;
+  FuncBuilder B("k", 1);
+  int IV = B.beginLoop(0, 16, 1);
+  int V = B.sload(B.addr(K.A, 0, {{IV, 1}}));
+  B.sstore(B.addr(K.C, 0, {{IV, 1}}), V);
+  B.endLoop();
+  Function F = B.take({K.A, K.C});
+  unrollLoops(F, 8);
+  ASSERT_EQ(F.Body.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<Loop>(F.Body[0]));
+}
+
+TEST(CirPasses, CseDeduplicates) {
+  Kernel2 K;
+  FuncBuilder B("k", 1);
+  int V1 = B.sload(B.addr(K.A, 0));
+  int V2 = B.sload(B.addr(K.A, 1));
+  int M1 = B.sbin(Op::SMul, V1, V2);
+  int M2 = B.sbin(Op::SMul, V2, V1); // commutative duplicate
+  int S = B.sbin(Op::SAdd, M1, M2);
+  B.sstore(B.addr(K.C, 0), S);
+  Function F = B.take({K.A, K.C});
+  int Before = countInsts(F);
+  cse(F);
+  dce(F);
+  EXPECT_LT(countInsts(F), Before);
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0 * K.ABuf[0] * K.ABuf[1]);
+}
+
+TEST(CirPasses, DceRemovesUnusedChains) {
+  Kernel2 K;
+  FuncBuilder B("k", 1);
+  int V1 = B.sload(B.addr(K.A, 0));
+  int Dead1 = B.sbin(Op::SMul, V1, V1);
+  B.sbin(Op::SAdd, Dead1, V1); // dead
+  B.sstore(B.addr(K.C, 0), V1);
+  Function F = B.take({K.A, K.C});
+  dce(F);
+  EXPECT_EQ(countInsts(F), 2);
+}
+
+TEST(CirPasses, StoreToLoadForwardingBecomesShuffle) {
+  // The Fig. 11/12 scenario: two masked stores followed by a load that
+  // gathers lanes from both stored vectors; after the pass the reload is a
+  // shuffle and no load instruction remains.
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);
+  int V2 = B.vload(B.addr(K.A, 4), 4);
+  B.vstore(B.addr(K.C, 0), V1, 3);  // C[0..2] = A[0..2]
+  B.vstore(B.addr(K.C, 3), V2, 2);  // C[3..4] = A[4..5]
+  int Re = B.vload(B.addr(K.C, 1), 4); // lanes from both stores
+  int Double_ = B.vbin(Op::VAdd, Re, Re);
+  B.vstore(B.addr(K.C, 8), Double_, 4);
+  Function F = B.take({K.A, K.C});
+  loadStoreOpt(F);
+  dce(F);
+  int Loads = 0, Shuffles = 0;
+  for (const Node &N : F.Body) {
+    const Inst &I = std::get<Inst>(N);
+    Loads += I.K == Op::VLoad && I.Address.Buf == K.C;
+    Shuffles += I.K == Op::VShuffle;
+  }
+  EXPECT_EQ(Loads, 0) << F.str();
+  EXPECT_EQ(Shuffles, 1) << F.str();
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[8], 2.0 * K.ABuf[1]);
+  EXPECT_DOUBLE_EQ(K.CBuf[9], 2.0 * K.ABuf[2]);
+  EXPECT_DOUBLE_EQ(K.CBuf[10], 2.0 * K.ABuf[4]);
+  EXPECT_DOUBLE_EQ(K.CBuf[11], 2.0 * K.ABuf[5]);
+}
+
+TEST(CirPasses, ScalarForwardingAndExtract) {
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);
+  B.vstore(B.addr(K.C, 0), V1, 4);
+  int S = B.sload(B.addr(K.C, 2)); // becomes extract lane 2 of V1
+  int D = B.sbin(Op::SAdd, S, S);
+  B.sstore(B.addr(K.C, 4), D);
+  Function F = B.take({K.A, K.C});
+  loadStoreOpt(F);
+  dce(F);
+  bool SawExtract = false;
+  for (const Node &N : F.Body) {
+    const Inst &I = std::get<Inst>(N);
+    EXPECT_NE(I.K, Op::SLoad);
+    SawExtract |= I.K == Op::VExtract;
+  }
+  EXPECT_TRUE(SawExtract);
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[4], 2.0 * K.ABuf[2]);
+}
+
+TEST(CirPasses, DeadStoreElimination) {
+  Kernel2 K;
+  FuncBuilder B("k", 1);
+  int V1 = B.sload(B.addr(K.A, 0));
+  int V2 = B.sload(B.addr(K.A, 1));
+  B.sstore(B.addr(K.C, 0), V1); // dead: overwritten below, never read
+  B.sstore(B.addr(K.C, 0), V2);
+  Function F = B.take({K.A, K.C});
+  loadStoreOpt(F);
+  dce(F);
+  int Stores = 0;
+  for (const Node &N : F.Body)
+    Stores += isStore(std::get<Inst>(N).K);
+  EXPECT_EQ(Stores, 1);
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[0], K.ABuf[1]);
+}
+
+TEST(CirPasses, RedundantLoadReuse) {
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);
+  int V2 = B.vload(B.addr(K.A, 0), 4); // redundant
+  int S = B.vbin(Op::VAdd, V1, V2);
+  B.vstore(B.addr(K.C, 0), S, 4);
+  Function F = B.take({K.A, K.C});
+  loadStoreOpt(F);
+  dce(F);
+  int Loads = 0;
+  for (const Node &N : F.Body)
+    Loads += std::get<Inst>(N).K == Op::VLoad;
+  EXPECT_EQ(Loads, 1);
+  interpret(F, K.buffers());
+  EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0 * K.ABuf[0]);
+}
+
+TEST(CirPasses, OptimizePreservesSemantics) {
+  // A mixed kernel exercised before/after the full pipeline.
+  for (int Nu : {1, 4}) {
+    Kernel2 K;
+    FuncBuilder B("k", Nu);
+    if (Nu == 1) {
+      int IV = B.beginLoop(0, 4, 1);
+      int V = B.sload(B.addr(K.A, 0, {{IV, 4}}));
+      int W = B.sload(B.addr(K.A, 0, {{IV, 4}}));
+      int M = B.sbin(Op::SMul, V, W);
+      B.sstore(B.addr(K.C, 0, {{IV, 4}}), M);
+      B.endLoop();
+    } else {
+      int V = B.vload(B.addr(K.A, 0), 4);
+      B.vstore(B.addr(K.C, 0), V, 4);
+      int R = B.vload(B.addr(K.C, 0), 4);
+      int M = B.vbin(Op::VMul, R, R);
+      B.vstore(B.addr(K.C, 4), M, 4);
+    }
+    Function F = B.take({K.A, K.C});
+    // Reference run on separate buffers bound to the same operands.
+    std::vector<double> RefA = K.ABuf, RefC = K.CBuf;
+    std::map<const Operand *, double *> RefBufs = {{K.A, RefA.data()},
+                                                   {K.C, RefC.data()}};
+    interpret(F, RefBufs);
+    optimize(F);
+    interpret(F, K.buffers());
+    EXPECT_EQ(RefC, K.CBuf) << "nu=" << Nu;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// C emitter (textual checks; compile-and-run is covered by the JIT tests).
+//===----------------------------------------------------------------------===//
+
+TEST(CEmitter, ScalarKernelText) {
+  Kernel2 K;
+  FuncBuilder B("saxpyish", 1);
+  int IV = B.beginLoop(0, 16, 1);
+  int V = B.sload(B.addr(K.A, 0, {{IV, 1}}));
+  int M = B.sbin(Op::SMul, V, V);
+  B.sstore(B.addr(K.C, 0, {{IV, 1}}), M);
+  B.endLoop();
+  Function F = B.take({K.A, K.C});
+  F.ParamWritable = {false, true};
+  std::string C = emitTranslationUnit(F);
+  EXPECT_NE(C.find("void saxpyish(const double *restrict A, "
+                   "double *restrict C)"),
+            std::string::npos)
+      << C;
+  EXPECT_NE(C.find("for (int i0 = 0; i0 < 16; i0 += 1)"), std::string::npos);
+  EXPECT_EQ(C.find("immintrin"), std::string::npos);
+}
+
+TEST(CEmitter, VectorKernelUsesIntrinsics) {
+  Kernel2 K;
+  FuncBuilder B("vk", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);
+  int V2 = B.vload(B.addr(K.A, 4), 3); // masked
+  int S = B.vbin(Op::VAdd, V1, V2);
+  int Sh = B.vshuffle(S, S, {2, 3, 0, 1});
+  int Bl = B.vshuffle(V1, V2, {0, 5, 2, 7});
+  int Fma = B.vfma(S, Sh, Bl);
+  B.vstore(B.addr(K.C, 0), Fma, 4);
+  B.vstore(B.addr(K.C, 8), S, 2);
+  Function F = B.take({K.A, K.C});
+  std::string C = emitTranslationUnit(F);
+  EXPECT_NE(C.find("_mm256_loadu_pd"), std::string::npos) << C;
+  EXPECT_NE(C.find("_mm256_maskload_pd"), std::string::npos);
+  EXPECT_NE(C.find("_mm256_maskstore_pd"), std::string::npos);
+  EXPECT_NE(C.find("_mm256_permute4x64_pd"), std::string::npos);
+  EXPECT_NE(C.find("_mm256_blend_pd"), std::string::npos);
+  EXPECT_NE(C.find("_mm256_fmadd_pd"), std::string::npos);
+  EXPECT_NE(C.find("mk3"), std::string::npos);
+}
+
+} // namespace

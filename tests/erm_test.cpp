@@ -1,0 +1,171 @@
+//===- tests/erm_test.cpp - bottleneck analysis tests ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Checks the ERM-style model on hand-built C-IR with known instruction
+// mixes, and the Table 4 qualitative shape on generated kernels: small
+// factorizations are division-bound, large ones become memory-bound.
+//===----------------------------------------------------------------------===//
+
+#include "erm/Erm.h"
+#include "la/Lower.h"
+#include "la/Programs.h"
+#include "slingen/SLinGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace slingen;
+
+namespace {
+
+cir::Function makeFunc(const std::function<void(cir::FuncBuilder &)> &Fill) {
+  cir::FuncBuilder B("probe", 4);
+  Fill(B);
+  return B.take({});
+}
+
+TEST(ErmModel, CountsScalarMix) {
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int A = B.sconst(1.0), C = B.sconst(2.0);
+    int D = B.sbin(cir::Op::SAdd, A, C);
+    int E = B.sbin(cir::Op::SMul, D, A);
+    int Q = B.sbin(cir::Op::SDiv, E, D);
+    B.ssqrt(Q);
+  });
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_EQ(A.Flops, 4);    // add, mul, div, sqrt
+  EXPECT_EQ(A.DivSqrt, 2);  // div + sqrt
+  EXPECT_EQ(A.Bottleneck, "divs/sqrt");
+  EXPECT_NEAR(A.DivCycles, 88.0, 1e-9);
+}
+
+TEST(ErmModel, LoopsMultiplyCounts) {
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int V = B.beginLoop(0, 16, 1);
+    (void)V;
+    int X = B.vconst(1.0);
+    B.vbin(cir::Op::VAdd, X, X);
+    B.endLoop();
+  });
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_EQ(A.Flops, 16 * 4);
+}
+
+TEST(ErmModel, BlendVsShuffleClassification) {
+  // Per-lane selection = blend; lane movement = shuffle.
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int X = B.vconst(1.0), Y = B.vconst(2.0);
+    B.vshuffle(X, Y, {0, 5, 2, 7});  // lanes stay: blend
+    B.vshuffle(X, Y, {1, 0, 3, 2});  // lanes move: shuffle
+    B.vshuffle(X, -1, {-1, 1, 2, 3}); // zeroing blend
+  });
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_EQ(A.Blends, 2);
+  EXPECT_EQ(A.Shuffles, 1);
+}
+
+TEST(ErmModel, LoadBoundKernel) {
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int V = B.beginLoop(0, 1024, 1);
+    Operand Dummy("buf", 1024, 8);
+    // Many loads, trivial compute.
+    for (int I = 0; I < 8; ++I)
+      B.vload(B.addr(&Dummy, I, {{V, 8}}), 4);
+    B.endLoop();
+  });
+  // Note: Dummy's address escapes only within analyze (no execution).
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_EQ(A.Bottleneck, "L1 loads");
+}
+
+TEST(ErmModel, CriticalPathChainsDivisions) {
+  // Three dependent divisions: chain = 3 * DivSqrtLatency (22 each).
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int A = B.sconst(8.0), C = B.sconst(2.0);
+    int D1 = B.sbin(cir::Op::SDiv, A, C);
+    int D2 = B.sbin(cir::Op::SDiv, D1, C);
+    B.sbin(cir::Op::SDiv, D2, C);
+  });
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_NEAR(A.CriticalPathCycles, 66.0, 1e-9);
+}
+
+TEST(ErmModel, CriticalPathSeesMemoryDependences) {
+  // Store then reload at a constant address: the chain flows through L1.
+  static Operand Buf("buf", 4, 1);
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int A = B.sconst(1.0), C = B.sconst(3.0);
+    int D = B.sbin(cir::Op::SDiv, A, C); // 22
+    B.sstore(B.addr(&Buf, 0), D);
+    int L = B.sload(B.addr(&Buf, 0));    // +4
+    B.sbin(cir::Op::SMul, L, L);         // +5
+  });
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_NEAR(A.CriticalPathCycles, 31.0, 1e-9);
+}
+
+TEST(ErmModel, IndependentWorkDoesNotChain) {
+  // 16 independent divisions: path = one latency, issue bound = 16 * 44.
+  cir::Function F = makeFunc([](cir::FuncBuilder &B) {
+    int C = B.sconst(2.0);
+    for (int I = 0; I < 16; ++I) {
+      int A = B.sconst(1.0 + I);
+      B.sbin(cir::Op::SDiv, A, C);
+    }
+  });
+  erm::Analysis A = erm::analyze(F);
+  EXPECT_NEAR(A.CriticalPathCycles, 22.0, 1e-9);
+  EXPECT_NEAR(A.DivCycles, 16 * 44.0, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Table 4 shape on generated kernels.
+//===----------------------------------------------------------------------===//
+
+erm::Analysis analyzeHlac(const std::string &Src) {
+  std::string Err;
+  auto P = la::compileLa(Src, Err);
+  EXPECT_TRUE(P) << Err;
+  GenOptions O;
+  O.Isa = &avxIsa();
+  Generator G(std::move(*P), O);
+  EXPECT_TRUE(G.isValid()) << G.error();
+  auto R = G.best(4);
+  EXPECT_TRUE(R);
+  return erm::analyze(R->Func);
+}
+
+TEST(Table4Shape, SmallPotrfIsDivisionBound) {
+  erm::Analysis A = analyzeHlac(la::potrfSource(4));
+  EXPECT_EQ(A.Bottleneck, "divs/sqrt");
+}
+
+TEST(Table4Shape, SmallTrsylIsDivisionBound) {
+  erm::Analysis A = analyzeHlac(la::trsylSource(4));
+  EXPECT_EQ(A.Bottleneck, "divs/sqrt");
+}
+
+TEST(Table4Shape, LargePotrfIsNotDivisionBound) {
+  // The division fraction decays like 1/n^2 for potrf: by n = 76 the
+  // bottleneck moves to the memory hierarchy (paper Table 4).
+  erm::Analysis A = analyzeHlac(la::potrfSource(76));
+  EXPECT_NE(A.Bottleneck, "divs/sqrt");
+}
+
+TEST(Table4Shape, IssueRateDecreasesWithSize) {
+  erm::Analysis Small = analyzeHlac(la::potrfSource(4));
+  erm::Analysis Large = analyzeHlac(la::potrfSource(40));
+  EXPECT_GT(Small.ShuffleBlendIssueRate, Large.ShuffleBlendIssueRate);
+}
+
+TEST(Table4Shape, PerfLimitsBracketed) {
+  for (int N : {4, 16, 40}) {
+    erm::Analysis A = analyzeHlac(la::potrfSource(N));
+    EXPECT_GT(A.PerfLimitShuffles, 0.0);
+    EXPECT_LE(A.PerfLimitShuffles, 8.0);
+    EXPECT_LE(A.PerfLimitShuffles, A.PerfLimitBlends + 1e-9);
+  }
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+//===- tests/expr_test.cpp - math IR, matcher, and evaluator tests --------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "expr/Evaluator.h"
+#include "expr/HlacMatch.h"
+#include "expr/Program.h"
+#include "support/Random.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+using namespace slingen;
+using namespace slingen::testdata;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Structure lattice.
+//===----------------------------------------------------------------------===//
+
+TEST(Structure, TransposeInvolution) {
+  for (StructureKind K :
+       {StructureKind::General, StructureKind::LowerTriangular,
+        StructureKind::UpperTriangular, StructureKind::SymmetricUpper,
+        StructureKind::SymmetricLower, StructureKind::Diagonal,
+        StructureKind::Zero, StructureKind::Identity})
+    EXPECT_EQ(transposedStructure(transposedStructure(K)), K);
+}
+
+TEST(Structure, MulRules) {
+  using SK = StructureKind;
+  EXPECT_EQ(mulStructure(SK::LowerTriangular, SK::LowerTriangular),
+            SK::LowerTriangular);
+  EXPECT_EQ(mulStructure(SK::UpperTriangular, SK::UpperTriangular),
+            SK::UpperTriangular);
+  EXPECT_EQ(mulStructure(SK::LowerTriangular, SK::UpperTriangular),
+            SK::General);
+  EXPECT_EQ(mulStructure(SK::Zero, SK::General), SK::Zero);
+  EXPECT_EQ(mulStructure(SK::Identity, SK::SymmetricUpper),
+            SK::SymmetricUpper);
+  EXPECT_EQ(mulStructure(SK::Diagonal, SK::LowerTriangular),
+            SK::LowerTriangular);
+}
+
+TEST(Structure, ViewOfLowerTriangular) {
+  using SK = StructureKind;
+  // 8x8 lower triangular; the (0:4, 4:8) block is strictly above the
+  // diagonal and therefore zero.
+  EXPECT_EQ(viewStructure(SK::LowerTriangular, 8, 8, 0, 4, 4, 4), SK::Zero);
+  // The (4:8, 0:4) block is below the diagonal: general.
+  EXPECT_EQ(viewStructure(SK::LowerTriangular, 8, 8, 4, 4, 0, 4),
+            SK::General);
+  // Diagonal blocks keep the structure.
+  EXPECT_EQ(viewStructure(SK::LowerTriangular, 8, 8, 4, 4, 4, 4),
+            SK::LowerTriangular);
+  // Full view keeps the structure.
+  EXPECT_EQ(viewStructure(SK::LowerTriangular, 8, 8, 0, 8, 0, 8),
+            SK::LowerTriangular);
+}
+
+TEST(Structure, AddRules) {
+  using SK = StructureKind;
+  EXPECT_EQ(addStructure(SK::Zero, SK::UpperTriangular), SK::UpperTriangular);
+  EXPECT_EQ(addStructure(SK::SymmetricUpper, SK::SymmetricUpper),
+            SK::SymmetricUpper);
+  EXPECT_EQ(addStructure(SK::LowerTriangular, SK::UpperTriangular),
+            SK::General);
+  EXPECT_EQ(addStructure(SK::Identity, SK::Diagonal), SK::Diagonal);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions.
+//===----------------------------------------------------------------------===//
+
+TEST(Expr, ShapesAndPrinting) {
+  Program P;
+  Operand *A = P.addOperand("A", 3, 4);
+  Operand *B = P.addOperand("B", 4, 2);
+  ExprPtr M = mul(view(A), view(B));
+  EXPECT_EQ(M->rows(), 3);
+  EXPECT_EQ(M->cols(), 2);
+  EXPECT_EQ(M->str(), "(A * B)");
+  ExprPtr T = trans(M);
+  EXPECT_EQ(T->rows(), 2);
+  EXPECT_EQ(T->cols(), 3);
+  // Double transpose cancels.
+  EXPECT_EQ(trans(T).get(), M.get());
+}
+
+TEST(Expr, ViewStructureAndOverlap) {
+  Program P;
+  Operand *L = P.addOperand("L", 8, 8);
+  L->Structure = StructureKind::LowerTriangular;
+  auto V1 = view(L, 0, 4, 4, 4); // strictly upper: zero
+  EXPECT_EQ(cast<ViewExpr>(V1.get())->structure(), StructureKind::Zero);
+  auto V2 = view(L, 2, 4, 2, 4);
+  auto V3 = view(L, 4, 4, 4, 4);
+  EXPECT_TRUE(cast<ViewExpr>(V2.get())->overlaps(*cast<ViewExpr>(V3.get())));
+  auto V4 = view(L, 0, 2, 0, 2);
+  EXPECT_FALSE(cast<ViewExpr>(V4.get())->overlaps(*cast<ViewExpr>(V3.get())));
+}
+
+TEST(Expr, StructureInference) {
+  Program P;
+  Operand *L = P.addOperand("L", 4, 4);
+  L->Structure = StructureKind::LowerTriangular;
+  Operand *X = P.addOperand("x", 4, 1);
+  EXPECT_EQ(inferStructure(mul(view(L), view(L))),
+            StructureKind::LowerTriangular);
+  EXPECT_EQ(inferStructure(trans(view(L))), StructureKind::UpperTriangular);
+  EXPECT_EQ(inferStructure(mul(view(L), view(X))), StructureKind::General);
+}
+
+TEST(Expr, FlopCounts) {
+  Program P;
+  Operand *A = P.addOperand("A", 4, 4);
+  Operand *B = P.addOperand("B", 4, 4);
+  Operand *C = P.addOperand("C", 4, 4);
+  C->IO = IOKind::Out;
+  EqStmt S{view(C), add(mul(view(A), view(B)), view(C))};
+  // 2*4*4*4 for the product plus 16 adds.
+  EXPECT_EQ(stmtFlops(S), 128 + 16);
+}
+
+//===----------------------------------------------------------------------===//
+// Statement classification.
+//===----------------------------------------------------------------------===//
+
+TEST(Classify, SBlacVsHlac) {
+  Program P;
+  Operand *S = P.addOperand("S", 4, 4);
+  S->Structure = StructureKind::SymmetricUpper;
+  S->IO = IOKind::Out;
+  Operand *H = P.addOperand("H", 4, 4);
+  Operand *U = P.addOperand("U", 4, 4);
+  U->Structure = StructureKind::UpperTriangular;
+  U->IO = IOKind::Out;
+
+  std::set<const Operand *> Defined{H};
+  EqStmt S1{view(S), mul(view(H), trans(view(H)))};
+  StmtInfo I1 = classifyStmt(S1, Defined);
+  EXPECT_FALSE(I1.IsHlac);
+  EXPECT_EQ(I1.Defines, S);
+  EXPECT_TRUE(Defined.count(S));
+
+  EqStmt S2{mul(trans(view(U)), view(U)), view(S)};
+  StmtInfo I2 = classifyStmt(S2, Defined);
+  EXPECT_TRUE(I2.IsHlac);
+  EXPECT_EQ(I2.Defines, U);
+}
+
+//===----------------------------------------------------------------------===//
+// HLAC matcher.
+//===----------------------------------------------------------------------===//
+
+class MatchFixture : public ::testing::Test {
+protected:
+  Program P;
+  Operand *S, *U, *L, *B, *C, *Uu;
+
+  void SetUp() override {
+    S = P.addOperand("S", 8, 8);
+    S->Structure = StructureKind::SymmetricUpper;
+    U = P.addOperand("U", 8, 8);
+    U->Structure = StructureKind::UpperTriangular;
+    U->IO = IOKind::Out;
+    L = P.addOperand("L", 8, 8);
+    L->Structure = StructureKind::LowerTriangular;
+    B = P.addOperand("B", 8, 8);
+    B->IO = IOKind::Out;
+    C = P.addOperand("C", 8, 8);
+    Uu = P.addOperand("Uu", 8, 8);
+    Uu->Structure = StructureKind::UpperTriangular;
+  }
+};
+
+TEST_F(MatchFixture, Cholesky) {
+  EqStmt S1{mul(trans(view(U)), view(U)), view(S)};
+  HlacMatch M = matchHlac(S1, U);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M.Kind, HlacKind::Chol);
+  EXPECT_TRUE(M.UpperFactor);
+  EXPECT_EQ(M.X->Op, U);
+}
+
+TEST_F(MatchFixture, TrsmLeftTransposed) {
+  EqStmt S1{mul(trans(view(U)), view(B)), view(C)};
+  // U is an output of an earlier statement here, so it is "known".
+  HlacMatch M = matchHlac(S1, B);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M.Kind, HlacKind::Trsm);
+  EXPECT_TRUE(M.LeftA);
+  EXPECT_TRUE(M.TransA);
+  EXPECT_FALSE(M.effUpperA()); // U^T is lower triangular
+}
+
+TEST_F(MatchFixture, TrsmRight) {
+  EqStmt S1{mul(view(B), view(L)), view(C)};
+  HlacMatch M = matchHlac(S1, B);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M.Kind, HlacKind::Trsm);
+  EXPECT_FALSE(M.LeftA);
+}
+
+TEST_F(MatchFixture, Sylvester) {
+  EqStmt S1{add(mul(view(L), view(B)), mul(view(B), view(Uu))), view(C)};
+  HlacMatch M = matchHlac(S1, B);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M.Kind, HlacKind::Trsyl);
+  EXPECT_EQ(M.A->Op, L);
+  EXPECT_EQ(M.B->Op, Uu);
+}
+
+TEST_F(MatchFixture, Lyapunov) {
+  EqStmt S1{add(mul(view(L), view(B)), mul(view(B), trans(view(L)))),
+            view(S)};
+  HlacMatch M = matchHlac(S1, B);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M.Kind, HlacKind::Trlya);
+  EXPECT_EQ(M.A->Op, L);
+  EXPECT_TRUE(M.TransB);
+}
+
+TEST_F(MatchFixture, TriangularInverse) {
+  EqStmt S1{view(B), invExpr(view(L))};
+  HlacMatch M = matchHlac(S1, B);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M.Kind, HlacKind::Inv);
+  EXPECT_EQ(M.A->Op, L);
+}
+
+TEST_F(MatchFixture, RejectsNonTriangularCoefficient) {
+  Operand *G = P.addOperand("G", 8, 8); // general: not solvable directly
+  EqStmt S1{mul(view(G), view(B)), view(C)};
+  HlacMatch M = matchHlac(S1, B);
+  EXPECT_FALSE(M);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluator.
+//===----------------------------------------------------------------------===//
+
+TEST(Evaluator, SBlacChain) {
+  // S = H H^T + R, computed densely.
+  int K = 6, N = 9;
+  Program P;
+  Operand *H = P.addOperand("H", K, N);
+  Operand *R = P.addOperand("R", K, K);
+  R->Structure = StructureKind::SymmetricUpper;
+  Operand *S = P.addOperand("S", K, K);
+  S->Structure = StructureKind::SymmetricUpper;
+  S->IO = IOKind::Out;
+  P.append({view(S), add(mul(view(H), trans(view(H))), view(R))});
+
+  Rng Rand(5);
+  Env E;
+  E.set(H, general(K, N, Rand));
+  E.set(R, symmetric(K, Rand));
+  evalProgram(P, E);
+
+  auto HS = E.get(H);
+  auto RS = E.get(R);
+  auto SS = E.get(S);
+  for (int I = 0; I < K; ++I)
+    for (int J = 0; J < K; ++J) {
+      double Acc = RS[I * K + J];
+      for (int Q = 0; Q < N; ++Q)
+        Acc += HS[I * N + Q] * HS[J * N + Q];
+      EXPECT_NEAR(SS[I * K + J], Acc, 1e-12);
+    }
+}
+
+TEST(Evaluator, CholeskyThenSolveWithOverwrite) {
+  // Fig. 5 of the paper: S = H H^T + R; U^T U = S; U^T B = P.
+  int K = 8;
+  Program Pr;
+  Operand *H = Pr.addOperand("H", K, K);
+  Operand *Pm = Pr.addOperand("P", K, K);
+  Pm->Structure = StructureKind::SymmetricUpper;
+  Operand *R = Pr.addOperand("R", K, K);
+  R->Structure = StructureKind::SymmetricUpper;
+  Operand *S = Pr.addOperand("S", K, K);
+  S->Structure = StructureKind::SymmetricUpper;
+  S->IO = IOKind::Out;
+  Operand *U = Pr.addOperand("U", K, K);
+  U->Structure = StructureKind::UpperTriangular;
+  U->IO = IOKind::Out;
+  U->Overwrites = S; // ow(S)
+  Operand *B = Pr.addOperand("B", K, K);
+  B->IO = IOKind::Out;
+
+  Pr.append({view(S), add(mul(view(H), trans(view(H))), view(R))});
+  Pr.append({mul(trans(view(U)), view(U)), view(S)});
+  Pr.append({mul(trans(view(U)), view(B)), view(Pm)});
+
+  Rng Rand(7);
+  Env E;
+  E.set(H, general(K, K, Rand));
+  E.set(R, spd(K, Rand));
+  E.set(Pm, symmetric(K, Rand));
+  evalProgram(Pr, E);
+
+  // Check U^T U = S where S = H H^T + R (recompute independently).
+  auto HS = E.get(H);
+  auto RS = E.get(R);
+  std::vector<double> SRef(K * K);
+  for (int I = 0; I < K; ++I)
+    for (int J = 0; J < K; ++J) {
+      double Acc = RS[I * K + J];
+      for (int Q = 0; Q < K; ++Q)
+        Acc += HS[I * K + Q] * HS[J * K + Q];
+      SRef[I * K + J] = Acc;
+    }
+  auto US = E.get(U);
+  for (int I = 0; I < K; ++I)
+    for (int J = 0; J < K; ++J) {
+      double Acc = 0.0;
+      for (int Q = 0; Q < K; ++Q)
+        Acc += US[Q * K + I] * US[Q * K + J];
+      EXPECT_NEAR(Acc, SRef[I * K + J], 1e-9);
+    }
+  // U is upper triangular with zeros below.
+  for (int I = 0; I < K; ++I)
+    for (int J = 0; J < I; ++J)
+      EXPECT_EQ(US[I * K + J], 0.0);
+  // And U^T B = P holds.
+  auto BS = E.get(B);
+  auto PS = E.get(Pm);
+  for (int I = 0; I < K; ++I)
+    for (int J = 0; J < K; ++J) {
+      double Acc = 0.0;
+      for (int Q = 0; Q < K; ++Q)
+        Acc += US[Q * K + I] * BS[Q * K + J];
+      EXPECT_NEAR(Acc, PS[I * K + J], 1e-9);
+    }
+}
+
+TEST(Evaluator, ScalarStatements) {
+  Program P;
+  Operand *A = P.addOperand("a", 1, 1);
+  Operand *B = P.addOperand("b", 1, 1);
+  Operand *C = P.addOperand("c", 1, 1);
+  C->IO = IOKind::Out;
+  // c = sqrt(a) / b - 2.
+  P.append({view(C),
+            sub(divExpr(sqrtExpr(view(A)), view(B)), constant(2.0))});
+  Env E;
+  E.set(A, {9.0});
+  E.set(B, {2.0});
+  evalProgram(P, E);
+  EXPECT_DOUBLE_EQ(E.get(C)[0], 3.0 / 2.0 - 2.0);
+}
+
+TEST(Evaluator, SubViewWrites) {
+  Program P;
+  Operand *A = P.addOperand("A", 4, 4);
+  Operand *B = P.addOperand("B", 4, 4);
+  B->IO = IOKind::InOut;
+  // B(0:2, 2:4) = A(2:4, 0:2)^T.
+  P.append({view(B, 0, 2, 2, 2), trans(view(A, 2, 2, 0, 2))});
+  Rng Rand(9);
+  Env E;
+  auto AD = general(4, 4, Rand);
+  auto BD = general(4, 4, Rand);
+  E.set(A, AD);
+  E.set(B, BD);
+  evalProgram(P, E);
+  auto BS = E.get(B);
+  for (int I = 0; I < 2; ++I)
+    for (int J = 0; J < 2; ++J)
+      EXPECT_DOUBLE_EQ(BS[I * 4 + (J + 2)], AD[(2 + J) * 4 + I]);
+  // Untouched region is preserved.
+  EXPECT_DOUBLE_EQ(BS[2 * 4 + 1], BD[2 * 4 + 1]);
+}
+
+} // namespace

@@ -1,0 +1,352 @@
+//===- tests/la_test.cpp - LA front end tests ------------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RefBlas.h"
+#include "expr/Evaluator.h"
+#include "la/Lexer.h"
+#include "la/Lower.h"
+#include "la/Parser.h"
+#include "la/Programs.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+using namespace slingen;
+using namespace slingen::testdata;
+
+namespace {
+
+std::optional<Program> compileOk(const std::string &Src) {
+  std::string Err;
+  auto P = la::compileLa(Src, Err);
+  EXPECT_TRUE(P) << Err;
+  return P;
+}
+
+void expectError(const std::string &Src, const std::string &Fragment) {
+  std::string Err;
+  auto P = la::compileLa(Src, Err);
+  EXPECT_FALSE(P) << "expected failure, got:\n" << (P ? P->str() : "");
+  EXPECT_NE(Err.find(Fragment), std::string::npos)
+      << "error was: " << Err << "\nexpected to contain: " << Fragment;
+}
+
+TEST(Lexer, TokensAndComments) {
+  std::vector<la::Token> Toks;
+  std::string Err;
+  ASSERT_TRUE(la::lex("Mat A(4, 4) <In>; # comment\nA' 1.5e-3", Toks, Err))
+      << Err;
+  ASSERT_GE(Toks.size(), 12u);
+  EXPECT_EQ(Toks[0].Kind, la::TokKind::KwMat);
+  EXPECT_EQ(Toks[1].Text, "A");
+  EXPECT_TRUE(Toks[3].IsInt);
+  la::Token &Num = Toks[Toks.size() - 2];
+  EXPECT_EQ(Num.Kind, la::TokKind::Number);
+  EXPECT_FALSE(Num.IsInt);
+  EXPECT_DOUBLE_EQ(Num.NumValue, 1.5e-3);
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  std::vector<la::Token> Toks;
+  std::string Err;
+  EXPECT_FALSE(la::lex("A @ B", Toks, Err));
+  EXPECT_NE(Err.find("unexpected character"), std::string::npos);
+}
+
+TEST(Parser, Fig5Structure) {
+  auto P = compileOk(la::fig5Source(8, 12));
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->operands().size(), 6u);
+  EXPECT_EQ(P->stmts().size(), 3u);
+  const Operand *U = P->findOperand("U");
+  ASSERT_TRUE(U);
+  EXPECT_EQ(U->Structure, StructureKind::UpperTriangular);
+  EXPECT_TRUE(U->NonSingular);
+  EXPECT_EQ(U->Overwrites, P->findOperand("S"));
+  // Statement 2 is the Cholesky HLAC.
+  std::set<const Operand *> Defined = P->initiallyDefined();
+  StmtInfo I0 = classifyStmt(P->stmts()[0], Defined);
+  EXPECT_FALSE(I0.IsHlac);
+  StmtInfo I1 = classifyStmt(P->stmts()[1], Defined);
+  EXPECT_TRUE(I1.IsHlac);
+  EXPECT_EQ(I1.Defines, U);
+}
+
+TEST(Parser, ForLoopUnrolling) {
+  auto P = compileOk(R"la(
+Vec x(6) <InOut>;
+Vec y(6) <In>;
+Sca a <In>;
+
+for (i = 0:6:2) {
+  x(i:i+2) = a * y(i:i+2);
+}
+)la");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->stmts().size(), 3u);
+  // Each unrolled statement addresses a distinct 2-element slice.
+  const auto *V = cast<ViewExpr>(P->stmts()[1].Lhs.get());
+  EXPECT_EQ(V->R0, 2);
+  EXPECT_EQ(V->rows(), 2);
+}
+
+TEST(Parser, NestedLoopsWithAffineBounds) {
+  auto P = compileOk(R"la(
+Mat A(4, 4) <InOut>;
+Sca s <In>;
+
+for (i = 0:4) {
+  for (j = i:4) {
+    A(i, j) = s * A(j, i);
+  }
+}
+)la");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->stmts().size(), 10u); // 4+3+2+1 upper-triangle updates
+}
+
+TEST(Parser, PostfixAndFunctionTranspose) {
+  auto P = compileOk(R"la(
+Mat A(3, 5) <In>;
+Mat B(5, 3) <Out>;
+Mat C(5, 3) <Out>;
+
+B = A';
+C = trans(A);
+)la");
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->stmts()[0].Rhs->str(), P->stmts()[1].Rhs->str());
+}
+
+TEST(Sema, Errors) {
+  expectError("Mat A(4, 4) <In>;\nMat A(4, 4) <In>;\n", "redeclaration");
+  expectError("Mat A(4, 3) <In, LoTri>;\n", "square");
+  expectError("Mat U(4, 4) <Out, UpTri, ow(S)>;\n", "unknown operand");
+  expectError("Mat S(4, 4) <In>;\nMat U(3, 3) <Out, ow(S)>;\n",
+              "dimension mismatch");
+  expectError("Vec x(4) <Out>;\nVec y(3) <In>;\nx = y;\n", "shape mismatch");
+  expectError("Mat A(4, 4) <In>;\nMat B(4, 4) <Out>;\nB = A * A(0:2, 0:2);\n",
+              "inner dimension mismatch");
+  expectError("Vec x(4) <Out>;\nx(2:9) = x(0:7);\n", "out of bounds");
+  expectError("Mat A(4, 4) <In>;\nMat B(4, 4) <Out>;\nB = inv(A);\n",
+              "triangular");
+  expectError("Vec x(4) <In>;\nx = x;\n", "cannot be assigned");
+  expectError("Vec x(4) <Out>;\nVec y(4) <In>;\nx = y / y;\n",
+              "scalar divisor");
+}
+
+TEST(Sema, ScalarElementAccess) {
+  auto P = compileOk(R"la(
+Mat A(4, 4) <In>;
+Sca d <Out>;
+
+d = A(2, 2) + A(1, 3) * A(3, 1);
+)la");
+  ASSERT_TRUE(P);
+  Env E;
+  Rng R(3);
+  E.set(P->findOperand("A"), general(4, 4, R));
+  evalProgram(*P, E);
+  auto AD = E.get(P->findOperand("A"));
+  EXPECT_NEAR(E.get(P->findOperand("d"))[0],
+              AD[2 * 4 + 2] + AD[1 * 4 + 3] * AD[3 * 4 + 1], 1e-14);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: the paper's application programs evaluate correctly against
+// hand-written reference math.
+//===----------------------------------------------------------------------===//
+
+TEST(Programs, KalmanAgainstDirectMath) {
+  int N = 6, K = 4;
+  auto P = compileOk(la::kalmanSource(N, K));
+  ASSERT_TRUE(P);
+
+  Rng R(101);
+  Env E;
+  auto F = general(N, N, R), B = general(N, N, R), Q = spd(N, R),
+       H = general(K, N, R), Rm = spd(K, R), P0 = spd(N, R);
+  auto U = general(N, 1, R), X0 = general(N, 1, R), Z = general(K, 1, R);
+  E.set(P->findOperand("F"), F);
+  E.set(P->findOperand("Bm"), B);
+  E.set(P->findOperand("Q"), Q);
+  E.set(P->findOperand("H"), H);
+  E.set(P->findOperand("R"), Rm);
+  E.set(P->findOperand("P"), P0);
+  E.set(P->findOperand("u"), U);
+  E.set(P->findOperand("x"), X0);
+  E.set(P->findOperand("z"), Z);
+  evalProgram(*P, E);
+
+  // Direct dense Kalman math (Table 1), using refblas-free loops.
+  auto MatVec = [&](const std::vector<double> &A, int Rr, int Cc,
+                    const std::vector<double> &V) {
+    std::vector<double> Out(Rr, 0.0);
+    for (int I = 0; I < Rr; ++I)
+      for (int J = 0; J < Cc; ++J)
+        Out[I] += A[I * Cc + J] * V[J];
+    return Out;
+  };
+  auto MatMul = [&](const std::vector<double> &A, int M, int Kk,
+                    const std::vector<double> &Bb, int Nn) {
+    std::vector<double> Out(M * Nn, 0.0);
+    for (int I = 0; I < M; ++I)
+      for (int Pp = 0; Pp < Kk; ++Pp)
+        for (int J = 0; J < Nn; ++J)
+          Out[I * Nn + J] += A[I * Kk + Pp] * Bb[Pp * Nn + J];
+    return Out;
+  };
+  auto Transpose = [&](const std::vector<double> &A, int M, int Nn) {
+    std::vector<double> Out(Nn * M);
+    for (int I = 0; I < M; ++I)
+      for (int J = 0; J < Nn; ++J)
+        Out[J * M + I] = A[I * Nn + J];
+    return Out;
+  };
+
+  // Predict.
+  std::vector<double> Y = MatVec(F, N, N, X0);
+  auto BU = MatVec(B, N, N, U);
+  for (int I = 0; I < N; ++I)
+    Y[I] += BU[I];
+  auto FP = MatMul(F, N, N, P0, N);
+  auto Yp = MatMul(FP, N, N, Transpose(F, N, N), N);
+  for (int I = 0; I < N * N; ++I)
+    Yp[I] += Q[I];
+  // Innovation covariance M3 = H Yp H^T + R and gain terms.
+  auto HY = MatMul(H, K, N, Yp, N);
+  auto M3 = MatMul(HY, K, N, Transpose(H, K, N), K);
+  for (int I = 0; I < K * K; ++I)
+    M3[I] += Rm[I];
+  // Solve M3 w = (z - H y) via refblas-grade Gaussian elimination: use
+  // Cholesky from the oracle library.
+  std::vector<double> M3f = M3;
+  ASSERT_EQ(refblas::potrfUpper(K, M3f.data(), K), 0);
+  auto V0 = MatVec(H, K, N, Y);
+  for (int I = 0; I < K; ++I)
+    V0[I] = Z[I] - V0[I];
+  std::vector<double> W = V0;
+  refblas::trsmLeft(true, true, false, K, 1, M3f.data(), K, W.data(), 1);
+  refblas::trsmLeft(true, false, false, K, 1, M3f.data(), K, W.data(), 1);
+  // x_new = y + Yp H^T w.
+  auto M2 = MatMul(Yp, N, N, Transpose(H, K, N), K);
+  auto XNew = MatVec(M2, N, K, W);
+  for (int I = 0; I < N; ++I)
+    XNew[I] += Y[I];
+
+  auto XGot = E.get(P->findOperand("x"));
+  for (int I = 0; I < N; ++I)
+    EXPECT_NEAR(XGot[I], XNew[I], 1e-8) << "x[" << I << "]";
+
+  // P_new = Yp - M2 * M3^{-1} * M2^T (via triangular solves).
+  std::vector<double> M5 = MatMul(H, K, N, Yp, N); // M1 = H Yp
+  refblas::trsmLeft(true, true, false, K, N, M3f.data(), K, M5.data(), N);
+  refblas::trsmLeft(true, false, false, K, N, M3f.data(), K, M5.data(), N);
+  auto Corr = MatMul(M2, N, K, M5, N);
+  auto PGot = E.get(P->findOperand("P"));
+  for (int I = 0; I < N * N; ++I)
+    EXPECT_NEAR(PGot[I], Yp[I] - Corr[I], 1e-8);
+}
+
+TEST(Programs, GprInvariants) {
+  int N = 8;
+  auto P = compileOk(la::gprSource(N));
+  ASSERT_TRUE(P);
+  Rng R(55);
+  Env E;
+  auto Km = spd(N, R);
+  E.set(P->findOperand("K"), Km);
+  E.set(P->findOperand("X"), general(N, N, R));
+  E.set(P->findOperand("x"), general(N, 1, R));
+  E.set(P->findOperand("y"), general(N, 1, R));
+  evalProgram(*P, E);
+
+  // lambda = y^T K^{-1} y must match a direct solve.
+  auto Y = E.get(P->findOperand("y"));
+  std::vector<double> Kf = Km;
+  ASSERT_EQ(refblas::potrfLower(N, Kf.data(), N), 0);
+  std::vector<double> T = Y;
+  refblas::trsmLeft(false, false, false, N, 1, Kf.data(), N, T.data(), 1);
+  refblas::trsmLeft(false, true, false, N, 1, Kf.data(), N, T.data(), 1);
+  double Lambda = refblas::dot(N, Y.data(), T.data());
+  EXPECT_NEAR(E.get(P->findOperand("lambda"))[0], Lambda, 1e-8);
+
+  // psi = x^T x - v^T v with v = L^{-1} X x.
+  auto Xm = E.get(P->findOperand("X"));
+  auto Xv = E.get(P->findOperand("x"));
+  std::vector<double> Kvec(N, 0.0);
+  refblas::gemv(N, N, 1.0, Xm.data(), N, false, Xv.data(), 0.0, Kvec.data());
+  std::vector<double> V = Kvec;
+  refblas::trsmLeft(false, false, false, N, 1, Kf.data(), N, V.data(), 1);
+  double Psi =
+      refblas::dot(N, Xv.data(), Xv.data()) - refblas::dot(N, V.data(),
+                                                           V.data());
+  EXPECT_NEAR(E.get(P->findOperand("psi"))[0], Psi, 1e-8);
+}
+
+TEST(Programs, L1aMatchesDirectVectorMath) {
+  int N = 12;
+  auto P = compileOk(la::l1aSource(N));
+  ASSERT_TRUE(P);
+  Rng R(77);
+  Env E;
+  auto W = general(N, N, R), A = general(N, N, R);
+  auto X0 = general(N, 1, R), Y = general(N, 1, R);
+  auto V1 = general(N, 1, R), Z1 = general(N, 1, R), V2 = general(N, 1, R),
+       Z2 = general(N, 1, R);
+  double Alpha = 0.7, Beta = 0.3, Tau = 1.1;
+  E.set(P->findOperand("W"), W);
+  E.set(P->findOperand("A"), A);
+  E.set(P->findOperand("x0"), X0);
+  E.set(P->findOperand("y"), Y);
+  E.set(P->findOperand("v1"), V1);
+  E.set(P->findOperand("z1"), Z1);
+  E.set(P->findOperand("v2"), V2);
+  E.set(P->findOperand("z2"), Z2);
+  E.set(P->findOperand("alpha"), {Alpha});
+  E.set(P->findOperand("beta"), {Beta});
+  E.set(P->findOperand("tau"), {Tau});
+  evalProgram(*P, E);
+
+  std::vector<double> Y1(N), Y2(N), X1(N, 0.0), X(N);
+  for (int I = 0; I < N; ++I) {
+    Y1[I] = Alpha * V1[I] + Tau * Z1[I];
+    Y2[I] = Alpha * V2[I] + Tau * Z2[I];
+  }
+  refblas::gemv(N, N, 1.0, W.data(), N, true, Y1.data(), 0.0, X1.data());
+  std::vector<double> T2(N, 0.0);
+  refblas::gemv(N, N, 1.0, A.data(), N, true, Y2.data(), 0.0, T2.data());
+  for (int I = 0; I < N; ++I) {
+    X1[I] -= T2[I];
+    X[I] = X0[I] + Beta * X1[I];
+  }
+  std::vector<double> Z1New = Y1, Z2New = Y2;
+  std::vector<double> WX(N, 0.0), AX(N, 0.0);
+  refblas::gemv(N, N, 1.0, W.data(), N, false, X.data(), 0.0, WX.data());
+  refblas::gemv(N, N, 1.0, A.data(), N, false, X.data(), 0.0, AX.data());
+  for (int I = 0; I < N; ++I) {
+    Z1New[I] -= WX[I];
+    Z2New[I] -= Y[I] - AX[I];
+  }
+  auto Z1Got = E.get(P->findOperand("z1"));
+  auto V1Got = E.get(P->findOperand("v1"));
+  for (int I = 0; I < N; ++I) {
+    EXPECT_NEAR(Z1Got[I], Z1New[I], 1e-10);
+    EXPECT_NEAR(V1Got[I], Alpha * V1[I] + Tau * Z1New[I], 1e-10);
+  }
+}
+
+TEST(Programs, HlacSourcesCompile) {
+  for (int N : {4, 7, 16}) {
+    EXPECT_TRUE(compileOk(la::potrfSource(N)));
+    EXPECT_TRUE(compileOk(la::trsylSource(N)));
+    EXPECT_TRUE(compileOk(la::trlyaSource(N)));
+    EXPECT_TRUE(compileOk(la::trtriSource(N)));
+  }
+}
+
+} // namespace

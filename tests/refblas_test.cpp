@@ -1,0 +1,254 @@
+//===- tests/refblas_test.cpp - oracle library validation -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The refblas routines are the numerical oracle for the whole pipeline, so
+// they are validated independently here by residual checks: a solver output
+// X is plugged back into its defining equation and the residual must vanish
+// to roundoff.
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RefBlas.h"
+#include "support/Random.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace slingen;
+using namespace slingen::refblas;
+using namespace slingen::testdata;
+
+namespace {
+
+const int Sizes[] = {1, 2, 3, 4, 5, 7, 8, 12, 16, 23, 32};
+
+class RefBlasSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefBlasSizes, GemmMatchesNaive) {
+  int N = GetParam();
+  Rng R(11 + N);
+  int M = N, K = N + 1;
+  auto A = general(M, K, R), B = general(K, N, R), C = general(M, N, R);
+  auto Ref = C;
+  for (int I = 0; I < M; ++I)
+    for (int J = 0; J < N; ++J) {
+      double Acc = 0.0;
+      for (int P = 0; P < K; ++P)
+        Acc += A[I * K + P] * B[P * N + J];
+      Ref[I * N + J] = 2.0 * Acc + 0.5 * Ref[I * N + J];
+    }
+  gemm(M, N, K, 2.0, A.data(), K, false, B.data(), N, false, 0.5, C.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(C, Ref), 1e-12);
+}
+
+TEST_P(RefBlasSizes, GemmTransposedOperands) {
+  int N = GetParam();
+  Rng R(13 + N);
+  auto A = general(N, N, R), B = general(N, N, R);
+  std::vector<double> C1(N * N, 0.0), C2(N * N, 0.0);
+  // C1 = A^T B via the transA path; C2 computed from an explicit transpose.
+  gemm(N, N, N, 1.0, A.data(), N, true, B.data(), N, false, 0.0, C1.data(),
+       N);
+  std::vector<double> AT(N * N);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      AT[J * N + I] = A[I * N + J];
+  gemm(N, N, N, 1.0, AT.data(), N, false, B.data(), N, false, 0.0, C2.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(C1, C2), 1e-13);
+
+  // B^T path.
+  std::fill(C1.begin(), C1.end(), 0.0);
+  gemm(N, N, N, 1.0, A.data(), N, false, B.data(), N, true, 0.0, C1.data(),
+       N);
+  std::vector<double> BT(N * N);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      BT[J * N + I] = B[I * N + J];
+  std::fill(C2.begin(), C2.end(), 0.0);
+  gemm(N, N, N, 1.0, A.data(), N, false, BT.data(), N, false, 0.0, C2.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(C1, C2), 1e-13);
+}
+
+TEST_P(RefBlasSizes, TrsmLeftResidual) {
+  int N = GetParam();
+  Rng R(17 + N);
+  for (bool Upper : {false, true})
+    for (bool Trans : {false, true}) {
+      auto A = Upper ? upperTri(N, R) : lowerTri(N, R);
+      auto B = general(N, N, R);
+      auto X = B;
+      trsmLeft(Upper, Trans, /*UnitDiag=*/false, N, N, A.data(), N, X.data(),
+               N);
+      // Residual op(A) X - B.
+      std::vector<double> Res(N * N, 0.0);
+      gemm(N, N, N, 1.0, A.data(), N, Trans, X.data(), N, false, 0.0,
+           Res.data(), N);
+      EXPECT_LT(maxAbsDiff(Res, B), 1e-10)
+          << "upper=" << Upper << " trans=" << Trans;
+    }
+}
+
+TEST_P(RefBlasSizes, TrsmRightResidual) {
+  int N = GetParam();
+  Rng R(19 + N);
+  for (bool Upper : {false, true})
+    for (bool Trans : {false, true}) {
+      auto A = Upper ? upperTri(N, R) : lowerTri(N, R);
+      auto B = general(N, N, R);
+      auto X = B;
+      trsmRight(Upper, Trans, /*UnitDiag=*/false, N, N, A.data(), N, X.data(),
+                N);
+      std::vector<double> Res(N * N, 0.0);
+      gemm(N, N, N, 1.0, X.data(), N, false, A.data(), N, Trans, 0.0,
+           Res.data(), N);
+      EXPECT_LT(maxAbsDiff(Res, B), 1e-10)
+          << "upper=" << Upper << " trans=" << Trans;
+    }
+}
+
+TEST_P(RefBlasSizes, PotrfUpperResidual) {
+  int N = GetParam();
+  Rng R(23 + N);
+  auto S = spd(N, R);
+  auto U = S;
+  ASSERT_EQ(potrfUpper(N, U.data(), N), 0);
+  // Strictly lower part must be zeroed (full-storage convention).
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < I; ++J)
+      EXPECT_EQ(U[I * N + J], 0.0);
+  std::vector<double> Res(N * N, 0.0);
+  gemm(N, N, N, 1.0, U.data(), N, true, U.data(), N, false, 0.0, Res.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(Res, S), 1e-9 * N);
+}
+
+TEST_P(RefBlasSizes, PotrfLowerResidual) {
+  int N = GetParam();
+  Rng R(29 + N);
+  auto S = spd(N, R);
+  auto L = S;
+  ASSERT_EQ(potrfLower(N, L.data(), N), 0);
+  std::vector<double> Res(N * N, 0.0);
+  gemm(N, N, N, 1.0, L.data(), N, false, L.data(), N, true, 0.0, Res.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(Res, S), 1e-9 * N);
+}
+
+TEST_P(RefBlasSizes, TrtriResidual) {
+  int N = GetParam();
+  Rng R(31 + N);
+  auto L = lowerTri(N, R);
+  auto X = L;
+  trtriLower(N, X.data(), N);
+  std::vector<double> Res(N * N, 0.0);
+  gemm(N, N, N, 1.0, L.data(), N, false, X.data(), N, false, 0.0, Res.data(),
+       N);
+  for (int I = 0; I < N; ++I)
+    Res[I * N + I] -= 1.0;
+  double MaxR = 0.0;
+  for (double V : Res)
+    MaxR = std::max(MaxR, std::fabs(V));
+  EXPECT_LT(MaxR, 1e-10 * N);
+
+  auto U = upperTri(N, R);
+  auto Y = U;
+  trtriUpper(N, Y.data(), N);
+  std::fill(Res.begin(), Res.end(), 0.0);
+  gemm(N, N, N, 1.0, U.data(), N, false, Y.data(), N, false, 0.0, Res.data(),
+       N);
+  for (int I = 0; I < N; ++I)
+    Res[I * N + I] -= 1.0;
+  MaxR = 0.0;
+  for (double V : Res)
+    MaxR = std::max(MaxR, std::fabs(V));
+  EXPECT_LT(MaxR, 1e-10 * N);
+}
+
+TEST_P(RefBlasSizes, TrsylResidual) {
+  int N = GetParam();
+  Rng R(37 + N);
+  auto L = lowerTri(N, R);
+  auto U = upperTri(N, R);
+  auto C = general(N, N, R);
+  auto X = C;
+  trsylLowerUpper(N, N, L.data(), N, U.data(), N, X.data(), N);
+  // Residual L X + X U - C.
+  std::vector<double> Res(N * N, 0.0);
+  gemm(N, N, N, 1.0, L.data(), N, false, X.data(), N, false, 0.0, Res.data(),
+       N);
+  gemm(N, N, N, 1.0, X.data(), N, false, U.data(), N, false, 1.0, Res.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(Res, C), 1e-10 * N);
+}
+
+TEST_P(RefBlasSizes, TrlyaResidualAndSymmetry) {
+  int N = GetParam();
+  Rng R(41 + N);
+  auto L = lowerTri(N, R);
+  auto S = symmetric(N, R);
+  auto X = S;
+  trlyaLower(N, L.data(), N, X.data(), N);
+  for (int I = 0; I < N; ++I)
+    for (int J = 0; J < N; ++J)
+      EXPECT_DOUBLE_EQ(X[I * N + J], X[J * N + I]);
+  std::vector<double> Res(N * N, 0.0);
+  gemm(N, N, N, 1.0, L.data(), N, false, X.data(), N, false, 0.0, Res.data(),
+       N);
+  gemm(N, N, N, 1.0, X.data(), N, false, L.data(), N, true, 1.0, Res.data(),
+       N);
+  EXPECT_LT(maxAbsDiff(Res, S), 1e-10 * N);
+}
+
+TEST_P(RefBlasSizes, TrmmMatchesGemm) {
+  int N = GetParam();
+  Rng R(43 + N);
+  for (bool Upper : {false, true})
+    for (bool Trans : {false, true}) {
+      auto A = Upper ? upperTri(N, R) : lowerTri(N, R);
+      auto B = general(N, N, R);
+      auto B1 = B;
+      trmmLeft(Upper, Trans, /*UnitDiag=*/false, N, N, A.data(), N, B1.data(),
+               N);
+      std::vector<double> B2(N * N, 0.0);
+      gemm(N, N, N, 1.0, A.data(), N, Trans, B.data(), N, false, 0.0,
+           B2.data(), N);
+      EXPECT_LT(maxAbsDiff(B1, B2), 1e-12)
+          << "upper=" << Upper << " trans=" << Trans;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, RefBlasSizes, ::testing::ValuesIn(Sizes));
+
+TEST(RefBlas, PotrfRejectsIndefinite) {
+  double A[4] = {1.0, 2.0, 2.0, 1.0}; // eigenvalues 3 and -1
+  EXPECT_NE(potrfUpper(2, A, 2), 0);
+}
+
+TEST(RefBlas, GemvAndDotAndAxpy) {
+  Rng R(47);
+  int M = 5, N = 7;
+  auto A = general(M, N, R);
+  auto X = general(N, 1, R);
+  std::vector<double> Y(M, 1.0);
+  gemv(M, N, 1.0, A.data(), N, false, X.data(), 0.0, Y.data());
+  for (int I = 0; I < M; ++I) {
+    double Acc = 0.0;
+    for (int J = 0; J < N; ++J)
+      Acc += A[I * N + J] * X[J];
+    EXPECT_NEAR(Y[I], Acc, 1e-13);
+  }
+  EXPECT_NEAR(dot(3, (const double[]){1, 2, 3}, (const double[]){4, 5, 6}),
+              32.0, 1e-15);
+  double V[3] = {1, 1, 1};
+  axpy(3, 2.0, (const double[]){1, 2, 3}, V);
+  EXPECT_DOUBLE_EQ(V[2], 7.0);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+//===- tests/slc_test.cpp - command-line driver tests ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// Exercises the slc binary end to end: LA file in, C out, options,
+// diagnostics. The binary path is injected by CMake.
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+namespace {
+
+#ifndef SLINGEN_SLC_PATH
+#define SLINGEN_SLC_PATH "slc"
+#endif
+
+struct RunResult {
+  int Status;
+  std::string Out;
+};
+
+RunResult runSlc(const std::string &Args) {
+  std::string OutFile = "/tmp/slc_test_" + std::to_string(getpid()) + ".out";
+  std::string Cmd = std::string(SLINGEN_SLC_PATH) + " " + Args + " > " +
+                    OutFile + " 2>&1";
+  int Status = system(Cmd.c_str());
+  std::ifstream In(OutFile);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  unlink(OutFile.c_str());
+  return {Status, SS.str()};
+}
+
+std::string writeLa(const std::string &Text) {
+  std::string Path = "/tmp/slc_test_" + std::to_string(getpid()) + ".la";
+  std::ofstream Out(Path);
+  Out << Text;
+  return Path;
+}
+
+const char *PotrfLa = "Mat A(8, 8) <In, UpSym, PD>;\n"
+                      "Mat X(8, 8) <Out, UpTri, NS>;\n"
+                      "X' * X = A;\n";
+
+TEST(Slc, EmitsCompilableLookingC) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc(Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("#include <immintrin.h>"), std::string::npos);
+  EXPECT_NE(R.Out.find("void slc_test_"), std::string::npos); // from file name
+  EXPECT_NE(R.Out.find("_mm256_"), std::string::npos);
+}
+
+TEST(Slc, ScalarIsaHasNoIntrinsics) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc("-isa scalar -name potrf8 " + Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("void potrf8("), std::string::npos);
+  EXPECT_EQ(R.Out.find("_mm256_"), std::string::npos);
+  EXPECT_EQ(R.Out.find("immintrin"), std::string::npos);
+}
+
+TEST(Slc, PrintVariants) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc("-print-variants " + Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("1 HLAC(s)"), std::string::npos);
+  EXPECT_NE(R.Out.find("3 variant(s)"), std::string::npos);
+}
+
+TEST(Slc, ExplicitVariantSelection) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc("-variant 2 -name v2kernel " + Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("void v2kernel("), std::string::npos);
+}
+
+TEST(Slc, SyntaxErrorIsDiagnosed) {
+  std::string Path = writeLa("Mat A(8, 8) <In;\n");
+  RunResult R = runSlc(Path);
+  unlink(Path.c_str());
+  EXPECT_NE(R.Status, 0);
+  EXPECT_FALSE(R.Out.empty());
+}
+
+TEST(Slc, MissingFileIsDiagnosed) {
+  RunResult R = runSlc("/nonexistent/input.la");
+  EXPECT_NE(R.Status, 0);
+  EXPECT_NE(R.Out.find("cannot open"), std::string::npos);
+}
+
+} // namespace
