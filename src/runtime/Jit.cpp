@@ -6,14 +6,18 @@
 
 #include "runtime/Jit.h"
 
+#include "isa/ISA.h"
+#include "support/File.h"
 #include "support/Format.h"
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #include <dlfcn.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace slingen;
@@ -33,13 +37,34 @@ const char *compilerPath() {
   return Env ? Env : "cc";
 }
 
+/// Appends the uniform trampolines to \p Out: `<func>_entry(double **)` for
+/// single-instance calls and, when requested, `<func>_batch_entry(int,
+/// double **)` forwarding to the batched kernel.
+void appendTrampolines(std::ostream &Out, const std::string &FuncName,
+                       int NumParams, bool WithBatchEntry) {
+  Out << "\nvoid " << FuncName << "_entry(double *const *bufs) {\n  "
+      << FuncName << "(";
+  for (int I = 0; I < NumParams; ++I)
+    Out << (I ? ", " : "") << "bufs[" << I << "]";
+  Out << ");\n}\n";
+  if (!WithBatchEntry)
+    return;
+  Out << "void " << FuncName
+      << "_batch_entry(int count, double *const *bufs) {\n  " << FuncName
+      << "_batch(count";
+  for (int I = 0; I < NumParams; ++I)
+    Out << ", bufs[" << I << "]";
+  Out << ");\n}\n";
+}
+
 } // namespace
 
 JitKernel::JitKernel(JitKernel &&O) noexcept
-    : Handle(O.Handle), Entry(O.Entry), NumParams(O.NumParams),
-      SoPath(std::move(O.SoPath)) {
+    : Handle(O.Handle), Entry(O.Entry), BatchEntry(O.BatchEntry),
+      NumParams(O.NumParams), OwnsSo(O.OwnsSo), SoPath(std::move(O.SoPath)) {
   O.Handle = nullptr;
   O.Entry = nullptr;
+  O.BatchEntry = nullptr;
 }
 
 JitKernel &JitKernel::operator=(JitKernel &&O) noexcept {
@@ -53,7 +78,7 @@ JitKernel &JitKernel::operator=(JitKernel &&O) noexcept {
 JitKernel::~JitKernel() {
   if (Handle)
     dlclose(Handle);
-  if (!SoPath.empty())
+  if (OwnsSo && !SoPath.empty())
     unlink(SoPath.c_str());
 }
 
@@ -61,9 +86,25 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
                                             const std::string &FuncName,
                                             int NumParams, std::string &Err,
                                             const std::string &ExtraFlags) {
+  CompileOptions Opts;
+  Opts.ExtraFlags = ExtraFlags;
+  return compile(CSource, FuncName, NumParams, Opts, Err);
+}
+
+std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
+                                            const std::string &FuncName,
+                                            int NumParams,
+                                            const CompileOptions &Opts,
+                                            std::string &Err) {
   std::string Base = uniqueBase();
-  std::string CPath = Base + ".c", SoPath = Base + ".so",
-              LogPath = Base + ".log";
+  std::string CPath = Base + ".c", LogPath = Base + ".log";
+  bool KeepSo = !Opts.KeepSoPath.empty();
+  // Persistent objects are compiled to a temporary and renamed into place,
+  // so concurrent processes sharing a cache directory never dlopen a
+  // half-written file.
+  std::string FinalSoPath = KeepSo ? Opts.KeepSoPath : Base + ".so";
+  std::string SoPath = KeepSo ? Opts.KeepSoPath + formatf(".tmp%d", getpid())
+                              : FinalSoPath;
 
   {
     std::ofstream Out(CPath);
@@ -72,50 +113,97 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
       return std::nullopt;
     }
     Out << CSource;
-    // Uniform entry point: the benchmark harness passes an array of
-    // buffer pointers regardless of the kernel arity.
-    Out << "\nvoid " << FuncName << "_entry(double *const *bufs) {\n  "
-        << FuncName << "(";
-    for (int I = 0; I < NumParams; ++I)
-      Out << (I ? ", " : "") << "bufs[" << I << "]";
-    Out << ");\n}\n";
+    appendTrampolines(Out, FuncName, NumParams, Opts.WithBatchEntry);
   }
 
-  std::string Cmd =
-      formatf("%s -O2 -march=native -fno-math-errno -shared -fPIC -o %s %s "
-              "-lm %s > %s 2>&1",
-              compilerPath(), SoPath.c_str(), CPath.c_str(),
-              ExtraFlags.c_str(), LogPath.c_str());
+  // Process-local objects target the host (-march=native first, so per-ISA
+  // flags appended afterwards can widen the target, e.g. avx512 kernels on
+  // an AVX-2 build machine). Persistent objects may be served to other
+  // machines from a shared cache directory, so they get only the keyed
+  // ISA's instruction sets (-mtune=native schedules for the builder
+  // without enabling anything the cache key does not promise).
+  std::string Cmd = formatf(
+      "%s -O2 %s -fno-math-errno -shared -fPIC -o %s %s -lm %s > %s 2>&1",
+      compilerPath(), KeepSo ? "-mtune=native" : "-march=native",
+      SoPath.c_str(), CPath.c_str(), Opts.ExtraFlags.c_str(),
+      LogPath.c_str());
   int Rc = system(Cmd.c_str());
   if (Rc != 0) {
-    Err = "compiler failed (" + Cmd + ")";
-    std::ifstream Log(LogPath);
-    std::string Line;
-    while (std::getline(Log, Line))
-      Err += "\n" + Line;
-    unlink(CPath.c_str());
+    int Status = WIFEXITED(Rc) ? WEXITSTATUS(Rc) : Rc;
+    Err = formatf("C compiler failed (exit %d): %s", Status, Cmd.c_str());
+    std::string Log = readFile(LogPath);
+    if (!Log.empty())
+      Err += "\n--- compiler output ---\n" + Log;
+    // The full diagnostics are already in Err; keep the offending .c only
+    // on request so a long-lived service cannot fill TMPDIR with failures.
+    if (getenv("SLINGEN_KEEP_TU"))
+      Err += "\n(translation unit kept at " + CPath + ")";
+    else
+      unlink(CPath.c_str());
     unlink(LogPath.c_str());
+    unlink(SoPath.c_str());
     return std::nullopt;
   }
   unlink(CPath.c_str());
   unlink(LogPath.c_str());
 
+  if (KeepSo && rename(SoPath.c_str(), FinalSoPath.c_str()) != 0) {
+    Err = "cannot publish " + FinalSoPath;
+    unlink(SoPath.c_str());
+    return std::nullopt;
+  }
+
+  auto K = load(FinalSoPath, FuncName, NumParams, Err, Opts.WithBatchEntry);
+  if (!K) {
+    unlink(FinalSoPath.c_str());
+    return std::nullopt;
+  }
+  K->OwnsSo = !KeepSo;
+  return K;
+}
+
+std::optional<JitKernel> JitKernel::load(const std::string &SoPath,
+                                         const std::string &FuncName,
+                                         int NumParams, std::string &Err,
+                                         bool WithBatchEntry) {
   JitKernel K;
   K.Handle = dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!K.Handle) {
     Err = formatf("dlopen failed: %s", dlerror());
-    unlink(SoPath.c_str());
     return std::nullopt;
   }
+  K.OwnsSo = false; // until a caller hands over ownership
   K.SoPath = SoPath;
   K.Entry = reinterpret_cast<EntryFn>(
       dlsym(K.Handle, (FuncName + "_entry").c_str()));
   if (!K.Entry) {
-    Err = "entry symbol not found";
+    Err = "entry symbol " + FuncName + "_entry not found in " + SoPath;
     return std::nullopt;
+  }
+  if (WithBatchEntry) {
+    K.BatchEntry = reinterpret_cast<BatchEntryFn>(
+        dlsym(K.Handle, (FuncName + "_batch_entry").c_str()));
+    if (!K.BatchEntry) {
+      Err = "batch entry symbol " + FuncName + "_batch_entry not found in " +
+            SoPath;
+      return std::nullopt;
+    }
   }
   K.NumParams = NumParams;
   return K;
+}
+
+std::string runtime::isaCompileFlags(const VectorISA &Isa) {
+  if (std::strcmp(Isa.Name, "sse2") == 0)
+    return "-msse2";
+  if (std::strcmp(Isa.Name, "avx") == 0)
+    return Isa.NeedAvx2 ? "-mavx -mavx2 -mfma" : "-mavx -mfma";
+  // The emitter only generates AVX-512F intrinsics, and hostIsa() gates
+  // execution on avx512f alone -- do not request DQ/VL here or kernels
+  // could carry instructions the runnability checks never verified.
+  if (std::strcmp(Isa.Name, "avx512") == 0)
+    return "-mavx512f -mfma";
+  return ""; // scalar: no vector extensions required
 }
 
 bool runtime::haveSystemCompiler() {

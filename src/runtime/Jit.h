@@ -9,7 +9,13 @@
 /// system C compiler into a shared object, and loads the kernel for in-
 /// process benchmarking -- the paper's "measure the generated function"
 /// step. A uniform `double **` trampoline is appended to the translation
-/// unit so kernels with any parameter count share one call interface.
+/// unit so kernels with any parameter count share one call interface; an
+/// optional `(int count, double **)` trampoline serves the batched entry
+/// point of the Sec. 5 extension.
+///
+/// Shared objects normally live in a temporary file that is removed when the
+/// kernel unloads; the KernelService disk tier instead compiles to (and
+/// reloads from) a persistent path it owns.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,10 +27,26 @@
 #include <string>
 
 namespace slingen {
+
+struct VectorISA;
+
 namespace runtime {
 
-/// A loaded kernel. Movable; unloads the shared object and removes the
-/// temporary files on destruction.
+/// Compilation controls for JitKernel::compile.
+struct CompileOptions {
+  /// Appended to the compiler command line (e.g. isaCompileFlags()).
+  std::string ExtraFlags;
+  /// When non-empty, the shared object is produced at this path and kept on
+  /// disk after the kernel unloads (the caller owns the file). When empty a
+  /// unique temporary is used and removed on destruction.
+  std::string KeepSoPath;
+  /// Also emit and bind the `<func>_batch_entry(int, double *const *)`
+  /// trampoline; requires the source to define `<func>_batch(int, ...)`.
+  bool WithBatchEntry = false;
+};
+
+/// A loaded kernel. Movable; unloads the shared object and (when it owns the
+/// file) removes it on destruction.
 class JitKernel {
 public:
   JitKernel(JitKernel &&) noexcept;
@@ -33,14 +55,41 @@ public:
 
   /// Compiles \p CSource (which must define `void FuncName(double*, ...)`
   /// with \p NumParams pointer parameters). Returns std::nullopt and fills
-  /// \p Err on failure. \p ExtraFlags are appended to the compiler command.
+  /// \p Err with the full compiler diagnostics (command, exit status, and
+  /// captured stderr) on failure. \p ExtraFlags are appended to the compiler
+  /// command.
   static std::optional<JitKernel> compile(const std::string &CSource,
                                           const std::string &FuncName,
                                           int NumParams, std::string &Err,
                                           const std::string &ExtraFlags = "");
 
+  /// As above with full control over flags, output path, and the batched
+  /// trampoline.
+  static std::optional<JitKernel> compile(const std::string &CSource,
+                                          const std::string &FuncName,
+                                          int NumParams,
+                                          const CompileOptions &Opts,
+                                          std::string &Err);
+
+  /// Loads a previously compiled shared object (see CompileOptions::
+  /// KeepSoPath). The file stays on disk when the kernel unloads. Set
+  /// \p WithBatchEntry if the object was compiled with a batched trampoline.
+  static std::optional<JitKernel> load(const std::string &SoPath,
+                                       const std::string &FuncName,
+                                       int NumParams, std::string &Err,
+                                       bool WithBatchEntry = false);
+
   /// Invokes the kernel with the given parameter buffers (size NumParams).
   void call(double *const *Buffers) const { Entry(Buffers); }
+
+  /// True when the batched entry point was compiled in.
+  bool hasBatchEntry() const { return BatchEntry != nullptr; }
+
+  /// Invokes `<func>_batch(Count, ...)` over per-parameter instance arrays
+  /// (instance b of parameter i lives at Buffers[i] + b * Rows_i * Cols_i).
+  void callBatch(int Count, double *const *Buffers) const {
+    BatchEntry(Count, Buffers);
+  }
 
   int numParams() const { return NumParams; }
 
@@ -48,11 +97,19 @@ private:
   JitKernel() = default;
 
   using EntryFn = void (*)(double *const *);
+  using BatchEntryFn = void (*)(int, double *const *);
   void *Handle = nullptr;
   EntryFn Entry = nullptr;
+  BatchEntryFn BatchEntry = nullptr;
   int NumParams = 0;
+  bool OwnsSo = true;
   std::string SoPath;
 };
+
+/// Compiler flags enabling the instruction set the emitted C for \p Isa
+/// uses. Targeting is independent of the host: an avx512 kernel generated on
+/// a non-AVX-512 machine still compiles (it just cannot run here).
+std::string isaCompileFlags(const VectorISA &Isa);
 
 /// True if a working system C compiler is available (used to skip the JIT
 /// integration tests in constrained environments).

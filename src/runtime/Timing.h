@@ -40,6 +40,29 @@ struct Measurement {
 Measurement measureCycles(const std::function<void()> &Fn, int Repeats = 30,
                           int Warmup = 3, uint64_t MinCycles = 10000);
 
+/// Measurement policy knob bundle; the autotuner uses fewer repeats than the
+/// paper-figure benchmarks since it only needs a stable ranking.
+struct MeasureOptions {
+  int Repeats = 30;
+  int Warmup = 3;
+  uint64_t MinCycles = 10000;
+};
+
+inline Measurement measureCycles(const std::function<void()> &Fn,
+                                 const MeasureOptions &O) {
+  return measureCycles(Fn, O.Repeats, O.Warmup, O.MinCycles);
+}
+
+/// True when readCycles() is backed by a real counter on this build target
+/// (measured autotuning degrades to static ranking when it is not).
+inline bool haveCycleCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  return true;
+#else
+  return false;
+#endif
+}
+
 } // namespace runtime
 } // namespace slingen
 

@@ -1,0 +1,213 @@
+//===- service/KernelCache.cpp --------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/KernelCache.h"
+
+#include "isa/ISA.h"
+#include "support/File.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace slingen;
+using namespace slingen::service;
+
+namespace fs = std::filesystem;
+
+bool KernelArtifact::hostRunnable() const {
+  return isaByName(IsaName.c_str()).Nu <= hostIsa().Nu;
+}
+
+KernelCache::KernelCache(size_t Capacity, std::string DiskDir)
+    : Cap(Capacity == 0 ? 1 : Capacity), Dir(std::move(DiskDir)) {
+  if (!Dir.empty()) {
+    std::error_code Ec;
+    fs::create_directories(Dir, Ec); // failure surfaces on first store
+  }
+}
+
+ArtifactPtr KernelCache::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end())
+    return nullptr;
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  return It->second.Artifact;
+}
+
+size_t KernelCache::insert(const ArtifactPtr &A) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Map.find(A->Key);
+  if (It != Map.end()) {
+    It->second.Artifact = A;
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return 0;
+  }
+  Lru.push_front(A->Key);
+  Map[A->Key] = Slot{A, Lru.begin()};
+  size_t Evicted = 0;
+  while (Map.size() > Cap) {
+    Map.erase(Lru.back());
+    Lru.pop_back();
+    ++Evicted;
+  }
+  return Evicted;
+}
+
+size_t KernelCache::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Map.size();
+}
+
+std::string KernelCache::cPathFor(const std::string &Key) const {
+  return Dir + "/" + Key + ".c";
+}
+std::string KernelCache::soPathFor(const std::string &Key) const {
+  return Dir + "/" + Key + ".so";
+}
+std::string KernelCache::metaPathFor(const std::string &Key) const {
+  return Dir + "/" + Key + ".meta";
+}
+
+bool KernelCache::onDisk(const std::string &Key) const {
+  if (Dir.empty())
+    return false;
+  std::error_code Ec;
+  return fs::exists(metaPathFor(Key), Ec) && fs::exists(cPathFor(Key), Ec);
+}
+
+namespace {
+
+/// Parses the `key=value` lines of a .meta file.
+std::unordered_map<std::string, std::string>
+parseMeta(const std::string &Text) {
+  std::unordered_map<std::string, std::string> KV;
+  std::stringstream SS(Text);
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    size_t Eq = Line.find('=');
+    if (Eq != std::string::npos)
+      KV[Line.substr(0, Eq)] = Line.substr(Eq + 1);
+  }
+  return KV;
+}
+
+} // namespace
+
+ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
+                                      std::string &Err) {
+  if (Dir.empty()) {
+    Err = "no disk tier configured";
+    return nullptr;
+  }
+  bool Ok = false;
+  std::string MetaText = readFile(metaPathFor(Key), &Ok);
+  if (!Ok) {
+    Err = "no disk entry for " + Key;
+    return nullptr;
+  }
+  auto KV = parseMeta(MetaText);
+  auto A = std::make_shared<KernelArtifact>();
+  A->Key = Key;
+  A->FuncName = KV["func"];
+  A->IsaName = KV["isa"];
+  A->NumParams = atoi(KV["params"].c_str());
+  A->Batched = KV["batched"] == "1";
+  A->StaticCost = atol(KV["cost"].c_str());
+  A->Measured = KV["measured"] == "1";
+  A->MeasuredCycles = atof(KV["cycles"].c_str());
+  {
+    std::stringstream CS(KV["choice"]);
+    std::string Tok;
+    while (std::getline(CS, Tok, ','))
+      if (!Tok.empty())
+        A->Choice.push_back(atoi(Tok.c_str()));
+  }
+  if (A->FuncName.empty() || A->NumParams <= 0 ||
+      (A->IsaName != "scalar" && A->IsaName != "sse2" &&
+       A->IsaName != "avx" && A->IsaName != "avx512")) {
+    Err = "corrupt meta for " + Key;
+    return nullptr;
+  }
+  A->CSource = readFile(cPathFor(Key), &Ok);
+  if (!Ok || A->CSource.empty()) {
+    Err = "missing cached source for " + Key;
+    return nullptr;
+  }
+
+  std::error_code Ec;
+  if (fs::exists(soPathFor(Key), Ec)) {
+    std::string LoadErr;
+    auto K = runtime::JitKernel::load(soPathFor(Key), A->FuncName,
+                                      A->NumParams, LoadErr, A->Batched);
+    // A stale/foreign .so is not fatal: the service recompiles from the
+    // cached source instead of failing the request.
+    if (K)
+      A->Kernel = std::make_shared<runtime::JitKernel>(std::move(*K));
+  }
+  return A;
+}
+
+bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
+  if (Dir.empty()) {
+    Err = "no disk tier configured";
+    return false;
+  }
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  // Both files are published via rename: concurrent readers (other threads
+  // or other processes sharing the directory) never see torn content.
+  std::string CTmp = cPathFor(A.Key) + formatf(".tmp%d", getpid());
+  {
+    std::ofstream Out(CTmp);
+    Out << A.CSource;
+    Out.close();
+    // An ENOSPC/EIO-truncated temp must not be renamed under the content
+    // key -- that would publish a permanently corrupt entry.
+    if (!Out) {
+      Err = "cannot write " + CTmp;
+      unlink(CTmp.c_str());
+      return false;
+    }
+  }
+  if (rename(CTmp.c_str(), cPathFor(A.Key).c_str()) != 0) {
+    Err = "cannot publish " + cPathFor(A.Key);
+    unlink(CTmp.c_str());
+    return false;
+  }
+  std::string Tmp = metaPathFor(A.Key) + formatf(".tmp%d", getpid());
+  {
+    std::ofstream Out(Tmp);
+    Out << "func=" << A.FuncName << "\n";
+    Out << "isa=" << A.IsaName << "\n";
+    Out << "params=" << A.NumParams << "\n";
+    Out << "batched=" << (A.Batched ? 1 : 0) << "\n";
+    Out << "cost=" << A.StaticCost << "\n";
+    Out << "measured=" << (A.Measured ? 1 : 0) << "\n";
+    Out << "cycles=" << formatf("%.17g", A.MeasuredCycles) << "\n";
+    Out << "choice=";
+    for (size_t I = 0; I < A.Choice.size(); ++I)
+      Out << (I ? "," : "") << A.Choice[I];
+    Out << "\n";
+    Out.close();
+    if (!Out) {
+      Err = "cannot write " + Tmp;
+      unlink(Tmp.c_str());
+      return false;
+    }
+  }
+  if (rename(Tmp.c_str(), metaPathFor(A.Key).c_str()) != 0) {
+    Err = "cannot publish " + metaPathFor(A.Key);
+    unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,136 @@
+//===- service/KernelCache.h - content-addressed kernel cache -------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-tier cache behind KernelService. Entries are immutable
+/// KernelArtifacts addressed by a stable content key (see
+/// Generator::fingerprint()):
+///
+///   memory tier  a thread-safe LRU of shared_ptr<const KernelArtifact>;
+///                eviction only drops the cache reference, in-flight users
+///                keep the kernel loaded.
+///   disk tier    optional directory persisting, per key, the emitted C
+///                (`<key>.c`), the compiled shared object (`<key>.so`) and
+///                a metadata file (`<key>.meta`) with the function name,
+///                arity, winning choice vector, and tuning provenance --
+///                enough for a fresh process to re-serve the kernel without
+///                generating or compiling anything.
+///
+/// The cache never invokes the generator or the compiler itself; the
+/// service compiles straight to soPathFor(key) when persisting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SERVICE_KERNELCACHE_H
+#define SLINGEN_SERVICE_KERNELCACHE_H
+
+#include "runtime/Jit.h"
+
+#include <cassert>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slingen {
+namespace service {
+
+/// One served kernel: the emitted C, its provenance, and (when a compiler
+/// was available) the loaded shared object. Immutable once published.
+struct KernelArtifact {
+  std::string Key;      ///< 16-hex content key
+  std::string CSource;  ///< full translation unit (batched TU when Batched)
+  std::string FuncName; ///< base kernel symbol
+  std::string IsaName;  ///< target ISA name ("avx", ...)
+  int NumParams = 0;
+  bool Batched = false;          ///< has the `<func>_batch` entry point
+  std::vector<int> Choice;       ///< winning per-HLAC variant indices
+  long StaticCost = 0;           ///< static model estimate (cycles)
+  bool Measured = false;         ///< Choice was picked by measurement
+  double MeasuredCycles = 0.0;   ///< median cycles of the winner (if Measured)
+  std::shared_ptr<const runtime::JitKernel> Kernel; ///< null: source-only
+
+  bool isCallable() const { return Kernel != nullptr; }
+
+  /// True when this host can execute the target ISA. A callable artifact
+  /// for a wider ISA is still served (shared caches are built on machines
+  /// wider than the fleet) but invoking it here would fault -- check this
+  /// before call()/callBatch() whenever the request ISA is not hostIsa().
+  bool hostRunnable() const;
+
+  /// Single-instance dispatch (requires isCallable() && hostRunnable()).
+  void call(double *const *Buffers) const {
+    assert(Kernel && "call() on a source-only artifact");
+    Kernel->call(Buffers);
+  }
+
+  /// Batched dispatch over \p Count contiguous instances per parameter
+  /// (requires a Batched, callable artifact).
+  void callBatch(int Count, double *const *Buffers) const {
+    assert(Kernel && Kernel->hasBatchEntry() &&
+           "callBatch() needs a batched artifact");
+    Kernel->callBatch(Count, Buffers);
+  }
+};
+
+using ArtifactPtr = std::shared_ptr<const KernelArtifact>;
+
+class KernelCache {
+public:
+  /// \p Capacity bounds the memory tier (>= 1); \p DiskDir enables the disk
+  /// tier when non-empty (created on demand).
+  explicit KernelCache(size_t Capacity, std::string DiskDir = "");
+
+  /// Memory-tier lookup; refreshes LRU position on hit.
+  ArtifactPtr lookup(const std::string &Key);
+
+  /// Publishes \p A in the memory tier. Returns the number of entries
+  /// evicted to make room.
+  size_t insert(const ArtifactPtr &A);
+
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+
+  bool hasDiskTier() const { return !Dir.empty(); }
+  const std::string &diskDir() const { return Dir; }
+
+  std::string cPathFor(const std::string &Key) const;
+  std::string soPathFor(const std::string &Key) const;
+  std::string metaPathFor(const std::string &Key) const;
+
+  /// True when the disk tier has a complete source+meta entry for \p Key.
+  bool onDisk(const std::string &Key) const;
+
+  /// Reconstructs an artifact from the disk tier: reads meta + C and, when
+  /// `<key>.so` is present and loadable, attaches the kernel (the file
+  /// stays owned by the cache directory). Returns null and fills \p Err
+  /// when no usable entry exists.
+  ArtifactPtr loadFromDisk(const std::string &Key, std::string &Err);
+
+  /// Persists source + metadata for \p A (the .so, if any, was already
+  /// published at soPathFor(key) by JitKernel::compile). Both files are
+  /// written via rename so concurrent readers never see a torn entry.
+  bool storeToDisk(const KernelArtifact &A, std::string &Err);
+
+private:
+  struct Slot {
+    ArtifactPtr Artifact;
+    std::list<std::string>::iterator LruIt;
+  };
+
+  mutable std::mutex Mu;
+  size_t Cap;
+  std::string Dir;
+  std::list<std::string> Lru; ///< front = most recent
+  std::unordered_map<std::string, Slot> Map;
+};
+
+} // namespace service
+} // namespace slingen
+
+#endif // SLINGEN_SERVICE_KERNELCACHE_H

@@ -1,0 +1,242 @@
+//===- service/KernelService.cpp ------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/KernelService.h"
+
+#include "isa/ISA.h"
+#include "la/Lower.h"
+#include "service/Tuner.h"
+#include "support/Hash.h"
+
+using namespace slingen;
+using namespace slingen::service;
+
+KernelService::KernelService(ServiceConfig Config)
+    : Cfg(std::move(Config)), Cache(Cfg.MemCapacity, Cfg.CacheDir) {}
+
+KernelService::~KernelService() = default;
+
+bool KernelService::compilerUsable() const {
+  return Cfg.UseCompiler && runtime::haveSystemCompiler();
+}
+
+namespace {
+
+/// Content key of one request: (normalized program, options) fingerprint
+/// with the batched bit mixed in, as fixed-width hex.
+std::string requestKey(const Generator &G, bool Batched) {
+  Fnv1a64 H;
+  H.num(G.fingerprint());
+  H.boolean(Batched);
+  return hexDigest(H.digest());
+}
+
+} // namespace
+
+GetResult KernelService::get(const std::string &LaSource,
+                             const GenOptions &Options, bool Batched) {
+  std::string Err;
+  auto P = la::compileLa(LaSource, Err);
+  if (!P) {
+    ++Errors;
+    return {nullptr, "parse error: " + Err};
+  }
+  return get(std::move(*P), Options, Batched);
+}
+
+GetResult KernelService::get(Program P, const GenOptions &Options,
+                             bool Batched) {
+  return getImpl(Generator(std::move(P), Options), Batched);
+}
+
+GetResult KernelService::getImpl(Generator G, bool Batched) {
+  if (!G.isValid()) {
+    ++Errors;
+    return {nullptr, "normalization failed: " + G.error()};
+  }
+  std::string Key = requestKey(G, Batched);
+
+  std::shared_ptr<Flight> F;
+  bool Leader = false;
+  {
+    std::lock_guard<std::mutex> L(FlightMu);
+    if (ArtifactPtr A = Cache.lookup(Key)) {
+      ++MemHits;
+      return {A, {}};
+    }
+    auto It = Inflight.find(Key);
+    if (It != Inflight.end()) {
+      F = It->second;
+      ++FlightJoins;
+    } else {
+      F = std::make_shared<Flight>();
+      F->Future = F->Promise.get_future().share();
+      Inflight.emplace(Key, F);
+      Leader = true;
+      ++Misses;
+    }
+  }
+  if (!Leader)
+    return F->Future.get(); // blocks until the leader publishes
+
+  // The flight MUST be resolved on every path: an unfulfilled promise
+  // would block current joiners forever and a stale Inflight entry would
+  // wedge the key for all future requests.
+  std::string Err;
+  ArtifactPtr A;
+  try {
+    A = produce(Key, G, Batched, Err);
+  } catch (const std::exception &E) {
+    Err = std::string("internal error: ") + E.what();
+  } catch (...) {
+    Err = "internal error";
+  }
+  GetResult R{A, A ? std::string() : Err};
+  try {
+    std::lock_guard<std::mutex> L(FlightMu);
+    if (A)
+      Evictions += static_cast<long>(Cache.insert(A));
+    else
+      ++Errors;
+    Inflight.erase(Key);
+  } catch (...) {
+    // Cache publication failed (allocation); the flight still resolves --
+    // joiners get the artifact, only the memory tier misses out.
+    std::lock_guard<std::mutex> L(FlightMu);
+    Inflight.erase(Key);
+  }
+  F->Promise.set_value(R);
+  return R;
+}
+
+ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
+                                   bool Batched, std::string &Err) {
+  const GenOptions &O = G.options();
+  const std::string IsaFlags = runtime::isaCompileFlags(*O.Isa);
+  bool Compile = compilerUsable();
+
+  // Disk tier first: a complete entry skips generation entirely, and an
+  // entry whose .so is missing or stale still skips generation (recompile
+  // from the persisted source).
+  if (Cache.hasDiskTier() && Cache.onDisk(Key)) {
+    std::string DiskErr;
+    if (ArtifactPtr A = Cache.loadFromDisk(Key, DiskErr)) {
+      ++DiskHits;
+      if (A->Kernel || !Compile)
+        return A;
+      auto Fresh = std::make_shared<KernelArtifact>(*A);
+      runtime::CompileOptions CO;
+      CO.ExtraFlags = IsaFlags;
+      CO.KeepSoPath = Cache.soPathFor(Key);
+      CO.WithBatchEntry = Batched;
+      std::string CompileErr;
+      ++Compilations;
+      auto K = runtime::JitKernel::compile(Fresh->CSource, Fresh->FuncName,
+                                           Fresh->NumParams, CO, CompileErr);
+      if (!K) {
+        Err = "recompile of cached entry failed: " + CompileErr;
+        return nullptr;
+      }
+      Fresh->Kernel = std::make_shared<runtime::JitKernel>(std::move(*K));
+      return Fresh;
+    }
+  }
+
+  // Generate. Measured tuning needs a compiler; otherwise (and on explicit
+  // request) the static cost model ranks the variants.
+  ++Generations;
+  TuneOptions TO;
+  TO.TopK = Cfg.TuneTopK;
+  TO.MaxVariants = Cfg.MaxVariants;
+  TO.Measure.Repeats = Cfg.MeasureRepeats;
+  TO.ExtraFlags = IsaFlags;
+  std::optional<TuneResult> Tuned;
+  if (Cfg.Measure && Compile) {
+    ++TunerRuns;
+    Tuned = tuneKernel(G, TO, Err);
+  } else {
+    TuneResult Static;
+    if (auto R = G.best(Cfg.MaxVariants))
+      Static.Result = std::move(*R);
+    else {
+      Err = "generation failed (infeasible variant?)";
+      return nullptr;
+    }
+    Tuned = std::move(Static);
+  }
+  if (!Tuned)
+    return nullptr;
+
+  auto A = std::make_shared<KernelArtifact>();
+  A->Key = Key;
+  A->FuncName = Tuned->Result.Func.Name;
+  A->IsaName = O.Isa->Name;
+  A->NumParams = static_cast<int>(Tuned->Result.Func.Params.size());
+  A->Batched = Batched;
+  A->Choice = Tuned->Result.Choice;
+  A->StaticCost = Tuned->Result.Cost;
+  A->Measured = Tuned->Measured;
+  A->MeasuredCycles = Tuned->MedianCycles;
+  A->CSource = Batched ? emitBatchedC(Tuned->Result) : emitC(Tuned->Result);
+
+  if (Compile) {
+    runtime::CompileOptions CO;
+    CO.ExtraFlags = IsaFlags;
+    CO.WithBatchEntry = Batched;
+    if (Cache.hasDiskTier())
+      CO.KeepSoPath = Cache.soPathFor(Key);
+    std::string CompileErr;
+    ++Compilations;
+    auto K = runtime::JitKernel::compile(A->CSource, A->FuncName,
+                                         A->NumParams, CO, CompileErr);
+    if (!K) {
+      Err = "generated C failed to compile: " + CompileErr;
+      return nullptr;
+    }
+    A->Kernel = std::make_shared<runtime::JitKernel>(std::move(*K));
+  }
+
+  if (Cache.hasDiskTier()) {
+    std::string StoreErr;
+    // Persistence failure degrades to memory-only serving; the request
+    // itself still succeeds.
+    Cache.storeToDisk(*A, StoreErr);
+  }
+  return A;
+}
+
+GetResult KernelService::dispatchBatch(const std::string &LaSource,
+                                       const GenOptions &Options, int Count,
+                                       double *const *Buffers) {
+  GetResult R = get(LaSource, Options, /*Batched=*/true);
+  if (!R)
+    return R;
+  if (!R->isCallable()) {
+    ++Errors;
+    return {nullptr, "batched kernel is source-only (no compiler available)"};
+  }
+  if (!R->hostRunnable()) {
+    ++Errors;
+    return {nullptr,
+            "kernel targets " + R->IsaName + ", which this host cannot run"};
+  }
+  R->callBatch(Count, Buffers);
+  return R;
+}
+
+ServiceStats KernelService::stats() const {
+  ServiceStats S;
+  S.MemHits = MemHits.load();
+  S.DiskHits = DiskHits.load();
+  S.Misses = Misses.load();
+  S.FlightJoins = FlightJoins.load();
+  S.Generations = Generations.load();
+  S.Compilations = Compilations.load();
+  S.TunerRuns = TunerRuns.load();
+  S.Evictions = Evictions.load();
+  S.Errors = Errors.load();
+  return S;
+}

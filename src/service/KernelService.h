@@ -1,0 +1,147 @@
+//===- service/KernelService.h - cached, measured kernel serving ----------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// KernelService turns the one-shot SLinGen generator into a serving
+/// runtime. A request names an LA program (source text or a lowered
+/// Program) plus GenOptions; the service answers with an immutable
+/// KernelArtifact -- emitted C, provenance, and a loaded, callable kernel
+/// when a compiler is available. Three mechanisms make repeated and
+/// concurrent traffic cheap:
+///
+///   caching        artifacts are content-addressed by a stable hash of the
+///                  *normalized* program + options + ISA and served from a
+///                  thread-safe in-memory LRU, backed by an optional disk
+///                  tier that survives the process (see KernelCache).
+///   single-flight  N threads missing on the same key trigger exactly one
+///                  generate+compile; the rest block on a shared future and
+///                  receive the same artifact.
+///   measured tuning  with Config.Measure the top-K enumerated variants are
+///                  JIT-compiled and timed (median of k), and the winning
+///                  choice vector is persisted with the cache entry; where
+///                  measurement is impossible the static cost model ranks
+///                  (see Tuner).
+///
+/// Batched requests (Batched=true, the paper's Sec. 5 extension) are cached
+/// under their own key and dispatch `count` independent problem instances
+/// through the `<func>_batch` entry point in one call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SERVICE_KERNELSERVICE_H
+#define SLINGEN_SERVICE_KERNELSERVICE_H
+
+#include "service/KernelCache.h"
+#include "slingen/SLinGen.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace slingen {
+namespace service {
+
+struct ServiceConfig {
+  /// Memory-tier LRU capacity (loaded kernels kept hot).
+  size_t MemCapacity = 64;
+  /// Disk-tier directory; empty disables persistence.
+  std::string CacheDir;
+  /// Rank variants by measurement instead of the static model alone.
+  bool Measure = false;
+  int TuneTopK = 4;       ///< candidates measured when Measure is set
+  int MaxVariants = 16;   ///< variant enumeration budget
+  int MeasureRepeats = 9; ///< timed runs per candidate (median taken)
+  /// Master switch for the C compiler. Off: the service serves source-only
+  /// artifacts and tuning falls back to the static model (also what
+  /// happens when no system compiler exists).
+  bool UseCompiler = true;
+};
+
+/// Counter snapshot for observability and test instrumentation.
+struct ServiceStats {
+  long MemHits = 0;      ///< served from the in-memory LRU
+  long DiskHits = 0;     ///< served from the disk tier
+  long Misses = 0;       ///< neither tier had the key
+  long FlightJoins = 0;  ///< requests that piggybacked on an in-flight miss
+  long Generations = 0;  ///< times the generator pipeline actually ran
+  long Compilations = 0; ///< C compiler invocations for served artifacts
+  long TunerRuns = 0;    ///< measured-tuning sessions
+  long Evictions = 0;    ///< memory-tier LRU evictions
+  long Errors = 0;       ///< failed requests
+};
+
+/// get() outcome: an artifact or an error message.
+struct GetResult {
+  ArtifactPtr Kernel;
+  std::string Error;
+
+  explicit operator bool() const { return Kernel != nullptr; }
+  const KernelArtifact *operator->() const { return Kernel.get(); }
+  const KernelArtifact &operator*() const { return *Kernel; }
+};
+
+class KernelService {
+public:
+  explicit KernelService(ServiceConfig Config = {});
+  ~KernelService();
+
+  KernelService(const KernelService &) = delete;
+  KernelService &operator=(const KernelService &) = delete;
+
+  /// Serves the kernel for LA source text \p LaSource under \p Options.
+  /// Parsing + normalization always run (they define the cache key); HLAC
+  /// expansion, tiling, the pass pipeline, and the C compiler only run on a
+  /// miss. Safe to call from many threads.
+  GetResult get(const std::string &LaSource, const GenOptions &Options,
+                bool Batched = false);
+
+  /// As above for an already-lowered program.
+  GetResult get(Program P, const GenOptions &Options, bool Batched = false);
+
+  /// Batch dispatch (paper Sec. 5): obtains the batched kernel for
+  /// \p LaSource and applies it to \p Count contiguous instances per
+  /// parameter (instance b of parameter i at Buffers[i] + b*Rows_i*Cols_i).
+  /// Fails when no compiler is available or the kernel's ISA cannot run on
+  /// this host.
+  GetResult dispatchBatch(const std::string &LaSource,
+                          const GenOptions &Options, int Count,
+                          double *const *Buffers);
+
+  ServiceStats stats() const;
+  const ServiceConfig &config() const { return Cfg; }
+
+  /// Memory-tier occupancy (for tests and monitoring).
+  size_t cachedKernels() const { return Cache.size(); }
+
+private:
+  struct Flight {
+    std::promise<GetResult> Promise;
+    std::shared_future<GetResult> Future;
+  };
+
+  GetResult getImpl(Generator G, bool Batched);
+  ArtifactPtr produce(const std::string &Key, const Generator &G,
+                      bool Batched, std::string &Err);
+  bool compilerUsable() const;
+
+  ServiceConfig Cfg;
+  KernelCache Cache;
+
+  std::mutex FlightMu;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> Inflight;
+
+  mutable std::atomic<long> MemHits{0}, DiskHits{0}, Misses{0},
+      FlightJoins{0}, Generations{0}, Compilations{0}, TunerRuns{0},
+      Evictions{0}, Errors{0};
+};
+
+} // namespace service
+} // namespace slingen
+
+#endif // SLINGEN_SERVICE_KERNELSERVICE_H

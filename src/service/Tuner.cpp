@@ -1,0 +1,99 @@
+//===- service/Tuner.cpp --------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Tuner.h"
+
+#include "expr/Operand.h"
+#include "isa/ISA.h"
+#include "runtime/Jit.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace slingen;
+using namespace slingen::service;
+
+namespace {
+
+/// Deterministic parameter buffers in [1, 2): positive, denormal-free data
+/// so divisions and square roots inside the candidates time realistically.
+/// Refilled identically before each candidate so in-place kernels (which
+/// overwrite their operands between repeats) are ranked on equal inputs.
+void fillBuffers(const GenResult &R, std::vector<std::vector<double>> &Store,
+                 std::vector<double *> &Bufs) {
+  Store.clear();
+  Bufs.clear();
+  uint64_t Seed = 0x5eedULL;
+  for (const Operand *P : R.Func.Params) {
+    Rng Rand(Seed += 0x9e3779b97f4a7c15ULL);
+    auto &Buf = Store.emplace_back(static_cast<size_t>(P->Rows) * P->Cols);
+    for (double &V : Buf)
+      V = Rand.uniform(1.0, 2.0);
+  }
+  for (auto &S : Store)
+    Bufs.push_back(S.data());
+}
+
+} // namespace
+
+std::optional<TuneResult> service::tuneKernel(const Generator &G,
+                                              const TuneOptions &T,
+                                              std::string &Err) {
+  std::vector<GenResult> All = G.enumerate(T.MaxVariants);
+  if (All.empty()) {
+    Err = "no feasible variant";
+    return std::nullopt;
+  }
+
+  TuneResult Best;
+  // Static fallback (enumerate() already sorted by the cost model) when we
+  // cannot compile, cannot time, or the target ISA is wider than the host
+  // can execute -- running such a candidate would fault, not measure.
+  if (!runtime::haveSystemCompiler() || !runtime::haveCycleCounter() ||
+      G.options().Isa->Nu > hostIsa().Nu) {
+    Best.Result = std::move(All.front());
+    return Best;
+  }
+
+  int TopK = std::min<int>(std::max(T.TopK, 1), static_cast<int>(All.size()));
+  int BestIdx = -1;
+  double BestCycles = 0.0;
+  std::string LastCompileErr;
+  for (int I = 0; I < TopK; ++I) {
+    std::string C = emitC(All[I]);
+    std::string CompileErr;
+    auto K = runtime::JitKernel::compile(
+        C, All[I].Func.Name, static_cast<int>(All[I].Func.Params.size()),
+        CompileErr, T.ExtraFlags);
+    if (!K) {
+      LastCompileErr = CompileErr;
+      continue;
+    }
+    ++Best.CandidatesMeasured;
+    std::vector<std::vector<double>> Store;
+    std::vector<double *> Bufs;
+    fillBuffers(All[I], Store, Bufs);
+    runtime::Measurement M = runtime::measureCycles(
+        [&] { K->call(Bufs.data()); }, T.Measure);
+    if (BestIdx < 0 || M.Median < BestCycles) {
+      BestIdx = I;
+      BestCycles = M.Median;
+    }
+  }
+
+  if (BestIdx < 0) {
+    // Every candidate failed to compile (e.g. cross-ISA flags the local
+    // compiler rejects): fall back to the static ranking rather than fail.
+    Err = LastCompileErr;
+    Best.Result = std::move(All.front());
+    return Best;
+  }
+  Best.Result = std::move(All[BestIdx]);
+  Best.Measured = true;
+  Best.MedianCycles = BestCycles;
+  return Best;
+}

@@ -1,0 +1,53 @@
+//===- service/Tuner.h - measured variant autotuning ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "measure the generated function" autotuning step, fully
+/// wired: the static cost model pre-ranks Generator::enumerate() output,
+/// the top-K candidates are JIT-compiled and timed with median-of-k runs on
+/// deterministic inputs, and the fastest measured variant wins. When the
+/// environment cannot measure (no system C compiler, no cycle counter, or
+/// no candidate compiles), tuning degrades to the static ranking -- the
+/// same policy Generator::best() implements -- and says so in the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SERVICE_TUNER_H
+#define SLINGEN_SERVICE_TUNER_H
+
+#include "runtime/Timing.h"
+#include "slingen/SLinGen.h"
+
+#include <optional>
+#include <string>
+
+namespace slingen {
+namespace service {
+
+struct TuneOptions {
+  int TopK = 4;         ///< candidates measured (by static-cost rank)
+  int MaxVariants = 16; ///< Generator::enumerate() budget
+  runtime::MeasureOptions Measure{/*Repeats=*/9, /*Warmup=*/2,
+                                  /*MinCycles=*/10000};
+  std::string ExtraFlags; ///< compiler flags (e.g. isaCompileFlags)
+};
+
+struct TuneResult {
+  GenResult Result;
+  bool Measured = false;      ///< ranking came from real timings
+  double MedianCycles = 0.0;  ///< winner's median (when Measured)
+  int CandidatesMeasured = 0; ///< JIT compiles the tuner performed
+};
+
+/// Picks the best variant of \p G. Returns std::nullopt (with \p Err) only
+/// when no variant can be generated at all.
+std::optional<TuneResult> tuneKernel(const Generator &G, const TuneOptions &T,
+                                     std::string &Err);
+
+} // namespace service
+} // namespace slingen
+
+#endif // SLINGEN_SERVICE_TUNER_H

@@ -12,6 +12,7 @@
 #include "lgen/Tiler.h"
 #include "lgen/VectorRules.h"
 #include "slingen/Normalize.h"
+#include "support/Hash.h"
 
 #include <algorithm>
 #include <cassert>
@@ -170,6 +171,43 @@ long blockCost(const std::vector<cir::Node> &Body) {
 } // namespace
 
 long slingen::staticCost(const cir::Function &F) { return blockCost(F.Body); }
+
+//===----------------------------------------------------------------------===//
+// Content fingerprints (cache keys).
+//===----------------------------------------------------------------------===//
+
+uint64_t slingen::programFingerprint(const Program &P) {
+  // Program::str() prints declarations (name, shape, structure, IO, ow
+  // chains) and every statement, which is exactly the content a cache key
+  // must cover; temporaries get deterministic names, so the text is stable.
+  Fnv1a64 H;
+  H.str(P.str());
+  return H.digest();
+}
+
+uint64_t slingen::optionsFingerprint(const GenOptions &O) {
+  Fnv1a64 H;
+  H.str(O.Isa->Name);
+  H.num(O.BlockSize);
+  H.num(O.UnrollTiles);
+  H.num(O.UnrollK);
+  H.num(O.UnrollMaxTrip);
+  H.boolean(O.ApplyVectorRules);
+  H.boolean(O.EnableUnroll);
+  H.boolean(O.EnableCse);
+  H.boolean(O.EnableLoadStoreOpt);
+  H.boolean(O.EnableDce);
+  H.str(O.FuncName);
+  return H.digest();
+}
+
+uint64_t Generator::fingerprint() const {
+  assert(Valid && "fingerprint() on an invalid program");
+  Fnv1a64 H;
+  H.num(programFingerprint(Src));
+  H.num(optionsFingerprint(O));
+  return H.digest();
+}
 
 //===----------------------------------------------------------------------===//
 // Generator.

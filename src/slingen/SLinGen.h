@@ -80,6 +80,17 @@ cir::Function compileBasicProgram(Program &P, const GenOptions &O);
 /// pre-rank variants without measuring.
 long staticCost(const cir::Function &F);
 
+/// Stable 64-bit content hash of a program: declarations (names, shapes,
+/// structures, IO kinds) and statements. Equal programs hash equal across
+/// processes and library versions, so the hash can key a persistent cache.
+/// Hash the *normalized* program (Generator::normalized()) so syntactically
+/// different but normalization-equivalent sources share cache entries.
+uint64_t programFingerprint(const Program &P);
+
+/// Stable hash of everything in \p O that changes the emitted C: the target
+/// ISA, blocking, unroll budgets, pass toggles, and the function name.
+uint64_t optionsFingerprint(const GenOptions &O);
+
 class Generator {
 public:
   /// Takes ownership of \p Source; normalization runs immediately.
@@ -104,11 +115,16 @@ public:
   /// Cheapest result of enumerate() (cost-model autotuning).
   std::optional<GenResult> best(int MaxVariants = 16) const;
 
+  /// Content key of (normalized program, options); the KernelService cache
+  /// key. Only valid on a valid generator.
+  uint64_t fingerprint() const;
+
   /// Algorithm-reuse database accumulated across generate() calls
   /// (paper Stage 1a).
   const flame::Database &database() const { return DB; }
 
   const Program &normalized() const { return Src; }
+  const GenOptions &options() const { return O; }
 
 private:
   Program Src;

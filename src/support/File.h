@@ -1,0 +1,35 @@
+//===- support/File.h - small file helpers --------------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-file reading, shared by the JIT (compiler logs) and the kernel
+/// cache disk tier (persisted sources and metadata).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_FILE_H
+#define SLINGEN_SUPPORT_FILE_H
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace slingen {
+
+/// Reads all of \p Path; \p Ok (when provided) reports whether the file
+/// could be opened (an unreadable file yields an empty string).
+inline std::string readFile(const std::string &Path, bool *Ok = nullptr) {
+  std::ifstream In(Path);
+  if (Ok)
+    *Ok = static_cast<bool>(In);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_FILE_H

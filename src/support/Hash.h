@@ -1,0 +1,65 @@
+//===- support/Hash.h - stable content hashing ----------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a 64-bit hashing for cache keys. std::hash is implementation-defined
+/// and may change across processes/library versions; the KernelService disk
+/// tier needs keys that are stable across both, so everything that feeds a
+/// cache key goes through this hasher.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_HASH_H
+#define SLINGEN_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace slingen {
+
+/// Incremental FNV-1a over bytes, strings, and integers.
+class Fnv1a64 {
+public:
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ULL;
+    }
+  }
+
+  /// Hashes length then content, so ("ab","c") != ("a","bc").
+  void str(const std::string &S) {
+    num(static_cast<uint64_t>(S.size()));
+    bytes(S.data(), S.size());
+  }
+
+  void num(uint64_t V) { bytes(&V, sizeof(V)); }
+  void num(int V) { num(static_cast<uint64_t>(static_cast<int64_t>(V))); }
+  void boolean(bool V) { num(static_cast<uint64_t>(V ? 1 : 0)); }
+
+  uint64_t digest() const { return H; }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ULL;
+};
+
+/// Fixed-width lowercase hex of a 64-bit digest (16 chars, no prefix) --
+/// the on-disk cache entry naming scheme.
+inline std::string hexDigest(uint64_t H) {
+  static const char *Hex = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[I] = Hex[H & 0xf];
+    H >>= 4;
+  }
+  return S;
+}
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_HASH_H

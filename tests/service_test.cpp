@@ -1,0 +1,390 @@
+//===- tests/service_test.cpp - KernelService subsystem tests --------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+// The serving runtime: content-addressed caching (memory LRU + disk tier),
+// single-flight concurrent generation, the measured autotuner and its
+// static fallback, and batched dispatch. Tests that need the C compiler or
+// vector execution on the host are gated; the cache/single-flight/fallback
+// logic is exercised everywhere.
+//===----------------------------------------------------------------------===//
+
+#include "la/Lower.h"
+#include "la/Programs.h"
+#include "runtime/Timing.h"
+#include "service/KernelService.h"
+#include "slingen/SLinGen.h"
+#include "support/Hash.h"
+#include "support/Random.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <stdlib.h>
+
+using namespace slingen;
+using namespace slingen::service;
+using namespace slingen::testdata;
+
+namespace {
+
+GenOptions hostOpts(const std::string &Name) {
+  GenOptions O;
+  O.Isa = &hostIsa();
+  O.FuncName = Name;
+  return O;
+}
+
+/// RAII temporary directory for disk-tier tests.
+struct TempDir {
+  TempDir() {
+    char Tmpl[] = "/tmp/slingen_service_XXXXXX";
+    Path = mkdtemp(Tmpl);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string Path;
+};
+
+TEST(ServiceCache, RepeatedGetHitsMemoryTier) {
+  KernelService S;
+  std::string Src = la::potrfSource(8);
+  GenOptions O = hostOpts("potrf8");
+
+  GetResult First = S.get(Src, O);
+  ASSERT_TRUE(First) << First.Error;
+  ASSERT_EQ(S.stats().Misses, 1);
+  ASSERT_EQ(S.stats().Generations, 1);
+  long CompilesAfterFirst = S.stats().Compilations;
+
+  GetResult Second = S.get(Src, O);
+  ASSERT_TRUE(Second);
+  // The acceptance bar: a repeated get() returns the cached kernel without
+  // re-invoking the generator or the C compiler.
+  EXPECT_EQ(Second.Kernel.get(), First.Kernel.get());
+  EXPECT_EQ(S.stats().MemHits, 1);
+  EXPECT_EQ(S.stats().Generations, 1);
+  EXPECT_EQ(S.stats().Compilations, CompilesAfterFirst);
+  EXPECT_FALSE(First->CSource.empty());
+  EXPECT_EQ(First->Key.size(), 16u);
+}
+
+TEST(ServiceCache, DistinctProgramsAndOptionsGetDistinctEntries) {
+  KernelService S;
+  GetResult A = S.get(la::potrfSource(8), hostOpts("k8"));
+  GetResult B = S.get(la::potrfSource(12), hostOpts("k12"));
+  ASSERT_TRUE(A && B);
+  EXPECT_NE(A->Key, B->Key);
+  EXPECT_EQ(S.cachedKernels(), 2u);
+  // Same program, different ISA: also distinct.
+  GenOptions Scalar;
+  Scalar.Isa = &scalarIsa();
+  Scalar.FuncName = "k8";
+  GetResult C = S.get(la::potrfSource(8), Scalar);
+  ASSERT_TRUE(C);
+  EXPECT_NE(C->Key, A->Key);
+  EXPECT_EQ(S.stats().Generations, 3);
+}
+
+TEST(ServiceCache, LruEvictionBoundsMemoryTier) {
+  ServiceConfig C;
+  C.MemCapacity = 2;
+  C.UseCompiler = false; // eviction logic is compiler-independent
+  KernelService S(C);
+  GenOptions O;
+  O.Isa = &scalarIsa();
+
+  O.FuncName = "p6";
+  ASSERT_TRUE(S.get(la::potrfSource(6), O));
+  O.FuncName = "p8";
+  ASSERT_TRUE(S.get(la::potrfSource(8), O));
+  O.FuncName = "p10";
+  ASSERT_TRUE(S.get(la::potrfSource(10), O));
+
+  EXPECT_EQ(S.cachedKernels(), 2u);
+  EXPECT_EQ(S.stats().Evictions, 1);
+  EXPECT_EQ(S.stats().Generations, 3);
+
+  // p6 was least recently used and must have been evicted: a fresh get
+  // re-generates it.
+  O.FuncName = "p6";
+  ASSERT_TRUE(S.get(la::potrfSource(6), O));
+  EXPECT_EQ(S.stats().Generations, 4);
+
+  // p10 survived: served from memory.
+  O.FuncName = "p10";
+  ASSERT_TRUE(S.get(la::potrfSource(10), O));
+  EXPECT_EQ(S.stats().Generations, 4);
+  EXPECT_EQ(S.stats().MemHits, 1);
+}
+
+TEST(ServiceCache, DiskTierServesFreshServiceInstance) {
+  TempDir Dir;
+  std::string Src = la::potrfSource(8);
+  GenOptions O = hostOpts("potrf_disk");
+
+  ArtifactPtr FirstArtifact;
+  {
+    ServiceConfig C;
+    C.CacheDir = Dir.Path;
+    KernelService S1(C);
+    GetResult R = S1.get(Src, O);
+    ASSERT_TRUE(R) << R.Error;
+    FirstArtifact = R.Kernel;
+    EXPECT_EQ(S1.stats().Generations, 1);
+    EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/" + R->Key + ".meta"));
+    EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/" + R->Key + ".c"));
+  }
+
+  // A second service instance pointed at the same directory serves the
+  // kernel without generating or compiling anything.
+  ServiceConfig C2;
+  C2.CacheDir = Dir.Path;
+  KernelService S2(C2);
+  GetResult R2 = S2.get(Src, O);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_EQ(S2.stats().DiskHits, 1);
+  EXPECT_EQ(S2.stats().Generations, 0);
+  EXPECT_EQ(S2.stats().Compilations, 0);
+  EXPECT_EQ(R2->Key, FirstArtifact->Key);
+  EXPECT_EQ(R2->CSource, FirstArtifact->CSource);
+  EXPECT_EQ(R2->Choice, FirstArtifact->Choice);
+  EXPECT_EQ(R2->StaticCost, FirstArtifact->StaticCost);
+
+  if (!runtime::haveSystemCompiler())
+    return;
+  // The reloaded kernel is callable and agrees with the original.
+  ASSERT_TRUE(FirstArtifact->isCallable());
+  ASSERT_TRUE(R2->isCallable());
+  const int N = 8;
+  Rng Rand(3);
+  std::vector<double> A = spd(N, Rand);
+  std::vector<double> X1(N * N, 0.0), X2(N * N, 0.0), ACopy = A;
+  double *Bufs1[2] = {A.data(), X1.data()};
+  FirstArtifact->call(Bufs1);
+  double *Bufs2[2] = {ACopy.data(), X2.data()};
+  R2->call(Bufs2);
+  EXPECT_LT(maxAbsDiff(X1, X2), 1e-14);
+  double Nonzero = 0.0;
+  for (double V : X1)
+    Nonzero += std::fabs(V);
+  EXPECT_GT(Nonzero, 0.0);
+}
+
+TEST(ServiceCache, DiskEntryWithoutSoIsRecompiledNotRegenerated) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  TempDir Dir;
+  std::string Src = la::potrfSource(8);
+  GenOptions O = hostOpts("potrf_resurrect");
+  std::string Key;
+  {
+    ServiceConfig C;
+    C.CacheDir = Dir.Path;
+    KernelService S1(C);
+    GetResult R = S1.get(Src, O);
+    ASSERT_TRUE(R) << R.Error;
+    Key = R->Key;
+  }
+  // Simulate a cache rsync'd without binaries (or a stale .so wiped by an
+  // operator): source + meta survive, the object does not.
+  std::filesystem::remove(Dir.Path + "/" + Key + ".so");
+
+  ServiceConfig C2;
+  C2.CacheDir = Dir.Path;
+  KernelService S2(C2);
+  GetResult R2 = S2.get(Src, O);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_EQ(S2.stats().Generations, 0); // no re-generation...
+  EXPECT_EQ(S2.stats().Compilations, 1); // ...just a recompile
+  EXPECT_TRUE(R2->isCallable());
+  EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/" + Key + ".so"));
+}
+
+TEST(ServiceFlight, ConcurrentMissesTriggerOneGeneration) {
+  ServiceConfig C;
+  C.UseCompiler = false; // keep the hammer portable and deterministic
+  KernelService S(C);
+  std::string Src = la::kalmanSource(8, 8); // multi-HLAC: generation is slow
+  GenOptions O;
+  O.Isa = &scalarIsa();
+  O.FuncName = "kf_flight";
+
+  const int NumThreads = 8;
+  std::atomic<int> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<ArtifactPtr> Results(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      ++Ready;
+      while (!Go.load())
+        std::this_thread::yield();
+      GetResult R = S.get(Src, O);
+      Results[T] = R.Kernel;
+    });
+  while (Ready.load() < NumThreads)
+    std::this_thread::yield();
+  Go = true;
+  for (auto &T : Threads)
+    T.join();
+
+  ServiceStats St = S.stats();
+  EXPECT_EQ(St.Generations, 1) << "single-flight must dedup generation";
+  EXPECT_EQ(St.Misses, 1);
+  EXPECT_EQ(St.MemHits + St.FlightJoins, NumThreads - 1);
+  for (int T = 0; T < NumThreads; ++T) {
+    ASSERT_TRUE(Results[T] != nullptr);
+    EXPECT_EQ(Results[T].get(), Results[0].get())
+        << "all requesters share one artifact";
+  }
+}
+
+TEST(ServiceTuner, FallsBackToStaticCostWithoutCompiler) {
+  ServiceConfig C;
+  C.Measure = true;
+  C.UseCompiler = false; // same path haveSystemCompiler()==false takes
+  KernelService S(C);
+  std::string Src = la::potrfSource(8);
+  GenOptions O = hostOpts("potrf_fb");
+
+  GetResult R = S.get(Src, O);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_FALSE(R->Measured);
+  EXPECT_EQ(R->MeasuredCycles, 0.0);
+  EXPECT_FALSE(R->isCallable());
+  EXPECT_FALSE(R->CSource.empty());
+  EXPECT_EQ(S.stats().TunerRuns, 0);
+  EXPECT_EQ(S.stats().Compilations, 0);
+
+  // The fallback ranking matches the cost-model policy of Generator::best.
+  std::string Err;
+  auto P = la::compileLa(Src, Err);
+  ASSERT_TRUE(P) << Err;
+  Generator G(std::move(*P), O);
+  ASSERT_TRUE(G.isValid());
+  auto Best = G.best(C.MaxVariants);
+  ASSERT_TRUE(Best);
+  EXPECT_EQ(R->StaticCost, Best->Cost);
+  EXPECT_EQ(R->Choice, Best->Choice);
+}
+
+TEST(ServiceTuner, MeasuresAndPersistsWinningChoice) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  if (!runtime::haveCycleCounter())
+    GTEST_SKIP() << "no cycle counter on this target";
+  TempDir Dir;
+  ServiceConfig C;
+  C.Measure = true;
+  C.CacheDir = Dir.Path;
+  C.MeasureRepeats = 5; // tuning only needs a stable ranking
+  KernelService S(C);
+  std::string Src = la::potrfSource(8); // 3 algorithmic variants
+  GenOptions O = hostOpts("potrf_tuned");
+
+  GetResult R = S.get(Src, O);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(R->Measured);
+  EXPECT_GT(R->MeasuredCycles, 0.0);
+  EXPECT_EQ(S.stats().TunerRuns, 1);
+
+  // The winning choice vector and tuning provenance survive in the disk
+  // tier and come back in a fresh service.
+  ServiceConfig C2;
+  C2.CacheDir = Dir.Path;
+  KernelService S2(C2);
+  GetResult R2 = S2.get(Src, O);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_EQ(S2.stats().DiskHits, 1);
+  EXPECT_EQ(S2.stats().Generations, 0);
+  EXPECT_TRUE(R2->Measured);
+  EXPECT_EQ(R2->Choice, R->Choice);
+  EXPECT_NEAR(R2->MeasuredCycles, R->MeasuredCycles, 1e-6);
+}
+
+TEST(ServiceBatch, DispatchMatchesIndividualCalls) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  KernelService S;
+  const int N = 8, Count = 4;
+  std::string Src = la::potrfSource(N);
+  GenOptions O = hostOpts("potrf_srv");
+
+  // Reference: the plain (non-batched) artifact, one call per instance.
+  GetResult Single = S.get(Src, O);
+  ASSERT_TRUE(Single) << Single.Error;
+  ASSERT_TRUE(Single->isCallable());
+  ASSERT_EQ(Single->NumParams, 2); // A (in), X (out)
+
+  std::vector<double> ARef(Count * N * N), XRef(Count * N * N, 0.0);
+  std::vector<double> ABatch, XBatch(Count * N * N, 0.0);
+  for (int B = 0; B < Count; ++B) {
+    Rng Rand(500 + B);
+    auto A = spd(N, Rand);
+    std::copy(A.begin(), A.end(), ARef.begin() + B * N * N);
+  }
+  ABatch = ARef;
+  for (int B = 0; B < Count; ++B) {
+    double *Bufs[2] = {ARef.data() + B * N * N, XRef.data() + B * N * N};
+    Single->call(Bufs);
+  }
+
+  // Batched: one dispatch over contiguous instance arrays.
+  double *Bufs[2] = {ABatch.data(), XBatch.data()};
+  GetResult Batched = S.dispatchBatch(Src, O, Count, Bufs);
+  ASSERT_TRUE(Batched) << Batched.Error;
+  EXPECT_TRUE(Batched->Batched);
+  EXPECT_NE(Batched->Key, Single->Key)
+      << "batched kernels get their own cache entry";
+  EXPECT_LT(maxAbsDiff(XBatch, XRef), 1e-12);
+
+  // Second dispatch reuses the cached batched kernel.
+  long Gens = S.stats().Generations;
+  std::fill(XBatch.begin(), XBatch.end(), 0.0);
+  ABatch = ARef;
+  GetResult Again = S.dispatchBatch(Src, O, Count, Bufs);
+  ASSERT_TRUE(Again) << Again.Error;
+  EXPECT_EQ(S.stats().Generations, Gens);
+  EXPECT_LT(maxAbsDiff(XBatch, XRef), 1e-12);
+}
+
+TEST(ServiceKey, FingerprintIsStableAndContentSensitive) {
+  // Equal sources (modulo whitespace) hash equal; different content or
+  // options hash differently.
+  std::string A = "Mat A(8, 8) <In, UpSym, PD>;\n"
+                  "Mat X(8, 8) <Out, UpTri, NS>;\n"
+                  "X' * X = A;\n";
+  std::string B = "Mat A(8, 8)   <In, UpSym, PD>;\n\n"
+                  "Mat X(8, 8) <Out, UpTri, NS>;\n"
+                  "X' * X   =   A;\n";
+  std::string Err;
+  auto PA = la::compileLa(A, Err);
+  auto PB = la::compileLa(B, Err);
+  ASSERT_TRUE(PA && PB);
+  EXPECT_EQ(programFingerprint(*PA), programFingerprint(*PB));
+
+  auto PC = la::compileLa(la::potrfSource(12), Err);
+  ASSERT_TRUE(PC);
+  EXPECT_NE(programFingerprint(*PA), programFingerprint(*PC));
+
+  GenOptions O1, O2;
+  O2.Isa = &scalarIsa();
+  EXPECT_NE(optionsFingerprint(O1), optionsFingerprint(O2));
+  GenOptions O3;
+  EXPECT_EQ(optionsFingerprint(O1), optionsFingerprint(O3));
+
+  EXPECT_EQ(hexDigest(0), "0000000000000000");
+  EXPECT_EQ(hexDigest(0xdeadbeefULL), "00000000deadbeef");
+}
+
+} // namespace

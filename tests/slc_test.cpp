@@ -88,6 +88,37 @@ TEST(Slc, ExplicitVariantSelection) {
   EXPECT_NE(R.Out.find("void v2kernel("), std::string::npos);
 }
 
+TEST(Slc, BatchFlagEmitsBatchEntry) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc("-batch -name potrfb " + Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("void potrfb("), std::string::npos);
+  EXPECT_NE(R.Out.find("void potrfb_batch(int count"), std::string::npos);
+}
+
+TEST(Slc, CacheDirServesIdenticalOutputAcrossRuns) {
+  std::string Path = writeLa(PotrfLa);
+  std::string Dir = "/tmp/slc_test_cache_" + std::to_string(getpid());
+  std::string Args = "-cache-dir " + Dir + " -name potrfc " + Path;
+  RunResult First = runSlc(Args);
+  RunResult Second = runSlc(Args); // fresh process: served from disk
+  unlink(Path.c_str());
+  EXPECT_EQ(First.Status, 0) << First.Out;
+  EXPECT_EQ(Second.Status, 0) << Second.Out;
+  EXPECT_EQ(First.Out, Second.Out);
+  EXPECT_NE(First.Out.find("cache key:"), std::string::npos);
+  system(("rm -rf " + Dir).c_str());
+}
+
+TEST(Slc, MeasureFlagIsAcceptedAndAnnotates) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc("-measure -isa scalar -name potrfm " + Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("void potrfm("), std::string::npos);
+}
+
 TEST(Slc, SyntaxErrorIsDiagnosed) {
   std::string Path = writeLa("Mat A(8, 8) <In;\n");
   RunResult R = runSlc(Path);

@@ -1,0 +1,35 @@
+#!/bin/sh
+# tools/check.sh - the single CI entry point.
+#
+# Runs the tier-1 verify line (configure, build, ctest) followed by an slc
+# smoke test over examples/. Exits non-zero on the first failure.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure =="
+cmake -B "$BUILD" -S "$ROOT"
+
+echo "== build =="
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== ctest =="
+(cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+
+echo "== slc smoke =="
+SMOKE_OUT=$(mktemp)
+SMOKE_CACHE=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"' EXIT
+for LA in "$ROOT"/examples/*.la; do
+  echo "-- slc $(basename "$LA")"
+  "$BUILD/slc" -isa avx "$LA" > "$SMOKE_OUT"
+  grep -q "immintrin.h" "$SMOKE_OUT"
+  "$BUILD/slc" -batch -cache-dir "$SMOKE_CACHE" "$LA" > "$SMOKE_OUT"
+  grep -q "_batch(int count" "$SMOKE_OUT"
+  # Second run must serve the identical kernel from the disk cache.
+  "$BUILD/slc" -batch -cache-dir "$SMOKE_CACHE" "$LA" | cmp -s - "$SMOKE_OUT"
+done
+
+echo "check.sh: all green"

@@ -14,13 +14,20 @@
 //     -variant <n,...> per-HLAC algorithm choice (default: autotune by
 //                      cost model)
 //     -max-variants N  autotuning search budget (default 16)
+//     -measure         rank variants by JIT-compiled timings (KernelService
+//                      measured autotuner; falls back to the cost model
+//                      when no C compiler is available)
+//     -cache-dir <dir> persist/reuse kernels in a KernelService disk cache
+//     -batch           also emit the <name>_batch(int count, ...) entry
 //     -print-basic     also print the Stage 1 basic program to stderr
 //     -print-variants  list HLACs and their variant counts, then exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "la/Lower.h"
+#include "service/KernelService.h"
 #include "slingen/SLinGen.h"
+#include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
@@ -41,6 +48,10 @@ void usage(const char *Argv0) {
           "  -name <ident>     generated function name\n"
           "  -variant <n,...>  per-HLAC algorithm indices\n"
           "  -max-variants N   autotuning search budget (default 16)\n"
+          "  -measure          rank variants by measured cycles (needs a C\n"
+          "                    compiler; falls back to the static model)\n"
+          "  -cache-dir <dir>  persist/reuse compiled kernels across runs\n"
+          "  -batch            also emit <name>_batch(int count, ...)\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
           "  -print-variants   list HLAC variant counts and exit\n",
           Argv0);
@@ -64,9 +75,10 @@ std::string baseName(const std::string &Path) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Input, Output, Isa = "avx", Name, VariantStr;
+  std::string Input, Output, Isa = "avx", Name, VariantStr, CacheDir;
   int MaxVariants = 16;
-  bool PrintBasic = false, PrintVariants = false;
+  bool PrintBasic = false, PrintVariants = false, Measure = false,
+       Batch = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -87,6 +99,12 @@ int main(int argc, char **argv) {
       VariantStr = Next();
     else if (Arg == "-max-variants")
       MaxVariants = atoi(Next());
+    else if (Arg == "-measure")
+      Measure = true;
+    else if (Arg == "-cache-dir")
+      CacheDir = Next();
+    else if (Arg == "-batch")
+      Batch = true;
     else if (Arg == "-print-basic")
       PrintBasic = true;
     else if (Arg == "-print-variants")
@@ -128,45 +146,78 @@ int main(int argc, char **argv) {
   GenOptions Options;
   Options.Isa = &isaByName(Isa.c_str());
   Options.FuncName = Name.empty() ? baseName(Input) : Name;
-  Generator Gen(std::move(*Program), Options);
-  if (!Gen.isValid()) {
-    fprintf(stderr, "%s: %s\n", Input.c_str(), Gen.error().c_str());
-    return 1;
-  }
 
-  if (PrintVariants) {
-    printf("%d HLAC(s)\n", Gen.hlacCount());
-    for (size_t I = 0; I < Gen.variantCounts().size(); ++I)
-      printf("  hlac %zu: %d variant(s)\n", I, Gen.variantCounts()[I]);
-    return 0;
-  }
-
-  std::optional<GenResult> Result;
-  if (!VariantStr.empty()) {
-    std::vector<int> Choice;
-    std::stringstream VS(VariantStr);
-    std::string Tok;
-    while (std::getline(VS, Tok, ','))
-      Choice.push_back(atoi(Tok.c_str()));
-    Result = Gen.generate(Choice);
-  } else {
-    Result = Gen.best(MaxVariants);
-  }
-  if (!Result) {
-    fprintf(stderr, "%s: generation failed (infeasible variant?)\n",
-            Input.c_str());
-    return 1;
-  }
-
-  if (PrintBasic)
-    fprintf(stderr, "/* Stage 1 basic program:\n%s*/\n",
-            Result->Basic.str().c_str());
+  bool UseService = (Measure || !CacheDir.empty()) && VariantStr.empty() &&
+                    !PrintVariants;
+  if (!VariantStr.empty() && (Measure || !CacheDir.empty()))
+    fprintf(stderr, "warning: -variant bypasses -measure/-cache-dir\n");
 
   std::string C;
-  C += "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
-  C += " * ISA: " + Isa + ", static cost estimate: " +
-       std::to_string(Result->Cost) + " cycles. */\n";
-  C += emitC(*Result);
+  if (UseService) {
+    // Serving-runtime path: cached across runs (disk tier) and optionally
+    // ranked by measurement instead of the static model. The program is
+    // handed over as-is; the service normalizes it once for the cache key.
+    service::ServiceConfig SC;
+    SC.CacheDir = CacheDir;
+    SC.Measure = Measure;
+    SC.MaxVariants = MaxVariants;
+    service::KernelService Service(SC);
+    service::GetResult R = Service.get(std::move(*Program), Options, Batch);
+    if (!R) {
+      fprintf(stderr, "%s: %s\n", Input.c_str(), R.Error.c_str());
+      return 1;
+    }
+    if (PrintBasic)
+      fprintf(stderr, "/* -print-basic is unavailable with "
+                      "-measure/-cache-dir (cache hits skip Stage 1) */\n");
+    C += "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
+    C += " * ISA: " + Isa + ", cache key: " + R->Key +
+         ", static cost estimate: " + std::to_string(R->StaticCost) +
+         " cycles";
+    if (R->Measured)
+      C += formatf(", measured median: %.1f cycles", R->MeasuredCycles);
+    C += ". */\n";
+    C += R->CSource;
+  } else {
+    Generator Gen(std::move(*Program), Options);
+    if (!Gen.isValid()) {
+      fprintf(stderr, "%s: %s\n", Input.c_str(), Gen.error().c_str());
+      return 1;
+    }
+
+    if (PrintVariants) {
+      printf("%d HLAC(s)\n", Gen.hlacCount());
+      for (size_t I = 0; I < Gen.variantCounts().size(); ++I)
+        printf("  hlac %zu: %d variant(s)\n", I, Gen.variantCounts()[I]);
+      return 0;
+    }
+
+    std::optional<GenResult> Result;
+    if (!VariantStr.empty()) {
+      std::vector<int> Choice;
+      std::stringstream VS(VariantStr);
+      std::string Tok;
+      while (std::getline(VS, Tok, ','))
+        Choice.push_back(atoi(Tok.c_str()));
+      Result = Gen.generate(Choice);
+    } else {
+      Result = Gen.best(MaxVariants);
+    }
+    if (!Result) {
+      fprintf(stderr, "%s: generation failed (infeasible variant?)\n",
+              Input.c_str());
+      return 1;
+    }
+
+    if (PrintBasic)
+      fprintf(stderr, "/* Stage 1 basic program:\n%s*/\n",
+              Result->Basic.str().c_str());
+
+    C += "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
+    C += " * ISA: " + Isa + ", static cost estimate: " +
+         std::to_string(Result->Cost) + " cycles. */\n";
+    C += Batch ? emitBatchedC(*Result) : emitC(*Result);
+  }
 
   if (Output.empty()) {
     fputs(C.c_str(), stdout);
