@@ -1,0 +1,162 @@
+//===- bench/batch_strategies.cpp - ScalarLoop vs InstanceParallel ---------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compares the two batched codegen strategies (see slingen::BatchStrategy)
+// head to head on potrf across tiny sizes {4, 8, 16} and batch counts
+// {32, 1024}: the workload shape the paper's Sec. 5 "batched computations"
+// sketch targets. A google-benchmark binary so `tools/bench_batch.sh` can
+// record BENCH_batch.json for the perf trajectory.
+//
+// Skips cleanly (registering no benchmarks, still writing valid JSON when
+// --benchmark_out is given) when no system C compiler is available or the
+// host has no vector ISA to parallelize across.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "la/Lower.h"
+#include "la/Programs.h"
+#include "runtime/Jit.h"
+#include "slingen/SLinGen.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace slingen;
+
+namespace {
+
+/// One compiled batched kernel plus its instance buffers, shared by every
+/// count-variant of the benchmark (registered lambdas copy the shared_ptr).
+struct BatchBench {
+  runtime::JitKernel Kernel;
+  std::vector<std::vector<double>> Store; ///< per-param, MaxCount instances
+  std::vector<double *> Bufs;
+
+  BatchBench(runtime::JitKernel K) : Kernel(std::move(K)) {}
+};
+
+constexpr int MaxCount = 1024;
+
+/// potrf inputs: count SPD instances for A, zeros for X. potrf reads A and
+/// writes X only, so timed runs need no refill.
+std::shared_ptr<BatchBench> makeBench(const GenResult &R,
+                                      const std::string &CSource,
+                                      const std::string &IsaFlags, int N) {
+  runtime::CompileOptions CO;
+  CO.ExtraFlags = IsaFlags;
+  CO.WithBatchEntry = true;
+  std::string Err;
+  auto K = runtime::JitKernel::compile(
+      CSource, R.Func.Name, static_cast<int>(R.Func.Params.size()), CO, Err);
+  if (!K) {
+    fprintf(stderr, "batch_strategies: jit failed: %s\n", Err.c_str());
+    return nullptr;
+  }
+  auto B = std::make_shared<BatchBench>(std::move(*K));
+  for (const Operand *P : R.Func.Params) {
+    size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
+    B->Store.emplace_back(Sz * MaxCount, 0.0);
+  }
+  for (size_t I = 0; I < R.Func.Params.size(); ++I) {
+    if (R.Func.Params[I]->Name != "A")
+      continue;
+    for (int Inst = 0; Inst < MaxCount; ++Inst) {
+      Rng Rand(100 + Inst);
+      std::vector<double> Mat = bench::randSpd(N, Rand);
+      std::copy(Mat.begin(), Mat.end(),
+                B->Store[I].begin() + static_cast<size_t>(Inst) * N * N);
+    }
+  }
+  for (auto &S : B->Store)
+    B->Bufs.push_back(S.data());
+  return B;
+}
+
+void registerSize(int N) {
+  std::string Err;
+  auto P = la::compileLa(la::potrfSource(N), Err);
+  if (!P) {
+    fprintf(stderr, "batch_strategies: %s\n", Err.c_str());
+    return;
+  }
+  GenOptions O;
+  O.Isa = &hostIsa();
+  O.FuncName = "potrf" + std::to_string(N);
+  Generator G(std::move(*P), O);
+  auto R = G.best(3);
+  if (!R) {
+    fprintf(stderr, "batch_strategies: generation failed for n=%d\n", N);
+    return;
+  }
+  const std::string IsaFlags = runtime::isaCompileFlags(*O.Isa);
+  bool UsedVector = false;
+  std::string VecSource = emitBatchedVectorC(*R, &O, &UsedVector);
+  if (!UsedVector) {
+    // Timing the fallback would record loop-vs-loop under the "vec" label
+    // and corrupt the cross-PR perf trajectory; skip loudly instead.
+    fprintf(stderr,
+            "batch_strategies: instance-parallel emission infeasible for "
+            "n=%d; skipping its variants\n",
+            N);
+    VecSource.clear();
+  }
+  struct Variant {
+    const char *Name;
+    std::string Source;
+  } Variants[] = {
+      {"loop", emitBatchedC(*R)},
+      {"vec", std::move(VecSource)},
+  };
+  for (const Variant &V : Variants) {
+    if (V.Source.empty())
+      continue;
+    std::shared_ptr<BatchBench> B = makeBench(*R, V.Source, IsaFlags, N);
+    if (!B)
+      continue;
+    for (int Count : {32, 1024}) {
+      std::string Name = "potrf/n=" + std::to_string(N) +
+                         "/count=" + std::to_string(Count) + "/" + V.Name;
+      benchmark::RegisterBenchmark(
+          Name.c_str(), [B, Count](benchmark::State &State) {
+            for (auto _ : State) {
+              B->Kernel.callBatch(Count, B->Bufs.data());
+              benchmark::ClobberMemory();
+            }
+            State.SetItemsProcessed(State.iterations() * Count);
+          });
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Skip = false;
+  if (!runtime::haveSystemCompiler()) {
+    fprintf(stderr, "batch_strategies: no system C compiler; skipping\n");
+    Skip = true;
+  } else if (hostIsa().Nu < 2) {
+    fprintf(stderr,
+            "batch_strategies: host has no vector ISA; ScalarLoop is the "
+            "only strategy -- skipping\n");
+    Skip = true;
+  }
+  if (!Skip)
+    for (int N : {4, 8, 16})
+      registerSize(N);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,7 +46,7 @@ public:
     // static persistence across calls is unobservable.)
     for (const Operand *L : F.Locals)
       Sink.line(formatf("static double %s[%d];", L->Name.c_str(),
-                        L->Rows * L->Cols));
+                        L->Rows * L->Cols * F.LocalVecWidth));
 
     for (size_t P = 0; P < Parts.size(); ++P) {
       std::string Name = formatf("%s_part%zu", F.Name.c_str(), P);
@@ -80,7 +80,7 @@ public:
         formatf("void %s(", NameOverride ? NameOverride : F.Name.c_str());
     for (size_t I = 0; I < F.Params.size(); ++I) {
       bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
-      S += formatf("%s%sdouble *restrict %s", I ? ", " : "",
+      S += formatf("%s%sdouble *__restrict %s", I ? ", " : "",
                    Writable ? "" : "const ", F.Params[I]->Name.c_str());
     }
     if (F.Params.empty())
@@ -125,7 +125,7 @@ private:
   void emitLocalDecls() {
     for (const Operand *L : F.Locals)
       Sink.line(formatf("double %s[%d] = {0.0};", L->Name.c_str(),
-                        L->Rows * L->Cols));
+                        L->Rows * L->Cols * F.LocalVecWidth));
   }
 
   void emitRegDecls() {
@@ -430,6 +430,24 @@ private:
     case Op::VDiv:
       Sink.line(formatf("r%d = %s_div_pd(r%d, r%d);", I.Dst, pfx(), I.A,
                         I.B));
+      break;
+    case Op::VSqrt:
+      Sink.line(formatf("r%d = %s_sqrt_pd(r%d);", I.Dst, pfx(), I.A));
+      break;
+    case Op::VNeg:
+      // Sign-bit flip, not 0-x: subtraction would turn -0.0 into +0.0 and
+      // diverge from the scalar kernel's `-r` through later divisions.
+      // _mm512_xor_pd is AVX-512DQ, which the avx512 target deliberately
+      // does not enable (see isaCompileFlags), so Nu == 8 flips the sign
+      // through the AVX-512F integer xor instead.
+      if (Nu == 8)
+        Sink.line(formatf(
+            "r%d = _mm512_castsi512_pd(_mm512_xor_epi64(_mm512_castpd_si512("
+            "r%d), _mm512_castpd_si512(_mm512_set1_pd(-0.0))));",
+            I.Dst, I.A));
+      else
+        Sink.line(formatf("r%d = %s_xor_pd(%s_set1_pd(-0.0), r%d);", I.Dst,
+                          pfx(), pfx(), I.A));
       break;
     case Op::VFma:
       if (Nu == 8)

@@ -82,6 +82,10 @@ static const char *opName(Op K) {
     return "vmul";
   case Op::VDiv:
     return "vdiv";
+  case Op::VSqrt:
+    return "vsqrt";
+  case Op::VNeg:
+    return "vneg";
   case Op::VFma:
     return "vfma";
   case Op::VExtract:

@@ -53,6 +53,8 @@ enum class Op {
   VSub,
   VMul,
   VDiv,
+  VSqrt, ///< Dst = sqrt(A), per lane (instance-parallel batching)
+  VNeg,  ///< Dst = -A, per lane
   VFma,       ///< Dst = A * B + C
   VExtract,   ///< scalar Dst = A[Lane]
   VReduceAdd, ///< scalar Dst = sum of lanes of A
@@ -121,6 +123,11 @@ struct Function {
   std::vector<const Operand *> Locals;
   std::vector<Node> Body;
   int Nu = 1;       ///< vector width the V* instructions assume
+  /// Element-count multiplier for Locals storage. 1 for ordinary kernels;
+  /// instance-widened kernels (see cir/Widen.h) keep Nu interleaved copies
+  /// of every temporary, so their Locals arrays are Rows*Cols*LocalVecWidth
+  /// doubles. Honored by the C emitter and the interpreter.
+  int LocalVecWidth = 1;
   int NumRegs = 0;  ///< scalar+vector register count (ids are shared)
   int NumVars = 0;  ///< loop variable count
   std::vector<bool> RegIsVec;

@@ -135,6 +135,14 @@ private:
       for (int L = 0; L < Nu; ++L)
         reg(I.Dst)[L] = reg(I.A)[L] / reg(I.B)[L];
       break;
+    case Op::VSqrt:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = std::sqrt(reg(I.A)[L]);
+      break;
+    case Op::VNeg:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = -reg(I.A)[L];
+      break;
     case Op::VFma:
       for (int L = 0; L < Nu; ++L)
         reg(I.Dst)[L] = reg(I.A)[L] * reg(I.B)[L] + reg(I.C)[L];
@@ -180,7 +188,8 @@ void cir::interpret(const Function &F,
   for (const Operand *L : F.Locals) {
     if (All.count(L))
       continue;
-    LocalStorage.emplace_back(static_cast<size_t>(L->Rows) * L->Cols, 0.0);
+    LocalStorage.emplace_back(
+        static_cast<size_t>(L->Rows) * L->Cols * F.LocalVecWidth, 0.0);
     All[L] = LocalStorage.back().data();
   }
   Machine M(F, All);

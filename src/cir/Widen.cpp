@@ -1,0 +1,132 @@
+//===- cir/Widen.cpp ------------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cir/Widen.h"
+
+#include <map>
+
+using namespace slingen;
+using namespace slingen::cir;
+
+namespace {
+
+class Widener {
+public:
+  Widener(const Function &F, int Lanes) : F(F), Lanes(Lanes) {}
+
+  bool run(WidenedFunction &Out, const std::string &Name) {
+    if (F.Nu != 1 || Lanes < 2)
+      return false;
+
+    // Locals are cloned under a function-qualified name so the widened
+    // kernel can share a translation unit (and, after splitting, file
+    // scope) with the scalar kernel it was derived from.
+    for (const Operand *L : F.Locals) {
+      auto C = std::make_unique<Operand>(*L);
+      C->Name = Name + "_" + L->Name;
+      C->Overwrites = nullptr;
+      LocalMap[L] = C.get();
+      Out.Func.Locals.push_back(C.get());
+      Out.OwnedLocals.push_back(std::move(C));
+    }
+
+    Out.Func.Name = Name;
+    Out.Func.Params = F.Params;
+    Out.Func.ParamWritable = F.ParamWritable;
+    Out.Func.Nu = Lanes;
+    Out.Func.LocalVecWidth = Lanes;
+    Out.Func.NumRegs = F.NumRegs;
+    Out.Func.NumVars = F.NumVars;
+    Out.Func.RegIsVec.assign(F.NumRegs, true);
+    return widenBlock(F.Body, Out.Func.Body);
+  }
+
+private:
+  const Function &F;
+  int Lanes;
+  std::map<const Operand *, const Operand *> LocalMap;
+
+  /// AoSoA address: Lanes consecutive doubles per scalar element, so the
+  /// whole affine form scales by Lanes.
+  Addr widenAddr(const Addr &A) const {
+    Addr W = A;
+    auto It = LocalMap.find(A.Buf);
+    if (It != LocalMap.end())
+      W.Buf = It->second;
+    W.Const *= Lanes;
+    for (auto &[Var, Coeff] : W.Terms)
+      Coeff *= Lanes;
+    return W;
+  }
+
+  bool widenBlock(const std::vector<Node> &In, std::vector<Node> &Out) {
+    for (const Node &N : In) {
+      if (const auto *L = std::get_if<Loop>(&N)) {
+        Loop W;
+        W.Var = L->Var;
+        W.Lo = L->Lo;
+        W.Hi = L->Hi;
+        W.Step = L->Step;
+        W.LoVar = L->LoVar;
+        W.LoVarCoeff = L->LoVarCoeff;
+        Out.push_back(std::move(W));
+        if (!widenBlock(L->Body, std::get<Loop>(Out.back()).Body))
+          return false;
+        continue;
+      }
+      Inst W = std::get<Inst>(N);
+      switch (W.K) {
+      case Op::SConst:
+        W.K = Op::VConst;
+        break;
+      case Op::SLoad:
+        W.K = Op::VLoad;
+        W.Address = widenAddr(W.Address);
+        W.Lanes = Lanes;
+        break;
+      case Op::SStore:
+        W.K = Op::VStore;
+        W.Address = widenAddr(W.Address);
+        W.Lanes = Lanes;
+        break;
+      case Op::SAdd:
+        W.K = Op::VAdd;
+        break;
+      case Op::SSub:
+        W.K = Op::VSub;
+        break;
+      case Op::SMul:
+        W.K = Op::VMul;
+        break;
+      case Op::SDiv:
+        W.K = Op::VDiv;
+        break;
+      case Op::SSqrt:
+        W.K = Op::VSqrt;
+        break;
+      case Op::SNeg:
+        W.K = Op::VNeg;
+        break;
+      default:
+        return false; // vector instruction: input was not scalar C-IR
+      }
+      Out.push_back(std::move(W));
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<WidenedFunction>
+cir::widenAcrossInstances(const Function &F, int Lanes,
+                          const std::string &Name) {
+  WidenedFunction Out;
+  Widener W(F, Lanes);
+  if (!W.run(Out, Name))
+    return std::nullopt;
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- cir/Widen.h - instance-parallel lane widening -----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lane-widening walk behind the instance-parallel batched codegen
+/// strategy (the paper's Sec. 5 "batched computations" sketch): a *scalar*
+/// C-IR function (Nu == 1, only S* opcodes) is re-emitted with every
+/// operation widened to Lanes vector lanes, where lane l of each register
+/// holds problem instance `b*Lanes + l` of the corresponding scalar value.
+///
+/// The widened function operates on an interleaved AoSoA block layout:
+/// element e of instance-lane l of a parameter lives at offset e*Lanes + l,
+/// so every scalar load/store widens to one full-width contiguous vector
+/// load/store at Lanes times the scalar offset -- no gathers, no masks.
+/// Division and square root go through the full-width VDiv/VSqrt
+/// instructions, keeping per-instance IEEE semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_CIR_WIDEN_H
+#define SLINGEN_CIR_WIDEN_H
+
+#include "cir/CIR.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace slingen {
+namespace cir {
+
+/// A widened function plus the renamed local operands it references (the
+/// clones keep the original shape; renaming avoids file-scope collisions
+/// when both the scalar kernel and the widened kernel are emitted -- and
+/// possibly split into part functions -- in one translation unit).
+struct WidenedFunction {
+  Function Func;
+  std::vector<std::unique_ptr<Operand>> OwnedLocals;
+};
+
+/// Widens the scalar function \p F across problem instances: every register
+/// becomes a Lanes-wide vector register, every operation its vector
+/// counterpart, and every affine address is scaled by Lanes (the AoSoA
+/// block layout). Loop structure, register ids, and loop variables are
+/// preserved one-to-one. Returns std::nullopt when \p F is not purely
+/// scalar (Nu != 1 or any V* instruction) or Lanes < 2.
+std::optional<WidenedFunction>
+widenAcrossInstances(const Function &F, int Lanes, const std::string &Name);
+
+} // namespace cir
+} // namespace slingen
+
+#endif // SLINGEN_CIR_WIDEN_H

@@ -121,6 +121,10 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
   A->IsaName = KV["isa"];
   A->NumParams = atoi(KV["params"].c_str());
   A->Batched = KV["batched"] == "1";
+  // Absent on pre-strategy entries and non-batched artifacts: ScalarLoop,
+  // the only batched emission those could contain.
+  if (auto S = batchStrategyByName(KV["strategy"]))
+    A->Strategy = *S;
   A->StaticCost = atol(KV["cost"].c_str());
   A->Measured = KV["measured"] == "1";
   A->MeasuredCycles = atof(KV["cycles"].c_str());
@@ -190,6 +194,8 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
     Out << "isa=" << A.IsaName << "\n";
     Out << "params=" << A.NumParams << "\n";
     Out << "batched=" << (A.Batched ? 1 : 0) << "\n";
+    if (A.Batched)
+      Out << "strategy=" << batchStrategyName(A.Strategy) << "\n";
     Out << "cost=" << A.StaticCost << "\n";
     Out << "measured=" << (A.Measured ? 1 : 0) << "\n";
     Out << "cycles=" << formatf("%.17g", A.MeasuredCycles) << "\n";

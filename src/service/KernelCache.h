@@ -28,6 +28,7 @@
 #define SLINGEN_SERVICE_KERNELCACHE_H
 
 #include "runtime/Jit.h"
+#include "slingen/BatchStrategy.h"
 
 #include <cassert>
 #include <list>
@@ -49,6 +50,12 @@ struct KernelArtifact {
   std::string IsaName;  ///< target ISA name ("avx", ...)
   int NumParams = 0;
   bool Batched = false;          ///< has the `<func>_batch` entry point
+  /// How the `<func>_batch` entry iterates instances (meaningful only when
+  /// Batched). Never Auto on a published artifact: the service resolves
+  /// Auto to the winning concrete strategy before publication, and the
+  /// resolution round-trips through the disk tier's .meta so a warmed
+  /// cache serves the tuned variant without re-measuring.
+  BatchStrategy Strategy = BatchStrategy::ScalarLoop;
   std::vector<int> Choice;       ///< winning per-HLAC variant indices
   long StaticCost = 0;           ///< static model estimate (cycles)
   bool Measured = false;         ///< Choice was picked by measurement

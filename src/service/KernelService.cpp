@@ -26,11 +26,17 @@ bool KernelService::compilerUsable() const {
 namespace {
 
 /// Content key of one request: (normalized program, options) fingerprint
-/// with the batched bit mixed in, as fixed-width hex.
-std::string requestKey(const Generator &G, bool Batched) {
+/// with the batched bit -- and, for batched requests, the configured batch
+/// strategy -- mixed in, as fixed-width hex. Pinned loop/vec requests and
+/// Auto requests address distinct entries: an Auto entry's emission is the
+/// per-kernel winner, not a fixed strategy.
+std::string requestKey(const Generator &G, bool Batched,
+                       BatchStrategy Strategy) {
   Fnv1a64 H;
   H.num(G.fingerprint());
   H.boolean(Batched);
+  if (Batched)
+    H.str(batchStrategyName(Strategy));
   return hexDigest(H.digest());
 }
 
@@ -57,7 +63,7 @@ GetResult KernelService::getImpl(Generator G, bool Batched) {
     ++Errors;
     return {nullptr, "normalization failed: " + G.error()};
   }
-  std::string Key = requestKey(G, Batched);
+  std::string Key = requestKey(G, Batched, Cfg.Strategy);
 
   std::shared_ptr<Flight> F;
   bool Leader = false;
@@ -170,17 +176,47 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
   if (!Tuned)
     return nullptr;
 
+  // Batched requests resolve the configured strategy to a concrete one:
+  // InstanceParallel needs vector lanes, and Auto picks per kernel --
+  // measured where the environment allows, by the static model otherwise.
+  // The artifact records the strategy actually emitted: when the
+  // instance-parallel emission cannot widen, it degrades to the scalar
+  // loop and so does the label.
+  BatchStrategy Strat = BatchStrategy::ScalarLoop;
+  std::string BatchedSource;
+  if (Batched) {
+    Strat = Cfg.Strategy;
+    if (Strat == BatchStrategy::InstanceParallel && O.Isa->Nu < 2)
+      Strat = BatchStrategy::ScalarLoop;
+    if (Strat == BatchStrategy::Auto) {
+      BatchChoice BC = chooseBatchStrategy(Tuned->Result, O, TO, Compile);
+      if (BC.Measured)
+        ++TunerRuns;
+      Strat = BC.Strategy;
+      BatchedSource = std::move(BC.VecSource); // winning TU, when emitted
+    }
+    if (Strat == BatchStrategy::InstanceParallel && BatchedSource.empty()) {
+      bool UsedVector = false;
+      BatchedSource = emitBatchedVectorC(Tuned->Result, &O, &UsedVector);
+      if (!UsedVector)
+        Strat = BatchStrategy::ScalarLoop;
+    }
+    if (Strat == BatchStrategy::ScalarLoop)
+      BatchedSource = emitBatchedC(Tuned->Result);
+  }
+
   auto A = std::make_shared<KernelArtifact>();
   A->Key = Key;
   A->FuncName = Tuned->Result.Func.Name;
   A->IsaName = O.Isa->Name;
   A->NumParams = static_cast<int>(Tuned->Result.Func.Params.size());
   A->Batched = Batched;
+  A->Strategy = Strat;
   A->Choice = Tuned->Result.Choice;
   A->StaticCost = Tuned->Result.Cost;
   A->Measured = Tuned->Measured;
   A->MeasuredCycles = Tuned->MedianCycles;
-  A->CSource = Batched ? emitBatchedC(Tuned->Result) : emitC(Tuned->Result);
+  A->CSource = Batched ? std::move(BatchedSource) : emitC(Tuned->Result);
 
   if (Compile) {
     runtime::CompileOptions CO;

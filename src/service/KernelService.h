@@ -57,6 +57,18 @@ struct ServiceConfig {
   int TuneTopK = 4;       ///< candidates measured when Measure is set
   int MaxVariants = 16;   ///< variant enumeration budget
   int MeasureRepeats = 9; ///< timed runs per candidate (median taken)
+  /// Batched-request codegen strategy (see slingen::BatchStrategy). Auto
+  /// resolves per kernel -- measured (both strategies JIT-compiled and
+  /// timed) whenever a compiler, cycle counter, and host-runnable ISA are
+  /// available, by the static cost model otherwise -- and the resolution
+  /// is persisted in the disk tier's .meta, so a warmed shared cache
+  /// serves the tuned variant without re-measuring. InstanceParallel
+  /// degrades to ScalarLoop on scalar targets. Note that Auto measures
+  /// independently of Measure (which governs per-variant tuning): a
+  /// batched cache miss costs two extra JIT compiles plus a short timing
+  /// loop; pin ScalarLoop or InstanceParallel to avoid that on miss-heavy
+  /// workloads.
+  BatchStrategy Strategy = BatchStrategy::Auto;
   /// Master switch for the C compiler. Off: the service serves source-only
   /// artifacts and tuning falls back to the static model (also what
   /// happens when no system compiler exists).

@@ -19,10 +19,46 @@ using namespace slingen::service;
 
 namespace {
 
-/// Deterministic parameter buffers in [1, 2): positive, denormal-free data
-/// so divisions and square roots inside the candidates time realistically.
-/// Refilled identically before each candidate so in-place kernels (which
-/// overwrite their operands between repeats) are ranked on equal inputs.
+/// Deterministic, structure-respecting data for one instance of \p P:
+/// SPD for positive-definite operands, well-conditioned triangular for
+/// triangular ones, uniform [1, 2) (positive, denormal-free) otherwise --
+/// so the div/sqrt chains the cost comparison hinges on run on numerically
+/// realistic values instead of NaNs from e.g. sqrt of a negative.
+void fillInstance(const Operand *P, Rng &Rand, double *Out) {
+  const int Rows = P->Rows, Cols = P->Cols;
+  if (P->PosDef && Rows == Cols && Rows > 1) {
+    std::vector<double> G(static_cast<size_t>(Rows) * Rows);
+    for (double &V : G)
+      V = Rand.uniform(-1.0, 1.0);
+    for (int I = 0; I < Rows; ++I)
+      for (int J = 0; J < Rows; ++J) {
+        double Acc = I == J ? Rows : 0.0;
+        for (int K = 0; K < Rows; ++K)
+          Acc += G[K * Rows + I] * G[K * Rows + J];
+        Out[I * Rows + J] = Acc;
+      }
+    return;
+  }
+  if (Rows == Cols && Rows > 1 &&
+      (P->Structure == StructureKind::LowerTriangular ||
+       P->Structure == StructureKind::UpperTriangular)) {
+    bool Lower = P->Structure == StructureKind::LowerTriangular;
+    for (int I = 0; I < Rows; ++I)
+      for (int J = 0; J < Rows; ++J) {
+        bool Stored = I == J || (Lower ? J < I : J > I);
+        Out[I * Rows + J] =
+            I == J ? Rand.uniform(1.0, 2.0) + 2.0
+                   : (Stored ? Rand.uniform(-1.0, 1.0) : 0.0);
+      }
+    return;
+  }
+  for (long I = 0; I < static_cast<long>(Rows) * Cols; ++I)
+    Out[I] = Rand.uniform(1.0, 2.0);
+}
+
+/// Deterministic parameter buffers (see fillInstance) refilled identically
+/// before each candidate so in-place kernels (which overwrite their
+/// operands between repeats) are ranked on equal inputs.
 void fillBuffers(const GenResult &R, std::vector<std::vector<double>> &Store,
                  std::vector<double *> &Bufs) {
   Store.clear();
@@ -31,14 +67,121 @@ void fillBuffers(const GenResult &R, std::vector<std::vector<double>> &Store,
   for (const Operand *P : R.Func.Params) {
     Rng Rand(Seed += 0x9e3779b97f4a7c15ULL);
     auto &Buf = Store.emplace_back(static_cast<size_t>(P->Rows) * P->Cols);
-    for (double &V : Buf)
-      V = Rand.uniform(1.0, 2.0);
+    fillInstance(P, Rand, Buf.data());
   }
   for (auto &S : Store)
     Bufs.push_back(S.data());
 }
 
 } // namespace
+
+BatchChoice service::chooseBatchStrategy(const GenResult &R,
+                                         const GenOptions &O,
+                                         const TuneOptions &T,
+                                         bool AllowCompile) {
+  BatchChoice C;
+  const int Nu = O.Isa->Nu;
+  if (Nu < 2)
+    return C; // no lanes to parallelize across
+
+  // Static cost model: one AoSoA block amortizes the widened kernel (same
+  // instruction count as the scalar kernel, vector-width issue) over Nu
+  // instances, plus two layout transposes per element. Compare per
+  // instance against the scalar-loop estimate.
+  long SumElems = 0;
+  for (const Operand *P : R.Func.Params)
+    SumElems += static_cast<long>(P->Rows) * P->Cols;
+  std::optional<ScalarRecompile> Scalar = recompileScalar(R, &O);
+  if (!Scalar)
+    return C; // widening infeasible: the loop is the only strategy
+  long LoopPerInst = staticCost(R.Func);
+  long VecPerInst = staticCost(Scalar->Func) / Nu + 2 * SumElems;
+  C.Strategy = VecPerInst < LoopPerInst ? BatchStrategy::InstanceParallel
+                                        : BatchStrategy::ScalarLoop;
+
+  // The instance-parallel emission is needed for measurement anyway (and,
+  // if it wins, for publication); if it cannot actually widen -- it falls
+  // back to the scalar loop -- there is only one strategy to serve. The
+  // ScalarRecompile above is reused so Stage 2/3 runs once, not twice.
+  bool UsedVector = false;
+  std::string VecSource = emitBatchedVectorC(R, &O, &UsedVector, &*Scalar);
+  if (!UsedVector) {
+    C.Strategy = BatchStrategy::ScalarLoop;
+    return C;
+  }
+
+  // Measure when possible; running a wider ISA than the host executes
+  // would fault, not measure.
+  if (!AllowCompile || !runtime::haveSystemCompiler() ||
+      !runtime::haveCycleCounter() || Nu > hostIsa().Nu) {
+    if (C.Strategy == BatchStrategy::InstanceParallel)
+      C.VecSource = std::move(VecSource);
+    return C;
+  }
+
+  // Not divisible by any supported Nu (2, 4, 8), so the timed batch
+  // includes the scalar remainder path the production ABI pays too.
+  const int Count = 67;
+  const std::string FuncName = R.Func.Name;
+  const int NumParams = static_cast<int>(R.Func.Params.size());
+  runtime::CompileOptions CO;
+  CO.ExtraFlags = T.ExtraFlags;
+  CO.WithBatchEntry = true;
+
+  auto MeasureStrategy = [&](const std::string &Src,
+                             double &CyclesOut) -> bool {
+    std::string Err;
+    auto K = runtime::JitKernel::compile(Src, FuncName, NumParams, CO, Err);
+    if (!K)
+      return false;
+    // Deterministic structure-respecting per-instance data (see
+    // fillInstance), identical for both strategies; inputs are refilled
+    // every run so in-place kernels are timed on unfactored data.
+    std::vector<std::vector<double>> Store;
+    std::vector<double *> Bufs;
+    uint64_t Seed = 0x5eedULL;
+    for (const Operand *P : R.Func.Params) {
+      Rng Rand(Seed += 0x9e3779b97f4a7c15ULL);
+      size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
+      auto &Buf = Store.emplace_back(Sz * Count);
+      for (int Inst = 0; Inst < Count; ++Inst)
+        fillInstance(P, Rand, Buf.data() + Inst * Sz);
+    }
+    std::vector<std::vector<double>> Fresh = Store;
+    for (auto &S : Store)
+      Bufs.push_back(S.data());
+    runtime::Measurement M = runtime::measureCycles(
+        [&] {
+          for (size_t I = 0; I < Store.size(); ++I)
+            std::copy(Fresh[I].begin(), Fresh[I].end(), Store[I].begin());
+          K->callBatch(Count, Bufs.data());
+        },
+        T.Measure);
+    CyclesOut = M.Median;
+    return true;
+  };
+
+  double LoopCycles = 0.0, VecCycles = 0.0;
+  bool LoopOk = MeasureStrategy(emitBatchedC(R), LoopCycles);
+  bool VecOk = MeasureStrategy(VecSource, VecCycles);
+  if (!LoopOk && !VecOk) {
+    if (C.Strategy == BatchStrategy::InstanceParallel)
+      C.VecSource = std::move(VecSource);
+    return C; // keep the static choice
+  }
+  C.Measured = true;
+  C.LoopCycles = LoopCycles;
+  C.VecCycles = VecCycles;
+  if (LoopOk && VecOk)
+    C.Strategy = VecCycles < LoopCycles ? BatchStrategy::InstanceParallel
+                                        : BatchStrategy::ScalarLoop;
+  else
+    C.Strategy = VecOk ? BatchStrategy::InstanceParallel
+                       : BatchStrategy::ScalarLoop;
+  if (C.Strategy == BatchStrategy::InstanceParallel)
+    C.VecSource = std::move(VecSource);
+  return C;
+}
 
 std::optional<TuneResult> service::tuneKernel(const Generator &G,
                                               const TuneOptions &T,

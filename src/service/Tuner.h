@@ -47,6 +47,29 @@ struct TuneResult {
 std::optional<TuneResult> tuneKernel(const Generator &G, const TuneOptions &T,
                                      std::string &Err);
 
+/// Outcome of resolving BatchStrategy::Auto for one batched kernel.
+struct BatchChoice {
+  BatchStrategy Strategy = BatchStrategy::ScalarLoop; ///< never Auto
+  bool Measured = false;     ///< choice came from real batched timings
+  double LoopCycles = 0.0;   ///< median cycles per batch (when Measured)
+  double VecCycles = 0.0;
+  /// When Strategy is InstanceParallel and the chooser already produced
+  /// the emission (to measure it), the winning translation unit, so the
+  /// service does not regenerate it. Empty otherwise.
+  std::string VecSource;
+};
+
+/// Resolves BatchStrategy::Auto for the tuned kernel \p R generated under
+/// \p O: when a compiler, a cycle counter, and a host that can execute the
+/// target ISA are all available (and \p AllowCompile), both batched
+/// emissions are JIT-compiled and timed over a deterministic instance
+/// batch and the faster wins; otherwise the static cost model compares the
+/// scalar-loop estimate against the widened estimate (scalar kernel cost
+/// over Nu lanes plus the AoSoA pack/unpack traffic). Scalar targets
+/// always resolve to ScalarLoop.
+BatchChoice chooseBatchStrategy(const GenResult &R, const GenOptions &O,
+                                const TuneOptions &T, bool AllowCompile);
+
 } // namespace service
 } // namespace slingen
 

@@ -1,0 +1,192 @@
+//===- slingen/Batched.cpp - batched entry-point emission -----------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The two batched codegen strategies behind `<name>_batch(int count, ...)`
+// (paper Sec. 5). ScalarLoop wraps the single-instance kernel in a loop
+// over instances; InstanceParallel widens the kernel's scalar C-IR to one
+// vector lane per instance over AoSoA blocks (see cir/Widen.h), with a
+// layout-transpose pack/unpack pair preserving the contiguous-per-instance
+// batch ABI and a ScalarLoop remainder for count % Nu.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slingen/SLinGen.h"
+
+#include "cir/CEmitter.h"
+#include "cir/Widen.h"
+#include "support/Format.h"
+
+using namespace slingen;
+
+const char *slingen::batchStrategyName(BatchStrategy S) {
+  switch (S) {
+  case BatchStrategy::ScalarLoop:
+    return "loop";
+  case BatchStrategy::InstanceParallel:
+    return "vec";
+  case BatchStrategy::Auto:
+    return "auto";
+  }
+  return "loop";
+}
+
+std::optional<BatchStrategy>
+slingen::batchStrategyByName(const std::string &Name) {
+  if (Name == "loop")
+    return BatchStrategy::ScalarLoop;
+  if (Name == "vec")
+    return BatchStrategy::InstanceParallel;
+  if (Name == "auto")
+    return BatchStrategy::Auto;
+  return std::nullopt;
+}
+
+namespace {
+
+/// `double *__restrict A` / `const double *__restrict B`, matching the
+/// kernel's writability convention.
+std::string batchParamDecl(const cir::Function &F, size_t I) {
+  bool W = F.ParamWritable.empty() || F.ParamWritable[I];
+  return std::string(W ? "" : "const ") + "double *__restrict " +
+         F.Params[I]->Name;
+}
+
+long paramSize(const cir::Function &F, size_t I) {
+  return static_cast<long>(F.Params[I]->Rows) * F.Params[I]->Cols;
+}
+
+/// The shared `<name>_batch` signature plus the hoisted per-parameter
+/// instance strides `const long s_i = Rows_i*Cols_i;`.
+std::string batchHeader(const cir::Function &F) {
+  std::string C = "\nvoid " + F.Name + "_batch(int count";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += ", " + batchParamDecl(F, I);
+  C += ") {\n";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("  const long s_%zu = %ld;\n", I, paramSize(F, I));
+  return C;
+}
+
+/// One scalar call over instance b's slices, e.g. `kern(A + b * s_0, ...)`.
+std::string scalarCall(const cir::Function &F, const char *Idx) {
+  std::string C = F.Name + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("%s%s + %s * s_%zu", I ? ", " : "",
+                 F.Params[I]->Name.c_str(), Idx, I);
+  return C + ")";
+}
+
+} // namespace
+
+std::string slingen::emitBatchedC(const GenResult &R) {
+  const cir::Function &F = R.Func;
+  std::string C = cir::emitTranslationUnit(F);
+  C += batchHeader(F);
+  C += "  for (int b = 0; b < count; ++b)\n    " + scalarCall(F, "b") +
+       ";\n}\n";
+  return C;
+}
+
+std::optional<ScalarRecompile>
+slingen::recompileScalar(const GenResult &R, const GenOptions *Opts) {
+  ScalarRecompile S;
+  S.Basic = R.Basic.clone();
+  GenOptions O;
+  if (Opts)
+    O = *Opts;
+  O.Isa = &scalarIsa();
+  O.FuncName = R.Func.Name;
+  S.Func = compileBasicProgram(S.Basic, O);
+  // The widened kernel is called positionally from the batch driver, so the
+  // scalar signature must line up with R.Func's.
+  if (S.Func.Params.size() != R.Func.Params.size())
+    return std::nullopt;
+  for (size_t I = 0; I < S.Func.Params.size(); ++I)
+    if (S.Func.Params[I]->Name != R.Func.Params[I]->Name)
+      return std::nullopt;
+  return S;
+}
+
+std::string slingen::emitBatchedVectorC(const GenResult &R,
+                                        const GenOptions *Opts,
+                                        bool *UsedVector,
+                                        const ScalarRecompile *Pre) {
+  if (UsedVector)
+    *UsedVector = false;
+  const cir::Function &F = R.Func;
+  const int Nu = F.Nu;
+  if (Nu < 2)
+    return emitBatchedC(R); // scalar target: no lanes to parallelize across
+  std::optional<ScalarRecompile> Own;
+  if (!Pre) {
+    Own = recompileScalar(R, Opts);
+    if (!Own)
+      return emitBatchedC(R);
+    Pre = &*Own;
+  }
+  std::optional<cir::WidenedFunction> W =
+      cir::widenAcrossInstances(Pre->Func, Nu, F.Name + "_vecblk");
+  if (!W)
+    return emitBatchedC(R);
+  if (UsedVector)
+    *UsedVector = true;
+
+  std::string C;
+  C += "#include <math.h>\n";
+  C += "#include <immintrin.h>\n\n";
+  // The single-instance kernel: serves plain calls and the remainder loop.
+  C += cir::emitFunctionSplit(F, /*MaxInstsPerPart=*/1 << 14);
+  C += "\n";
+  // The instance-parallel block kernel: lane l of every vector register
+  // holds instance b*Nu + l; operands are AoSoA blocks (element e of lane l
+  // at offset e*Nu + l).
+  C += cir::emitFunctionSplit(W->Func, /*MaxInstsPerPart=*/1 << 14);
+  C += "\n";
+
+  // Layout-transpose helpers between the batch ABI (count contiguous
+  // instances per parameter) and one AoSoA block of Nu instances.
+  C += formatf("static void %s_aosoa_pack(const double *__restrict src, "
+               "double *__restrict dst, long n) {\n"
+               "  for (long e = 0; e < n; ++e)\n"
+               "    for (int l = 0; l < %d; ++l)\n"
+               "      dst[e * %d + l] = src[l * n + e];\n"
+               "}\n",
+               F.Name.c_str(), Nu, Nu);
+  C += formatf("static void %s_aosoa_unpack(const double *__restrict src, "
+               "double *__restrict dst, long n) {\n"
+               "  for (long e = 0; e < n; ++e)\n"
+               "    for (int l = 0; l < %d; ++l)\n"
+               "      dst[l * n + e] = src[e * %d + l];\n"
+               "}\n",
+               F.Name.c_str(), Nu, Nu);
+
+  C += batchHeader(F);
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("  double blk_%zu[%ld] __attribute__((aligned(64)));\n", I,
+                 paramSize(F, I) * Nu);
+  C += "  int b = 0;\n";
+  C += formatf("  for (; b + %d <= count; b += %d) {\n", Nu, Nu);
+  // Pack every parameter: inputs obviously; outputs too, so elements the
+  // kernel leaves untouched round-trip unchanged, exactly as in the
+  // scalar-loop strategy. This makes output buffers part of the *read*
+  // set under this strategy (documented in README "Batched execution").
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("    %s_aosoa_pack(%s + b * s_%zu, blk_%zu, s_%zu);\n",
+                 F.Name.c_str(), F.Params[I]->Name.c_str(), I, I, I);
+  C += "    " + W->Func.Name + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("%sblk_%zu", I ? ", " : "", I);
+  C += ");\n";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
+    if (Writable)
+      C += formatf("    %s_aosoa_unpack(blk_%zu, %s + b * s_%zu, s_%zu);\n",
+                   F.Name.c_str(), I, F.Params[I]->Name.c_str(), I, I);
+  }
+  C += "  }\n";
+  C += "  for (; b < count; ++b)\n    " + scalarCall(F, "b") + ";\n}\n";
+  return C;
+}

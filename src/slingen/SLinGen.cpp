@@ -128,6 +128,7 @@ long instCost(const cir::Inst &I) {
   case Op::SDiv:
   case Op::VDiv:
   case Op::SSqrt:
+  case Op::VSqrt:
     // Sandy Bridge issues one division/square root every ~44 cycles and
     // they sit on the critical path of the factorizations.
     return 44;
@@ -279,25 +280,4 @@ std::optional<GenResult> Generator::best(int MaxVariants) const {
 
 std::string slingen::emitC(const GenResult &R) {
   return cir::emitTranslationUnit(R.Func);
-}
-
-std::string slingen::emitBatchedC(const GenResult &R) {
-  std::string C = cir::emitTranslationUnit(R.Func);
-  const cir::Function &F = R.Func;
-  C += "\nvoid " + F.Name + "_batch(int count";
-  for (size_t I = 0; I < F.Params.size(); ++I) {
-    bool W = F.ParamWritable.empty() || F.ParamWritable[I];
-    C += std::string(", ") + (W ? "" : "const ") + "double *restrict " +
-         F.Params[I]->Name;
-  }
-  C += ") {\n  for (int b = 0; b < count; ++b)\n    " + F.Name + "(";
-  for (size_t I = 0; I < F.Params.size(); ++I) {
-    const Operand *P = F.Params[I];
-    if (I)
-      C += ", ";
-    C += P->Name + " + (long)b * " +
-         std::to_string(static_cast<long>(P->Rows) * P->Cols);
-  }
-  C += ");\n}\n";
-  return C;
 }

@@ -29,6 +29,7 @@
 #include "expr/Program.h"
 #include "flame/Synthesizer.h"
 #include "isa/ISA.h"
+#include "slingen/BatchStrategy.h"
 
 #include <optional>
 #include <string>
@@ -138,12 +139,54 @@ private:
 /// Complete C translation unit for a generated kernel.
 std::string emitC(const GenResult &R);
 
-/// Translation unit with an additional batched entry point (the paper's
-/// "batched computations" extension, Sec. 5): `<name>_batch(int count,
-/// p0, p1, ...)` applies the kernel to \p count independent problem
-/// instances stored contiguously per parameter (instance b of parameter i
-/// lives at p_i + b * Rows_i * Cols_i).
+//===----------------------------------------------------------------------===//
+// Batched emission (the paper's Sec. 5 "batched computations" extension).
+//
+// Both strategies share one ABI: `<name>_batch(int count, p0, p1, ...)`
+// applies the kernel to `count` independent problem instances stored
+// contiguously per parameter (instance b of parameter i lives at
+// p_i + b * Rows_i * Cols_i).
+//===----------------------------------------------------------------------===//
+
+/// ScalarLoop strategy: the kernel's translation unit plus a batch entry
+/// that calls it per instance (per-parameter strides hoisted to constants).
 std::string emitBatchedC(const GenResult &R);
+
+/// A scalar (nu = 1) re-compilation of a GenResult's Stage-1 basic program:
+/// the input the instance-parallel widening operates on. Func references
+/// operands owned by Basic, so the two must stay together.
+struct ScalarRecompile {
+  Program Basic;
+  cir::Function Func;
+};
+
+/// Re-runs Stage 2/3 over a clone of \p R.Basic with the scalar ISA (other
+/// knobs taken from \p Opts when given, defaults otherwise). Returns
+/// std::nullopt when the scalar function's parameters do not line up with
+/// R.Func's (never expected; callers then fall back to ScalarLoop).
+std::optional<ScalarRecompile> recompileScalar(const GenResult &R,
+                                               const GenOptions *Opts = nullptr);
+
+/// InstanceParallel strategy: the kernel's translation unit plus (a) the
+/// kernel re-emitted with every scalar operation widened to R.Func.Nu lanes
+/// over an interleaved AoSoA block layout (see cir/Widen.h), (b) a
+/// pack/unpack layout-transpose helper pair between the contiguous
+/// per-instance batch ABI and AoSoA blocks, and (c) a `<name>_batch` driver
+/// that processes floor(count/Nu) full blocks vector-parallel and the
+/// `count % Nu` remainder through the scalar-loop path. Falls back to
+/// emitBatchedC when the target ISA is scalar or widening is infeasible;
+/// \p UsedVector, when non-null, reports whether the instance-parallel
+/// emission actually happened (callers labeling the output with a
+/// BatchStrategy must downgrade to ScalarLoop when it is false).
+/// \p Opts, when given, supplies the non-ISA codegen knobs for the scalar
+/// re-compilation (pass the options the GenResult was generated under).
+/// \p Pre, when given, is a ScalarRecompile the caller already computed
+/// for this GenResult (the Stage-2/3 re-lowering dominates emission cost,
+/// so callers that need it for other reasons should pass it in).
+std::string emitBatchedVectorC(const GenResult &R,
+                               const GenOptions *Opts = nullptr,
+                               bool *UsedVector = nullptr,
+                               const ScalarRecompile *Pre = nullptr);
 
 } // namespace slingen
 

@@ -8,9 +8,13 @@
 // required; skipped without a system compiler.
 //===----------------------------------------------------------------------===//
 
+#include "cir/Interp.h"
+#include "cir/Widen.h"
 #include "la/Lower.h"
 #include "la/Programs.h"
 #include "runtime/Jit.h"
+#include "runtime/Timing.h"
+#include "service/KernelService.h"
 #include "slingen/SLinGen.h"
 #include "support/Random.h"
 
@@ -18,10 +22,68 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include <stdlib.h>
+
 using namespace slingen;
 using namespace slingen::testdata;
 
 namespace {
+
+std::optional<GenResult> mustGenerate(const std::string &Source,
+                                      const VectorISA &Isa,
+                                      const std::string &Name) {
+  std::string Err;
+  auto P = la::compileLa(Source, Err);
+  if (!P) {
+    ADD_FAILURE() << "LA error: " << Err;
+    return std::nullopt;
+  }
+  GenOptions O;
+  O.Isa = &Isa;
+  O.FuncName = Name;
+  Generator G(std::move(*P), O);
+  if (!G.isValid()) {
+    ADD_FAILURE() << "generator error: " << G.error();
+    return std::nullopt;
+  }
+  auto R = G.best(3);
+  if (!R)
+    ADD_FAILURE() << "generation failed for " << Name;
+  return R;
+}
+
+/// Per-parameter deterministic instance data for a potrf/trsyl-style
+/// program: SPD for <PD> inputs, well-conditioned triangular for <LoTri>/
+/// <UpTri> inputs, general data otherwise, zeros for outputs.
+std::vector<std::vector<double>> makeInstances(const cir::Function &F,
+                                               int Count, int SeedBase) {
+  std::vector<std::vector<double>> Store;
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    const Operand *P = F.Params[I];
+    size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
+    std::vector<double> Buf(static_cast<size_t>(Count) * Sz, 0.0);
+    bool NeedsData = P->IO != IOKind::Out; // In/InOut roots carry inputs
+    for (int B = 0; B < Count && NeedsData; ++B) {
+      Rng Rand(SeedBase + 131 * B + static_cast<int>(I));
+      std::vector<double> Inst;
+      if (P->PosDef)
+        Inst = spd(P->Rows, Rand);
+      else if (P->Structure == StructureKind::LowerTriangular)
+        Inst = lowerTri(P->Rows, Rand);
+      else if (P->Structure == StructureKind::UpperTriangular)
+        Inst = upperTri(P->Rows, Rand);
+      else
+        Inst = general(P->Rows, P->Cols, Rand);
+      std::copy(Inst.begin(), Inst.end(), Buf.begin() + B * Sz);
+    }
+    Store.push_back(std::move(Buf));
+  }
+  return Store;
+}
 
 TEST(Batched, EmittedTextHasBatchEntry) {
   std::string Err;
@@ -104,6 +166,288 @@ TEST(Batched, MatchesIndividualRuns) {
   for (size_t I = 0; I < 2; ++I)
     EXPECT_LT(maxAbsDiff(BatchStore[I], RefStore[I]), 1e-12)
         << Params[I]->Name;
+}
+
+// The lane-widening walk is exact: interpreting the widened function over an
+// AoSoA block must reproduce the scalar interpreter's results bit for bit
+// (same IEEE operations in the same order, one instance per lane). This is
+// the hermetic (compiler-free) anchor for the instance-parallel strategy.
+TEST(Widen, InterpreterMatchesScalarPerInstance) {
+  const int N = 6, Nu = 4;
+  auto Gen = mustGenerate(la::potrfSource(N), scalarIsa(), "p6s");
+  ASSERT_TRUE(Gen);
+  GenResult &R = *Gen;
+  auto W = cir::widenAcrossInstances(R.Func, Nu, "p6s_blk");
+  ASSERT_TRUE(W);
+  EXPECT_EQ(W->Func.Nu, Nu);
+  EXPECT_EQ(W->Func.LocalVecWidth, Nu);
+
+  const auto &Params = R.Func.Params;
+  std::vector<std::vector<double>> Inst = makeInstances(R.Func, Nu, 7000);
+  std::vector<std::vector<double>> Ref = Inst;
+
+  // Reference: scalar interpretation, one instance at a time.
+  for (int B = 0; B < Nu; ++B) {
+    std::map<const Operand *, double *> Bufs;
+    for (size_t I = 0; I < Params.size(); ++I) {
+      size_t Sz = static_cast<size_t>(Params[I]->Rows) * Params[I]->Cols;
+      Bufs[Params[I]] = Ref[I].data() + B * Sz;
+    }
+    cir::interpret(R.Func, Bufs);
+  }
+
+  // Widened: pack each parameter into one AoSoA block, interpret once,
+  // unpack.
+  std::vector<std::vector<double>> Blk;
+  std::map<const Operand *, double *> Bufs;
+  for (size_t I = 0; I < Params.size(); ++I) {
+    size_t Sz = static_cast<size_t>(Params[I]->Rows) * Params[I]->Cols;
+    auto &B = Blk.emplace_back(Sz * Nu, 0.0);
+    for (size_t E = 0; E < Sz; ++E)
+      for (int L = 0; L < Nu; ++L)
+        B[E * Nu + L] = Inst[I][L * Sz + E];
+  }
+  for (size_t I = 0; I < Params.size(); ++I)
+    Bufs[Params[I]] = Blk[I].data();
+  cir::interpret(W->Func, Bufs);
+  for (size_t I = 0; I < Params.size(); ++I) {
+    size_t Sz = static_cast<size_t>(Params[I]->Rows) * Params[I]->Cols;
+    for (size_t E = 0; E < Sz; ++E)
+      for (int L = 0; L < Nu; ++L)
+        Inst[I][L * Sz + E] = Blk[I][E * Nu + L];
+  }
+
+  for (size_t I = 0; I < Params.size(); ++I)
+    EXPECT_EQ(maxAbsDiff(Inst[I], Ref[I]), 0.0) << Params[I]->Name;
+}
+
+TEST(Widen, RejectsVectorInput) {
+  auto R = mustGenerate(la::potrfSource(8), avxIsa(), "p8v");
+  ASSERT_TRUE(R);
+  EXPECT_FALSE(cir::widenAcrossInstances(R->Func, 4, "p8v_blk"));
+  auto S = mustGenerate(la::potrfSource(8), scalarIsa(), "p8s");
+  ASSERT_TRUE(S);
+  EXPECT_FALSE(cir::widenAcrossInstances(S->Func, 1, "p8s_blk"));
+}
+
+/// JIT-compiles both batched strategies for \p Source under \p Isa and
+/// verifies they agree for every count in \p Counts (covering count < Nu,
+/// count % Nu != 0, and multi-block batches).
+void expectStrategiesAgree(const std::string &Source, const VectorISA &Isa,
+                           const std::string &Name,
+                           const std::vector<int> &Counts, double Tol) {
+  auto Gen = mustGenerate(Source, Isa, Name);
+  ASSERT_TRUE(Gen);
+  GenResult &R = *Gen;
+  GenOptions O;
+  O.Isa = &Isa;
+  O.FuncName = Name;
+  std::string LoopC = emitBatchedC(R);
+  std::string VecC = emitBatchedVectorC(R, &O);
+  ASSERT_NE(VecC.find(Name + "_vecblk"), std::string::npos)
+      << "instance-parallel emission fell back on " << Isa.Name;
+
+  runtime::CompileOptions CO;
+  CO.ExtraFlags = runtime::isaCompileFlags(Isa);
+  CO.WithBatchEntry = true;
+  std::string Err;
+  int NumParams = static_cast<int>(R.Func.Params.size());
+  auto KLoop = runtime::JitKernel::compile(LoopC, Name, NumParams, CO, Err);
+  ASSERT_TRUE(KLoop) << Err;
+  auto KVec = runtime::JitKernel::compile(VecC, Name, NumParams, CO, Err);
+  ASSERT_TRUE(KVec) << Err;
+
+  for (int Count : Counts) {
+    std::vector<std::vector<double>> LoopStore =
+        makeInstances(R.Func, Count, 9000 + Count);
+    std::vector<std::vector<double>> VecStore = LoopStore;
+    std::vector<double *> LoopBufs, VecBufs;
+    for (size_t I = 0; I < LoopStore.size(); ++I) {
+      LoopBufs.push_back(LoopStore[I].data());
+      VecBufs.push_back(VecStore[I].data());
+    }
+    KLoop->callBatch(Count, LoopBufs.data());
+    KVec->callBatch(Count, VecBufs.data());
+    double Nonzero = 0.0;
+    for (size_t I = 0; I < LoopStore.size(); ++I) {
+      EXPECT_LT(maxAbsDiff(VecStore[I], LoopStore[I]), Tol)
+          << Name << " on " << Isa.Name << ", count=" << Count
+          << ", param " << R.Func.Params[I]->Name;
+      for (double V : VecStore[I])
+        Nonzero += std::fabs(V);
+    }
+    EXPECT_GT(Nonzero, 0.0) << "kernel wrote nothing";
+  }
+}
+
+// Instance-parallel results must match the scalar loop for every ISA this
+// host can execute. The tolerance is tight but not bit-exact: the two
+// strategies expose different mul+add sequences to the C compiler's FMA
+// contraction, which is the only permitted divergence (div/sqrt chains
+// amplify it slightly).
+TEST(Batched, InstanceParallelMatchesScalarLoopAcrossIsas) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const int HostNu = hostIsa().Nu;
+  if (HostNu < 2)
+    GTEST_SKIP() << "host has no vector ISA";
+  for (const VectorISA *Isa : {&sse2Isa(), &avxIsa(), &avx512Isa()}) {
+    if (Isa->Nu > HostNu)
+      continue;
+    int Nu = Isa->Nu;
+    std::vector<int> Counts = {1, Nu - 1, Nu, 2 * Nu + 1, 4 * Nu};
+    expectStrategiesAgree(la::potrfSource(8), *Isa,
+                          std::string("potrf8_") + Isa->Name, Counts, 1e-10);
+  }
+}
+
+TEST(Batched, TrsylInstanceParallelMatchesScalarLoop) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const VectorISA &Isa = hostIsa();
+  if (Isa.Nu < 2)
+    GTEST_SKIP() << "host has no vector ISA";
+  std::vector<int> Counts = {Isa.Nu - 1, 3 * Isa.Nu + 2};
+  expectStrategiesAgree(la::trsylSource(6), Isa, "trsyl6", Counts, 1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Service-level strategy selection and persistence.
+//===----------------------------------------------------------------------===//
+
+struct TempDir {
+  TempDir() {
+    char Tmpl[] = "/tmp/slingen_batch_XXXXXX";
+    Path = mkdtemp(Tmpl);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string Path;
+};
+
+TEST(ServiceBatchStrategy, PinnedInstanceParallelFallsBackOnScalarIsa) {
+  service::ServiceConfig C;
+  C.UseCompiler = false;
+  C.Strategy = BatchStrategy::InstanceParallel;
+  service::KernelService S(C);
+  GenOptions O;
+  O.Isa = &scalarIsa();
+  O.FuncName = "p8_scalar";
+  service::GetResult R = S.get(la::potrfSource(8), O, /*Batched=*/true);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R->Strategy, BatchStrategy::ScalarLoop);
+  EXPECT_NE(R->CSource.find("p8_scalar_batch(int count"), std::string::npos);
+  EXPECT_EQ(R->CSource.find("_vecblk"), std::string::npos);
+}
+
+TEST(ServiceBatchStrategy, PinnedStrategiesGetDistinctEntries) {
+  service::ServiceConfig C;
+  C.UseCompiler = false;
+  C.Strategy = BatchStrategy::ScalarLoop;
+  GenOptions O;
+  O.Isa = &avxIsa();
+  O.FuncName = "p8_pin";
+  std::string Src = la::potrfSource(8);
+
+  service::KernelService SLoop(C);
+  service::GetResult RLoop = SLoop.get(Src, O, /*Batched=*/true);
+  ASSERT_TRUE(RLoop) << RLoop.Error;
+  EXPECT_EQ(RLoop->Strategy, BatchStrategy::ScalarLoop);
+  EXPECT_EQ(RLoop->CSource.find("_vecblk"), std::string::npos);
+
+  C.Strategy = BatchStrategy::InstanceParallel;
+  service::KernelService SVec(C);
+  service::GetResult RVec = SVec.get(Src, O, /*Batched=*/true);
+  ASSERT_TRUE(RVec) << RVec.Error;
+  EXPECT_EQ(RVec->Strategy, BatchStrategy::InstanceParallel);
+  EXPECT_NE(RVec->CSource.find("p8_pin_vecblk"), std::string::npos);
+  EXPECT_NE(RVec->CSource.find("p8_pin_aosoa_pack"), std::string::npos);
+  EXPECT_NE(RVec->Key, RLoop->Key)
+      << "pinned strategies must be cached independently";
+}
+
+TEST(ServiceBatchStrategy, AutoResolvesPersistsAndRoundTrips) {
+  TempDir Dir;
+  std::string Src = la::potrfSource(8);
+  GenOptions O;
+  O.Isa = &hostIsa();
+  O.FuncName = "p8_auto";
+
+  BatchStrategy Chosen;
+  bool Measured;
+  std::string Key;
+  {
+    service::ServiceConfig C;
+    C.CacheDir = Dir.Path;
+    ASSERT_EQ(C.Strategy, BatchStrategy::Auto) << "Auto is the default";
+    service::KernelService S(C);
+    service::GetResult R = S.get(Src, O, /*Batched=*/true);
+    ASSERT_TRUE(R) << R.Error;
+    Chosen = R->Strategy;
+    Key = R->Key;
+    EXPECT_NE(Chosen, BatchStrategy::Auto)
+        << "published artifacts carry a concrete strategy";
+    // With a compiler and cycle counter the choice is measured; otherwise
+    // the static model ran. Either way the disk tier records it.
+    Measured = runtime::haveSystemCompiler() && runtime::haveCycleCounter();
+    if (Measured && hostIsa().Nu >= 2)
+      EXPECT_EQ(S.stats().TunerRuns, 1);
+    std::string Meta = Dir.Path + "/" + Key + ".meta";
+    ASSERT_TRUE(std::filesystem::exists(Meta));
+    std::ifstream In(Meta);
+    std::string MetaText((std::istreambuf_iterator<char>(In)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(MetaText.find(std::string("strategy=") +
+                            batchStrategyName(Chosen)),
+              std::string::npos);
+  }
+
+  // A fresh service honors the persisted choice without re-measuring.
+  service::ServiceConfig C2;
+  C2.CacheDir = Dir.Path;
+  service::KernelService S2(C2);
+  service::GetResult R2 = S2.get(Src, O, /*Batched=*/true);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_EQ(S2.stats().DiskHits, 1);
+  EXPECT_EQ(S2.stats().Generations, 0);
+  EXPECT_EQ(S2.stats().TunerRuns, 0);
+  EXPECT_EQ(R2->Strategy, Chosen);
+  EXPECT_EQ(R2->Key, Key);
+}
+
+TEST(ServiceBatchStrategy, AutoDispatchMatchesIndividualCalls) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  service::KernelService S;
+  const int N = 8;
+  const int Count = 2 * hostIsa().Nu + 3; // blocks plus remainder
+  std::string Src = la::potrfSource(N);
+  GenOptions O;
+  O.Isa = &hostIsa();
+  O.FuncName = "p8_adsp";
+
+  service::GetResult Single = S.get(Src, O);
+  ASSERT_TRUE(Single) << Single.Error;
+  ASSERT_TRUE(Single->isCallable());
+
+  std::vector<double> ARef(Count * N * N), XRef(Count * N * N, 0.0);
+  for (int B = 0; B < Count; ++B) {
+    Rng Rand(4200 + B);
+    auto A = spd(N, Rand);
+    std::copy(A.begin(), A.end(), ARef.begin() + B * N * N);
+  }
+  std::vector<double> ABatch = ARef, XBatch(Count * N * N, 0.0);
+  for (int B = 0; B < Count; ++B) {
+    double *Bufs[2] = {ARef.data() + B * N * N, XRef.data() + B * N * N};
+    Single->call(Bufs);
+  }
+  double *Bufs[2] = {ABatch.data(), XBatch.data()};
+  service::GetResult Batched = S.dispatchBatch(Src, O, Count, Bufs);
+  ASSERT_TRUE(Batched) << Batched.Error;
+  EXPECT_NE(Batched->Strategy, BatchStrategy::Auto);
+  EXPECT_LT(maxAbsDiff(XBatch, XRef), 1e-10);
 }
 
 } // namespace

@@ -319,8 +319,8 @@ TEST(CEmitter, ScalarKernelText) {
   Function F = B.take({K.A, K.C});
   F.ParamWritable = {false, true};
   std::string C = emitTranslationUnit(F);
-  EXPECT_NE(C.find("void saxpyish(const double *restrict A, "
-                   "double *restrict C)"),
+  EXPECT_NE(C.find("void saxpyish(const double *__restrict A, "
+                   "double *__restrict C)"),
             std::string::npos)
       << C;
   EXPECT_NE(C.find("for (int i0 = 0; i0 < 16; i0 += 1)"), std::string::npos);

@@ -97,6 +97,25 @@ TEST(Slc, BatchFlagEmitsBatchEntry) {
   EXPECT_NE(R.Out.find("void potrfb_batch(int count"), std::string::npos);
 }
 
+TEST(Slc, BatchStrategyVecEmitsInstanceParallelEntry) {
+  std::string Path = writeLa(PotrfLa);
+  RunResult R = runSlc("-batch -batch-strategy vec -name potrfv " + Path);
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  EXPECT_NE(R.Out.find("void potrfv_batch(int count"), std::string::npos);
+  EXPECT_NE(R.Out.find("potrfv_vecblk"), std::string::npos);
+  EXPECT_NE(R.Out.find("potrfv_aosoa_pack"), std::string::npos);
+
+  RunResult L = runSlc("-batch -batch-strategy loop -name potrfv " + Path);
+  EXPECT_EQ(L.Status, 0) << L.Out;
+  EXPECT_NE(L.Out.find("void potrfv_batch(int count"), std::string::npos);
+  EXPECT_EQ(L.Out.find("potrfv_vecblk"), std::string::npos);
+
+  RunResult Bad = runSlc("-batch -batch-strategy bogus -name potrfv " + Path);
+  unlink(Path.c_str());
+  EXPECT_NE(Bad.Status, 0);
+  EXPECT_NE(Bad.Out.find("loop, vec, or auto"), std::string::npos);
+}
+
 TEST(Slc, CacheDirServesIdenticalOutputAcrossRuns) {
   std::string Path = writeLa(PotrfLa);
   std::string Dir = "/tmp/slc_test_cache_" + std::to_string(getpid());

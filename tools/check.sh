@@ -30,6 +30,17 @@ for LA in "$ROOT"/examples/*.la; do
   grep -q "_batch(int count" "$SMOKE_OUT"
   # Second run must serve the identical kernel from the disk cache.
   "$BUILD/slc" -batch -cache-dir "$SMOKE_CACHE" "$LA" | cmp -s - "$SMOKE_OUT"
+  # Both pinned batch strategies emit the shared batch ABI.
+  "$BUILD/slc" -batch -batch-strategy vec "$LA" > "$SMOKE_OUT"
+  grep -q "_batch(int count" "$SMOKE_OUT"
+  "$BUILD/slc" -batch -batch-strategy loop "$LA" > "$SMOKE_OUT"
+  grep -q "_batch(int count" "$SMOKE_OUT"
 done
+
+echo "== batch strategy bench smoke =="
+# One (size, count) point; the binary itself skips cleanly when no native
+# compiler or no vector ISA is available, so this passes everywhere.
+BENCH_OUT="$SMOKE_CACHE/BENCH_batch.json" "$ROOT/tools/bench_batch.sh" --smoke
+test -s "$SMOKE_CACHE/BENCH_batch.json"
 
 echo "check.sh: all green"

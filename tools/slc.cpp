@@ -19,6 +19,11 @@
 //                      when no C compiler is available)
 //     -cache-dir <dir> persist/reuse kernels in a KernelService disk cache
 //     -batch           also emit the <name>_batch(int count, ...) entry
+//     -batch-strategy  loop | vec | auto (default auto): how the batch
+//                      entry iterates instances -- a scalar loop, one
+//                      vector lane per instance (AoSoA), or pick per
+//                      kernel (measured under -measure/-cache-dir when
+//                      possible, by the static cost model otherwise)
 //     -print-basic     also print the Stage 1 basic program to stderr
 //     -print-variants  list HLACs and their variant counts, then exit
 //
@@ -26,6 +31,7 @@
 
 #include "la/Lower.h"
 #include "service/KernelService.h"
+#include "service/Tuner.h"
 #include "slingen/SLinGen.h"
 #include "support/Format.h"
 
@@ -52,6 +58,9 @@ void usage(const char *Argv0) {
           "                    compiler; falls back to the static model)\n"
           "  -cache-dir <dir>  persist/reuse compiled kernels across runs\n"
           "  -batch            also emit <name>_batch(int count, ...)\n"
+          "  -batch-strategy <s>  loop | vec | auto (default auto): scalar\n"
+          "                    loop, one vector lane per instance, or pick\n"
+          "                    per kernel\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
           "  -print-variants   list HLAC variant counts and exit\n",
           Argv0);
@@ -78,7 +87,8 @@ int main(int argc, char **argv) {
   std::string Input, Output, Isa = "avx", Name, VariantStr, CacheDir;
   int MaxVariants = 16;
   bool PrintBasic = false, PrintVariants = false, Measure = false,
-       Batch = false;
+       Batch = false, StrategySet = false;
+  BatchStrategy Strategy = BatchStrategy::Auto;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -105,6 +115,15 @@ int main(int argc, char **argv) {
       CacheDir = Next();
     else if (Arg == "-batch")
       Batch = true;
+    else if (Arg == "-batch-strategy") {
+      auto S = batchStrategyByName(Next());
+      if (!S) {
+        fprintf(stderr, "error: -batch-strategy takes loop, vec, or auto\n");
+        return 1;
+      }
+      Strategy = *S;
+      StrategySet = true;
+    }
     else if (Arg == "-print-basic")
       PrintBasic = true;
     else if (Arg == "-print-variants")
@@ -151,6 +170,8 @@ int main(int argc, char **argv) {
                     !PrintVariants;
   if (!VariantStr.empty() && (Measure || !CacheDir.empty()))
     fprintf(stderr, "warning: -variant bypasses -measure/-cache-dir\n");
+  if (StrategySet && !Batch)
+    fprintf(stderr, "warning: -batch-strategy has no effect without -batch\n");
 
   std::string C;
   if (UseService) {
@@ -161,6 +182,7 @@ int main(int argc, char **argv) {
     SC.CacheDir = CacheDir;
     SC.Measure = Measure;
     SC.MaxVariants = MaxVariants;
+    SC.Strategy = Strategy;
     service::KernelService Service(SC);
     service::GetResult R = Service.get(std::move(*Program), Options, Batch);
     if (!R) {
@@ -216,7 +238,32 @@ int main(int argc, char **argv) {
     C += "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
     C += " * ISA: " + Isa + ", static cost estimate: " +
          std::to_string(Result->Cost) + " cycles. */\n";
-    C += Batch ? emitBatchedC(*Result) : emitC(*Result);
+    if (!Batch) {
+      C += emitC(*Result);
+    } else {
+      // Without the service there is nothing to measure against, so Auto
+      // resolves by the static cost model alone; the chooser already
+      // produced the winning emission when vec won. (Mirrors the
+      // resolution ladder in KernelService::produce.)
+      BatchStrategy S = Strategy;
+      if (S == BatchStrategy::InstanceParallel && Options.Isa->Nu < 2) {
+        fprintf(stderr, "warning: -batch-strategy vec needs a vector ISA; "
+                        "emitting the scalar loop\n");
+        S = BatchStrategy::ScalarLoop;
+      }
+      std::string Emitted;
+      if (S == BatchStrategy::Auto) {
+        service::BatchChoice BC = service::chooseBatchStrategy(
+            *Result, Options, {}, /*AllowCompile=*/false);
+        S = BC.Strategy;
+        Emitted = std::move(BC.VecSource);
+      }
+      if (S == BatchStrategy::InstanceParallel && Emitted.empty())
+        Emitted = emitBatchedVectorC(*Result, &Options);
+      else if (S != BatchStrategy::InstanceParallel)
+        Emitted = emitBatchedC(*Result);
+      C += Emitted;
+    }
   }
 
   if (Output.empty()) {
