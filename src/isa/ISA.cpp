@@ -33,15 +33,20 @@ const VectorISA &slingen::hostIsa() {
   return Scalar;
 }
 
-const VectorISA &slingen::isaByName(const char *Name) {
+const VectorISA *slingen::isaByNameOrNull(const char *Name) {
   if (std::strcmp(Name, "scalar") == 0)
-    return Scalar;
+    return &Scalar;
   if (std::strcmp(Name, "sse2") == 0)
-    return Sse2;
+    return &Sse2;
   if (std::strcmp(Name, "avx") == 0)
-    return Avx;
+    return &Avx;
   if (std::strcmp(Name, "avx512") == 0)
-    return Avx512;
-  assert(false && "unknown ISA name");
-  return Scalar;
+    return &Avx512;
+  return nullptr;
+}
+
+const VectorISA &slingen::isaByName(const char *Name) {
+  const VectorISA *Isa = isaByNameOrNull(Name);
+  assert(Isa && "unknown ISA name");
+  return Isa ? *Isa : Scalar;
 }

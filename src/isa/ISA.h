@@ -37,6 +37,10 @@ const VectorISA &hostIsa();
 /// names.
 const VectorISA &isaByName(const char *Name);
 
+/// As isaByName but returns nullptr on unknown names -- for validating
+/// untrusted input (command-line flags, wire requests).
+const VectorISA *isaByNameOrNull(const char *Name);
+
 } // namespace slingen
 
 #endif // SLINGEN_ISA_ISA_H

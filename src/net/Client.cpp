@@ -1,0 +1,147 @@
+//===- net/Client.cpp -----------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+
+#include "net/Server.h" // parseAddr
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace slingen;
+using namespace slingen::net;
+
+std::optional<Client> Client::connect(const std::string &Addr,
+                                      std::string &Err) {
+  ParsedAddr P;
+  if (!parseAddr(Addr, P, Err))
+    return std::nullopt;
+
+  int Fd = -1;
+  if (P.IsUnix) {
+    if (P.UnixPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      Err = "unix socket path too long: " + P.UnixPath;
+      return std::nullopt;
+    }
+    Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Err = formatf("socket failed: %s", strerror(errno));
+      return std::nullopt;
+    }
+    sockaddr_un SA{};
+    SA.sun_family = AF_UNIX;
+    strncpy(SA.sun_path, P.UnixPath.c_str(), sizeof(SA.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0) {
+      Err = formatf("cannot connect to %s: %s", P.UnixPath.c_str(),
+                    strerror(errno));
+      close(Fd);
+      return std::nullopt;
+    }
+  } else {
+    addrinfo Hints{}, *Res = nullptr;
+    Hints.ai_family = AF_INET;
+    Hints.ai_socktype = SOCK_STREAM;
+    int Rc = getaddrinfo(P.Host.c_str(), std::to_string(P.Port).c_str(),
+                         &Hints, &Res);
+    if (Rc != 0 || !Res) {
+      Err = formatf("cannot resolve %s: %s", P.Host.c_str(),
+                    gai_strerror(Rc));
+      return std::nullopt;
+    }
+    Fd = socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
+    if (Fd < 0 ||
+        ::connect(Fd, Res->ai_addr, Res->ai_addrlen) != 0) {
+      Err = formatf("cannot connect to %s:%d: %s", P.Host.c_str(), P.Port,
+                    strerror(errno));
+      if (Fd >= 0)
+        close(Fd);
+      freeaddrinfo(Res);
+      return std::nullopt;
+    }
+    freeaddrinfo(Res);
+  }
+
+  Client C;
+  C.Fd = Fd;
+  return C;
+}
+
+Client::Client(Client &&O) noexcept : Fd(O.Fd), MaxPayload(O.MaxPayload) {
+  O.Fd = -1;
+}
+
+Client &Client::operator=(Client &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      close(Fd);
+    Fd = O.Fd;
+    MaxPayload = O.MaxPayload;
+    O.Fd = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    close(Fd);
+}
+
+bool Client::roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
+                       std::string &ReplyPayload, std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, V, Payload, Err))
+    return false;
+  Frame F;
+  ReadStatus RS = readFrame(Fd, F, Err, MaxPayload);
+  if (RS == ReadStatus::Eof) {
+    Err = "daemon closed the connection";
+    return false;
+  }
+  if (RS == ReadStatus::Error)
+    return false;
+  if (F.verb() == Verb::Error) {
+    Err = F.Payload.empty() ? "daemon reported an error" : F.Payload;
+    return false;
+  }
+  if (F.verb() != ExpectReply) {
+    Err = formatf("unexpected reply verb 0x%02x", F.VerbByte);
+    return false;
+  }
+  ReplyPayload = std::move(F.Payload);
+  return true;
+}
+
+bool Client::get(const Request &R, ArtifactMsg &Out, std::string &Err) {
+  std::string Reply;
+  if (!roundTrip(Verb::Get, encodeRequest(R), Verb::Artifact, Reply, Err))
+    return false;
+  return decodeArtifact(Reply, Out, Err);
+}
+
+bool Client::warm(const Request &R, std::string &Err) {
+  std::string Reply;
+  return roundTrip(Verb::Warm, encodeRequest(R), Verb::Ok, Reply, Err);
+}
+
+bool Client::ping(std::string &Err) {
+  std::string Reply;
+  return roundTrip(Verb::Ping, "", Verb::Ok, Reply, Err);
+}
+
+bool Client::stats(std::string &Out, std::string &Err) {
+  return roundTrip(Verb::Stats, "", Verb::Ok, Out, Err);
+}

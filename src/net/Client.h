@@ -1,0 +1,76 @@
+//===- net/Client.h - blocking sld protocol client ------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the sld protocol: connect to a daemon (Unix path or
+/// loopback TCP), issue GET/WARM/PING/STATS requests, decode the replies.
+/// One Client is one connection; requests on it are strictly sequential
+/// (send, then block for the reply). It is movable, not copyable, and not
+/// thread-safe -- concurrent callers open their own connections, which is
+/// exactly what the single-flight test does to hammer one key.
+///
+/// The received ArtifactMsg carries the compiled kernel as .so bytes;
+/// ArtifactMsg-consuming callers hand them to JitKernel::loadFromBytes()
+/// to get a callable kernel with no local generator or C compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_NET_CLIENT_H
+#define SLINGEN_NET_CLIENT_H
+
+#include "net/Protocol.h"
+#include "net/Wire.h"
+
+#include <optional>
+#include <string>
+
+namespace slingen {
+namespace net {
+
+class Client {
+public:
+  /// Connects to \p Addr (see parseAddr for accepted forms). Returns
+  /// std::nullopt with \p Err on parse or connect failure.
+  static std::optional<Client> connect(const std::string &Addr,
+                                       std::string &Err);
+
+  Client(Client &&O) noexcept;
+  Client &operator=(Client &&O) noexcept;
+  ~Client();
+
+  /// GET: serve (generating if needed) the kernel for \p R.
+  bool get(const Request &R, ArtifactMsg &Out, std::string &Err);
+
+  /// WARM: queue a background prefetch on the daemon; returns once the
+  /// daemon acknowledged the queueing, not the generation.
+  bool warm(const Request &R, std::string &Err);
+
+  /// PING: liveness probe.
+  bool ping(std::string &Err);
+
+  /// STATS: the daemon's ServiceStats as `key=value` lines.
+  bool stats(std::string &Out, std::string &Err);
+
+  /// Payload cap applied to incoming response frames. Artifact responses
+  /// carry C source and .so bytes, so the default is deliberately roomy.
+  void setMaxPayload(size_t Max) { MaxPayload = Max; }
+
+private:
+  Client() = default;
+
+  /// One request/response exchange; fails on transport errors, ERR
+  /// responses (their message becomes \p Err), and unexpected verbs.
+  bool roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
+                 std::string &ReplyPayload, std::string &Err);
+
+  int Fd = -1;
+  size_t MaxPayload = DefaultMaxPayload;
+};
+
+} // namespace net
+} // namespace slingen
+
+#endif // SLINGEN_NET_CLIENT_H

@@ -1,0 +1,142 @@
+//===- net/Protocol.cpp ---------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include "net/Wire.h"
+#include "slingen/OptionsIO.h"
+
+using namespace slingen;
+using namespace slingen::net;
+
+std::string net::encodeRequest(const Request &R) {
+  ByteWriter W;
+  W.str(R.LaSource);
+  W.str(R.OptionsText);
+  W.u8(R.Batched ? 1 : 0);
+  W.str(R.StrategyName);
+  W.u8(R.MeasureOverride < 0 ? 0xff
+                             : static_cast<uint8_t>(R.MeasureOverride));
+  W.u8(R.WantSo ? 1 : 0);
+  return W.take();
+}
+
+bool net::decodeRequest(const std::string &Payload, Request &R,
+                        std::string &Err) {
+  ByteReader B(Payload);
+  uint8_t Batched, Measure, WantSo;
+  if (!B.str(R.LaSource) || !B.str(R.OptionsText) || !B.u8(Batched) ||
+      !B.str(R.StrategyName) || !B.u8(Measure) || !B.u8(WantSo) ||
+      !B.atEnd()) {
+    Err = "malformed request payload";
+    return false;
+  }
+  if (Batched > 1 || WantSo > 1 || (Measure > 1 && Measure != 0xff)) {
+    Err = "malformed request payload";
+    return false;
+  }
+  R.Batched = Batched == 1;
+  R.MeasureOverride = Measure == 0xff ? -1 : Measure;
+  R.WantSo = WantSo == 1;
+  return true;
+}
+
+bool net::requestToServiceArgs(const Request &R, GenOptions &Options,
+                               service::RequestOptions &Req,
+                               std::string &Err) {
+  if (!deserializeGenOptions(R.OptionsText, Options, Err))
+    return false;
+  Req = {};
+  Req.Batched = R.Batched;
+  if (!R.StrategyName.empty()) {
+    auto S = batchStrategyByName(R.StrategyName);
+    if (!S) {
+      Err = "unknown batch strategy '" + R.StrategyName + "'";
+      return false;
+    }
+    Req.Strategy = *S;
+  }
+  if (R.MeasureOverride >= 0)
+    Req.Measure = R.MeasureOverride != 0;
+  return true;
+}
+
+std::string net::encodeArtifact(const ArtifactMsg &A) {
+  ByteWriter W;
+  W.str(A.Key);
+  W.str(A.FuncName);
+  W.str(A.IsaName);
+  W.u32(static_cast<uint32_t>(A.NumParams));
+  W.u8(A.Batched ? 1 : 0);
+  W.str(A.StrategyName);
+  W.u32(static_cast<uint32_t>(A.Choice.size()));
+  for (int C : A.Choice)
+    W.u32(static_cast<uint32_t>(C));
+  W.u64(static_cast<uint64_t>(A.StaticCost));
+  W.u8(A.Measured ? 1 : 0);
+  W.f64(A.MeasuredCycles);
+  W.str(A.CSource);
+  W.str(A.SoBytes);
+  return W.take();
+}
+
+bool net::decodeArtifact(const std::string &Payload, ArtifactMsg &A,
+                         std::string &Err) {
+  ByteReader B(Payload);
+  uint32_t NumParams, ChoiceLen;
+  uint64_t Cost;
+  uint8_t Batched, Measured;
+  if (!B.str(A.Key) || !B.str(A.FuncName) || !B.str(A.IsaName) ||
+      !B.u32(NumParams) || !B.u8(Batched) || !B.str(A.StrategyName) ||
+      !B.u32(ChoiceLen)) {
+    Err = "malformed artifact payload";
+    return false;
+  }
+  // Each choice entry costs 4 payload bytes, so a hostile length prefix
+  // cannot reserve more than the frame itself carried.
+  A.Choice.clear();
+  for (uint32_t I = 0; I < ChoiceLen; ++I) {
+    uint32_t C;
+    if (!B.u32(C)) {
+      Err = "malformed artifact payload";
+      return false;
+    }
+    A.Choice.push_back(static_cast<int>(C));
+  }
+  if (!B.u64(Cost) || !B.u8(Measured) || !B.f64(A.MeasuredCycles) ||
+      !B.str(A.CSource) || !B.str(A.SoBytes) || !B.atEnd()) {
+    Err = "malformed artifact payload";
+    return false;
+  }
+  if (Batched > 1 || Measured > 1) {
+    Err = "malformed artifact payload";
+    return false;
+  }
+  A.NumParams = static_cast<int>(NumParams);
+  A.Batched = Batched == 1;
+  A.StaticCost = static_cast<long>(Cost);
+  A.Measured = Measured == 1;
+  return true;
+}
+
+ArtifactMsg net::artifactToMsg(const service::KernelArtifact &A,
+                               std::string SoBytes) {
+  ArtifactMsg M;
+  M.Key = A.Key;
+  M.FuncName = A.FuncName;
+  M.IsaName = A.IsaName;
+  M.NumParams = A.NumParams;
+  M.Batched = A.Batched;
+  if (A.Batched)
+    M.StrategyName = batchStrategyName(A.Strategy);
+  M.Choice = A.Choice;
+  M.StaticCost = A.StaticCost;
+  M.Measured = A.Measured;
+  M.MeasuredCycles = A.MeasuredCycles;
+  M.CSource = A.CSource;
+  M.SoBytes = std::move(SoBytes);
+  return M;
+}

@@ -1,0 +1,94 @@
+//===- net/Protocol.h - sld request/response messages ---------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The message layer of the sld protocol: what rides inside the Wire.h
+/// frames. Two payload shapes exist:
+///
+///   Request      (verbs GET and WARM) an LA program as source text, the
+///                GenOptions document (see slingen/OptionsIO.h), the
+///                batched bit, and optional per-request overrides of the
+///                daemon's batch strategy and measured-tuning default.
+///   ArtifactMsg  (verb ARTIFACT) everything a client needs to use a
+///                kernel without a local generator or compiler: the
+///                emitted C, full provenance (key, choice vector, tuning
+///                data), and the compiled shared object as raw bytes --
+///                dlopen-able on the client via JitKernel::loadFromBytes.
+///
+/// Decoders validate strictly (no trailing bytes, no unknown strategy
+/// names) and fail with a message rather than guessing: a frame that
+/// decodes is a frame whose every field is meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_NET_PROTOCOL_H
+#define SLINGEN_NET_PROTOCOL_H
+
+#include "service/KernelService.h"
+
+#include <string>
+#include <vector>
+
+namespace slingen {
+namespace net {
+
+/// A GET/WARM payload.
+struct Request {
+  std::string LaSource;    ///< the LA program text
+  std::string OptionsText; ///< serializeGenOptions() document (may be empty)
+  bool Batched = false;
+  /// Batch-strategy override ("loop"/"vec"/"auto"); empty defers to the
+  /// daemon's configured strategy.
+  std::string StrategyName;
+  /// Measured-tuning override: -1 defers to the daemon, 0/1 force. A
+  /// produce-time policy: it governs how a cache miss is generated, and
+  /// an already-cached artifact is served as-is (ArtifactMsg::Measured
+  /// reports what this kernel actually got).
+  int MeasureOverride = -1;
+  /// When false the response omits the .so bytes (clients that only want
+  /// the C source skip the biggest field).
+  bool WantSo = true;
+};
+
+std::string encodeRequest(const Request &R);
+bool decodeRequest(const std::string &Payload, Request &R, std::string &Err);
+
+/// Builds the service-side view of a request: GenOptions from the options
+/// document and RequestOptions from the override fields. Fails (with
+/// \p Err) on malformed options, unknown strategy names, or out-of-range
+/// overrides.
+bool requestToServiceArgs(const Request &R, GenOptions &Options,
+                          service::RequestOptions &Req, std::string &Err);
+
+/// An ARTIFACT payload: KernelArtifact, flattened for the wire.
+struct ArtifactMsg {
+  std::string Key;
+  std::string FuncName;
+  std::string IsaName;
+  int NumParams = 0;
+  bool Batched = false;
+  std::string StrategyName; ///< "loop"/"vec" (batched artifacts only)
+  std::vector<int> Choice;
+  long StaticCost = 0;
+  bool Measured = false;
+  double MeasuredCycles = 0.0;
+  std::string CSource;
+  std::string SoBytes; ///< compiled shared object; empty when source-only
+};
+
+std::string encodeArtifact(const ArtifactMsg &A);
+bool decodeArtifact(const std::string &Payload, ArtifactMsg &A,
+                    std::string &Err);
+
+/// Flattens a served artifact (plus the .so bytes the server read for it,
+/// empty when source-only or not requested) into the wire shape.
+ArtifactMsg artifactToMsg(const service::KernelArtifact &A,
+                          std::string SoBytes);
+
+} // namespace net
+} // namespace slingen
+
+#endif // SLINGEN_NET_PROTOCOL_H

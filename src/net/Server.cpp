@@ -1,0 +1,339 @@
+//===- net/Server.cpp -----------------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+
+#include "la/Lower.h"
+#include "net/Protocol.h"
+#include "support/File.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace slingen;
+using namespace slingen::net;
+
+namespace {
+
+/// True when a peer answers on the Unix socket at \p Path -- distinguishes
+/// a live daemon from a stale socket file left by a crash.
+bool unixSocketAlive(const std::string &Path) {
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  bool Alive = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                         sizeof(Addr)) == 0;
+  close(Fd);
+  return Alive;
+}
+
+int listenUnix(const std::string &Path, std::string &Err) {
+  if (Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    Err = "unix socket path too long: " + Path;
+    return -1;
+  }
+  if (unixSocketAlive(Path)) {
+    Err = "socket " + Path + " is already served by a live daemon";
+    return -1;
+  }
+  unlink(Path.c_str()); // stale file from a previous run
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = formatf("socket failed: %s", strerror(errno));
+    return -1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      listen(Fd, 64) != 0) {
+    Err = formatf("cannot listen on %s: %s", Path.c_str(), strerror(errno));
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int listenTcp(int Port, int &BoundPort, std::string &Err) {
+  int Fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = formatf("socket failed: %s", strerror(errno));
+    return -1;
+  }
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK); // never a public interface
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      listen(Fd, 64) != 0) {
+    Err = formatf("cannot listen on 127.0.0.1:%d: %s", Port,
+                  strerror(errno));
+    close(Fd);
+    return -1;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  return Fd;
+}
+
+} // namespace
+
+bool net::parseAddr(const std::string &Addr, ParsedAddr &Out,
+                    std::string &Err) {
+  Out = {};
+  std::string Rest = Addr;
+  if (Rest.rfind("unix:", 0) == 0) {
+    Out.IsUnix = true;
+    Out.UnixPath = Rest.substr(5);
+    return !Out.UnixPath.empty() ||
+           (Err = "empty unix socket path", false);
+  }
+  if (Rest.rfind("tcp:", 0) == 0)
+    Rest = Rest.substr(4);
+  else if (Rest.find('/') != std::string::npos) {
+    Out.IsUnix = true;
+    Out.UnixPath = Rest;
+    return true;
+  }
+  size_t Colon = Rest.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == Rest.size()) {
+    Err = "address '" + Addr +
+          "' is neither a socket path nor host:port";
+    return false;
+  }
+  Out.Host = Rest.substr(0, Colon);
+  if (Out.Host.empty())
+    Out.Host = "127.0.0.1";
+  for (size_t I = Colon + 1; I < Rest.size(); ++I)
+    if (!isdigit(static_cast<unsigned char>(Rest[I]))) {
+      Err = "bad port in address '" + Addr + "'";
+      return false;
+    }
+  Out.Port = atoi(Rest.c_str() + Colon + 1);
+  if (Out.Port <= 0 || Out.Port > 65535) {
+    Err = "bad port in address '" + Addr + "'";
+    return false;
+  }
+  return true;
+}
+
+Server::Server(service::KernelService &Svc, ServerConfig Config)
+    : Svc(Svc), Cfg(std::move(Config)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string &Err) {
+  if (Started) {
+    Err = "server already started";
+    return false;
+  }
+  if (Cfg.UnixPath.empty() && Cfg.TcpPort < 0) {
+    Err = "no listener configured (need a unix path or a TCP port)";
+    return false;
+  }
+  if (!Cfg.UnixPath.empty()) {
+    UnixFd = listenUnix(Cfg.UnixPath, Err);
+    if (UnixFd < 0)
+      return false;
+  }
+  if (Cfg.TcpPort >= 0) {
+    TcpFd = listenTcp(Cfg.TcpPort, BoundTcpPort, Err);
+    if (TcpFd < 0) {
+      if (UnixFd >= 0) {
+        close(UnixFd);
+        UnixFd = -1;
+        unlink(Cfg.UnixPath.c_str());
+      }
+      return false;
+    }
+  }
+  Started = true;
+  if (UnixFd >= 0)
+    AcceptThreads.emplace_back([this] { acceptLoop(UnixFd); });
+  if (TcpFd >= 0)
+    AcceptThreads.emplace_back([this] { acceptLoop(TcpFd); });
+  return true;
+}
+
+void Server::stop() {
+  if (!Started || Stopping.exchange(true))
+    return;
+  // Closing the listeners makes the blocked accept() calls fail and the
+  // accept loops exit.
+  if (UnixFd >= 0)
+    shutdown(UnixFd, SHUT_RDWR);
+  if (TcpFd >= 0)
+    shutdown(TcpFd, SHUT_RDWR);
+  if (UnixFd >= 0)
+    close(UnixFd);
+  if (TcpFd >= 0)
+    close(TcpFd);
+  for (auto &T : AcceptThreads)
+    T.join();
+  AcceptThreads.clear();
+  // Unblock every connection thread stuck in read(), then join.
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    for (auto &C : Connections)
+      if (C->Fd >= 0)
+        shutdown(C->Fd, SHUT_RDWR);
+  }
+  for (;;) {
+    std::unique_ptr<Connection> Conn;
+    {
+      std::lock_guard<std::mutex> L(ConnMu);
+      if (Connections.empty())
+        break;
+      Conn = std::move(Connections.front());
+      Connections.pop_front();
+    }
+    Conn->Thread.join();
+  }
+  if (UnixFd >= 0)
+    unlink(Cfg.UnixPath.c_str());
+  UnixFd = TcpFd = -1;
+}
+
+void Server::reapFinishedConnections() {
+  std::lock_guard<std::mutex> L(ConnMu);
+  for (auto It = Connections.begin(); It != Connections.end();) {
+    if ((*It)->Done.load()) {
+      (*It)->Thread.join();
+      It = Connections.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void Server::acceptLoop(int ListenFd) {
+  while (!Stopping.load()) {
+    int Fd = accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener closed (stop()) or broken beyond repair
+    }
+    if (Stopping.load()) {
+      close(Fd);
+      return;
+    }
+    reapFinishedConnections();
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Connection *Raw = Conn.get();
+    {
+      // The thread member is assigned under the same lock the reaper and
+      // stop() take, so a connection that finishes instantly can never be
+      // join()ed mid-assignment by the other accept thread.
+      std::lock_guard<std::mutex> L(ConnMu);
+      Connections.push_back(std::move(Conn));
+      Raw->Thread = std::thread([this, Raw] { serveConnection(*Raw); });
+    }
+  }
+}
+
+void Server::serveConnection(Connection &Conn) {
+  for (;;) {
+    Frame F;
+    std::string Err;
+    ReadStatus RS = readFrame(Conn.Fd, F, Err, Cfg.MaxPayload);
+    if (RS == ReadStatus::Eof)
+      break;
+    if (RS == ReadStatus::Error) {
+      // Oversized/bad-magic/torn input: tell the peer why (best effort;
+      // for a torn frame it is likely gone) and drop the connection --
+      // the stream can no longer be trusted to be frame-aligned.
+      std::string Ignored;
+      writeFrame(Conn.Fd, Verb::Error, Err, Ignored);
+      break;
+    }
+    if (!handleFrame(Conn.Fd, F))
+      break;
+  }
+  // Closed under ConnMu so stop()'s shutdown pass never touches a
+  // recycled descriptor number.
+  {
+    std::lock_guard<std::mutex> L(ConnMu);
+    close(Conn.Fd);
+    Conn.Fd = -1;
+  }
+  Conn.Done = true;
+}
+
+bool Server::handleFrame(int Fd, const Frame &F) {
+  ++Served;
+  std::string Err;
+  auto Respond = [&](Verb V, const std::string &Payload) {
+    std::string WriteErr;
+    return writeFrame(Fd, V, Payload, WriteErr);
+  };
+
+  switch (F.verb()) {
+  case Verb::Ping:
+    return Respond(Verb::Ok, "pong");
+
+  case Verb::Stats:
+    return Respond(Verb::Ok, serializeServiceStats(Svc.stats()));
+
+  case Verb::Get:
+  case Verb::Warm: {
+    Request R;
+    if (!decodeRequest(F.Payload, R, Err))
+      return Respond(Verb::Error, Err);
+    GenOptions Options;
+    service::RequestOptions Req;
+    if (!requestToServiceArgs(R, Options, Req, Err))
+      return Respond(Verb::Error, Err);
+
+    if (F.verb() == Verb::Warm) {
+      // Parse the program before queueing (options were validated above),
+      // so a malformed warm list fails loudly at the client instead of
+      // silently warming nothing; only the generate+compile is async.
+      if (!la::compileLa(R.LaSource, Err))
+        return Respond(Verb::Error, "parse error: " + Err);
+      Svc.prefetch(R.LaSource, Options, Req);
+      return Respond(Verb::Ok, "queued");
+    }
+
+    service::GetResult G = Svc.get(R.LaSource, Options, Req);
+    if (!G)
+      return Respond(Verb::Error, G.Error);
+    std::string SoBytes;
+    if (R.WantSo && G->isCallable()) {
+      bool Ok = false;
+      SoBytes = readFile(G->Kernel->soPath(), &Ok);
+      if (!Ok)
+        SoBytes.clear(); // degrade to source-only over the wire
+    }
+    return Respond(Verb::Artifact,
+                   encodeArtifact(artifactToMsg(*G.Kernel, SoBytes)));
+  }
+
+  case Verb::Artifact:
+  case Verb::Ok:
+  case Verb::Error:
+    break; // response verbs from a client are a protocol violation
+  }
+  // Unknown or misplaced verb: answer (the frame boundary is intact) but
+  // keep serving -- a newer client probing an older daemon deserves a
+  // diagnosable error, not a hangup.
+  return Respond(Verb::Error,
+                 formatf("unsupported verb 0x%02x", F.VerbByte));
+}

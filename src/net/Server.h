@@ -1,0 +1,125 @@
+//===- net/Server.h - the sld multi-client serving loop -------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network front end of KernelService: listens on a Unix-domain socket
+/// (and optionally a loopback TCP port), speaks the Wire.h/Protocol.h
+/// protocol, and funnels every request into one shared KernelService -- so
+/// N clients missing on the same key still trigger exactly one
+/// generate+compile (the service's single-flight), and WARM verbs land in
+/// the service's background prefetch pool.
+///
+/// Threading model: one accept thread per listener and one thread per live
+/// connection (kernel generation is seconds-scale and compute-bound, so
+/// connection counts stay far below where thread-per-connection hurts;
+/// finished connection threads are reaped on the next accept). stop() --
+/// also run by the destructor -- closes the listeners, shuts down every
+/// live connection, and joins all threads; it is idempotent.
+///
+/// A malformed frame ends its connection; a well-framed but malformed
+/// request gets an ERR response and the connection lives on. Either way
+/// the daemon itself never dies on client input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_NET_SERVER_H
+#define SLINGEN_NET_SERVER_H
+
+#include "net/Wire.h"
+#include "service/KernelService.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace slingen {
+namespace net {
+
+struct ServerConfig {
+  /// Unix-domain socket path; empty disables the Unix listener. A stale
+  /// socket file (no live daemon behind it) is replaced; a live one makes
+  /// start() fail instead of hijacking the address.
+  std::string UnixPath;
+  /// TCP port on 127.0.0.1; -1 disables, 0 picks an ephemeral port (see
+  /// Server::tcpPort()). Loopback only: the protocol is unauthenticated
+  /// and ships executable code, so it must never face a network boundary
+  /// wider than the host.
+  int TcpPort = -1;
+  /// Per-frame payload cap for incoming requests.
+  size_t MaxPayload = DefaultMaxPayload;
+};
+
+class Server {
+public:
+  /// \p Svc must outlive the server.
+  Server(service::KernelService &Svc, ServerConfig Config);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the configured listeners and starts accepting. Fails (with
+  /// \p Err) when no listener is configured or a bind/listen fails.
+  bool start(std::string &Err);
+
+  /// Stops accepting, disconnects every client, joins all threads.
+  void stop();
+
+  /// The bound TCP port (resolves ephemeral requests), -1 when disabled.
+  int tcpPort() const { return BoundTcpPort; }
+  const std::string &unixPath() const { return Cfg.UnixPath; }
+
+  /// Frames answered so far (tests and the daemon's shutdown log line).
+  long framesServed() const { return Served.load(); }
+
+  service::KernelService &service() { return Svc; }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    std::thread Thread;
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop(int ListenFd);
+  void serveConnection(Connection &Conn);
+  /// Handles one decoded frame; returns false when the connection must
+  /// close (protocol desync or peer gone).
+  bool handleFrame(int Fd, const Frame &F);
+  void reapFinishedConnections();
+
+  service::KernelService &Svc;
+  ServerConfig Cfg;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+  int UnixFd = -1, TcpFd = -1;
+  int BoundTcpPort = -1;
+  std::vector<std::thread> AcceptThreads;
+  std::mutex ConnMu;
+  std::list<std::unique_ptr<Connection>> Connections;
+  std::atomic<long> Served{0};
+};
+
+/// Splits \p Addr into a Unix path or a loopback TCP endpoint, shared by
+/// Client::connect and the tools' flag parsing. Accepted forms:
+/// "unix:<path>", any string containing '/' (a path), "tcp:<host>:<port>",
+/// and "<host>:<port>". Returns false on anything else.
+struct ParsedAddr {
+  bool IsUnix = false;
+  std::string UnixPath;
+  std::string Host;
+  int Port = 0;
+};
+bool parseAddr(const std::string &Addr, ParsedAddr &Out, std::string &Err);
+
+} // namespace net
+} // namespace slingen
+
+#endif // SLINGEN_NET_SERVER_H

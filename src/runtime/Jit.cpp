@@ -162,6 +162,36 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
   return K;
 }
 
+std::optional<JitKernel> JitKernel::loadFromBytes(const std::string &SoBytes,
+                                                  const std::string &FuncName,
+                                                  int NumParams,
+                                                  std::string &Err,
+                                                  bool WithBatchEntry) {
+  std::string SoPath = uniqueBase() + ".so";
+  {
+    std::ofstream Out(SoPath, std::ios::binary);
+    if (!Out) {
+      Err = "cannot write " + SoPath;
+      return std::nullopt;
+    }
+    Out.write(SoBytes.data(),
+              static_cast<std::streamsize>(SoBytes.size()));
+    Out.close();
+    if (!Out) {
+      Err = "cannot write " + SoPath;
+      unlink(SoPath.c_str());
+      return std::nullopt;
+    }
+  }
+  auto K = load(SoPath, FuncName, NumParams, Err, WithBatchEntry);
+  if (!K) {
+    unlink(SoPath.c_str());
+    return std::nullopt;
+  }
+  K->OwnsSo = true; // the staged temporary dies with the kernel
+  return K;
+}
+
 std::optional<JitKernel> JitKernel::load(const std::string &SoPath,
                                          const std::string &FuncName,
                                          int NumParams, std::string &Err,

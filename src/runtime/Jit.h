@@ -79,6 +79,21 @@ public:
                                        int NumParams, std::string &Err,
                                        bool WithBatchEntry = false);
 
+  /// Loads a shared object delivered as raw bytes (the sld wire protocol
+  /// ships compiled kernels this way, so clients dlopen without a local C
+  /// compiler). The bytes are staged to a private temporary file, which is
+  /// removed when the kernel unloads.
+  static std::optional<JitKernel> loadFromBytes(const std::string &SoBytes,
+                                                const std::string &FuncName,
+                                                int NumParams,
+                                                std::string &Err,
+                                                bool WithBatchEntry = false);
+
+  /// Path of the loaded shared object (the cache-owned or temporary file
+  /// this kernel was dlopen'd from); the sld server reads these bytes to
+  /// ship the object to remote clients.
+  const std::string &soPath() const { return SoPath; }
+
   /// Invokes the kernel with the given parameter buffers (size NumParams).
   void call(double *const *Buffers) const { Entry(Buffers); }
 

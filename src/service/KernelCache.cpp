@@ -9,6 +9,7 @@
 #include "isa/ISA.h"
 #include "support/File.h"
 #include "support/Format.h"
+#include "support/KeyValue.h"
 
 #include <cstdio>
 #include <filesystem>
@@ -67,40 +68,71 @@ size_t KernelCache::size() const {
   return Map.size();
 }
 
-std::string KernelCache::cPathFor(const std::string &Key) const {
-  return Dir + "/" + Key + ".c";
-}
-std::string KernelCache::soPathFor(const std::string &Key) const {
-  return Dir + "/" + Key + ".so";
-}
-std::string KernelCache::metaPathFor(const std::string &Key) const {
-  return Dir + "/" + Key + ".meta";
-}
-
-bool KernelCache::onDisk(const std::string &Key) const {
-  if (Dir.empty())
-    return false;
-  std::error_code Ec;
-  return fs::exists(metaPathFor(Key), Ec) && fs::exists(cPathFor(Key), Ec);
-}
-
 namespace {
 
-/// Parses the `key=value` lines of a .meta file.
-std::unordered_map<std::string, std::string>
-parseMeta(const std::string &Text) {
-  std::unordered_map<std::string, std::string> KV;
-  std::stringstream SS(Text);
-  std::string Line;
-  while (std::getline(SS, Line)) {
-    size_t Eq = Line.find('=');
-    if (Eq != std::string::npos)
-      KV[Line.substr(0, Eq)] = Line.substr(Eq + 1);
-  }
-  return KV;
+/// `ab/cdef...` -- 256-way fan-out by the leading two hex digits. Keys are
+/// fixed-width hexDigest() output; anything shorter (never produced by the
+/// service) stays unsharded rather than fabricating a one-char shard.
+std::string shardedStem(const std::string &Key) {
+  if (Key.size() < 3)
+    return Key;
+  return Key.substr(0, 2) + "/" + Key.substr(2);
 }
 
 } // namespace
+
+KernelCache::EntryPaths KernelCache::pathsFor(const std::string &Key) const {
+  std::string Stem = Dir + "/" + shardedStem(Key);
+  return {Stem + ".c", Stem + ".so", Stem + ".meta"};
+}
+
+KernelCache::EntryPaths
+KernelCache::flatPathsFor(const std::string &Key) const {
+  std::string Stem = Dir + "/" + Key;
+  return {Stem + ".c", Stem + ".so", Stem + ".meta"};
+}
+
+std::string KernelCache::cPathFor(const std::string &Key) const {
+  return pathsFor(Key).C;
+}
+std::string KernelCache::soPathFor(const std::string &Key) const {
+  return pathsFor(Key).So;
+}
+std::string KernelCache::metaPathFor(const std::string &Key) const {
+  return pathsFor(Key).Meta;
+}
+
+void KernelCache::ensureEntryDir(const std::string &Key) const {
+  if (Dir.empty() || Key.size() < 3)
+    return;
+  std::error_code Ec;
+  fs::create_directories(Dir + "/" + Key.substr(0, 2), Ec);
+}
+
+bool KernelCache::resolveOnDisk(const std::string &Key,
+                                EntryPaths &Out) const {
+  if (Dir.empty())
+    return false;
+  std::error_code Ec;
+  EntryPaths Sharded = pathsFor(Key);
+  if (fs::exists(Sharded.Meta, Ec) && fs::exists(Sharded.C, Ec)) {
+    Out = Sharded;
+    return true;
+  }
+  // Pre-shard flat entry: a cache directory written before sharding (or
+  // rsync'd from one) keeps serving without migration.
+  EntryPaths Flat = flatPathsFor(Key);
+  if (fs::exists(Flat.Meta, Ec) && fs::exists(Flat.C, Ec)) {
+    Out = Flat;
+    return true;
+  }
+  return false;
+}
+
+bool KernelCache::onDisk(const std::string &Key) const {
+  EntryPaths P;
+  return resolveOnDisk(Key, P);
+}
 
 ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
                                       std::string &Err) {
@@ -108,13 +140,18 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
     Err = "no disk tier configured";
     return nullptr;
   }
+  EntryPaths Paths;
+  if (!resolveOnDisk(Key, Paths)) {
+    Err = "no disk entry for " + Key;
+    return nullptr;
+  }
   bool Ok = false;
-  std::string MetaText = readFile(metaPathFor(Key), &Ok);
+  std::string MetaText = readFile(Paths.Meta, &Ok);
   if (!Ok) {
     Err = "no disk entry for " + Key;
     return nullptr;
   }
-  auto KV = parseMeta(MetaText);
+  auto KV = parseKeyValueMap(MetaText);
   auto A = std::make_shared<KernelArtifact>();
   A->Key = Key;
   A->FuncName = KV["func"];
@@ -141,17 +178,23 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
     Err = "corrupt meta for " + Key;
     return nullptr;
   }
-  A->CSource = readFile(cPathFor(Key), &Ok);
+  A->CSource = readFile(Paths.C, &Ok);
   if (!Ok || A->CSource.empty()) {
     Err = "missing cached source for " + Key;
     return nullptr;
   }
 
+  // The object may live beside the meta, or -- for a flat entry whose .so
+  // was later recompiled by the service -- at the canonical sharded path.
   std::error_code Ec;
-  if (fs::exists(soPathFor(Key), Ec)) {
+  std::string SoPath = Paths.So;
+  if (!fs::exists(SoPath, Ec) && SoPath != soPathFor(Key) &&
+      fs::exists(soPathFor(Key), Ec))
+    SoPath = soPathFor(Key);
+  if (fs::exists(SoPath, Ec)) {
     std::string LoadErr;
-    auto K = runtime::JitKernel::load(soPathFor(Key), A->FuncName,
-                                      A->NumParams, LoadErr, A->Batched);
+    auto K = runtime::JitKernel::load(SoPath, A->FuncName, A->NumParams,
+                                      LoadErr, A->Batched);
     // A stale/foreign .so is not fatal: the service recompiles from the
     // cached source instead of failing the request.
     if (K)
@@ -167,6 +210,7 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
   }
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
+  ensureEntryDir(A.Key);
   // Both files are published via rename: concurrent readers (other threads
   // or other processes sharing the directory) never see torn content.
   std::string CTmp = cPathFor(A.Key) + formatf(".tmp%d", getpid());

@@ -13,11 +13,16 @@
 ///                eviction only drops the cache reference, in-flight users
 ///                keep the kernel loaded.
 ///   disk tier    optional directory persisting, per key, the emitted C
-///                (`<key>.c`), the compiled shared object (`<key>.so`) and
-///                a metadata file (`<key>.meta`) with the function name,
-///                arity, winning choice vector, and tuning provenance --
-///                enough for a fresh process to re-serve the kernel without
-///                generating or compiling anything.
+///                (`ab/cdef...c`), the compiled shared object
+///                (`ab/cdef...so`) and a metadata file (`ab/cdef...meta`)
+///                with the function name, arity, winning choice vector, and
+///                tuning provenance -- enough for a fresh process to
+///                re-serve the kernel without generating or compiling
+///                anything. Entries are sharded into 256 subdirectories by
+///                the first two hex digits of the key, so a production
+///                cache of 10^5+ kernels never puts every file in one flat
+///                directory; flat pre-shard entries (`<key>.meta` at the
+///                top level) are still read transparently.
 ///
 /// The cache never invokes the generator or the compiler itself; the
 /// service compiles straight to soPathFor(key) when persisting.
@@ -106,11 +111,19 @@ public:
   bool hasDiskTier() const { return !Dir.empty(); }
   const std::string &diskDir() const { return Dir; }
 
+  /// Canonical (sharded) entry paths: `<dir>/<key[0:2]>/<key[2:]>.{c,so,
+  /// meta}`. These name where new entries go; reads fall back to the flat
+  /// pre-shard layout when no sharded entry exists.
   std::string cPathFor(const std::string &Key) const;
   std::string soPathFor(const std::string &Key) const;
   std::string metaPathFor(const std::string &Key) const;
 
-  /// True when the disk tier has a complete source+meta entry for \p Key.
+  /// Creates the shard subdirectory for \p Key so callers can compile
+  /// straight to soPathFor(Key) before the entry itself is stored.
+  void ensureEntryDir(const std::string &Key) const;
+
+  /// True when the disk tier has a complete source+meta entry for \p Key
+  /// (sharded or flat).
   bool onDisk(const std::string &Key) const;
 
   /// Reconstructs an artifact from the disk tier: reads meta + C and, when
@@ -129,6 +142,17 @@ private:
     ArtifactPtr Artifact;
     std::list<std::string>::iterator LruIt;
   };
+
+  /// On-disk file set of one entry, resolved to whichever layout (sharded
+  /// first, then flat) actually holds it.
+  struct EntryPaths {
+    std::string C, So, Meta;
+  };
+  EntryPaths pathsFor(const std::string &Key) const; ///< canonical (sharded)
+  EntryPaths flatPathsFor(const std::string &Key) const;
+  /// Layout holding \p Key's meta+C, preferring sharded; false when neither
+  /// layout has a complete entry.
+  bool resolveOnDisk(const std::string &Key, EntryPaths &Out) const;
 
   mutable std::mutex Mu;
   size_t Cap;

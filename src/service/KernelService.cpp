@@ -10,6 +10,9 @@
 #include "la/Lower.h"
 #include "service/Tuner.h"
 #include "support/Hash.h"
+#include "support/KeyValue.h"
+
+#include <sstream>
 
 using namespace slingen;
 using namespace slingen::service;
@@ -17,7 +20,16 @@ using namespace slingen::service;
 KernelService::KernelService(ServiceConfig Config)
     : Cfg(std::move(Config)), Cache(Cfg.MemCapacity, Cfg.CacheDir) {}
 
-KernelService::~KernelService() = default;
+KernelService::~KernelService() {
+  {
+    std::lock_guard<std::mutex> L(PoolMu);
+    PoolStopping = true;
+    PrefetchQueue.clear(); // queued-but-unstarted warming dies with us
+  }
+  PoolCv.notify_all();
+  for (auto &W : Workers)
+    W.join();
+}
 
 bool KernelService::compilerUsable() const {
   return Cfg.UseCompiler && runtime::haveSystemCompiler();
@@ -44,26 +56,87 @@ std::string requestKey(const Generator &G, bool Batched,
 
 GetResult KernelService::get(const std::string &LaSource,
                              const GenOptions &Options, bool Batched) {
+  RequestOptions Req;
+  Req.Batched = Batched;
+  return get(LaSource, Options, Req);
+}
+
+GetResult KernelService::get(Program P, const GenOptions &Options,
+                             bool Batched) {
+  RequestOptions Req;
+  Req.Batched = Batched;
+  return get(std::move(P), Options, Req);
+}
+
+GetResult KernelService::get(const std::string &LaSource,
+                             const GenOptions &Options,
+                             const RequestOptions &Req) {
   std::string Err;
   auto P = la::compileLa(LaSource, Err);
   if (!P) {
     ++Errors;
     return {nullptr, "parse error: " + Err};
   }
-  return get(std::move(*P), Options, Batched);
+  return get(std::move(*P), Options, Req);
 }
 
 GetResult KernelService::get(Program P, const GenOptions &Options,
-                             bool Batched) {
-  return getImpl(Generator(std::move(P), Options), Batched);
+                             const RequestOptions &Req) {
+  return getImpl(Generator(std::move(P), Options), Req);
 }
 
-GetResult KernelService::getImpl(Generator G, bool Batched) {
+void KernelService::prefetch(const std::string &LaSource,
+                             const GenOptions &Options, RequestOptions Req) {
+  std::lock_guard<std::mutex> L(PoolMu);
+  if (PoolStopping)
+    return;
+  ++Prefetches;
+  // The job re-enters get(): cache hits are cheap no-ops and misses run
+  // under the same single-flight discipline as foreground requests.
+  PrefetchQueue.push_back(
+      [this, LaSource, Options, Req] { (void)get(LaSource, Options, Req); });
+  if (Workers.size() < static_cast<size_t>(std::max(1, Cfg.PrefetchWorkers)))
+    Workers.emplace_back([this] { prefetchWorker(); });
+  PoolCv.notify_one();
+}
+
+void KernelService::prefetchWorker() {
+  std::unique_lock<std::mutex> L(PoolMu);
+  for (;;) {
+    PoolCv.wait(L, [this] { return PoolStopping || !PrefetchQueue.empty(); });
+    if (PoolStopping)
+      return;
+    auto Job = std::move(PrefetchQueue.front());
+    PrefetchQueue.pop_front();
+    ++ActivePrefetches;
+    L.unlock();
+    Job();
+    L.lock();
+    --ActivePrefetches;
+    if (PrefetchQueue.empty() && ActivePrefetches == 0)
+      IdleCv.notify_all();
+  }
+}
+
+void KernelService::drainPrefetches() {
+  std::unique_lock<std::mutex> L(PoolMu);
+  IdleCv.wait(L, [this] {
+    return PrefetchQueue.empty() && ActivePrefetches == 0;
+  });
+}
+
+size_t KernelService::pendingPrefetches() const {
+  std::lock_guard<std::mutex> L(PoolMu);
+  return PrefetchQueue.size() + ActivePrefetches;
+}
+
+GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
   if (!G.isValid()) {
     ++Errors;
     return {nullptr, "normalization failed: " + G.error()};
   }
-  std::string Key = requestKey(G, Batched, Cfg.Strategy);
+  std::string Key = requestKey(G, Req.Batched,
+                               Req.Strategy.value_or(Cfg.Strategy));
 
   std::shared_ptr<Flight> F;
   bool Leader = false;
@@ -94,7 +167,7 @@ GetResult KernelService::getImpl(Generator G, bool Batched) {
   std::string Err;
   ArtifactPtr A;
   try {
-    A = produce(Key, G, Batched, Err);
+    A = produce(Key, G, Req, Err);
   } catch (const std::exception &E) {
     Err = std::string("internal error: ") + E.what();
   } catch (...) {
@@ -119,9 +192,12 @@ GetResult KernelService::getImpl(Generator G, bool Batched) {
 }
 
 ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
-                                   bool Batched, std::string &Err) {
+                                   const RequestOptions &Req,
+                                   std::string &Err) {
   const GenOptions &O = G.options();
   const std::string IsaFlags = runtime::isaCompileFlags(*O.Isa);
+  const bool Batched = Req.Batched;
+  const bool Measure = Req.Measure.value_or(Cfg.Measure);
   bool Compile = compilerUsable();
 
   // Disk tier first: a complete entry skips generation entirely, and an
@@ -136,6 +212,7 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
       auto Fresh = std::make_shared<KernelArtifact>(*A);
       runtime::CompileOptions CO;
       CO.ExtraFlags = IsaFlags;
+      Cache.ensureEntryDir(Key);
       CO.KeepSoPath = Cache.soPathFor(Key);
       CO.WithBatchEntry = Batched;
       std::string CompileErr;
@@ -160,7 +237,7 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
   TO.Measure.Repeats = Cfg.MeasureRepeats;
   TO.ExtraFlags = IsaFlags;
   std::optional<TuneResult> Tuned;
-  if (Cfg.Measure && Compile) {
+  if (Measure && Compile) {
     ++TunerRuns;
     Tuned = tuneKernel(G, TO, Err);
   } else {
@@ -185,7 +262,7 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
   BatchStrategy Strat = BatchStrategy::ScalarLoop;
   std::string BatchedSource;
   if (Batched) {
-    Strat = Cfg.Strategy;
+    Strat = Req.Strategy.value_or(Cfg.Strategy);
     if (Strat == BatchStrategy::InstanceParallel && O.Isa->Nu < 2)
       Strat = BatchStrategy::ScalarLoop;
     if (Strat == BatchStrategy::Auto) {
@@ -222,8 +299,10 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
     runtime::CompileOptions CO;
     CO.ExtraFlags = IsaFlags;
     CO.WithBatchEntry = Batched;
-    if (Cache.hasDiskTier())
+    if (Cache.hasDiskTier()) {
+      Cache.ensureEntryDir(Key);
       CO.KeepSoPath = Cache.soPathFor(Key);
+    }
     std::string CompileErr;
     ++Compilations;
     auto K = runtime::JitKernel::compile(A->CSource, A->FuncName,
@@ -274,5 +353,127 @@ ServiceStats KernelService::stats() const {
   S.TunerRuns = TunerRuns.load();
   S.Evictions = Evictions.load();
   S.Errors = Errors.load();
+  S.Prefetches = Prefetches.load();
   return S;
+}
+
+std::string service::serializeServiceStats(const ServiceStats &S) {
+  std::stringstream SS;
+  SS << "mem-hits=" << S.MemHits << "\n";
+  SS << "disk-hits=" << S.DiskHits << "\n";
+  SS << "misses=" << S.Misses << "\n";
+  SS << "flight-joins=" << S.FlightJoins << "\n";
+  SS << "generations=" << S.Generations << "\n";
+  SS << "compilations=" << S.Compilations << "\n";
+  SS << "tuner-runs=" << S.TunerRuns << "\n";
+  SS << "evictions=" << S.Evictions << "\n";
+  SS << "errors=" << S.Errors << "\n";
+  SS << "prefetches=" << S.Prefetches << "\n";
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceConfig (de)serialization -- the sld/slc flag parsers and the wire
+// protocol all speak this one key set.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parseLong(const std::string &Value, long &Out) {
+  if (Value.empty())
+    return false;
+  for (char C : Value)
+    if (!isdigit(static_cast<unsigned char>(C)))
+      return false;
+  Out = atol(Value.c_str());
+  return true;
+}
+
+bool parseConfigInt(const std::string &Value, int &Out) {
+  long L;
+  if (!parseLong(Value, L))
+    return false;
+  Out = static_cast<int>(L);
+  return true;
+}
+
+bool parseConfigBool(const std::string &Value, bool &Out) {
+  if (Value == "0" || Value == "false") {
+    Out = false;
+    return true;
+  }
+  if (Value == "1" || Value == "true") {
+    Out = true;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+std::string service::serializeServiceConfig(const ServiceConfig &C) {
+  std::stringstream SS;
+  SS << "mem-capacity=" << C.MemCapacity << "\n";
+  SS << "cache-dir=" << C.CacheDir << "\n";
+  SS << "measure=" << (C.Measure ? 1 : 0) << "\n";
+  SS << "tune-topk=" << C.TuneTopK << "\n";
+  SS << "max-variants=" << C.MaxVariants << "\n";
+  SS << "measure-repeats=" << C.MeasureRepeats << "\n";
+  SS << "strategy=" << batchStrategyName(C.Strategy) << "\n";
+  SS << "use-compiler=" << (C.UseCompiler ? 1 : 0) << "\n";
+  SS << "prefetch-workers=" << C.PrefetchWorkers << "\n";
+  return SS.str();
+}
+
+bool service::applyServiceConfigOption(ServiceConfig &C,
+                                       const std::string &Key,
+                                       const std::string &Value,
+                                       std::string &Err) {
+  auto BadValue = [&] {
+    Err = "bad value '" + Value + "' for option " + Key;
+    return false;
+  };
+  if (Key == "mem-capacity") {
+    long L;
+    if (!parseLong(Value, L) || L <= 0)
+      return BadValue();
+    C.MemCapacity = static_cast<size_t>(L);
+    return true;
+  }
+  if (Key == "cache-dir") {
+    C.CacheDir = Value;
+    return true;
+  }
+  if (Key == "measure")
+    return parseConfigBool(Value, C.Measure) || BadValue();
+  if (Key == "tune-topk")
+    return parseConfigInt(Value, C.TuneTopK) || BadValue();
+  if (Key == "max-variants")
+    return parseConfigInt(Value, C.MaxVariants) || BadValue();
+  if (Key == "measure-repeats")
+    return parseConfigInt(Value, C.MeasureRepeats) || BadValue();
+  if (Key == "strategy") {
+    auto S = batchStrategyByName(Value);
+    if (!S) {
+      Err = "bad value '" + Value + "' for option strategy "
+            "(loop, vec, or auto)";
+      return false;
+    }
+    C.Strategy = *S;
+    return true;
+  }
+  if (Key == "use-compiler")
+    return parseConfigBool(Value, C.UseCompiler) || BadValue();
+  if (Key == "prefetch-workers")
+    return parseConfigInt(Value, C.PrefetchWorkers) || BadValue();
+  Err = "unknown option '" + Key + "'";
+  return false;
+}
+
+bool service::deserializeServiceConfig(const std::string &Text,
+                                       ServiceConfig &C, std::string &Err) {
+  for (auto &KV : parseKeyValueLines(Text))
+    if (!applyServiceConfigOption(C, KV.first, KV.second, Err))
+      return false;
+  return true;
 }

@@ -38,11 +38,17 @@
 #include "slingen/SLinGen.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 namespace slingen {
 namespace service {
@@ -73,6 +79,42 @@ struct ServiceConfig {
   /// artifacts and tuning falls back to the static model (also what
   /// happens when no system compiler exists).
   bool UseCompiler = true;
+  /// Background threads servicing prefetch() (started lazily on the first
+  /// prefetch, so non-warming services pay nothing).
+  int PrefetchWorkers = 2;
+};
+
+/// Serializes every ServiceConfig field to `key=value` lines (fixed order).
+/// Keys: mem-capacity, cache-dir, measure, tune-topk, max-variants,
+/// measure-repeats, strategy, use-compiler, prefetch-workers.
+std::string serializeServiceConfig(const ServiceConfig &C);
+
+/// Applies one `key=value` setting to \p C. Returns false (with \p Err) on
+/// an unknown key or a malformed value. The slc/sld flag parsers and
+/// deserializeServiceConfig() both funnel through here.
+bool applyServiceConfigOption(ServiceConfig &C, const std::string &Key,
+                              const std::string &Value, std::string &Err);
+
+/// Applies every line of a serializeServiceConfig() document on top of \p C.
+bool deserializeServiceConfig(const std::string &Text, ServiceConfig &C,
+                              std::string &Err);
+
+/// Per-request knobs riding alongside GenOptions: the batched bit plus
+/// optional overrides of the service-wide defaults. Unset optionals fall
+/// back to ServiceConfig -- this is how one daemon serves clients that pin
+/// different batch strategies or ask for measured tuning.
+struct RequestOptions {
+  bool Batched = false;
+  /// Overrides Config.Strategy. Part of the cache key (for batched
+  /// requests), exactly as the config value is.
+  std::optional<BatchStrategy> Strategy;
+  /// Overrides Config.Measure -- a *produce-time* policy, deliberately
+  /// not part of the cache key (matching service-wide Measure: services
+  /// with different Measure settings sharing a disk tier also share
+  /// entries, first producer wins). An already-cached key is served as-is;
+  /// the override only governs how a miss is generated. Check
+  /// KernelArtifact::Measured to see what a served artifact actually got.
+  std::optional<bool> Measure;
 };
 
 /// Counter snapshot for observability and test instrumentation.
@@ -86,7 +128,11 @@ struct ServiceStats {
   long TunerRuns = 0;    ///< measured-tuning sessions
   long Evictions = 0;    ///< memory-tier LRU evictions
   long Errors = 0;       ///< failed requests
+  long Prefetches = 0;   ///< prefetch() jobs accepted
 };
+
+/// stats() as `key=value` lines (the wire protocol's STATS payload).
+std::string serializeServiceStats(const ServiceStats &S);
 
 /// get() outcome: an artifact or an error message.
 struct GetResult {
@@ -116,6 +162,30 @@ public:
   /// As above for an already-lowered program.
   GetResult get(Program P, const GenOptions &Options, bool Batched = false);
 
+  /// get() with per-request overrides (see RequestOptions). A request
+  /// pinning a batch strategy addresses the same cache entry a service
+  /// configured with that strategy would.
+  GetResult get(const std::string &LaSource, const GenOptions &Options,
+                const RequestOptions &Req);
+  GetResult get(Program P, const GenOptions &Options,
+                const RequestOptions &Req);
+
+  /// Asynchronous warming: queues a generate+compile for the request on the
+  /// background worker pool and returns immediately. A later get() for the
+  /// same key is a cache hit (or joins the in-flight generation -- the pool
+  /// funnels into the same single-flight path, so a prefetch racing a live
+  /// request never duplicates work). Failures are absorbed into the Errors
+  /// counter; warming is best-effort by design.
+  void prefetch(const std::string &LaSource, const GenOptions &Options,
+                RequestOptions Req = {});
+
+  /// Blocks until every queued prefetch has finished (daemon shutdown and
+  /// deterministic tests).
+  void drainPrefetches();
+
+  /// Queued-but-unfinished prefetch jobs.
+  size_t pendingPrefetches() const;
+
   /// Batch dispatch (paper Sec. 5): obtains the batched kernel for
   /// \p LaSource and applies it to \p Count contiguous instances per
   /// parameter (instance b of parameter i at Buffers[i] + b*Rows_i*Cols_i).
@@ -137,10 +207,11 @@ private:
     std::shared_future<GetResult> Future;
   };
 
-  GetResult getImpl(Generator G, bool Batched);
+  GetResult getImpl(Generator G, const RequestOptions &Req);
   ArtifactPtr produce(const std::string &Key, const Generator &G,
-                      bool Batched, std::string &Err);
+                      const RequestOptions &Req, std::string &Err);
   bool compilerUsable() const;
+  void prefetchWorker();
 
   ServiceConfig Cfg;
   KernelCache Cache;
@@ -148,9 +219,18 @@ private:
   std::mutex FlightMu;
   std::unordered_map<std::string, std::shared_ptr<Flight>> Inflight;
 
+  // Prefetch worker pool: lazily started, torn down by the destructor.
+  mutable std::mutex PoolMu;
+  std::condition_variable PoolCv;   ///< wakes workers on enqueue/stop
+  std::condition_variable IdleCv;   ///< wakes drainPrefetches on completion
+  std::deque<std::function<void()>> PrefetchQueue;
+  std::vector<std::thread> Workers;
+  size_t ActivePrefetches = 0;
+  bool PoolStopping = false;
+
   mutable std::atomic<long> MemHits{0}, DiskHits{0}, Misses{0},
       FlightJoins{0}, Generations{0}, Compilations{0}, TunerRuns{0},
-      Evictions{0}, Errors{0};
+      Evictions{0}, Errors{0}, Prefetches{0};
 };
 
 } // namespace service

@@ -1,0 +1,124 @@
+//===- slingen/OptionsIO.cpp ----------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "slingen/OptionsIO.h"
+
+#include "isa/ISA.h"
+#include "support/KeyValue.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace slingen;
+
+namespace {
+
+bool parseInt(const std::string &Value, int &Out) {
+  if (Value.empty())
+    return false;
+  size_t I = Value[0] == '-' ? 1 : 0;
+  if (I == Value.size())
+    return false;
+  for (; I < Value.size(); ++I)
+    if (!isdigit(static_cast<unsigned char>(Value[I])))
+      return false;
+  Out = atoi(Value.c_str());
+  return true;
+}
+
+bool parseBool(const std::string &Value, bool &Out) {
+  if (Value == "0" || Value == "false") {
+    Out = false;
+    return true;
+  }
+  if (Value == "1" || Value == "true") {
+    Out = true;
+    return true;
+  }
+  return false;
+}
+
+/// A legal C identifier, so a hostile request cannot splice code into the
+/// emitted translation unit through the function name.
+bool validIdentifier(const std::string &S) {
+  if (S.empty() || isdigit(static_cast<unsigned char>(S[0])))
+    return false;
+  for (char C : S)
+    if (!isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+} // namespace
+
+std::string slingen::serializeGenOptions(const GenOptions &O) {
+  std::stringstream SS;
+  SS << "isa=" << O.Isa->Name << "\n";
+  SS << "func=" << O.FuncName << "\n";
+  SS << "block-size=" << O.BlockSize << "\n";
+  SS << "unroll-tiles=" << O.UnrollTiles << "\n";
+  SS << "unroll-k=" << O.UnrollK << "\n";
+  SS << "unroll-max-trip=" << O.UnrollMaxTrip << "\n";
+  SS << "vector-rules=" << (O.ApplyVectorRules ? 1 : 0) << "\n";
+  SS << "unroll=" << (O.EnableUnroll ? 1 : 0) << "\n";
+  SS << "cse=" << (O.EnableCse ? 1 : 0) << "\n";
+  SS << "load-store-opt=" << (O.EnableLoadStoreOpt ? 1 : 0) << "\n";
+  SS << "dce=" << (O.EnableDce ? 1 : 0) << "\n";
+  return SS.str();
+}
+
+bool slingen::applyGenOption(GenOptions &O, const std::string &Key,
+                             const std::string &Value, std::string &Err) {
+  auto BadValue = [&] {
+    Err = "bad value '" + Value + "' for option " + Key;
+    return false;
+  };
+  if (Key == "isa") {
+    const VectorISA *Isa = isaByNameOrNull(Value.c_str());
+    if (!Isa) {
+      Err = "unknown ISA '" + Value + "' (scalar, sse2, avx, avx512)";
+      return false;
+    }
+    O.Isa = Isa;
+    return true;
+  }
+  if (Key == "func") {
+    if (!validIdentifier(Value)) {
+      Err = "function name '" + Value + "' is not a C identifier";
+      return false;
+    }
+    O.FuncName = Value;
+    return true;
+  }
+  if (Key == "block-size")
+    return parseInt(Value, O.BlockSize) || BadValue();
+  if (Key == "unroll-tiles")
+    return parseInt(Value, O.UnrollTiles) || BadValue();
+  if (Key == "unroll-k")
+    return parseInt(Value, O.UnrollK) || BadValue();
+  if (Key == "unroll-max-trip")
+    return parseInt(Value, O.UnrollMaxTrip) || BadValue();
+  if (Key == "vector-rules")
+    return parseBool(Value, O.ApplyVectorRules) || BadValue();
+  if (Key == "unroll")
+    return parseBool(Value, O.EnableUnroll) || BadValue();
+  if (Key == "cse")
+    return parseBool(Value, O.EnableCse) || BadValue();
+  if (Key == "load-store-opt")
+    return parseBool(Value, O.EnableLoadStoreOpt) || BadValue();
+  if (Key == "dce")
+    return parseBool(Value, O.EnableDce) || BadValue();
+  Err = "unknown option '" + Key + "'";
+  return false;
+}
+
+bool slingen::deserializeGenOptions(const std::string &Text, GenOptions &O,
+                                    std::string &Err) {
+  for (auto &KV : parseKeyValueLines(Text))
+    if (!applyGenOption(O, KV.first, KV.second, Err))
+      return false;
+  return true;
+}

@@ -1,0 +1,47 @@
+//===- slingen/OptionsIO.h - GenOptions (de)serialization -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One canonical textual round trip for GenOptions: `key=value` lines in a
+/// fixed key order. It is the single source of truth for naming the codegen
+/// knobs -- the wire protocol ships requests through it, and the slc/sld
+/// flag parsers apply user input through applyGenOption() instead of
+/// hand-rolled per-flag plumbing.
+///
+/// Keys: isa, func, block-size, unroll-tiles, unroll-k, unroll-max-trip,
+/// vector-rules, unroll, cse, load-store-opt, dce. Booleans serialize as
+/// 0/1; the ISA serializes by name. deserializeGenOptions() starts from the
+/// caller's \p O (normally defaults), so a partial document is an overlay,
+/// and rejects unknown keys -- a sender speaking a newer dialect fails
+/// loudly instead of being half-applied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SLINGEN_OPTIONSIO_H
+#define SLINGEN_SLINGEN_OPTIONSIO_H
+
+#include "slingen/SLinGen.h"
+
+#include <string>
+
+namespace slingen {
+
+/// Serializes every GenOptions field to `key=value` lines (fixed order, so
+/// equal options produce byte-equal documents).
+std::string serializeGenOptions(const GenOptions &O);
+
+/// Applies one `key=value` setting to \p O. Returns false (with \p Err) on
+/// an unknown key or a malformed value.
+bool applyGenOption(GenOptions &O, const std::string &Key,
+                    const std::string &Value, std::string &Err);
+
+/// Applies every line of a serializeGenOptions() document on top of \p O.
+bool deserializeGenOptions(const std::string &Text, GenOptions &O,
+                           std::string &Err);
+
+} // namespace slingen
+
+#endif // SLINGEN_SLINGEN_OPTIONSIO_H

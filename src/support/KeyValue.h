@@ -1,0 +1,55 @@
+//===- support/KeyValue.h - key=value line parsing ------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one `key=value`-per-line text format shared by the cache tier's
+/// .meta files, the GenOptions/ServiceConfig serializers, and the wire
+/// protocol's stats payload. Lines without '=' and lines starting with '#'
+/// are skipped; later duplicates win in the map view.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_KEYVALUE_H
+#define SLINGEN_SUPPORT_KEYVALUE_H
+
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace slingen {
+
+/// Parses \p Text into (key, value) pairs in line order.
+inline std::vector<std::pair<std::string, std::string>>
+parseKeyValueLines(const std::string &Text) {
+  std::vector<std::pair<std::string, std::string>> KV;
+  std::stringstream SS(Text);
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq != std::string::npos)
+      KV.emplace_back(Line.substr(0, Eq), Line.substr(Eq + 1));
+  }
+  return KV;
+}
+
+/// Map view of parseKeyValueLines (later duplicates win).
+inline std::unordered_map<std::string, std::string>
+parseKeyValueMap(const std::string &Text) {
+  std::unordered_map<std::string, std::string> M;
+  for (auto &KV : parseKeyValueLines(Text))
+    M[KV.first] = KV.second;
+  return M;
+}
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_KEYVALUE_H

@@ -394,7 +394,8 @@ TEST(ServiceBatchStrategy, AutoResolvesPersistsAndRoundTrips) {
     Measured = runtime::haveSystemCompiler() && runtime::haveCycleCounter();
     if (Measured && hostIsa().Nu >= 2)
       EXPECT_EQ(S.stats().TunerRuns, 1);
-    std::string Meta = Dir.Path + "/" + Key + ".meta";
+    std::string Meta =
+        Dir.Path + "/" + Key.substr(0, 2) + "/" + Key.substr(2) + ".meta";
     ASSERT_TRUE(std::filesystem::exists(Meta));
     std::ifstream In(Meta);
     std::string MetaText((std::istreambuf_iterator<char>(In)),

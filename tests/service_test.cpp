@@ -55,6 +55,12 @@ struct TempDir {
   std::string Path;
 };
 
+/// Canonical sharded entry path: `<dir>/ab/cdef...<ext>`.
+std::string shardedPath(const std::string &Dir, const std::string &Key,
+                        const char *Ext) {
+  return Dir + "/" + Key.substr(0, 2) + "/" + Key.substr(2) + Ext;
+}
+
 TEST(ServiceCache, RepeatedGetHitsMemoryTier) {
   KernelService S;
   std::string Src = la::potrfSource(8);
@@ -141,8 +147,10 @@ TEST(ServiceCache, DiskTierServesFreshServiceInstance) {
     ASSERT_TRUE(R) << R.Error;
     FirstArtifact = R.Kernel;
     EXPECT_EQ(S1.stats().Generations, 1);
-    EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/" + R->Key + ".meta"));
-    EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/" + R->Key + ".c"));
+    EXPECT_TRUE(std::filesystem::exists(shardedPath(Dir.Path, R->Key,
+                                                    ".meta")));
+    EXPECT_TRUE(std::filesystem::exists(shardedPath(Dir.Path, R->Key,
+                                                    ".c")));
   }
 
   // A second service instance pointed at the same directory serves the
@@ -197,7 +205,7 @@ TEST(ServiceCache, DiskEntryWithoutSoIsRecompiledNotRegenerated) {
   }
   // Simulate a cache rsync'd without binaries (or a stale .so wiped by an
   // operator): source + meta survive, the object does not.
-  std::filesystem::remove(Dir.Path + "/" + Key + ".so");
+  std::filesystem::remove(shardedPath(Dir.Path, Key, ".so"));
 
   ServiceConfig C2;
   C2.CacheDir = Dir.Path;
@@ -207,7 +215,88 @@ TEST(ServiceCache, DiskEntryWithoutSoIsRecompiledNotRegenerated) {
   EXPECT_EQ(S2.stats().Generations, 0); // no re-generation...
   EXPECT_EQ(S2.stats().Compilations, 1); // ...just a recompile
   EXPECT_TRUE(R2->isCallable());
-  EXPECT_TRUE(std::filesystem::exists(Dir.Path + "/" + Key + ".so"));
+  EXPECT_TRUE(std::filesystem::exists(shardedPath(Dir.Path, Key, ".so")));
+}
+
+TEST(ServiceCache, FlatPreShardEntriesStillServe) {
+  TempDir Dir;
+  std::string Src = la::potrfSource(8);
+  GenOptions O;
+  O.Isa = &scalarIsa();
+  O.FuncName = "potrf_flat";
+  std::string Key;
+  {
+    ServiceConfig C;
+    C.CacheDir = Dir.Path;
+    C.UseCompiler = false; // layout logic is compiler-independent
+    KernelService S1(C);
+    GetResult R = S1.get(Src, O);
+    ASSERT_TRUE(R) << R.Error;
+    Key = R->Key;
+  }
+  // Rewrite the entry in the pre-shard flat layout (what a cache directory
+  // written before sharding looks like).
+  ASSERT_TRUE(std::filesystem::exists(shardedPath(Dir.Path, Key, ".meta")));
+  for (const char *Ext : {".meta", ".c"})
+    std::filesystem::rename(shardedPath(Dir.Path, Key, Ext),
+                            Dir.Path + "/" + Key + Ext);
+  std::filesystem::remove_all(Dir.Path + "/" + Key.substr(0, 2));
+
+  ServiceConfig C2;
+  C2.CacheDir = Dir.Path;
+  C2.UseCompiler = false;
+  KernelService S2(C2);
+  GetResult R2 = S2.get(Src, O);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_EQ(S2.stats().DiskHits, 1);
+  EXPECT_EQ(S2.stats().Generations, 0);
+  EXPECT_EQ(R2->Key, Key);
+  EXPECT_FALSE(R2->CSource.empty());
+}
+
+TEST(ServicePrefetch, WarmedKeyIsServedWithoutGenerating) {
+  ServiceConfig C;
+  C.UseCompiler = false;
+  KernelService S(C);
+  std::string Src = la::potrfSource(8);
+  GenOptions O;
+  O.Isa = &scalarIsa();
+  O.FuncName = "potrf_warm";
+
+  S.prefetch(Src, O);
+  S.drainPrefetches();
+  EXPECT_EQ(S.stats().Prefetches, 1);
+  EXPECT_EQ(S.stats().Generations, 1);
+  EXPECT_EQ(S.pendingPrefetches(), 0u);
+
+  // The foreground request finds the warmed artifact in the memory tier.
+  GetResult R = S.get(Src, O);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(S.stats().Generations, 1);
+  EXPECT_EQ(S.stats().MemHits, 1);
+
+  // Re-warming a cached key is a cheap no-op.
+  S.prefetch(Src, O);
+  S.drainPrefetches();
+  EXPECT_EQ(S.stats().Generations, 1);
+}
+
+TEST(ServicePrefetch, ManyWarmsAcrossWorkersAllLand) {
+  ServiceConfig C;
+  C.UseCompiler = false;
+  C.PrefetchWorkers = 4;
+  KernelService S(C);
+  GenOptions O;
+  O.Isa = &scalarIsa();
+  const int Sizes[] = {4, 6, 8, 10, 12};
+  for (int N : Sizes) {
+    O.FuncName = "pw" + std::to_string(N);
+    S.prefetch(la::potrfSource(N), O);
+  }
+  S.drainPrefetches();
+  EXPECT_EQ(S.stats().Prefetches, 5);
+  EXPECT_EQ(S.stats().Generations, 5);
+  EXPECT_EQ(S.cachedKernels(), 5u);
 }
 
 TEST(ServiceFlight, ConcurrentMissesTriggerOneGeneration) {

@@ -2,15 +2,24 @@
 # tools/check.sh - the single CI entry point.
 #
 # Runs the tier-1 verify line (configure, build, ctest) followed by an slc
-# smoke test over examples/. Exits non-zero on the first failure.
+# smoke test over examples/ and an sld daemon round trip. Exits non-zero on
+# the first failure.
+#
+# CHECK_SANITIZE=address (or thread/undefined) reruns everything in a
+# sanitized build tree (build-<sanitizer>/ unless BUILD_DIR overrides).
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-BUILD="${BUILD_DIR:-$ROOT/build}"
+SANITIZE="${CHECK_SANITIZE:-}"
+if [ -n "$SANITIZE" ]; then
+  BUILD="${BUILD_DIR:-$ROOT/build-$SANITIZE}"
+else
+  BUILD="${BUILD_DIR:-$ROOT/build}"
+fi
 JOBS=$(nproc 2>/dev/null || echo 4)
 
 echo "== configure =="
-cmake -B "$BUILD" -S "$ROOT"
+cmake -B "$BUILD" -S "$ROOT" -DSLINGEN_SANITIZE="$SANITIZE"
 
 echo "== build =="
 cmake --build "$BUILD" -j "$JOBS"
@@ -21,7 +30,12 @@ echo "== ctest =="
 echo "== slc smoke =="
 SMOKE_OUT=$(mktemp)
 SMOKE_CACHE=$(mktemp -d)
-trap 'rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"' EXIT
+SLD_PID=""
+cleanup() {
+  [ -n "$SLD_PID" ] && kill "$SLD_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
+}
+trap cleanup EXIT
 for LA in "$ROOT"/examples/*.la; do
   echo "-- slc $(basename "$LA")"
   "$BUILD/slc" -isa avx "$LA" > "$SMOKE_OUT"
@@ -36,6 +50,43 @@ for LA in "$ROOT"/examples/*.la; do
   "$BUILD/slc" -batch -batch-strategy loop "$LA" > "$SMOKE_OUT"
   grep -q "_batch(int count" "$SMOKE_OUT"
 done
+
+echo "== sld round-trip smoke =="
+# Spawn a daemon on a temp socket, request a kernel through slc -connect,
+# and require the served artifact to be byte-identical to what a local
+# KernelService produces for the same request -- plus a daemon-side warm.
+SLD_SOCK="$SMOKE_CACHE/sld.sock"
+"$BUILD/sld" -socket "$SLD_SOCK" -cache-dir "$SMOKE_CACHE/sld_cache" \
+  2> "$SMOKE_CACHE/sld.log" &
+SLD_PID=$!
+for _ in $(seq 100); do
+  [ -S "$SLD_SOCK" ] && break
+  kill -0 "$SLD_PID" 2>/dev/null || { cat "$SMOKE_CACHE/sld.log"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SLD_SOCK" ]
+for LA in "$ROOT"/examples/*.la; do
+  echo "-- sld round trip $(basename "$LA")"
+  "$BUILD/slc" -connect "$SLD_SOCK" "$LA" > "$SMOKE_OUT"
+  "$BUILD/slc" -cache-dir "$SMOKE_CACHE/local_cache" "$LA" \
+    | cmp -s - "$SMOKE_OUT"
+done
+# Warm the daemon for every example, then confirm it still answers.
+ls "$ROOT"/examples/*.la > "$SMOKE_CACHE/warm.list"
+"$BUILD/slc" -connect "$SLD_SOCK" -warm "$SMOKE_CACHE/warm.list" 2>/dev/null
+"$BUILD/slc" -connect "$SLD_SOCK" \
+  "$(head -1 "$SMOKE_CACHE/warm.list")" > "$SMOKE_OUT"
+grep -q "cache key:" "$SMOKE_OUT"
+kill "$SLD_PID"
+for _ in $(seq 100); do
+  kill -0 "$SLD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SLD_PID" 2>/dev/null; then
+  echo "sld did not shut down cleanly"; exit 1
+fi
+SLD_PID=""
+[ ! -S "$SLD_SOCK" ] # clean shutdown removes the socket
 
 echo "== batch strategy bench smoke =="
 # One (size, count) point; the binary itself skips cleanly when no native

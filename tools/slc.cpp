@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 //
 // The user-facing generator: reads an LA program, runs the full pipeline,
-// and writes a single-source C function.
+// and writes a single-source C function. With -connect it is instead a thin
+// client of a running sld daemon: the daemon generates (or serves from its
+// caches) and ships back the C plus the compiled .so.
 //
 //   slc [options] input.la
 //     -o <file>        output C file (default: stdout)
@@ -20,19 +22,31 @@
 //     -cache-dir <dir> persist/reuse kernels in a KernelService disk cache
 //     -batch           also emit the <name>_batch(int count, ...) entry
 //     -batch-strategy  loop | vec | auto (default auto): how the batch
-//                      entry iterates instances -- a scalar loop, one
-//                      vector lane per instance (AoSoA), or pick per
-//                      kernel (measured under -measure/-cache-dir when
-//                      possible, by the static cost model otherwise)
+//                      entry iterates instances
+//     -set k=v         any GenOptions key (see slingen/OptionsIO.h); the
+//                      named flags above are sugar for these
+//     -service k=v     any ServiceConfig key (local service mode)
+//     -connect <addr>  serve the request from the sld daemon at <addr>
+//                      (a unix socket path, unix:<path>, or host:port)
+//     -so-out <file>   with -connect: also write the compiled shared
+//                      object received from the daemon (dlopen-ready, no
+//                      local C compiler involved)
+//     -warm <file>     queue a prefetch for every .la path listed in
+//                      <file> (one per line, # comments) -- on the daemon
+//                      with -connect, else on a local service (wants
+//                      -cache-dir); exits after queueing/draining
 //     -print-basic     also print the Stage 1 basic program to stderr
 //     -print-variants  list HLACs and their variant counts, then exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "la/Lower.h"
+#include "net/Client.h"
 #include "service/KernelService.h"
 #include "service/Tuner.h"
+#include "slingen/OptionsIO.h"
 #include "slingen/SLinGen.h"
+#include "support/File.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -58,9 +72,12 @@ void usage(const char *Argv0) {
           "                    compiler; falls back to the static model)\n"
           "  -cache-dir <dir>  persist/reuse compiled kernels across runs\n"
           "  -batch            also emit <name>_batch(int count, ...)\n"
-          "  -batch-strategy <s>  loop | vec | auto (default auto): scalar\n"
-          "                    loop, one vector lane per instance, or pick\n"
-          "                    per kernel\n"
+          "  -batch-strategy <s>  loop | vec | auto (default auto)\n"
+          "  -set k=v          set any GenOptions key\n"
+          "  -service k=v      set any ServiceConfig key\n"
+          "  -connect <addr>   request from the sld daemon at <addr>\n"
+          "  -so-out <file>    with -connect: save the received .so\n"
+          "  -warm <file>      prefetch every .la listed in <file>\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
           "  -print-variants   list HLAC variant counts and exit\n",
           Argv0);
@@ -81,14 +98,60 @@ std::string baseName(const std::string &Path) {
   return Name;
 }
 
+/// The provenance header prepended to every emitted translation unit. One
+/// formatter, so local service output and daemon output stay byte-equal
+/// for the same request (check.sh diffs them).
+std::string headerComment(const std::string &Input, const std::string &Isa,
+                          const std::string &Key, long StaticCost,
+                          bool Measured, double MeasuredCycles) {
+  std::string C =
+      "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
+  C += " * ISA: " + Isa;
+  if (!Key.empty())
+    C += ", cache key: " + Key;
+  C += ", static cost estimate: " + std::to_string(StaticCost) + " cycles";
+  if (Measured)
+    C += formatf(", measured median: %.1f cycles", MeasuredCycles);
+  C += ". */\n";
+  return C;
+}
+
+/// Paths listed one per line; blank lines and #-comments skipped.
+std::vector<std::string> readWarmList(const std::string &Path, bool &Ok) {
+  std::vector<std::string> Files;
+  std::ifstream In(Path);
+  Ok = static_cast<bool>(In);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+      Line.pop_back();
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    Files.push_back(Line);
+  }
+  return Files;
+}
+
+int fail(const std::string &Msg) {
+  fprintf(stderr, "error: %s\n", Msg.c_str());
+  return 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Input, Output, Isa = "avx", Name, VariantStr, CacheDir;
-  int MaxVariants = 16;
-  bool PrintBasic = false, PrintVariants = false, Measure = false,
-       Batch = false, StrategySet = false;
-  BatchStrategy Strategy = BatchStrategy::Auto;
+  std::string Input, Output, VariantStr, ConnectAddr, SoOut, WarmFile;
+  bool PrintBasic = false, PrintVariants = false, Batch = false;
+  // Remote requests only override what the user explicitly set, so a bare
+  // `slc -connect` defers strategy/measure policy to the daemon.
+  bool StrategySet = false, MeasureSet = false, NameSet = false;
+  // Flags that configure a *local* KernelService and do not travel over
+  // the wire; remote modes warn when they were set.
+  bool LocalServiceFlags = false;
+
+  GenOptions Options;
+  service::ServiceConfig SC;
+  std::string Err;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -99,31 +162,61 @@ int main(int argc, char **argv) {
       }
       return argv[++I];
     };
+    // Every option flag funnels into the two apply*Option helpers -- the
+    // named flags are spelling sugar for the serialized key set.
+    auto SetGen = [&](const char *Key, const std::string &Value) {
+      if (!applyGenOption(Options, Key, Value, Err))
+        exit(fail(Err));
+    };
+    auto SetService = [&](const std::string &Key, const std::string &Value) {
+      if (!service::applyServiceConfigOption(SC, Key, Value, Err))
+        exit(fail(Err));
+    };
     if (Arg == "-o")
       Output = Next();
     else if (Arg == "-isa")
-      Isa = Next();
-    else if (Arg == "-name")
-      Name = Next();
-    else if (Arg == "-variant")
+      SetGen("isa", Next());
+    else if (Arg == "-name") {
+      SetGen("func", Next());
+      NameSet = true;
+    } else if (Arg == "-variant")
       VariantStr = Next();
-    else if (Arg == "-max-variants")
-      MaxVariants = atoi(Next());
-    else if (Arg == "-measure")
-      Measure = true;
-    else if (Arg == "-cache-dir")
-      CacheDir = Next();
+    else if (Arg == "-max-variants") {
+      SetService("max-variants", Next());
+      LocalServiceFlags = true;
+    } else if (Arg == "-measure") {
+      SetService("measure", "1");
+      MeasureSet = true;
+    } else if (Arg == "-cache-dir") {
+      SetService("cache-dir", Next());
+      LocalServiceFlags = true;
+    }
     else if (Arg == "-batch")
       Batch = true;
     else if (Arg == "-batch-strategy") {
-      auto S = batchStrategyByName(Next());
-      if (!S) {
+      std::string Value = Next();
+      if (!service::applyServiceConfigOption(SC, "strategy", Value, Err)) {
         fprintf(stderr, "error: -batch-strategy takes loop, vec, or auto\n");
         return 1;
       }
-      Strategy = *S;
       StrategySet = true;
-    }
+    } else if (Arg == "-set" || Arg == "-service") {
+      std::string KV = Next();
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos)
+        return fail(Arg + " takes key=value");
+      if (Arg == "-set")
+        SetGen(KV.substr(0, Eq).c_str(), KV.substr(Eq + 1));
+      else {
+        SetService(KV.substr(0, Eq), KV.substr(Eq + 1));
+        LocalServiceFlags = true;
+      }
+    } else if (Arg == "-connect")
+      ConnectAddr = Next();
+    else if (Arg == "-so-out")
+      SoOut = Next();
+    else if (Arg == "-warm")
+      WarmFile = Next();
     else if (Arg == "-print-basic")
       PrintBasic = true;
     else if (Arg == "-print-variants")
@@ -138,10 +231,88 @@ int main(int argc, char **argv) {
     } else if (Input.empty()) {
       Input = Arg;
     } else {
-      fprintf(stderr, "error: multiple inputs\n");
-      return 1;
+      return fail("multiple inputs");
     }
   }
+
+  if (!ConnectAddr.empty() && LocalServiceFlags)
+    fprintf(stderr,
+            "warning: -cache-dir/-max-variants/-service configure a local "
+            "service and are ignored with -connect (the daemon uses its "
+            "own config)\n");
+
+  //===--------------------------------------------------------------------===//
+  // Warm mode: queue prefetches for a list of programs, then exit.
+  //===--------------------------------------------------------------------===//
+  if (!WarmFile.empty()) {
+    if (!Input.empty())
+      return fail("-warm takes its programs from the list file; "
+                  "no positional input allowed");
+    bool Ok = false;
+    std::vector<std::string> Files = readWarmList(WarmFile, Ok);
+    if (!Ok)
+      return fail("cannot open warm list " + WarmFile);
+    if (Files.empty())
+      return fail("warm list " + WarmFile + " names no programs");
+
+    std::optional<net::Client> Remote;
+    std::optional<service::KernelService> Local;
+    if (!ConnectAddr.empty()) {
+      Remote = net::Client::connect(ConnectAddr, Err);
+      if (!Remote)
+        return fail(Err);
+    } else {
+      if (SC.CacheDir.empty())
+        fprintf(stderr, "warning: -warm without -cache-dir or -connect "
+                        "warms a cache that dies with this process\n");
+      Local.emplace(SC);
+    }
+
+    int Failures = 0;
+    for (const std::string &File : Files) {
+      bool ReadOk = false;
+      std::string Source = readFile(File, &ReadOk);
+      if (!ReadOk) {
+        fprintf(stderr, "warm: cannot open %s\n", File.c_str());
+        ++Failures;
+        continue;
+      }
+      GenOptions O = Options;
+      if (!NameSet)
+        O.FuncName = baseName(File);
+      if (Remote) {
+        net::Request R;
+        R.LaSource = Source;
+        R.OptionsText = serializeGenOptions(O);
+        R.Batched = Batch;
+        if (StrategySet)
+          R.StrategyName = batchStrategyName(SC.Strategy);
+        if (MeasureSet)
+          R.MeasureOverride = 1;
+        if (!Remote->warm(R, Err)) {
+          fprintf(stderr, "warm: %s: %s\n", File.c_str(), Err.c_str());
+          ++Failures;
+          continue;
+        }
+      } else {
+        service::RequestOptions Req;
+        Req.Batched = Batch;
+        Local->prefetch(Source, O, Req);
+      }
+      fprintf(stderr, "warm: queued %s\n", File.c_str());
+    }
+    if (Local) {
+      Local->drainPrefetches();
+      service::ServiceStats St = Local->stats();
+      fprintf(stderr, "warm: done (%ld generated, %ld already cached, "
+                      "%ld errors)\n",
+              St.Generations, St.DiskHits + St.MemHits, St.Errors);
+      if (St.Errors > 0)
+        return 1;
+    }
+    return Failures == 0 ? 0 : 1;
+  }
+
   if (Input.empty()) {
     usage(argv[0]);
     return 1;
@@ -149,26 +320,78 @@ int main(int argc, char **argv) {
 
   std::ifstream In(Input);
   if (!In) {
-    fprintf(stderr, "error: cannot open %s\n", Input.c_str());
-    return 1;
+    return fail("cannot open " + Input);
   }
   std::stringstream Buf;
   Buf << In.rdbuf();
 
-  std::string Err;
-  auto Program = la::compileLa(Buf.str(), Err);
+  if (!NameSet && !applyGenOption(Options, "func", baseName(Input), Err))
+    return fail(Err);
+
+  //===--------------------------------------------------------------------===//
+  // Remote mode: slc as a thin client of a running sld daemon.
+  //===--------------------------------------------------------------------===//
+  if (!ConnectAddr.empty()) {
+    if (!VariantStr.empty() || PrintVariants || PrintBasic)
+      fprintf(stderr, "warning: -variant/-print-basic/-print-variants are "
+                      "local-only and ignored with -connect\n");
+    auto Remote = net::Client::connect(ConnectAddr, Err);
+    if (!Remote)
+      return fail(Err);
+    net::Request R;
+    R.LaSource = Buf.str();
+    R.OptionsText = serializeGenOptions(Options);
+    R.Batched = Batch;
+    if (StrategySet)
+      R.StrategyName = batchStrategyName(SC.Strategy);
+    if (MeasureSet)
+      R.MeasureOverride = 1;
+    R.WantSo = !SoOut.empty();
+    net::ArtifactMsg A;
+    if (!Remote->get(R, A, Err)) {
+      fprintf(stderr, "%s: %s\n", Input.c_str(), Err.c_str());
+      return 1;
+    }
+    std::string C = headerComment(Input, A.IsaName, A.Key, A.StaticCost,
+                                  A.Measured, A.MeasuredCycles) +
+                    A.CSource;
+    if (!SoOut.empty()) {
+      if (A.SoBytes.empty())
+        return fail("daemon served no compiled object (source-only "
+                    "artifact)");
+      std::ofstream So(SoOut, std::ios::binary);
+      So.write(A.SoBytes.data(),
+               static_cast<std::streamsize>(A.SoBytes.size()));
+      So.close();
+      if (!So)
+        return fail("cannot write " + SoOut);
+      fprintf(stderr, "%s: %zu-byte shared object from daemon\n",
+              SoOut.c_str(), A.SoBytes.size());
+    }
+    if (Output.empty()) {
+      fputs(C.c_str(), stdout);
+    } else {
+      std::ofstream Out(Output);
+      if (!Out)
+        return fail("cannot write " + Output);
+      Out << C;
+    }
+    return 0;
+  }
+
+  if (!SoOut.empty())
+    return fail("-so-out needs -connect (local runs have a compiler)");
+
+  std::string ParseErr;
+  auto Program = la::compileLa(Buf.str(), ParseErr);
   if (!Program) {
-    fprintf(stderr, "%s: %s\n", Input.c_str(), Err.c_str());
+    fprintf(stderr, "%s: %s\n", Input.c_str(), ParseErr.c_str());
     return 1;
   }
 
-  GenOptions Options;
-  Options.Isa = &isaByName(Isa.c_str());
-  Options.FuncName = Name.empty() ? baseName(Input) : Name;
-
-  bool UseService = (Measure || !CacheDir.empty()) && VariantStr.empty() &&
-                    !PrintVariants;
-  if (!VariantStr.empty() && (Measure || !CacheDir.empty()))
+  bool UseService = (SC.Measure || !SC.CacheDir.empty()) &&
+                    VariantStr.empty() && !PrintVariants;
+  if (!VariantStr.empty() && (SC.Measure || !SC.CacheDir.empty()))
     fprintf(stderr, "warning: -variant bypasses -measure/-cache-dir\n");
   if (StrategySet && !Batch)
     fprintf(stderr, "warning: -batch-strategy has no effect without -batch\n");
@@ -178,11 +401,6 @@ int main(int argc, char **argv) {
     // Serving-runtime path: cached across runs (disk tier) and optionally
     // ranked by measurement instead of the static model. The program is
     // handed over as-is; the service normalizes it once for the cache key.
-    service::ServiceConfig SC;
-    SC.CacheDir = CacheDir;
-    SC.Measure = Measure;
-    SC.MaxVariants = MaxVariants;
-    SC.Strategy = Strategy;
     service::KernelService Service(SC);
     service::GetResult R = Service.get(std::move(*Program), Options, Batch);
     if (!R) {
@@ -192,14 +410,9 @@ int main(int argc, char **argv) {
     if (PrintBasic)
       fprintf(stderr, "/* -print-basic is unavailable with "
                       "-measure/-cache-dir (cache hits skip Stage 1) */\n");
-    C += "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
-    C += " * ISA: " + Isa + ", cache key: " + R->Key +
-         ", static cost estimate: " + std::to_string(R->StaticCost) +
-         " cycles";
-    if (R->Measured)
-      C += formatf(", measured median: %.1f cycles", R->MeasuredCycles);
-    C += ". */\n";
-    C += R->CSource;
+    C = headerComment(Input, Options.Isa->Name, R->Key, R->StaticCost,
+                      R->Measured, R->MeasuredCycles) +
+        R->CSource;
   } else {
     Generator Gen(std::move(*Program), Options);
     if (!Gen.isValid()) {
@@ -223,7 +436,7 @@ int main(int argc, char **argv) {
         Choice.push_back(atoi(Tok.c_str()));
       Result = Gen.generate(Choice);
     } else {
-      Result = Gen.best(MaxVariants);
+      Result = Gen.best(SC.MaxVariants);
     }
     if (!Result) {
       fprintf(stderr, "%s: generation failed (infeasible variant?)\n",
@@ -235,9 +448,8 @@ int main(int argc, char **argv) {
       fprintf(stderr, "/* Stage 1 basic program:\n%s*/\n",
               Result->Basic.str().c_str());
 
-    C += "/* Generated by slc from " + Input + " -- SLinGen reproduction.\n";
-    C += " * ISA: " + Isa + ", static cost estimate: " +
-         std::to_string(Result->Cost) + " cycles. */\n";
+    C = headerComment(Input, Options.Isa->Name, "", Result->Cost, false,
+                      0.0);
     if (!Batch) {
       C += emitC(*Result);
     } else {
@@ -245,7 +457,7 @@ int main(int argc, char **argv) {
       // resolves by the static cost model alone; the chooser already
       // produced the winning emission when vec won. (Mirrors the
       // resolution ladder in KernelService::produce.)
-      BatchStrategy S = Strategy;
+      BatchStrategy S = SC.Strategy;
       if (S == BatchStrategy::InstanceParallel && Options.Isa->Nu < 2) {
         fprintf(stderr, "warning: -batch-strategy vec needs a vector ISA; "
                         "emitting the scalar loop\n");
@@ -271,8 +483,7 @@ int main(int argc, char **argv) {
   } else {
     std::ofstream Out(Output);
     if (!Out) {
-      fprintf(stderr, "error: cannot write %s\n", Output.c_str());
-      return 1;
+      return fail("cannot write " + Output);
     }
     Out << C;
   }

@@ -1,0 +1,164 @@
+//===- tools/sld.cpp - the SLinGen kernel daemon ---------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Serves KernelService over a socket (see src/net/): clients send LA source
+// + GenOptions, the daemon answers with emitted C, provenance, and the
+// compiled .so bytes. One daemon amortizes the generator, the two cache
+// tiers, the single-flight dedup, and the prefetch pool across every
+// client on the machine.
+//
+//   sld [options]
+//     -socket <path>     Unix-domain socket to serve (default
+//                        /tmp/sld.<uid>.sock)
+//     -tcp <port>        also serve 127.0.0.1:<port> (0 = ephemeral,
+//                        printed on startup)
+//     -cache-dir <dir>   disk cache tier (strongly recommended)
+//     -measure           rank variants by measured cycles
+//     -workers <n>       prefetch worker threads (default 2)
+//     -service k=v       any ServiceConfig option by name (see
+//                        serializeServiceConfig keys)
+//     -print-config      print the effective ServiceConfig and exit
+//
+// Runs in the foreground (a process supervisor owns daemonization);
+// SIGINT/SIGTERM drain the prefetch pool and exit cleanly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Server.h"
+#include "service/KernelService.h"
+#include "support/Format.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <pthread.h>
+#include <unistd.h>
+
+using namespace slingen;
+
+namespace {
+
+void usage(const char *Argv0) {
+  fprintf(stderr,
+          "usage: %s [options]\n"
+          "  -socket <path>   unix socket to serve (default /tmp/sld.<uid>."
+          "sock)\n"
+          "  -tcp <port>      also serve 127.0.0.1:<port> (0 = ephemeral)\n"
+          "  -cache-dir <dir> persistent kernel cache directory\n"
+          "  -measure         rank variants by measured cycles\n"
+          "  -workers <n>     prefetch worker threads (default 2)\n"
+          "  -service k=v     set any ServiceConfig option by key\n"
+          "  -print-config    print the effective config and exit\n",
+          Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  service::ServiceConfig SC;
+  net::ServerConfig NC;
+  NC.UnixPath = formatf("/tmp/sld.%d.sock", static_cast<int>(getuid()));
+  bool PrintConfig = false;
+  std::string Err;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        usage(argv[0]);
+        exit(1);
+      }
+      return argv[++I];
+    };
+    auto Apply = [&](const char *Key, const std::string &Value) {
+      if (!service::applyServiceConfigOption(SC, Key, Value, Err)) {
+        fprintf(stderr, "error: %s\n", Err.c_str());
+        exit(1);
+      }
+    };
+    if (Arg == "-socket")
+      NC.UnixPath = Next();
+    else if (Arg == "-tcp") {
+      // Strict: a mistyped port must not silently become 0 (ephemeral).
+      std::string Port = Next();
+      bool Digits = !Port.empty();
+      for (char C : Port)
+        Digits = Digits && isdigit(static_cast<unsigned char>(C));
+      if (!Digits || atoi(Port.c_str()) > 65535) {
+        fprintf(stderr, "error: -tcp takes a port number 0-65535 "
+                        "(0 = ephemeral)\n");
+        return 1;
+      }
+      NC.TcpPort = atoi(Port.c_str());
+    } else if (Arg == "-cache-dir")
+      Apply("cache-dir", Next());
+    else if (Arg == "-measure")
+      Apply("measure", "1");
+    else if (Arg == "-workers")
+      Apply("prefetch-workers", Next());
+    else if (Arg == "-service") {
+      std::string KV = Next();
+      size_t Eq = KV.find('=');
+      if (Eq == std::string::npos) {
+        fprintf(stderr, "error: -service takes key=value\n");
+        return 1;
+      }
+      Apply(KV.substr(0, Eq).c_str(), KV.substr(Eq + 1));
+    } else if (Arg == "-print-config")
+      PrintConfig = true;
+    else if (Arg == "-h" || Arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      fprintf(stderr, "error: unknown option %s\n", Arg.c_str());
+      usage(argv[0]);
+      return 1;
+    }
+  }
+
+  if (PrintConfig) {
+    fputs(service::serializeServiceConfig(SC).c_str(), stdout);
+    return 0;
+  }
+
+  // Block the shutdown signals BEFORE the server spawns threads: every
+  // thread inherits the mask, so SIGINT/SIGTERM can only be collected by
+  // sigwait below -- delivered to an accept thread instead, the signal
+  // would be swallowed as a spurious EINTR and the daemon would never die.
+  sigset_t ShutdownSet;
+  sigemptyset(&ShutdownSet);
+  sigaddset(&ShutdownSet, SIGINT);
+  sigaddset(&ShutdownSet, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &ShutdownSet, nullptr);
+
+  service::KernelService Service(SC);
+  net::Server Server(Service, NC);
+  if (!Server.start(Err)) {
+    fprintf(stderr, "sld: %s\n", Err.c_str());
+    return 1;
+  }
+  fprintf(stderr, "sld: serving on %s", Server.unixPath().c_str());
+  if (Server.tcpPort() >= 0)
+    fprintf(stderr, " and 127.0.0.1:%d", Server.tcpPort());
+  fprintf(stderr, "%s%s\n",
+          SC.CacheDir.empty() ? "" : ", cache at ",
+          SC.CacheDir.c_str());
+
+  // The accept/serve work happens on the server's threads; this thread
+  // just waits for a shutdown signal.
+  int Sig = 0;
+  while (sigwait(&ShutdownSet, &Sig) != 0) {
+  }
+
+  fprintf(stderr, "sld: shutting down (%ld frames served)\n",
+          Server.framesServed());
+  Server.stop();
+  Service.drainPrefetches();
+  return 0;
+}
