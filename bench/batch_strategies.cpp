@@ -1,18 +1,24 @@
-//===- bench/batch_strategies.cpp - ScalarLoop vs InstanceParallel ---------===//
+//===- bench/batch_strategies.cpp - batched strategy comparison ------------===//
 //
 // Part of the SLinGen reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// Compares the two batched codegen strategies (see slingen::BatchStrategy)
-// head to head on potrf across tiny sizes {4, 8, 16} and batch counts
-// {32, 1024}: the workload shape the paper's Sec. 5 "batched computations"
-// sketch targets. A google-benchmark binary so `tools/bench_batch.sh` can
-// record BENCH_batch.json for the perf trajectory.
+// Compares the batched codegen strategies (see slingen::BatchStrategy)
+// head to head -- the scalar loop, the packed instance-parallel form
+// ("vec"), and the fused-layout form ("fused", no pack/unpack transposes)
+// -- on potrf across tiny sizes {4, 8, 16} and on the gemm-flavored trsyl
+// {4, 8}, for batch counts {32, 1024}: the workload shape the paper's
+// Sec. 5 "batched computations" sketch targets. On multicore hosts the
+// loop and fused variants additionally get threaded rows ("-mt<k>")
+// dispatched through the runtime batch thread pool. A google-benchmark
+// binary so `tools/bench_batch.sh` can record BENCH_batch.json for the
+// perf trajectory.
 //
 // Skips cleanly (registering no benchmarks, still writing valid JSON when
 // --benchmark_out is given) when no system C compiler is available or the
-// host has no vector ISA to parallelize across.
+// host has no vector ISA to parallelize across; threaded rows are skipped
+// on single-core hosts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,8 +26,10 @@
 
 #include "la/Lower.h"
 #include "la/Programs.h"
+#include "runtime/BatchPool.h"
 #include "runtime/Jit.h"
 #include "slingen/SLinGen.h"
+#include "support/AlignedBuffer.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
@@ -38,7 +46,7 @@ namespace {
 /// count-variant of the benchmark (registered lambdas copy the shared_ptr).
 struct BatchBench {
   runtime::JitKernel Kernel;
-  std::vector<std::vector<double>> Store; ///< per-param, MaxCount instances
+  std::vector<AlignedBuffer> Store; ///< per-param, MaxCount instances
   std::vector<double *> Bufs;
 
   BatchBench(runtime::JitKernel K) : Kernel(std::move(K)) {}
@@ -46,11 +54,13 @@ struct BatchBench {
 
 constexpr int MaxCount = 1024;
 
-/// potrf inputs: count SPD instances for A, zeros for X. potrf reads A and
-/// writes X only, so timed runs need no refill.
+/// Structure-respecting inputs: SPD for positive-definite operands,
+/// well-conditioned triangular for triangular ones, general data for other
+/// inputs, zeros for outputs. Inputs are read-only for potrf/trsyl (X is
+/// the only written operand), so timed runs need no refill.
 std::shared_ptr<BatchBench> makeBench(const GenResult &R,
                                       const std::string &CSource,
-                                      const std::string &IsaFlags, int N) {
+                                      const std::string &IsaFlags) {
   runtime::CompileOptions CO;
   CO.ExtraFlags = IsaFlags;
   CO.WithBatchEntry = true;
@@ -64,16 +74,22 @@ std::shared_ptr<BatchBench> makeBench(const GenResult &R,
   auto B = std::make_shared<BatchBench>(std::move(*K));
   for (const Operand *P : R.Func.Params) {
     size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
-    B->Store.emplace_back(Sz * MaxCount, 0.0);
-  }
-  for (size_t I = 0; I < R.Func.Params.size(); ++I) {
-    if (R.Func.Params[I]->Name != "A")
+    auto &Buf = B->Store.emplace_back(Sz * MaxCount);
+    if (P->IO == IOKind::Out)
       continue;
     for (int Inst = 0; Inst < MaxCount; ++Inst) {
-      Rng Rand(100 + Inst);
-      std::vector<double> Mat = bench::randSpd(N, Rand);
+      Rng Rand(100 + 131 * Inst + static_cast<int>(B->Store.size()));
+      std::vector<double> Mat;
+      if (P->PosDef)
+        Mat = bench::randSpd(P->Rows, Rand);
+      else if (P->Structure == StructureKind::LowerTriangular)
+        Mat = bench::randLowerTri(P->Rows, Rand);
+      else if (P->Structure == StructureKind::UpperTriangular)
+        Mat = bench::randUpperTri(P->Rows, Rand);
+      else
+        Mat = bench::randGeneral(P->Rows, P->Cols, Rand);
       std::copy(Mat.begin(), Mat.end(),
-                B->Store[I].begin() + static_cast<size_t>(Inst) * N * N);
+                Buf.data() + static_cast<size_t>(Inst) * Sz);
     }
   }
   for (auto &S : B->Store)
@@ -81,58 +97,79 @@ std::shared_ptr<BatchBench> makeBench(const GenResult &R,
   return B;
 }
 
-void registerSize(int N) {
+void registerKernel(const char *Label, const std::string &Source, int N) {
   std::string Err;
-  auto P = la::compileLa(la::potrfSource(N), Err);
+  auto P = la::compileLa(Source, Err);
   if (!P) {
     fprintf(stderr, "batch_strategies: %s\n", Err.c_str());
     return;
   }
   GenOptions O;
   O.Isa = &hostIsa();
-  O.FuncName = "potrf" + std::to_string(N);
+  O.FuncName = std::string(Label) + std::to_string(N);
   Generator G(std::move(*P), O);
   auto R = G.best(3);
   if (!R) {
-    fprintf(stderr, "batch_strategies: generation failed for n=%d\n", N);
+    fprintf(stderr, "batch_strategies: generation failed for %s n=%d\n",
+            Label, N);
     return;
   }
   const std::string IsaFlags = runtime::isaCompileFlags(*O.Isa);
-  bool UsedVector = false;
-  std::string VecSource = emitBatchedVectorC(*R, &O, &UsedVector);
-  if (!UsedVector) {
-    // Timing the fallback would record loop-vs-loop under the "vec" label
+  bool VecOk = false, FusedOk = false;
+  std::string VecSource = emitBatchedVectorC(*R, &O, &VecOk);
+  std::string FusedSource = emitBatchedVectorFusedC(*R, &O, &FusedOk);
+  if (!VecOk || !FusedOk) {
+    // Timing the fallback would record loop-vs-loop under a vector label
     // and corrupt the cross-PR perf trajectory; skip loudly instead.
     fprintf(stderr,
             "batch_strategies: instance-parallel emission infeasible for "
-            "n=%d; skipping its variants\n",
-            N);
-    VecSource.clear();
+            "%s n=%d; skipping its variants\n",
+            Label, N);
+    if (!VecOk)
+      VecSource.clear();
+    if (!FusedOk)
+      FusedSource.clear();
   }
   struct Variant {
     const char *Name;
     std::string Source;
+    bool Threaded; ///< also register pool-dispatched rows
   } Variants[] = {
-      {"loop", emitBatchedC(*R)},
-      {"vec", std::move(VecSource)},
+      {"loop", emitBatchedC(*R), true},
+      {"vec", std::move(VecSource), false},
+      {"fused", std::move(FusedSource), true},
   };
+  const int MT = runtime::defaultBatchThreads();
   for (const Variant &V : Variants) {
     if (V.Source.empty())
       continue;
-    std::shared_ptr<BatchBench> B = makeBench(*R, V.Source, IsaFlags, N);
+    std::shared_ptr<BatchBench> B = makeBench(*R, V.Source, IsaFlags);
     if (!B)
       continue;
     for (int Count : {32, 1024}) {
-      std::string Name = "potrf/n=" + std::to_string(N) +
-                         "/count=" + std::to_string(Count) + "/" + V.Name;
+      std::string Base = std::string(Label) + "/n=" + std::to_string(N) +
+                         "/count=" + std::to_string(Count) + "/";
       benchmark::RegisterBenchmark(
-          Name.c_str(), [B, Count](benchmark::State &State) {
+          (Base + V.Name).c_str(), [B, Count](benchmark::State &State) {
             for (auto _ : State) {
               B->Kernel.callBatch(Count, B->Bufs.data());
               benchmark::ClobberMemory();
             }
             State.SetItemsProcessed(State.iterations() * Count);
           });
+      if (V.Threaded && MT > 1 && B->Kernel.hasBatchSpan()) {
+        const int Nu = hostIsa().Nu;
+        benchmark::RegisterBenchmark(
+            (Base + V.Name + "-mt" + std::to_string(MT)).c_str(),
+            [B, Count, Nu, MT](benchmark::State &State) {
+              for (auto _ : State) {
+                runtime::callBatchParallel(B->Kernel, Count, B->Bufs.data(),
+                                           Nu, MT);
+                benchmark::ClobberMemory();
+              }
+              State.SetItemsProcessed(State.iterations() * Count);
+            });
+      }
     }
   }
 }
@@ -150,9 +187,15 @@ int main(int argc, char **argv) {
             "only strategy -- skipping\n");
     Skip = true;
   }
-  if (!Skip)
+  if (runtime::defaultBatchThreads() < 2)
+    fprintf(stderr, "batch_strategies: single-core host; threaded rows "
+                    "skipped\n");
+  if (!Skip) {
     for (int N : {4, 8, 16})
-      registerSize(N);
+      registerKernel("potrf", la::potrfSource(N), N);
+    for (int N : {4, 8})
+      registerKernel("trsyl", la::trsylSource(N), N);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

@@ -15,7 +15,15 @@ namespace {
 
 class Widener {
 public:
-  Widener(const Function &F, int Lanes) : F(F), Lanes(Lanes) {}
+  /// \p Fused selects the fused-layout mode: parameter accesses become
+  /// lane-strided (stride = the parameter's instance size) against the
+  /// batch ABI instead of contiguous accesses against packed AoSoA blocks.
+  Widener(const Function &F, int Lanes, bool Fused)
+      : F(F), Lanes(Lanes), Fused(Fused) {
+    if (Fused)
+      for (const Operand *P : F.Params)
+        ParamStride[P] = P->Rows * P->Cols;
+  }
 
   bool run(WidenedFunction &Out, const std::string &Name) {
     if (F.Nu != 1 || Lanes < 2)
@@ -47,19 +55,34 @@ public:
 private:
   const Function &F;
   int Lanes;
+  bool Fused;
   std::map<const Operand *, const Operand *> LocalMap;
+  std::map<const Operand *, int> ParamStride;
 
   /// AoSoA address: Lanes consecutive doubles per scalar element, so the
-  /// whole affine form scales by Lanes.
+  /// whole affine form scales by Lanes. In fused mode this applies to
+  /// locals only; parameter addresses stay in scalar element units (the
+  /// lane offset is carried by the strided load/store instead).
   Addr widenAddr(const Addr &A) const {
     Addr W = A;
     auto It = LocalMap.find(A.Buf);
     if (It != LocalMap.end())
       W.Buf = It->second;
+    if (Fused && ParamStride.count(A.Buf))
+      return W;
     W.Const *= Lanes;
     for (auto &[Var, Coeff] : W.Terms)
       Coeff *= Lanes;
     return W;
+  }
+
+  /// Lane stride of a fused parameter access; 0 selects the contiguous
+  /// (AoSoA) form.
+  int laneStride(const Addr &A) const {
+    if (!Fused)
+      return 0;
+    auto It = ParamStride.find(A.Buf);
+    return It == ParamStride.end() ? 0 : It->second;
   }
 
   bool widenBlock(const std::vector<Node> &In, std::vector<Node> &Out) {
@@ -83,12 +106,22 @@ private:
         W.K = Op::VConst;
         break;
       case Op::SLoad:
-        W.K = Op::VLoad;
+        if (int S = laneStride(W.Address)) {
+          W.K = Op::VLoadStrided;
+          W.Stride = S;
+        } else {
+          W.K = Op::VLoad;
+        }
         W.Address = widenAddr(W.Address);
         W.Lanes = Lanes;
         break;
       case Op::SStore:
-        W.K = Op::VStore;
+        if (int S = laneStride(W.Address)) {
+          W.K = Op::VStoreStrided;
+          W.Stride = S;
+        } else {
+          W.K = Op::VStore;
+        }
         W.Address = widenAddr(W.Address);
         W.Lanes = Lanes;
         break;
@@ -125,7 +158,17 @@ std::optional<WidenedFunction>
 cir::widenAcrossInstances(const Function &F, int Lanes,
                           const std::string &Name) {
   WidenedFunction Out;
-  Widener W(F, Lanes);
+  Widener W(F, Lanes, /*Fused=*/false);
+  if (!W.run(Out, Name))
+    return std::nullopt;
+  return Out;
+}
+
+std::optional<WidenedFunction>
+cir::widenAcrossInstancesFused(const Function &F, int Lanes,
+                               const std::string &Name) {
+  WidenedFunction Out;
+  Widener W(F, Lanes, /*Fused=*/true);
   if (!W.run(Out, Name))
     return std::nullopt;
   return Out;

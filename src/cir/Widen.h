@@ -50,6 +50,20 @@ struct WidenedFunction {
 std::optional<WidenedFunction>
 widenAcrossInstances(const Function &F, int Lanes, const std::string &Name);
 
+/// The *fused-layout* variant: parameters keep the batch ABI's contiguous
+/// per-instance layout, so lane l of a parameter access reads element
+/// `affine + l * (Rows*Cols)` relative to the block base pointer -- a
+/// lane-strided VLoadStrided/VStoreStrided whose stride is the parameter's
+/// instance size. No layout transpose is required around the widened
+/// kernel: it gathers instance data straight out of (and scatters results
+/// straight into) the caller's batch buffers. Compiler temporaries never
+/// cross the ABI boundary, so locals stay in the interleaved AoSoA layout
+/// of widenAcrossInstances (contiguous full-width accesses). Same
+/// feasibility conditions as widenAcrossInstances.
+std::optional<WidenedFunction>
+widenAcrossInstancesFused(const Function &F, int Lanes,
+                          const std::string &Name);
+
 } // namespace cir
 } // namespace slingen
 

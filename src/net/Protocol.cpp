@@ -18,6 +18,7 @@ std::string net::encodeRequest(const Request &R) {
   W.str(R.OptionsText);
   W.u8(R.Batched ? 1 : 0);
   W.str(R.StrategyName);
+  W.u32(static_cast<uint32_t>(R.Threads < 0 ? 0 : R.Threads));
   W.u8(R.MeasureOverride < 0 ? 0xff
                              : static_cast<uint8_t>(R.MeasureOverride));
   W.u8(R.WantSo ? 1 : 0);
@@ -28,17 +29,22 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
                         std::string &Err) {
   ByteReader B(Payload);
   uint8_t Batched, Measure, WantSo;
+  uint32_t Threads;
   if (!B.str(R.LaSource) || !B.str(R.OptionsText) || !B.u8(Batched) ||
-      !B.str(R.StrategyName) || !B.u8(Measure) || !B.u8(WantSo) ||
-      !B.atEnd()) {
+      !B.str(R.StrategyName) || !B.u32(Threads) || !B.u8(Measure) ||
+      !B.u8(WantSo) || !B.atEnd()) {
     Err = "malformed request payload";
     return false;
   }
-  if (Batched > 1 || WantSo > 1 || (Measure > 1 && Measure != 0xff)) {
+  // 1024 is far above any real dispatch width; beyond it the field is
+  // garbage, not a knob.
+  if (Batched > 1 || WantSo > 1 || (Measure > 1 && Measure != 0xff) ||
+      Threads > 1024) {
     Err = "malformed request payload";
     return false;
   }
   R.Batched = Batched == 1;
+  R.Threads = static_cast<int>(Threads);
   R.MeasureOverride = Measure == 0xff ? -1 : Measure;
   R.WantSo = WantSo == 1;
   return true;
@@ -59,6 +65,8 @@ bool net::requestToServiceArgs(const Request &R, GenOptions &Options,
     }
     Req.Strategy = *S;
   }
+  if (R.Threads > 0)
+    Req.Threads = R.Threads;
   if (R.MeasureOverride >= 0)
     Req.Measure = R.MeasureOverride != 0;
   return true;
@@ -72,6 +80,7 @@ std::string net::encodeArtifact(const ArtifactMsg &A) {
   W.u32(static_cast<uint32_t>(A.NumParams));
   W.u8(A.Batched ? 1 : 0);
   W.str(A.StrategyName);
+  W.u32(static_cast<uint32_t>(A.BatchThreads < 1 ? 1 : A.BatchThreads));
   W.u32(static_cast<uint32_t>(A.Choice.size()));
   for (int C : A.Choice)
     W.u32(static_cast<uint32_t>(C));
@@ -86,15 +95,20 @@ std::string net::encodeArtifact(const ArtifactMsg &A) {
 bool net::decodeArtifact(const std::string &Payload, ArtifactMsg &A,
                          std::string &Err) {
   ByteReader B(Payload);
-  uint32_t NumParams, ChoiceLen;
+  uint32_t NumParams, ChoiceLen, BatchThreads;
   uint64_t Cost;
   uint8_t Batched, Measured;
   if (!B.str(A.Key) || !B.str(A.FuncName) || !B.str(A.IsaName) ||
       !B.u32(NumParams) || !B.u8(Batched) || !B.str(A.StrategyName) ||
-      !B.u32(ChoiceLen)) {
+      !B.u32(BatchThreads) || !B.u32(ChoiceLen)) {
     Err = "malformed artifact payload";
     return false;
   }
+  if (BatchThreads < 1 || BatchThreads > 1024) {
+    Err = "malformed artifact payload";
+    return false;
+  }
+  A.BatchThreads = static_cast<int>(BatchThreads);
   // Each choice entry costs 4 payload bytes, so a hostile length prefix
   // cannot reserve more than the frame itself carried.
   A.Choice.clear();
@@ -130,8 +144,10 @@ ArtifactMsg net::artifactToMsg(const service::KernelArtifact &A,
   M.IsaName = A.IsaName;
   M.NumParams = A.NumParams;
   M.Batched = A.Batched;
-  if (A.Batched)
+  if (A.Batched) {
     M.StrategyName = batchStrategyName(A.Strategy);
+    M.BatchThreads = A.BatchThreads >= 1 ? A.BatchThreads : 1;
+  }
   M.Choice = A.Choice;
   M.StaticCost = A.StaticCost;
   M.Measured = A.Measured;

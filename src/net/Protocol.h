@@ -40,9 +40,14 @@ struct Request {
   std::string LaSource;    ///< the LA program text
   std::string OptionsText; ///< serializeGenOptions() document (may be empty)
   bool Batched = false;
-  /// Batch-strategy override ("loop"/"vec"/"auto"); empty defers to the
-  /// daemon's configured strategy.
+  /// Batch-strategy override ("loop"/"vec"/"fused"/"auto"); empty defers
+  /// to the daemon's configured strategy.
   std::string StrategyName;
+  /// Batched dispatch-width override (the `threads=k` knob): 0 defers to
+  /// the daemon's batch-threads policy, k >= 1 pins the width the daemon
+  /// records on a produced artifact. Dispatch metadata only -- it never
+  /// changes the served bytes or the cache key.
+  int Threads = 0;
   /// Measured-tuning override: -1 defers to the daemon, 0/1 force. A
   /// produce-time policy: it governs how a cache miss is generated, and
   /// an already-cached artifact is served as-is (ArtifactMsg::Measured
@@ -70,7 +75,11 @@ struct ArtifactMsg {
   std::string IsaName;
   int NumParams = 0;
   bool Batched = false;
-  std::string StrategyName; ///< "loop"/"vec" (batched artifacts only)
+  std::string StrategyName; ///< "loop"/"vec"/"fused" (batched artifacts only)
+  /// Tuned batched dispatch width (>= 1; batched artifacts only): remote
+  /// clients loading the shipped .so dispatch with this many threads by
+  /// default.
+  int BatchThreads = 1;
   std::vector<int> Choice;
   long StaticCost = 0;
   bool Measured = false;

@@ -19,7 +19,7 @@ using namespace slingen::net;
 
 namespace {
 
-constexpr char Magic[4] = {'s', 'l', 'd', '1'};
+constexpr char Magic[4] = {'s', 'l', 'd', '2'};
 constexpr size_t HeaderSize = 4 + 1 + 4; // magic, verb, payload length
 
 /// Writes all of \p Len bytes; EINTR-safe, short-write-safe. MSG_NOSIGNAL

@@ -12,7 +12,7 @@
 /// Frame layout (all integers little-endian):
 ///
 ///   offset  size  field
-///   0       4     magic "sld1"
+///   0       4     magic "sld2"
 ///   4       1     verb (see Verb; unknown values are delivered raw so the
 ///                 server can answer ERR instead of hanging up blind)
 ///   5       4     payload length N

@@ -1,0 +1,127 @@
+//===- runtime/BatchPool.cpp ----------------------------------------------==//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BatchPool.h"
+
+#include "runtime/Jit.h"
+
+#include <algorithm>
+
+using namespace slingen;
+using namespace slingen::runtime;
+
+namespace {
+
+/// Hard cap on pool workers: a threads=k request beyond this is clamped.
+/// Far above any sane core count for small-kernel batches; exists so a
+/// hostile `threads=` knob cannot spawn unbounded threads.
+constexpr int MaxPoolWorkers = 63;
+
+} // namespace
+
+int runtime::defaultBatchThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : static_cast<int>(std::min<unsigned>(N, MaxPoolWorkers + 1));
+}
+
+BatchPool &BatchPool::shared() {
+  // Leaked deliberately: workers are detached daemons parked between
+  // batches, and run() never returns with a job outstanding, so process
+  // exit finds them idle on members that are never destroyed.
+  static BatchPool *P = new BatchPool();
+  return *P;
+}
+
+BatchPool::BatchPool() : MaxWorkers(MaxPoolWorkers) {}
+
+void BatchPool::drain() {
+  Job &J = *Current; // stable for the drain duration: run() holds RunMu
+  for (;;) {
+    long Lo = J.Cursor.fetch_add(J.Chunk, std::memory_order_relaxed);
+    if (Lo >= J.Total)
+      return;
+    (*J.Fn)(Lo, std::min(Lo + J.Chunk, J.Total));
+  }
+}
+
+void BatchPool::workerLoop() {
+  std::unique_lock<std::mutex> L(Mu);
+  uint64_t Seen = 0;
+  for (;;) {
+    WakeCv.wait(L, [&] { return Current != nullptr && JobSeq != Seen; });
+    Seen = JobSeq;
+    Job *J = Current;
+    // One participation seat per requested thread; extra pool workers sit
+    // this batch out. Seat and Active bookkeeping happen under Mu so the
+    // caller cannot observe completion while a worker is still enrolling
+    // (the job lives on the caller's stack).
+    if (J->Seats.load(std::memory_order_relaxed) <= 0)
+      continue;
+    J->Seats.fetch_sub(1, std::memory_order_relaxed);
+    J->Active.fetch_add(1, std::memory_order_relaxed);
+    L.unlock();
+    drain();
+    L.lock();
+    if (J->Active.fetch_sub(1, std::memory_order_relaxed) == 1)
+      DoneCv.notify_all();
+  }
+}
+
+void BatchPool::run(long NumItems, int Threads,
+                    const std::function<void(long, long)> &Fn) {
+  if (NumItems <= 0)
+    return;
+  Threads = std::min(Threads, MaxWorkers + 1);
+  if (Threads <= 1 || NumItems < 2) {
+    Fn(0, NumItems);
+    return;
+  }
+
+  std::lock_guard<std::mutex> RunL(RunMu);
+  Job J;
+  J.Total = NumItems;
+  // Chunks several times smaller than a static partition: late threads and
+  // uneven blocks rebalance, while the per-chunk atomic stays amortized.
+  J.Chunk = std::max<long>(1, NumItems / (static_cast<long>(Threads) * 8));
+  J.Fn = &Fn;
+  J.Seats.store(Threads - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    while (Spawned < Threads - 1) {
+      std::thread(&BatchPool::workerLoop, this).detach();
+      ++Spawned;
+    }
+    Current = &J;
+    ++JobSeq;
+  }
+  WakeCv.notify_all();
+  drain(); // the caller is a participant, not just a coordinator
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    DoneCv.wait(L, [&] { return J.Active.load() == 0; });
+    Current = nullptr;
+  }
+}
+
+void runtime::callBatchParallel(const JitKernel &K, int Count,
+                                double *const *Buffers, int BlockInstances,
+                                int Threads) {
+  const int Block = std::max(BlockInstances, 1);
+  const long Blocks = Count / Block;
+  if (Threads <= 1 || !K.hasBatchSpan() || Blocks < 2) {
+    K.callBatch(Count, Buffers);
+    return;
+  }
+  BatchPool::shared().run(Blocks, Threads, [&](long Lo, long Hi) {
+    K.callBatchSpan(static_cast<int>(Lo) * Block,
+                    static_cast<int>(Hi - Lo) * Block, Buffers);
+  });
+  // The count % Nu instance remainder stays on the calling thread (it is
+  // the scalar tail inside <func>_batch; no block to steal).
+  const int Rem = Count - static_cast<int>(Blocks) * Block;
+  if (Rem > 0)
+    K.callBatchSpan(static_cast<int>(Blocks) * Block, Rem, Buffers);
+}

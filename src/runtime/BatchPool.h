@@ -1,0 +1,106 @@
+//===- runtime/BatchPool.h - batch-level multithreading --------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread pool behind threaded batched dispatch: a batch of independent
+/// problem instances is split into AoSoA blocks (one vector-width group of
+/// instances each) and the block indices are distributed across cores.
+/// Scheduling is dynamic -- every participating thread, the caller
+/// included, steals the next chunk of block indices from a shared cursor,
+/// so an uneven machine never idles a core on a static partition. The
+/// `count % Nu` instance remainder always runs on the calling thread (see
+/// callBatchParallel).
+///
+/// Workers are spawned lazily on the first parallel run and parked on a
+/// condition variable between batches, so single-threaded configurations
+/// pay nothing and per-batch dispatch costs one wakeup, not thread
+/// creation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_RUNTIME_BATCHPOOL_H
+#define SLINGEN_RUNTIME_BATCHPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slingen {
+namespace runtime {
+
+class JitKernel;
+
+class BatchPool {
+public:
+  /// The process-wide pool (sized to the hardware). Never destroyed --
+  /// workers are detached daemons parked between batches, so shutdown
+  /// ordering with static destructors is a non-issue.
+  static BatchPool &shared();
+
+  /// Runs \p Fn over a partition of [0, NumItems): every call receives a
+  /// disjoint [Lo, Hi) chunk, and the union of all chunks is exactly
+  /// [0, NumItems). Up to \p Threads threads participate (the caller is
+  /// one of them); Threads <= 1, a single chunk, or a pool with no workers
+  /// degrades to an inline call. Blocks until every item is processed.
+  /// One batch runs at a time; concurrent callers serialize.
+  void run(long NumItems, int Threads,
+           const std::function<void(long Lo, long Hi)> &Fn);
+
+  /// Hard cap on workers the pool will add to a run. Workers are spawned
+  /// on demand up to min(Threads - 1, this), so a host is never
+  /// oversubscribed unless a caller explicitly pins threads beyond its
+  /// core count (allowed: the OS time-slices, and tests use it to exercise
+  /// the pool on small machines).
+  int workerCap() const { return MaxWorkers; }
+
+private:
+  BatchPool();
+
+  void workerLoop();
+  void drain();
+
+  struct Job {
+    std::atomic<long> Cursor{0};
+    long Total = 0;
+    long Chunk = 1;
+    const std::function<void(long, long)> *Fn = nullptr;
+    std::atomic<int> Seats{0};  ///< worker participation budget
+    std::atomic<int> Active{0}; ///< workers currently inside Fn
+  };
+
+  const int MaxWorkers;
+  std::mutex RunMu; ///< serializes run() callers
+
+  std::mutex Mu; ///< guards Current/JobSeq/Spawned
+  std::condition_variable WakeCv;
+  std::condition_variable DoneCv;
+  Job *Current = nullptr;
+  uint64_t JobSeq = 0;
+  int Spawned = 0;
+};
+
+/// Default thread count for threaded batched dispatch on this host
+/// (hardware concurrency, at least 1).
+int defaultBatchThreads();
+
+/// Dispatches `<func>_batch` over \p Count instances with up to \p Threads
+/// threads: full blocks of \p BlockInstances (the kernel's vector width)
+/// are distributed across the pool through the kernel's `_batch_span`
+/// entry, and the instance remainder runs on the calling thread. Degrades
+/// to a plain callBatch when Threads <= 1, the kernel has no span entry
+/// (pre-span cached objects), or the batch is too small to amortize a
+/// wakeup.
+void callBatchParallel(const JitKernel &K, int Count, double *const *Buffers,
+                       int BlockInstances, int Threads);
+
+} // namespace runtime
+} // namespace slingen
+
+#endif // SLINGEN_RUNTIME_BATCHPOOL_H

@@ -39,9 +39,13 @@ const char *compilerPath() {
 
 /// Appends the uniform trampolines to \p Out: `<func>_entry(double **)` for
 /// single-instance calls and, when requested, `<func>_batch_entry(int,
-/// double **)` forwarding to the batched kernel.
+/// double **)` forwarding to the batched kernel plus -- when the source
+/// defines the `_batch_span` sub-range entry -- `<func>_batch_span_entry`
+/// for threaded dispatch. The span trampoline is gated on \p WithSpan so
+/// cached sources persisted before span emission existed still compile and
+/// dlopen (RTLD_NOW would otherwise fail on the undefined symbol).
 void appendTrampolines(std::ostream &Out, const std::string &FuncName,
-                       int NumParams, bool WithBatchEntry) {
+                       int NumParams, bool WithBatchEntry, bool WithSpan) {
   Out << "\nvoid " << FuncName << "_entry(double *const *bufs) {\n  "
       << FuncName << "(";
   for (int I = 0; I < NumParams; ++I)
@@ -55,16 +59,26 @@ void appendTrampolines(std::ostream &Out, const std::string &FuncName,
   for (int I = 0; I < NumParams; ++I)
     Out << ", bufs[" << I << "]";
   Out << ");\n}\n";
+  if (!WithSpan)
+    return;
+  Out << "void " << FuncName
+      << "_batch_span_entry(int start, int count, double *const *bufs) {\n  "
+      << FuncName << "_batch_span(start, count";
+  for (int I = 0; I < NumParams; ++I)
+    Out << ", bufs[" << I << "]";
+  Out << ");\n}\n";
 }
 
 } // namespace
 
 JitKernel::JitKernel(JitKernel &&O) noexcept
     : Handle(O.Handle), Entry(O.Entry), BatchEntry(O.BatchEntry),
-      NumParams(O.NumParams), OwnsSo(O.OwnsSo), SoPath(std::move(O.SoPath)) {
+      BatchSpanEntry(O.BatchSpanEntry), NumParams(O.NumParams),
+      OwnsSo(O.OwnsSo), SoPath(std::move(O.SoPath)) {
   O.Handle = nullptr;
   O.Entry = nullptr;
   O.BatchEntry = nullptr;
+  O.BatchSpanEntry = nullptr;
 }
 
 JitKernel &JitKernel::operator=(JitKernel &&O) noexcept {
@@ -113,7 +127,11 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
       return std::nullopt;
     }
     Out << CSource;
-    appendTrampolines(Out, FuncName, NumParams, Opts.WithBatchEntry);
+    bool WithSpan =
+        Opts.WithBatchEntry &&
+        CSource.find(FuncName + "_batch_span(") != std::string::npos;
+    appendTrampolines(Out, FuncName, NumParams, Opts.WithBatchEntry,
+                      WithSpan);
   }
 
   // Process-local objects target the host (-march=native first, so per-ISA
@@ -218,6 +236,10 @@ std::optional<JitKernel> JitKernel::load(const std::string &SoPath,
             SoPath;
       return std::nullopt;
     }
+    // Optional: objects compiled before the span entry existed simply
+    // cannot be dispatched threaded (callers check hasBatchSpan()).
+    K.BatchSpanEntry = reinterpret_cast<BatchSpanEntryFn>(
+        dlsym(K.Handle, (FuncName + "_batch_span_entry").c_str()));
   }
   K.NumParams = NumParams;
   return K;

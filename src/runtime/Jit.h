@@ -106,6 +106,18 @@ public:
     BatchEntry(Count, Buffers);
   }
 
+  /// True when the `_batch_span` sub-range entry was compiled in (absent
+  /// on shared objects persisted before span emission existed); required
+  /// for threaded dispatch (see runtime/BatchPool.h).
+  bool hasBatchSpan() const { return BatchSpanEntry != nullptr; }
+
+  /// Invokes `<func>_batch_span(Start, Count, ...)`: instances
+  /// [Start, Start+Count) of the batch, with Buffers still naming the full
+  /// per-parameter instance arrays.
+  void callBatchSpan(int Start, int Count, double *const *Buffers) const {
+    BatchSpanEntry(Start, Count, Buffers);
+  }
+
   int numParams() const { return NumParams; }
 
 private:
@@ -113,9 +125,11 @@ private:
 
   using EntryFn = void (*)(double *const *);
   using BatchEntryFn = void (*)(int, double *const *);
+  using BatchSpanEntryFn = void (*)(int, int, double *const *);
   void *Handle = nullptr;
   EntryFn Entry = nullptr;
   BatchEntryFn BatchEntry = nullptr;
+  BatchSpanEntryFn BatchSpanEntry = nullptr;
   int NumParams = 0;
   bool OwnsSo = true;
   std::string SoPath;

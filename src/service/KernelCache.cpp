@@ -11,9 +11,11 @@
 #include "support/Format.h"
 #include "support/KeyValue.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include <unistd.h>
@@ -162,6 +164,9 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
   // the only batched emission those could contain.
   if (auto S = batchStrategyByName(KV["strategy"]))
     A->Strategy = *S;
+  // Absent on pre-threading entries: single-threaded dispatch.
+  if (int T = atoi(KV["threads"].c_str()); T >= 1)
+    A->BatchThreads = T;
   A->StaticCost = atol(KV["cost"].c_str());
   A->Measured = KV["measured"] == "1";
   A->MeasuredCycles = atof(KV["cycles"].c_str());
@@ -238,8 +243,11 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
     Out << "isa=" << A.IsaName << "\n";
     Out << "params=" << A.NumParams << "\n";
     Out << "batched=" << (A.Batched ? 1 : 0) << "\n";
-    if (A.Batched)
+    if (A.Batched) {
       Out << "strategy=" << batchStrategyName(A.Strategy) << "\n";
+      Out << "threads=" << (A.BatchThreads >= 1 ? A.BatchThreads : 1)
+          << "\n";
+    }
     Out << "cost=" << A.StaticCost << "\n";
     Out << "measured=" << (A.Measured ? 1 : 0) << "\n";
     Out << "cycles=" << formatf("%.17g", A.MeasuredCycles) << "\n";
@@ -260,4 +268,96 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
     return false;
   }
   return true;
+}
+
+namespace {
+
+/// One on-disk entry during a GC scan: every file sharing a key stem.
+struct GcEntry {
+  std::string Key; ///< cache key (shard prefix folded back in)
+  std::vector<std::pair<fs::path, uintmax_t>> Files; ///< path, byte size
+  uintmax_t Bytes = 0;
+  fs::file_time_type Mtime = fs::file_time_type::min(); ///< newest file
+};
+
+/// Folds one regular file into the per-key scan state. \p Key is the
+/// reconstructed cache key (shard prefix + stem); files that are not
+/// `.c/.so/.meta` (in-flight `.tmp<pid>` publications, foreign files) are
+/// skipped.
+void gcAccumulate(std::map<std::string, GcEntry> &Entries,
+                  const std::string &Key, const fs::directory_entry &File) {
+  std::string Ext = File.path().extension().string();
+  if (Ext != ".c" && Ext != ".so" && Ext != ".meta")
+    return;
+  std::error_code Ec;
+  uintmax_t Sz = File.file_size(Ec);
+  if (Ec)
+    return;
+  GcEntry &E = Entries[Key];
+  E.Key = Key;
+  E.Files.emplace_back(File.path(), Sz);
+  E.Bytes += Sz;
+  fs::file_time_type M = fs::last_write_time(File.path(), Ec);
+  if (!Ec && M > E.Mtime)
+    E.Mtime = M;
+}
+
+} // namespace
+
+size_t KernelCache::enforceDiskBudget(long MaxBytes,
+                                      const std::string &KeepKey) {
+  if (Dir.empty() || MaxBytes <= 0)
+    return 0;
+  // Scan the two layouts: flat `<key>.{c,so,meta}` at the top level and
+  // sharded `ab/<rest>.{c,so,meta}` one level down.
+  std::map<std::string, GcEntry> Entries;
+  std::error_code Ec;
+  for (const fs::directory_entry &Top : fs::directory_iterator(Dir, Ec)) {
+    if (Top.is_regular_file(Ec)) {
+      gcAccumulate(Entries, Top.path().stem().string(), Top);
+      continue;
+    }
+    if (!Top.is_directory(Ec))
+      continue;
+    std::string Shard = Top.path().filename().string();
+    for (const fs::directory_entry &File :
+         fs::directory_iterator(Top.path(), Ec))
+      if (File.is_regular_file(Ec))
+        gcAccumulate(Entries, Shard + File.path().stem().string(), File);
+  }
+
+  uintmax_t Total = 0;
+  std::vector<const GcEntry *> ByAge;
+  for (const auto &[Key, E] : Entries) {
+    Total += E.Bytes;
+    ByAge.push_back(&E);
+  }
+  if (Total <= static_cast<uintmax_t>(MaxBytes))
+    return 0;
+  std::sort(ByAge.begin(), ByAge.end(),
+            [](const GcEntry *A, const GcEntry *B) {
+              return A->Mtime != B->Mtime ? A->Mtime < B->Mtime
+                                          : A->Key < B->Key;
+            });
+  size_t Evicted = 0;
+  for (const GcEntry *E : ByAge) {
+    if (Total <= static_cast<uintmax_t>(MaxBytes))
+      break;
+    if (E->Key == KeepKey)
+      continue;
+    // Only count what actually left the disk: an unremovable file (EACCES
+    // in a shared directory, say) must not fool the budget into thinking
+    // space was freed, or the tier would quietly grow past the cap.
+    bool AllGone = true;
+    for (const auto &[F, Sz] : E->Files) {
+      std::error_code RmEc;
+      if (fs::remove(F, RmEc) || !fs::exists(F, RmEc))
+        Total -= std::min(Total, Sz);
+      else
+        AllGone = false;
+    }
+    if (AllGone)
+      ++Evicted;
+  }
+  return Evicted;
 }

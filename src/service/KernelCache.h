@@ -61,6 +61,13 @@ struct KernelArtifact {
   /// resolution round-trips through the disk tier's .meta so a warmed
   /// cache serves the tuned variant without re-measuring.
   BatchStrategy Strategy = BatchStrategy::ScalarLoop;
+  /// Resolved batched dispatch width (>= 1, meaningful only when Batched):
+  /// how many threads dispatchBatch spreads AoSoA blocks across by
+  /// default. Chosen by chooseBatchStrategy (measured on multicore hosts,
+  /// 1 otherwise), persisted as `threads=` in the disk tier's .meta, and
+  /// overridable per request/config at dispatch time -- it is dispatch
+  /// metadata, not part of the emitted C or the cache key.
+  int BatchThreads = 1;
   std::vector<int> Choice;       ///< winning per-HLAC variant indices
   long StaticCost = 0;           ///< static model estimate (cycles)
   bool Measured = false;         ///< Choice was picked by measurement
@@ -136,6 +143,17 @@ public:
   /// published at soPathFor(key) by JitKernel::compile). Both files are
   /// written via rename so concurrent readers never see a torn entry.
   bool storeToDisk(const KernelArtifact &A, std::string &Err);
+
+  /// Size-bounded GC for the disk tier: while the tier's total byte size
+  /// (sharded and flat entries alike) exceeds \p MaxBytes, whole entries
+  /// -- the .c/.so/.meta file group of one key -- are evicted
+  /// oldest-mtime-first. \p KeepKey (normally the entry just stored) is
+  /// never evicted, so the triggering store survives even under a budget
+  /// smaller than one entry. Memory-tier references are untouched:
+  /// already-loaded kernels keep serving, the key just regenerates on the
+  /// next cold miss. Returns the number of entries evicted. MaxBytes <= 0
+  /// or no disk tier is a no-op.
+  size_t enforceDiskBudget(long MaxBytes, const std::string &KeepKey);
 
 private:
   struct Slot {

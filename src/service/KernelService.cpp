@@ -8,6 +8,7 @@
 
 #include "isa/ISA.h"
 #include "la/Lower.h"
+#include "runtime/BatchPool.h"
 #include "service/Tuner.h"
 #include "support/Hash.h"
 #include "support/KeyValue.h"
@@ -254,23 +255,41 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
     return nullptr;
 
   // Batched requests resolve the configured strategy to a concrete one:
-  // InstanceParallel needs vector lanes, and Auto picks per kernel --
-  // measured where the environment allows, by the static model otherwise.
-  // The artifact records the strategy actually emitted: when the
-  // instance-parallel emission cannot widen, it degrades to the scalar
+  // the instance-parallel forms need vector lanes, and Auto picks per
+  // kernel -- measured where the environment allows, by the static model
+  // otherwise -- along with the dispatch width (threads) when the policy
+  // is auto. The artifact records the strategy actually emitted: when the
+  // instance-parallel emissions cannot widen, they degrade to the scalar
   // loop and so does the label.
   BatchStrategy Strat = BatchStrategy::ScalarLoop;
+  int BatchThreads = 1;
   std::string BatchedSource;
   if (Batched) {
+    const int ThreadsPolicy = Req.Threads.value_or(Cfg.BatchThreads);
     Strat = Req.Strategy.value_or(Cfg.Strategy);
-    if (Strat == BatchStrategy::InstanceParallel && O.Isa->Nu < 2)
+    if ((Strat == BatchStrategy::InstanceParallel ||
+         Strat == BatchStrategy::InstanceParallelFused) &&
+        O.Isa->Nu < 2)
       Strat = BatchStrategy::ScalarLoop;
     if (Strat == BatchStrategy::Auto) {
-      BatchChoice BC = chooseBatchStrategy(Tuned->Result, O, TO, Compile);
+      BatchChoice BC = chooseBatchStrategy(Tuned->Result, O, TO, Compile,
+                                           ThreadsPolicy);
       if (BC.Measured)
         ++TunerRuns;
       Strat = BC.Strategy;
-      BatchedSource = std::move(BC.VecSource); // winning TU, when emitted
+      BatchThreads = BC.Threads;
+      BatchedSource = std::move(BC.ChosenSource); // winning TU, when emitted
+    } else {
+      // Pinned strategies keep the pinned (or single-threaded) width; only
+      // Auto measures threading.
+      BatchThreads = ThreadsPolicy >= 1 ? ThreadsPolicy : 1;
+    }
+    if (Strat == BatchStrategy::InstanceParallelFused &&
+        BatchedSource.empty()) {
+      bool UsedVector = false;
+      BatchedSource = emitBatchedVectorFusedC(Tuned->Result, &O, &UsedVector);
+      if (!UsedVector)
+        Strat = BatchStrategy::ScalarLoop;
     }
     if (Strat == BatchStrategy::InstanceParallel && BatchedSource.empty()) {
       bool UsedVector = false;
@@ -289,6 +308,7 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
   A->NumParams = static_cast<int>(Tuned->Result.Func.Params.size());
   A->Batched = Batched;
   A->Strategy = Strat;
+  A->BatchThreads = BatchThreads;
   A->Choice = Tuned->Result.Choice;
   A->StaticCost = Tuned->Result.Cost;
   A->Measured = Tuned->Measured;
@@ -318,15 +338,19 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
     std::string StoreErr;
     // Persistence failure degrades to memory-only serving; the request
     // itself still succeeds.
-    Cache.storeToDisk(*A, StoreErr);
+    if (Cache.storeToDisk(*A, StoreErr) && Cfg.CacheMaxBytes > 0)
+      Cache.enforceDiskBudget(Cfg.CacheMaxBytes, A->Key);
   }
   return A;
 }
 
 GetResult KernelService::dispatchBatch(const std::string &LaSource,
                                        const GenOptions &Options, int Count,
-                                       double *const *Buffers) {
-  GetResult R = get(LaSource, Options, /*Batched=*/true);
+                                       double *const *Buffers,
+                                       const RequestOptions &ReqIn) {
+  RequestOptions Req = ReqIn;
+  Req.Batched = true;
+  GetResult R = get(LaSource, Options, Req);
   if (!R)
     return R;
   if (!R->isCallable()) {
@@ -338,7 +362,13 @@ GetResult KernelService::dispatchBatch(const std::string &LaSource,
     return {nullptr,
             "kernel targets " + R->IsaName + ", which this host cannot run"};
   }
-  R->callBatch(Count, Buffers);
+  // Dispatch width: per-request pin, else service pin, else the artifact's
+  // tuned winner (1 when tuning found threading unprofitable).
+  int Threads = Req.Threads.value_or(Cfg.BatchThreads);
+  if (Threads <= 0)
+    Threads = R->BatchThreads;
+  runtime::callBatchParallel(*R->Kernel, Count, Buffers,
+                             isaByName(R->IsaName.c_str()).Nu, Threads);
   return R;
 }
 
@@ -420,6 +450,8 @@ std::string service::serializeServiceConfig(const ServiceConfig &C) {
   SS << "max-variants=" << C.MaxVariants << "\n";
   SS << "measure-repeats=" << C.MeasureRepeats << "\n";
   SS << "strategy=" << batchStrategyName(C.Strategy) << "\n";
+  SS << "batch-threads=" << C.BatchThreads << "\n";
+  SS << "cache-max-bytes=" << C.CacheMaxBytes << "\n";
   SS << "use-compiler=" << (C.UseCompiler ? 1 : 0) << "\n";
   SS << "prefetch-workers=" << C.PrefetchWorkers << "\n";
   return SS.str();
@@ -456,10 +488,28 @@ bool service::applyServiceConfigOption(ServiceConfig &C,
     auto S = batchStrategyByName(Value);
     if (!S) {
       Err = "bad value '" + Value + "' for option strategy "
-            "(loop, vec, or auto)";
+            "(loop, vec, fused, or auto)";
       return false;
     }
     C.Strategy = *S;
+    return true;
+  }
+  if (Key == "batch-threads") {
+    // 0 = auto (measure and use the per-kernel winner); k >= 1 pins the
+    // dispatch width. The 1024 ceiling matches the wire protocol's
+    // validation bound -- a wider value would persist fine locally and
+    // then make the entry undecodable for remote clients.
+    long L;
+    if (!parseLong(Value, L) || L < 0 || L > 1024)
+      return BadValue();
+    C.BatchThreads = static_cast<int>(L);
+    return true;
+  }
+  if (Key == "cache-max-bytes") {
+    long L;
+    if (!parseLong(Value, L) || L < 0)
+      return BadValue();
+    C.CacheMaxBytes = L;
     return true;
   }
   if (Key == "use-compiler")

@@ -75,6 +75,20 @@ struct ServiceConfig {
   /// loop; pin ScalarLoop or InstanceParallel to avoid that on miss-heavy
   /// workloads.
   BatchStrategy Strategy = BatchStrategy::Auto;
+  /// Batched dispatch width policy. 0 (auto): a batched Auto-strategy miss
+  /// also measures single-threaded versus multicore dispatch (see
+  /// chooseBatchStrategy) and every dispatchBatch uses the artifact's
+  /// persisted winner. >= 1: pinned -- produce records it, dispatch uses
+  /// it. Threading is dispatch metadata: it never changes the emitted C or
+  /// the cache key.
+  int BatchThreads = 0;
+  /// Size budget for the disk tier in bytes; 0 disables GC. After every
+  /// store the tier is scanned and whole entries (.c/.so/.meta groups) are
+  /// evicted oldest-mtime-first until the total fits (the entry just
+  /// stored is never evicted). The scan is O(entries) per store: size the
+  /// budget for caches where that is acceptable, or leave GC to an
+  /// external janitor for 10^6-entry tiers.
+  long CacheMaxBytes = 0;
   /// Master switch for the C compiler. Off: the service serves source-only
   /// artifacts and tuning falls back to the static model (also what
   /// happens when no system compiler exists).
@@ -86,7 +100,8 @@ struct ServiceConfig {
 
 /// Serializes every ServiceConfig field to `key=value` lines (fixed order).
 /// Keys: mem-capacity, cache-dir, measure, tune-topk, max-variants,
-/// measure-repeats, strategy, use-compiler, prefetch-workers.
+/// measure-repeats, strategy, batch-threads, cache-max-bytes,
+/// use-compiler, prefetch-workers.
 std::string serializeServiceConfig(const ServiceConfig &C);
 
 /// Applies one `key=value` setting to \p C. Returns false (with \p Err) on
@@ -115,6 +130,11 @@ struct RequestOptions {
   /// the override only governs how a miss is generated. Check
   /// KernelArtifact::Measured to see what a served artifact actually got.
   std::optional<bool> Measure;
+  /// Overrides Config.BatchThreads (same 0 = auto / >= 1 = pinned
+  /// semantics). Like Measure a produce-time policy outside the cache key
+  /// -- an already-cached artifact keeps its persisted width -- but it
+  /// also pins the dispatch width of this request's dispatchBatch call.
+  std::optional<int> Threads;
 };
 
 /// Counter snapshot for observability and test instrumentation.
@@ -189,11 +209,15 @@ public:
   /// Batch dispatch (paper Sec. 5): obtains the batched kernel for
   /// \p LaSource and applies it to \p Count contiguous instances per
   /// parameter (instance b of parameter i at Buffers[i] + b*Rows_i*Cols_i).
-  /// Fails when no compiler is available or the kernel's ISA cannot run on
-  /// this host.
+  /// Blocks are spread across the batch thread pool when the effective
+  /// dispatch width -- Req.Threads, else Config.BatchThreads, else the
+  /// artifact's tuned BatchThreads -- exceeds 1 (the instance remainder
+  /// runs on the calling thread; see runtime/BatchPool.h). Fails when no
+  /// compiler is available or the kernel's ISA cannot run on this host.
   GetResult dispatchBatch(const std::string &LaSource,
                           const GenOptions &Options, int Count,
-                          double *const *Buffers);
+                          double *const *Buffers,
+                          const RequestOptions &Req = {});
 
   ServiceStats stats() const;
   const ServiceConfig &config() const { return Cfg; }

@@ -8,7 +8,9 @@
 
 #include "expr/Operand.h"
 #include "isa/ISA.h"
+#include "runtime/BatchPool.h"
 #include "runtime/Jit.h"
+#include "support/AlignedBuffer.h"
 #include "support/Random.h"
 
 #include <algorithm>
@@ -59,7 +61,7 @@ void fillInstance(const Operand *P, Rng &Rand, double *Out) {
 /// Deterministic parameter buffers (see fillInstance) refilled identically
 /// before each candidate so in-place kernels (which overwrite their
 /// operands between repeats) are ranked on equal inputs.
-void fillBuffers(const GenResult &R, std::vector<std::vector<double>> &Store,
+void fillBuffers(const GenResult &R, std::vector<AlignedBuffer> &Store,
                  std::vector<double *> &Bufs) {
   Store.clear();
   Bufs.clear();
@@ -75,19 +77,57 @@ void fillBuffers(const GenResult &R, std::vector<std::vector<double>> &Store,
 
 } // namespace
 
+namespace {
+
+/// Deterministic per-parameter instance arrays for a Count-instance batch
+/// (see fillInstance), 64-byte aligned like production batch buffers.
+/// Fresh keeps an untouched copy so in-place kernels can be re-run on
+/// unfactored data.
+struct BatchBuffers {
+  std::vector<AlignedBuffer> Store, Fresh;
+  std::vector<double *> Bufs;
+
+  BatchBuffers(const GenResult &R, int Count) {
+    uint64_t Seed = 0x5eedULL;
+    for (const Operand *P : R.Func.Params) {
+      Rng Rand(Seed += 0x9e3779b97f4a7c15ULL);
+      size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
+      auto &Buf = Store.emplace_back(Sz * Count);
+      for (int Inst = 0; Inst < Count; ++Inst)
+        fillInstance(P, Rand, Buf.data() + Inst * Sz);
+    }
+    for (auto &S : Store) {
+      Fresh.emplace_back(S);
+      Bufs.push_back(S.data());
+    }
+  }
+
+  void refill() {
+    for (size_t I = 0; I < Store.size(); ++I)
+      std::copy(Fresh[I].data(), Fresh[I].data() + Fresh[I].size(),
+                Store[I].data());
+  }
+};
+
+} // namespace
+
 BatchChoice service::chooseBatchStrategy(const GenResult &R,
                                          const GenOptions &O,
                                          const TuneOptions &T,
-                                         bool AllowCompile) {
+                                         bool AllowCompile,
+                                         int ThreadsPolicy) {
   BatchChoice C;
+  C.Threads = ThreadsPolicy >= 1 ? ThreadsPolicy : 1;
   const int Nu = O.Isa->Nu;
   if (Nu < 2)
     return C; // no lanes to parallelize across
 
   // Static cost model: one AoSoA block amortizes the widened kernel (same
   // instruction count as the scalar kernel, vector-width issue) over Nu
-  // instances, plus two layout transposes per element. Compare per
-  // instance against the scalar-loop estimate.
+  // instances. The packed form pays two layout transposes per element; the
+  // fused form pays no transposes but its gathers/scatters touch elements
+  // one lane at a time, modeled as a fraction of a cycle per element.
+  // Compare per instance against the scalar-loop estimate.
   long SumElems = 0;
   for (const Operand *P : R.Func.Params)
     SumElems += static_cast<long>(P->Rows) * P->Cols;
@@ -95,29 +135,48 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
   if (!Scalar)
     return C; // widening infeasible: the loop is the only strategy
   long LoopPerInst = staticCost(R.Func);
-  long VecPerInst = staticCost(Scalar->Func) / Nu + 2 * SumElems;
-  C.Strategy = VecPerInst < LoopPerInst ? BatchStrategy::InstanceParallel
-                                        : BatchStrategy::ScalarLoop;
+  long WidePerInst = staticCost(Scalar->Func) / Nu;
+  long VecPerInst = WidePerInst + 2 * SumElems;
+  long FusedPerInst = WidePerInst + SumElems / 2;
+  C.Strategy = BatchStrategy::ScalarLoop;
+  if (FusedPerInst < LoopPerInst || VecPerInst < LoopPerInst)
+    C.Strategy = FusedPerInst <= VecPerInst
+                     ? BatchStrategy::InstanceParallelFused
+                     : BatchStrategy::InstanceParallel;
 
-  // The instance-parallel emission is needed for measurement anyway (and,
-  // if it wins, for publication); if it cannot actually widen -- it falls
-  // back to the scalar loop -- there is only one strategy to serve. The
-  // ScalarRecompile above is reused so Stage 2/3 runs once, not twice.
+  // The fused emission doubles as the widening-feasibility probe (both
+  // instance-parallel forms share the Widener's constraints): if it falls
+  // back to the scalar loop there is only one strategy to serve. The
+  // ScalarRecompile above is reused so Stage 2/3 runs once, not three
+  // times. The packed emission is deferred until measurement actually
+  // needs it -- the static model never prefers it over fused (same widened
+  // cost, strictly more layout traffic), so unmeasurable paths skip that
+  // emission entirely.
   bool UsedVector = false;
-  std::string VecSource = emitBatchedVectorC(R, &O, &UsedVector, &*Scalar);
+  std::string FusedSource =
+      emitBatchedVectorFusedC(R, &O, &UsedVector, &*Scalar);
   if (!UsedVector) {
     C.Strategy = BatchStrategy::ScalarLoop;
     return C;
   }
+  std::string VecSource;
+
+  auto TakeWinner = [&]() {
+    if (C.Strategy == BatchStrategy::InstanceParallel)
+      C.ChosenSource = std::move(VecSource);
+    else if (C.Strategy == BatchStrategy::InstanceParallelFused)
+      C.ChosenSource = std::move(FusedSource);
+  };
 
   // Measure when possible; running a wider ISA than the host executes
   // would fault, not measure.
   if (!AllowCompile || !runtime::haveSystemCompiler() ||
       !runtime::haveCycleCounter() || Nu > hostIsa().Nu) {
-    if (C.Strategy == BatchStrategy::InstanceParallel)
-      C.VecSource = std::move(VecSource);
+    TakeWinner();
     return C;
   }
+
+  VecSource = emitBatchedVectorC(R, &O, &UsedVector, &*Scalar);
 
   // Not divisible by any supported Nu (2, 4, 8), so the timed batch
   // includes the scalar remainder path the production ABI pays too.
@@ -128,58 +187,75 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
   CO.ExtraFlags = T.ExtraFlags;
   CO.WithBatchEntry = true;
 
-  auto MeasureStrategy = [&](const std::string &Src,
-                             double &CyclesOut) -> bool {
+  struct Candidate {
+    BatchStrategy Strategy;
+    const std::string *Source;
+    double *CyclesOut;
+    std::optional<runtime::JitKernel> Kernel;
+    double Cycles = 0.0;
+  };
+  std::string LoopSource = emitBatchedC(R);
+  Candidate Cands[] = {
+      {BatchStrategy::ScalarLoop, &LoopSource, &C.LoopCycles, {}, 0.0},
+      {BatchStrategy::InstanceParallel, &VecSource, &C.VecCycles, {}, 0.0},
+      {BatchStrategy::InstanceParallelFused, &FusedSource, &C.FusedCycles,
+       {},
+       0.0},
+  };
+  Candidate *Best = nullptr;
+  for (Candidate &Cand : Cands) {
     std::string Err;
-    auto K = runtime::JitKernel::compile(Src, FuncName, NumParams, CO, Err);
-    if (!K)
-      return false;
-    // Deterministic structure-respecting per-instance data (see
-    // fillInstance), identical for both strategies; inputs are refilled
-    // every run so in-place kernels are timed on unfactored data.
-    std::vector<std::vector<double>> Store;
-    std::vector<double *> Bufs;
-    uint64_t Seed = 0x5eedULL;
-    for (const Operand *P : R.Func.Params) {
-      Rng Rand(Seed += 0x9e3779b97f4a7c15ULL);
-      size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
-      auto &Buf = Store.emplace_back(Sz * Count);
-      for (int Inst = 0; Inst < Count; ++Inst)
-        fillInstance(P, Rand, Buf.data() + Inst * Sz);
-    }
-    std::vector<std::vector<double>> Fresh = Store;
-    for (auto &S : Store)
-      Bufs.push_back(S.data());
+    Cand.Kernel = runtime::JitKernel::compile(*Cand.Source, FuncName,
+                                              NumParams, CO, Err);
+    if (!Cand.Kernel)
+      continue;
+    BatchBuffers B(R, Count);
     runtime::Measurement M = runtime::measureCycles(
         [&] {
-          for (size_t I = 0; I < Store.size(); ++I)
-            std::copy(Fresh[I].begin(), Fresh[I].end(), Store[I].begin());
-          K->callBatch(Count, Bufs.data());
+          B.refill();
+          Cand.Kernel->callBatch(Count, B.Bufs.data());
         },
         T.Measure);
-    CyclesOut = M.Median;
-    return true;
-  };
-
-  double LoopCycles = 0.0, VecCycles = 0.0;
-  bool LoopOk = MeasureStrategy(emitBatchedC(R), LoopCycles);
-  bool VecOk = MeasureStrategy(VecSource, VecCycles);
-  if (!LoopOk && !VecOk) {
-    if (C.Strategy == BatchStrategy::InstanceParallel)
-      C.VecSource = std::move(VecSource);
-    return C; // keep the static choice
+    Cand.Cycles = *Cand.CyclesOut = M.Median;
+    if (!Best || Cand.Cycles < Best->Cycles)
+      Best = &Cand;
+  }
+  if (!Best) {
+    TakeWinner();
+    return C; // nothing compiled: keep the static choice
   }
   C.Measured = true;
-  C.LoopCycles = LoopCycles;
-  C.VecCycles = VecCycles;
-  if (LoopOk && VecOk)
-    C.Strategy = VecCycles < LoopCycles ? BatchStrategy::InstanceParallel
-                                        : BatchStrategy::ScalarLoop;
-  else
-    C.Strategy = VecOk ? BatchStrategy::InstanceParallel
-                       : BatchStrategy::ScalarLoop;
-  if (C.Strategy == BatchStrategy::InstanceParallel)
-    C.VecSource = std::move(VecSource);
+  C.Strategy = Best->Strategy;
+
+  // Thread resolution (auto policy only): re-time the winner over a batch
+  // large enough to amortize a pool wakeup, single-threaded versus spread
+  // across the host's cores, and keep whichever is faster. Pinned
+  // policies skip this -- the caller already decided.
+  if (ThreadsPolicy == 0) {
+    const int N = runtime::defaultBatchThreads();
+    if (N > 1 && Best->Kernel->hasBatchSpan()) {
+      const int CountMT = std::max(Count, 64 * Nu);
+      BatchBuffers B(R, CountMT);
+      runtime::Measurement Single = runtime::measureCycles(
+          [&] {
+            B.refill();
+            Best->Kernel->callBatch(CountMT, B.Bufs.data());
+          },
+          T.Measure);
+      runtime::Measurement Threaded = runtime::measureCycles(
+          [&] {
+            B.refill();
+            runtime::callBatchParallel(*Best->Kernel, CountMT,
+                                       B.Bufs.data(), Nu, N);
+          },
+          T.Measure);
+      C.ThreadsMeasured = true;
+      C.SingleCycles = Single.Median;
+      C.ThreadedCycles = Threaded.Median;
+      C.Threads = Threaded.Median < Single.Median ? N : 1;
+    }
+  }
+  TakeWinner();
   return C;
 }
 
@@ -217,7 +293,7 @@ std::optional<TuneResult> service::tuneKernel(const Generator &G,
       continue;
     }
     ++Best.CandidatesMeasured;
-    std::vector<std::vector<double>> Store;
+    std::vector<AlignedBuffer> Store;
     std::vector<double *> Bufs;
     fillBuffers(All[I], Store, Bufs);
     runtime::Measurement M = runtime::measureCycles(

@@ -50,25 +50,44 @@ std::optional<TuneResult> tuneKernel(const Generator &G, const TuneOptions &T,
 /// Outcome of resolving BatchStrategy::Auto for one batched kernel.
 struct BatchChoice {
   BatchStrategy Strategy = BatchStrategy::ScalarLoop; ///< never Auto
-  bool Measured = false;     ///< choice came from real batched timings
+  /// Resolved dispatch width (>= 1): how many threads the batch thread
+  /// pool should spread AoSoA blocks across for this kernel. 1 means
+  /// single-threaded dispatch.
+  int Threads = 1;
+  bool Measured = false;     ///< strategy choice came from real timings
   double LoopCycles = 0.0;   ///< median cycles per batch (when Measured)
   double VecCycles = 0.0;
-  /// When Strategy is InstanceParallel and the chooser already produced
-  /// the emission (to measure it), the winning translation unit, so the
-  /// service does not regenerate it. Empty otherwise.
-  std::string VecSource;
+  double FusedCycles = 0.0;
+  /// True when the thread count was resolved by measurement (an auto
+  /// policy on a multicore host with a runnable kernel).
+  bool ThreadsMeasured = false;
+  double SingleCycles = 0.0;   ///< winner at the large batch, one thread
+  double ThreadedCycles = 0.0; ///< winner at the large batch, Threads wide
+  /// The winning translation unit when Strategy is not ScalarLoop and the
+  /// chooser already produced the emission (to measure it), so the service
+  /// does not regenerate it. Empty otherwise.
+  std::string ChosenSource;
 };
 
 /// Resolves BatchStrategy::Auto for the tuned kernel \p R generated under
 /// \p O: when a compiler, a cycle counter, and a host that can execute the
-/// target ISA are all available (and \p AllowCompile), both batched
-/// emissions are JIT-compiled and timed over a deterministic instance
-/// batch and the faster wins; otherwise the static cost model compares the
-/// scalar-loop estimate against the widened estimate (scalar kernel cost
-/// over Nu lanes plus the AoSoA pack/unpack traffic). Scalar targets
-/// always resolve to ScalarLoop.
+/// target ISA are all available (and \p AllowCompile), all three batched
+/// emissions -- the scalar loop, the packed instance-parallel form, and
+/// the fused-layout form -- are JIT-compiled and timed over a
+/// deterministic instance batch and the fastest wins; otherwise the static
+/// cost model compares the scalar-loop estimate against the widened
+/// estimates (scalar kernel cost over Nu lanes, plus the AoSoA pack/unpack
+/// traffic for the packed form or the strided-access overhead for the
+/// fused form). Scalar targets always resolve to ScalarLoop.
+///
+/// \p ThreadsPolicy pins the dispatch width when >= 1; 0 asks the chooser
+/// to resolve it: the winning strategy is re-timed over a larger batch
+/// single-threaded versus spread across defaultBatchThreads() cores, and
+/// Threads records whichever won. Unmeasurable environments resolve an
+/// auto policy to 1.
 BatchChoice chooseBatchStrategy(const GenResult &R, const GenOptions &O,
-                                const TuneOptions &T, bool AllowCompile);
+                                const TuneOptions &T, bool AllowCompile,
+                                int ThreadsPolicy = 0);
 
 } // namespace service
 } // namespace slingen

@@ -4,12 +4,17 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The two batched codegen strategies behind `<name>_batch(int count, ...)`
+// The batched codegen strategies behind `<name>_batch(int count, ...)`
 // (paper Sec. 5). ScalarLoop wraps the single-instance kernel in a loop
 // over instances; InstanceParallel widens the kernel's scalar C-IR to one
 // vector lane per instance over AoSoA blocks (see cir/Widen.h), with a
 // layout-transpose pack/unpack pair preserving the contiguous-per-instance
-// batch ABI and a ScalarLoop remainder for count % Nu.
+// batch ABI; InstanceParallelFused widens with lane-strided parameter
+// accesses so the block kernel reads and writes the batch ABI directly --
+// no transposes, no scratch blocks. Both vector strategies fall back to a
+// ScalarLoop remainder for count % Nu, and every strategy also emits the
+// `<name>_batch_span(int start, int count, ...)` sub-range entry the
+// runtime batch thread pool dispatches blocks through.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +32,8 @@ const char *slingen::batchStrategyName(BatchStrategy S) {
     return "loop";
   case BatchStrategy::InstanceParallel:
     return "vec";
+  case BatchStrategy::InstanceParallelFused:
+    return "fused";
   case BatchStrategy::Auto:
     return "auto";
   }
@@ -39,6 +46,8 @@ slingen::batchStrategyByName(const std::string &Name) {
     return BatchStrategy::ScalarLoop;
   if (Name == "vec")
     return BatchStrategy::InstanceParallel;
+  if (Name == "fused")
+    return BatchStrategy::InstanceParallelFused;
   if (Name == "auto")
     return BatchStrategy::Auto;
   return std::nullopt;
@@ -58,15 +67,21 @@ long paramSize(const cir::Function &F, size_t I) {
   return static_cast<long>(F.Params[I]->Rows) * F.Params[I]->Cols;
 }
 
-/// The shared `<name>_batch` signature plus the hoisted per-parameter
-/// instance strides `const long s_i = Rows_i*Cols_i;`.
+/// The hoisted per-parameter instance strides `const long s_i = Rows_i*Cols_i;`.
+std::string strideDecls(const cir::Function &F) {
+  std::string C;
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("  const long s_%zu = %ld;\n", I, paramSize(F, I));
+  return C;
+}
+
+/// The shared `<name>_batch` signature plus the stride constants.
 std::string batchHeader(const cir::Function &F) {
   std::string C = "\nvoid " + F.Name + "_batch(int count";
   for (size_t I = 0; I < F.Params.size(); ++I)
     C += ", " + batchParamDecl(F, I);
   C += ") {\n";
-  for (size_t I = 0; I < F.Params.size(); ++I)
-    C += formatf("  const long s_%zu = %ld;\n", I, paramSize(F, I));
+  C += strideDecls(F);
   return C;
 }
 
@@ -79,6 +94,24 @@ std::string scalarCall(const cir::Function &F, const char *Idx) {
   return C + ")";
 }
 
+/// `<name>_batch_span(int start, int count, ...)`: the sub-range entry the
+/// batch thread pool calls -- instances [start, start+count) of the batch,
+/// forwarded to `<name>_batch` at per-parameter offsets. Every strategy
+/// emits it, so a shared object supports threaded dispatch regardless of
+/// which emission won.
+std::string batchSpan(const cir::Function &F) {
+  std::string C = "void " + F.Name + "_batch_span(int start, int count";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += ", " + batchParamDecl(F, I);
+  C += ") {\n";
+  C += strideDecls(F);
+  C += "  " + F.Name + "_batch(count";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf(", %s + (long)start * s_%zu", F.Params[I]->Name.c_str(), I);
+  C += ");\n}\n";
+  return C;
+}
+
 } // namespace
 
 std::string slingen::emitBatchedC(const GenResult &R) {
@@ -87,6 +120,7 @@ std::string slingen::emitBatchedC(const GenResult &R) {
   C += batchHeader(F);
   C += "  for (int b = 0; b < count; ++b)\n    " + scalarCall(F, "b") +
        ";\n}\n";
+  C += batchSpan(F);
   return C;
 }
 
@@ -110,10 +144,13 @@ slingen::recompileScalar(const GenResult &R, const GenOptions *Opts) {
   return S;
 }
 
-std::string slingen::emitBatchedVectorC(const GenResult &R,
-                                        const GenOptions *Opts,
-                                        bool *UsedVector,
-                                        const ScalarRecompile *Pre) {
+namespace {
+
+/// Shared driver for the two instance-parallel emissions; \p Fused selects
+/// the lane-strided (transpose-free) layout.
+std::string emitInstanceParallel(const GenResult &R, const GenOptions *Opts,
+                                 bool *UsedVector, const ScalarRecompile *Pre,
+                                 bool Fused) {
   if (UsedVector)
     *UsedVector = false;
   const cir::Function &F = R.Func;
@@ -128,7 +165,9 @@ std::string slingen::emitBatchedVectorC(const GenResult &R,
     Pre = &*Own;
   }
   std::optional<cir::WidenedFunction> W =
-      cir::widenAcrossInstances(Pre->Func, Nu, F.Name + "_vecblk");
+      Fused ? cir::widenAcrossInstancesFused(Pre->Func, Nu,
+                                             F.Name + "_fusedblk")
+            : cir::widenAcrossInstances(Pre->Func, Nu, F.Name + "_vecblk");
   if (!W)
     return emitBatchedC(R);
   if (UsedVector)
@@ -141,52 +180,85 @@ std::string slingen::emitBatchedVectorC(const GenResult &R,
   C += cir::emitFunctionSplit(F, /*MaxInstsPerPart=*/1 << 14);
   C += "\n";
   // The instance-parallel block kernel: lane l of every vector register
-  // holds instance b*Nu + l; operands are AoSoA blocks (element e of lane l
-  // at offset e*Nu + l).
+  // holds instance b*Nu + l. Packed layout: operands are AoSoA blocks
+  // (element e of lane l at offset e*Nu + l). Fused layout: operands are
+  // the caller's batch buffers at the block base (element e of lane l at
+  // offset l*s_i + e, gathered/scattered by the strided accesses).
   C += cir::emitFunctionSplit(W->Func, /*MaxInstsPerPart=*/1 << 14);
   C += "\n";
 
-  // Layout-transpose helpers between the batch ABI (count contiguous
-  // instances per parameter) and one AoSoA block of Nu instances.
-  C += formatf("static void %s_aosoa_pack(const double *__restrict src, "
-               "double *__restrict dst, long n) {\n"
-               "  for (long e = 0; e < n; ++e)\n"
-               "    for (int l = 0; l < %d; ++l)\n"
-               "      dst[e * %d + l] = src[l * n + e];\n"
-               "}\n",
-               F.Name.c_str(), Nu, Nu);
-  C += formatf("static void %s_aosoa_unpack(const double *__restrict src, "
-               "double *__restrict dst, long n) {\n"
-               "  for (long e = 0; e < n; ++e)\n"
-               "    for (int l = 0; l < %d; ++l)\n"
-               "      dst[l * n + e] = src[e * %d + l];\n"
-               "}\n",
-               F.Name.c_str(), Nu, Nu);
+  if (!Fused) {
+    // Layout-transpose helpers between the batch ABI (count contiguous
+    // instances per parameter) and one AoSoA block of Nu instances.
+    C += formatf("static void %s_aosoa_pack(const double *__restrict src, "
+                 "double *__restrict dst, long n) {\n"
+                 "  for (long e = 0; e < n; ++e)\n"
+                 "    for (int l = 0; l < %d; ++l)\n"
+                 "      dst[e * %d + l] = src[l * n + e];\n"
+                 "}\n",
+                 F.Name.c_str(), Nu, Nu);
+    C += formatf("static void %s_aosoa_unpack(const double *__restrict src, "
+                 "double *__restrict dst, long n) {\n"
+                 "  for (long e = 0; e < n; ++e)\n"
+                 "    for (int l = 0; l < %d; ++l)\n"
+                 "      dst[l * n + e] = src[e * %d + l];\n"
+                 "}\n",
+                 F.Name.c_str(), Nu, Nu);
+  }
 
   C += batchHeader(F);
-  for (size_t I = 0; I < F.Params.size(); ++I)
-    C += formatf("  double blk_%zu[%ld] __attribute__((aligned(64)));\n", I,
-                 paramSize(F, I) * Nu);
-  C += "  int b = 0;\n";
-  C += formatf("  for (; b + %d <= count; b += %d) {\n", Nu, Nu);
-  // Pack every parameter: inputs obviously; outputs too, so elements the
-  // kernel leaves untouched round-trip unchanged, exactly as in the
-  // scalar-loop strategy. This makes output buffers part of the *read*
-  // set under this strategy (documented in README "Batched execution").
-  for (size_t I = 0; I < F.Params.size(); ++I)
-    C += formatf("    %s_aosoa_pack(%s + b * s_%zu, blk_%zu, s_%zu);\n",
-                 F.Name.c_str(), F.Params[I]->Name.c_str(), I, I, I);
-  C += "    " + W->Func.Name + "(";
-  for (size_t I = 0; I < F.Params.size(); ++I)
-    C += formatf("%sblk_%zu", I ? ", " : "", I);
-  C += ");\n";
-  for (size_t I = 0; I < F.Params.size(); ++I) {
-    bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
-    if (Writable)
-      C += formatf("    %s_aosoa_unpack(blk_%zu, %s + b * s_%zu, s_%zu);\n",
-                   F.Name.c_str(), I, F.Params[I]->Name.c_str(), I, I);
+  if (Fused) {
+    // No scratch, no transposes: the block kernel is handed the block base
+    // pointers of the caller's buffers directly.
+    C += "  int b = 0;\n";
+    C += formatf("  for (; b + %d <= count; b += %d)\n", Nu, Nu);
+    C += "    " + W->Func.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("%s%s + b * s_%zu", I ? ", " : "",
+                   F.Params[I]->Name.c_str(), I);
+    C += ");\n";
+  } else {
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("  double blk_%zu[%ld] __attribute__((aligned(64)));\n", I,
+                   paramSize(F, I) * Nu);
+    C += "  int b = 0;\n";
+    C += formatf("  for (; b + %d <= count; b += %d) {\n", Nu, Nu);
+    // Pack every parameter: inputs obviously; outputs too, so elements the
+    // kernel leaves untouched round-trip unchanged, exactly as in the
+    // scalar-loop strategy. This makes output buffers part of the *read*
+    // set under this strategy (documented in README "Batched execution").
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("    %s_aosoa_pack(%s + b * s_%zu, blk_%zu, s_%zu);\n",
+                   F.Name.c_str(), F.Params[I]->Name.c_str(), I, I, I);
+    C += "    " + W->Func.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("%sblk_%zu", I ? ", " : "", I);
+    C += ");\n";
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
+      if (Writable)
+        C += formatf("    %s_aosoa_unpack(blk_%zu, %s + b * s_%zu, s_%zu);\n",
+                     F.Name.c_str(), I, F.Params[I]->Name.c_str(), I, I);
+    }
+    C += "  }\n";
   }
-  C += "  }\n";
   C += "  for (; b < count; ++b)\n    " + scalarCall(F, "b") + ";\n}\n";
+  C += batchSpan(F);
   return C;
+}
+
+} // namespace
+
+std::string slingen::emitBatchedVectorC(const GenResult &R,
+                                        const GenOptions *Opts,
+                                        bool *UsedVector,
+                                        const ScalarRecompile *Pre) {
+  return emitInstanceParallel(R, Opts, UsedVector, Pre, /*Fused=*/false);
+}
+
+std::string slingen::emitBatchedVectorFusedC(const GenResult &R,
+                                             const GenOptions *Opts,
+                                             bool *UsedVector,
+                                             const ScalarRecompile *Pre) {
+  return emitInstanceParallel(R, Opts, UsedVector, Pre, /*Fused=*/true);
 }

@@ -150,6 +150,8 @@ std::string emitC(const GenResult &R);
 
 /// ScalarLoop strategy: the kernel's translation unit plus a batch entry
 /// that calls it per instance (per-parameter strides hoisted to constants).
+/// Like every batched emission, also defines `<name>_batch_span(int start,
+/// int count, ...)`, the sub-range entry threaded dispatch uses.
 std::string emitBatchedC(const GenResult &R);
 
 /// A scalar (nu = 1) re-compilation of a GenResult's Stage-1 basic program:
@@ -187,6 +189,18 @@ std::string emitBatchedVectorC(const GenResult &R,
                                const GenOptions *Opts = nullptr,
                                bool *UsedVector = nullptr,
                                const ScalarRecompile *Pre = nullptr);
+
+/// InstanceParallelFused strategy: as emitBatchedVectorC, but the widened
+/// kernel reads and writes the batch ABI directly -- parameter accesses
+/// gather/scatter lane-strided instance data (stride = the parameter's
+/// instance size, see cir::widenAcrossInstancesFused), so the driver passes
+/// block base pointers straight through with no pack/unpack transposes and
+/// no scratch blocks. Same fallback and \p UsedVector semantics as
+/// emitBatchedVectorC.
+std::string emitBatchedVectorFusedC(const GenResult &R,
+                                    const GenOptions *Opts = nullptr,
+                                    bool *UsedVector = nullptr,
+                                    const ScalarRecompile *Pre = nullptr);
 
 } // namespace slingen
 

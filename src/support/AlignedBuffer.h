@@ -1,0 +1,80 @@
+//===- support/AlignedBuffer.h - 64-byte-aligned double buffers -----------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal 64-byte-aligned, zero-initialized double array. Batch scratch
+/// and instance buffers want cache-line alignment: a std::vector's
+/// allocation is only guaranteed 16-byte aligned, which can split the
+/// full-width AVX/AVX-512 loads the widened batch kernels issue across
+/// cache lines. Debug builds assert the alignment contract on every
+/// construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_SUPPORT_ALIGNEDBUFFER_H
+#define SLINGEN_SUPPORT_ALIGNEDBUFFER_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+namespace slingen {
+
+class AlignedBuffer {
+public:
+  static constexpr size_t Alignment = 64;
+
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(size_t N) : N(N) {
+    if (N == 0)
+      return;
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    size_t Bytes = (N * sizeof(double) + Alignment - 1) & ~(Alignment - 1);
+    P = static_cast<double *>(std::aligned_alloc(Alignment, Bytes));
+    if (!P)
+      throw std::bad_alloc(); // match the std::vector this replaces
+    assert((reinterpret_cast<uintptr_t>(P) & (Alignment - 1)) == 0 &&
+           "batch buffer is not cache-line aligned");
+    std::memset(P, 0, Bytes);
+  }
+
+  AlignedBuffer(const AlignedBuffer &O) : AlignedBuffer(O.N) {
+    if (N)
+      std::copy(O.P, O.P + N, P);
+  }
+
+  AlignedBuffer(AlignedBuffer &&O) noexcept : P(O.P), N(O.N) {
+    O.P = nullptr;
+    O.N = 0;
+  }
+
+  AlignedBuffer &operator=(AlignedBuffer O) noexcept {
+    std::swap(P, O.P);
+    std::swap(N, O.N);
+    return *this;
+  }
+
+  ~AlignedBuffer() { std::free(P); }
+
+  double *data() { return P; }
+  const double *data() const { return P; }
+  size_t size() const { return N; }
+  double &operator[](size_t I) { return P[I]; }
+  double operator[](size_t I) const { return P[I]; }
+
+private:
+  double *P = nullptr;
+  size_t N = 0;
+};
+
+} // namespace slingen
+
+#endif // SLINGEN_SUPPORT_ALIGNEDBUFFER_H

@@ -12,6 +12,7 @@
 #include "cir/Widen.h"
 #include "la/Lower.h"
 #include "la/Programs.h"
+#include "runtime/BatchPool.h"
 #include "runtime/Jit.h"
 #include "runtime/Timing.h"
 #include "service/KernelService.h"
@@ -221,17 +222,58 @@ TEST(Widen, InterpreterMatchesScalarPerInstance) {
     EXPECT_EQ(maxAbsDiff(Inst[I], Ref[I]), 0.0) << Params[I]->Name;
 }
 
+// The fused widening is exact too -- and needs no packing at all: the
+// widened function is interpreted straight over the batch ABI's contiguous
+// per-instance arrays, must reproduce the scalar interpreter bit for bit,
+// and must consist of lane-strided parameter accesses (that is the whole
+// point: no transposes anywhere).
+TEST(Widen, FusedInterpreterMatchesScalarOnBatchLayout) {
+  const int N = 6, Nu = 4;
+  auto Gen = mustGenerate(la::potrfSource(N), scalarIsa(), "p6f");
+  ASSERT_TRUE(Gen);
+  GenResult &R = *Gen;
+  auto W = cir::widenAcrossInstancesFused(R.Func, Nu, "p6f_blk");
+  ASSERT_TRUE(W);
+  EXPECT_EQ(W->Func.Nu, Nu);
+  EXPECT_EQ(W->Func.LocalVecWidth, Nu);
+
+  const auto &Params = R.Func.Params;
+  std::vector<std::vector<double>> Inst = makeInstances(R.Func, Nu, 7700);
+  std::vector<std::vector<double>> Ref = Inst;
+
+  // Reference: scalar interpretation, one instance at a time.
+  for (int B = 0; B < Nu; ++B) {
+    std::map<const Operand *, double *> Bufs;
+    for (size_t I = 0; I < Params.size(); ++I) {
+      size_t Sz = static_cast<size_t>(Params[I]->Rows) * Params[I]->Cols;
+      Bufs[Params[I]] = Ref[I].data() + B * Sz;
+    }
+    cir::interpret(R.Func, Bufs);
+  }
+
+  // Fused: one interpretation over the untransposed batch buffers.
+  std::map<const Operand *, double *> Bufs;
+  for (size_t I = 0; I < Params.size(); ++I)
+    Bufs[Params[I]] = Inst[I].data();
+  cir::interpret(W->Func, Bufs);
+
+  for (size_t I = 0; I < Params.size(); ++I)
+    EXPECT_EQ(maxAbsDiff(Inst[I], Ref[I]), 0.0) << Params[I]->Name;
+}
+
 TEST(Widen, RejectsVectorInput) {
   auto R = mustGenerate(la::potrfSource(8), avxIsa(), "p8v");
   ASSERT_TRUE(R);
   EXPECT_FALSE(cir::widenAcrossInstances(R->Func, 4, "p8v_blk"));
+  EXPECT_FALSE(cir::widenAcrossInstancesFused(R->Func, 4, "p8v_fblk"));
   auto S = mustGenerate(la::potrfSource(8), scalarIsa(), "p8s");
   ASSERT_TRUE(S);
   EXPECT_FALSE(cir::widenAcrossInstances(S->Func, 1, "p8s_blk"));
 }
 
-/// JIT-compiles both batched strategies for \p Source under \p Isa and
-/// verifies they agree for every count in \p Counts (covering count < Nu,
+/// JIT-compiles all three batched strategies for \p Source under \p Isa
+/// and verifies the two instance-parallel forms (packed and fused) agree
+/// with the scalar loop for every count in \p Counts (covering count < Nu,
 /// count % Nu != 0, and multi-block batches).
 void expectStrategiesAgree(const std::string &Source, const VectorISA &Isa,
                            const std::string &Name,
@@ -246,6 +288,11 @@ void expectStrategiesAgree(const std::string &Source, const VectorISA &Isa,
   std::string VecC = emitBatchedVectorC(R, &O);
   ASSERT_NE(VecC.find(Name + "_vecblk"), std::string::npos)
       << "instance-parallel emission fell back on " << Isa.Name;
+  std::string FusedC = emitBatchedVectorFusedC(R, &O);
+  ASSERT_NE(FusedC.find(Name + "_fusedblk"), std::string::npos)
+      << "fused emission fell back on " << Isa.Name;
+  EXPECT_EQ(FusedC.find("_aosoa_pack"), std::string::npos)
+      << "fused emission must not transpose";
 
   runtime::CompileOptions CO;
   CO.ExtraFlags = runtime::isaCompileFlags(Isa);
@@ -256,27 +303,39 @@ void expectStrategiesAgree(const std::string &Source, const VectorISA &Isa,
   ASSERT_TRUE(KLoop) << Err;
   auto KVec = runtime::JitKernel::compile(VecC, Name, NumParams, CO, Err);
   ASSERT_TRUE(KVec) << Err;
+  auto KFused = runtime::JitKernel::compile(FusedC, Name, NumParams, CO,
+                                            Err);
+  ASSERT_TRUE(KFused) << Err;
 
+  struct Alt {
+    const char *Label;
+    runtime::JitKernel *Kernel;
+  } Alts[] = {{"vec", &*KVec}, {"fused", &*KFused}};
   for (int Count : Counts) {
     std::vector<std::vector<double>> LoopStore =
         makeInstances(R.Func, Count, 9000 + Count);
-    std::vector<std::vector<double>> VecStore = LoopStore;
-    std::vector<double *> LoopBufs, VecBufs;
-    for (size_t I = 0; I < LoopStore.size(); ++I) {
-      LoopBufs.push_back(LoopStore[I].data());
-      VecBufs.push_back(VecStore[I].data());
-    }
+    std::vector<std::vector<double>> Init = LoopStore;
+    std::vector<double *> LoopBufs;
+    for (auto &S : LoopStore)
+      LoopBufs.push_back(S.data());
     KLoop->callBatch(Count, LoopBufs.data());
-    KVec->callBatch(Count, VecBufs.data());
-    double Nonzero = 0.0;
-    for (size_t I = 0; I < LoopStore.size(); ++I) {
-      EXPECT_LT(maxAbsDiff(VecStore[I], LoopStore[I]), Tol)
-          << Name << " on " << Isa.Name << ", count=" << Count
-          << ", param " << R.Func.Params[I]->Name;
-      for (double V : VecStore[I])
-        Nonzero += std::fabs(V);
+    for (const Alt &A : Alts) {
+      std::vector<std::vector<double>> Store = Init;
+      std::vector<double *> Bufs;
+      for (auto &S : Store)
+        Bufs.push_back(S.data());
+      A.Kernel->callBatch(Count, Bufs.data());
+      double Nonzero = 0.0;
+      for (size_t I = 0; I < LoopStore.size(); ++I) {
+        EXPECT_LT(maxAbsDiff(Store[I], LoopStore[I]), Tol)
+            << Name << "/" << A.Label << " on " << Isa.Name
+            << ", count=" << Count << ", param "
+            << R.Func.Params[I]->Name;
+        for (double V : Store[I])
+          Nonzero += std::fabs(V);
+      }
+      EXPECT_GT(Nonzero, 0.0) << A.Label << " wrote nothing";
     }
-    EXPECT_GT(Nonzero, 0.0) << "kernel wrote nothing";
   }
 }
 
@@ -312,6 +371,95 @@ TEST(Batched, TrsylInstanceParallelMatchesScalarLoop) {
 }
 
 //===----------------------------------------------------------------------===//
+// Batch thread pool and threaded dispatch.
+//===----------------------------------------------------------------------===//
+
+// Every block index is handed out exactly once, whatever the ratio of
+// items to threads (more threads than items, odd chunking, single item).
+TEST(BatchPool, CoversEveryIndexExactlyOnce) {
+  for (long Items : {1L, 7L, 64L, 1000L}) {
+    for (int Threads : {1, 2, 4, 9}) {
+      std::vector<std::atomic<int>> Hits(Items);
+      for (auto &H : Hits)
+        H.store(0);
+      runtime::BatchPool::shared().run(Items, Threads,
+                                       [&](long Lo, long Hi) {
+                                         for (long I = Lo; I < Hi; ++I)
+                                           Hits[I].fetch_add(1);
+                                       });
+      for (long I = 0; I < Items; ++I)
+        EXPECT_EQ(Hits[I].load(), 1)
+            << "item " << I << " items=" << Items
+            << " threads=" << Threads;
+    }
+  }
+}
+
+// Threaded dispatch must be a pure scheduling change: instances land in
+// disjoint buffer ranges, every instance runs the same code, so the result
+// is bit-identical to a single-threaded callBatch -- including the
+// count % Nu remainder, which runs on the calling thread.
+TEST(Batched, ThreadedDispatchIsBitIdenticalToSingleThread) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const VectorISA &Isa = hostIsa();
+  if (Isa.Nu < 2)
+    GTEST_SKIP() << "host has no vector ISA";
+  auto Gen = mustGenerate(la::potrfSource(8), Isa, "p8mt");
+  ASSERT_TRUE(Gen);
+  GenResult &R = *Gen;
+  GenOptions O;
+  O.Isa = &Isa;
+  O.FuncName = "p8mt";
+  std::string C = emitBatchedVectorFusedC(R, &O);
+  runtime::CompileOptions CO;
+  CO.ExtraFlags = runtime::isaCompileFlags(Isa);
+  CO.WithBatchEntry = true;
+  std::string Err;
+  auto K = runtime::JitKernel::compile(
+      C, "p8mt", static_cast<int>(R.Func.Params.size()), CO, Err);
+  ASSERT_TRUE(K) << Err;
+  ASSERT_TRUE(K->hasBatchSpan()) << "span entry missing from emission";
+
+  const int Count = 9 * Isa.Nu + 3; // several blocks plus a remainder
+  std::vector<std::vector<double>> Init =
+      makeInstances(R.Func, Count, 6100);
+  auto RunWith = [&](int Threads) {
+    std::vector<std::vector<double>> Store = Init;
+    std::vector<double *> Bufs;
+    for (auto &S : Store)
+      Bufs.push_back(S.data());
+    if (Threads <= 1)
+      K->callBatch(Count, Bufs.data());
+    else
+      runtime::callBatchParallel(*K, Count, Bufs.data(), Isa.Nu, Threads);
+    return Store;
+  };
+  std::vector<std::vector<double>> Single = RunWith(1);
+  // 4 threads even on narrower hosts: the pool oversubscribes so the
+  // stealing path is exercised everywhere.
+  for (int Threads : {2, 4}) {
+    std::vector<std::vector<double>> Threaded = RunWith(Threads);
+    for (size_t I = 0; I < Single.size(); ++I)
+      EXPECT_EQ(maxAbsDiff(Threaded[I], Single[I]), 0.0)
+          << "threads=" << Threads << ", param "
+          << R.Func.Params[I]->Name;
+  }
+  // A direct span sanity check: running [0, Count) in two manual halves
+  // equals one call.
+  std::vector<std::vector<double>> Store = Init;
+  std::vector<double *> Bufs;
+  for (auto &S : Store)
+    Bufs.push_back(S.data());
+  int Half = (Count / 2 / Isa.Nu) * Isa.Nu; // block-aligned split
+  K->callBatchSpan(0, Half, Bufs.data());
+  K->callBatchSpan(Half, Count - Half, Bufs.data());
+  for (size_t I = 0; I < Single.size(); ++I)
+    EXPECT_EQ(maxAbsDiff(Store[I], Single[I]), 0.0)
+        << "span halves, param " << R.Func.Params[I]->Name;
+}
+
+//===----------------------------------------------------------------------===//
 // Service-level strategy selection and persistence.
 //===----------------------------------------------------------------------===//
 
@@ -326,6 +474,34 @@ struct TempDir {
   }
   std::string Path;
 };
+
+TEST(ServiceBatchStrategy, PinnedFusedServesTransposeFreeEmission) {
+  service::ServiceConfig C;
+  C.UseCompiler = false;
+  C.Strategy = BatchStrategy::InstanceParallelFused;
+  C.BatchThreads = 3; // pinned width rides the artifact
+  service::KernelService S(C);
+  GenOptions O;
+  O.Isa = &avxIsa();
+  O.FuncName = "p8_fused";
+  service::GetResult R = S.get(la::potrfSource(8), O, /*Batched=*/true);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R->Strategy, BatchStrategy::InstanceParallelFused);
+  EXPECT_EQ(R->BatchThreads, 3);
+  EXPECT_NE(R->CSource.find("p8_fused_fusedblk"), std::string::npos);
+  EXPECT_NE(R->CSource.find("p8_fused_batch_span(int start"),
+            std::string::npos);
+  EXPECT_EQ(R->CSource.find("_aosoa_pack"), std::string::npos)
+      << "fused emission must not transpose";
+
+  // Distinct cache entry from the packed strategy.
+  service::ServiceConfig C2 = C;
+  C2.Strategy = BatchStrategy::InstanceParallel;
+  service::KernelService S2(C2);
+  service::GetResult R2 = S2.get(la::potrfSource(8), O, /*Batched=*/true);
+  ASSERT_TRUE(R2) << R2.Error;
+  EXPECT_NE(R2->Key, R->Key);
+}
 
 TEST(ServiceBatchStrategy, PinnedInstanceParallelFallsBackOnScalarIsa) {
   service::ServiceConfig C;
@@ -376,19 +552,23 @@ TEST(ServiceBatchStrategy, AutoResolvesPersistsAndRoundTrips) {
   O.FuncName = "p8_auto";
 
   BatchStrategy Chosen;
+  int ChosenThreads;
   bool Measured;
   std::string Key;
   {
     service::ServiceConfig C;
     C.CacheDir = Dir.Path;
     ASSERT_EQ(C.Strategy, BatchStrategy::Auto) << "Auto is the default";
+    ASSERT_EQ(C.BatchThreads, 0) << "auto thread resolution is the default";
     service::KernelService S(C);
     service::GetResult R = S.get(Src, O, /*Batched=*/true);
     ASSERT_TRUE(R) << R.Error;
     Chosen = R->Strategy;
+    ChosenThreads = R->BatchThreads;
     Key = R->Key;
     EXPECT_NE(Chosen, BatchStrategy::Auto)
         << "published artifacts carry a concrete strategy";
+    EXPECT_GE(ChosenThreads, 1);
     // With a compiler and cycle counter the choice is measured; otherwise
     // the static model ran. Either way the disk tier records it.
     Measured = runtime::haveSystemCompiler() && runtime::haveCycleCounter();
@@ -403,6 +583,9 @@ TEST(ServiceBatchStrategy, AutoResolvesPersistsAndRoundTrips) {
     EXPECT_NE(MetaText.find(std::string("strategy=") +
                             batchStrategyName(Chosen)),
               std::string::npos);
+    EXPECT_NE(MetaText.find("threads=" + std::to_string(ChosenThreads)),
+              std::string::npos)
+        << "the resolved dispatch width must ride the .meta";
   }
 
   // A fresh service honors the persisted choice without re-measuring.
@@ -415,6 +598,7 @@ TEST(ServiceBatchStrategy, AutoResolvesPersistsAndRoundTrips) {
   EXPECT_EQ(S2.stats().Generations, 0);
   EXPECT_EQ(S2.stats().TunerRuns, 0);
   EXPECT_EQ(R2->Strategy, Chosen);
+  EXPECT_EQ(R2->BatchThreads, ChosenThreads);
   EXPECT_EQ(R2->Key, Key);
 }
 
@@ -449,6 +633,17 @@ TEST(ServiceBatchStrategy, AutoDispatchMatchesIndividualCalls) {
   ASSERT_TRUE(Batched) << Batched.Error;
   EXPECT_NE(Batched->Strategy, BatchStrategy::Auto);
   EXPECT_LT(maxAbsDiff(XBatch, XRef), 1e-10);
+
+  // A per-request pinned dispatch width routes through the thread pool and
+  // must agree bit for bit with the single-threaded dispatch above.
+  std::vector<double> AMt = ARef, XMt(Count * N * N, 0.0);
+  double *MtBufs[2] = {AMt.data(), XMt.data()};
+  service::RequestOptions MtReq;
+  MtReq.Threads = 4;
+  service::GetResult Mt = S.dispatchBatch(Src, O, Count, MtBufs, MtReq);
+  ASSERT_TRUE(Mt) << Mt.Error;
+  EXPECT_EQ(maxAbsDiff(XMt, XBatch), 0.0)
+      << "threaded dispatch must be a pure scheduling change";
 }
 
 } // namespace

@@ -131,7 +131,7 @@ TEST(Wire, TornHeaderAndTornPayloadAreErrors) {
   {
     SocketPair SP;
     // Half a header, then close.
-    ASSERT_EQ(write(SP.A, "sld1\x01\xff", 6), 6);
+    ASSERT_EQ(write(SP.A, "sld2\x01\xff", 6), 6);
     close(SP.A);
     SP.A = -1;
     Frame F;
@@ -142,7 +142,7 @@ TEST(Wire, TornHeaderAndTornPayloadAreErrors) {
   {
     SocketPair SP;
     // A full header promising 100 payload bytes, only 3 delivered.
-    std::string Hdr = "sld1";
+    std::string Hdr = "sld2";
     Hdr.push_back(0x01);
     Hdr.push_back(100);
     Hdr.append(3, '\0');
@@ -172,7 +172,7 @@ TEST(Wire, OversizedPayloadIsRejectedBeforeReading) {
   std::string Err;
   // Declared length 2 MiB against a 1 MiB cap; no payload bytes follow,
   // proving rejection happens on the header alone.
-  std::string Hdr = "sld1";
+  std::string Hdr = "sld2";
   Hdr.push_back(0x01);
   uint32_t Len = 2u << 20;
   for (int I = 0; I < 4; ++I)
@@ -237,7 +237,8 @@ TEST(Protocol, RequestRoundTrip) {
   R.LaSource = "Mat A(4,4) <In>;\n";
   R.OptionsText = "isa=avx\nfunc=k\n";
   R.Batched = true;
-  R.StrategyName = "vec";
+  R.StrategyName = "fused";
+  R.Threads = 4;
   R.MeasureOverride = 1;
   R.WantSo = false;
 
@@ -248,13 +249,16 @@ TEST(Protocol, RequestRoundTrip) {
   EXPECT_EQ(D.OptionsText, R.OptionsText);
   EXPECT_EQ(D.Batched, R.Batched);
   EXPECT_EQ(D.StrategyName, R.StrategyName);
+  EXPECT_EQ(D.Threads, 4);
   EXPECT_EQ(D.MeasureOverride, 1);
   EXPECT_EQ(D.WantSo, false);
 
-  // Unset override survives as unset.
+  // Unset overrides survive as unset.
   R.MeasureOverride = -1;
+  R.Threads = 0;
   ASSERT_TRUE(decodeRequest(encodeRequest(R), D, Err));
   EXPECT_EQ(D.MeasureOverride, -1);
+  EXPECT_EQ(D.Threads, 0);
 
   // Truncated and trailing-garbage payloads are rejected.
   std::string Enc = encodeRequest(R);
@@ -270,6 +274,7 @@ TEST(Protocol, ArtifactRoundTrip) {
   A.NumParams = 2;
   A.Batched = true;
   A.StrategyName = "loop";
+  A.BatchThreads = 8;
   A.Choice = {2, 0, 1};
   A.StaticCost = 1048;
   A.Measured = true;
@@ -286,6 +291,7 @@ TEST(Protocol, ArtifactRoundTrip) {
   EXPECT_EQ(D.NumParams, A.NumParams);
   EXPECT_EQ(D.Batched, A.Batched);
   EXPECT_EQ(D.StrategyName, A.StrategyName);
+  EXPECT_EQ(D.BatchThreads, 8);
   EXPECT_EQ(D.Choice, A.Choice);
   EXPECT_EQ(D.StaticCost, A.StaticCost);
   EXPECT_EQ(D.Measured, A.Measured);
@@ -311,9 +317,19 @@ TEST(Protocol, RequestToServiceArgsValidates) {
 
   R.StrategyName = "vec";
   R.MeasureOverride = 0;
+  R.Threads = 3;
   ASSERT_TRUE(requestToServiceArgs(R, O, Req, Err));
   EXPECT_EQ(*Req.Strategy, BatchStrategy::InstanceParallel);
   EXPECT_EQ(*Req.Measure, false);
+  EXPECT_EQ(*Req.Threads, 3);
+
+  R.StrategyName = "fused";
+  ASSERT_TRUE(requestToServiceArgs(R, O, Req, Err));
+  EXPECT_EQ(*Req.Strategy, BatchStrategy::InstanceParallelFused);
+
+  R.Threads = 0;
+  ASSERT_TRUE(requestToServiceArgs(R, O, Req, Err));
+  EXPECT_FALSE(Req.Threads.has_value());
 
   R.StrategyName = "bogus";
   EXPECT_FALSE(requestToServiceArgs(R, O, Req, Err));
@@ -350,7 +366,9 @@ TEST(Protocol, ServiceConfigSerializationRoundTrips) {
   C.MemCapacity = 7;
   C.CacheDir = "/tmp/somewhere";
   C.Measure = true;
-  C.Strategy = BatchStrategy::InstanceParallel;
+  C.Strategy = BatchStrategy::InstanceParallelFused;
+  C.BatchThreads = 6;
+  C.CacheMaxBytes = 1 << 20;
   C.PrefetchWorkers = 5;
   std::string Doc = service::serializeServiceConfig(C);
 
@@ -361,12 +379,18 @@ TEST(Protocol, ServiceConfigSerializationRoundTrips) {
   EXPECT_EQ(D.MemCapacity, 7u);
   EXPECT_EQ(D.CacheDir, "/tmp/somewhere");
   EXPECT_TRUE(D.Measure);
-  EXPECT_EQ(D.Strategy, BatchStrategy::InstanceParallel);
+  EXPECT_EQ(D.Strategy, BatchStrategy::InstanceParallelFused);
+  EXPECT_EQ(D.BatchThreads, 6);
+  EXPECT_EQ(D.CacheMaxBytes, 1 << 20);
   EXPECT_EQ(D.PrefetchWorkers, 5);
 
   EXPECT_FALSE(service::applyServiceConfigOption(D, "mem-capacity", "0",
                                                  Err));
   EXPECT_FALSE(service::applyServiceConfigOption(D, "strategy", "bogus",
+                                                 Err));
+  EXPECT_FALSE(service::applyServiceConfigOption(D, "batch-threads", "-1",
+                                                 Err));
+  EXPECT_FALSE(service::applyServiceConfigOption(D, "cache-max-bytes", "x",
                                                  Err));
   EXPECT_FALSE(service::applyServiceConfigOption(D, "nope", "1", Err));
 }
@@ -529,7 +553,7 @@ TEST(SldServer, OversizedAndTornClientFramesDoNotKillTheDaemon) {
     int Fd = rawConnect(D.Srv->unixPath());
     ASSERT_GE(Fd, 0);
     std::string Err;
-    std::string Hdr = "sld1";
+    std::string Hdr = "sld2";
     Hdr.push_back(0x01);
     uint32_t Len = 1u << 20;
     for (int I = 0; I < 4; ++I)
@@ -547,7 +571,7 @@ TEST(SldServer, OversizedAndTornClientFramesDoNotKillTheDaemon) {
     // A client dying mid-frame must only cost its own connection.
     int Fd = rawConnect(D.Srv->unixPath());
     ASSERT_GE(Fd, 0);
-    ASSERT_EQ(write(Fd, "sld1\x01", 5), 5);
+    ASSERT_EQ(write(Fd, "sld2\x01", 5), 5);
     close(Fd);
   }
   // The daemon still serves fresh connections.
@@ -706,6 +730,66 @@ TEST(SldServer, RemoteArtifactMatchesLocalServiceExactly) {
   for (double V : XRemote)
     Nonzero += std::fabs(V);
   EXPECT_GT(Nonzero, 0.0);
+}
+
+// Batched flavor of the end-to-end identity promise: a remote batched
+// request pinning the fused strategy and a dispatch width serves the C a
+// local service generates for the same request, byte for byte, and the
+// resolved strategy/threads ride the wire with the artifact.
+TEST(SldServer, RemoteBatchedFusedMatchesLocalByteForByte) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  if (hostIsa().Nu < 2)
+    GTEST_SKIP() << "host has no vector ISA";
+  TempDir LocalDir, RemoteDir;
+
+  GenOptions O;
+  O.Isa = &hostIsa();
+  O.FuncName = "potrf_bfe2e";
+  std::string Src = la::potrfSource(8);
+
+  service::ServiceConfig LocalSC;
+  LocalSC.CacheDir = LocalDir.Path;
+  service::KernelService Local(LocalSC);
+  service::RequestOptions LocalReq;
+  LocalReq.Batched = true;
+  LocalReq.Strategy = BatchStrategy::InstanceParallelFused;
+  LocalReq.Threads = 2;
+  service::GetResult LocalR = Local.get(Src, O, LocalReq);
+  ASSERT_TRUE(LocalR) << LocalR.Error;
+  EXPECT_EQ(LocalR->Strategy, BatchStrategy::InstanceParallelFused);
+  EXPECT_EQ(LocalR->BatchThreads, 2);
+
+  service::ServiceConfig SC;
+  SC.CacheDir = RemoteDir.Path;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  Client C = D.client();
+  Request R;
+  R.LaSource = Src;
+  R.OptionsText = serializeGenOptions(O);
+  R.Batched = true;
+  R.StrategyName = "fused";
+  R.Threads = 2;
+  ArtifactMsg A;
+  std::string Err;
+  ASSERT_TRUE(C.get(R, A, Err)) << Err;
+
+  EXPECT_EQ(A.Key, LocalR->Key);
+  EXPECT_EQ(A.CSource, LocalR->CSource);
+  EXPECT_TRUE(A.Batched);
+  EXPECT_EQ(A.StrategyName, "fused");
+  EXPECT_EQ(A.BatchThreads, 2);
+  ASSERT_FALSE(A.SoBytes.empty());
+
+  // The shipped object carries both batched entries, so a compiler-less
+  // client can dispatch it threaded.
+  auto K = runtime::JitKernel::loadFromBytes(A.SoBytes, A.FuncName,
+                                             A.NumParams, Err,
+                                             /*WithBatchEntry=*/true);
+  ASSERT_TRUE(K) << Err;
+  EXPECT_TRUE(K->hasBatchEntry());
+  EXPECT_TRUE(K->hasBatchSpan());
 }
 
 TEST(SldServer, StopDisconnectsClientsAndUnlinksSocket) {

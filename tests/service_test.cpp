@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -252,6 +253,95 @@ TEST(ServiceCache, FlatPreShardEntriesStillServe) {
   EXPECT_EQ(S2.stats().Generations, 0);
   EXPECT_EQ(R2->Key, Key);
   EXPECT_FALSE(R2->CSource.empty());
+}
+
+// Unit-level GC: fabricated entries with controlled mtimes are evicted
+// oldest-first until the tier fits the budget; the protected key survives
+// even under a budget smaller than one entry.
+TEST(ServiceCache, DiskBudgetEvictsOldestEntriesFirst) {
+  TempDir Dir;
+  KernelCache Cache(4, Dir.Path);
+  auto MakeEntry = [&](const std::string &Key, int AgeSeconds) {
+    KernelArtifact A;
+    A.Key = Key;
+    A.FuncName = "f";
+    A.IsaName = "avx";
+    A.NumParams = 1;
+    A.CSource = std::string(1024, 'x');
+    std::string Err;
+    ASSERT_TRUE(Cache.storeToDisk(A, Err)) << Err;
+    // Pin mtimes explicitly: sub-second store times are not ordered.
+    for (const char *Ext : {".c", ".meta"}) {
+      std::string P = shardedPath(Dir.Path, Key, Ext);
+      std::filesystem::last_write_time(
+          P, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::seconds(AgeSeconds));
+    }
+  };
+  MakeEntry("00aaaaaaaaaaaaaa", 300); // oldest
+  MakeEntry("11bbbbbbbbbbbbbb", 200);
+  MakeEntry("22cccccccccccccc", 100); // newest
+  ASSERT_TRUE(Cache.onDisk("00aaaaaaaaaaaaaa"));
+
+  // Entries are ~1 KiB of source plus a small meta: a 2.5 KiB budget keeps
+  // two of them.
+  size_t Evicted =
+      Cache.enforceDiskBudget(2560, /*KeepKey=*/"22cccccccccccccc");
+  EXPECT_EQ(Evicted, 1u);
+  EXPECT_FALSE(Cache.onDisk("00aaaaaaaaaaaaaa")) << "oldest must go first";
+  EXPECT_TRUE(Cache.onDisk("11bbbbbbbbbbbbbb"));
+  EXPECT_TRUE(Cache.onDisk("22cccccccccccccc"));
+
+  // A budget below a single entry still never evicts the protected key.
+  Evicted = Cache.enforceDiskBudget(1, "22cccccccccccccc");
+  EXPECT_EQ(Evicted, 1u);
+  EXPECT_FALSE(Cache.onDisk("11bbbbbbbbbbbbbb"));
+  EXPECT_TRUE(Cache.onDisk("22cccccccccccccc"));
+
+  // Under budget: no-op.
+  EXPECT_EQ(Cache.enforceDiskBudget(1 << 20, "22cccccccccccccc"), 0u);
+  EXPECT_TRUE(Cache.onDisk("22cccccccccccccc"));
+}
+
+// Config-level GC: a service with cache-max-bytes evicts older entries as
+// new ones are stored, never the entry a store just produced, and the
+// memory tier keeps serving what it already loaded.
+TEST(ServiceCache, CacheMaxBytesBoundsDiskTierAcrossStores) {
+  TempDir Dir;
+  ServiceConfig C;
+  C.CacheDir = Dir.Path;
+  C.UseCompiler = false; // GC logic is compiler-independent
+  C.CacheMaxBytes = 1;   // every store triggers eviction of everything else
+  KernelService S(C);
+
+  GetResult A = S.get(la::potrfSource(6), hostOpts("gc6"));
+  ASSERT_TRUE(A) << A.Error;
+  EXPECT_TRUE(std::filesystem::exists(
+      shardedPath(Dir.Path, A->Key, ".meta")))
+      << "the triggering store itself must survive GC";
+
+  GetResult B = S.get(la::potrfSource(8), hostOpts("gc8"));
+  ASSERT_TRUE(B) << B.Error;
+  EXPECT_TRUE(
+      std::filesystem::exists(shardedPath(Dir.Path, B->Key, ".meta")));
+  EXPECT_FALSE(std::filesystem::exists(
+      shardedPath(Dir.Path, A->Key, ".meta")))
+      << "the older entry must have been evicted";
+
+  // The evicted key still serves from the memory tier...
+  GetResult A2 = S.get(la::potrfSource(6), hostOpts("gc6"));
+  ASSERT_TRUE(A2);
+  EXPECT_EQ(S.stats().MemHits, 1);
+  // ...and a cold service regenerates it (the disk entry is gone).
+  ServiceConfig C2;
+  C2.CacheDir = Dir.Path;
+  C2.UseCompiler = false;
+  KernelService S2(C2);
+  GetResult A3 = S2.get(la::potrfSource(6), hostOpts("gc6"));
+  ASSERT_TRUE(A3);
+  EXPECT_EQ(S2.stats().DiskHits, 0);
+  EXPECT_EQ(S2.stats().Generations, 1);
+  EXPECT_EQ(A3->Key, A->Key);
 }
 
 TEST(ServicePrefetch, WarmedKeyIsServedWithoutGenerating) {

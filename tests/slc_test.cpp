@@ -110,10 +110,20 @@ TEST(Slc, BatchStrategyVecEmitsInstanceParallelEntry) {
   EXPECT_NE(L.Out.find("void potrfv_batch(int count"), std::string::npos);
   EXPECT_EQ(L.Out.find("potrfv_vecblk"), std::string::npos);
 
+  // The fused strategy is transpose-free: the block kernel reads the
+  // batch ABI directly, and the span entry for threaded dispatch is there.
+  RunResult F =
+      runSlc("-batch -batch-strategy fused -name potrfv " + Path);
+  EXPECT_EQ(F.Status, 0) << F.Out;
+  EXPECT_NE(F.Out.find("void potrfv_batch(int count"), std::string::npos);
+  EXPECT_NE(F.Out.find("potrfv_fusedblk"), std::string::npos);
+  EXPECT_NE(F.Out.find("potrfv_batch_span(int start"), std::string::npos);
+  EXPECT_EQ(F.Out.find("potrfv_aosoa_pack"), std::string::npos);
+
   RunResult Bad = runSlc("-batch -batch-strategy bogus -name potrfv " + Path);
   unlink(Path.c_str());
   EXPECT_NE(Bad.Status, 0);
-  EXPECT_NE(Bad.Out.find("loop, vec, or auto"), std::string::npos);
+  EXPECT_NE(Bad.Out.find("loop, vec, fused, or auto"), std::string::npos);
 }
 
 TEST(Slc, CacheDirServesIdenticalOutputAcrossRuns) {

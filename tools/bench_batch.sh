@@ -1,9 +1,10 @@
 #!/bin/sh
 # tools/bench_batch.sh - record the batch-strategy perf comparison.
 #
-# Runs bench/batch_strategies (ScalarLoop vs InstanceParallel across sizes
-# {4,8,16} x counts {32,1024}) and writes BENCH_batch.json at the repo root
-# so the perf trajectory has data across PRs.
+# Runs bench/batch_strategies (loop vs vec vs fused on potrf {4,8,16} and
+# trsyl {4,8}, counts {32,1024}, plus threaded "-mt<k>" rows on multicore
+# hosts) and writes BENCH_batch.json at the repo root so the perf
+# trajectory has data across PRs.
 #
 #   bench_batch.sh [--smoke]
 #
@@ -20,8 +21,11 @@ BIN="$BUILD/bench/bench_batch_strategies"
 
 EXTRA=""
 if [ "${1:-}" = "--smoke" ]; then
-  # benchmark 1.7 takes bare seconds for --benchmark_min_time.
-  EXTRA="--benchmark_filter=n=8/count=32 --benchmark_min_time=0.05"
+  # benchmark 1.7 takes bare seconds for --benchmark_min_time. The filter
+  # keeps one (size, count) point but every strategy variant -- including
+  # the threaded -mt rows on multicore hosts, so the pool dispatch path
+  # gets CI coverage.
+  EXTRA="--benchmark_filter=potrf/n=8/count=32 --benchmark_min_time=0.05"
 fi
 
 if [ ! -x "$BIN" ]; then

@@ -44,12 +44,28 @@ for LA in "$ROOT"/examples/*.la; do
   grep -q "_batch(int count" "$SMOKE_OUT"
   # Second run must serve the identical kernel from the disk cache.
   "$BUILD/slc" -batch -cache-dir "$SMOKE_CACHE" "$LA" | cmp -s - "$SMOKE_OUT"
-  # Both pinned batch strategies emit the shared batch ABI.
+  # Every pinned batch strategy emits the shared batch ABI plus the
+  # _batch_span sub-range entry threaded dispatch needs.
   "$BUILD/slc" -batch -batch-strategy vec "$LA" > "$SMOKE_OUT"
   grep -q "_batch(int count" "$SMOKE_OUT"
+  grep -q "_batch_span(int start" "$SMOKE_OUT"
+  "$BUILD/slc" -batch -batch-strategy fused "$LA" > "$SMOKE_OUT"
+  grep -q "_batch(int count" "$SMOKE_OUT"
+  grep -q "_fusedblk" "$SMOKE_OUT"
   "$BUILD/slc" -batch -batch-strategy loop "$LA" > "$SMOKE_OUT"
   grep -q "_batch(int count" "$SMOKE_OUT"
 done
+
+echo "== threaded-batch smoke =="
+# A batched entry produced with a pinned dispatch width must record it in
+# the disk tier's .meta (threads=4), and the fused no-transpose emission
+# must be what a fused-pinned request serves.
+THREAD_CACHE="$SMOKE_CACHE/threaded_cache"
+"$BUILD/slc" -batch -batch-strategy fused -batch-threads 4 \
+  -cache-dir "$THREAD_CACHE" "$ROOT/examples/potrf.la" > "$SMOKE_OUT"
+grep -q "_fusedblk" "$SMOKE_OUT"
+grep -rq "threads=4" "$THREAD_CACHE"
+grep -rq "strategy=fused" "$THREAD_CACHE"
 
 echo "== sld round-trip smoke =="
 # Spawn a daemon on a temp socket, request a kernel through slc -connect,

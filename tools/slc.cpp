@@ -21,8 +21,10 @@
 //                      when no C compiler is available)
 //     -cache-dir <dir> persist/reuse kernels in a KernelService disk cache
 //     -batch           also emit the <name>_batch(int count, ...) entry
-//     -batch-strategy  loop | vec | auto (default auto): how the batch
-//                      entry iterates instances
+//     -batch-strategy  loop | vec | fused | auto (default auto): how the
+//                      batch entry iterates instances
+//     -batch-threads k batched dispatch width recorded on the artifact
+//                      (0 = auto: the service measures; k >= 1 pins)
 //     -set k=v         any GenOptions key (see slingen/OptionsIO.h); the
 //                      named flags above are sugar for these
 //     -service k=v     any ServiceConfig key (local service mode)
@@ -72,7 +74,8 @@ void usage(const char *Argv0) {
           "                    compiler; falls back to the static model)\n"
           "  -cache-dir <dir>  persist/reuse compiled kernels across runs\n"
           "  -batch            also emit <name>_batch(int count, ...)\n"
-          "  -batch-strategy <s>  loop | vec | auto (default auto)\n"
+          "  -batch-strategy <s>  loop | vec | fused | auto (default auto)\n"
+          "  -batch-threads <k>  dispatch width (0 = auto, k >= 1 pins)\n"
           "  -set k=v          set any GenOptions key\n"
           "  -service k=v      set any ServiceConfig key\n"
           "  -connect <addr>   request from the sld daemon at <addr>\n"
@@ -143,8 +146,9 @@ int main(int argc, char **argv) {
   std::string Input, Output, VariantStr, ConnectAddr, SoOut, WarmFile;
   bool PrintBasic = false, PrintVariants = false, Batch = false;
   // Remote requests only override what the user explicitly set, so a bare
-  // `slc -connect` defers strategy/measure policy to the daemon.
-  bool StrategySet = false, MeasureSet = false, NameSet = false;
+  // `slc -connect` defers strategy/measure/threads policy to the daemon.
+  bool StrategySet = false, MeasureSet = false, NameSet = false,
+       ThreadsSet = false;
   // Flags that configure a *local* KernelService and do not travel over
   // the wire; remote modes warn when they were set.
   bool LocalServiceFlags = false;
@@ -196,10 +200,14 @@ int main(int argc, char **argv) {
     else if (Arg == "-batch-strategy") {
       std::string Value = Next();
       if (!service::applyServiceConfigOption(SC, "strategy", Value, Err)) {
-        fprintf(stderr, "error: -batch-strategy takes loop, vec, or auto\n");
+        fprintf(stderr,
+                "error: -batch-strategy takes loop, vec, fused, or auto\n");
         return 1;
       }
       StrategySet = true;
+    } else if (Arg == "-batch-threads") {
+      SetService("batch-threads", Next());
+      ThreadsSet = true;
     } else if (Arg == "-set" || Arg == "-service") {
       std::string KV = Next();
       size_t Eq = KV.find('=');
@@ -287,6 +295,8 @@ int main(int argc, char **argv) {
         R.Batched = Batch;
         if (StrategySet)
           R.StrategyName = batchStrategyName(SC.Strategy);
+        if (ThreadsSet)
+          R.Threads = SC.BatchThreads;
         if (MeasureSet)
           R.MeasureOverride = 1;
         if (!Remote->warm(R, Err)) {
@@ -344,6 +354,8 @@ int main(int argc, char **argv) {
     R.Batched = Batch;
     if (StrategySet)
       R.StrategyName = batchStrategyName(SC.Strategy);
+    if (ThreadsSet)
+      R.Threads = SC.BatchThreads;
     if (MeasureSet)
       R.MeasureOverride = 1;
     R.WantSo = !SoOut.empty();
@@ -458,21 +470,25 @@ int main(int argc, char **argv) {
       // produced the winning emission when vec won. (Mirrors the
       // resolution ladder in KernelService::produce.)
       BatchStrategy S = SC.Strategy;
-      if (S == BatchStrategy::InstanceParallel && Options.Isa->Nu < 2) {
-        fprintf(stderr, "warning: -batch-strategy vec needs a vector ISA; "
-                        "emitting the scalar loop\n");
+      if ((S == BatchStrategy::InstanceParallel ||
+           S == BatchStrategy::InstanceParallelFused) &&
+          Options.Isa->Nu < 2) {
+        fprintf(stderr, "warning: -batch-strategy vec/fused needs a vector "
+                        "ISA; emitting the scalar loop\n");
         S = BatchStrategy::ScalarLoop;
       }
       std::string Emitted;
       if (S == BatchStrategy::Auto) {
         service::BatchChoice BC = service::chooseBatchStrategy(
-            *Result, Options, {}, /*AllowCompile=*/false);
+            *Result, Options, {}, /*AllowCompile=*/false, SC.BatchThreads);
         S = BC.Strategy;
-        Emitted = std::move(BC.VecSource);
+        Emitted = std::move(BC.ChosenSource);
       }
-      if (S == BatchStrategy::InstanceParallel && Emitted.empty())
+      if (S == BatchStrategy::InstanceParallelFused && Emitted.empty())
+        Emitted = emitBatchedVectorFusedC(*Result, &Options);
+      else if (S == BatchStrategy::InstanceParallel && Emitted.empty())
         Emitted = emitBatchedVectorC(*Result, &Options);
-      else if (S != BatchStrategy::InstanceParallel)
+      else if (Emitted.empty())
         Emitted = emitBatchedC(*Result);
       C += Emitted;
     }
