@@ -1,0 +1,405 @@
+//===- slingen/client.h - the public SLinGen client API -------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one front door to the kernel-serving system. Everything a program
+/// needs to obtain and run generated linear-algebra kernels lives behind
+/// three types -- no internal header required, no knowledge of whether the
+/// kernel is JIT-compiled in-process or shipped from a daemon:
+///
+///   sl::Session  a connection to a kernel source, resolved from one
+///                address string (grammar below). Owns a pluggable backend:
+///                an in-process KernelService (`local:`), a remote sld
+///                daemon over a socket (`unix:`/`tcp:`), or a fallback pair
+///                that prefers the daemon and degrades to local on
+///                transport failures (`auto:`).
+///   sl::RequestBuilder  a fluent, validated description of one kernel
+///                request: LA source, codegen options, the batched bit and
+///                its strategy/threads knobs, measured tuning.
+///   sl::Kernel   the served artifact: typed call()/callBatch() entry
+///                points plus full provenance (cache key, emitted C,
+///                choice vector, tuning data, compiled object bytes). A
+///                Kernel behaves identically whether its shared object was
+///                compiled locally or received over the wire.
+///
+/// Errors are values, not `bool + std::string&` out-params: every
+/// operation returns an sl::Status or sl::Result<T> carrying one stable
+/// sl::Code plus a message. The codes round-trip through the sld wire
+/// protocol, so a daemon-side parse error surfaces as Code::ParseError on
+/// the client exactly as a local one would.
+///
+/// Address grammar (Session::open):
+///
+///   "local:"            in-process service, memory cache only
+///   "local:<dir>"       in-process service with a disk cache at <dir>
+///   "unix:<path>"       sld daemon on a Unix-domain socket
+///   "tcp:<host>:<port>" sld daemon on loopback TCP
+///   "<path with '/'>"   shorthand for unix:<path>
+///   "<host>:<port>"     shorthand for tcp:<host>:<port>
+///   "auto:<remote>"     try the daemon at <remote>; on connect/transport
+///                       failure serve from a lazily created local service
+///                       (daemon errors about the request itself do NOT
+///                       fall back -- they would only repeat locally)
+///
+/// Error codes:
+///
+///   code               meaning
+///   ----------------   ----------------------------------------------
+///   InvalidRequest     builder misuse or a bad option/strategy value
+///   ParseError         the LA source did not parse
+///   GenerationFailed   no algorithmic variant could be generated
+///   CompileFailed      the generated C did not compile
+///   NoCompiler         a callable kernel was needed, none available
+///   NotRunnable        the kernel's ISA is wider than this host
+///   ConnectFailed      the daemon could not be reached at all
+///   TransportError     the connection died mid-request (reconnect failed)
+///   ProtocolError      the peer sent frames this client cannot decode
+///   RemoteError        daemon-side failure with no finer class
+///   InternalError      unexpected failure inside the stack
+///
+/// Minimal use:
+///
+/// \code
+///   auto S = sl::Session::open("auto:/tmp/sld.sock");
+///   if (!S) return fail(S.status());
+///   auto R = sl::RequestBuilder()
+///                .source(laText)
+///                .name("potrf8")
+///                .isa("avx")
+///                .build();
+///   auto K = S->get(*R);
+///   if (!K) return fail(K.status());
+///   double *bufs[2] = {a, x};
+///   K->call(bufs);
+/// \endcode
+///
+/// This header is self-contained (standard library only) and is what
+/// `cmake --install` exports; link against libslingen.a.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_CLIENT_H
+#define SLINGEN_CLIENT_H
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace slingen {
+namespace client {
+
+//===----------------------------------------------------------------------===//
+// Status and Result
+//===----------------------------------------------------------------------===//
+
+/// Stable error classes of the client API (table in the file comment).
+enum class Code {
+  Ok = 0,
+  InvalidRequest,
+  ParseError,
+  GenerationFailed,
+  CompileFailed,
+  NoCompiler,
+  NotRunnable,
+  ConnectFailed,
+  TransportError,
+  ProtocolError,
+  RemoteError,
+  InternalError,
+};
+
+/// Stable kebab-case name of \p C ("parse-error", ...).
+const char *codeName(Code C);
+
+/// The outcome of an operation with no payload: Ok, or a Code + message.
+class Status {
+public:
+  Status() = default; ///< Ok
+  static Status success() { return Status(); }
+  static Status failure(Code C, std::string Message) {
+    assert(C != Code::Ok && "failure() needs a non-Ok code");
+    Status S;
+    S.C = C;
+    S.Msg = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return C == Code::Ok; }
+  explicit operator bool() const { return ok(); }
+  Code code() const { return C; }
+  const std::string &message() const { return Msg; }
+  /// "parse-error: unexpected token ..." (or "ok").
+  std::string str() const {
+    return ok() ? "ok" : std::string(codeName(C)) + ": " + Msg;
+  }
+
+private:
+  Code C = Code::Ok;
+  std::string Msg;
+};
+
+/// A value or a failure Status. Converts implicitly from either, so
+/// functions mix `return Status::failure(...)` and `return value` freely.
+template <typename T> class Result {
+public:
+  Result(Status S) : St(std::move(S)) {
+    assert(!St.ok() && "a successful Result needs a value");
+  }
+  Result(T Value) : Val(std::move(Value)) {}
+
+  bool ok() const { return St.ok(); }
+  explicit operator bool() const { return ok(); }
+  const Status &status() const { return St; }
+  Code code() const { return St.code(); }
+  const std::string &message() const { return St.message(); }
+
+  T &value() {
+    assert(ok() && "value() on a failed Result");
+    return *Val;
+  }
+  const T &value() const {
+    assert(ok() && "value() on a failed Result");
+    return *Val;
+  }
+  T &operator*() { return value(); }
+  const T &operator*() const { return value(); }
+  T *operator->() { return &value(); }
+  const T *operator->() const { return &value(); }
+
+private:
+  Status St;
+  std::optional<T> Val;
+};
+
+//===----------------------------------------------------------------------===//
+// Requests
+//===----------------------------------------------------------------------===//
+
+/// One validated kernel request, produced by RequestBuilder::build().
+/// Immutable; reusable across sessions and calls.
+class Request {
+public:
+  Request() = default;
+
+  const std::string &source() const { return Source; }
+  /// The canonical serialized GenOptions document the request carries
+  /// (what a daemon receives verbatim).
+  const std::string &optionsText() const { return OptionsText; }
+  const std::string &functionName() const { return FuncName; }
+  bool batched() const { return Batched; }
+  /// "loop"/"vec"/"fused"/"auto"; empty defers to the serving side.
+  const std::string &strategy() const { return StrategyName; }
+  /// Batched dispatch width: 0 defers to the serving side's policy.
+  int threads() const { return Threads; }
+  /// Measured-tuning override: -1 defers, 0/1 force.
+  int measure() const { return Measure; }
+  /// Whether the compiled object bytes should be materialized on the
+  /// returned Kernel (Kernel::objectBytes).
+  bool wantObject() const { return WantObject; }
+
+private:
+  friend class RequestBuilder;
+  std::string Source, OptionsText, FuncName, StrategyName;
+  bool Batched = false;
+  int Threads = 0;
+  int Measure = -1;
+  bool WantObject = true;
+};
+
+/// Fluent request construction. Every setter returns *this; build()
+/// validates the whole request at once (unknown ISA names, malformed
+/// option values, strategy/threads without batched, ...) and returns
+/// either the immutable Request or Code::InvalidRequest.
+class RequestBuilder {
+public:
+  RequestBuilder();
+
+  /// The LA program text. Exactly one of source()/sourceFile() is
+  /// required.
+  RequestBuilder &source(std::string LaText);
+  /// Reads the LA program from \p Path at build() time.
+  RequestBuilder &sourceFile(std::string Path);
+  /// Generated function name (GenOptions "func").
+  RequestBuilder &name(std::string FuncName);
+  /// Target ISA: scalar | sse2 | avx | avx512 (GenOptions "isa").
+  RequestBuilder &isa(std::string IsaName);
+  /// Any GenOptions key=value (see slingen/OptionsIO.h for the key set);
+  /// the named setters above are sugar for these.
+  RequestBuilder &option(std::string Key, std::string Value);
+  /// Also request the `<name>_batch(int count, ...)` entry point.
+  RequestBuilder &batched(bool On = true);
+  /// Batched iteration strategy: loop | vec | fused | auto. Requires
+  /// batched().
+  RequestBuilder &strategy(std::string Name);
+  /// Batched dispatch width (0 = serving side's policy, k >= 1 pins).
+  /// Requires batched().
+  RequestBuilder &threads(int K);
+  /// Rank variants by measured cycles instead of the static cost model
+  /// (produce-time policy; an already-cached kernel is served as-is).
+  RequestBuilder &measure(bool On = true);
+  /// Materialize the compiled object bytes on the Kernel (default on;
+  /// turn off to skip shipping/reading the .so when only the C matters).
+  RequestBuilder &wantObject(bool On);
+
+  /// Validates and freezes the request.
+  Result<Request> build() const;
+
+private:
+  std::string Source, SourceFile, StrategyName;
+  std::vector<std::pair<std::string, std::string>> Options;
+  bool Batched = false;
+  int Threads = 0;
+  int Measure = -1;
+  bool WantObject = true;
+};
+
+//===----------------------------------------------------------------------===//
+// Kernels
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+struct KernelState;
+struct KernelFactory;
+} // namespace detail
+
+/// A served kernel: provenance plus typed dispatch. Cheap shared handle --
+/// copies refer to the same immutable state, and the loaded shared object
+/// stays mapped for as long as any handle (or in-flight call) needs it.
+class Kernel {
+public:
+  /// Where the shared object came from. Provenance only: call() and
+  /// callBatch() behave identically for both.
+  enum class Origin { Local, Remote };
+
+  Kernel() = default; ///< empty handle; valid() is false
+
+  bool valid() const { return S != nullptr; }
+  Origin origin() const;
+
+  //===--- provenance -----------------------------------------------------===//
+
+  /// 16-hex content key (the cache/wire identity of this kernel).
+  const std::string &key() const;
+  const std::string &functionName() const;
+  const std::string &isa() const;
+  /// The full emitted C translation unit.
+  const std::string &cSource() const;
+  int numParams() const;
+  bool batched() const;
+  /// Resolved batch strategy name ("loop"/"vec"/"fused"); empty when not
+  /// batched.
+  const std::string &strategy() const;
+  /// Resolved batched dispatch width (>= 1; meaningful when batched()).
+  int batchThreads() const;
+  long staticCost() const;
+  bool measured() const;
+  double measuredCycles() const;
+  /// The compiled shared object, byte for byte; empty when the kernel is
+  /// source-only or the request said wantObject(false). Identical bytes
+  /// for the same request whether served locally or by a daemon.
+  const std::string &objectBytes() const;
+
+  //===--- dispatch -------------------------------------------------------===//
+
+  /// True when a loaded, executable object is attached (a kernel can be
+  /// source-only: no compiler on the serving side).
+  bool callable() const;
+  /// True when this host can execute the kernel's target ISA.
+  bool hostRunnable() const;
+
+  /// Single-instance dispatch: Buffers[i] points at parameter i's
+  /// row-major storage. Fails with NoCompiler (source-only) or
+  /// NotRunnable (ISA wider than the host).
+  Status call(double *const *Buffers) const;
+
+  /// Batched dispatch over \p Count contiguous instances per parameter
+  /// (instance b of parameter i at Buffers[i] + b*Rows_i*Cols_i), spread
+  /// across batchThreads() workers when the kernel was tuned for more
+  /// than one. Additionally fails with InvalidRequest when the kernel was
+  /// not requested batched.
+  Status callBatch(int Count, double *const *Buffers) const;
+
+private:
+  friend struct detail::KernelFactory;
+  std::shared_ptr<const detail::KernelState> S;
+};
+
+//===----------------------------------------------------------------------===//
+// Sessions
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+class Backend;
+} // namespace detail
+
+/// Knobs for Session::open that are not part of the address string.
+struct SessionConfig {
+  /// ServiceConfig key=value pairs applied to the in-process service of a
+  /// `local:` (or degraded `auto:`) backend, in order -- e.g.
+  /// {"measure","1"}, {"cache-max-bytes","1073741824"}. Unknown keys fail
+  /// open() with InvalidRequest. See service serializeServiceConfig for
+  /// the key set.
+  std::vector<std::pair<std::string, std::string>> ServiceOptions;
+};
+
+/// A connection to one kernel source. Movable, not copyable; one Session
+/// serves requests strictly sequentially (share kernels, not sessions,
+/// across threads -- concurrent callers open their own, exactly as with
+/// the raw socket client).
+class Session {
+public:
+  enum class BackendKind { Local, Remote, Fallback };
+
+  /// Resolves \p Address (grammar in the file comment) and connects.
+  /// Remote backends connect eagerly, so an unreachable daemon fails here
+  /// with ConnectFailed; `auto:` always succeeds (a dead daemon degrades
+  /// to local). Local backends validate Config.ServiceOptions here.
+  static Result<Session> open(const std::string &Address,
+                              SessionConfig Config = {});
+
+  Session(Session &&) noexcept;
+  Session &operator=(Session &&) noexcept;
+  ~Session();
+
+  /// Serves the kernel for \p R, generating/compiling (locally or
+  /// daemon-side) only on a cache miss.
+  Result<Kernel> get(const Request &R);
+
+  /// Queues background generation for \p R so a later get() is a warm
+  /// hit. Returns once queueing is acknowledged, not when generation
+  /// finishes (see drain()).
+  Status warm(const Request &R);
+
+  /// Blocks until background work queued by warm() has finished. Remote
+  /// backends return Ok immediately (the daemon owns its queue).
+  Status drain();
+
+  /// Liveness probe (local backends always answer Ok).
+  Status ping();
+
+  /// Serving-side counters as `key=value` lines (mem-hits, misses,
+  /// generations, ...; one schema for local and remote).
+  Result<std::string> stats();
+
+  BackendKind backend() const;
+  const std::string &address() const;
+
+private:
+  Session();
+  std::unique_ptr<detail::Backend> B;
+  std::string Addr;
+};
+
+} // namespace client
+} // namespace slingen
+
+/// The short spelling used throughout the docs: sl::Session, sl::Kernel...
+namespace sl = slingen::client;
+
+#endif // SLINGEN_CLIENT_H

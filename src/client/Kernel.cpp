@@ -1,0 +1,202 @@
+//===- client/Kernel.cpp - the served-kernel handle -----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// sl::Kernel: one immutable state shape for both origins. The local
+// factory wraps a KernelService artifact (sharing its loaded object); the
+// remote factory stages the wire message's .so bytes through
+// JitKernel::loadFromBytes. After construction the two are
+// indistinguishable -- which is the facade's core promise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/ClientImpl.h"
+
+#include "isa/ISA.h"
+#include "runtime/BatchPool.h"
+#include "runtime/Jit.h"
+#include "support/File.h"
+
+using namespace slingen;
+using namespace slingen::client;
+using namespace slingen::client::detail;
+
+//===----------------------------------------------------------------------===//
+// Accessors
+//===----------------------------------------------------------------------===//
+
+namespace {
+const std::string &emptyString() {
+  static const std::string E;
+  return E;
+}
+} // namespace
+
+Kernel::Origin Kernel::origin() const {
+  return S ? S->Origin : Origin::Local;
+}
+const std::string &Kernel::key() const {
+  return S ? S->Key : emptyString();
+}
+const std::string &Kernel::functionName() const {
+  return S ? S->FuncName : emptyString();
+}
+const std::string &Kernel::isa() const {
+  return S ? S->IsaName : emptyString();
+}
+const std::string &Kernel::cSource() const {
+  return S ? S->CSource : emptyString();
+}
+int Kernel::numParams() const { return S ? S->NumParams : 0; }
+bool Kernel::batched() const { return S && S->Batched; }
+const std::string &Kernel::strategy() const {
+  return S ? S->StrategyName : emptyString();
+}
+int Kernel::batchThreads() const { return S ? S->BatchThreads : 1; }
+long Kernel::staticCost() const { return S ? S->StaticCost : 0; }
+bool Kernel::measured() const { return S && S->Measured; }
+double Kernel::measuredCycles() const { return S ? S->MeasuredCycles : 0.0; }
+const std::string &Kernel::objectBytes() const {
+  return S ? S->SoBytes : emptyString();
+}
+
+bool Kernel::callable() const { return S && S->K != nullptr; }
+
+bool Kernel::hostRunnable() const {
+  if (!S)
+    return false;
+  // IsaName can be wire-supplied (a newer daemon may speak ISAs this build
+  // does not know), so the null-returning lookup: unknown means "cannot
+  // prove it runs here", never "assume scalar".
+  const VectorISA *Isa = isaByNameOrNull(S->IsaName.c_str());
+  return Isa && Isa->Nu <= hostIsa().Nu;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared call/callBatch gate; on success \p Isa holds the (known,
+/// host-runnable) target ISA.
+Status dispatchPrecheck(const std::shared_ptr<const KernelState> &S,
+                        const VectorISA *&Isa) {
+  if (!S)
+    return Status::failure(Code::InvalidRequest, "empty kernel handle");
+  if (!S->K)
+    return Status::failure(Code::NoCompiler,
+                           "kernel " + S->FuncName +
+                               " is source-only (no compiled object)");
+  Isa = isaByNameOrNull(S->IsaName.c_str());
+  if (!Isa || Isa->Nu > hostIsa().Nu)
+    return Status::failure(Code::NotRunnable,
+                           "kernel targets " + S->IsaName +
+                               ", which this host cannot run");
+  return Status::success();
+}
+
+} // namespace
+
+Status Kernel::call(double *const *Buffers) const {
+  const VectorISA *Isa = nullptr;
+  if (Status St = dispatchPrecheck(S, Isa); !St)
+    return St;
+  S->K->call(Buffers);
+  return Status::success();
+}
+
+Status Kernel::callBatch(int Count, double *const *Buffers) const {
+  const VectorISA *Isa = nullptr;
+  if (Status St = dispatchPrecheck(S, Isa); !St)
+    return St;
+  if (!S->Batched || !S->K->hasBatchEntry())
+    return Status::failure(Code::InvalidRequest,
+                           "kernel " + S->FuncName +
+                               " was not requested batched");
+  // Same dispatch ladder as the service: the artifact's tuned width drives
+  // the batch thread pool, which degrades to a plain batch call when the
+  // width is 1 or the object predates the span entry.
+  runtime::callBatchParallel(*S->K, Count, Buffers, Isa->Nu,
+                             S->BatchThreads);
+  return Status::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+Result<Kernel> KernelFactory::fromArtifact(const service::ArtifactPtr &A,
+                                           bool WantObject) {
+  auto St = std::make_shared<KernelState>();
+  St->Origin = Kernel::Origin::Local;
+  St->Key = A->Key;
+  St->FuncName = A->FuncName;
+  St->IsaName = A->IsaName;
+  St->CSource = A->CSource;
+  St->NumParams = A->NumParams;
+  St->Batched = A->Batched;
+  if (A->Batched) {
+    St->StrategyName = batchStrategyName(A->Strategy);
+    St->BatchThreads = A->BatchThreads >= 1 ? A->BatchThreads : 1;
+  }
+  St->Choice = A->Choice;
+  St->StaticCost = A->StaticCost;
+  St->Measured = A->Measured;
+  St->MeasuredCycles = A->MeasuredCycles;
+  St->K = A->Kernel;
+  St->LocalArtifact = A;
+  if (WantObject && A->Kernel) {
+    // The same bytes a daemon would ship for this artifact (the server
+    // reads exactly this path) -- what makes local/remote byte identity
+    // checkable at the facade level.
+    bool Ok = false;
+    std::string Bytes = readFile(A->Kernel->soPath(), &Ok);
+    if (!Ok)
+      return Status::failure(Code::InternalError,
+                             "cannot read compiled object at " +
+                                 A->Kernel->soPath() +
+                                 " (evicted from the disk tier?); retry "
+                                 "with wantObject(false) if only the "
+                                 "loaded kernel is needed");
+    St->SoBytes = std::move(Bytes);
+  }
+  Kernel K;
+  K.S = std::move(St);
+  return K;
+}
+
+Result<Kernel> KernelFactory::fromMessage(net::ArtifactMsg Msg) {
+  auto St = std::make_shared<KernelState>();
+  St->Origin = Kernel::Origin::Remote;
+  St->Key = std::move(Msg.Key);
+  St->FuncName = std::move(Msg.FuncName);
+  St->IsaName = std::move(Msg.IsaName);
+  St->CSource = std::move(Msg.CSource);
+  St->NumParams = Msg.NumParams;
+  St->Batched = Msg.Batched;
+  if (Msg.Batched) {
+    St->StrategyName = std::move(Msg.StrategyName);
+    St->BatchThreads = Msg.BatchThreads >= 1 ? Msg.BatchThreads : 1;
+  }
+  St->Choice = std::move(Msg.Choice);
+  St->StaticCost = Msg.StaticCost;
+  St->Measured = Msg.Measured;
+  St->MeasuredCycles = Msg.MeasuredCycles;
+  St->SoBytes = std::move(Msg.SoBytes);
+  if (!St->SoBytes.empty()) {
+    std::string Err;
+    auto K = runtime::JitKernel::loadFromBytes(St->SoBytes, St->FuncName,
+                                               St->NumParams, Err,
+                                               /*WithBatchEntry=*/St->Batched);
+    if (!K)
+      return Status::failure(Code::ProtocolError,
+                             "shipped object failed to load: " + Err);
+    St->K = std::make_shared<runtime::JitKernel>(std::move(*K));
+  }
+  Kernel K;
+  K.S = std::move(St);
+  return K;
+}

@@ -1,0 +1,78 @@
+//===- client/LocalBackend.cpp - in-process service backend ---------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `local:` backend: a private KernelService configured from the
+// session's options, with the facade request lowered through the same
+// RequestOptions path the daemon uses -- so a request served here and one
+// served by a daemon with the same config produce identical artifacts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/ClientImpl.h"
+
+using namespace slingen;
+using namespace slingen::client;
+using namespace slingen::client::detail;
+
+namespace {
+
+class LocalBackend : public Backend {
+public:
+  explicit LocalBackend(service::ServiceConfig SC) : Svc(std::move(SC)) {}
+
+  Result<Kernel> get(const Request &R) override {
+    GenOptions Options;
+    service::RequestOptions Req;
+    toServiceArgs(R, Options, Req);
+    service::GetResult G = Svc.get(R.source(), Options, Req);
+    if (!G)
+      return Status::failure(mapServiceErrc(G.Code), G.Error);
+    return KernelFactory::fromArtifact(G.Kernel, R.wantObject());
+  }
+
+  Status warm(const Request &R) override {
+    GenOptions Options;
+    service::RequestOptions Req;
+    toServiceArgs(R, Options, Req);
+    Svc.prefetch(R.source(), Options, Req);
+    return Status::success();
+  }
+
+  Status drain() override {
+    Svc.drainPrefetches();
+    return Status::success();
+  }
+
+  Status ping() override { return Status::success(); }
+
+  Result<std::string> stats() override {
+    return service::serializeServiceStats(Svc.stats());
+  }
+
+  Session::BackendKind kind() const override {
+    return Session::BackendKind::Local;
+  }
+
+private:
+  service::KernelService Svc;
+};
+
+} // namespace
+
+std::unique_ptr<Backend>
+detail::makeLocalBackend(const std::string &CacheDir,
+                         const SessionConfig &Config, Status &Err) {
+  service::ServiceConfig SC;
+  if (!CacheDir.empty())
+    SC.CacheDir = CacheDir;
+  std::string OptErr;
+  for (const auto &[Key, Value] : Config.ServiceOptions)
+    if (!service::applyServiceConfigOption(SC, Key, Value, OptErr)) {
+      Err = Status::failure(Code::InvalidRequest, OptErr);
+      return nullptr;
+    }
+  return std::make_unique<LocalBackend>(std::move(SC));
+}

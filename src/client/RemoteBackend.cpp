@@ -1,0 +1,208 @@
+//===- client/RemoteBackend.cpp - daemon-backed and fallback backends -----===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `unix:`/`tcp:` backend -- a net::Client with per-request connection
+// re-establishment -- and the `auto:` wrapper that degrades to a local
+// service on transport failures only. Daemon-side verdicts about a request
+// (parse errors, compile failures, ...) are final: re-running them locally
+// would just repeat the failure while hiding the daemon's state, so the
+// fallback never catches those.
+//
+//===----------------------------------------------------------------------===//
+
+#include "client/ClientImpl.h"
+
+using namespace slingen;
+using namespace slingen::client;
+using namespace slingen::client::detail;
+
+namespace {
+
+class RemoteBackend : public Backend {
+public:
+  explicit RemoteBackend(std::string Addr) : Addr(std::move(Addr)) {}
+
+  /// One transport-level attempt loop shared by every verb: ensure a
+  /// connection, run the exchange, and on a transport failure reconnect
+  /// and retry the request exactly once (GET/WARM/PING/STATS are all
+  /// idempotent). The failure that survives distinguishes "never reached
+  /// the daemon" (ConnectFailed) from "the connection died on us"
+  /// (TransportError) -- the signal the fallback backend keys on.
+  template <typename Fn> Status withConnection(Fn &&Attempt) {
+    bool WasConnected = Conn.has_value();
+    for (int Try = 0; Try < 2; ++Try) {
+      if (!Conn) {
+        std::string ConnErr;
+        Conn = net::Client::connect(Addr, ConnErr);
+        if (!Conn)
+          return Status::failure(WasConnected ? Code::TransportError
+                                              : Code::ConnectFailed,
+                                 ConnErr);
+      }
+      net::ClientError E;
+      if (Attempt(*Conn, E))
+        return Status::success();
+      if (E.Category != net::ErrorCategory::Transport || Try == 1)
+        return mapClientError(E, /*Connected=*/true);
+      // The stream died: drop it and re-establish once.
+      Conn.reset();
+      WasConnected = true;
+    }
+    return Status::failure(Code::InternalError, "unreachable");
+  }
+
+  Result<Kernel> get(const Request &R) override {
+    net::ArtifactMsg Msg;
+    Status St = withConnection([&](net::Client &C, net::ClientError &E) {
+      return C.get(toWireRequest(R), Msg, E);
+    });
+    if (!St)
+      return St;
+    return KernelFactory::fromMessage(std::move(Msg));
+  }
+
+  Status warm(const Request &R) override {
+    return withConnection([&](net::Client &C, net::ClientError &E) {
+      return C.warm(toWireRequest(R), E);
+    });
+  }
+
+  Status drain() override {
+    // The daemon owns its prefetch queue; nothing to wait for here.
+    return Status::success();
+  }
+
+  Status ping() override {
+    return withConnection(
+        [&](net::Client &C, net::ClientError &E) { return C.ping(E); });
+  }
+
+  Result<std::string> stats() override {
+    std::string Text;
+    Status St = withConnection([&](net::Client &C, net::ClientError &E) {
+      return C.stats(Text, E);
+    });
+    if (!St)
+      return St;
+    return Text;
+  }
+
+  Session::BackendKind kind() const override {
+    return Session::BackendKind::Remote;
+  }
+
+  /// Eager initial connect for Session::open's fail-fast contract.
+  Status connectNow() {
+    return withConnection(
+        [&](net::Client &C, net::ClientError &E) { return C.ping(E); });
+  }
+
+private:
+  std::string Addr;
+  std::optional<net::Client> Conn;
+};
+
+/// Remote first; a lazily built local service catches transport failures.
+class FallbackBackend : public Backend {
+public:
+  FallbackBackend(std::string RemoteAddr, SessionConfig Config)
+      : Remote(std::move(RemoteAddr)), Config(std::move(Config)) {}
+
+  Result<Kernel> get(const Request &R) override {
+    Result<Kernel> K = Remote.get(R);
+    if (K || !transportish(K.code()))
+      return K;
+    Backend *L = local();
+    return L ? L->get(R) : K;
+  }
+
+  Status warm(const Request &R) override {
+    Status St = Remote.warm(R);
+    if (St || !transportish(St.code()))
+      return St;
+    Backend *L = local();
+    return L ? L->warm(R) : St;
+  }
+
+  Status drain() override {
+    // Only the local half queues in-process work.
+    return Local ? Local->drain() : Status::success();
+  }
+
+  Status ping() override {
+    Status St = Remote.ping();
+    if (St || !transportish(St.code()))
+      return St;
+    Backend *L = local();
+    return L ? L->ping() : St;
+  }
+
+  Result<std::string> stats() override {
+    Result<std::string> R = Remote.stats();
+    if (R || !transportish(R.code()))
+      return R;
+    Backend *L = local();
+    return L ? L->stats() : R;
+  }
+
+  Session::BackendKind kind() const override {
+    return Session::BackendKind::Fallback;
+  }
+
+private:
+  static bool transportish(Code C) {
+    return C == Code::ConnectFailed || C == Code::TransportError;
+  }
+
+  /// The degraded path, built on first need so sessions whose daemon
+  /// never goes away pay nothing for it. The options were validated at
+  /// open(), so construction here cannot fail in practice; if it somehow
+  /// does, the remote error passes through unmasked.
+  Backend *local() {
+    if (!Local && !LocalBroken) {
+      Status Err;
+      Local = makeLocalBackend("", Config, Err);
+      if (!Local)
+        LocalBroken = true;
+    }
+    return Local.get();
+  }
+
+  RemoteBackend Remote;
+  SessionConfig Config;
+  std::unique_ptr<Backend> Local;
+  bool LocalBroken = false;
+};
+
+} // namespace
+
+std::unique_ptr<Backend> detail::makeRemoteBackend(const std::string &Addr,
+                                                   bool Eager, Status &Err) {
+  auto B = std::make_unique<RemoteBackend>(Addr);
+  if (Eager) {
+    if (Status St = B->connectNow(); !St) {
+      // Normalize: an eager first connect can never be a mid-request death.
+      Err = Status::failure(Code::ConnectFailed, St.message());
+      return nullptr;
+    }
+  }
+  return B;
+}
+
+std::unique_ptr<Backend>
+detail::makeFallbackBackend(const std::string &RemoteAddr,
+                            const SessionConfig &Config, Status &Err) {
+  // Validate the local half's options eagerly -- a typo in ServiceOptions
+  // should fail open(), not the first degraded request.
+  service::ServiceConfig Probe;
+  std::string OptErr;
+  for (const auto &[Key, Value] : Config.ServiceOptions)
+    if (!service::applyServiceConfigOption(Probe, Key, Value, OptErr)) {
+      Err = Status::failure(Code::InvalidRequest, OptErr);
+      return nullptr;
+    }
+  return std::make_unique<FallbackBackend>(RemoteAddr, Config);
+}

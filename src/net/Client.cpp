@@ -98,50 +98,92 @@ Client::~Client() {
 }
 
 bool Client::roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
-                       std::string &ReplyPayload, std::string &Err) {
+                       std::string &ReplyPayload, ClientError &Err) {
+  Err = {};
   if (Fd < 0) {
-    Err = "not connected";
+    Err.Message = "not connected";
     return false;
   }
-  if (!writeFrame(Fd, V, Payload, Err))
-    return false;
+  if (!writeFrame(Fd, V, Payload, Err.Message))
+    return false; // Category defaults to Transport
   Frame F;
-  ReadStatus RS = readFrame(Fd, F, Err, MaxPayload);
+  ReadStatus RS = readFrame(Fd, F, Err.Message, MaxPayload);
   if (RS == ReadStatus::Eof) {
-    Err = "daemon closed the connection";
+    Err.Message = "daemon closed the connection";
     return false;
   }
   if (RS == ReadStatus::Error)
-    return false;
+    return false; // torn frame / bad magic / socket error: the stream died
   if (F.verb() == Verb::Error) {
-    Err = F.Payload.empty() ? "daemon reported an error" : F.Payload;
+    Err.Category = ErrorCategory::Daemon;
+    decodeErrorPayload(F.Payload, Err.Code, Err.Message);
+    if (Err.Message.empty())
+      Err.Message = "daemon reported an error";
     return false;
   }
   if (F.verb() != ExpectReply) {
-    Err = formatf("unexpected reply verb 0x%02x", F.VerbByte);
+    Err.Category = ErrorCategory::Protocol;
+    Err.Message = formatf("unexpected reply verb 0x%02x", F.VerbByte);
     return false;
   }
   ReplyPayload = std::move(F.Payload);
   return true;
 }
 
-bool Client::get(const Request &R, ArtifactMsg &Out, std::string &Err) {
+bool Client::get(const Request &R, ArtifactMsg &Out, ClientError &Err) {
   std::string Reply;
   if (!roundTrip(Verb::Get, encodeRequest(R), Verb::Artifact, Reply, Err))
     return false;
-  return decodeArtifact(Reply, Out, Err);
+  if (!decodeArtifact(Reply, Out, Err.Message)) {
+    Err.Category = ErrorCategory::Protocol;
+    Err.Code = std::nullopt;
+    return false;
+  }
+  return true;
 }
 
-bool Client::warm(const Request &R, std::string &Err) {
+bool Client::warm(const Request &R, ClientError &Err) {
   std::string Reply;
   return roundTrip(Verb::Warm, encodeRequest(R), Verb::Ok, Reply, Err);
 }
 
-bool Client::ping(std::string &Err) {
+bool Client::ping(ClientError &Err) {
   std::string Reply;
   return roundTrip(Verb::Ping, "", Verb::Ok, Reply, Err);
 }
 
-bool Client::stats(std::string &Out, std::string &Err) {
+bool Client::stats(std::string &Out, ClientError &Err) {
   return roundTrip(Verb::Stats, "", Verb::Ok, Out, Err);
+}
+
+bool Client::get(const Request &R, ArtifactMsg &Out, std::string &Err) {
+  ClientError E;
+  if (get(R, Out, E))
+    return true;
+  Err = std::move(E.Message);
+  return false;
+}
+
+bool Client::warm(const Request &R, std::string &Err) {
+  ClientError E;
+  if (warm(R, E))
+    return true;
+  Err = std::move(E.Message);
+  return false;
+}
+
+bool Client::ping(std::string &Err) {
+  ClientError E;
+  if (ping(E))
+    return true;
+  Err = std::move(E.Message);
+  return false;
+}
+
+bool Client::stats(std::string &Out, std::string &Err) {
+  ClientError E;
+  if (stats(Out, E))
+    return true;
+  Err = std::move(E.Message);
+  return false;
 }

@@ -30,6 +30,28 @@
 namespace slingen {
 namespace net {
 
+/// Which layer a failed request died in. The distinction matters to
+/// callers with a fallback: a Transport failure says nothing about the
+/// request (reconnect/retry/degrade is sound), a Daemon failure is the
+/// daemon's verdict on *this* request (retrying elsewhere just repeats
+/// it), and a Protocol failure means the peer speaks something else
+/// entirely.
+enum class ErrorCategory {
+  Transport, ///< connect/read/write failed or the daemon hung up
+  Protocol,  ///< the reply did not decode or carried an unexpected verb
+  Daemon,    ///< the daemon answered ERR; Code carries its error class
+};
+
+/// A structured request failure: the category, the daemon's error class
+/// when it reported one (decoded from the ERR payload's errc token; unset
+/// for transport/protocol failures and for untagged pre-code daemons),
+/// and the human-readable message.
+struct ClientError {
+  ErrorCategory Category = ErrorCategory::Transport;
+  std::optional<service::Errc> Code;
+  std::string Message;
+};
+
 class Client {
 public:
   /// Connects to \p Addr (see parseAddr for accepted forms). Returns
@@ -42,16 +64,23 @@ public:
   ~Client();
 
   /// GET: serve (generating if needed) the kernel for \p R.
-  bool get(const Request &R, ArtifactMsg &Out, std::string &Err);
+  bool get(const Request &R, ArtifactMsg &Out, ClientError &Err);
 
   /// WARM: queue a background prefetch on the daemon; returns once the
   /// daemon acknowledged the queueing, not the generation.
-  bool warm(const Request &R, std::string &Err);
+  bool warm(const Request &R, ClientError &Err);
 
   /// PING: liveness probe.
-  bool ping(std::string &Err);
+  bool ping(ClientError &Err);
 
   /// STATS: the daemon's ServiceStats as `key=value` lines.
+  bool stats(std::string &Out, ClientError &Err);
+
+  /// Flattened-string conveniences (the message only; callers that branch
+  /// on the failure class use the ClientError forms above).
+  bool get(const Request &R, ArtifactMsg &Out, std::string &Err);
+  bool warm(const Request &R, std::string &Err);
+  bool ping(std::string &Err);
   bool stats(std::string &Out, std::string &Err);
 
   /// Payload cap applied to incoming response frames. Artifact responses
@@ -62,9 +91,9 @@ private:
   Client() = default;
 
   /// One request/response exchange; fails on transport errors, ERR
-  /// responses (their message becomes \p Err), and unexpected verbs.
+  /// responses, and unexpected verbs, classifying each into \p Err.
   bool roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
-                 std::string &ReplyPayload, std::string &Err);
+                 std::string &ReplyPayload, ClientError &Err);
 
   int Fd = -1;
   size_t MaxPayload = DefaultMaxPayload;

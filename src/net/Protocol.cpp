@@ -136,6 +136,30 @@ bool net::decodeArtifact(const std::string &Payload, ArtifactMsg &A,
   return true;
 }
 
+std::string net::encodeErrorPayload(service::Errc Code,
+                                    const std::string &Msg) {
+  return std::string(service::errcName(Code)) + ": " + Msg;
+}
+
+void net::decodeErrorPayload(const std::string &Payload,
+                             std::optional<service::Errc> &Code,
+                             std::string &Msg) {
+  Code = std::nullopt;
+  Msg = Payload;
+  size_t Colon = Payload.find(": ");
+  if (Colon == std::string::npos)
+    return;
+  // Only a known token counts -- "parse error: ..." (a message that merely
+  // looks prefixed) must not decode as a code. "ok" is likewise rejected:
+  // an ERR frame claiming success is nonsense, and letting Errc::None
+  // through would read as a successful Status upstream.
+  auto E = service::errcByName(Payload.substr(0, Colon));
+  if (E && *E != service::Errc::None) {
+    Code = *E;
+    Msg = Payload.substr(Colon + 2);
+  }
+}
+
 ArtifactMsg net::artifactToMsg(const service::KernelArtifact &A,
                                std::string SoBytes) {
   ArtifactMsg M;

@@ -29,6 +29,7 @@
 
 #include "service/KernelService.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,19 @@ bool decodeArtifact(const std::string &Payload, ArtifactMsg &A,
 /// empty when source-only or not requested) into the wire shape.
 ArtifactMsg artifactToMsg(const service::KernelArtifact &A,
                           std::string SoBytes);
+
+//===----------------------------------------------------------------------===//
+// Structured ERR payloads. A daemon-side failure rides the wire as
+// "<errc-token>: <message>" (tokens from service::errcName), so clients
+// can branch on the error class -- retry only transport failures, map
+// parse errors to their own error model -- without parsing prose. The
+// payload stays human-readable, and messages from pre-code daemons (no
+// recognized token prefix) decode with Code unset.
+//===----------------------------------------------------------------------===//
+
+std::string encodeErrorPayload(service::Errc Code, const std::string &Msg);
+void decodeErrorPayload(const std::string &Payload,
+                        std::optional<service::Errc> &Code, std::string &Msg);
 
 } // namespace net
 } // namespace slingen

@@ -296,25 +296,29 @@ bool Server::handleFrame(int Fd, const Frame &F) {
   case Verb::Warm: {
     Request R;
     if (!decodeRequest(F.Payload, R, Err))
-      return Respond(Verb::Error, Err);
+      return Respond(Verb::Error,
+                     encodeErrorPayload(service::Errc::InvalidRequest, Err));
     GenOptions Options;
     service::RequestOptions Req;
     if (!requestToServiceArgs(R, Options, Req, Err))
-      return Respond(Verb::Error, Err);
+      return Respond(Verb::Error,
+                     encodeErrorPayload(service::Errc::InvalidRequest, Err));
 
     if (F.verb() == Verb::Warm) {
       // Parse the program before queueing (options were validated above),
       // so a malformed warm list fails loudly at the client instead of
       // silently warming nothing; only the generate+compile is async.
       if (!la::compileLa(R.LaSource, Err))
-        return Respond(Verb::Error, "parse error: " + Err);
+        return Respond(Verb::Error,
+                       encodeErrorPayload(service::Errc::ParseError,
+                                          "parse error: " + Err));
       Svc.prefetch(R.LaSource, Options, Req);
       return Respond(Verb::Ok, "queued");
     }
 
     service::GetResult G = Svc.get(R.LaSource, Options, Req);
     if (!G)
-      return Respond(Verb::Error, G.Error);
+      return Respond(Verb::Error, encodeErrorPayload(G.Code, G.Error));
     std::string SoBytes;
     if (R.WantSo && G->isCallable()) {
       bool Ok = false;
@@ -335,5 +339,7 @@ bool Server::handleFrame(int Fd, const Frame &F) {
   // keep serving -- a newer client probing an older daemon deserves a
   // diagnosable error, not a hangup.
   return Respond(Verb::Error,
-                 formatf("unsupported verb 0x%02x", F.VerbByte));
+                 encodeErrorPayload(
+                     service::Errc::InvalidRequest,
+                     formatf("unsupported verb 0x%02x", F.VerbByte)));
 }

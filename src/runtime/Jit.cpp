@@ -32,6 +32,21 @@ std::string uniqueBase() {
                  Counter.fetch_add(1));
 }
 
+/// A private temporary directory for one compile's .c and log. The source
+/// always gets the same basename inside it (slingen_tu.c): the compiler
+/// embeds the input basename in the object's symbol table (STT_FILE), so a
+/// per-process name would make byte-identical translation units compile to
+/// byte-different shared objects. With a fixed basename, equal TU + equal
+/// flags => equal .so bytes across processes and machines sharing a
+/// toolchain -- the identity the client facade's local/daemon smoke diffs.
+std::string makeCompileDir() {
+  const char *Dir = getenv("TMPDIR");
+  std::string Tmpl = std::string(Dir ? Dir : "/tmp") + "/slingen_ccXXXXXX";
+  if (!mkdtemp(Tmpl.data()))
+    return {};
+  return Tmpl;
+}
+
 const char *compilerPath() {
   const char *Env = getenv("SLINGEN_CC");
   return Env ? Env : "cc";
@@ -110,20 +125,26 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
                                             int NumParams,
                                             const CompileOptions &Opts,
                                             std::string &Err) {
-  std::string Base = uniqueBase();
-  std::string CPath = Base + ".c", LogPath = Base + ".log";
+  std::string CDir = makeCompileDir();
+  if (CDir.empty()) {
+    Err = "cannot create compile directory in TMPDIR";
+    return std::nullopt;
+  }
+  std::string CPath = CDir + "/slingen_tu.c", LogPath = CDir + "/cc.log";
   bool KeepSo = !Opts.KeepSoPath.empty();
   // Persistent objects are compiled to a temporary and renamed into place,
   // so concurrent processes sharing a cache directory never dlopen a
   // half-written file.
-  std::string FinalSoPath = KeepSo ? Opts.KeepSoPath : Base + ".so";
+  std::string FinalSoPath = KeepSo ? Opts.KeepSoPath : uniqueBase() + ".so";
   std::string SoPath = KeepSo ? Opts.KeepSoPath + formatf(".tmp%d", getpid())
                               : FinalSoPath;
+  auto RemoveCompileDir = [&] { rmdir(CDir.c_str()); };
 
   {
     std::ofstream Out(CPath);
     if (!Out) {
       Err = "cannot write " + CPath;
+      RemoveCompileDir();
       return std::nullopt;
     }
     Out << CSource;
@@ -154,16 +175,19 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
       Err += "\n--- compiler output ---\n" + Log;
     // The full diagnostics are already in Err; keep the offending .c only
     // on request so a long-lived service cannot fill TMPDIR with failures.
-    if (getenv("SLINGEN_KEEP_TU"))
+    if (getenv("SLINGEN_KEEP_TU")) {
       Err += "\n(translation unit kept at " + CPath + ")";
-    else
+    } else {
       unlink(CPath.c_str());
+    }
     unlink(LogPath.c_str());
     unlink(SoPath.c_str());
+    RemoveCompileDir(); // no-op while the kept TU still lives inside
     return std::nullopt;
   }
   unlink(CPath.c_str());
   unlink(LogPath.c_str());
+  RemoveCompileDir();
 
   if (KeepSo && rename(SoPath.c_str(), FinalSoPath.c_str()) != 0) {
     Err = "cannot publish " + FinalSoPath;

@@ -267,25 +267,69 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
     unlink(Tmp.c_str());
     return false;
   }
+  // Fold the freshly published files (plus the .so the service may already
+  // have compiled to soPathFor) into the size accounting -- stats only this
+  // entry's own files, keeping budget enforcement O(evicted) per store.
+  {
+    std::lock_guard<std::mutex> L(DiskMu);
+    if (DiskIndexed)
+      indexDiskEntryLocked(A.Key);
+  }
   return true;
 }
 
-namespace {
+//===----------------------------------------------------------------------===//
+// Disk-tier size accounting. One full scan builds the per-entry index and
+// the mtime-ordered eviction queue; afterwards stores fold their own files
+// in (indexDiskEntryLocked) and enforceDiskBudget only touches what it
+// evicts -- O(evicted) file operations per store instead of re-statting
+// every entry.
+//===----------------------------------------------------------------------===//
 
-/// One on-disk entry during a GC scan: every file sharing a key stem.
-struct GcEntry {
-  std::string Key; ///< cache key (shard prefix folded back in)
-  std::vector<std::pair<fs::path, uintmax_t>> Files; ///< path, byte size
-  uintmax_t Bytes = 0;
-  fs::file_time_type Mtime = fs::file_time_type::min(); ///< newest file
-};
+void KernelCache::dropFromIndexLocked(const std::string &Key) {
+  auto It = DiskIndex.find(Key);
+  if (It == DiskIndex.end())
+    return;
+  DiskTotal -= std::min(DiskTotal, It->second.Bytes);
+  DiskByAge.erase(std::make_pair(It->second.Mtime, Key));
+  DiskIndex.erase(It);
+}
+
+void KernelCache::indexDiskEntryLocked(const std::string &Key) {
+  dropFromIndexLocked(Key);
+  DiskEntry E;
+  std::error_code Ec;
+  // Both layouts can carry files for one key (a flat entry whose .so was
+  // recompiled to the sharded path); the entry owns them all, exactly as
+  // the full scan would account them.
+  for (const EntryPaths &P : {pathsFor(Key), flatPathsFor(Key)}) {
+    for (const std::string &F : {P.C, P.So, P.Meta}) {
+      uintmax_t Sz = fs::file_size(F, Ec);
+      if (Ec)
+        continue;
+      E.Files.emplace_back(F, Sz);
+      E.Bytes += Sz;
+      fs::file_time_type M = fs::last_write_time(F, Ec);
+      if (!Ec && M > E.Mtime)
+        E.Mtime = M;
+    }
+  }
+  if (E.Files.empty())
+    return;
+  DiskTotal += E.Bytes;
+  DiskByAge.emplace(std::make_pair(E.Mtime, Key), Key);
+  DiskIndex.emplace(Key, std::move(E));
+}
+
+namespace {
 
 /// Folds one regular file into the per-key scan state. \p Key is the
 /// reconstructed cache key (shard prefix + stem); files that are not
 /// `.c/.so/.meta` (in-flight `.tmp<pid>` publications, foreign files) are
 /// skipped.
-void gcAccumulate(std::map<std::string, GcEntry> &Entries,
-                  const std::string &Key, const fs::directory_entry &File) {
+template <typename EntryMap>
+void gcAccumulate(EntryMap &Entries, const std::string &Key,
+                  const fs::directory_entry &File) {
   std::string Ext = File.path().extension().string();
   if (Ext != ".c" && Ext != ".so" && Ext != ".meta")
     return;
@@ -293,9 +337,8 @@ void gcAccumulate(std::map<std::string, GcEntry> &Entries,
   uintmax_t Sz = File.file_size(Ec);
   if (Ec)
     return;
-  GcEntry &E = Entries[Key];
-  E.Key = Key;
-  E.Files.emplace_back(File.path(), Sz);
+  auto &E = Entries[Key];
+  E.Files.emplace_back(File.path().string(), Sz);
   E.Bytes += Sz;
   fs::file_time_type M = fs::last_write_time(File.path(), Ec);
   if (!Ec && M > E.Mtime)
@@ -304,17 +347,17 @@ void gcAccumulate(std::map<std::string, GcEntry> &Entries,
 
 } // namespace
 
-size_t KernelCache::enforceDiskBudget(long MaxBytes,
-                                      const std::string &KeepKey) {
-  if (Dir.empty() || MaxBytes <= 0)
-    return 0;
+void KernelCache::scanDiskTierLocked() {
+  DiskIndex.clear();
+  DiskByAge.clear();
+  DiskTotal = 0;
+  ++NumDiskScans;
   // Scan the two layouts: flat `<key>.{c,so,meta}` at the top level and
   // sharded `ab/<rest>.{c,so,meta}` one level down.
-  std::map<std::string, GcEntry> Entries;
   std::error_code Ec;
   for (const fs::directory_entry &Top : fs::directory_iterator(Dir, Ec)) {
     if (Top.is_regular_file(Ec)) {
-      gcAccumulate(Entries, Top.path().stem().string(), Top);
+      gcAccumulate(DiskIndex, Top.path().stem().string(), Top);
       continue;
     }
     if (!Top.is_directory(Ec))
@@ -323,41 +366,79 @@ size_t KernelCache::enforceDiskBudget(long MaxBytes,
     for (const fs::directory_entry &File :
          fs::directory_iterator(Top.path(), Ec))
       if (File.is_regular_file(Ec))
-        gcAccumulate(Entries, Shard + File.path().stem().string(), File);
+        gcAccumulate(DiskIndex, Shard + File.path().stem().string(), File);
   }
+  for (const auto &[Key, E] : DiskIndex) {
+    DiskTotal += E.Bytes;
+    DiskByAge.emplace(std::make_pair(E.Mtime, Key), Key);
+  }
+  DiskIndexed = true;
+}
 
-  uintmax_t Total = 0;
-  std::vector<const GcEntry *> ByAge;
-  for (const auto &[Key, E] : Entries) {
-    Total += E.Bytes;
-    ByAge.push_back(&E);
-  }
-  if (Total <= static_cast<uintmax_t>(MaxBytes))
+size_t KernelCache::diskScans() const {
+  std::lock_guard<std::mutex> L(DiskMu);
+  return NumDiskScans;
+}
+
+void KernelCache::refreshDiskEntry(const std::string &Key) {
+  if (Dir.empty())
+    return;
+  std::lock_guard<std::mutex> L(DiskMu);
+  if (DiskIndexed)
+    indexDiskEntryLocked(Key);
+}
+
+size_t KernelCache::enforceDiskBudget(long MaxBytes,
+                                      const std::string &KeepKey) {
+  if (Dir.empty() || MaxBytes <= 0)
     return 0;
-  std::sort(ByAge.begin(), ByAge.end(),
-            [](const GcEntry *A, const GcEntry *B) {
-              return A->Mtime != B->Mtime ? A->Mtime < B->Mtime
-                                          : A->Key < B->Key;
-            });
+  std::lock_guard<std::mutex> L(DiskMu);
+  if (!DiskIndexed)
+    scanDiskTierLocked();
   size_t Evicted = 0;
-  for (const GcEntry *E : ByAge) {
-    if (Total <= static_cast<uintmax_t>(MaxBytes))
-      break;
-    if (E->Key == KeepKey)
+  auto It = DiskByAge.begin();
+  while (DiskTotal > static_cast<uintmax_t>(MaxBytes) &&
+         It != DiskByAge.end()) {
+    const std::string Key = It->second;
+    if (Key == KeepKey) {
+      ++It;
       continue;
+    }
+    auto MapIt = DiskIndex.find(Key);
+    if (MapIt == DiskIndex.end()) {
+      It = DiskByAge.erase(It);
+      continue;
+    }
+    DiskEntry E = std::move(MapIt->second);
+    It = DiskByAge.erase(It);
+    DiskIndex.erase(MapIt);
     // Only count what actually left the disk: an unremovable file (EACCES
     // in a shared directory, say) must not fool the budget into thinking
     // space was freed, or the tier would quietly grow past the cap.
-    bool AllGone = true;
-    for (const auto &[F, Sz] : E->Files) {
+    std::vector<std::pair<std::string, uintmax_t>> Stuck;
+    uintmax_t StuckBytes = 0;
+    for (const auto &[F, Sz] : E.Files) {
       std::error_code RmEc;
       if (fs::remove(F, RmEc) || !fs::exists(F, RmEc))
-        Total -= std::min(Total, Sz);
-      else
-        AllGone = false;
+        DiskTotal -= std::min(DiskTotal, Sz);
+      else {
+        Stuck.emplace_back(F, Sz);
+        StuckBytes += Sz;
+      }
     }
-    if (AllGone)
+    if (Stuck.empty()) {
       ++Evicted;
+    } else {
+      // Keep the survivors indexed (bytes stay in the total) so a later
+      // pass retries them; re-inserting under the same age slots them
+      // before the iterator, ending this pass's interest in them.
+      DiskEntry R;
+      R.Files = std::move(Stuck);
+      R.Bytes = StuckBytes;
+      R.Mtime = E.Mtime;
+      DiskByAge.emplace(std::make_pair(R.Mtime, Key), Key);
+      DiskIndex.emplace(Key, std::move(R));
+    }
   }
   return Evicted;
 }

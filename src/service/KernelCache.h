@@ -36,11 +36,14 @@
 #include "slingen/BatchStrategy.h"
 
 #include <cassert>
+#include <filesystem>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace slingen {
@@ -153,7 +156,26 @@ public:
   /// already-loaded kernels keep serving, the key just regenerates on the
   /// next cold miss. Returns the number of entries evicted. MaxBytes <= 0
   /// or no disk tier is a no-op.
+  ///
+  /// Cost: the first call scans the tier once to build an incremental size
+  /// index (per-entry bytes + an mtime-ordered eviction queue); every later
+  /// call is O(evicted log entries) -- stores fold their own files into the
+  /// index (see storeToDisk/refreshDiskEntry) and nothing is re-statted.
+  /// The index is an in-process view: entries written by *other* processes
+  /// after the scan are invisible until a fresh process scans again, so
+  /// multi-writer tiers should leave GC to one owning daemon.
   size_t enforceDiskBudget(long MaxBytes, const std::string &KeepKey);
+
+  /// Full disk-tier scans performed so far for budget accounting -- test
+  /// instrumentation proving GC is incremental: after the first
+  /// enforceDiskBudget this stays at 1 no matter how many stores follow.
+  size_t diskScans() const;
+
+  /// Re-stats one entry's on-disk files (both layouts) and folds the result
+  /// into the incremental accounting. For writes that bypass storeToDisk,
+  /// e.g. recompiling a cached entry's missing .so in place. No-op before
+  /// the first scan or without a disk tier.
+  void refreshDiskEntry(const std::string &Key);
 
 private:
   struct Slot {
@@ -172,11 +194,38 @@ private:
   /// layout has a complete entry.
   bool resolveOnDisk(const std::string &Key, EntryPaths &Out) const;
 
+  /// One indexed disk entry: the files carrying its bytes (across both
+  /// layouts), their total, and the newest file mtime (the eviction age).
+  struct DiskEntry {
+    std::vector<std::pair<std::string, uintmax_t>> Files;
+    uintmax_t Bytes = 0;
+    std::filesystem::file_time_type Mtime =
+        std::filesystem::file_time_type::min();
+  };
+
+  void scanDiskTierLocked();
+  /// Drops \p Key from the index, re-stats its files, re-inserts what
+  /// exists (requires DiskMu, DiskIndexed).
+  void indexDiskEntryLocked(const std::string &Key);
+  void dropFromIndexLocked(const std::string &Key);
+
   mutable std::mutex Mu;
   size_t Cap;
   std::string Dir;
   std::list<std::string> Lru; ///< front = most recent
   std::unordered_map<std::string, Slot> Map;
+
+  // Incremental disk-tier size accounting (all guarded by DiskMu; see
+  // enforceDiskBudget).
+  mutable std::mutex DiskMu;
+  bool DiskIndexed = false;
+  uintmax_t DiskTotal = 0;
+  size_t NumDiskScans = 0;
+  std::unordered_map<std::string, DiskEntry> DiskIndex;
+  /// (mtime, key) -> key: the eviction queue, oldest first.
+  std::map<std::pair<std::filesystem::file_time_type, std::string>,
+           std::string>
+      DiskByAge;
 };
 
 } // namespace service

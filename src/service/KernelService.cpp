@@ -76,7 +76,7 @@ GetResult KernelService::get(const std::string &LaSource,
   auto P = la::compileLa(LaSource, Err);
   if (!P) {
     ++Errors;
-    return {nullptr, "parse error: " + Err};
+    return {nullptr, "parse error: " + Err, Errc::ParseError};
   }
   return get(std::move(*P), Options, Req);
 }
@@ -134,7 +134,8 @@ size_t KernelService::pendingPrefetches() const {
 GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
   if (!G.isValid()) {
     ++Errors;
-    return {nullptr, "normalization failed: " + G.error()};
+    return {nullptr, "normalization failed: " + G.error(),
+            Errc::InvalidProgram};
   }
   std::string Key = requestKey(G, Req.Batched,
                                Req.Strategy.value_or(Cfg.Strategy));
@@ -166,15 +167,18 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
   // would block current joiners forever and a stale Inflight entry would
   // wedge the key for all future requests.
   std::string Err;
+  Errc Code = Errc::Internal;
   ArtifactPtr A;
   try {
-    A = produce(Key, G, Req, Err);
+    A = produce(Key, G, Req, Err, Code);
   } catch (const std::exception &E) {
     Err = std::string("internal error: ") + E.what();
+    Code = Errc::Internal;
   } catch (...) {
     Err = "internal error";
+    Code = Errc::Internal;
   }
-  GetResult R{A, A ? std::string() : Err};
+  GetResult R{A, A ? std::string() : Err, A ? Errc::None : Code};
   try {
     std::lock_guard<std::mutex> L(FlightMu);
     if (A)
@@ -194,7 +198,7 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
 
 ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
                                    const RequestOptions &Req,
-                                   std::string &Err) {
+                                   std::string &Err, Errc &Code) {
   const GenOptions &O = G.options();
   const std::string IsaFlags = runtime::isaCompileFlags(*O.Isa);
   const bool Batched = Req.Batched;
@@ -222,8 +226,10 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
                                            Fresh->NumParams, CO, CompileErr);
       if (!K) {
         Err = "recompile of cached entry failed: " + CompileErr;
+        Code = Errc::CompileFailed;
         return nullptr;
       }
+      Cache.refreshDiskEntry(Key); // the recompile grew the disk tier
       Fresh->Kernel = std::make_shared<runtime::JitKernel>(std::move(*K));
       return Fresh;
     }
@@ -247,12 +253,15 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
       Static.Result = std::move(*R);
     else {
       Err = "generation failed (infeasible variant?)";
+      Code = Errc::GenerationFailed;
       return nullptr;
     }
     Tuned = std::move(Static);
   }
-  if (!Tuned)
+  if (!Tuned) {
+    Code = Errc::GenerationFailed;
     return nullptr;
+  }
 
   // Batched requests resolve the configured strategy to a concrete one:
   // the instance-parallel forms need vector lanes, and Auto picks per
@@ -329,6 +338,7 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
                                          A->NumParams, CO, CompileErr);
     if (!K) {
       Err = "generated C failed to compile: " + CompileErr;
+      Code = Errc::CompileFailed;
       return nullptr;
     }
     A->Kernel = std::make_shared<runtime::JitKernel>(std::move(*K));
@@ -355,12 +365,14 @@ GetResult KernelService::dispatchBatch(const std::string &LaSource,
     return R;
   if (!R->isCallable()) {
     ++Errors;
-    return {nullptr, "batched kernel is source-only (no compiler available)"};
+    return {nullptr, "batched kernel is source-only (no compiler available)",
+            Errc::NoCompiler};
   }
   if (!R->hostRunnable()) {
     ++Errors;
     return {nullptr,
-            "kernel targets " + R->IsaName + ", which this host cannot run"};
+            "kernel targets " + R->IsaName + ", which this host cannot run",
+            Errc::NotRunnable};
   }
   // Dispatch width: per-request pin, else service pin, else the artifact's
   // tuned winner (1 when tuning found threading unprofitable).
@@ -370,6 +382,40 @@ GetResult KernelService::dispatchBatch(const std::string &LaSource,
   runtime::callBatchParallel(*R->Kernel, Count, Buffers,
                              isaByName(R->IsaName.c_str()).Nu, Threads);
   return R;
+}
+
+const char *service::errcName(Errc E) {
+  switch (E) {
+  case Errc::None:
+    return "ok";
+  case Errc::InvalidRequest:
+    return "invalid-request";
+  case Errc::ParseError:
+    return "parse-error";
+  case Errc::InvalidProgram:
+    return "invalid-program";
+  case Errc::GenerationFailed:
+    return "generation-failed";
+  case Errc::CompileFailed:
+    return "compile-failed";
+  case Errc::NoCompiler:
+    return "no-compiler";
+  case Errc::NotRunnable:
+    return "not-runnable";
+  case Errc::Internal:
+    return "internal";
+  }
+  return "internal";
+}
+
+std::optional<Errc> service::errcByName(const std::string &Name) {
+  for (Errc E : {Errc::None, Errc::InvalidRequest, Errc::ParseError,
+                 Errc::InvalidProgram, Errc::GenerationFailed,
+                 Errc::CompileFailed, Errc::NoCompiler, Errc::NotRunnable,
+                 Errc::Internal})
+    if (Name == errcName(E))
+      return E;
+  return std::nullopt;
 }
 
 ServiceStats KernelService::stats() const {

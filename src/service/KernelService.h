@@ -154,10 +154,33 @@ struct ServiceStats {
 /// stats() as `key=value` lines (the wire protocol's STATS payload).
 std::string serializeServiceStats(const ServiceStats &S);
 
-/// get() outcome: an artifact or an error message.
+/// What failed, when a request fails. One stable code per failure class,
+/// so callers (the client facade, the wire protocol) can branch without
+/// parsing message strings; the codes round-trip over the sld protocol as
+/// errcName() tokens prefixed to ERR payloads.
+enum class Errc {
+  None = 0,         ///< no error
+  InvalidRequest,   ///< malformed options/overrides (pre-generation)
+  ParseError,       ///< the LA source did not parse
+  InvalidProgram,   ///< parsed but failed normalization
+  GenerationFailed, ///< no variant could be generated
+  CompileFailed,    ///< the generated C did not compile
+  NoCompiler,       ///< a callable kernel was required, none available
+  NotRunnable,      ///< kernel ISA wider than this host
+  Internal,         ///< unexpected failure inside the service
+};
+
+/// Stable kebab-case token for \p E ("parse-error", ...); the wire
+/// protocol's error-code vocabulary.
+const char *errcName(Errc E);
+/// Inverse of errcName; std::nullopt on unknown tokens.
+std::optional<Errc> errcByName(const std::string &Name);
+
+/// get() outcome: an artifact or an error code + message.
 struct GetResult {
   ArtifactPtr Kernel;
   std::string Error;
+  Errc Code = Errc::None;
 
   explicit operator bool() const { return Kernel != nullptr; }
   const KernelArtifact *operator->() const { return Kernel.get(); }
@@ -233,7 +256,8 @@ private:
 
   GetResult getImpl(Generator G, const RequestOptions &Req);
   ArtifactPtr produce(const std::string &Key, const Generator &G,
-                      const RequestOptions &Req, std::string &Err);
+                      const RequestOptions &Req, std::string &Err,
+                      Errc &Code);
   bool compilerUsable() const;
   void prefetchWorker();
 

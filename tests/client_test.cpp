@@ -1,0 +1,509 @@
+//===- tests/client_test.cpp - public client API (sl::Session) tests ------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//===----------------------------------------------------------------------===//
+// The facade: request building/validation, the address grammar, kernels
+// served through every backend kind, and -- the satellite contract -- the
+// documented sl::Code for each error path (bad source, unknown ISA,
+// unreachable daemon, daemon killed mid-session) surfacing identically
+// through local and remote backends. Compiler-gated tests prove the
+// local/daemon byte + numeric identity the facade promises.
+//===----------------------------------------------------------------------===//
+
+#include "slingen/client.h"
+
+#include "isa/ISA.h"
+#include "la/Programs.h"
+#include "net/Server.h"
+#include "runtime/Jit.h"
+#include "service/KernelService.h"
+#include "support/Random.h"
+
+#include "TestData.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include <stdlib.h>
+
+using namespace slingen;
+using namespace slingen::testdata;
+
+namespace {
+
+/// RAII temporary directory (socket files, cache dirs).
+struct TempDir {
+  TempDir() {
+    char Tmpl[] = "/tmp/slingen_client_XXXXXX";
+    Path = mkdtemp(Tmpl);
+  }
+  ~TempDir() {
+    std::error_code Ec;
+    std::filesystem::remove_all(Path, Ec);
+  }
+  std::string Path;
+};
+
+/// A daemon over a temp Unix socket plus its backing service.
+struct TestDaemon {
+  explicit TestDaemon(service::ServiceConfig SC = {}) : Svc(std::move(SC)) {
+    net::ServerConfig NC;
+    NC.UnixPath = Dir.Path + "/sld.sock";
+    Srv.emplace(Svc, NC);
+    std::string Err;
+    Ok = Srv->start(Err);
+    if (!Ok)
+      ADD_FAILURE() << "server start failed: " << Err;
+  }
+
+  TempDir Dir;
+  service::KernelService Svc;
+  std::optional<net::Server> Srv;
+  bool Ok = false;
+};
+
+/// Session options for a deterministic, compiler-independent local service.
+sl::SessionConfig noCompiler() {
+  sl::SessionConfig C;
+  C.ServiceOptions.emplace_back("use-compiler", "0");
+  return C;
+}
+
+sl::Result<sl::Request> potrfRequest(const std::string &Func,
+                                     const char *Isa = "scalar", int N = 8) {
+  return sl::RequestBuilder()
+      .source(la::potrfSource(N))
+      .name(Func)
+      .isa(Isa)
+      .build();
+}
+
+//===----------------------------------------------------------------------===//
+// Status / Result / RequestBuilder
+//===----------------------------------------------------------------------===//
+
+TEST(ClientStatus, CodesNameStablyAndStatusFormats) {
+  EXPECT_STREQ(sl::codeName(sl::Code::ParseError), "parse-error");
+  EXPECT_STREQ(sl::codeName(sl::Code::ConnectFailed), "connect-failed");
+  sl::Status Ok = sl::Status::success();
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_EQ(Ok.str(), "ok");
+  sl::Status Bad = sl::Status::failure(sl::Code::NoCompiler, "nope");
+  EXPECT_FALSE(Bad);
+  EXPECT_EQ(Bad.code(), sl::Code::NoCompiler);
+  EXPECT_EQ(Bad.str(), "no-compiler: nope");
+}
+
+TEST(ClientBuilder, ValidRequestCarriesCanonicalOptions) {
+  auto R = sl::RequestBuilder()
+               .source("Mat A(4,4) <In>;\n")
+               .name("bld_ok")
+               .isa("sse2")
+               .option("unroll-k", "3")
+               .batched()
+               .strategy("fused")
+               .threads(2)
+               .measure()
+               .build();
+  ASSERT_TRUE(R) << R.message();
+  EXPECT_EQ(R->functionName(), "bld_ok");
+  EXPECT_NE(R->optionsText().find("isa=sse2"), std::string::npos);
+  EXPECT_NE(R->optionsText().find("unroll-k=3"), std::string::npos);
+  EXPECT_TRUE(R->batched());
+  EXPECT_EQ(R->strategy(), "fused");
+  EXPECT_EQ(R->threads(), 2);
+  EXPECT_EQ(R->measure(), 1);
+}
+
+TEST(ClientBuilder, InvalidRequestsAreRejectedAtBuild) {
+  // No source at all.
+  auto NoSource = sl::RequestBuilder().name("x").build();
+  EXPECT_EQ(NoSource.code(), sl::Code::InvalidRequest);
+
+  // Unknown ISA: the satellite's "unknown ISA" error path. Caught at
+  // build() -- before any backend -- so local and remote sessions see the
+  // exact same code by construction.
+  auto BadIsa =
+      sl::RequestBuilder().source("Mat A(4,4) <In>;\n").isa("vax11").build();
+  EXPECT_EQ(BadIsa.code(), sl::Code::InvalidRequest);
+  EXPECT_NE(BadIsa.message().find("unknown ISA"), std::string::npos);
+
+  auto BadOption = sl::RequestBuilder()
+                       .source("Mat A(4,4) <In>;\n")
+                       .option("no-such-knob", "1")
+                       .build();
+  EXPECT_EQ(BadOption.code(), sl::Code::InvalidRequest);
+
+  auto BadStrategy = sl::RequestBuilder()
+                         .source("Mat A(4,4) <In>;\n")
+                         .batched()
+                         .strategy("bogus")
+                         .build();
+  EXPECT_EQ(BadStrategy.code(), sl::Code::InvalidRequest);
+
+  auto StrategyNoBatch = sl::RequestBuilder()
+                             .source("Mat A(4,4) <In>;\n")
+                             .strategy("vec")
+                             .build();
+  EXPECT_EQ(StrategyNoBatch.code(), sl::Code::InvalidRequest);
+
+  auto ThreadsNoBatch =
+      sl::RequestBuilder().source("Mat A(4,4) <In>;\n").threads(4).build();
+  EXPECT_EQ(ThreadsNoBatch.code(), sl::Code::InvalidRequest);
+
+  auto MissingFile =
+      sl::RequestBuilder().sourceFile("/nonexistent/input.la").build();
+  EXPECT_EQ(MissingFile.code(), sl::Code::InvalidRequest);
+}
+
+TEST(ClientSession, AddressGrammarIsValidated) {
+  auto Empty = sl::Session::open("");
+  EXPECT_EQ(Empty.code(), sl::Code::InvalidRequest);
+  auto BareAuto = sl::Session::open("auto:");
+  EXPECT_EQ(BareAuto.code(), sl::Code::InvalidRequest);
+  auto BadServiceKey = [] {
+    sl::SessionConfig C;
+    C.ServiceOptions.emplace_back("no-such-option", "1");
+    return sl::Session::open("local:", C);
+  }();
+  EXPECT_EQ(BadServiceKey.code(), sl::Code::InvalidRequest);
+}
+
+//===----------------------------------------------------------------------===//
+// Local backend
+//===----------------------------------------------------------------------===//
+
+TEST(ClientLocal, ServesKernelWithProvenance) {
+  auto S = sl::Session::open("local:", noCompiler());
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->backend(), sl::Session::BackendKind::Local);
+  EXPECT_TRUE(S->ping());
+
+  auto R = potrfRequest("cl_local");
+  ASSERT_TRUE(R) << R.message();
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  EXPECT_TRUE(K->valid());
+  EXPECT_EQ(K->origin(), sl::Kernel::Origin::Local);
+  EXPECT_EQ(K->functionName(), "cl_local");
+  EXPECT_EQ(K->isa(), "scalar");
+  EXPECT_EQ(K->key().size(), 16u);
+  EXPECT_EQ(K->numParams(), 2);
+  EXPECT_NE(K->cSource().find("void cl_local("), std::string::npos);
+
+  // use-compiler=0: a source-only kernel answers call() with NoCompiler.
+  EXPECT_FALSE(K->callable());
+  double Dummy = 0.0;
+  double *Bufs[2] = {&Dummy, &Dummy};
+  EXPECT_EQ(K->call(Bufs).code(), sl::Code::NoCompiler);
+
+  // A second get is a cache hit on the same service.
+  ASSERT_TRUE(S->get(*R));
+  auto Stats = S->stats();
+  ASSERT_TRUE(Stats) << Stats.message();
+  EXPECT_NE(Stats->find("mem-hits=1"), std::string::npos) << *Stats;
+  EXPECT_NE(Stats->find("generations=1"), std::string::npos) << *Stats;
+}
+
+TEST(ClientLocal, LocalCacheDirAddressPersistsAcrossSessions) {
+  TempDir Dir;
+  std::string Key;
+  {
+    auto S = sl::Session::open("local:" + Dir.Path, noCompiler());
+    ASSERT_TRUE(S) << S.message();
+    auto R = potrfRequest("cl_disk");
+    auto K = S->get(*R);
+    ASSERT_TRUE(K) << K.message();
+    Key = K->key();
+  }
+  // A fresh session over the same tier serves from disk, not generation.
+  auto S2 = sl::Session::open("local:" + Dir.Path, noCompiler());
+  ASSERT_TRUE(S2) << S2.message();
+  auto R = potrfRequest("cl_disk");
+  auto K2 = S2->get(*R);
+  ASSERT_TRUE(K2) << K2.message();
+  EXPECT_EQ(K2->key(), Key);
+  auto Stats = S2->stats();
+  ASSERT_TRUE(Stats);
+  EXPECT_NE(Stats->find("disk-hits=1"), std::string::npos) << *Stats;
+  EXPECT_NE(Stats->find("generations=0"), std::string::npos) << *Stats;
+}
+
+TEST(ClientLocal, BadSourceIsParseError) {
+  auto S = sl::Session::open("local:", noCompiler());
+  ASSERT_TRUE(S);
+  auto R = sl::RequestBuilder().source("Mat A(8, 8) <In;\n").build();
+  ASSERT_TRUE(R) << "builder does not parse LA; the backend does";
+  auto K = S->get(*R);
+  EXPECT_FALSE(K);
+  EXPECT_EQ(K.code(), sl::Code::ParseError);
+  EXPECT_NE(K.message().find("parse error"), std::string::npos);
+}
+
+TEST(ClientLocal, WarmThenGetIsAWarmHit) {
+  auto S = sl::Session::open("local:", noCompiler());
+  ASSERT_TRUE(S);
+  auto R = potrfRequest("cl_warm");
+  ASSERT_TRUE(S->warm(*R));
+  ASSERT_TRUE(S->drain());
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  auto Stats = S->stats();
+  ASSERT_TRUE(Stats);
+  EXPECT_NE(Stats->find("prefetches=1"), std::string::npos) << *Stats;
+  EXPECT_NE(Stats->find("generations=1"), std::string::npos) << *Stats;
+  EXPECT_NE(Stats->find("mem-hits=1"), std::string::npos) << *Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Remote backend
+//===----------------------------------------------------------------------===//
+
+TEST(ClientRemote, ServesKernelOverSocketWithSameKeyAsLocal) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+
+  auto S = sl::Session::open(D.Srv->unixPath());
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->backend(), sl::Session::BackendKind::Remote);
+  EXPECT_TRUE(S->ping());
+
+  auto R = potrfRequest("cl_remote");
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  EXPECT_EQ(K->origin(), sl::Kernel::Origin::Remote);
+  EXPECT_EQ(K->functionName(), "cl_remote");
+  EXPECT_FALSE(K->callable()); // daemon has no compiler
+
+  // The same request through a local session addresses the same cache
+  // identity -- the facade's "one request, one key" promise.
+  auto L = sl::Session::open("local:", noCompiler());
+  ASSERT_TRUE(L);
+  auto KL = L->get(*R);
+  ASSERT_TRUE(KL) << KL.message();
+  EXPECT_EQ(KL->key(), K->key());
+  EXPECT_EQ(KL->cSource(), K->cSource());
+
+  // Daemon-side stats flow through the same accessor.
+  auto Stats = S->stats();
+  ASSERT_TRUE(Stats) << Stats.message();
+  EXPECT_NE(Stats->find("generations=1"), std::string::npos) << *Stats;
+}
+
+TEST(ClientRemote, BadSourceIsParseErrorThroughTheWire) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open(D.Srv->unixPath());
+  ASSERT_TRUE(S) << S.message();
+
+  // The documented code survives the ERR payload round trip.
+  auto R = sl::RequestBuilder().source("Mat A(8, 8) <In;\n").build();
+  auto K = S->get(*R);
+  EXPECT_FALSE(K);
+  EXPECT_EQ(K.code(), sl::Code::ParseError);
+  EXPECT_NE(K.message().find("parse error"), std::string::npos);
+
+  // And the session survives the error: the next request serves.
+  auto Good = potrfRequest("cl_after_err");
+  EXPECT_TRUE(S->get(*Good));
+}
+
+TEST(ClientRemote, UnreachableDaemonIsConnectFailed) {
+  TempDir Dir;
+  auto S = sl::Session::open("unix:" + Dir.Path + "/nobody-home.sock");
+  EXPECT_FALSE(S);
+  EXPECT_EQ(S.code(), sl::Code::ConnectFailed);
+}
+
+TEST(ClientRemote, DaemonKilledMidSessionIsTransportError) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open(D.Srv->unixPath());
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_TRUE(S->ping());
+
+  // Kill the daemon under the live session: the established connection
+  // dies, the reconnect fails, and the surviving code says "mid-flight
+  // death", not "never reachable".
+  D.Srv->stop();
+  auto R = potrfRequest("cl_killed");
+  auto K = S->get(*R);
+  EXPECT_FALSE(K);
+  EXPECT_EQ(K.code(), sl::Code::TransportError) << K.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Fallback backend (auto:)
+//===----------------------------------------------------------------------===//
+
+TEST(ClientFallback, PrefersDaemonThenDegradesOnTransportFailure) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+
+  auto S = sl::Session::open("auto:" + D.Srv->unixPath(), noCompiler());
+  ASSERT_TRUE(S) << S.message();
+  EXPECT_EQ(S->backend(), sl::Session::BackendKind::Fallback);
+
+  auto R = potrfRequest("cl_fb");
+  auto K1 = S->get(*R);
+  ASSERT_TRUE(K1) << K1.message();
+  EXPECT_EQ(K1->origin(), sl::Kernel::Origin::Remote);
+
+  // Daemon gone: the same session serves the same request locally, same
+  // key, no error surfaced to the caller.
+  D.Srv->stop();
+  auto K2 = S->get(*R);
+  ASSERT_TRUE(K2) << K2.message();
+  EXPECT_EQ(K2->origin(), sl::Kernel::Origin::Local);
+  EXPECT_EQ(K2->key(), K1->key());
+  EXPECT_EQ(K2->cSource(), K1->cSource());
+}
+
+TEST(ClientFallback, DaemonVerdictsDoNotFallBack) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open("auto:" + D.Srv->unixPath(), noCompiler());
+  ASSERT_TRUE(S);
+
+  // A parse error is the daemon's verdict on the request; re-running it
+  // locally would only repeat it, so the fallback must not.
+  auto Bad = sl::RequestBuilder().source("Mat A(8, 8) <In;\n").build();
+  auto K = S->get(*Bad);
+  EXPECT_FALSE(K);
+  EXPECT_EQ(K.code(), sl::Code::ParseError);
+  service::ServiceStats St = D.Svc.stats();
+  EXPECT_EQ(St.Errors, 1) << "the daemon, not a local fallback, answered";
+}
+
+TEST(ClientFallback, NoDaemonAtAllServesLocallyFromOpen) {
+  TempDir Dir;
+  auto S = sl::Session::open("auto:" + Dir.Path + "/never-there.sock",
+                             noCompiler());
+  ASSERT_TRUE(S) << S.message();
+  auto R = potrfRequest("cl_fb_cold");
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  EXPECT_EQ(K->origin(), sl::Kernel::Origin::Local);
+}
+
+//===----------------------------------------------------------------------===//
+// Local/daemon identity (the acceptance bar) -- compiler-gated
+//===----------------------------------------------------------------------===//
+
+TEST(ClientIdentity, LocalAndDaemonServeBitIdenticalKernels) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  TempDir LocalDir, RemoteDir;
+  const int N = 8;
+
+  auto R = potrfRequest("cl_ident", hostIsa().Name, N);
+  ASSERT_TRUE(R) << R.message();
+
+  // Local: an in-process service with a disk tier (so the object is
+  // compiled under the same portable flag set the daemon uses).
+  auto LS = sl::Session::open("local:" + LocalDir.Path);
+  ASSERT_TRUE(LS) << LS.message();
+  auto LK = LS->get(*R);
+  ASSERT_TRUE(LK) << LK.message();
+  ASSERT_TRUE(LK->callable());
+
+  // Remote: the same request through a daemon with its own tier.
+  service::ServiceConfig SC;
+  SC.CacheDir = RemoteDir.Path;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  auto RS = sl::Session::open(D.Srv->unixPath());
+  ASSERT_TRUE(RS) << RS.message();
+  auto RK = RS->get(*R);
+  ASSERT_TRUE(RK) << RK.message();
+  ASSERT_TRUE(RK->callable());
+
+  // Identical provenance, identical emitted C, and -- the facade's
+  // acceptance bar -- bit-identical compiled kernel bytes.
+  EXPECT_EQ(LK->key(), RK->key());
+  EXPECT_EQ(LK->cSource(), RK->cSource());
+  ASSERT_FALSE(LK->objectBytes().empty());
+  EXPECT_EQ(LK->objectBytes(), RK->objectBytes())
+      << "local JIT and daemon-shipped objects must match byte for byte";
+
+  // And identical numerics, bit for bit.
+  if (LK->hostRunnable()) {
+    Rng Rand(17);
+    std::vector<double> In = spd(N, Rand), InCopy = In;
+    std::vector<double> XL(N * N, 0.0), XR(N * N, 0.0);
+    double *LB[2] = {In.data(), XL.data()};
+    double *RB[2] = {InCopy.data(), XR.data()};
+    ASSERT_TRUE(LK->call(LB));
+    ASSERT_TRUE(RK->call(RB));
+    EXPECT_EQ(XL, XR);
+    double Nonzero = 0.0;
+    for (double V : XR)
+      Nonzero += std::fabs(V);
+    EXPECT_GT(Nonzero, 0.0);
+  }
+
+  // Typed misuse: batched dispatch on a non-batched kernel is an
+  // InvalidRequest, identically for both origins.
+  std::vector<double> B1(N * N, 1.0), B2(N * N, 1.0);
+  double *Bufs[2] = {B1.data(), B2.data()};
+  EXPECT_EQ(LK->callBatch(2, Bufs).code(), sl::Code::InvalidRequest);
+  EXPECT_EQ(RK->callBatch(2, Bufs).code(), sl::Code::InvalidRequest);
+}
+
+TEST(ClientIdentity, BatchedKernelDispatchesThroughFacade) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const int N = 4, Count = 5;
+
+  auto R = sl::RequestBuilder()
+               .source(la::potrfSource(N))
+               .name("cl_batch")
+               .isa(hostIsa().Name)
+               .batched()
+               .strategy("loop")
+               .build();
+  ASSERT_TRUE(R) << R.message();
+
+  auto S = sl::Session::open("local:");
+  ASSERT_TRUE(S) << S.message();
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  ASSERT_TRUE(K->batched());
+  EXPECT_EQ(K->strategy(), "loop");
+  if (!K->hostRunnable())
+    GTEST_SKIP() << "host cannot run " << K->isa();
+
+  // Batch of SPD instances; results must match per-instance single calls.
+  Rng Rand(23);
+  std::vector<double> ABatch, ASingle;
+  for (int B = 0; B < Count; ++B) {
+    std::vector<double> A = spd(N, Rand);
+    ABatch.insert(ABatch.end(), A.begin(), A.end());
+    ASingle.insert(ASingle.end(), A.begin(), A.end());
+  }
+  std::vector<double> XBatch(static_cast<size_t>(Count) * N * N, 0.0),
+      XSingle(static_cast<size_t>(Count) * N * N, 0.0);
+  double *BatchBufs[2] = {ABatch.data(), XBatch.data()};
+  ASSERT_TRUE(K->callBatch(Count, BatchBufs));
+  for (int B = 0; B < Count; ++B) {
+    double *Bufs[2] = {ASingle.data() + static_cast<size_t>(B) * N * N,
+                       XSingle.data() + static_cast<size_t>(B) * N * N};
+    ASSERT_TRUE(K->call(Bufs));
+  }
+  EXPECT_EQ(XBatch, XSingle);
+}
+
+} // namespace

@@ -395,6 +395,29 @@ TEST(Protocol, ServiceConfigSerializationRoundTrips) {
   EXPECT_FALSE(service::applyServiceConfigOption(D, "nope", "1", Err));
 }
 
+TEST(Protocol, ErrorPayloadRoundTripsTheCode) {
+  std::string Payload =
+      encodeErrorPayload(service::Errc::ParseError, "parse error: line 3");
+  std::optional<service::Errc> Code;
+  std::string Msg;
+  decodeErrorPayload(Payload, Code, Msg);
+  ASSERT_TRUE(Code.has_value());
+  EXPECT_EQ(*Code, service::Errc::ParseError);
+  EXPECT_EQ(Msg, "parse error: line 3");
+
+  // A message that merely *looks* prefixed must not decode as a code, and
+  // untagged payloads (pre-code daemons) survive as plain messages.
+  decodeErrorPayload("parse error: not a token", Code, Msg);
+  EXPECT_FALSE(Code.has_value());
+  EXPECT_EQ(Msg, "parse error: not a token");
+  decodeErrorPayload("no separator here", Code, Msg);
+  EXPECT_FALSE(Code.has_value());
+  // An ERR frame claiming success is nonsense; "ok" must not decode.
+  decodeErrorPayload("ok: all good", Code, Msg);
+  EXPECT_FALSE(Code.has_value());
+  EXPECT_EQ(Msg, "ok: all good");
+}
+
 TEST(Protocol, ParseAddrForms) {
   ParsedAddr P;
   std::string Err;
@@ -790,6 +813,43 @@ TEST(SldServer, RemoteBatchedFusedMatchesLocalByteForByte) {
   ASSERT_TRUE(K) << Err;
   EXPECT_TRUE(K->hasBatchEntry());
   EXPECT_TRUE(K->hasBatchSpan());
+}
+
+// The structured error categories Client::get surfaces: a daemon-side
+// generation/parse failure (Daemon + its Errc), a malformed request
+// (Daemon + invalid-request), and a hung-up daemon (Transport) -- the
+// distinction the facade's fallback backend retries on.
+TEST(SldServer, ClientSurfacesStructuredErrorCategories) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  Client C = D.client();
+
+  // Daemon verdict: the LA source does not parse.
+  Request Bad;
+  Bad.LaSource = "Mat A(8, 8) <In;";
+  ArtifactMsg A;
+  ClientError E;
+  ASSERT_FALSE(C.get(Bad, A, E));
+  EXPECT_EQ(E.Category, ErrorCategory::Daemon);
+  ASSERT_TRUE(E.Code.has_value());
+  EXPECT_EQ(*E.Code, service::Errc::ParseError);
+  EXPECT_NE(E.Message.find("parse error"), std::string::npos);
+
+  // Daemon validation: an unknown strategy name in the request.
+  Request BadStrategy = potrfRequest("net_cat", scalarIsa());
+  BadStrategy.StrategyName = "bogus";
+  ASSERT_FALSE(C.get(BadStrategy, A, E));
+  EXPECT_EQ(E.Category, ErrorCategory::Daemon);
+  ASSERT_TRUE(E.Code.has_value());
+  EXPECT_EQ(*E.Code, service::Errc::InvalidRequest);
+
+  // Transport: the daemon dies under the connection.
+  D.Srv->stop();
+  ASSERT_FALSE(C.get(potrfRequest("net_cat", scalarIsa()), A, E));
+  EXPECT_EQ(E.Category, ErrorCategory::Transport);
+  EXPECT_FALSE(E.Code.has_value());
 }
 
 TEST(SldServer, StopDisconnectsClientsAndUnlinksSocket) {

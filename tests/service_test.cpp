@@ -303,6 +303,56 @@ TEST(ServiceCache, DiskBudgetEvictsOldestEntriesFirst) {
   EXPECT_TRUE(Cache.onDisk("22cccccccccccccc"));
 }
 
+// Incremental accounting: the tier is scanned exactly once -- the first
+// budget enforcement -- and every later store/evict updates the running
+// byte total in place, so GC on a warm cache touches only the entry being
+// stored and the files it evicts (the ROADMAP's O(evicted)-per-store
+// item), while eviction order and the KeepKey guarantee are unchanged.
+TEST(ServiceCache, DiskBudgetAccountingIsIncremental) {
+  TempDir Dir;
+  KernelCache Cache(4, Dir.Path);
+  auto MakeEntry = [&](const std::string &Key) {
+    KernelArtifact A;
+    A.Key = Key;
+    A.FuncName = "f";
+    A.IsaName = "avx";
+    A.NumParams = 1;
+    A.CSource = std::string(1024, 'x');
+    std::string Err;
+    ASSERT_TRUE(Cache.storeToDisk(A, Err)) << Err;
+  };
+
+  MakeEntry("00aaaaaaaaaaaaaa");
+  EXPECT_EQ(Cache.diskScans(), 0u) << "no budget enforced yet";
+
+  // First enforcement: the one and only full scan. Budget of 1 byte, but
+  // the just-stored key is protected -- nothing else exists to evict.
+  EXPECT_EQ(Cache.enforceDiskBudget(1, "00aaaaaaaaaaaaaa"), 0u);
+  EXPECT_EQ(Cache.diskScans(), 1u);
+  EXPECT_TRUE(Cache.onDisk("00aaaaaaaaaaaaaa"));
+
+  // Stores on the warm cache: each enforcement evicts the older entry
+  // without ever rescanning the tier.
+  MakeEntry("11bbbbbbbbbbbbbb");
+  EXPECT_EQ(Cache.enforceDiskBudget(1, "11bbbbbbbbbbbbbb"), 1u);
+  EXPECT_EQ(Cache.diskScans(), 1u) << "a store must not rescan the tier";
+  EXPECT_FALSE(Cache.onDisk("00aaaaaaaaaaaaaa"));
+  EXPECT_TRUE(Cache.onDisk("11bbbbbbbbbbbbbb"));
+
+  MakeEntry("22cccccccccccccc");
+  EXPECT_EQ(Cache.enforceDiskBudget(1, "22cccccccccccccc"), 1u);
+  EXPECT_EQ(Cache.diskScans(), 1u);
+  EXPECT_FALSE(Cache.onDisk("11bbbbbbbbbbbbbb"));
+  EXPECT_TRUE(Cache.onDisk("22cccccccccccccc"));
+
+  // Under budget: no-op, and still no rescan. A re-store of an existing
+  // key replaces its accounting instead of double-counting.
+  MakeEntry("22cccccccccccccc");
+  EXPECT_EQ(Cache.enforceDiskBudget(1 << 20, "22cccccccccccccc"), 0u);
+  EXPECT_EQ(Cache.diskScans(), 1u);
+  EXPECT_TRUE(Cache.onDisk("22cccccccccccccc"));
+}
+
 // Config-level GC: a service with cache-max-bytes evicts older entries as
 // new ones are stored, never the entry a store just produced, and the
 // memory tier keeps serving what it already loaded.

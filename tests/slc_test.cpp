@@ -7,6 +7,8 @@
 // diagnostics. The binary path is injected by CMake.
 //===----------------------------------------------------------------------===//
 
+#include "runtime/Jit.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -146,6 +148,26 @@ TEST(Slc, MeasureFlagIsAcceptedAndAnnotates) {
   unlink(Path.c_str());
   EXPECT_EQ(R.Status, 0) << R.Out;
   EXPECT_NE(R.Out.find("void potrfm("), std::string::npos);
+}
+
+// slc runs on the sl::Session facade now, so -so-out works locally too
+// (the local backend JIT-compiles and hands the object bytes through the
+// same Kernel accessor a daemon-served request uses).
+TEST(Slc, SoOutWritesLocalJitObject) {
+  if (!slingen::runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  std::string Path = writeLa(PotrfLa);
+  std::string So = "/tmp/slc_test_" + std::to_string(getpid()) + ".so";
+  RunResult R = runSlc("-so-out " + So + " -name potrfso " + Path);
+  unlink(Path.c_str());
+  EXPECT_EQ(R.Status, 0) << R.Out;
+  std::ifstream In(So, std::ios::binary);
+  ASSERT_TRUE(In) << "slc must have written the shared object";
+  char Magic[4] = {};
+  In.read(Magic, 4);
+  EXPECT_EQ(std::string(Magic, 4), std::string("\x7f"
+                                               "ELF"));
+  unlink(So.c_str());
 }
 
 TEST(Slc, SyntaxErrorIsDiagnosed) {

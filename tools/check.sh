@@ -104,6 +104,50 @@ fi
 SLD_PID=""
 [ ! -S "$SLD_SOCK" ] # clean shutdown removes the socket
 
+echo "== client API install smoke =="
+# Export the public API into a scratch prefix, compile the session example
+# *out of tree* against it (public header + static lib only), then serve
+# one request through `local:` and through a live sld daemon: stdout
+# (provenance + numeric checksums) and the saved shared objects must match
+# byte for byte -- the facade's local/remote identity promise.
+INSTALL="$SMOKE_CACHE/install"
+cmake --install "$BUILD" --prefix "$INSTALL" > /dev/null
+test -f "$INSTALL/include/slingen/client.h"
+# GNUInstallDirs puts the archive in lib/ or lib64/ depending on platform.
+LIBSLINGEN=$(find "$INSTALL" -name libslingen.a | head -1)
+test -n "$LIBSLINGEN"
+c++ -std=c++20 -I"$INSTALL/include" "$ROOT/examples/client_session.cpp" \
+  "$LIBSLINGEN" -ldl -lpthread -lm \
+  -o "$SMOKE_CACHE/session_demo"
+SLD2_SOCK="$SMOKE_CACHE/sld2.sock"
+"$BUILD/sld" -socket "$SLD2_SOCK" -cache-dir "$SMOKE_CACHE/sld2_cache" \
+  2> "$SMOKE_CACHE/sld2.log" &
+SLD_PID=$!
+for _ in $(seq 100); do
+  [ -S "$SLD2_SOCK" ] && break
+  kill -0 "$SLD_PID" 2>/dev/null || { cat "$SMOKE_CACHE/sld2.log"; exit 1; }
+  sleep 0.1
+done
+"$SMOKE_CACHE/session_demo" "local:$SMOKE_CACHE/session_cache" \
+  "$ROOT/examples/potrf.la" -so "$SMOKE_CACHE/session_local.so" \
+  > "$SMOKE_CACHE/session_local.out" 2> /dev/null
+"$SMOKE_CACHE/session_demo" "$SLD2_SOCK" \
+  "$ROOT/examples/potrf.la" -so "$SMOKE_CACHE/session_remote.so" \
+  > "$SMOKE_CACHE/session_remote.out" 2> /dev/null
+cmp "$SMOKE_CACHE/session_local.so" "$SMOKE_CACHE/session_remote.so"
+cmp "$SMOKE_CACHE/session_local.out" "$SMOKE_CACHE/session_remote.out"
+grep -q "cache key:" "$SMOKE_CACHE/session_local.out"
+# The fallback address serves even though this daemon is now gone.
+kill "$SLD_PID"
+for _ in $(seq 100); do
+  kill -0 "$SLD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+SLD_PID=""
+"$SMOKE_CACHE/session_demo" "auto:$SLD2_SOCK" "$ROOT/examples/potrf.la" \
+  > "$SMOKE_CACHE/session_auto.out" 2> /dev/null
+grep -q "cache key:" "$SMOKE_CACHE/session_auto.out"
+
 echo "== batch strategy bench smoke =="
 # One (size, count) point; the binary itself skips cleanly when no native
 # compiler or no vector ISA is available, so this passes everywhere.

@@ -4,10 +4,12 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The user-facing generator: reads an LA program, runs the full pipeline,
-// and writes a single-source C function. With -connect it is instead a thin
-// client of a running sld daemon: the daemon generates (or serves from its
-// caches) and ships back the C plus the compiled .so.
+// The user-facing generator, built on the public client API
+// (slingen/client.h): every serving-path request -- cached, measured,
+// batched, or remote -- goes through one sl::Session, whether it resolves
+// to an in-process service (`local:`) or a running sld daemon (-connect).
+// Only the local introspection flags (-variant, -print-variants,
+// -print-basic without a service) drive the Generator pipeline directly.
 //
 //   slc [options] input.la
 //     -o <file>        output C file (default: stdout)
@@ -16,10 +18,10 @@
 //     -variant <n,...> per-HLAC algorithm choice (default: autotune by
 //                      cost model)
 //     -max-variants N  autotuning search budget (default 16)
-//     -measure         rank variants by JIT-compiled timings (KernelService
-//                      measured autotuner; falls back to the cost model
-//                      when no C compiler is available)
-//     -cache-dir <dir> persist/reuse kernels in a KernelService disk cache
+//     -measure         rank variants by JIT-compiled timings (measured
+//                      autotuner; falls back to the cost model when no C
+//                      compiler is available)
+//     -cache-dir <dir> persist/reuse kernels in a disk cache
 //     -batch           also emit the <name>_batch(int count, ...) entry
 //     -batch-strategy  loop | vec | fused | auto (default auto): how the
 //                      batch entry iterates instances
@@ -30,9 +32,8 @@
 //     -service k=v     any ServiceConfig key (local service mode)
 //     -connect <addr>  serve the request from the sld daemon at <addr>
 //                      (a unix socket path, unix:<path>, or host:port)
-//     -so-out <file>   with -connect: also write the compiled shared
-//                      object received from the daemon (dlopen-ready, no
-//                      local C compiler involved)
+//     -so-out <file>   also write the compiled shared object (from the
+//                      daemon with -connect, from the local JIT otherwise)
 //     -warm <file>     queue a prefetch for every .la path listed in
 //                      <file> (one per line, # comments) -- on the daemon
 //                      with -connect, else on a local service (wants
@@ -42,14 +43,15 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "slingen/client.h"
+
 #include "la/Lower.h"
-#include "net/Client.h"
-#include "service/KernelService.h"
 #include "service/Tuner.h"
 #include "slingen/OptionsIO.h"
 #include "slingen/SLinGen.h"
 #include "support/File.h"
 #include "support/Format.h"
+#include "support/KeyValue.h"
 
 #include <cstdio>
 #include <cstring>
@@ -79,7 +81,7 @@ void usage(const char *Argv0) {
           "  -set k=v          set any GenOptions key\n"
           "  -service k=v      set any ServiceConfig key\n"
           "  -connect <addr>   request from the sld daemon at <addr>\n"
-          "  -so-out <file>    with -connect: save the received .so\n"
+          "  -so-out <file>    save the compiled shared object\n"
           "  -warm <file>      prefetch every .la listed in <file>\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
           "  -print-variants   list HLAC variant counts and exit\n",
@@ -143,18 +145,20 @@ int fail(const std::string &Msg) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Input, Output, VariantStr, ConnectAddr, SoOut, WarmFile;
+  std::string Input, Output, VariantStr, ConnectAddr, SoOut, WarmFile,
+      CacheDir, StrategyName;
   bool PrintBasic = false, PrintVariants = false, Batch = false;
-  // Remote requests only override what the user explicitly set, so a bare
+  // Requests only override what the user explicitly set, so a bare
   // `slc -connect` defers strategy/measure/threads policy to the daemon.
-  bool StrategySet = false, MeasureSet = false, NameSet = false,
-       ThreadsSet = false;
-  // Flags that configure a *local* KernelService and do not travel over
-  // the wire; remote modes warn when they were set.
+  bool MeasureSet = false, NameSet = false, ThreadsSet = false;
+  int MaxVariants = 16, BatchThreads = 0;
+  // Flags that configure a *local* service and do not travel over the
+  // wire; remote modes warn when they were set.
   bool LocalServiceFlags = false;
 
-  GenOptions Options;
-  service::ServiceConfig SC;
+  GenOptions Options; // eager flag validation + the legacy pipeline path
+  std::vector<std::pair<std::string, std::string>> GenPairs;
+  sl::SessionConfig ServiceCfg; // `local:` backend knobs, applied in order
   std::string Err;
 
   for (int I = 1; I < argc; ++I) {
@@ -166,15 +170,16 @@ int main(int argc, char **argv) {
       }
       return argv[++I];
     };
-    // Every option flag funnels into the two apply*Option helpers -- the
-    // named flags are spelling sugar for the serialized key set.
+    // Every generator flag funnels into applyGenOption -- the named flags
+    // are spelling sugar for the serialized key set -- and is recorded as
+    // a key=value pair for the request builder.
     auto SetGen = [&](const char *Key, const std::string &Value) {
       if (!applyGenOption(Options, Key, Value, Err))
         exit(fail(Err));
+      GenPairs.emplace_back(Key, Value);
     };
     auto SetService = [&](const std::string &Key, const std::string &Value) {
-      if (!service::applyServiceConfigOption(SC, Key, Value, Err))
-        exit(fail(Err));
+      ServiceCfg.ServiceOptions.emplace_back(Key, Value);
     };
     if (Arg == "-o")
       Output = Next();
@@ -186,27 +191,34 @@ int main(int argc, char **argv) {
     } else if (Arg == "-variant")
       VariantStr = Next();
     else if (Arg == "-max-variants") {
-      SetService("max-variants", Next());
+      std::string N = Next();
+      MaxVariants = atoi(N.c_str());
+      if (MaxVariants <= 0)
+        return fail("-max-variants takes a positive count");
+      SetService("max-variants", N);
       LocalServiceFlags = true;
-    } else if (Arg == "-measure") {
-      SetService("measure", "1");
+    } else if (Arg == "-measure")
       MeasureSet = true;
-    } else if (Arg == "-cache-dir") {
-      SetService("cache-dir", Next());
+    else if (Arg == "-cache-dir") {
+      CacheDir = Next();
+      SetService("cache-dir", CacheDir);
       LocalServiceFlags = true;
     }
     else if (Arg == "-batch")
       Batch = true;
     else if (Arg == "-batch-strategy") {
-      std::string Value = Next();
-      if (!service::applyServiceConfigOption(SC, "strategy", Value, Err)) {
+      StrategyName = Next();
+      if (!batchStrategyByName(StrategyName)) {
         fprintf(stderr,
                 "error: -batch-strategy takes loop, vec, fused, or auto\n");
         return 1;
       }
-      StrategySet = true;
     } else if (Arg == "-batch-threads") {
-      SetService("batch-threads", Next());
+      std::string K = Next();
+      BatchThreads = atoi(K.c_str());
+      if (BatchThreads < 0 || BatchThreads > 1024 ||
+          K.find_first_not_of("0123456789") != std::string::npos)
+        return fail("-batch-threads takes 0 (auto) to 1024");
       ThreadsSet = true;
     } else if (Arg == "-set" || Arg == "-service") {
       std::string KV = Next();
@@ -248,6 +260,50 @@ int main(int argc, char **argv) {
             "warning: -cache-dir/-max-variants/-service configure a local "
             "service and are ignored with -connect (the daemon uses its "
             "own config)\n");
+  if (!StrategyName.empty() && !Batch)
+    fprintf(stderr, "warning: -batch-strategy has no effect without -batch\n");
+  if (ThreadsSet && !Batch)
+    fprintf(stderr, "warning: -batch-threads has no effect without -batch\n");
+
+  /// One request shape for every serving path (warm, local, remote).
+  auto buildRequest = [&](const std::string &Source,
+                          const std::string &DefaultName) {
+    sl::RequestBuilder B;
+    B.source(Source);
+    for (const auto &[Key, Value] : GenPairs)
+      B.option(Key, Value);
+    if (!NameSet)
+      B.name(DefaultName);
+    if (Batch) {
+      B.batched();
+      if (!StrategyName.empty())
+        B.strategy(StrategyName);
+      if (ThreadsSet)
+        B.threads(BatchThreads);
+    }
+    if (MeasureSet)
+      B.measure();
+    B.wantObject(!SoOut.empty());
+    return B.build();
+  };
+
+  /// Resolves the session address: the daemon with -connect, an
+  /// in-process service otherwise. Local sessions only enable the C
+  /// compiler when something needs the object (-measure tuning, a disk
+  /// cache worth persisting, -so-out); a plain `slc foo.la` stays a pure
+  /// source-to-source run exactly as before.
+  auto openSession = [&]() -> sl::Result<sl::Session> {
+    if (!ConnectAddr.empty())
+      return sl::Session::open(ConnectAddr);
+    sl::SessionConfig C;
+    if (!MeasureSet && CacheDir.empty() && SoOut.empty())
+      C.ServiceOptions.emplace_back("use-compiler", "0");
+    if (MeasureSet)
+      C.ServiceOptions.emplace_back("measure", "1");
+    for (const auto &KV : ServiceCfg.ServiceOptions)
+      C.ServiceOptions.push_back(KV); // user -service keys win (applied last)
+    return sl::Session::open("local:", C);
+  };
 
   //===--------------------------------------------------------------------===//
   // Warm mode: queue prefetches for a list of programs, then exit.
@@ -262,19 +318,13 @@ int main(int argc, char **argv) {
       return fail("cannot open warm list " + WarmFile);
     if (Files.empty())
       return fail("warm list " + WarmFile + " names no programs");
+    if (ConnectAddr.empty() && CacheDir.empty())
+      fprintf(stderr, "warning: -warm without -cache-dir or -connect "
+                      "warms a cache that dies with this process\n");
 
-    std::optional<net::Client> Remote;
-    std::optional<service::KernelService> Local;
-    if (!ConnectAddr.empty()) {
-      Remote = net::Client::connect(ConnectAddr, Err);
-      if (!Remote)
-        return fail(Err);
-    } else {
-      if (SC.CacheDir.empty())
-        fprintf(stderr, "warning: -warm without -cache-dir or -connect "
-                        "warms a cache that dies with this process\n");
-      Local.emplace(SC);
-    }
+    auto S = openSession();
+    if (!S)
+      return fail(S.message());
 
     int Failures = 0;
     for (const std::string &File : Files) {
@@ -285,40 +335,36 @@ int main(int argc, char **argv) {
         ++Failures;
         continue;
       }
-      GenOptions O = Options;
-      if (!NameSet)
-        O.FuncName = baseName(File);
-      if (Remote) {
-        net::Request R;
-        R.LaSource = Source;
-        R.OptionsText = serializeGenOptions(O);
-        R.Batched = Batch;
-        if (StrategySet)
-          R.StrategyName = batchStrategyName(SC.Strategy);
-        if (ThreadsSet)
-          R.Threads = SC.BatchThreads;
-        if (MeasureSet)
-          R.MeasureOverride = 1;
-        if (!Remote->warm(R, Err)) {
-          fprintf(stderr, "warm: %s: %s\n", File.c_str(), Err.c_str());
-          ++Failures;
-          continue;
-        }
-      } else {
-        service::RequestOptions Req;
-        Req.Batched = Batch;
-        Local->prefetch(Source, O, Req);
+      auto R = buildRequest(Source, baseName(File));
+      if (!R) {
+        fprintf(stderr, "warm: %s: %s\n", File.c_str(),
+                R.message().c_str());
+        ++Failures;
+        continue;
+      }
+      if (sl::Status St = S->warm(*R); !St) {
+        fprintf(stderr, "warm: %s: %s\n", File.c_str(),
+                St.message().c_str());
+        ++Failures;
+        continue;
       }
       fprintf(stderr, "warm: queued %s\n", File.c_str());
     }
-    if (Local) {
-      Local->drainPrefetches();
-      service::ServiceStats St = Local->stats();
-      fprintf(stderr, "warm: done (%ld generated, %ld already cached, "
-                      "%ld errors)\n",
-              St.Generations, St.DiskHits + St.MemHits, St.Errors);
-      if (St.Errors > 0)
-        return 1;
+    if (S->backend() == sl::Session::BackendKind::Local) {
+      S->drain();
+      if (auto Stats = S->stats()) {
+        auto KV = parseKeyValueMap(*Stats);
+        long Errors = atol(KV["errors"].c_str());
+        fprintf(stderr,
+                "warm: done (%ld generated, %ld already cached, "
+                "%ld errors)\n",
+                atol(KV["generations"].c_str()),
+                atol(KV["disk-hits"].c_str()) +
+                    atol(KV["mem-hits"].c_str()),
+                Errors);
+        if (Errors > 0)
+          return 1;
+      }
     }
     return Failures == 0 ? 0 : 1;
   }
@@ -338,47 +384,56 @@ int main(int argc, char **argv) {
   if (!NameSet && !applyGenOption(Options, "func", baseName(Input), Err))
     return fail(Err);
 
-  //===--------------------------------------------------------------------===//
-  // Remote mode: slc as a thin client of a running sld daemon.
-  //===--------------------------------------------------------------------===//
-  if (!ConnectAddr.empty()) {
-    if (!VariantStr.empty() || PrintVariants || PrintBasic)
+  // Introspection flags run the Generator pipeline directly: explicit
+  // variant choices and Stage-1/variant listings are about *this
+  // process's* generation, not a served artifact.
+  bool Legacy = ConnectAddr.empty() &&
+                (!VariantStr.empty() || PrintVariants ||
+                 (PrintBasic && !MeasureSet && CacheDir.empty() &&
+                  SoOut.empty()));
+
+  if (!Legacy) {
+    //===------------------------------------------------------------------===//
+    // Serving path: one sl::Session, local or remote.
+    //===------------------------------------------------------------------===//
+    if (!ConnectAddr.empty() &&
+        (!VariantStr.empty() || PrintVariants || PrintBasic))
       fprintf(stderr, "warning: -variant/-print-basic/-print-variants are "
                       "local-only and ignored with -connect\n");
-    auto Remote = net::Client::connect(ConnectAddr, Err);
-    if (!Remote)
-      return fail(Err);
-    net::Request R;
-    R.LaSource = Buf.str();
-    R.OptionsText = serializeGenOptions(Options);
-    R.Batched = Batch;
-    if (StrategySet)
-      R.StrategyName = batchStrategyName(SC.Strategy);
-    if (ThreadsSet)
-      R.Threads = SC.BatchThreads;
-    if (MeasureSet)
-      R.MeasureOverride = 1;
-    R.WantSo = !SoOut.empty();
-    net::ArtifactMsg A;
-    if (!Remote->get(R, A, Err)) {
-      fprintf(stderr, "%s: %s\n", Input.c_str(), Err.c_str());
+
+    auto S = openSession();
+    if (!S)
+      return fail(S.message());
+    auto R = buildRequest(Buf.str(), baseName(Input));
+    if (!R)
+      return fail(R.message());
+    auto K = S->get(*R);
+    if (!K) {
+      fprintf(stderr, "%s: %s\n", Input.c_str(), K.message().c_str());
       return 1;
     }
-    std::string C = headerComment(Input, A.IsaName, A.Key, A.StaticCost,
-                                  A.Measured, A.MeasuredCycles) +
-                    A.CSource;
+    if (PrintBasic && ConnectAddr.empty())
+      fprintf(stderr, "/* -print-basic is unavailable with "
+                      "-measure/-cache-dir (cache hits skip Stage 1) */\n");
+
+    std::string C = headerComment(Input, K->isa(), K->key(),
+                                  K->staticCost(), K->measured(),
+                                  K->measuredCycles()) +
+                    K->cSource();
     if (!SoOut.empty()) {
-      if (A.SoBytes.empty())
-        return fail("daemon served no compiled object (source-only "
+      if (K->objectBytes().empty())
+        return fail("no compiled shared object to save (source-only "
                     "artifact)");
       std::ofstream So(SoOut, std::ios::binary);
-      So.write(A.SoBytes.data(),
-               static_cast<std::streamsize>(A.SoBytes.size()));
+      So.write(K->objectBytes().data(),
+               static_cast<std::streamsize>(K->objectBytes().size()));
       So.close();
       if (!So)
         return fail("cannot write " + SoOut);
-      fprintf(stderr, "%s: %zu-byte shared object from daemon\n",
-              SoOut.c_str(), A.SoBytes.size());
+      fprintf(stderr, "%s: %zu-byte shared object (%s)\n", SoOut.c_str(),
+              K->objectBytes().size(),
+              K->origin() == sl::Kernel::Origin::Remote ? "from daemon"
+                                                        : "local JIT");
     }
     if (Output.empty()) {
       fputs(C.c_str(), stdout);
@@ -391,8 +446,14 @@ int main(int argc, char **argv) {
     return 0;
   }
 
+  //===--------------------------------------------------------------------===//
+  // Legacy pipeline path: explicit variants and introspection.
+  //===--------------------------------------------------------------------===//
   if (!SoOut.empty())
-    return fail("-so-out needs -connect (local runs have a compiler)");
+    return fail("-so-out needs a served artifact and is unavailable with "
+                "-variant/-print-variants");
+  if (!VariantStr.empty() && (MeasureSet || !CacheDir.empty()))
+    fprintf(stderr, "warning: -variant bypasses -measure/-cache-dir\n");
 
   std::string ParseErr;
   auto Program = la::compileLa(Buf.str(), ParseErr);
@@ -401,97 +462,73 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  bool UseService = (SC.Measure || !SC.CacheDir.empty()) &&
-                    VariantStr.empty() && !PrintVariants;
-  if (!VariantStr.empty() && (SC.Measure || !SC.CacheDir.empty()))
-    fprintf(stderr, "warning: -variant bypasses -measure/-cache-dir\n");
-  if (StrategySet && !Batch)
-    fprintf(stderr, "warning: -batch-strategy has no effect without -batch\n");
+  Generator Gen(std::move(*Program), Options);
+  if (!Gen.isValid()) {
+    fprintf(stderr, "%s: %s\n", Input.c_str(), Gen.error().c_str());
+    return 1;
+  }
 
-  std::string C;
-  if (UseService) {
-    // Serving-runtime path: cached across runs (disk tier) and optionally
-    // ranked by measurement instead of the static model. The program is
-    // handed over as-is; the service normalizes it once for the cache key.
-    service::KernelService Service(SC);
-    service::GetResult R = Service.get(std::move(*Program), Options, Batch);
-    if (!R) {
-      fprintf(stderr, "%s: %s\n", Input.c_str(), R.Error.c_str());
-      return 1;
-    }
-    if (PrintBasic)
-      fprintf(stderr, "/* -print-basic is unavailable with "
-                      "-measure/-cache-dir (cache hits skip Stage 1) */\n");
-    C = headerComment(Input, Options.Isa->Name, R->Key, R->StaticCost,
-                      R->Measured, R->MeasuredCycles) +
-        R->CSource;
+  if (PrintVariants) {
+    printf("%d HLAC(s)\n", Gen.hlacCount());
+    for (size_t I = 0; I < Gen.variantCounts().size(); ++I)
+      printf("  hlac %zu: %d variant(s)\n", I, Gen.variantCounts()[I]);
+    return 0;
+  }
+
+  std::optional<GenResult> Result;
+  if (!VariantStr.empty()) {
+    std::vector<int> Choice;
+    std::stringstream VS(VariantStr);
+    std::string Tok;
+    while (std::getline(VS, Tok, ','))
+      Choice.push_back(atoi(Tok.c_str()));
+    Result = Gen.generate(Choice);
   } else {
-    Generator Gen(std::move(*Program), Options);
-    if (!Gen.isValid()) {
-      fprintf(stderr, "%s: %s\n", Input.c_str(), Gen.error().c_str());
-      return 1;
-    }
+    Result = Gen.best(MaxVariants);
+  }
+  if (!Result) {
+    fprintf(stderr, "%s: generation failed (infeasible variant?)\n",
+            Input.c_str());
+    return 1;
+  }
 
-    if (PrintVariants) {
-      printf("%d HLAC(s)\n", Gen.hlacCount());
-      for (size_t I = 0; I < Gen.variantCounts().size(); ++I)
-        printf("  hlac %zu: %d variant(s)\n", I, Gen.variantCounts()[I]);
-      return 0;
-    }
+  if (PrintBasic)
+    fprintf(stderr, "/* Stage 1 basic program:\n%s*/\n",
+            Result->Basic.str().c_str());
 
-    std::optional<GenResult> Result;
-    if (!VariantStr.empty()) {
-      std::vector<int> Choice;
-      std::stringstream VS(VariantStr);
-      std::string Tok;
-      while (std::getline(VS, Tok, ','))
-        Choice.push_back(atoi(Tok.c_str()));
-      Result = Gen.generate(Choice);
-    } else {
-      Result = Gen.best(SC.MaxVariants);
+  std::string C = headerComment(Input, Options.Isa->Name, "", Result->Cost,
+                                false, 0.0);
+  if (!Batch) {
+    C += emitC(*Result);
+  } else {
+    // Without a service there is nothing to measure against, so Auto
+    // resolves by the static cost model alone; the chooser already
+    // produced the winning emission when vec won. (Mirrors the
+    // resolution ladder in the service.)
+    BatchStrategy S = StrategyName.empty()
+                          ? BatchStrategy::Auto
+                          : *batchStrategyByName(StrategyName);
+    if ((S == BatchStrategy::InstanceParallel ||
+         S == BatchStrategy::InstanceParallelFused) &&
+        Options.Isa->Nu < 2) {
+      fprintf(stderr, "warning: -batch-strategy vec/fused needs a vector "
+                      "ISA; emitting the scalar loop\n");
+      S = BatchStrategy::ScalarLoop;
     }
-    if (!Result) {
-      fprintf(stderr, "%s: generation failed (infeasible variant?)\n",
-              Input.c_str());
-      return 1;
+    std::string Emitted;
+    if (S == BatchStrategy::Auto) {
+      service::BatchChoice BC = service::chooseBatchStrategy(
+          *Result, Options, {}, /*AllowCompile=*/false, BatchThreads);
+      S = BC.Strategy;
+      Emitted = std::move(BC.ChosenSource);
     }
-
-    if (PrintBasic)
-      fprintf(stderr, "/* Stage 1 basic program:\n%s*/\n",
-              Result->Basic.str().c_str());
-
-    C = headerComment(Input, Options.Isa->Name, "", Result->Cost, false,
-                      0.0);
-    if (!Batch) {
-      C += emitC(*Result);
-    } else {
-      // Without the service there is nothing to measure against, so Auto
-      // resolves by the static cost model alone; the chooser already
-      // produced the winning emission when vec won. (Mirrors the
-      // resolution ladder in KernelService::produce.)
-      BatchStrategy S = SC.Strategy;
-      if ((S == BatchStrategy::InstanceParallel ||
-           S == BatchStrategy::InstanceParallelFused) &&
-          Options.Isa->Nu < 2) {
-        fprintf(stderr, "warning: -batch-strategy vec/fused needs a vector "
-                        "ISA; emitting the scalar loop\n");
-        S = BatchStrategy::ScalarLoop;
-      }
-      std::string Emitted;
-      if (S == BatchStrategy::Auto) {
-        service::BatchChoice BC = service::chooseBatchStrategy(
-            *Result, Options, {}, /*AllowCompile=*/false, SC.BatchThreads);
-        S = BC.Strategy;
-        Emitted = std::move(BC.ChosenSource);
-      }
-      if (S == BatchStrategy::InstanceParallelFused && Emitted.empty())
-        Emitted = emitBatchedVectorFusedC(*Result, &Options);
-      else if (S == BatchStrategy::InstanceParallel && Emitted.empty())
-        Emitted = emitBatchedVectorC(*Result, &Options);
-      else if (Emitted.empty())
-        Emitted = emitBatchedC(*Result);
-      C += Emitted;
-    }
+    if (S == BatchStrategy::InstanceParallelFused && Emitted.empty())
+      Emitted = emitBatchedVectorFusedC(*Result, &Options);
+    else if (S == BatchStrategy::InstanceParallel && Emitted.empty())
+      Emitted = emitBatchedVectorC(*Result, &Options);
+    else if (Emitted.empty())
+      Emitted = emitBatchedC(*Result);
+    C += Emitted;
   }
 
   if (Output.empty()) {

@@ -27,8 +27,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+// sld is the *server* half of the system: it owns a KernelService and the
+// socket front end. net/Server.h deliberately carries the service types --
+// clients (slc, examples, out-of-tree users) go through slingen/client.h
+// instead and never touch these headers.
 #include "net/Server.h"
-#include "service/KernelService.h"
 #include "support/Format.h"
 
 #include <csignal>
