@@ -1,0 +1,278 @@
+//===- bench/serve_load.cpp - serving-stack load generator ----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives a live sld daemon with K concurrent clients over a mixed kernel
+// set and reports request-latency percentiles straight from the
+// observability layer's histogram, plus hit rates diffed from the daemon's
+// own STATS counters. Two passes through the same kernel set in one
+// process -- cold (the daemon has never seen these kernels: every request
+// generates or joins a generation) and warm (every request is a cache
+// hit) -- so the output makes the cache's latency cliff visible as data.
+//
+//   serve_load -connect <addr> [options]
+//     -connect <addr>   the daemon (unix:<path> / host:port) -- required
+//     -clients <k>      concurrent client threads        (default 4)
+//     -requests <n>     requests per client per pass     (default 8)
+//     -sizes <n,n,...>  potrf sizes forming the kernel set (default 4,6,8)
+//     -out <file>       JSON output path (default BENCH_serve.json)
+//
+// Unlike the figure benchmarks this is not a google-benchmark binary: the
+// subject is the serving stack's latency distribution under concurrency,
+// not a kernel's cycle count, and the histogram registry being measured
+// is also the measuring instrument (the point of the exercise).
+//
+//===----------------------------------------------------------------------===//
+
+#include "slingen/client.h"
+
+#include "la/Programs.h"
+#include "obs/Metrics.h"
+#include "support/Format.h"
+#include "support/KeyValue.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace slingen;
+
+namespace {
+
+struct HitCounts {
+  long MemHits = 0, DiskHits = 0, Misses = 0, FlightJoins = 0;
+};
+
+/// The daemon's cumulative counters, for before/after diffing.
+bool readCounts(sl::Session &S, HitCounts &C, std::string &Err) {
+  auto Stats = S.stats();
+  if (!Stats) {
+    Err = Stats.message();
+    return false;
+  }
+  auto KV = parseKeyValueMap(*Stats);
+  C.MemHits = atol(KV["mem-hits"].c_str());
+  C.DiskHits = atol(KV["disk-hits"].c_str());
+  C.Misses = atol(KV["misses"].c_str());
+  C.FlightJoins = atol(KV["flight-joins"].c_str());
+  return true;
+}
+
+struct PassResult {
+  obs::Histogram::Snapshot Latency;
+  HitCounts Delta;
+  long Failures = 0;
+};
+
+/// One pass: \p Clients threads, each with its own session, each issuing
+/// \p Requests gets round-robin over \p Sources. Latencies land in one
+/// shared histogram (concurrent recording is the histogram's contract).
+bool runPass(const std::string &Addr, const std::vector<std::string> &Sources,
+             int Clients, int Requests, PassResult &Out, std::string &Err) {
+  auto StatsSession = sl::Session::open(Addr);
+  if (!StatsSession) {
+    Err = StatsSession.message();
+    return false;
+  }
+  HitCounts Before;
+  if (!readCounts(*StatsSession, Before, Err))
+    return false;
+
+  obs::Histogram Latency;
+  std::atomic<long> Failures{0};
+  std::atomic<bool> Fatal{false};
+  std::string FirstErr;
+  std::mutex ErrMu;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<size_t>(Clients));
+  for (int T = 0; T < Clients; ++T) {
+    Threads.emplace_back([&, T] {
+      auto S = sl::Session::open(Addr);
+      if (!S) {
+        std::lock_guard<std::mutex> L(ErrMu);
+        if (FirstErr.empty())
+          FirstErr = S.message();
+        Fatal = true;
+        return;
+      }
+      for (int I = 0; I < Requests; ++I) {
+        // Staggered start positions spread the clients over the kernel
+        // set, so cold-pass generations overlap and the single-flight
+        // path gets exercised (several clients wanting the same kernel).
+        const std::string &Src =
+            Sources[static_cast<size_t>(T + I) % Sources.size()];
+        auto R = sl::RequestBuilder()
+                     .source(Src)
+                     .name(formatf("load_k%zu",
+                                   static_cast<size_t>(T + I) %
+                                       Sources.size()))
+                     .wantObject(false)
+                     .build();
+        if (!R) {
+          Failures.fetch_add(1);
+          continue;
+        }
+        long Start = obs::nowUs();
+        auto K = S->get(*R);
+        Latency.record(obs::nowUs() - Start);
+        if (!K)
+          Failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  if (Fatal) {
+    Err = FirstErr;
+    return false;
+  }
+
+  HitCounts After;
+  if (!readCounts(*StatsSession, After, Err))
+    return false;
+  Out.Latency = Latency.snapshot();
+  Out.Delta.MemHits = After.MemHits - Before.MemHits;
+  Out.Delta.DiskHits = After.DiskHits - Before.DiskHits;
+  Out.Delta.Misses = After.Misses - Before.Misses;
+  Out.Delta.FlightJoins = After.FlightJoins - Before.FlightJoins;
+  Out.Failures = Failures.load();
+  return true;
+}
+
+std::string passJson(const char *Name, const PassResult &P) {
+  const obs::Histogram::Snapshot &L = P.Latency;
+  long Served = P.Delta.MemHits + P.Delta.DiskHits + P.Delta.Misses;
+  double HitRate =
+      Served > 0
+          ? static_cast<double>(P.Delta.MemHits + P.Delta.DiskHits) / Served
+          : 0.0;
+  std::ostringstream SS;
+  SS << "    {\"pass\": \"" << Name << "\", \"count\": " << L.Count
+     << ", \"failures\": " << P.Failures
+     << ",\n     \"p50_us\": " << static_cast<long>(L.p50())
+     << ", \"p90_us\": " << static_cast<long>(L.p90())
+     << ", \"p99_us\": " << static_cast<long>(L.p99())
+     << ", \"min_us\": " << L.Min << ", \"max_us\": " << L.Max
+     << ", \"mean_us\": " << static_cast<long>(L.mean())
+     << ",\n     \"mem_hits\": " << P.Delta.MemHits
+     << ", \"disk_hits\": " << P.Delta.DiskHits
+     << ", \"misses\": " << P.Delta.Misses
+     << ", \"flight_joins\": " << P.Delta.FlightJoins
+     << ", \"hit_rate\": " << formatf("%.3f", HitRate) << "}";
+  return SS.str();
+}
+
+int fail(const std::string &Msg) {
+  fprintf(stderr, "serve_load: %s\n", Msg.c_str());
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Addr, Out = "BENCH_serve.json", SizesStr = "4,6,8";
+  int Clients = 4, Requests = 8;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        fprintf(stderr, "serve_load: %s needs a value\n", Arg.c_str());
+        exit(1);
+      }
+      return argv[++I];
+    };
+    if (Arg == "-connect")
+      Addr = Next();
+    else if (Arg == "-clients")
+      Clients = atoi(Next());
+    else if (Arg == "-requests")
+      Requests = atoi(Next());
+    else if (Arg == "-sizes")
+      SizesStr = Next();
+    else if (Arg == "-out")
+      Out = Next();
+    else
+      return fail("unknown option " + Arg);
+  }
+  if (Addr.empty())
+    return fail("-connect <addr> is required (start an sld first)");
+  if (Clients < 1 || Clients > 256)
+    return fail("-clients takes 1 to 256");
+  if (Requests < 1)
+    return fail("-requests takes a positive count");
+
+  std::vector<int> Sizes;
+  std::stringstream SzS(SizesStr);
+  std::string Tok;
+  while (std::getline(SzS, Tok, ',')) {
+    int N = atoi(Tok.c_str());
+    if (N < 2 || N > 64)
+      return fail("-sizes entries must be 2..64");
+    Sizes.push_back(N);
+  }
+  if (Sizes.empty())
+    return fail("-sizes names no sizes");
+
+  // Distinct function names per size keep the kernels distinct even if
+  // two sizes ever collapsed to the same source.
+  std::vector<std::string> Sources;
+  Sources.reserve(Sizes.size());
+  for (int N : Sizes)
+    Sources.push_back(la::potrfSource(N));
+
+  PassResult Cold, Warm;
+  std::string Err;
+  if (!runPass(Addr, Sources, Clients, Requests, Cold, Err))
+    return fail("cold pass: " + Err);
+  if (!runPass(Addr, Sources, Clients, Requests, Warm, Err))
+    return fail("warm pass: " + Err);
+
+  std::ostringstream SS;
+  SS << "{\n  \"bench\": \"serve_load\", \"connect\": \"" << Addr
+     << "\", \"clients\": " << Clients
+     << ", \"requests_per_client\": " << Requests << ",\n  \"sizes\": [";
+  for (size_t I = 0; I < Sizes.size(); ++I)
+    SS << (I ? ", " : "") << Sizes[I];
+  SS << "],\n  \"runs\": [\n"
+     << passJson("cold", Cold) << ",\n"
+     << passJson("warm", Warm) << "\n  ]\n}\n";
+
+  std::ofstream OutF(Out);
+  if (!OutF) {
+    return fail("cannot write " + Out);
+  }
+  OutF << SS.str();
+  OutF.close();
+  if (!OutF)
+    return fail("cannot write " + Out);
+  fprintf(stderr,
+          "serve_load: cold p50=%ldus p99=%ldus, warm p50=%ldus p99=%ldus "
+          "(hit rate %.0f%% -> %.0f%%); wrote %s\n",
+          static_cast<long>(Cold.Latency.p50()),
+          static_cast<long>(Cold.Latency.p99()),
+          static_cast<long>(Warm.Latency.p50()),
+          static_cast<long>(Warm.Latency.p99()),
+          100.0 * (Cold.Delta.MemHits + Cold.Delta.DiskHits) /
+              (Cold.Delta.MemHits + Cold.Delta.DiskHits + Cold.Delta.Misses
+                   ? Cold.Delta.MemHits + Cold.Delta.DiskHits +
+                         Cold.Delta.Misses
+                   : 1),
+          100.0 * (Warm.Delta.MemHits + Warm.Delta.DiskHits) /
+              (Warm.Delta.MemHits + Warm.Delta.DiskHits + Warm.Delta.Misses
+                   ? Warm.Delta.MemHits + Warm.Delta.DiskHits +
+                         Warm.Delta.Misses
+                   : 1),
+          Out.c_str());
+  return (Cold.Failures + Warm.Failures) == 0 ? 0 : 1;
+}

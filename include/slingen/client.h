@@ -202,6 +202,9 @@ public:
   /// Whether the compiled object bytes should be materialized on the
   /// returned Kernel (Kernel::objectBytes).
   bool wantObject() const { return WantObject; }
+  /// Whether the serving side was asked to attach its per-phase timing
+  /// breakdown to the returned Kernel (Kernel::timing()).
+  bool wantTiming() const { return WantTiming; }
 
 private:
   friend class RequestBuilder;
@@ -210,6 +213,7 @@ private:
   int Threads = 0;
   int Measure = -1;
   bool WantObject = true;
+  bool WantTiming = false;
 };
 
 /// Fluent request construction. Every setter returns *this; build()
@@ -246,6 +250,11 @@ public:
   /// Materialize the compiled object bytes on the Kernel (default on;
   /// turn off to skip shipping/reading the .so when only the C matters).
   RequestBuilder &wantObject(bool On);
+  /// Attach the serving side's per-phase timing breakdown to the Kernel
+  /// (Kernel::timing()). Costs one small extra field on remote responses;
+  /// a daemon too old to know the field serves the kernel without a
+  /// breakdown rather than failing.
+  RequestBuilder &wantTiming(bool On = true);
 
   /// Validates and freezes the request.
   Result<Request> build() const;
@@ -257,6 +266,32 @@ private:
   int Threads = 0;
   int Measure = -1;
   bool WantObject = true;
+  bool WantTiming = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Timing
+//===----------------------------------------------------------------------===//
+
+/// Where one get() spent its time: the serving side's per-phase breakdown
+/// plus the client-measured round trip. All durations are microseconds;
+/// a phase that did not run reports 0. Tier names how the request
+/// resolved -- "mem" (memory-cache hit), "disk" (loaded from the disk
+/// tier), "generated" (full produce), "joined" (coalesced onto another
+/// caller's in-flight production of the same kernel).
+struct TimingBreakdown {
+  std::string Tier;
+  long CacheUs = 0;   ///< memory-cache lookup
+  long WaitUs = 0;    ///< time spent joined onto another request's work
+  long DiskUs = 0;    ///< disk-tier probe/load (excluding any recompile)
+  long GenUs = 0;     ///< generation: parse, variants, tuning, emission
+  long TuneUs = 0;    ///< measured batch-strategy tuning (inside GenUs)
+  long CompileUs = 0; ///< C compilation (JIT) time
+  long TotalUs = 0;   ///< serving side's end-to-end time
+  /// Wall time of the whole get() as seen by this client -- the only
+  /// field measured client-side. RoundTripUs - TotalUs approximates
+  /// wire + queueing cost for remote sessions.
+  long RoundTripUs = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -304,6 +339,12 @@ public:
   /// source-only or the request said wantObject(false). Identical bytes
   /// for the same request whether served locally or by a daemon.
   const std::string &objectBytes() const;
+  /// Phase breakdown of the get() that produced this handle, or null when
+  /// the request did not ask (wantTiming()) or the serving side predates
+  /// the field. A property of that one request, not of the kernel: a
+  /// second get() of the same source returns a fresh handle whose
+  /// breakdown reports the (faster) cache hit.
+  const TimingBreakdown *timing() const;
 
   //===--- dispatch -------------------------------------------------------===//
 
@@ -395,6 +436,29 @@ private:
   std::unique_ptr<detail::Backend> B;
   std::string Addr;
 };
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+//
+// Process-wide request tracing. While enabled, every layer of the stack
+// records its phase spans (cache lookup, generation, C compile, tuner
+// measurement, batch dispatch, wire round trips, ...) into a bounded
+// in-memory ring; export produces Chrome trace-event JSON loadable in
+// chrome://tracing or Perfetto. Off by default and cheap when off (one
+// relaxed atomic load per would-be span). These act on the whole process,
+// not one Session: spans from an in-process service land in the same
+// trace as the client-side round-trip spans that enclose them.
+
+/// Turns span collection on or off (process-wide).
+void setTracing(bool On);
+bool tracingEnabled();
+/// The collected spans as a Chrome trace-event JSON document.
+std::string exportTraceJson();
+/// Writes exportTraceJson() to \p Path; false (with \p Err) on I/O error.
+bool exportTraceJson(const std::string &Path, std::string &Err);
+/// Discards all collected spans (collection state is unchanged).
+void clearTrace();
 
 } // namespace client
 } // namespace slingen

@@ -44,6 +44,9 @@ struct KernelState {
   long StaticCost = 0;
   double MeasuredCycles = 0.0;
   std::vector<int> Choice;
+  /// The request's phase breakdown; unset when the request did not ask
+  /// for one or the serving side could not provide it.
+  std::optional<TimingBreakdown> Timing;
   /// The loaded shared object; null for source-only kernels.
   std::shared_ptr<const runtime::JitKernel> K;
   /// Keeps a local artifact (and the JitKernel it owns) alive.
@@ -56,13 +59,19 @@ struct KernelFactory {
   /// from its cache/temp path when \p WantObject. An unreadable object
   /// under WantObject (e.g. the disk tier's GC evicted the .so while the
   /// loaded kernel kept serving from memory) is an error, not a silent
-  /// downgrade to empty bytes.
+  /// downgrade to empty bytes. \p Timing (may be null) is the service's
+  /// breakdown for the request, \p RoundTripUs the backend-measured wall
+  /// time; together they become Kernel::timing().
   static Result<Kernel> fromArtifact(const service::ArtifactPtr &A,
-                                     bool WantObject);
+                                     bool WantObject,
+                                     const service::RequestTiming *Timing,
+                                     long RoundTripUs);
   /// Wraps a wire artifact, staging and loading the shipped object bytes
   /// when present and host-runnable. A shipped object that fails to load
-  /// is an error (ProtocolError), not a silent downgrade.
-  static Result<Kernel> fromMessage(net::ArtifactMsg Msg);
+  /// is an error (ProtocolError), not a silent downgrade. The message's
+  /// TimingText (when present and well-formed) plus \p RoundTripUs become
+  /// Kernel::timing().
+  static Result<Kernel> fromMessage(net::ArtifactMsg Msg, long RoundTripUs);
 };
 
 /// What a Session delegates to. One backend per session; all methods are

@@ -61,6 +61,9 @@ double Kernel::measuredCycles() const { return S ? S->MeasuredCycles : 0.0; }
 const std::string &Kernel::objectBytes() const {
   return S ? S->SoBytes : emptyString();
 }
+const TimingBreakdown *Kernel::timing() const {
+  return S && S->Timing ? &*S->Timing : nullptr;
+}
 
 bool Kernel::callable() const { return S && S->K != nullptr; }
 
@@ -128,8 +131,31 @@ Status Kernel::callBatch(int Count, double *const *Buffers) const {
 // Factories
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// service::RequestTiming -> the public shape, with the client-measured
+/// round trip joined on.
+TimingBreakdown toBreakdown(const service::RequestTiming &TM,
+                            long RoundTripUs) {
+  TimingBreakdown B;
+  B.Tier = TM.Tier;
+  B.CacheUs = TM.CacheUs;
+  B.WaitUs = TM.WaitUs;
+  B.DiskUs = TM.DiskUs;
+  B.GenUs = TM.GenUs;
+  B.TuneUs = TM.TuneUs;
+  B.CompileUs = TM.CompileUs;
+  B.TotalUs = TM.TotalUs;
+  B.RoundTripUs = RoundTripUs;
+  return B;
+}
+
+} // namespace
+
 Result<Kernel> KernelFactory::fromArtifact(const service::ArtifactPtr &A,
-                                           bool WantObject) {
+                                           bool WantObject,
+                                           const service::RequestTiming *Timing,
+                                           long RoundTripUs) {
   auto St = std::make_shared<KernelState>();
   St->Origin = Kernel::Origin::Local;
   St->Key = A->Key;
@@ -146,6 +172,8 @@ Result<Kernel> KernelFactory::fromArtifact(const service::ArtifactPtr &A,
   St->StaticCost = A->StaticCost;
   St->Measured = A->Measured;
   St->MeasuredCycles = A->MeasuredCycles;
+  if (Timing)
+    St->Timing = toBreakdown(*Timing, RoundTripUs);
   St->K = A->Kernel;
   St->LocalArtifact = A;
   if (WantObject && A->Kernel) {
@@ -168,9 +196,18 @@ Result<Kernel> KernelFactory::fromArtifact(const service::ArtifactPtr &A,
   return K;
 }
 
-Result<Kernel> KernelFactory::fromMessage(net::ArtifactMsg Msg) {
+Result<Kernel> KernelFactory::fromMessage(net::ArtifactMsg Msg,
+                                          long RoundTripUs) {
   auto St = std::make_shared<KernelState>();
   St->Origin = Kernel::Origin::Remote;
+  if (!Msg.TimingText.empty()) {
+    // A breakdown the daemon attached but this build cannot parse is
+    // dropped, not fatal: timing() is diagnostics, the kernel is the
+    // payload.
+    service::RequestTiming TM;
+    if (service::deserializeRequestTiming(Msg.TimingText, TM))
+      St->Timing = toBreakdown(TM, RoundTripUs);
+  }
   St->Key = std::move(Msg.Key);
   St->FuncName = std::move(Msg.FuncName);
   St->IsaName = std::move(Msg.IsaName);

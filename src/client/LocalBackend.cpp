@@ -13,6 +13,8 @@
 
 #include "client/ClientImpl.h"
 
+#include "obs/Metrics.h"
+
 using namespace slingen;
 using namespace slingen::client;
 using namespace slingen::client::detail;
@@ -27,10 +29,16 @@ public:
     GenOptions Options;
     service::RequestOptions Req;
     toServiceArgs(R, Options, Req);
+    // "Round trip" degenerates to the service call itself here; keeping
+    // the field populated means RoundTripUs - TotalUs is comparable
+    // across backends (near zero locally, wire cost remotely).
+    long Start = obs::nowUs();
     service::GetResult G = Svc.get(R.source(), Options, Req);
     if (!G)
       return Status::failure(mapServiceErrc(G.Code), G.Error);
-    return KernelFactory::fromArtifact(G.Kernel, R.wantObject());
+    return KernelFactory::fromArtifact(G.Kernel, R.wantObject(),
+                                       R.wantTiming() ? &G.Timing : nullptr,
+                                       obs::nowUs() - Start);
   }
 
   Status warm(const Request &R) override {

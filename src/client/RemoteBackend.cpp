@@ -15,6 +15,8 @@
 
 #include "client/ClientImpl.h"
 
+#include "obs/Metrics.h"
+
 using namespace slingen;
 using namespace slingen::client;
 using namespace slingen::client::detail;
@@ -56,17 +58,33 @@ public:
 
   Result<Kernel> get(const Request &R) override {
     net::ArtifactMsg Msg;
+    net::Request W = toWireRequest(R);
+    long Start = obs::nowUs();
     Status St = withConnection([&](net::Client &C, net::ClientError &E) {
-      return C.get(toWireRequest(R), Msg, E);
+      return C.get(W, Msg, E);
     });
+    if (!St && W.WantTiming && St.code() == Code::InvalidRequest) {
+      // A daemon that predates the trailing want-timing byte rejects the
+      // whole request as malformed. The breakdown is optional, the kernel
+      // is not: ask again in the old format and serve without timing().
+      W.WantTiming = false;
+      St = withConnection([&](net::Client &C, net::ClientError &E) {
+        return C.get(W, Msg, E);
+      });
+    }
     if (!St)
       return St;
-    return KernelFactory::fromMessage(std::move(Msg));
+    return KernelFactory::fromMessage(std::move(Msg), obs::nowUs() - Start);
   }
 
   Status warm(const Request &R) override {
+    // WARM returns a bare OK -- there is no artifact to hang a breakdown
+    // on -- so never forward the want-timing field (which a pre-timing
+    // daemon would reject).
+    net::Request W = toWireRequest(R);
+    W.WantTiming = false;
     return withConnection([&](net::Client &C, net::ClientError &E) {
-      return C.warm(toWireRequest(R), E);
+      return C.warm(W, E);
     });
   }
 

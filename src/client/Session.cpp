@@ -13,6 +13,7 @@
 
 #include "client/ClientImpl.h"
 
+#include "obs/Trace.h"
 #include "slingen/BatchStrategy.h"
 #include "slingen/OptionsIO.h"
 #include "support/File.h"
@@ -145,6 +146,10 @@ RequestBuilder &RequestBuilder::wantObject(bool On) {
   WantObject = On;
   return *this;
 }
+RequestBuilder &RequestBuilder::wantTiming(bool On) {
+  WantTiming = On;
+  return *this;
+}
 
 Result<Request> RequestBuilder::build() const {
   auto Bad = [](const std::string &Msg) {
@@ -194,6 +199,7 @@ Result<Request> RequestBuilder::build() const {
   R.Threads = Threads;
   R.Measure = Measure;
   R.WantObject = WantObject;
+  R.WantTiming = WantTiming;
   return R;
 }
 
@@ -210,6 +216,7 @@ net::Request detail::toWireRequest(const Request &R) {
   W.Threads = R.threads();
   W.MeasureOverride = R.measure();
   W.WantSo = R.wantObject();
+  W.WantTiming = R.wantTiming();
   return W;
 }
 
@@ -273,3 +280,17 @@ Status Session::ping() { return B->ping(); }
 Result<std::string> Session::stats() { return B->stats(); }
 Session::BackendKind Session::backend() const { return B->kind(); }
 const std::string &Session::address() const { return Addr; }
+
+//===----------------------------------------------------------------------===//
+// Tracing
+//===----------------------------------------------------------------------===//
+
+void client::setTracing(bool On) { obs::Tracer::global().setEnabled(On); }
+bool client::tracingEnabled() { return obs::Tracer::global().enabled(); }
+std::string client::exportTraceJson() {
+  return obs::Tracer::global().exportChromeTrace();
+}
+bool client::exportTraceJson(const std::string &Path, std::string &Err) {
+  return obs::Tracer::global().writeChromeTrace(Path, Err);
+}
+void client::clearTrace() { obs::Tracer::global().clear(); }

@@ -7,6 +7,7 @@
 #include "net/Client.h"
 
 #include "net/Server.h" // parseAddr
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <cerrno>
@@ -99,6 +100,12 @@ Client::~Client() {
 
 bool Client::roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
                        std::string &ReplyPayload, ClientError &Err) {
+  // One span + one histogram sample per wire exchange: the client-side
+  // round-trip view that pairs with the daemon's server.<verb>.us numbers
+  // (the difference is wire + queueing cost).
+  static obs::Histogram &RoundTripUs =
+      obs::Registry::global().histogram("client.roundtrip.us");
+  obs::ScopedSpan Span("client-roundtrip", "client", &RoundTripUs);
   Err = {};
   if (Fd < 0) {
     Err.Message = "not connected";

@@ -22,6 +22,11 @@ std::string net::encodeRequest(const Request &R) {
   W.u8(R.MeasureOverride < 0 ? 0xff
                              : static_cast<uint8_t>(R.MeasureOverride));
   W.u8(R.WantSo ? 1 : 0);
+  // Trailing optional field, written only when set: a default request is
+  // byte-identical to the pre-timing format (old daemons keep decoding
+  // every client that does not ask for timing).
+  if (R.WantTiming)
+    W.u8(1);
   return W.take();
 }
 
@@ -32,7 +37,15 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
   uint32_t Threads;
   if (!B.str(R.LaSource) || !B.str(R.OptionsText) || !B.u8(Batched) ||
       !B.str(R.StrategyName) || !B.u32(Threads) || !B.u8(Measure) ||
-      !B.u8(WantSo) || !B.atEnd()) {
+      !B.u8(WantSo)) {
+    Err = "malformed request payload";
+    return false;
+  }
+  // Optional trailing want-timing byte: absent on pre-timing clients (and
+  // on new clients that do not ask). Present, it must be the final byte
+  // and must be 1 -- the field is only encoded when set.
+  uint8_t WantTiming = 0;
+  if (!B.atEnd() && (!B.u8(WantTiming) || WantTiming != 1 || !B.atEnd())) {
     Err = "malformed request payload";
     return false;
   }
@@ -47,6 +60,7 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
   R.Threads = static_cast<int>(Threads);
   R.MeasureOverride = Measure == 0xff ? -1 : Measure;
   R.WantSo = WantSo == 1;
+  R.WantTiming = WantTiming == 1;
   return true;
 }
 
@@ -89,6 +103,11 @@ std::string net::encodeArtifact(const ArtifactMsg &A) {
   W.f64(A.MeasuredCycles);
   W.str(A.CSource);
   W.str(A.SoBytes);
+  // Trailing optional field, written only when the daemon has a breakdown
+  // to ship: a response without one is byte-identical to the pre-timing
+  // format, so old clients never see bytes they cannot decode.
+  if (!A.TimingText.empty())
+    W.str(A.TimingText);
   return W.take();
 }
 
@@ -121,7 +140,14 @@ bool net::decodeArtifact(const std::string &Payload, ArtifactMsg &A,
     A.Choice.push_back(static_cast<int>(C));
   }
   if (!B.u64(Cost) || !B.u8(Measured) || !B.f64(A.MeasuredCycles) ||
-      !B.str(A.CSource) || !B.str(A.SoBytes) || !B.atEnd()) {
+      !B.str(A.CSource) || !B.str(A.SoBytes)) {
+    Err = "malformed artifact payload";
+    return false;
+  }
+  // Optional trailing server-timing document: absent on old-format
+  // responses (atEnd right here), otherwise it must be the final field.
+  A.TimingText.clear();
+  if (!B.atEnd() && (!B.str(A.TimingText) || !B.atEnd())) {
     Err = "malformed artifact payload";
     return false;
   }

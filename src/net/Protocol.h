@@ -57,6 +57,13 @@ struct Request {
   /// When false the response omits the .so bytes (clients that only want
   /// the C source skip the biggest field).
   bool WantSo = true;
+  /// Ask the daemon to attach its per-request phase breakdown to the
+  /// response (ArtifactMsg::TimingText). Encoded as a trailing field only
+  /// when set, so requests from clients that never ask are byte-identical
+  /// to the pre-timing wire format and old daemons keep decoding them;
+  /// old daemons receiving a want-timing request reject it, which the
+  /// facade treats as "no breakdown available", not a failure.
+  bool WantTiming = false;
 };
 
 std::string encodeRequest(const Request &R);
@@ -87,6 +94,13 @@ struct ArtifactMsg {
   double MeasuredCycles = 0.0;
   std::string CSource;
   std::string SoBytes; ///< compiled shared object; empty when source-only
+  /// Server-timing breakdown (a serializeRequestTiming document), present
+  /// only when the request set WantTiming and the daemon understands it.
+  /// Encoded as a trailing field only when non-empty: responses without it
+  /// are byte-identical to the pre-timing format, so old clients decode
+  /// new daemons and new clients decode old daemons (absence simply means
+  /// "no breakdown").
+  std::string TimingText;
 };
 
 std::string encodeArtifact(const ArtifactMsg &A);

@@ -8,6 +8,7 @@
 
 #include "la/Lower.h"
 #include "net/Protocol.h"
+#include "obs/Trace.h"
 #include "support/File.h"
 #include "support/Format.h"
 
@@ -277,8 +278,67 @@ void Server::serveConnection(Connection &Conn) {
   Conn.Done = true;
 }
 
+namespace {
+
+/// Per-verb request-latency histograms plus the server's frame counter,
+/// resolved once. The per-verb split is the ops-facing view: GET carries
+/// the whole serving pipeline, PING isolates pure wire + scheduling cost.
+struct ServerMetrics {
+  obs::Counter &Frames = obs::Registry::global().counter("server.frames");
+  obs::Histogram &PingUs =
+      obs::Registry::global().histogram("server.ping.us");
+  obs::Histogram &StatsUs =
+      obs::Registry::global().histogram("server.stats.us");
+  obs::Histogram &GetUs = obs::Registry::global().histogram("server.get.us");
+  obs::Histogram &WarmUs =
+      obs::Registry::global().histogram("server.warm.us");
+  obs::Histogram &OtherUs =
+      obs::Registry::global().histogram("server.other.us");
+
+  obs::Histogram &forVerb(Verb V) {
+    switch (V) {
+    case Verb::Ping:
+      return PingUs;
+    case Verb::Stats:
+      return StatsUs;
+    case Verb::Get:
+      return GetUs;
+    case Verb::Warm:
+      return WarmUs;
+    default:
+      return OtherUs;
+    }
+  }
+
+  static ServerMetrics &get() {
+    static ServerMetrics M;
+    return M;
+  }
+};
+
+const char *spanNameForVerb(Verb V) {
+  switch (V) {
+  case Verb::Ping:
+    return "serve-ping";
+  case Verb::Stats:
+    return "serve-stats";
+  case Verb::Get:
+    return "serve-get";
+  case Verb::Warm:
+    return "serve-warm";
+  default:
+    return "serve-other";
+  }
+}
+
+} // namespace
+
 bool Server::handleFrame(int Fd, const Frame &F) {
   ++Served;
+  ServerMetrics &M = ServerMetrics::get();
+  M.Frames.add();
+  obs::ScopedSpan Handle(spanNameForVerb(F.verb()), "server",
+                         &M.forVerb(F.verb()));
   std::string Err;
   auto Respond = [&](Verb V, const std::string &Payload) {
     std::string WriteErr;
@@ -326,8 +386,10 @@ bool Server::handleFrame(int Fd, const Frame &F) {
       if (!Ok)
         SoBytes.clear(); // degrade to source-only over the wire
     }
-    return Respond(Verb::Artifact,
-                   encodeArtifact(artifactToMsg(*G.Kernel, SoBytes)));
+    ArtifactMsg Msg = artifactToMsg(*G.Kernel, std::move(SoBytes));
+    if (R.WantTiming)
+      Msg.TimingText = service::serializeRequestTiming(G.Timing);
+    return Respond(Verb::Artifact, encodeArtifact(Msg));
   }
 
   case Verb::Artifact:

@@ -1,0 +1,160 @@
+//===- obs/Metrics.cpp - process-wide metrics registry --------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Format.h"
+
+#include <chrono>
+
+namespace slingen {
+namespace obs {
+
+int64_t nowUs() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+int Histogram::bucketOf(int64_t Us) {
+  if (Us < 2)
+    return 0; // [0, 2): bucket 0 absorbs the degenerate low end
+  int I = 0;
+  for (uint64_t V = static_cast<uint64_t>(Us); V > 1; V >>= 1)
+    ++I;
+  return I < NumBuckets ? I : NumBuckets - 1;
+}
+
+void Histogram::record(int64_t Us) {
+  if (Us < 0)
+    Us = 0;
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Us, std::memory_order_relaxed);
+  Buckets[bucketOf(Us)].fetch_add(1, std::memory_order_relaxed);
+  // Lossy CAS loops for the extremes; contention here is rare (only a new
+  // min/max retries) and losing a race to an equal-or-better value is fine.
+  int64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Us < Cur &&
+         !Min.compare_exchange_weak(Cur, Us, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Us > Cur &&
+         !Max.compare_exchange_weak(Cur, Us, std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  int64_t M = Min.load(std::memory_order_relaxed);
+  S.Min = M == INT64_MAX ? 0 : M;
+  S.Max = Max.load(std::memory_order_relaxed);
+  for (int I = 0; I < NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+double Histogram::Snapshot::percentile(double P) const {
+  if (Count <= 0)
+    return 0;
+  if (P <= 0)
+    return double(Min);
+  if (P >= 100)
+    return double(Max);
+  // Rank of the target sample (1-based), then walk the buckets and
+  // interpolate linearly inside the one that contains it. Bucket I spans
+  // [2^I, 2^(I+1)) except bucket 0, which starts at 0.
+  double Rank = P / 100.0 * double(Count);
+  int64_t Seen = 0;
+  for (int I = 0; I < NumBuckets; ++I) {
+    if (!Buckets[I])
+      continue;
+    if (double(Seen + Buckets[I]) >= Rank) {
+      double Lo = I == 0 ? 0.0 : double(int64_t(1) << I);
+      double Hi = I >= 62 ? double(Max) : double(int64_t(1) << (I + 1));
+      double Frac = (Rank - double(Seen)) / double(Buckets[I]);
+      double V = Lo + Frac * (Hi - Lo);
+      // The true extremes are known exactly; never report outside them.
+      if (V < double(Min))
+        V = double(Min);
+      if (V > double(Max))
+        V = double(Max);
+      return V;
+    }
+    Seen += Buckets[I];
+  }
+  return double(Max);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+std::string Registry::renderText() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::string Out;
+  for (const auto &[Name, C] : Counters)
+    Out += formatf("%s=%lld\n", Name.c_str(),
+                   static_cast<long long>(C->value()));
+  for (const auto &[Name, G] : Gauges)
+    Out += formatf("%s=%lld\n", Name.c_str(),
+                   static_cast<long long>(G->value()));
+  for (const auto &[Name, H] : Histograms) {
+    auto S = H->snapshot();
+    Out += formatf("%s.count=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.Count));
+    Out += formatf("%s.sum-us=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.Sum));
+    Out += formatf("%s.min-us=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.Min));
+    Out += formatf("%s.max-us=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.Max));
+    Out += formatf("%s.p50-us=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.p50() + 0.5));
+    Out += formatf("%s.p90-us=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.p90() + 0.5));
+    Out += formatf("%s.p99-us=%lld\n", Name.c_str(),
+                   static_cast<long long>(S.p99() + 0.5));
+  }
+  return Out;
+}
+
+} // namespace obs
+} // namespace slingen

@@ -1,0 +1,136 @@
+//===- obs/Metrics.h - process-wide metrics registry ----------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters, gauges, and log-bucket latency histograms behind one
+/// process-wide registry. The serving stack (KernelService, the cache
+/// tiers, the JIT, the batch pool, the socket front end) records into
+/// metrics resolved once at first use; recording is a handful of relaxed
+/// atomic ops, so the instrumentation can stay on in production daemons.
+///
+///   obs::Histogram &H = obs::Registry::global().histogram("serve.get.us");
+///   H.record(ElapsedUs);
+///   auto S = H.snapshot();   // count/sum/min/max + p50/p90/p99
+///
+/// Registry::renderText() dumps everything as sorted `key=value` lines
+/// (histograms expand to .count/.p50/.p90/.p99/... keys); sld's SIGUSR1
+/// handler and `slc -stats` both print it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_OBS_METRICS_H
+#define SLINGEN_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace slingen {
+namespace obs {
+
+/// Microseconds on the monotonic clock; the time base for every histogram
+/// and trace span in this subsystem.
+int64_t nowUs();
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void add(int64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Point-in-time level (cache occupancy, bytes on disk, ...).
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t D) { V.fetch_add(D, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed log-bucket latency histogram. Bucket I counts samples in
+/// [2^I, 2^(I+1)) microseconds (bucket 0 additionally absorbs 0), so 64
+/// buckets cover every representable duration with <= 2x relative error
+/// per bucket; percentile() interpolates linearly inside the bucket.
+/// record() is wait-free (three relaxed adds + two CAS-free min/max
+/// updates); snapshot() is a racy-but-consistent-enough read, fine for
+/// periodic reporting.
+class Histogram {
+public:
+  static constexpr int NumBuckets = 64;
+
+  void record(int64_t Us);
+
+  /// record(nowUs() - StartUs), for call sites holding a start stamp.
+  void recordSince(int64_t StartUs) { record(nowUs() - StartUs); }
+
+  struct Snapshot {
+    int64_t Count = 0;
+    int64_t Sum = 0;
+    int64_t Min = 0; ///< 0 when Count == 0
+    int64_t Max = 0;
+    std::array<int64_t, NumBuckets> Buckets{};
+
+    /// Interpolated value at percentile \p P in [0, 100]. 0 when empty.
+    double percentile(double P) const;
+    double p50() const { return percentile(50); }
+    double p90() const { return percentile(90); }
+    double p99() const { return percentile(99); }
+    double mean() const { return Count ? double(Sum) / double(Count) : 0; }
+  };
+
+  Snapshot snapshot() const;
+
+  /// Index of the bucket covering \p Us (exposed for tests).
+  static int bucketOf(int64_t Us);
+
+private:
+  std::atomic<int64_t> Count{0};
+  std::atomic<int64_t> Sum{0};
+  std::atomic<int64_t> Min{INT64_MAX};
+  std::atomic<int64_t> Max{0};
+  std::array<std::atomic<int64_t>, NumBuckets> Buckets{};
+};
+
+/// Name -> metric map with stable addresses: a returned reference lives as
+/// long as the registry, so call sites resolve once (static local) and
+/// record lock-free afterwards. Lookup takes a mutex -- do it outside hot
+/// loops. One metric name maps to exactly one kind; reusing a counter name
+/// for a histogram is a programming error and asserts in debug builds.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Every metric as sorted `key=value` lines. Counters and gauges print
+  /// raw values; histogram H expands to H.count, H.sum-us, H.min-us,
+  /// H.max-us, H.p50-us, H.p90-us, H.p99-us (percentiles rounded to
+  /// integers -- this is a human/ops surface, not an archival format).
+  std::string renderText() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace slingen
+
+#endif // SLINGEN_OBS_METRICS_H

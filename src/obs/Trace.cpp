@@ -1,0 +1,127 @@
+//===- obs/Trace.cpp - per-request phase tracing --------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace slingen {
+namespace obs {
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+uint32_t Tracer::threadId() {
+  // Dense per-process numbering beats hashed std::thread::id for humans
+  // reading the trace: the first thread seen is 1, the next 2, ...
+  static std::atomic<uint32_t> Next{0};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return Id;
+}
+
+void Tracer::record(const Span &S) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Spans.size() >= MaxSpans) {
+    Spans.pop_front();
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  Spans.push_back(S);
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Spans.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> L(Mu);
+  Spans.clear();
+  Dropped.store(0, std::memory_order_relaxed);
+}
+
+static void appendJsonString(std::string &Out, const char *S) {
+  Out += '"';
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatf("\\u%04x", C);
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+std::string Tracer::exportChromeTrace() const {
+  std::lock_guard<std::mutex> L(Mu);
+  std::string Out = "{\"traceEvents\": [";
+  int Pid = static_cast<int>(getpid());
+  bool First = true;
+  for (const Span &S : Spans) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {\"name\": ";
+    appendJsonString(Out, S.Name);
+    Out += ", \"cat\": ";
+    appendJsonString(Out, S.Cat);
+    Out += formatf(", \"ph\": \"X\", \"ts\": %lld, \"dur\": %lld, "
+                   "\"pid\": %d, \"tid\": %u}",
+                   static_cast<long long>(S.StartUs),
+                   static_cast<long long>(S.DurUs), Pid, S.Tid);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path,
+                              std::string &Err) const {
+  std::string Doc = exportChromeTrace();
+  FILE *F = fopen(Path.c_str(), "w");
+  if (!F) {
+    Err = "cannot open " + Path + " for writing";
+    return false;
+  }
+  size_t N = fwrite(Doc.data(), 1, Doc.size(), F);
+  bool Ok = N == Doc.size() && fclose(F) == 0;
+  if (!Ok) {
+    Err = "short write to " + Path;
+    if (N != Doc.size())
+      fclose(F);
+  }
+  return Ok;
+}
+
+int64_t ScopedSpan::finish() {
+  if (Done)
+    return Dur;
+  Done = true;
+  Dur = nowUs() - StartUs;
+  if (Hist)
+    Hist->record(Dur);
+  if (Traced) {
+    Span S;
+    S.Name = Name;
+    S.Cat = Cat;
+    S.StartUs = StartUs;
+    S.DurUs = Dur;
+    S.Tid = Tracer::threadId();
+    Tracer::global().record(S);
+  }
+  return Dur;
+}
+
+} // namespace obs
+} // namespace slingen

@@ -1,0 +1,117 @@
+//===- obs/Trace.h - per-request phase tracing ----------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight span tracer for the serving stack. Instrumented phases
+/// (cache lookup, single-flight wait, generation, C compile, tuner
+/// measurement, batch dispatch, wire round trips) open a ScopedSpan; when
+/// tracing is enabled the completed span lands in a bounded in-process
+/// ring, exportable as Chrome trace-event JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev). When tracing is disabled
+/// -- the default -- a span costs one steady_clock read on each end plus
+/// one relaxed atomic load, so the instrumentation stays compiled in.
+///
+/// ScopedSpan doubles as the histogram timer: give it a Histogram and the
+/// elapsed time is recorded there regardless of whether tracing is on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_OBS_TRACE_H
+#define SLINGEN_OBS_TRACE_H
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace slingen {
+namespace obs {
+
+/// One completed phase: [StartUs, StartUs + DurUs] on thread Tid.
+/// Name/Cat are expected to be string literals owned by the call site
+/// (every instrumented phase in-tree uses fixed tokens).
+struct Span {
+  const char *Name = "";
+  const char *Cat = "";
+  int64_t StartUs = 0;
+  int64_t DurUs = 0;
+  uint32_t Tid = 0;
+};
+
+/// The process-wide span sink. Disabled by default; sl::setTracing() and
+/// `slc -trace-out` flip it on. The ring keeps the most recent MaxSpans
+/// spans (drop-oldest), so a long-running daemon can stay traced without
+/// unbounded growth; dropped() says how many fell off.
+class Tracer {
+public:
+  static Tracer &global();
+
+  void setEnabled(bool On) { On_.store(On, std::memory_order_relaxed); }
+  bool enabled() const { return On_.load(std::memory_order_relaxed); }
+
+  void record(const Span &S);
+  size_t size() const;
+  int64_t dropped() const { return Dropped.load(std::memory_order_relaxed); }
+  void clear();
+
+  /// The accumulated spans as a complete Chrome trace-event JSON document:
+  /// {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", "ts": ...,
+  /// "dur": ..., "pid": ..., "tid": ...}, ...]}.
+  std::string exportChromeTrace() const;
+
+  /// exportChromeTrace() to \p Path; false + \p Err on I/O failure.
+  bool writeChromeTrace(const std::string &Path, std::string &Err) const;
+
+  /// Stable small integer for the calling thread (Chrome traces want
+  /// numeric tids; std::thread::id is opaque).
+  static uint32_t threadId();
+
+private:
+  std::atomic<bool> On_{false};
+  std::atomic<int64_t> Dropped{0};
+  mutable std::mutex Mu;
+  std::deque<Span> Spans;
+  static constexpr size_t MaxSpans = 1 << 16;
+};
+
+/// RAII phase timer: measures steady-clock microseconds from construction
+/// to destruction, records into \p Hist when given one, and appends a Span
+/// to the global tracer when tracing was enabled at construction time.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name, const char *Cat = "serve",
+                      Histogram *Hist = nullptr)
+      : Name(Name), Cat(Cat), Hist(Hist), StartUs(nowUs()),
+        Traced(Tracer::global().enabled()) {}
+  ~ScopedSpan() { finish(); }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  /// Microseconds elapsed so far.
+  int64_t elapsedUs() const { return nowUs() - StartUs; }
+
+  /// Ends the span early (idempotent); the destructor becomes a no-op.
+  /// Returns the measured duration in microseconds.
+  int64_t finish();
+
+private:
+  const char *Name;
+  const char *Cat;
+  Histogram *Hist;
+  int64_t StartUs;
+  bool Traced;
+  bool Done = false;
+  int64_t Dur = 0;
+};
+
+} // namespace obs
+} // namespace slingen
+
+#endif // SLINGEN_OBS_TRACE_H

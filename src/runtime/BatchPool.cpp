@@ -6,6 +6,7 @@
 
 #include "runtime/BatchPool.h"
 
+#include "obs/Trace.h"
 #include "runtime/Jit.h"
 
 #include <algorithm>
@@ -19,6 +20,24 @@ namespace {
 /// Far above any sane core count for small-kernel batches; exists so a
 /// hostile `threads=` knob cannot spawn unbounded threads.
 constexpr int MaxPoolWorkers = 63;
+
+/// Pool metrics: how many parallel runs happened, how the chunks were
+/// claimed (caller vs. stolen by pool workers), and how long dispatch
+/// takes end to end. Chunk counters tick once per claimed chunk -- cheap
+/// next to the kernel work a chunk carries.
+struct PoolMetrics {
+  obs::Counter &Runs = obs::Registry::global().counter("batchpool.runs");
+  obs::Counter &Items = obs::Registry::global().counter("batchpool.items");
+  obs::Counter &Chunks = obs::Registry::global().counter("batchpool.chunks");
+  obs::Counter &Steals = obs::Registry::global().counter("batchpool.steals");
+  obs::Histogram &RunUs =
+      obs::Registry::global().histogram("batchpool.run.us");
+
+  static PoolMetrics &get() {
+    static PoolMetrics M;
+    return M;
+  }
+};
 
 } // namespace
 
@@ -37,12 +56,16 @@ BatchPool &BatchPool::shared() {
 
 BatchPool::BatchPool() : MaxWorkers(MaxPoolWorkers) {}
 
-void BatchPool::drain() {
+void BatchPool::drain(bool Worker) {
+  PoolMetrics &M = PoolMetrics::get();
   Job &J = *Current; // stable for the drain duration: run() holds RunMu
   for (;;) {
     long Lo = J.Cursor.fetch_add(J.Chunk, std::memory_order_relaxed);
     if (Lo >= J.Total)
       return;
+    M.Chunks.add();
+    if (Worker)
+      M.Steals.add();
     (*J.Fn)(Lo, std::min(Lo + J.Chunk, J.Total));
   }
 }
@@ -63,7 +86,7 @@ void BatchPool::workerLoop() {
     J->Seats.fetch_sub(1, std::memory_order_relaxed);
     J->Active.fetch_add(1, std::memory_order_relaxed);
     L.unlock();
-    drain();
+    drain(/*Worker=*/true);
     L.lock();
     if (J->Active.fetch_sub(1, std::memory_order_relaxed) == 1)
       DoneCv.notify_all();
@@ -81,6 +104,10 @@ void BatchPool::run(long NumItems, int Threads,
   }
 
   std::lock_guard<std::mutex> RunL(RunMu);
+  PoolMetrics &M = PoolMetrics::get();
+  M.Runs.add();
+  M.Items.add(NumItems);
+  obs::ScopedSpan Run("pool-run", "batchpool", &M.RunUs);
   Job J;
   J.Total = NumItems;
   // Chunks several times smaller than a static partition: late threads and
@@ -98,7 +125,7 @@ void BatchPool::run(long NumItems, int Threads,
     ++JobSeq;
   }
   WakeCv.notify_all();
-  drain(); // the caller is a participant, not just a coordinator
+  drain(/*Worker=*/false); // the caller participates, not just coordinates
   {
     std::unique_lock<std::mutex> L(Mu);
     DoneCv.wait(L, [&] { return J.Active.load() == 0; });

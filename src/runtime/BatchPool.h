@@ -64,7 +64,10 @@ private:
   BatchPool();
 
   void workerLoop();
-  void drain();
+  /// Steals and runs chunks until the cursor is exhausted. \p Worker marks
+  /// pool-thread participation (vs. the calling thread) for the
+  /// steal-accounting metrics.
+  void drain(bool Worker);
 
   struct Job {
     std::atomic<long> Cursor{0};

@@ -7,6 +7,7 @@
 #include "runtime/Jit.h"
 
 #include "isa/ISA.h"
+#include "obs/Trace.h"
 #include "support/File.h"
 #include "support/Format.h"
 
@@ -125,6 +126,15 @@ std::optional<JitKernel> JitKernel::compile(const std::string &CSource,
                                             int NumParams,
                                             const CompileOptions &Opts,
                                             std::string &Err) {
+  // Every JIT compile in the process funnels through this overload:
+  // service misses, tuner candidates, client-side loads all land in one
+  // compile-latency histogram.
+  static obs::Histogram &CompileUs =
+      obs::Registry::global().histogram("runtime.jit-compile.us");
+  static obs::Counter &Compiles =
+      obs::Registry::global().counter("runtime.jit-compiles");
+  Compiles.add();
+  obs::ScopedSpan Span("jit-compile", "runtime", &CompileUs);
   std::string CDir = makeCompileDir();
   if (CDir.empty()) {
     Err = "cannot create compile directory in TMPDIR";

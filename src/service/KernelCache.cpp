@@ -347,7 +347,7 @@ void gcAccumulate(EntryMap &Entries, const std::string &Key,
 
 } // namespace
 
-void KernelCache::scanDiskTierLocked() {
+void KernelCache::scanDiskTierLocked() const {
   DiskIndex.clear();
   DiskByAge.clear();
   DiskTotal = 0;
@@ -378,6 +378,25 @@ void KernelCache::scanDiskTierLocked() {
 size_t KernelCache::diskScans() const {
   std::lock_guard<std::mutex> L(DiskMu);
   return NumDiskScans;
+}
+
+long KernelCache::diskEvictions() const {
+  std::lock_guard<std::mutex> L(DiskMu);
+  return NumDiskEvictions;
+}
+
+size_t KernelCache::diskEntries() const {
+  std::lock_guard<std::mutex> L(DiskMu);
+  if (!DiskIndexed && !Dir.empty())
+    scanDiskTierLocked();
+  return DiskIndex.size();
+}
+
+long KernelCache::diskBytes() const {
+  std::lock_guard<std::mutex> L(DiskMu);
+  if (!DiskIndexed && !Dir.empty())
+    scanDiskTierLocked();
+  return static_cast<long>(DiskTotal);
 }
 
 void KernelCache::refreshDiskEntry(const std::string &Key) {
@@ -428,6 +447,7 @@ size_t KernelCache::enforceDiskBudget(long MaxBytes,
     }
     if (Stuck.empty()) {
       ++Evicted;
+      ++NumDiskEvictions;
     } else {
       // Keep the survivors indexed (bytes stay in the total) so a later
       // pass retries them; re-inserting under the same age slots them

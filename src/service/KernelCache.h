@@ -171,6 +171,17 @@ public:
   /// enforceDiskBudget this stays at 1 no matter how many stores follow.
   size_t diskScans() const;
 
+  /// Cumulative disk-tier entries evicted by enforceDiskBudget over the
+  /// cache's lifetime (the per-call return value, summed).
+  long diskEvictions() const;
+
+  /// Disk-tier occupancy gauges from the incremental size index. The first
+  /// call on a tier that was never scanned performs the one-time scan
+  /// (folded into the same diskScans() count GC would pay anyway); without
+  /// a disk tier both report 0.
+  size_t diskEntries() const;
+  long diskBytes() const;
+
   /// Re-stats one entry's on-disk files (both layouts) and folds the result
   /// into the incremental accounting. For writes that bypass storeToDisk,
   /// e.g. recompiling a cached entry's missing .so in place. No-op before
@@ -203,7 +214,7 @@ private:
         std::filesystem::file_time_type::min();
   };
 
-  void scanDiskTierLocked();
+  void scanDiskTierLocked() const; ///< const: the index is lazy cache state
   /// Drops \p Key from the index, re-stats its files, re-inserts what
   /// exists (requires DiskMu, DiskIndexed).
   void indexDiskEntryLocked(const std::string &Key);
@@ -217,14 +228,17 @@ private:
 
   // Incremental disk-tier size accounting (all guarded by DiskMu; see
   // enforceDiskBudget).
+  // The index doubles as lazily-built gauge state (diskEntries/diskBytes
+  // may trigger the first scan from const context), hence mutable.
   mutable std::mutex DiskMu;
-  bool DiskIndexed = false;
-  uintmax_t DiskTotal = 0;
-  size_t NumDiskScans = 0;
-  std::unordered_map<std::string, DiskEntry> DiskIndex;
+  mutable bool DiskIndexed = false;
+  mutable uintmax_t DiskTotal = 0;
+  mutable size_t NumDiskScans = 0;
+  long NumDiskEvictions = 0;
+  mutable std::unordered_map<std::string, DiskEntry> DiskIndex;
   /// (mtime, key) -> key: the eviction queue, oldest first.
-  std::map<std::pair<std::filesystem::file_time_type, std::string>,
-           std::string>
+  mutable std::map<std::pair<std::filesystem::file_time_type, std::string>,
+                   std::string>
       DiskByAge;
 };
 

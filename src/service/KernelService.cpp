@@ -8,6 +8,7 @@
 
 #include "isa/ISA.h"
 #include "la/Lower.h"
+#include "obs/Trace.h"
 #include "runtime/BatchPool.h"
 #include "service/Tuner.h"
 #include "support/Hash.h"
@@ -52,6 +53,32 @@ std::string requestKey(const Generator &G, bool Batched,
     H.str(batchStrategyName(Strategy));
   return hexDigest(H.digest());
 }
+
+/// The service's registry metrics, resolved once (references are stable
+/// for the process lifetime, so recording afterwards is lock-free).
+struct ServiceMetrics {
+  obs::Histogram &GetUs = obs::Registry::global().histogram("service.get.us");
+  obs::Histogram &WaitUs =
+      obs::Registry::global().histogram("service.flight-wait.us");
+  obs::Histogram &DiskUs =
+      obs::Registry::global().histogram("service.disk-load.us");
+  obs::Histogram &GenUs =
+      obs::Registry::global().histogram("service.generate.us");
+  obs::Histogram &TuneUs =
+      obs::Registry::global().histogram("service.tune.us");
+  obs::Counter &TierMem = obs::Registry::global().counter("service.tier.mem");
+  obs::Counter &TierDisk =
+      obs::Registry::global().counter("service.tier.disk");
+  obs::Counter &TierGenerated =
+      obs::Registry::global().counter("service.tier.generated");
+  obs::Counter &TierJoined =
+      obs::Registry::global().counter("service.tier.joined");
+
+  static ServiceMetrics &get() {
+    static ServiceMetrics M;
+    return M;
+  }
+};
 
 } // namespace
 
@@ -137,6 +164,9 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
     return {nullptr, "normalization failed: " + G.error(),
             Errc::InvalidProgram};
   }
+  ServiceMetrics &M = ServiceMetrics::get();
+  const int64_t StartUs = obs::nowUs();
+  RequestTiming TM;
   std::string Key = requestKey(G, Req.Batched,
                                Req.Strategy.value_or(Cfg.Strategy));
 
@@ -144,10 +174,17 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
   bool Leader = false;
   {
     std::lock_guard<std::mutex> L(FlightMu);
+    obs::ScopedSpan Lookup("cache-lookup", "service");
     if (ArtifactPtr A = Cache.lookup(Key)) {
       ++MemHits;
-      return {A, {}};
+      M.TierMem.add();
+      TM.Tier = "mem";
+      TM.CacheUs = Lookup.finish();
+      TM.TotalUs = obs::nowUs() - StartUs;
+      M.GetUs.record(TM.TotalUs);
+      return {A, {}, Errc::None, std::move(TM)};
     }
+    TM.CacheUs = Lookup.finish();
     auto It = Inflight.find(Key);
     if (It != Inflight.end()) {
       F = It->second;
@@ -160,8 +197,20 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
       ++Misses;
     }
   }
-  if (!Leader)
-    return F->Future.get(); // blocks until the leader publishes
+  if (!Leader) {
+    // Blocks until the leader publishes. The joiner's timing is its own
+    // story -- the wait, not the leader's phases -- so the copied result's
+    // breakdown is replaced wholesale.
+    obs::ScopedSpan Wait("flight-wait", "service", &M.WaitUs);
+    GetResult R = F->Future.get();
+    M.TierJoined.add();
+    R.Timing = std::move(TM);
+    R.Timing.Tier = "joined";
+    R.Timing.WaitUs = Wait.finish();
+    R.Timing.TotalUs = obs::nowUs() - StartUs;
+    M.GetUs.record(R.Timing.TotalUs);
+    return R;
+  }
 
   // The flight MUST be resolved on every path: an unfulfilled promise
   // would block current joiners forever and a stale Inflight entry would
@@ -170,7 +219,7 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
   Errc Code = Errc::Internal;
   ArtifactPtr A;
   try {
-    A = produce(Key, G, Req, Err, Code);
+    A = produce(Key, G, Req, Err, Code, TM);
   } catch (const std::exception &E) {
     Err = std::string("internal error: ") + E.what();
     Code = Errc::Internal;
@@ -178,7 +227,13 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
     Err = "internal error";
     Code = Errc::Internal;
   }
-  GetResult R{A, A ? std::string() : Err, A ? Errc::None : Code};
+  if (TM.Tier == "disk")
+    M.TierDisk.add();
+  else if (A)
+    M.TierGenerated.add();
+  TM.TotalUs = obs::nowUs() - StartUs;
+  M.GetUs.record(TM.TotalUs);
+  GetResult R{A, A ? std::string() : Err, A ? Errc::None : Code, TM};
   try {
     std::lock_guard<std::mutex> L(FlightMu);
     if (A)
@@ -198,7 +253,9 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
 
 ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
                                    const RequestOptions &Req,
-                                   std::string &Err, Errc &Code) {
+                                   std::string &Err, Errc &Code,
+                                   RequestTiming &TM) {
+  ServiceMetrics &M = ServiceMetrics::get();
   const GenOptions &O = G.options();
   const std::string IsaFlags = runtime::isaCompileFlags(*O.Isa);
   const bool Batched = Req.Batched;
@@ -209,11 +266,15 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
   // entry whose .so is missing or stale still skips generation (recompile
   // from the persisted source).
   if (Cache.hasDiskTier() && Cache.onDisk(Key)) {
+    obs::ScopedSpan Disk("disk-load", "service", &M.DiskUs);
     std::string DiskErr;
     if (ArtifactPtr A = Cache.loadFromDisk(Key, DiskErr)) {
       ++DiskHits;
-      if (A->Kernel || !Compile)
+      TM.Tier = "disk";
+      if (A->Kernel || !Compile) {
+        TM.DiskUs = Disk.finish();
         return A;
+      }
       auto Fresh = std::make_shared<KernelArtifact>(*A);
       runtime::CompileOptions CO;
       CO.ExtraFlags = IsaFlags;
@@ -222,8 +283,11 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
       CO.WithBatchEntry = Batched;
       std::string CompileErr;
       ++Compilations;
+      obs::ScopedSpan Cc("compile", "service");
       auto K = runtime::JitKernel::compile(Fresh->CSource, Fresh->FuncName,
                                            Fresh->NumParams, CO, CompileErr);
+      TM.CompileUs += Cc.finish();
+      TM.DiskUs = Disk.finish() - TM.CompileUs;
       if (!K) {
         Err = "recompile of cached entry failed: " + CompileErr;
         Code = Errc::CompileFailed;
@@ -236,8 +300,11 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
   }
 
   // Generate. Measured tuning needs a compiler; otherwise (and on explicit
-  // request) the static cost model ranks the variants.
+  // request) the static cost model ranks the variants. GenUs covers the
+  // whole block, including measured variant tuning when Measure is on.
   ++Generations;
+  TM.Tier = "generated";
+  obs::ScopedSpan Gen("generate", "service", &M.GenUs);
   TuneOptions TO;
   TO.TopK = Cfg.TuneTopK;
   TO.MaxVariants = Cfg.MaxVariants;
@@ -254,10 +321,12 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
     else {
       Err = "generation failed (infeasible variant?)";
       Code = Errc::GenerationFailed;
+      TM.GenUs = Gen.finish();
       return nullptr;
     }
     Tuned = std::move(Static);
   }
+  TM.GenUs = Gen.finish();
   if (!Tuned) {
     Code = Errc::GenerationFailed;
     return nullptr;
@@ -281,8 +350,10 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
         O.Isa->Nu < 2)
       Strat = BatchStrategy::ScalarLoop;
     if (Strat == BatchStrategy::Auto) {
+      obs::ScopedSpan Tune("tune-batch", "service", &M.TuneUs);
       BatchChoice BC = chooseBatchStrategy(Tuned->Result, O, TO, Compile,
                                            ThreadsPolicy);
+      TM.TuneUs = Tune.finish();
       if (BC.Measured)
         ++TunerRuns;
       Strat = BC.Strategy;
@@ -334,8 +405,10 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
     }
     std::string CompileErr;
     ++Compilations;
+    obs::ScopedSpan Cc("compile", "service");
     auto K = runtime::JitKernel::compile(A->CSource, A->FuncName,
                                          A->NumParams, CO, CompileErr);
+    TM.CompileUs += Cc.finish();
     if (!K) {
       Err = "generated C failed to compile: " + CompileErr;
       Code = Errc::CompileFailed;
@@ -379,6 +452,9 @@ GetResult KernelService::dispatchBatch(const std::string &LaSource,
   int Threads = Req.Threads.value_or(Cfg.BatchThreads);
   if (Threads <= 0)
     Threads = R->BatchThreads;
+  obs::ScopedSpan Dispatch(
+      "batch-dispatch", "service",
+      &obs::Registry::global().histogram("service.batch-dispatch.us"));
   runtime::callBatchParallel(*R->Kernel, Count, Buffers,
                              isaByName(R->IsaName.c_str()).Nu, Threads);
   return R;
@@ -430,6 +506,11 @@ ServiceStats KernelService::stats() const {
   S.Evictions = Evictions.load();
   S.Errors = Errors.load();
   S.Prefetches = Prefetches.load();
+  S.DiskScans = static_cast<long>(Cache.diskScans());
+  S.DiskEvictions = Cache.diskEvictions();
+  S.MemEntries = static_cast<long>(Cache.size());
+  S.DiskEntries = static_cast<long>(Cache.diskEntries());
+  S.DiskBytes = Cache.diskBytes();
   return S;
 }
 
@@ -445,7 +526,52 @@ std::string service::serializeServiceStats(const ServiceStats &S) {
   SS << "evictions=" << S.Evictions << "\n";
   SS << "errors=" << S.Errors << "\n";
   SS << "prefetches=" << S.Prefetches << "\n";
+  SS << "disk-scans=" << S.DiskScans << "\n";
+  SS << "disk-evictions=" << S.DiskEvictions << "\n";
+  SS << "mem-entries=" << S.MemEntries << "\n";
+  SS << "disk-entries=" << S.DiskEntries << "\n";
+  SS << "disk-bytes=" << S.DiskBytes << "\n";
   return SS.str();
+}
+
+std::string service::serializeRequestTiming(const RequestTiming &T) {
+  std::stringstream SS;
+  SS << "tier=" << T.Tier << "\n";
+  SS << "cache-us=" << T.CacheUs << "\n";
+  SS << "wait-us=" << T.WaitUs << "\n";
+  SS << "disk-us=" << T.DiskUs << "\n";
+  SS << "gen-us=" << T.GenUs << "\n";
+  SS << "tune-us=" << T.TuneUs << "\n";
+  SS << "compile-us=" << T.CompileUs << "\n";
+  SS << "total-us=" << T.TotalUs << "\n";
+  return SS.str();
+}
+
+bool service::deserializeRequestTiming(const std::string &Text,
+                                       RequestTiming &T) {
+  bool SawAny = false;
+  for (auto &KV : parseKeyValueLines(Text)) {
+    SawAny = true;
+    if (KV.first == "tier")
+      T.Tier = KV.second;
+    else if (KV.first == "cache-us")
+      T.CacheUs = atol(KV.second.c_str());
+    else if (KV.first == "wait-us")
+      T.WaitUs = atol(KV.second.c_str());
+    else if (KV.first == "disk-us")
+      T.DiskUs = atol(KV.second.c_str());
+    else if (KV.first == "gen-us")
+      T.GenUs = atol(KV.second.c_str());
+    else if (KV.first == "tune-us")
+      T.TuneUs = atol(KV.second.c_str());
+    else if (KV.first == "compile-us")
+      T.CompileUs = atol(KV.second.c_str());
+    else if (KV.first == "total-us")
+      T.TotalUs = atol(KV.second.c_str());
+    // Unknown keys are skipped: a newer server may ship a richer
+    // breakdown than this client knows.
+  }
+  return SawAny;
 }
 
 //===----------------------------------------------------------------------===//

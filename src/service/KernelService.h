@@ -149,10 +149,43 @@ struct ServiceStats {
   long Evictions = 0;    ///< memory-tier LRU evictions
   long Errors = 0;       ///< failed requests
   long Prefetches = 0;   ///< prefetch() jobs accepted
+  // Cache-tier gauges + disk GC counters (see KernelCache): sampled at
+  // stats() time rather than counted here.
+  long DiskScans = 0;     ///< full disk-tier scans (stays 1 under GC)
+  long DiskEvictions = 0; ///< disk-tier entries evicted by the byte budget
+  long MemEntries = 0;    ///< memory-tier occupancy now
+  long DiskEntries = 0;   ///< disk-tier entries now (0 without a tier)
+  long DiskBytes = 0;     ///< disk-tier total bytes now
 };
 
 /// stats() as `key=value` lines (the wire protocol's STATS payload).
 std::string serializeServiceStats(const ServiceStats &S);
+
+/// Per-request phase breakdown, recorded by every get(): where the answer
+/// came from and how long each serving phase took, in wall microseconds.
+/// Phases that did not run stay 0 (a memory hit has only CacheUs; only
+/// joiners have WaitUs). This is what the wire protocol ships to clients
+/// as the optional server-timing field (see serializeRequestTiming) and
+/// what sl::Kernel::timing() surfaces.
+struct RequestTiming {
+  /// Which tier answered: "mem", "disk", "generated", or "joined"
+  /// (piggybacked on another request's in-flight generation). Empty on
+  /// requests that failed before tier resolution.
+  std::string Tier;
+  long CacheUs = 0;   ///< memory-tier lookup (under the flight lock)
+  long WaitUs = 0;    ///< single-flight wait for the leader's result
+  long DiskUs = 0;    ///< disk-tier probe + load (+ recompile if stale .so)
+  long GenUs = 0;     ///< generator pipeline incl. measured variant tuning
+  long TuneUs = 0;    ///< batch-strategy resolution (Auto measurement)
+  long CompileUs = 0; ///< C compiler invocations
+  long TotalUs = 0;   ///< whole get(), end to end
+};
+
+/// \p T as `key=value` lines (tier=..., cache-us=..., ...): the wire form
+/// of the server-timing field. Forward-compatible: deserialize ignores
+/// unknown keys, so either side can grow the breakdown first.
+std::string serializeRequestTiming(const RequestTiming &T);
+bool deserializeRequestTiming(const std::string &Text, RequestTiming &T);
 
 /// What failed, when a request fails. One stable code per failure class,
 /// so callers (the client facade, the wire protocol) can branch without
@@ -181,6 +214,9 @@ struct GetResult {
   ArtifactPtr Kernel;
   std::string Error;
   Errc Code = Errc::None;
+  /// Phase breakdown of this request (joiners see their own wait, not the
+  /// leader's phases; see getImpl).
+  RequestTiming Timing;
 
   explicit operator bool() const { return Kernel != nullptr; }
   const KernelArtifact *operator->() const { return Kernel.get(); }
@@ -257,7 +293,7 @@ private:
   GetResult getImpl(Generator G, const RequestOptions &Req);
   ArtifactPtr produce(const std::string &Key, const Generator &G,
                       const RequestOptions &Req, std::string &Err,
-                      Errc &Code);
+                      Errc &Code, RequestTiming &TM);
   bool compilerUsable() const;
   void prefetchWorker();
 

@@ -8,6 +8,7 @@
 
 #include "expr/Operand.h"
 #include "isa/ISA.h"
+#include "obs/Trace.h"
 #include "runtime/BatchPool.h"
 #include "runtime/Jit.h"
 #include "support/AlignedBuffer.h"
@@ -210,6 +211,9 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
     if (!Cand.Kernel)
       continue;
     BatchBuffers B(R, Count);
+    obs::ScopedSpan Meas(
+        "tuner-measure", "tuner",
+        &obs::Registry::global().histogram("tuner.measure.us"));
     runtime::Measurement M = runtime::measureCycles(
         [&] {
           B.refill();
@@ -236,6 +240,9 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
     if (N > 1 && Best->Kernel->hasBatchSpan()) {
       const int CountMT = std::max(Count, 64 * Nu);
       BatchBuffers B(R, CountMT);
+      obs::ScopedSpan Meas(
+          "tuner-measure", "tuner",
+          &obs::Registry::global().histogram("tuner.measure.us"));
       runtime::Measurement Single = runtime::measureCycles(
           [&] {
             B.refill();
@@ -296,6 +303,9 @@ std::optional<TuneResult> service::tuneKernel(const Generator &G,
     std::vector<AlignedBuffer> Store;
     std::vector<double *> Bufs;
     fillBuffers(All[I], Store, Bufs);
+    obs::ScopedSpan Meas(
+        "tuner-measure", "tuner",
+        &obs::Registry::global().histogram("tuner.measure.us"));
     runtime::Measurement M = runtime::measureCycles(
         [&] { K->call(Bufs.data()); }, T.Measure);
     if (BestIdx < 0 || M.Median < BestCycles) {

@@ -870,4 +870,125 @@ TEST(SldServer, StopDisconnectsClientsAndUnlinksSocket) {
   D->Srv->stop();
 }
 
+//===----------------------------------------------------------------------===//
+// Server-timing wire field (optional trailing fields, old/new compat)
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestWantTimingIsOptionalAndTrailing) {
+  Request R;
+  R.LaSource = "Mat A(4,4) <In>;\n";
+  R.OptionsText = "isa=avx\nfunc=k\n";
+
+  // Default request: no trailing byte, so the encoding is byte-identical
+  // to the pre-timing wire format.
+  std::string Plain = encodeRequest(R);
+  R.WantTiming = true;
+  std::string WithTiming = encodeRequest(R);
+  ASSERT_EQ(WithTiming.size(), Plain.size() + 1);
+  EXPECT_EQ(WithTiming.substr(0, Plain.size()), Plain);
+
+  // Both forms decode, and absence means false -- exactly what an
+  // old-format client's bytes look like to a new daemon.
+  Request D;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(Plain, D, Err)) << Err;
+  EXPECT_FALSE(D.WantTiming);
+  ASSERT_TRUE(decodeRequest(WithTiming, D, Err)) << Err;
+  EXPECT_TRUE(D.WantTiming);
+
+  // The field is only encoded when set: an explicit 0 byte (or any other
+  // value, or trailing garbage after it) is malformed, not "false".
+  EXPECT_FALSE(decodeRequest(Plain + std::string(1, '\0'), D, Err));
+  EXPECT_FALSE(decodeRequest(Plain + std::string(1, '\x02'), D, Err));
+  EXPECT_FALSE(decodeRequest(WithTiming + "x", D, Err));
+}
+
+TEST(Protocol, ArtifactTimingTextIsOptionalAndTrailing) {
+  ArtifactMsg A;
+  A.Key = "00deadbeef001122";
+  A.FuncName = "potrf8";
+  A.IsaName = "avx";
+  A.NumParams = 2;
+  A.CSource = "void potrf8(double*, double*);";
+
+  // No breakdown: byte-identical to the pre-timing format, so old clients
+  // decode new daemons.
+  std::string Plain = encodeArtifact(A);
+  ArtifactMsg D;
+  std::string Err;
+  ASSERT_TRUE(decodeArtifact(Plain, D, Err)) << Err;
+  EXPECT_TRUE(D.TimingText.empty());
+
+  // With a breakdown, the document round-trips as the final field.
+  service::RequestTiming TM;
+  TM.Tier = "generated";
+  TM.CacheUs = 12;
+  TM.GenUs = 3400;
+  TM.CompileUs = 5600;
+  TM.TotalUs = 9100;
+  A.TimingText = service::serializeRequestTiming(TM);
+  std::string WithTiming = encodeArtifact(A);
+  ASSERT_GT(WithTiming.size(), Plain.size());
+  ASSERT_TRUE(decodeArtifact(WithTiming, D, Err)) << Err;
+  service::RequestTiming Back;
+  ASSERT_TRUE(service::deserializeRequestTiming(D.TimingText, Back));
+  EXPECT_EQ(Back.Tier, "generated");
+  EXPECT_EQ(Back.CacheUs, 12);
+  EXPECT_EQ(Back.GenUs, 3400);
+  EXPECT_EQ(Back.CompileUs, 5600);
+  EXPECT_EQ(Back.TotalUs, 9100);
+
+  // A decoded no-timing payload into a reused message clears the old
+  // document rather than leaking the previous request's breakdown.
+  ASSERT_TRUE(decodeArtifact(Plain, D, Err)) << Err;
+  EXPECT_TRUE(D.TimingText.empty());
+
+  // Trailing bytes after the timing field are still rejected.
+  EXPECT_FALSE(decodeArtifact(WithTiming + "x", D, Err));
+}
+
+TEST(SldServer, ServerTimingArrivesOnMissAndHit) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  Client C = D.client();
+  std::string Err;
+
+  // Cache miss: the daemon generated the kernel, and the attached
+  // breakdown says so.
+  Request R = potrfRequest("timed_potrf", scalarIsa());
+  R.WantTiming = true;
+  ArtifactMsg A;
+  ASSERT_TRUE(C.get(R, A, Err)) << Err;
+  ASSERT_FALSE(A.TimingText.empty());
+  service::RequestTiming Miss;
+  ASSERT_TRUE(service::deserializeRequestTiming(A.TimingText, Miss))
+      << A.TimingText;
+  EXPECT_EQ(Miss.Tier, "generated");
+  EXPECT_GT(Miss.GenUs, 0);
+  EXPECT_GE(Miss.TotalUs, Miss.GenUs);
+
+  // Same request again: a memory-tier hit, with its own (hit-shaped)
+  // breakdown.
+  ASSERT_TRUE(C.get(R, A, Err)) << Err;
+  ASSERT_FALSE(A.TimingText.empty());
+  service::RequestTiming Hit;
+  ASSERT_TRUE(service::deserializeRequestTiming(A.TimingText, Hit));
+  EXPECT_EQ(Hit.Tier, "mem");
+  EXPECT_EQ(Hit.GenUs, 0);
+
+  // A client that does not ask gets the pre-timing response shape.
+  R.WantTiming = false;
+  ASSERT_TRUE(C.get(R, A, Err)) << Err;
+  EXPECT_TRUE(A.TimingText.empty());
+
+  // The daemon's STATS now carries the cache gauges.
+  std::string Stats;
+  ASSERT_TRUE(C.stats(Stats, Err)) << Err;
+  EXPECT_NE(Stats.find("mem-entries=1"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("disk-entries="), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("disk-bytes="), std::string::npos) << Stats;
+}
+
 } // namespace

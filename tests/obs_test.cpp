@@ -1,0 +1,262 @@
+//===- tests/obs_test.cpp - metrics registry and tracer tests -------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The observability layer: histogram bucket boundaries and percentile
+// math, concurrent recording, registry reference stability and text
+// rendering, and the span tracer's ring/export behavior. The tracer and
+// registry are process-global, so tracer tests save and restore the
+// enabled flag and clear the ring when done.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace slingen;
+using obs::Histogram;
+
+//===----------------------------------------------------------------------===//
+// Histogram buckets
+//===----------------------------------------------------------------------===//
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket I covers [2^I, 2^(I+1)); bucket 0 additionally absorbs [0, 2).
+  EXPECT_EQ(Histogram::bucketOf(0), 0);
+  EXPECT_EQ(Histogram::bucketOf(1), 0);
+  EXPECT_EQ(Histogram::bucketOf(2), 1);
+  EXPECT_EQ(Histogram::bucketOf(3), 1);
+  EXPECT_EQ(Histogram::bucketOf(4), 2);
+  EXPECT_EQ(Histogram::bucketOf(7), 2);
+  EXPECT_EQ(Histogram::bucketOf(8), 3);
+  EXPECT_EQ(Histogram::bucketOf(1023), 9);
+  EXPECT_EQ(Histogram::bucketOf(1024), 10);
+  EXPECT_EQ(Histogram::bucketOf(1025), 10);
+  EXPECT_EQ(Histogram::bucketOf(int64_t(1) << 40), 40);
+  // The largest representable duration sits in bucket 62 ([2^62, 2^63));
+  // bucket 63 exists only so the index can never run off the array.
+  EXPECT_EQ(Histogram::bucketOf(INT64_MAX), 62);
+  EXPECT_LT(Histogram::bucketOf(INT64_MAX), Histogram::NumBuckets);
+}
+
+TEST(ObsHistogram, EmptySnapshot) {
+  Histogram H;
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0);
+  EXPECT_EQ(S.Sum, 0);
+  EXPECT_EQ(S.Min, 0);
+  EXPECT_EQ(S.Max, 0);
+  EXPECT_EQ(S.percentile(50), 0.0);
+  EXPECT_EQ(S.mean(), 0.0);
+}
+
+TEST(ObsHistogram, RecordBasics) {
+  Histogram H;
+  H.record(1);
+  H.record(100);
+  H.record(10000);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 3);
+  EXPECT_EQ(S.Sum, 10101);
+  EXPECT_EQ(S.Min, 1);
+  EXPECT_EQ(S.Max, 10000);
+  EXPECT_EQ(S.Buckets[Histogram::bucketOf(1)], 1);
+  EXPECT_EQ(S.Buckets[Histogram::bucketOf(100)], 1);
+  EXPECT_EQ(S.Buckets[Histogram::bucketOf(10000)], 1);
+}
+
+TEST(ObsHistogram, PercentileSingleValue) {
+  // All mass at one value: every percentile clamps to that exact value
+  // (the interpolation cannot wander outside [Min, Max]).
+  Histogram H;
+  for (int I = 0; I < 1000; ++I)
+    H.record(100);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.p50(), 100.0);
+  EXPECT_EQ(S.p99(), 100.0);
+  EXPECT_EQ(S.percentile(0), 100.0);
+  EXPECT_EQ(S.percentile(100), 100.0);
+}
+
+TEST(ObsHistogram, PercentileBimodal) {
+  // 90 fast samples (10us) and 10 slow ones (10000us): p50 must sit in
+  // the fast bucket, p99 in the slow one -- the tail-detection property
+  // the serving stack relies on.
+  Histogram H;
+  for (int I = 0; I < 90; ++I)
+    H.record(10);
+  for (int I = 0; I < 10; ++I)
+    H.record(10000);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_GE(S.p50(), 10.0); // clamped to Min
+  EXPECT_LT(S.p50(), 16.0); // inside [8, 16), bucket of 10
+  EXPECT_GE(S.p99(), 8192.0);    // inside the slow bucket [8192, 16384)
+  EXPECT_LE(S.p99(), 10000.0);   // clamped to Max
+  EXPECT_DOUBLE_EQ(S.mean(), (90.0 * 10 + 10.0 * 10000) / 100);
+}
+
+TEST(ObsHistogram, ConcurrentRecording) {
+  Histogram H;
+  constexpr int NumThreads = 8, PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&H] {
+      for (int I = 0; I < PerThread; ++I)
+        H.record((I % 1024) + 1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, int64_t(NumThreads) * PerThread);
+  int64_t PerThreadSum = 0;
+  for (int I = 0; I < PerThread; ++I)
+    PerThreadSum += (I % 1024) + 1;
+  EXPECT_EQ(S.Sum, NumThreads * PerThreadSum);
+  EXPECT_EQ(S.Min, 1);
+  EXPECT_EQ(S.Max, 1024);
+  int64_t BucketTotal = 0;
+  for (int64_t B : S.Buckets)
+    BucketTotal += B;
+  EXPECT_EQ(BucketTotal, S.Count);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsRegistry, StableReferences) {
+  obs::Registry &R = obs::Registry::global();
+  obs::Counter &C1 = R.counter("obstest.stable.counter");
+  obs::Counter &C2 = R.counter("obstest.stable.counter");
+  EXPECT_EQ(&C1, &C2);
+  obs::Histogram &H1 = R.histogram("obstest.stable.hist");
+  obs::Histogram &H2 = R.histogram("obstest.stable.hist");
+  EXPECT_EQ(&H1, &H2);
+  // Same name, different kind namespaces: counters and gauges are
+  // separate maps, so this is two metrics, not one.
+  obs::Gauge &G = R.gauge("obstest.stable.gauge");
+  G.set(42);
+  EXPECT_EQ(G.value(), 42);
+  G.add(-2);
+  EXPECT_EQ(G.value(), 40);
+}
+
+TEST(ObsRegistry, RenderText) {
+  obs::Registry &R = obs::Registry::global();
+  R.counter("obstest.render.counter").add(7);
+  R.gauge("obstest.render.gauge").set(-3);
+  obs::Histogram &H = R.histogram("obstest.render.hist");
+  H.record(100);
+  H.record(200);
+  std::string Text = R.renderText();
+  EXPECT_NE(Text.find("obstest.render.counter=7\n"), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.gauge=-3\n"), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.hist.count=2\n"), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.hist.sum-us=300\n"), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.hist.min-us=100\n"), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.hist.max-us=200\n"), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.hist.p50-us="), std::string::npos);
+  EXPECT_NE(Text.find("obstest.render.hist.p99-us="), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Save/restore the global tracer around a test (it is process state).
+class TracerGuard {
+public:
+  TracerGuard() : WasOn(obs::Tracer::global().enabled()) {
+    obs::Tracer::global().clear();
+  }
+  ~TracerGuard() {
+    obs::Tracer::global().setEnabled(WasOn);
+    obs::Tracer::global().clear();
+  }
+
+private:
+  bool WasOn;
+};
+
+} // namespace
+
+TEST(ObsTracer, DisabledRecordsNothing) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(false);
+  {
+    obs::ScopedSpan Span("obstest-disabled", "test");
+  }
+  EXPECT_EQ(T.size(), 0u);
+}
+
+TEST(ObsTracer, ScopedSpanRecordsWhenEnabled) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(true);
+  obs::Histogram H;
+  {
+    obs::ScopedSpan Span("obstest-span", "test", &H);
+  }
+  EXPECT_EQ(T.size(), 1u);
+  EXPECT_EQ(H.snapshot().Count, 1);
+  // finish() is idempotent: an early finish plus destruction is one span,
+  // one histogram sample.
+  obs::ScopedSpan Early("obstest-early", "test", &H);
+  Early.finish();
+  Early.finish();
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_EQ(H.snapshot().Count, 2);
+}
+
+TEST(ObsTracer, HistogramRecordsEvenWhenDisabled) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(false);
+  obs::Histogram H;
+  {
+    obs::ScopedSpan Span("obstest-hist-only", "test", &H);
+  }
+  EXPECT_EQ(T.size(), 0u);    // no span...
+  EXPECT_EQ(H.snapshot().Count, 1); // ...but the histogram still sees it
+}
+
+TEST(ObsTracer, ChromeExportShape) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(true);
+  T.record({"obstest-export", "test", 1000, 250, 3});
+  std::string J = T.exportChromeTrace();
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\": \"obstest-export\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"ts\": 1000"), std::string::npos);
+  EXPECT_NE(J.find("\"dur\": 250"), std::string::npos);
+  // Quotes and backslashes in names must come out escaped, or the export
+  // is not JSON.
+  T.record({"with\"quote\\", "test", 0, 1, 0});
+  J = T.exportChromeTrace();
+  EXPECT_NE(J.find("with\\\"quote\\\\"), std::string::npos);
+}
+
+TEST(ObsTracer, RingDropsOldest) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(true);
+  constexpr int Recorded = 70000; // > the ring capacity (1 << 16)
+  for (int I = 0; I < Recorded; ++I)
+    T.record({"obstest-ring", "test", I, 1, 0});
+  EXPECT_LT(T.size(), static_cast<size_t>(Recorded));
+  EXPECT_EQ(T.dropped(), Recorded - static_cast<int64_t>(T.size()));
+  T.clear();
+  EXPECT_EQ(T.size(), 0u);
+}

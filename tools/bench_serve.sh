@@ -1,0 +1,64 @@
+#!/bin/sh
+# tools/bench_serve.sh - record serving-stack latency under load.
+#
+# Starts a private sld (fresh cache, unix socket in a temp dir), drives it
+# with bench/serve_load (K concurrent clients over a mixed potrf kernel
+# set, one cold pass and one warm pass), and writes BENCH_serve.json at
+# the repo root: request-latency p50/p90/p99 per pass plus hit rates
+# diffed from the daemon's STATS counters. The cold run's percentiles
+# carry generation+compile cost; the warm run's are pure cache serving --
+# the gap is the latency cliff the two-tier cache exists to create.
+#
+#   bench_serve.sh [--smoke]
+#
+# --smoke trims to 2 clients x 2 requests over one size with a short
+# window; check.sh uses it as a CI liveness probe. Writes a valid stub
+# JSON (and succeeds) when the binaries are not built.
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${BENCH_OUT:-$ROOT/BENCH_serve.json}"
+BIN="$BUILD/bench/bench_serve_load"
+SLD="$BUILD/sld"
+
+CLIENTS=4 REQUESTS=8 SIZES=4,6,8
+if [ "${1:-}" = "--smoke" ]; then
+  CLIENTS=2 REQUESTS=2 SIZES=4
+fi
+
+if [ ! -x "$BIN" ] || [ ! -x "$SLD" ]; then
+  echo "bench_serve.sh: $BIN or $SLD not built (configure with" \
+       "-DSLINGEN_BUILD_BENCH=ON); writing stub" >&2
+  printf '{"bench": "serve_load", "runs": [], "skipped": "binary not built"}\n' > "$OUT"
+  exit 0
+fi
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/bench_serve.XXXXXX")
+SOCK="$TMP/sld.sock"
+SLD_PID=""
+cleanup() {
+  [ -n "$SLD_PID" ] && kill "$SLD_PID" 2>/dev/null && wait "$SLD_PID" 2>/dev/null
+  rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# A fresh cache dir makes the cold pass genuinely cold on every run.
+"$SLD" -socket "$SOCK" -cache-dir "$TMP/cache" 2> "$TMP/sld.log" &
+SLD_PID=$!
+
+# Wait for the socket to come up (the daemon prints "serving" once bound).
+TRIES=0
+while [ ! -S "$SOCK" ]; do
+  TRIES=$((TRIES + 1))
+  if [ "$TRIES" -gt 50 ]; then
+    echo "bench_serve.sh: sld did not come up; log:" >&2
+    cat "$TMP/sld.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$BIN" -connect "unix:$SOCK" -clients "$CLIENTS" -requests "$REQUESTS" \
+       -sizes "$SIZES" -out "$OUT"
+echo "bench_serve.sh: wrote $OUT"

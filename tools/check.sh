@@ -93,6 +93,37 @@ ls "$ROOT"/examples/*.la > "$SMOKE_CACHE/warm.list"
 "$BUILD/slc" -connect "$SLD_SOCK" \
   "$(head -1 "$SMOKE_CACHE/warm.list")" > "$SMOKE_OUT"
 grep -q "cache key:" "$SMOKE_OUT"
+
+echo "== observability smoke =="
+# A traced, timed request against the live daemon: the Chrome trace export
+# must be loadable JSON with at least one complete span, and the wire must
+# deliver the server-side phase breakdown.
+"$BUILD/slc" -connect "$SLD_SOCK" -timing \
+  -trace-out "$SMOKE_CACHE/trace.json" "$ROOT/examples/potrf.la" \
+  > "$SMOKE_OUT" 2> "$SMOKE_CACHE/timing.log"
+grep -q "timing: tier=" "$SMOKE_CACHE/timing.log"
+grep -q '"traceEvents"' "$SMOKE_CACHE/trace.json"
+grep -q '"ph": "X"' "$SMOKE_CACHE/trace.json" # >= 1 complete span
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c 'import json, sys
+spans = json.load(open(sys.argv[1]))["traceEvents"]
+assert len(spans) >= 1 and all("dur" in s for s in spans), "bad trace"' \
+    "$SMOKE_CACHE/trace.json"
+fi
+# The daemon's STATS now carries the disk-tier gauges, and slc -stats
+# derives hit rates from them.
+"$BUILD/slc" -connect "$SLD_SOCK" -stats > "$SMOKE_CACHE/stats.out"
+grep -q "mem-entries=" "$SMOKE_CACHE/stats.out"
+grep -q "disk-entries=" "$SMOKE_CACHE/stats.out"
+grep -q "disk-bytes=" "$SMOKE_CACHE/stats.out"
+grep -q "disk-scans=" "$SMOKE_CACHE/stats.out"
+grep -q "% hit" "$SMOKE_CACHE/stats.out"
+# SIGUSR1 dumps counters + histograms to stderr without disturbing service.
+kill -USR1 "$SLD_PID"
+sleep 0.3
+grep -q "stats dump" "$SMOKE_CACHE/sld.log"
+grep -q "service.get.us.count=" "$SMOKE_CACHE/sld.log"
+"$BUILD/slc" -connect "$SLD_SOCK" "$ROOT/examples/potrf.la" > /dev/null
 kill "$SLD_PID"
 for _ in $(seq 100); do
   kill -0 "$SLD_PID" 2>/dev/null || break
@@ -153,5 +184,12 @@ echo "== batch strategy bench smoke =="
 # compiler or no vector ISA is available, so this passes everywhere.
 BENCH_OUT="$SMOKE_CACHE/BENCH_batch.json" "$ROOT/tools/bench_batch.sh" --smoke
 test -s "$SMOKE_CACHE/BENCH_batch.json"
+
+echo "== serve load bench smoke =="
+# A tiny cold+warm load run against a private daemon; the output must be
+# well-formed with both passes present.
+BENCH_OUT="$SMOKE_CACHE/BENCH_serve.json" "$ROOT/tools/bench_serve.sh" --smoke
+test -s "$SMOKE_CACHE/BENCH_serve.json"
+grep -q '"runs"' "$SMOKE_CACHE/BENCH_serve.json"
 
 echo "check.sh: all green"

@@ -38,6 +38,13 @@
 //                      <file> (one per line, # comments) -- on the daemon
 //                      with -connect, else on a local service (wants
 //                      -cache-dir); exits after queueing/draining
+//     -stats           print the serving side's counters (with -connect:
+//                      the daemon's) plus derived hit rates, then exit
+//     -timing          request the per-phase timing breakdown and print
+//                      it to stderr (tier, generation/compile/tune time,
+//                      round trip)
+//     -trace-out <f>   collect phase spans for this run and write them as
+//                      Chrome trace-event JSON to <f>
 //     -print-basic     also print the Stage 1 basic program to stderr
 //     -print-variants  list HLACs and their variant counts, then exit
 //
@@ -83,6 +90,9 @@ void usage(const char *Argv0) {
           "  -connect <addr>   request from the sld daemon at <addr>\n"
           "  -so-out <file>    save the compiled shared object\n"
           "  -warm <file>      prefetch every .la listed in <file>\n"
+          "  -stats            print serving-side counters + hit rates\n"
+          "  -timing           print the request's phase breakdown\n"
+          "  -trace-out <f>    write Chrome trace JSON for this run\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
           "  -print-variants   list HLAC variant counts and exit\n",
           Argv0);
@@ -146,8 +156,9 @@ int fail(const std::string &Msg) {
 
 int main(int argc, char **argv) {
   std::string Input, Output, VariantStr, ConnectAddr, SoOut, WarmFile,
-      CacheDir, StrategyName;
-  bool PrintBasic = false, PrintVariants = false, Batch = false;
+      CacheDir, StrategyName, TraceOut;
+  bool PrintBasic = false, PrintVariants = false, Batch = false,
+       StatsMode = false, TimingSet = false;
   // Requests only override what the user explicitly set, so a bare
   // `slc -connect` defers strategy/measure/threads policy to the daemon.
   bool MeasureSet = false, NameSet = false, ThreadsSet = false;
@@ -237,6 +248,12 @@ int main(int argc, char **argv) {
       SoOut = Next();
     else if (Arg == "-warm")
       WarmFile = Next();
+    else if (Arg == "-stats")
+      StatsMode = true;
+    else if (Arg == "-timing")
+      TimingSet = true;
+    else if (Arg == "-trace-out")
+      TraceOut = Next();
     else if (Arg == "-print-basic")
       PrintBasic = true;
     else if (Arg == "-print-variants")
@@ -265,6 +282,22 @@ int main(int argc, char **argv) {
   if (ThreadsSet && !Batch)
     fprintf(stderr, "warning: -batch-threads has no effect without -batch\n");
 
+  // Collection must be on before the session exists so connect/produce
+  // spans land in the export.
+  if (!TraceOut.empty())
+    sl::setTracing(true);
+  auto writeTrace = [&]() -> bool {
+    if (TraceOut.empty())
+      return true;
+    std::string TErr;
+    if (!sl::exportTraceJson(TraceOut, TErr)) {
+      fprintf(stderr, "error: cannot write trace: %s\n", TErr.c_str());
+      return false;
+    }
+    fprintf(stderr, "trace: wrote %s\n", TraceOut.c_str());
+    return true;
+  };
+
   /// One request shape for every serving path (warm, local, remote).
   auto buildRequest = [&](const std::string &Source,
                           const std::string &DefaultName) {
@@ -284,6 +317,8 @@ int main(int argc, char **argv) {
     if (MeasureSet)
       B.measure();
     B.wantObject(!SoOut.empty());
+    if (TimingSet)
+      B.wantTiming();
     return B.build();
   };
 
@@ -304,6 +339,40 @@ int main(int argc, char **argv) {
       C.ServiceOptions.push_back(KV); // user -service keys win (applied last)
     return sl::Session::open("local:", C);
   };
+
+  //===--------------------------------------------------------------------===//
+  // Stats mode: dump the serving side's counters plus derived rates.
+  //===--------------------------------------------------------------------===//
+  if (StatsMode) {
+    if (!Input.empty())
+      return fail("-stats takes no positional input");
+    if (ConnectAddr.empty())
+      fprintf(stderr, "warning: -stats without -connect reports a fresh "
+                      "local service (all zeros); point it at a daemon\n");
+    auto S = openSession();
+    if (!S)
+      return fail(S.message());
+    auto Stats = S->stats();
+    if (!Stats)
+      return fail(Stats.message());
+    fputs(Stats->c_str(), stdout);
+    // Derived rates, marked as comments so the raw document above stays
+    // machine-parseable as plain key=value lines.
+    auto KV = parseKeyValueMap(*Stats);
+    long MemHits = atol(KV["mem-hits"].c_str());
+    long DiskHits = atol(KV["disk-hits"].c_str());
+    long Misses = atol(KV["misses"].c_str());
+    long Requests = MemHits + DiskHits + Misses;
+    if (Requests > 0)
+      printf("# %ld requests: %.1f%% hit (%.1f%% mem, %.1f%% disk), "
+             "%.1f%% generated\n",
+             Requests, 100.0 * (MemHits + DiskHits) / Requests,
+             100.0 * MemHits / Requests, 100.0 * DiskHits / Requests,
+             100.0 * Misses / Requests);
+    else
+      printf("# no requests served yet\n");
+    return 0;
+  }
 
   //===--------------------------------------------------------------------===//
   // Warm mode: queue prefetches for a list of programs, then exit.
@@ -366,7 +435,7 @@ int main(int argc, char **argv) {
           return 1;
       }
     }
-    return Failures == 0 ? 0 : 1;
+    return writeTrace() && Failures == 0 ? 0 : 1;
   }
 
   if (Input.empty()) {
@@ -412,6 +481,18 @@ int main(int argc, char **argv) {
       fprintf(stderr, "%s: %s\n", Input.c_str(), K.message().c_str());
       return 1;
     }
+    if (TimingSet) {
+      if (const sl::TimingBreakdown *T = K->timing())
+        fprintf(stderr,
+                "timing: tier=%s total-us=%ld round-trip-us=%ld "
+                "(cache=%ld wait=%ld disk=%ld gen=%ld tune=%ld "
+                "compile=%ld)\n",
+                T->Tier.c_str(), T->TotalUs, T->RoundTripUs, T->CacheUs,
+                T->WaitUs, T->DiskUs, T->GenUs, T->TuneUs, T->CompileUs);
+      else
+        fprintf(stderr, "timing: unavailable (serving side predates the "
+                        "breakdown field)\n");
+    }
     if (PrintBasic && ConnectAddr.empty())
       fprintf(stderr, "/* -print-basic is unavailable with "
                       "-measure/-cache-dir (cache hits skip Stage 1) */\n");
@@ -443,7 +524,7 @@ int main(int argc, char **argv) {
         return fail("cannot write " + Output);
       Out << C;
     }
-    return 0;
+    return writeTrace() ? 0 : 1;
   }
 
   //===--------------------------------------------------------------------===//

@@ -20,10 +20,14 @@
 //     -workers <n>       prefetch worker threads (default 2)
 //     -service k=v       any ServiceConfig option by name (see
 //                        serializeServiceConfig keys)
+//     -stats-interval <s> print a one-line serving summary to stderr
+//                        every <s> seconds
 //     -print-config      print the effective ServiceConfig and exit
 //
 // Runs in the foreground (a process supervisor owns daemonization);
-// SIGINT/SIGTERM drain the prefetch pool and exit cleanly.
+// SIGINT/SIGTERM drain the prefetch pool and exit cleanly. SIGUSR1 dumps
+// the full service stats plus every registered metric (histograms with
+// percentiles) to stderr without disturbing service.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,12 +36,15 @@
 // clients (slc, examples, out-of-tree users) go through slingen/client.h
 // instead and never touch these headers.
 #include "net/Server.h"
+#include "obs/Metrics.h"
 #include "support/Format.h"
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 
 #include <pthread.h>
@@ -57,8 +64,31 @@ void usage(const char *Argv0) {
           "  -measure         rank variants by measured cycles\n"
           "  -workers <n>     prefetch worker threads (default 2)\n"
           "  -service k=v     set any ServiceConfig option by key\n"
+          "  -stats-interval <s>  periodic one-line serving summary\n"
           "  -print-config    print the effective config and exit\n",
           Argv0);
+}
+
+/// The SIGUSR1 dump: full service counters plus every registered metric
+/// (histograms expanded to count/sum/min/max/p50/p90/p99).
+void dumpStats(service::KernelService &Service) {
+  fprintf(stderr, "sld: --- stats dump ---\n%s--- metrics ---\n%s---\n",
+          service::serializeServiceStats(Service.stats()).c_str(),
+          obs::Registry::global().renderText().c_str());
+}
+
+/// The -stats-interval line: request mix and hit rate at a glance,
+/// cheap enough to leave on in production.
+void printSummaryLine(service::KernelService &Service) {
+  service::ServiceStats S = Service.stats();
+  long Requests = S.MemHits + S.DiskHits + S.Misses;
+  double HitRate =
+      Requests > 0 ? 100.0 * (S.MemHits + S.DiskHits) / Requests : 0.0;
+  fprintf(stderr,
+          "sld: %ld reqs (%.1f%% hit) mem=%ld disk=%ld gen=%ld err=%ld | "
+          "cache: %ld mem entries, %ld disk entries (%ld bytes)\n",
+          Requests, HitRate, S.MemHits, S.DiskHits, S.Generations,
+          S.Errors, S.MemEntries, S.DiskEntries, S.DiskBytes);
 }
 
 } // namespace
@@ -68,6 +98,7 @@ int main(int argc, char **argv) {
   net::ServerConfig NC;
   NC.UnixPath = formatf("/tmp/sld.%d.sock", static_cast<int>(getuid()));
   bool PrintConfig = false;
+  int StatsInterval = 0;
   std::string Err;
 
   for (int I = 1; I < argc; ++I) {
@@ -113,6 +144,15 @@ int main(int argc, char **argv) {
         return 1;
       }
       Apply(KV.substr(0, Eq).c_str(), KV.substr(Eq + 1));
+    } else if (Arg == "-stats-interval") {
+      std::string S = Next();
+      StatsInterval = atoi(S.c_str());
+      if (StatsInterval <= 0 ||
+          S.find_first_not_of("0123456789") != std::string::npos) {
+        fprintf(stderr,
+                "error: -stats-interval takes a positive second count\n");
+        return 1;
+      }
     } else if (Arg == "-print-config")
       PrintConfig = true;
     else if (Arg == "-h" || Arg == "--help") {
@@ -130,15 +170,17 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  // Block the shutdown signals BEFORE the server spawns threads: every
-  // thread inherits the mask, so SIGINT/SIGTERM can only be collected by
-  // sigwait below -- delivered to an accept thread instead, the signal
-  // would be swallowed as a spurious EINTR and the daemon would never die.
-  sigset_t ShutdownSet;
-  sigemptyset(&ShutdownSet);
-  sigaddset(&ShutdownSet, SIGINT);
-  sigaddset(&ShutdownSet, SIGTERM);
-  pthread_sigmask(SIG_BLOCK, &ShutdownSet, nullptr);
+  // Block the handled signals BEFORE the server spawns threads: every
+  // thread inherits the mask, so SIGINT/SIGTERM/SIGUSR1 can only be
+  // collected by the wait loop below -- delivered to an accept thread
+  // instead, a signal would be swallowed as a spurious EINTR (or kill the
+  // process, for SIGUSR1's default disposition).
+  sigset_t WaitSet;
+  sigemptyset(&WaitSet);
+  sigaddset(&WaitSet, SIGINT);
+  sigaddset(&WaitSet, SIGTERM);
+  sigaddset(&WaitSet, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &WaitSet, nullptr);
 
   service::KernelService Service(SC);
   net::Server Server(Service, NC);
@@ -154,9 +196,34 @@ int main(int argc, char **argv) {
           SC.CacheDir.c_str());
 
   // The accept/serve work happens on the server's threads; this thread
-  // just waits for a shutdown signal.
-  int Sig = 0;
-  while (sigwait(&ShutdownSet, &Sig) != 0) {
+  // waits for signals and doubles as the stats reporter. sigtimedwait
+  // with the interval as the timeout gives both behaviors one loop: a
+  // timeout prints the summary line, SIGUSR1 dumps and continues, and
+  // SIGINT/SIGTERM fall through to shutdown. Without -stats-interval the
+  // timeout is infinite (plain sigwait semantics).
+  for (;;) {
+    int Sig;
+    if (StatsInterval > 0) {
+      timespec TS{};
+      TS.tv_sec = StatsInterval;
+      siginfo_t Info;
+      Sig = sigtimedwait(&WaitSet, &Info, &TS);
+      if (Sig < 0) {
+        if (errno == EAGAIN) { // interval elapsed, nothing pending
+          printSummaryLine(Service);
+          continue;
+        }
+        continue; // EINTR
+      }
+    } else {
+      if (sigwait(&WaitSet, &Sig) != 0)
+        continue;
+    }
+    if (Sig == SIGUSR1) {
+      dumpStats(Service);
+      continue;
+    }
+    break; // SIGINT/SIGTERM
   }
 
   fprintf(stderr, "sld: shutting down (%ld frames served)\n",
