@@ -58,7 +58,17 @@
 ///   TransportError     the connection died mid-request (reconnect failed)
 ///   ProtocolError      the peer sent frames this client cannot decode
 ///   RemoteError        daemon-side failure with no finer class
+///   Overloaded         the serving side shed the request; retry after
+///                      backoff (the session's retry policy already did,
+///                      so seeing this means the budget ran out)
+///   DeadlineExceeded   the deadlineMs() budget expired; retrying is
+///                      futile unless the caller grants more time
 ///   InternalError      unexpected failure inside the stack
+///
+/// Retry-safe classes: ConnectFailed, TransportError, and Overloaded are
+/// the only codes the session retries on its own (SessionConfig::
+/// MaxRetries, exponential backoff with jitter). Everything else is a
+/// verdict on the request itself and is returned immediately.
 ///
 /// Minimal use:
 ///
@@ -111,6 +121,8 @@ enum class Code {
   TransportError,
   ProtocolError,
   RemoteError,
+  Overloaded,
+  DeadlineExceeded,
   InternalError,
 };
 
@@ -205,6 +217,10 @@ public:
   /// Whether the serving side was asked to attach its per-phase timing
   /// breakdown to the returned Kernel (Kernel::timing()).
   bool wantTiming() const { return WantTiming; }
+  /// Total time budget for one get() of this request in milliseconds
+  /// (0 = none). Covers everything: queueing, generation, compilation,
+  /// the wire, and any automatic retries.
+  int deadlineMs() const { return DeadlineMs; }
 
 private:
   friend class RequestBuilder;
@@ -214,6 +230,7 @@ private:
   int Measure = -1;
   bool WantObject = true;
   bool WantTiming = false;
+  int DeadlineMs = 0;
 };
 
 /// Fluent request construction. Every setter returns *this; build()
@@ -255,6 +272,14 @@ public:
   /// a daemon too old to know the field serves the kernel without a
   /// breakdown rather than failing.
   RequestBuilder &wantTiming(bool On = true);
+  /// Bound each get() of this request to \p Ms milliseconds end to end
+  /// (0 = no deadline). The budget is enforced client-side -- a stalled
+  /// daemon fails the request with Code::DeadlineExceeded in bounded time
+  /// -- and shipped to the daemon, which sheds work whose deadline already
+  /// expired instead of generating a kernel nobody is waiting for. A
+  /// daemon too old to know the field serves the request without
+  /// daemon-side shedding; the client-side bound still holds.
+  RequestBuilder &deadlineMs(int Ms);
 
   /// Validates and freezes the request.
   Result<Request> build() const;
@@ -267,6 +292,7 @@ private:
   int Measure = -1;
   bool WantObject = true;
   bool WantTiming = false;
+  int DeadlineMs = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -387,6 +413,20 @@ struct SessionConfig {
   /// open() with InvalidRequest. See service serializeServiceConfig for
   /// the key set.
   std::vector<std::pair<std::string, std::string>> ServiceOptions;
+
+  /// Automatic retries (beyond the first attempt) for remote requests
+  /// that fail retry-safely: connect failures, transport deaths, and
+  /// daemon-side Overloaded sheds. Each retry reconnects and backs off
+  /// exponentially (RetryBackoffMs * 2^attempt, jittered, capped at 2 s);
+  /// a request deadline caps the whole sequence -- no retry is attempted
+  /// that could not finish in budget. 0 disables retries entirely.
+  int MaxRetries = 2;
+  /// Base backoff before the first retry, in milliseconds.
+  int RetryBackoffMs = 20;
+  /// Bound on each TCP/Unix connect attempt, in milliseconds: an
+  /// unreachable daemon address fails in this much time, not the
+  /// kernel's minutes-long SYN-retry budget.
+  int ConnectTimeoutMs = 10000;
 };
 
 /// A connection to one kernel source. Movable, not copyable; one Session

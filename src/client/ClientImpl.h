@@ -92,9 +92,12 @@ std::unique_ptr<Backend> makeLocalBackend(const std::string &CacheDir,
                                           const SessionConfig &Config,
                                           Status &Err);
 /// sld socket backend (`unix:`/`tcp:`), with per-request connection
-/// re-establishment. \p Eager connects inside the factory (plain remote
-/// addresses fail fast); the fallback wrapper passes false.
+/// re-establishment and the Config's bounded retry policy (MaxRetries /
+/// RetryBackoffMs / ConnectTimeoutMs). \p Eager connects inside the
+/// factory (plain remote addresses fail fast); the fallback wrapper
+/// passes false.
 std::unique_ptr<Backend> makeRemoteBackend(const std::string &Addr,
+                                           const SessionConfig &Config,
                                            bool Eager, Status &Err);
 /// Remote-preferring backend that degrades to a lazily created local
 /// service on connect/transport failures (`auto:`).

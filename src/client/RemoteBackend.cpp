@@ -17,60 +17,123 @@
 
 #include "obs/Metrics.h"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
 using namespace slingen;
 using namespace slingen::client;
 using namespace slingen::client::detail;
 
 namespace {
 
+/// True when the failure says nothing about the request itself, so
+/// re-sending it is sound: the transport died (except a client-side
+/// deadline expiry, which retrying cannot outrun), or the daemon shed it
+/// under load and asked for a backoff.
+bool retryable(const net::ClientError &E) {
+  if (E.Code && *E.Code == service::Errc::DeadlineExceeded)
+    return false;
+  if (E.Category == net::ErrorCategory::Transport)
+    return true;
+  return E.Category == net::ErrorCategory::Daemon && E.Code &&
+         *E.Code == service::Errc::Overloaded;
+}
+
 class RemoteBackend : public Backend {
 public:
-  explicit RemoteBackend(std::string Addr) : Addr(std::move(Addr)) {}
+  RemoteBackend(std::string Addr, SessionConfig Config)
+      : Addr(std::move(Addr)), Cfg(std::move(Config)) {}
 
-  /// One transport-level attempt loop shared by every verb: ensure a
-  /// connection, run the exchange, and on a transport failure reconnect
-  /// and retry the request exactly once (GET/WARM/PING/STATS are all
-  /// idempotent). The failure that survives distinguishes "never reached
-  /// the daemon" (ConnectFailed) from "the connection died on us"
-  /// (TransportError) -- the signal the fallback backend keys on.
-  template <typename Fn> Status withConnection(Fn &&Attempt) {
+  /// One bounded attempt loop shared by every verb (GET/WARM/PING/STATS
+  /// are all idempotent): ensure a connection, run the exchange, and on a
+  /// retry-safe failure (see retryable) back off and try again, up to
+  /// Cfg.MaxRetries retries. Backoff is exponential with jitter so a
+  /// thundering herd of shed clients spreads out instead of re-arriving in
+  /// lockstep; \p DeadlineUs (0 = none) caps the whole sequence -- a sleep
+  /// that would land past the deadline is not taken. The failure that
+  /// survives distinguishes "never reached the daemon" (ConnectFailed)
+  /// from "the connection died on us" (TransportError) -- the signal the
+  /// fallback backend keys on.
+  template <typename Fn>
+  Status withConnection(Fn &&Attempt, int64_t DeadlineUs = 0) {
+    static obs::Counter &Retries =
+        obs::Registry::global().counter("client.retries");
     bool WasConnected = Conn.has_value();
-    for (int Try = 0; Try < 2; ++Try) {
+    const int MaxRetries = std::max(0, Cfg.MaxRetries);
+    Status Last;
+    for (int Try = 0; Try <= MaxRetries; ++Try) {
+      if (Try > 0) {
+        if (!backoff(Try, DeadlineUs))
+          return Last; // no room left in the deadline for another attempt
+        Retries.add();
+      }
       if (!Conn) {
         std::string ConnErr;
-        Conn = net::Client::connect(Addr, ConnErr);
-        if (!Conn)
-          return Status::failure(WasConnected ? Code::TransportError
+        Conn = net::Client::connect(Addr, ConnErr, Cfg.ConnectTimeoutMs);
+        if (!Conn) {
+          Last = Status::failure(WasConnected ? Code::TransportError
                                               : Code::ConnectFailed,
                                  ConnErr);
+          continue;
+        }
       }
+      // Clear any deadline a previous request left on the cached
+      // connection; the attempt callback re-arms it when this request
+      // carries one.
+      Conn->setDeadlineUs(0);
       net::ClientError E;
       if (Attempt(*Conn, E))
         return Status::success();
-      if (E.Category != net::ErrorCategory::Transport || Try == 1)
-        return mapClientError(E, /*Connected=*/true);
-      // The stream died: drop it and re-establish once.
-      Conn.reset();
-      WasConnected = true;
+      if (E.Category == net::ErrorCategory::Transport) {
+        // The stream died (or desynced): never reuse it.
+        Conn.reset();
+        WasConnected = true;
+      }
+      Last = mapClientError(E, /*Connected=*/true);
+      if (!retryable(E))
+        return Last;
     }
-    return Status::failure(Code::InternalError, "unreachable");
+    return Last;
   }
 
   Result<Kernel> get(const Request &R) override {
     net::ArtifactMsg Msg;
     net::Request W = toWireRequest(R);
-    long Start = obs::nowUs();
-    Status St = withConnection([&](net::Client &C, net::ClientError &E) {
+    const int64_t DeadlineUs =
+        W.DeadlineMs > 0
+            ? obs::nowUs() + static_cast<int64_t>(W.DeadlineMs) * 1000
+            : 0;
+    // Whether the wire request still carries the deadline field; the
+    // old-daemon downgrade below strips it while the client-side bound
+    // (Client::setDeadlineUs) stays in force.
+    bool SendDeadline = W.DeadlineMs > 0;
+    auto Attempt = [&](net::Client &C, net::ClientError &E) {
+      if (DeadlineUs > 0) {
+        C.setDeadlineUs(DeadlineUs);
+        if (SendDeadline) {
+          // Each attempt ships the time *remaining*, so a retry after
+          // backoff asks the daemon for less, not the original budget.
+          int64_t RemainMs = (DeadlineUs - obs::nowUs() + 999) / 1000;
+          W.DeadlineMs = static_cast<uint32_t>(std::max<int64_t>(1, RemainMs));
+        }
+      }
       return C.get(W, Msg, E);
-    });
-    if (!St && W.WantTiming && St.code() == Code::InvalidRequest) {
-      // A daemon that predates the trailing want-timing byte rejects the
-      // whole request as malformed. The breakdown is optional, the kernel
-      // is not: ask again in the old format and serve without timing().
+    };
+    long Start = obs::nowUs();
+    Status St = withConnection(Attempt, DeadlineUs);
+    if (!St && (W.WantTiming || SendDeadline) &&
+        St.code() == Code::InvalidRequest) {
+      // A daemon that predates the trailing want-timing/deadline fields
+      // rejects the whole request as malformed. Those fields are optional,
+      // the kernel is not: ask again in the old format -- no daemon-side
+      // shedding, no breakdown, but the kernel gets served and the
+      // client-side deadline still bounds the wait.
       W.WantTiming = false;
-      St = withConnection([&](net::Client &C, net::ClientError &E) {
-        return C.get(W, Msg, E);
-      });
+      W.DeadlineMs = 0;
+      SendDeadline = false;
+      St = withConnection(Attempt, DeadlineUs);
     }
     if (!St)
       return St;
@@ -79,10 +142,12 @@ public:
 
   Status warm(const Request &R) override {
     // WARM returns a bare OK -- there is no artifact to hang a breakdown
-    // on -- so never forward the want-timing field (which a pre-timing
-    // daemon would reject).
+    // on, and the caller is not waiting for the generation -- so never
+    // forward the want-timing or deadline fields (which a pre-PR-6 daemon
+    // would reject as malformed).
     net::Request W = toWireRequest(R);
     W.WantTiming = false;
+    W.DeadlineMs = 0;
     return withConnection([&](net::Client &C, net::ClientError &E) {
       return C.warm(W, E);
     });
@@ -119,7 +184,27 @@ public:
   }
 
 private:
+  /// Jittered exponential backoff before retry number \p Attempt (1-based).
+  /// Returns false -- without sleeping -- when the sleep plus one more
+  /// attempt cannot fit before \p DeadlineUs.
+  bool backoff(int Attempt, int64_t DeadlineUs) {
+    int Base = Cfg.RetryBackoffMs > 0 ? Cfg.RetryBackoffMs : 1;
+    int64_t DelayMs = static_cast<int64_t>(Base) << (Attempt - 1);
+    DelayMs = std::min<int64_t>(DelayMs, 2000);
+    // Jitter (0.5x-1.5x) decorrelates clients that were shed together.
+    static thread_local std::mt19937 Rng{std::random_device{}()};
+    std::uniform_real_distribution<double> Jitter(0.5, 1.5);
+    DelayMs = std::max<int64_t>(1, static_cast<int64_t>(
+                                       static_cast<double>(DelayMs) *
+                                       Jitter(Rng)));
+    if (DeadlineUs > 0 && obs::nowUs() + DelayMs * 1000 >= DeadlineUs)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    return true;
+  }
+
   std::string Addr;
+  SessionConfig Cfg;
   std::optional<net::Client> Conn;
 };
 
@@ -127,7 +212,7 @@ private:
 class FallbackBackend : public Backend {
 public:
   FallbackBackend(std::string RemoteAddr, SessionConfig Config)
-      : Remote(std::move(RemoteAddr)), Config(std::move(Config)) {}
+      : Remote(std::move(RemoteAddr), Config), Config(std::move(Config)) {}
 
   Result<Kernel> get(const Request &R) override {
     Result<Kernel> K = Remote.get(R);
@@ -171,6 +256,10 @@ public:
   }
 
 private:
+  /// Only failures to *reach* the daemon degrade to local. Overloaded and
+  /// DeadlineExceeded deliberately do not: the daemon is alive and spoke
+  /// -- falling back would dodge its load shedding (making the overload
+  /// worse) or burn time the deadline no longer has.
   static bool transportish(Code C) {
     return C == Code::ConnectFailed || C == Code::TransportError;
   }
@@ -198,8 +287,9 @@ private:
 } // namespace
 
 std::unique_ptr<Backend> detail::makeRemoteBackend(const std::string &Addr,
+                                                   const SessionConfig &Config,
                                                    bool Eager, Status &Err) {
-  auto B = std::make_unique<RemoteBackend>(Addr);
+  auto B = std::make_unique<RemoteBackend>(Addr, Config);
   if (Eager) {
     if (Status St = B->connectNow(); !St) {
       // Normalize: an eager first connect can never be a mid-request death.

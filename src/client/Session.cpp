@@ -13,6 +13,7 @@
 
 #include "client/ClientImpl.h"
 
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "slingen/BatchStrategy.h"
 #include "slingen/OptionsIO.h"
@@ -50,6 +51,10 @@ const char *client::codeName(Code C) {
     return "protocol-error";
   case Code::RemoteError:
     return "remote-error";
+  case Code::Overloaded:
+    return "overloaded";
+  case Code::DeadlineExceeded:
+    return "deadline-exceeded";
   case Code::InternalError:
     return "internal-error";
   }
@@ -76,6 +81,10 @@ Code detail::mapServiceErrc(service::Errc E) {
     return Code::NoCompiler;
   case service::Errc::NotRunnable:
     return Code::NotRunnable;
+  case service::Errc::Overloaded:
+    return Code::Overloaded;
+  case service::Errc::DeadlineExceeded:
+    return Code::DeadlineExceeded;
   case service::Errc::Internal:
     return Code::InternalError;
   }
@@ -83,6 +92,11 @@ Code detail::mapServiceErrc(service::Errc E) {
 }
 
 Status detail::mapClientError(const net::ClientError &E, bool Connected) {
+  // A deadline can expire on either side of the wire (the client's
+  // poll-bounded read or the daemon's admission shed); both spell the
+  // same public verdict, whatever category carried it.
+  if (E.Code && *E.Code == service::Errc::DeadlineExceeded)
+    return Status::failure(Code::DeadlineExceeded, E.Message);
   switch (E.Category) {
   case net::ErrorCategory::Transport:
     return Status::failure(Connected ? Code::TransportError
@@ -150,6 +164,10 @@ RequestBuilder &RequestBuilder::wantTiming(bool On) {
   WantTiming = On;
   return *this;
 }
+RequestBuilder &RequestBuilder::deadlineMs(int Ms) {
+  DeadlineMs = Ms;
+  return *this;
+}
 
 Result<Request> RequestBuilder::build() const {
   auto Bad = [](const std::string &Msg) {
@@ -194,12 +212,15 @@ Result<Request> RequestBuilder::build() const {
     if (Threads < 0 || Threads > 1024)
       return Bad("threads() takes 0 (auto) to 1024");
   }
+  if (DeadlineMs < 0)
+    return Bad("deadlineMs() takes 0 (none) or a positive budget");
   R.Batched = Batched;
   R.StrategyName = StrategyName;
   R.Threads = Threads;
   R.Measure = Measure;
   R.WantObject = WantObject;
   R.WantTiming = WantTiming;
+  R.DeadlineMs = DeadlineMs;
   return R;
 }
 
@@ -217,6 +238,8 @@ net::Request detail::toWireRequest(const Request &R) {
   W.MeasureOverride = R.measure();
   W.WantSo = R.wantObject();
   W.WantTiming = R.wantTiming();
+  W.DeadlineMs =
+      R.deadlineMs() > 0 ? static_cast<uint32_t>(R.deadlineMs()) : 0;
   return W;
 }
 
@@ -234,6 +257,10 @@ void detail::toServiceArgs(const Request &R, GenOptions &Options,
     Req.Threads = R.threads();
   if (R.measure() >= 0)
     Req.Measure = R.measure() != 0;
+  // Absolute from the moment of the call, exactly like the daemon stamps
+  // a wire deadline at arrival.
+  if (R.deadlineMs() > 0)
+    Req.DeadlineUs = obs::nowUs() + static_cast<long>(R.deadlineMs()) * 1000;
 }
 
 //===----------------------------------------------------------------------===//
@@ -258,7 +285,7 @@ Result<Session> Session::open(const std::string &Address,
                              "auto: needs a remote address to try first");
     B = makeFallbackBackend(Remote, Config, Err);
   } else if (!Address.empty()) {
-    B = makeRemoteBackend(Address, /*Eager=*/true, Err);
+    B = makeRemoteBackend(Address, Config, /*Eager=*/true, Err);
   } else {
     return Status::failure(
         Code::InvalidRequest,

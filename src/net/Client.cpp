@@ -7,6 +7,7 @@
 #include "net/Client.h"
 
 #include "net/Server.h" // parseAddr
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Format.h"
 
@@ -14,8 +15,10 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,13 +26,75 @@
 using namespace slingen;
 using namespace slingen::net;
 
+namespace {
+
+/// Nonblocking connect bounded by \p TimeoutMs: a blackholed TCP address
+/// (or a daemon whose accept queue stopped draining) fails here in bounded
+/// time instead of hanging for the kernel's minutes-long SYN-retry budget.
+/// On success the socket is restored to blocking mode.
+bool connectWithTimeout(int Fd, const sockaddr *SA, socklen_t Len,
+                        int TimeoutMs, std::string &Err) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0 || fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0) {
+    Err = formatf("fcntl failed: %s", strerror(errno));
+    return false;
+  }
+  int Rc = ::connect(Fd, SA, Len);
+  if (Rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      Err = strerror(errno);
+      return false;
+    }
+    int64_t Deadline = obs::nowUs() + static_cast<int64_t>(TimeoutMs) * 1000;
+    for (;;) {
+      int64_t RemainUs = Deadline - obs::nowUs();
+      if (RemainUs <= 0) {
+        Err = formatf("timed out after %d ms", TimeoutMs);
+        return false;
+      }
+      pollfd PFd{};
+      PFd.fd = Fd;
+      PFd.events = POLLOUT;
+      int PRc = poll(&PFd, 1, static_cast<int>((RemainUs + 999) / 1000));
+      if (PRc < 0) {
+        if (errno == EINTR)
+          continue;
+        Err = formatf("poll failed: %s", strerror(errno));
+        return false;
+      }
+      if (PRc == 0) {
+        Err = formatf("timed out after %d ms", TimeoutMs);
+        return false;
+      }
+      break;
+    }
+    int SoErr = 0;
+    socklen_t SoLen = sizeof(SoErr);
+    if (getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &SoLen) != 0 ||
+        SoErr != 0) {
+      Err = strerror(SoErr != 0 ? SoErr : errno);
+      return false;
+    }
+  }
+  if (fcntl(Fd, F_SETFL, Flags) < 0) {
+    Err = formatf("fcntl failed: %s", strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
 std::optional<Client> Client::connect(const std::string &Addr,
-                                      std::string &Err) {
+                                      std::string &Err, int TimeoutMs) {
   ParsedAddr P;
   if (!parseAddr(Addr, P, Err))
     return std::nullopt;
+  if (TimeoutMs <= 0)
+    TimeoutMs = 10000;
 
   int Fd = -1;
+  std::string ConnErr;
   if (P.IsUnix) {
     if (P.UnixPath.size() >= sizeof(sockaddr_un{}.sun_path)) {
       Err = "unix socket path too long: " + P.UnixPath;
@@ -43,9 +108,9 @@ std::optional<Client> Client::connect(const std::string &Addr,
     sockaddr_un SA{};
     SA.sun_family = AF_UNIX;
     strncpy(SA.sun_path, P.UnixPath.c_str(), sizeof(SA.sun_path) - 1);
-    if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0) {
-      Err = formatf("cannot connect to %s: %s", P.UnixPath.c_str(),
-                    strerror(errno));
+    if (!connectWithTimeout(Fd, reinterpret_cast<sockaddr *>(&SA),
+                            sizeof(SA), TimeoutMs, ConnErr)) {
+      Err = "cannot connect to " + P.UnixPath + ": " + ConnErr;
       close(Fd);
       return std::nullopt;
     }
@@ -61,10 +126,10 @@ std::optional<Client> Client::connect(const std::string &Addr,
       return std::nullopt;
     }
     Fd = socket(Res->ai_family, Res->ai_socktype, Res->ai_protocol);
-    if (Fd < 0 ||
-        ::connect(Fd, Res->ai_addr, Res->ai_addrlen) != 0) {
+    if (Fd < 0 || !connectWithTimeout(Fd, Res->ai_addr, Res->ai_addrlen,
+                                      TimeoutMs, ConnErr)) {
       Err = formatf("cannot connect to %s:%d: %s", P.Host.c_str(), P.Port,
-                    strerror(errno));
+                    ConnErr.empty() ? strerror(errno) : ConnErr.c_str());
       if (Fd >= 0)
         close(Fd);
       freeaddrinfo(Res);
@@ -78,7 +143,8 @@ std::optional<Client> Client::connect(const std::string &Addr,
   return C;
 }
 
-Client::Client(Client &&O) noexcept : Fd(O.Fd), MaxPayload(O.MaxPayload) {
+Client::Client(Client &&O) noexcept
+    : Fd(O.Fd), MaxPayload(O.MaxPayload), DeadlineUs(O.DeadlineUs) {
   O.Fd = -1;
 }
 
@@ -88,6 +154,7 @@ Client &Client::operator=(Client &&O) noexcept {
       close(Fd);
     Fd = O.Fd;
     MaxPayload = O.MaxPayload;
+    DeadlineUs = O.DeadlineUs;
     O.Fd = -1;
   }
   return *this;
@@ -111,12 +178,28 @@ bool Client::roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
     Err.Message = "not connected";
     return false;
   }
+  if (DeadlineUs > 0 && obs::nowUs() >= DeadlineUs) {
+    // Nothing was sent yet, so the connection stays usable; the request
+    // just never had time to run.
+    Err.Code = service::Errc::DeadlineExceeded;
+    Err.Message = "deadline expired before the request was sent";
+    return false;
+  }
   if (!writeFrame(Fd, V, Payload, Err.Message))
     return false; // Category defaults to Transport
   Frame F;
-  ReadStatus RS = readFrame(Fd, F, Err.Message, MaxPayload);
+  ReadStatus RS = readFrame(Fd, F, Err.Message, MaxPayload, DeadlineUs);
   if (RS == ReadStatus::Eof) {
     Err.Message = "daemon closed the connection";
+    return false;
+  }
+  if (RS == ReadStatus::Timeout) {
+    // The reply may be mid-frame; the stream is desynchronized. Close so
+    // the next request reconnects instead of decoding garbage.
+    close(Fd);
+    Fd = -1;
+    Err.Code = service::Errc::DeadlineExceeded;
+    Err.Message = "deadline expired waiting for the daemon's reply";
     return false;
   }
   if (RS == ReadStatus::Error)

@@ -55,9 +55,13 @@ struct ClientError {
 class Client {
 public:
   /// Connects to \p Addr (see parseAddr for accepted forms). Returns
-  /// std::nullopt with \p Err on parse or connect failure.
+  /// std::nullopt with \p Err on parse or connect failure. The connect is
+  /// nonblocking-with-poll: an unreachable or blackholed address fails
+  /// within \p TimeoutMs instead of hanging for the kernel's SYN-retry
+  /// budget (minutes).
   static std::optional<Client> connect(const std::string &Addr,
-                                       std::string &Err);
+                                       std::string &Err,
+                                       int TimeoutMs = 10000);
 
   Client(Client &&O) noexcept;
   Client &operator=(Client &&O) noexcept;
@@ -87,6 +91,12 @@ public:
   /// carry C source and .so bytes, so the default is deliberately roomy.
   void setMaxPayload(size_t Max) { MaxPayload = Max; }
 
+  /// Absolute reply deadline (an obs::nowUs() stamp; 0 = wait forever)
+  /// applied to every later round trip. When it expires mid-reply the
+  /// stream is desynchronized, so the client closes its connection and
+  /// fails with Errc::DeadlineExceeded -- callers reconnect to continue.
+  void setDeadlineUs(int64_t D) { DeadlineUs = D; }
+
 private:
   Client() = default;
 
@@ -97,6 +107,7 @@ private:
 
   int Fd = -1;
   size_t MaxPayload = DefaultMaxPayload;
+  int64_t DeadlineUs = 0;
 };
 
 } // namespace net

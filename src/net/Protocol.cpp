@@ -7,6 +7,7 @@
 #include "net/Protocol.h"
 
 #include "net/Wire.h"
+#include "obs/Metrics.h"
 #include "slingen/OptionsIO.h"
 
 using namespace slingen;
@@ -22,11 +23,17 @@ std::string net::encodeRequest(const Request &R) {
   W.u8(R.MeasureOverride < 0 ? 0xff
                              : static_cast<uint8_t>(R.MeasureOverride));
   W.u8(R.WantSo ? 1 : 0);
-  // Trailing optional field, written only when set: a default request is
+  // Trailing optional fields, written only when set: a default request is
   // byte-identical to the pre-timing format (old daemons keep decoding
-  // every client that does not ask for timing).
-  if (R.WantTiming)
+  // every client that asks for neither timing nor a deadline). A deadline
+  // always writes the want-timing byte first, even when 0 -- the decoder
+  // tells the two tails apart by what follows the byte.
+  if (R.DeadlineMs > 0) {
+    W.u8(R.WantTiming ? 1 : 0);
+    W.u32(R.DeadlineMs);
+  } else if (R.WantTiming) {
     W.u8(1);
+  }
   return W.take();
 }
 
@@ -41,13 +48,26 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
     Err = "malformed request payload";
     return false;
   }
-  // Optional trailing want-timing byte: absent on pre-timing clients (and
-  // on new clients that do not ask). Present, it must be the final byte
-  // and must be 1 -- the field is only encoded when set.
+  // Optional trailing fields: nothing (pre-timing client or no extras), a
+  // lone want-timing byte (must be 1 -- that form is only encoded when
+  // set), or a want-timing byte (0 or 1) followed by a nonzero u32
+  // deadline. Anything else is garbage, not a field.
   uint8_t WantTiming = 0;
-  if (!B.atEnd() && (!B.u8(WantTiming) || WantTiming != 1 || !B.atEnd())) {
-    Err = "malformed request payload";
-    return false;
+  uint32_t DeadlineMs = 0;
+  if (!B.atEnd()) {
+    if (!B.u8(WantTiming) || WantTiming > 1) {
+      Err = "malformed request payload";
+      return false;
+    }
+    if (B.atEnd()) {
+      if (WantTiming != 1) {
+        Err = "malformed request payload";
+        return false;
+      }
+    } else if (!B.u32(DeadlineMs) || DeadlineMs == 0 || !B.atEnd()) {
+      Err = "malformed request payload";
+      return false;
+    }
   }
   // 1024 is far above any real dispatch width; beyond it the field is
   // garbage, not a knob.
@@ -61,6 +81,7 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
   R.MeasureOverride = Measure == 0xff ? -1 : Measure;
   R.WantSo = WantSo == 1;
   R.WantTiming = WantTiming == 1;
+  R.DeadlineMs = DeadlineMs;
   return true;
 }
 
@@ -83,6 +104,11 @@ bool net::requestToServiceArgs(const Request &R, GenOptions &Options,
     Req.Threads = R.Threads;
   if (R.MeasureOverride >= 0)
     Req.Measure = R.MeasureOverride != 0;
+  // The wire carries a relative budget (clocks differ across hosts); it
+  // becomes absolute on arrival, so time queued inside the daemon counts
+  // against it.
+  if (R.DeadlineMs > 0)
+    Req.DeadlineUs = obs::nowUs() + static_cast<long>(R.DeadlineMs) * 1000;
   return true;
 }
 

@@ -64,6 +64,15 @@ struct Request {
   /// old daemons receiving a want-timing request reject it, which the
   /// facade treats as "no breakdown available", not a failure.
   bool WantTiming = false;
+  /// Milliseconds the client is willing to wait, 0 = no deadline. The
+  /// daemon sheds work whose deadline already passed (Errc::
+  /// DeadlineExceeded) instead of generating a kernel nobody is waiting
+  /// for. Rides the same trailing-field scheme as WantTiming: when set,
+  /// the want-timing byte is always written (0 or 1) followed by the u32
+  /// deadline, so the decoder distinguishes the tails by length --
+  /// deadline-free requests stay byte-identical to the older formats, and
+  /// an old daemon rejecting the tail makes the client retry without it.
+  uint32_t DeadlineMs = 0;
 };
 
 std::string encodeRequest(const Request &R);

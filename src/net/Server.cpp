@@ -8,6 +8,7 @@
 
 #include "la/Lower.h"
 #include "net/Protocol.h"
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/File.h"
 #include "support/Format.h"
@@ -188,11 +189,15 @@ void Server::stop() {
   for (auto &T : AcceptThreads)
     T.join();
   AcceptThreads.clear();
-  // Unblock every connection thread stuck in read(), then join.
+  // Graceful drain: unblock only the threads idling in read() -- a
+  // connection mid-request keeps its stream, finishes, sends its reply,
+  // and exits on the post-frame Stopping check (Stopping was set above,
+  // so even a request that completes between this pass and the join
+  // below sees it).
   {
     std::lock_guard<std::mutex> L(ConnMu);
     for (auto &C : Connections)
-      if (C->Fd >= 0)
+      if (C->Fd >= 0 && !C->InRequest.load())
         shutdown(C->Fd, SHUT_RDWR);
   }
   for (;;) {
@@ -236,6 +241,28 @@ void Server::acceptLoop(int ListenFd) {
       return;
     }
     reapFinishedConnections();
+    if (Cfg.MaxConns > 0) {
+      bool Shed;
+      {
+        std::lock_guard<std::mutex> L(ConnMu);
+        Shed = static_cast<int>(Connections.size()) >= Cfg.MaxConns;
+      }
+      if (Shed) {
+        // Reject at the edge, loudly: an immediate Overloaded ERR tells
+        // the client to back off and retry, where a silent close or an
+        // unserved queue slot would just hang it.
+        static obs::Counter &ShedCount =
+            obs::Registry::global().counter("net.shed");
+        ShedCount.add();
+        std::string Ignored;
+        writeFrame(Fd, Verb::Error,
+                   encodeErrorPayload(service::Errc::Overloaded,
+                                      "server at connection capacity"),
+                   Ignored);
+        close(Fd);
+        continue;
+      }
+    }
     auto Conn = std::make_unique<Connection>();
     Conn->Fd = Fd;
     Connection *Raw = Conn.get();
@@ -254,9 +281,15 @@ void Server::serveConnection(Connection &Conn) {
   for (;;) {
     Frame F;
     std::string Err;
-    ReadStatus RS = readFrame(Conn.Fd, F, Err, Cfg.MaxPayload);
+    int64_t IdleDeadline =
+        Cfg.IdleTimeoutMs > 0
+            ? obs::nowUs() + static_cast<int64_t>(Cfg.IdleTimeoutMs) * 1000
+            : 0;
+    ReadStatus RS = readFrame(Conn.Fd, F, Err, Cfg.MaxPayload, IdleDeadline);
     if (RS == ReadStatus::Eof)
       break;
+    if (RS == ReadStatus::Timeout)
+      break; // idle too long (or stalled mid-frame): reclaim the slot
     if (RS == ReadStatus::Error) {
       // Oversized/bad-magic/torn input: tell the peer why (best effort;
       // for a torn frame it is likely gone) and drop the connection --
@@ -265,7 +298,12 @@ void Server::serveConnection(Connection &Conn) {
       writeFrame(Conn.Fd, Verb::Error, Err, Ignored);
       break;
     }
-    if (!handleFrame(Conn.Fd, F))
+    Conn.InRequest = true;
+    bool Keep = handleFrame(Conn.Fd, F);
+    Conn.InRequest = false;
+    // Checked after the reply: a drain that began mid-request still gets
+    // its answer out before the connection goes away.
+    if (!Keep || Stopping.load())
       break;
   }
   // Closed under ConnMu so stop()'s shutdown pass never touches a

@@ -54,6 +54,16 @@ struct ServerConfig {
   int TcpPort = -1;
   /// Per-frame payload cap for incoming requests.
   size_t MaxPayload = DefaultMaxPayload;
+  /// Hard cap on simultaneous connections; 0 = unlimited. An arrival past
+  /// the cap gets an immediate Overloaded ERR frame and a close -- the
+  /// client's retry policy backs off -- so the thread-per-connection model
+  /// stays bounded under a connection flood.
+  int MaxConns = 0;
+  /// Per-connection read/idle timeout in ms; 0 = wait forever. A peer that
+  /// completes no frame for this long is disconnected silently, so leaked
+  /// or wedged clients cannot pin connection slots (and their threads)
+  /// forever.
+  int IdleTimeoutMs = 0;
 };
 
 class Server {
@@ -69,7 +79,9 @@ public:
   /// \p Err) when no listener is configured or a bind/listen fails.
   bool start(std::string &Err);
 
-  /// Stops accepting, disconnects every client, joins all threads.
+  /// Stops accepting and drains: connections mid-request finish and send
+  /// their reply before closing, idle connections are disconnected
+  /// immediately, and every thread is joined before returning.
   void stop();
 
   /// The bound TCP port (resolves ephemeral requests), -1 when disabled.
@@ -86,6 +98,9 @@ private:
     int Fd = -1;
     std::thread Thread;
     std::atomic<bool> Done{false};
+    /// True while handleFrame runs; stop() leaves such connections alone
+    /// (graceful drain) and relies on the post-frame Stopping check.
+    std::atomic<bool> InRequest{false};
   };
 
   void acceptLoop(int ListenFd);

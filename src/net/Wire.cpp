@@ -6,11 +6,16 @@
 
 #include "net/Wire.h"
 
+#include "obs/Metrics.h"
+#include "support/FaultInject.h"
 #include "support/Format.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -41,11 +46,35 @@ bool fullSend(int Fd, const void *Data, size_t Len, std::string &Err) {
 }
 
 /// Reads exactly \p Len bytes. Returns 1 on success, 0 on EOF before the
-/// first byte, -1 on EOF mid-read or a socket error.
-int fullRecv(int Fd, void *Data, size_t Len, std::string &Err) {
+/// first byte, -1 on EOF mid-read or a socket error, -2 when \p DeadlineUs
+/// (absolute, 0 = none) expires before the bytes arrive. Each blocking
+/// read is gated by a poll() bounded by the time remaining.
+int fullRecv(int Fd, void *Data, size_t Len, std::string &Err,
+             int64_t DeadlineUs) {
   char *P = static_cast<char *>(Data);
   size_t Got = 0;
   while (Got < Len) {
+    if (DeadlineUs > 0) {
+      int64_t RemainUs = DeadlineUs - obs::nowUs();
+      if (RemainUs <= 0) {
+        Err = "deadline expired waiting for the peer";
+        return -2;
+      }
+      pollfd PFd{};
+      PFd.fd = Fd;
+      PFd.events = POLLIN;
+      int Rc = poll(&PFd, 1, static_cast<int>((RemainUs + 999) / 1000));
+      if (Rc < 0) {
+        if (errno == EINTR)
+          continue;
+        Err = formatf("poll failed: %s", strerror(errno));
+        return -1;
+      }
+      if (Rc == 0) {
+        Err = "deadline expired waiting for the peer";
+        return -2;
+      }
+    }
     ssize_t N = read(Fd, P + Got, Len - Got);
     if (N < 0) {
       if (errno == EINTR)
@@ -83,6 +112,13 @@ bool net::verbKnown(uint8_t V) {
 
 bool net::writeFrame(int Fd, Verb V, const std::string &Payload,
                      std::string &Err) {
+  if (fault::anyArmed() && fault::shouldFire("drop-connection")) {
+    // Simulate the peer (or the network) dying mid-exchange: kill the
+    // stream under ourselves so the write and every later read fail.
+    shutdown(Fd, SHUT_RDWR);
+    Err = "injected fault: connection dropped";
+    return false;
+  }
   char Header[HeaderSize];
   std::memcpy(Header, Magic, 4);
   Header[4] = static_cast<char>(V);
@@ -95,11 +131,19 @@ bool net::writeFrame(int Fd, Verb V, const std::string &Payload,
 }
 
 ReadStatus net::readFrame(int Fd, Frame &F, std::string &Err,
-                          size_t MaxPayload) {
+                          size_t MaxPayload, int64_t DeadlineUs) {
+  if (fault::anyArmed()) {
+    int StallMs = fault::paramMs("stall-read");
+    if (fault::shouldFire("stall-read"))
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(StallMs > 0 ? StallMs : 100));
+  }
   char Header[HeaderSize];
-  int Rc = fullRecv(Fd, Header, HeaderSize, Err);
+  int Rc = fullRecv(Fd, Header, HeaderSize, Err, DeadlineUs);
   if (Rc == 0)
     return ReadStatus::Eof;
+  if (Rc == -2)
+    return ReadStatus::Timeout;
   if (Rc < 0)
     return ReadStatus::Error;
   if (std::memcmp(Header, Magic, 4) != 0) {
@@ -119,7 +163,12 @@ ReadStatus net::readFrame(int Fd, Frame &F, std::string &Err,
     return ReadStatus::Error;
   }
   F.Payload.resize(Len);
-  if (Len > 0 && fullRecv(Fd, F.Payload.data(), Len, Err) != 1)
-    return ReadStatus::Error;
+  if (Len > 0) {
+    int PRc = fullRecv(Fd, F.Payload.data(), Len, Err, DeadlineUs);
+    if (PRc == -2)
+      return ReadStatus::Timeout;
+    if (PRc != 1)
+      return ReadStatus::Error;
+  }
   return ReadStatus::Ok;
 }

@@ -68,14 +68,21 @@ struct Frame {
 bool writeFrame(int Fd, Verb V, const std::string &Payload, std::string &Err);
 
 enum class ReadStatus {
-  Ok,    ///< a complete frame was read
-  Eof,   ///< peer closed cleanly between frames
-  Error, ///< torn frame, bad magic, oversized payload, or socket error
+  Ok,      ///< a complete frame was read
+  Eof,     ///< peer closed cleanly between frames
+  Error,   ///< torn frame, bad magic, oversized payload, or socket error
+  Timeout, ///< the deadline expired before a complete frame arrived
 };
 
-/// Reads one complete frame (blocking).
+/// Reads one complete frame. Blocks indefinitely when \p DeadlineUs is 0;
+/// otherwise \p DeadlineUs is an absolute obs::nowUs() stamp and every
+/// read is preceded by a poll() bounded by the time remaining, so a
+/// stalled peer costs at most the deadline (ReadStatus::Timeout -- the
+/// stream may be mid-frame afterwards, so the caller must treat the
+/// connection as desynchronized and close it).
 ReadStatus readFrame(int Fd, Frame &F, std::string &Err,
-                     size_t MaxPayload = DefaultMaxPayload);
+                     size_t MaxPayload = DefaultMaxPayload,
+                     int64_t DeadlineUs = 0);
 
 //===----------------------------------------------------------------------===//
 // Payload encoding: a flat little-endian byte stream of u8/u32/u64/f64 and

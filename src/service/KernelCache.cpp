@@ -7,8 +7,11 @@
 #include "service/KernelCache.h"
 
 #include "isa/ISA.h"
+#include "obs/Metrics.h"
+#include "support/FaultInject.h"
 #include "support/File.h"
 #include "support/Format.h"
+#include "support/Hash.h"
 #include "support/KeyValue.h"
 
 #include <algorithm>
@@ -71,6 +74,14 @@ size_t KernelCache::size() const {
 }
 
 namespace {
+
+/// Content hash of one cached file's bytes, as stored in the meta's
+/// `c-hash`/`so-hash` keys and re-checked on load.
+std::string contentHash(const std::string &Bytes) {
+  Fnv1a64 H;
+  H.bytes(Bytes.data(), Bytes.size());
+  return hexDigest(H.digest());
+}
 
 /// `ab/cdef...` -- 256-way fan-out by the leading two hex digits. Keys are
 /// fixed-width hexDigest() output; anything shorter (never produced by the
@@ -188,6 +199,15 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
     Err = "missing cached source for " + Key;
     return nullptr;
   }
+  // Verify what the store recorded. Mismatch means a torn or corrupted
+  // entry sitting under a valid content key -- quarantine it (miss) rather
+  // than compile garbage or dlopen an object that was never fully written.
+  // Entries from before hashing carry no hash keys and load unverified.
+  if (!KV["c-hash"].empty() && KV["c-hash"] != contentHash(A->CSource)) {
+    quarantineEntry(Key);
+    Err = "corrupt cached source for " + Key + " (quarantined)";
+    return nullptr;
+  }
 
   // The object may live beside the meta, or -- for a flat entry whose .so
   // was later recompiled by the service -- at the canonical sharded path.
@@ -197,6 +217,15 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
       fs::exists(soPathFor(Key), Ec))
     SoPath = soPathFor(Key);
   if (fs::exists(SoPath, Ec)) {
+    if (!KV["so-hash"].empty()) {
+      bool SoOk = false;
+      std::string SoBytes = readFile(SoPath, &SoOk);
+      if (!SoOk || KV["so-hash"] != contentHash(SoBytes)) {
+        quarantineEntry(Key);
+        Err = "corrupt cached object for " + Key + " (quarantined)";
+        return nullptr;
+      }
+    }
     std::string LoadErr;
     auto K = runtime::JitKernel::load(SoPath, A->FuncName, A->NumParams,
                                       LoadErr, A->Batched);
@@ -208,14 +237,45 @@ ArtifactPtr KernelCache::loadFromDisk(const std::string &Key,
   return A;
 }
 
+void KernelCache::quarantineEntry(const std::string &Key) {
+  std::error_code Ec;
+  for (const EntryPaths &P : {pathsFor(Key), flatPathsFor(Key)})
+    for (const std::string &F : {P.C, P.So, P.Meta})
+      if (fs::exists(F, Ec))
+        // The .bad extension hides the file from resolveOnDisk and the GC
+        // scan (which only index .c/.so/.meta) while keeping the bytes
+        // around for a postmortem.
+        rename(F.c_str(), (F + ".bad").c_str());
+  NumQuarantined.fetch_add(1);
+  obs::Registry::global().counter("cache.quarantined").add();
+  std::lock_guard<std::mutex> L(DiskMu);
+  if (DiskIndexed)
+    dropFromIndexLocked(Key);
+}
+
 bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
   if (Dir.empty()) {
     Err = "no disk tier configured";
     return false;
   }
+  if (fault::anyArmed() && fault::shouldFire("eio-on-store")) {
+    Err = "injected fault: I/O error writing the cache entry";
+    return false;
+  }
   std::error_code Ec;
   fs::create_directories(Dir, Ec);
   ensureEntryDir(A.Key);
+  // Hash what will be published *before* any fault below can mangle the
+  // bytes on disk: the meta must always describe the intended content, so
+  // a later load can tell intact from torn.
+  std::string CHash = contentHash(A.CSource);
+  std::string SoHash;
+  if (fs::exists(soPathFor(A.Key), Ec)) {
+    bool SoOk = false;
+    std::string SoBytes = readFile(soPathFor(A.Key), &SoOk);
+    if (SoOk)
+      SoHash = contentHash(SoBytes);
+  }
   // Both files are published via rename: concurrent readers (other threads
   // or other processes sharing the directory) never see torn content.
   std::string CTmp = cPathFor(A.Key) + formatf(".tmp%d", getpid());
@@ -236,6 +296,13 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
     unlink(CTmp.c_str());
     return false;
   }
+  if (fault::anyArmed() && fault::shouldFire("torn-write")) {
+    // Simulate a torn publication (crash mid-write on a filesystem whose
+    // rename is not durable): the entry exists under its content key but
+    // half the source bytes are gone. Only the hash check can catch this.
+    if (truncate(cPathFor(A.Key).c_str(), A.CSource.size() / 2) != 0)
+      unlink(cPathFor(A.Key).c_str());
+  }
   std::string Tmp = metaPathFor(A.Key) + formatf(".tmp%d", getpid());
   {
     std::ofstream Out(Tmp);
@@ -248,6 +315,9 @@ bool KernelCache::storeToDisk(const KernelArtifact &A, std::string &Err) {
       Out << "threads=" << (A.BatchThreads >= 1 ? A.BatchThreads : 1)
           << "\n";
     }
+    Out << "c-hash=" << CHash << "\n";
+    if (!SoHash.empty())
+      Out << "so-hash=" << SoHash << "\n";
     Out << "cost=" << A.StaticCost << "\n";
     Out << "measured=" << (A.Measured ? 1 : 0) << "\n";
     Out << "cycles=" << formatf("%.17g", A.MeasuredCycles) << "\n";

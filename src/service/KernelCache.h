@@ -27,6 +27,16 @@
 /// The cache never invokes the generator or the compiler itself; the
 /// service compiles straight to soPathFor(key) when persisting.
 ///
+/// Crash safety: storeToDisk records an FNV-1a content hash of the C
+/// source (`c-hash=`) and of the published .so bytes (`so-hash=`) in the
+/// .meta. loadFromDisk re-hashes what it reads and, on mismatch (torn
+/// write that slipped past rename -- e.g. a crashed writer on a filesystem
+/// without atomic rename durability, or plain disk corruption),
+/// quarantines the whole entry: every file is renamed to `<file>.bad`
+/// (invisible to lookups and GC), the load reports a miss, and the
+/// service regenerates and re-stores a clean entry. Entries written
+/// before hashing load unverified, exactly as before.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLINGEN_SERVICE_KERNELCACHE_H
@@ -35,6 +45,7 @@
 #include "runtime/Jit.h"
 #include "slingen/BatchStrategy.h"
 
+#include <atomic>
 #include <cassert>
 #include <filesystem>
 #include <list>
@@ -139,8 +150,15 @@ public:
   /// Reconstructs an artifact from the disk tier: reads meta + C and, when
   /// `<key>.so` is present and loadable, attaches the kernel (the file
   /// stays owned by the cache directory). Returns null and fills \p Err
-  /// when no usable entry exists.
+  /// when no usable entry exists. Entries whose `c-hash`/`so-hash` meta
+  /// keys disagree with the bytes on disk are quarantined (renamed to
+  /// `.bad`, counted in quarantined()) and reported as a miss, so corrupt
+  /// content is never parsed or dlopen'd.
   ArtifactPtr loadFromDisk(const std::string &Key, std::string &Err);
+
+  /// Disk entries quarantined over this cache's lifetime (corruption
+  /// detected at load; each regenerates on the next miss).
+  long quarantined() const { return NumQuarantined.load(); }
 
   /// Persists source + metadata for \p A (the .so, if any, was already
   /// published at soPathFor(key) by JitKernel::compile). Both files are
@@ -201,6 +219,11 @@ private:
   };
   EntryPaths pathsFor(const std::string &Key) const; ///< canonical (sharded)
   EntryPaths flatPathsFor(const std::string &Key) const;
+  /// Moves every on-disk file of \p Key (both layouts) aside to
+  /// `<file>.bad` and drops the entry from the size index. The .bad
+  /// extension keeps the evidence for postmortems while making the entry
+  /// invisible to resolveOnDisk and GC alike.
+  void quarantineEntry(const std::string &Key);
   /// Layout holding \p Key's meta+C, preferring sharded; false when neither
   /// layout has a complete entry.
   bool resolveOnDisk(const std::string &Key, EntryPaths &Out) const;
@@ -230,6 +253,8 @@ private:
   // enforceDiskBudget).
   // The index doubles as lazily-built gauge state (diskEntries/diskBytes
   // may trigger the first scan from const context), hence mutable.
+  std::atomic<long> NumQuarantined{0};
+
   mutable std::mutex DiskMu;
   mutable bool DiskIndexed = false;
   mutable uintmax_t DiskTotal = 0;

@@ -11,10 +11,13 @@
 #include "obs/Trace.h"
 #include "runtime/BatchPool.h"
 #include "service/Tuner.h"
+#include "support/FaultInject.h"
 #include "support/Hash.h"
 #include "support/KeyValue.h"
 
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 using namespace slingen;
 using namespace slingen::service;
@@ -73,6 +76,9 @@ struct ServiceMetrics {
       obs::Registry::global().counter("service.tier.generated");
   obs::Counter &TierJoined =
       obs::Registry::global().counter("service.tier.joined");
+  obs::Counter &Shed = obs::Registry::global().counter("service.shed");
+  obs::Counter &DeadlineExpired =
+      obs::Registry::global().counter("service.deadline_expired");
 
   static ServiceMetrics &get() {
     static ServiceMetrics M;
@@ -185,6 +191,19 @@ GetResult KernelService::getImpl(Generator G, const RequestOptions &Req) {
       return {A, {}, Errc::None, std::move(TM)};
     }
     TM.CacheUs = Lookup.finish();
+    // Memory tier missed: anything from here on costs real time, so a
+    // request whose deadline has already passed is shed now -- nobody is
+    // waiting for the answer. (A deadline expiring *mid*-wait or
+    // mid-generation still runs to completion and warms the cache; only
+    // work that is already pointless at admission is refused.)
+    if (Req.DeadlineUs > 0 && obs::nowUs() >= Req.DeadlineUs) {
+      ++DeadlineExpired;
+      ++Errors;
+      M.DeadlineExpired.add();
+      TM.TotalUs = obs::nowUs() - StartUs;
+      return {nullptr, "deadline expired before the request was admitted",
+              Errc::DeadlineExceeded, std::move(TM)};
+    }
     auto It = Inflight.find(Key);
     if (It != Inflight.end()) {
       F = It->second;
@@ -297,6 +316,46 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
       Fresh->Kernel = std::make_shared<runtime::JitKernel>(std::move(*K));
       return Fresh;
     }
+  }
+
+  // Both tiers missed: generation is the expensive phase, so this is where
+  // overload and expired deadlines are shed. The admission gate caps how
+  // many leaders generate concurrently (Cfg.MaxConcurrentGen); excess
+  // misses fail fast with Overloaded -- the client's retry policy backs
+  // off, and by then the winner's entry makes the retry a hit or a join.
+  if (Req.DeadlineUs > 0 && obs::nowUs() >= Req.DeadlineUs) {
+    ++DeadlineExpired;
+    M.DeadlineExpired.add();
+    Err = "deadline expired before generation started";
+    Code = Errc::DeadlineExceeded;
+    return nullptr;
+  }
+  struct GenGate {
+    KernelService *S = nullptr;
+    ~GenGate() {
+      if (S) {
+        std::lock_guard<std::mutex> L(S->GenMu);
+        --S->ActiveGens;
+      }
+    }
+  } Gate;
+  if (Cfg.MaxConcurrentGen > 0) {
+    std::lock_guard<std::mutex> L(GenMu);
+    if (ActiveGens >= Cfg.MaxConcurrentGen) {
+      ++Shed;
+      M.Shed.add();
+      Err = "service overloaded: generation capacity exhausted, retry";
+      Code = Errc::Overloaded;
+      return nullptr;
+    }
+    ++ActiveGens;
+    Gate.S = this;
+  }
+  if (fault::anyArmed()) {
+    int SlowMs = fault::paramMs("slow-generate");
+    if (fault::shouldFire("slow-generate"))
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(SlowMs > 0 ? SlowMs : 200));
   }
 
   // Generate. Measured tuning needs a compiler; otherwise (and on explicit
@@ -478,6 +537,10 @@ const char *service::errcName(Errc E) {
     return "no-compiler";
   case Errc::NotRunnable:
     return "not-runnable";
+  case Errc::Overloaded:
+    return "overloaded";
+  case Errc::DeadlineExceeded:
+    return "deadline-exceeded";
   case Errc::Internal:
     return "internal";
   }
@@ -488,7 +551,7 @@ std::optional<Errc> service::errcByName(const std::string &Name) {
   for (Errc E : {Errc::None, Errc::InvalidRequest, Errc::ParseError,
                  Errc::InvalidProgram, Errc::GenerationFailed,
                  Errc::CompileFailed, Errc::NoCompiler, Errc::NotRunnable,
-                 Errc::Internal})
+                 Errc::Overloaded, Errc::DeadlineExceeded, Errc::Internal})
     if (Name == errcName(E))
       return E;
   return std::nullopt;
@@ -511,6 +574,9 @@ ServiceStats KernelService::stats() const {
   S.MemEntries = static_cast<long>(Cache.size());
   S.DiskEntries = static_cast<long>(Cache.diskEntries());
   S.DiskBytes = Cache.diskBytes();
+  S.Shed = Shed.load();
+  S.DeadlineExpired = DeadlineExpired.load();
+  S.Quarantined = Cache.quarantined();
   return S;
 }
 
@@ -531,6 +597,9 @@ std::string service::serializeServiceStats(const ServiceStats &S) {
   SS << "mem-entries=" << S.MemEntries << "\n";
   SS << "disk-entries=" << S.DiskEntries << "\n";
   SS << "disk-bytes=" << S.DiskBytes << "\n";
+  SS << "shed=" << S.Shed << "\n";
+  SS << "deadline-expired=" << S.DeadlineExpired << "\n";
+  SS << "quarantined=" << S.Quarantined << "\n";
   return SS.str();
 }
 
@@ -626,6 +695,7 @@ std::string service::serializeServiceConfig(const ServiceConfig &C) {
   SS << "cache-max-bytes=" << C.CacheMaxBytes << "\n";
   SS << "use-compiler=" << (C.UseCompiler ? 1 : 0) << "\n";
   SS << "prefetch-workers=" << C.PrefetchWorkers << "\n";
+  SS << "max-concurrent-gen=" << C.MaxConcurrentGen << "\n";
   return SS.str();
 }
 
@@ -688,6 +758,13 @@ bool service::applyServiceConfigOption(ServiceConfig &C,
     return parseConfigBool(Value, C.UseCompiler) || BadValue();
   if (Key == "prefetch-workers")
     return parseConfigInt(Value, C.PrefetchWorkers) || BadValue();
+  if (Key == "max-concurrent-gen") {
+    long L;
+    if (!parseLong(Value, L) || L < 0)
+      return BadValue();
+    C.MaxConcurrentGen = static_cast<int>(L);
+    return true;
+  }
   Err = "unknown option '" + Key + "'";
   return false;
 }

@@ -96,12 +96,18 @@ struct ServiceConfig {
   /// Background threads servicing prefetch() (started lazily on the first
   /// prefetch, so non-warming services pay nothing).
   int PrefetchWorkers = 2;
+  /// Generation-admission cap: at most this many cache misses generate
+  /// concurrently; excess misses are shed immediately with
+  /// Errc::Overloaded (cache hits and single-flight joins are always
+  /// served, and the shed is retry-safe -- the client backs off and the
+  /// winner's entry turns the retry into a hit or a join). 0 = unlimited.
+  int MaxConcurrentGen = 0;
 };
 
 /// Serializes every ServiceConfig field to `key=value` lines (fixed order).
 /// Keys: mem-capacity, cache-dir, measure, tune-topk, max-variants,
 /// measure-repeats, strategy, batch-threads, cache-max-bytes,
-/// use-compiler, prefetch-workers.
+/// use-compiler, prefetch-workers, max-concurrent-gen.
 std::string serializeServiceConfig(const ServiceConfig &C);
 
 /// Applies one `key=value` setting to \p C. Returns false (with \p Err) on
@@ -135,6 +141,12 @@ struct RequestOptions {
   /// -- an already-cached artifact keeps its persisted width -- but it
   /// also pins the dispatch width of this request's dispatchBatch call.
   std::optional<int> Threads;
+  /// Absolute deadline as an obs::nowUs() stamp; 0 = none. A request whose
+  /// deadline has already expired when it would start (or resume) work is
+  /// shed with Errc::DeadlineExceeded instead of burning generation time
+  /// nobody is waiting for. Cache hits are always served -- the lookup is
+  /// cheaper than the check would be worth.
+  long DeadlineUs = 0;
 };
 
 /// Counter snapshot for observability and test instrumentation.
@@ -156,6 +168,10 @@ struct ServiceStats {
   long MemEntries = 0;    ///< memory-tier occupancy now
   long DiskEntries = 0;   ///< disk-tier entries now (0 without a tier)
   long DiskBytes = 0;     ///< disk-tier total bytes now
+  // Resilience counters (PR 7): also counted into Errors.
+  long Shed = 0;            ///< misses rejected by the generation cap
+  long DeadlineExpired = 0; ///< requests shed because their deadline passed
+  long Quarantined = 0;     ///< corrupt disk entries quarantined (.bad)
 };
 
 /// stats() as `key=value` lines (the wire protocol's STATS payload).
@@ -201,6 +217,8 @@ enum class Errc {
   NoCompiler,       ///< a callable kernel was required, none available
   NotRunnable,      ///< kernel ISA wider than this host
   Internal,         ///< unexpected failure inside the service
+  Overloaded,       ///< shed under load; safe to retry after backoff
+  DeadlineExceeded, ///< the request's deadline expired; retrying is futile
 };
 
 /// Stable kebab-case token for \p E ("parse-error", ...); the wire
@@ -312,9 +330,14 @@ private:
   size_t ActivePrefetches = 0;
   bool PoolStopping = false;
 
+  // Generation-admission gate (Cfg.MaxConcurrentGen): counts leaders
+  // inside produce()'s generate phase; excess misses shed immediately.
+  std::mutex GenMu;
+  int ActiveGens = 0;
+
   mutable std::atomic<long> MemHits{0}, DiskHits{0}, Misses{0},
       FlightJoins{0}, Generations{0}, Compilations{0}, TunerRuns{0},
-      Evictions{0}, Errors{0}, Prefetches{0};
+      Evictions{0}, Errors{0}, Prefetches{0}, Shed{0}, DeadlineExpired{0};
 };
 
 } // namespace service

@@ -1,0 +1,125 @@
+//===- support/FaultInject.cpp --------------------------------------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+using namespace slingen;
+
+namespace {
+
+struct Point {
+  int Remaining = 0; // 0 = unbounded
+  int Ms = 0;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::map<std::string, Point> Points;
+};
+
+// NumArmed lives outside the registry so the disarmed fast path never
+// touches the mutex; it tracks the number of armed points.
+std::atomic<int> NumArmed{0};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+bool fault::anyArmed() {
+  // First query arms SLINGEN_FAULTS specs, so env-armed faults are live
+  // before any hook site decides to fire. arm() never calls back here.
+  static bool Init = (armFromEnv(), true);
+  (void)Init;
+  return NumArmed.load(std::memory_order_relaxed) > 0;
+}
+
+bool fault::shouldFire(const char *Point) {
+  if (!anyArmed())
+    return false;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  auto It = R.Points.find(Point);
+  if (It == R.Points.end())
+    return false;
+  if (It->second.Remaining > 0 && --It->second.Remaining == 0) {
+    R.Points.erase(It);
+    NumArmed.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+int fault::paramMs(const char *Point) {
+  if (!anyArmed())
+    return 0;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  auto It = R.Points.find(Point);
+  return It == R.Points.end() ? 0 : It->second.Ms;
+}
+
+void fault::arm(const std::string &Name, int Count, int Ms) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  auto [It, Inserted] = R.Points.try_emplace(Name);
+  It->second.Remaining = Count < 0 ? 0 : Count;
+  It->second.Ms = Ms;
+  if (Inserted)
+    NumArmed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void fault::disarm(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  if (R.Points.erase(Name))
+    NumArmed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void fault::reset() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  NumArmed.fetch_sub(static_cast<int>(R.Points.size()),
+                     std::memory_order_relaxed);
+  R.Points.clear();
+}
+
+void fault::armFromEnv() {
+  const char *Env = getenv("SLINGEN_FAULTS");
+  if (!Env || !*Env)
+    return;
+  std::string Specs(Env);
+  size_t Pos = 0;
+  while (Pos <= Specs.size()) {
+    size_t Comma = Specs.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Specs.size();
+    std::string Spec = Specs.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Spec.empty())
+      continue;
+    // name[:count[:ms]]
+    std::string Name = Spec;
+    int Count = 0, Ms = 0;
+    size_t C1 = Spec.find(':');
+    if (C1 != std::string::npos) {
+      Name = Spec.substr(0, C1);
+      std::string Rest = Spec.substr(C1 + 1);
+      size_t C2 = Rest.find(':');
+      Count = atoi(Rest.substr(0, C2).c_str());
+      if (C2 != std::string::npos)
+        Ms = atoi(Rest.substr(C2 + 1).c_str());
+    }
+    if (!Name.empty())
+      arm(Name, Count, Ms);
+  }
+}

@@ -14,20 +14,29 @@
 
 #include "isa/ISA.h"
 #include "la/Programs.h"
+#include "net/Protocol.h"
 #include "net/Server.h"
+#include "net/Wire.h"
 #include "runtime/Jit.h"
 #include "service/KernelService.h"
+#include "support/FaultInject.h"
 #include "support/Random.h"
 
 #include "TestData.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 using namespace slingen;
 using namespace slingen::testdata;
@@ -157,6 +166,27 @@ TEST(ClientBuilder, InvalidRequestsAreRejectedAtBuild) {
   auto MissingFile =
       sl::RequestBuilder().sourceFile("/nonexistent/input.la").build();
   EXPECT_EQ(MissingFile.code(), sl::Code::InvalidRequest);
+}
+
+TEST(ClientBuilder, DeadlineIsValidatedAndCarried) {
+  auto Neg = sl::RequestBuilder()
+                 .source("Mat A(4,4) <In>;\n")
+                 .deadlineMs(-5)
+                 .build();
+  EXPECT_EQ(Neg.code(), sl::Code::InvalidRequest);
+  EXPECT_NE(Neg.message().find("deadlineMs"), std::string::npos);
+
+  auto R = sl::RequestBuilder()
+               .source("Mat A(4,4) <In>;\n")
+               .deadlineMs(2000)
+               .build();
+  ASSERT_TRUE(R) << R.message();
+  EXPECT_EQ(R->deadlineMs(), 2000);
+
+  // Default: no deadline.
+  auto Plain = sl::RequestBuilder().source("Mat A(4,4) <In>;\n").build();
+  ASSERT_TRUE(Plain);
+  EXPECT_EQ(Plain->deadlineMs(), 0);
 }
 
 TEST(ClientSession, AddressGrammarIsValidated) {
@@ -339,6 +369,138 @@ TEST(ClientRemote, DaemonKilledMidSessionIsTransportError) {
   auto K = S->get(*R);
   EXPECT_FALSE(K);
   EXPECT_EQ(K.code(), sl::Code::TransportError) << K.message();
+}
+
+//===----------------------------------------------------------------------===//
+// Resilience: retries, old-daemon downgrade
+//===----------------------------------------------------------------------===//
+
+TEST(ClientRemote, TransportRetryRecoversAfterDroppedConnection) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open(D.Srv->unixPath()); // eager ping, pre-fault
+  ASSERT_TRUE(S) << S.message();
+
+  // The next writeFrame anywhere in the process shuts its socket down:
+  // the request dies in flight, and the default retry policy (2 retries)
+  // must reconnect and serve it without surfacing an error.
+  fault::arm("drop-connection", /*Count=*/1);
+  auto R = potrfRequest("cl_retry");
+  ASSERT_TRUE(R);
+  auto K = S->get(*R);
+  fault::reset();
+  ASSERT_TRUE(K) << K.message();
+  EXPECT_EQ(K->functionName(), "cl_retry");
+
+  // With retries disabled the same fault surfaces as a transport error.
+  sl::SessionConfig NoRetry;
+  NoRetry.MaxRetries = 0;
+  auto S0 = sl::Session::open(D.Srv->unixPath(), NoRetry);
+  ASSERT_TRUE(S0) << S0.message();
+  fault::arm("drop-connection", /*Count=*/1);
+  auto K0 = S0->get(*R);
+  fault::reset();
+  EXPECT_FALSE(K0);
+  EXPECT_EQ(K0.code(), sl::Code::TransportError) << K0.message();
+}
+
+/// A daemon speaking the pre-deadline wire dialect: requests carrying the
+/// trailing want-timing/deadline bytes are rejected as malformed, exactly
+/// like a daemon built before those fields existed. Accepted requests get
+/// a canned source-only artifact.
+struct OldDaemon {
+  OldDaemon() {
+    Path = Dir.Path + "/old.sock";
+    Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un SA{};
+    SA.sun_family = AF_UNIX;
+    strncpy(SA.sun_path, Path.c_str(), sizeof(SA.sun_path) - 1);
+    Ok = Fd >= 0 &&
+         bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) == 0 &&
+         listen(Fd, 8) == 0;
+    if (Ok)
+      T = std::thread([this] { serve(); });
+  }
+  ~OldDaemon() {
+    if (Fd >= 0) {
+      shutdown(Fd, SHUT_RDWR);
+      close(Fd);
+    }
+    if (T.joinable())
+      T.join();
+  }
+
+  void serve() {
+    for (;;) {
+      int C = accept(Fd, nullptr, nullptr);
+      if (C < 0)
+        return;
+      std::string Err;
+      net::Frame F;
+      while (net::readFrame(C, F, Err) == net::ReadStatus::Ok) {
+        if (F.verb() == net::Verb::Ping) {
+          net::writeFrame(C, net::Verb::Ok, "", Err);
+          continue;
+        }
+        net::Request R;
+        // The old decoder's strictness: any tail bytes are garbage.
+        if (!net::decodeRequest(F.Payload, R, Err) || R.WantTiming ||
+            R.DeadlineMs > 0) {
+          ++Rejected;
+          net::writeFrame(C, net::Verb::Error,
+                          net::encodeErrorPayload(
+                              service::Errc::InvalidRequest,
+                              "bad request payload"),
+                          Err);
+          continue;
+        }
+        ++Served;
+        net::ArtifactMsg A;
+        A.Key = "0123456789abcdef";
+        A.FuncName = "old_daemon_k";
+        A.IsaName = "scalar";
+        A.NumParams = 2;
+        A.CSource = "void old_daemon_k(double *A, double *X) {}\n";
+        net::writeFrame(C, net::Verb::Artifact, net::encodeArtifact(A), Err);
+      }
+      close(C);
+    }
+  }
+
+  TempDir Dir;
+  std::string Path;
+  int Fd = -1;
+  bool Ok = false;
+  std::atomic<int> Rejected{0}, Served{0};
+  std::thread T;
+};
+
+TEST(ClientRemote, OldDaemonDowngradeStripsDeadlineAndTiming) {
+  OldDaemon D;
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open("unix:" + D.Path);
+  ASSERT_TRUE(S) << S.message();
+
+  // The old daemon rejects the first (deadline+timing) encoding as
+  // malformed; the client must quietly re-ask in the old dialect and
+  // still serve the kernel -- minus the breakdown, with the client-side
+  // deadline still bounding the wait.
+  auto R = sl::RequestBuilder()
+               .source(la::potrfSource(8))
+               .name("cl_old")
+               .isa("scalar")
+               .wantTiming()
+               .deadlineMs(30000)
+               .build();
+  ASSERT_TRUE(R) << R.message();
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  EXPECT_EQ(K->functionName(), "old_daemon_k");
+  EXPECT_EQ(K->timing(), nullptr);
+  EXPECT_EQ(D.Rejected.load(), 1);
+  EXPECT_EQ(D.Served.load(), 1);
 }
 
 //===----------------------------------------------------------------------===//

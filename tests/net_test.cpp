@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -903,6 +904,60 @@ TEST(Protocol, RequestWantTimingIsOptionalAndTrailing) {
   EXPECT_FALSE(decodeRequest(WithTiming + "x", D, Err));
 }
 
+TEST(Protocol, RequestDeadlineIsOptionalAndTrailing) {
+  Request R;
+  R.LaSource = "Mat A(4,4) <In>;\n";
+  R.OptionsText = "isa=avx\nfunc=k\n";
+
+  // No deadline, no timing: byte-identical to the pre-deadline format.
+  std::string Plain = encodeRequest(R);
+  R.DeadlineMs = 1500;
+  std::string WithDeadline = encodeRequest(R);
+  // The deadline rides behind the (explicit) timing byte: +1 +4.
+  ASSERT_EQ(WithDeadline.size(), Plain.size() + 5);
+  EXPECT_EQ(WithDeadline.substr(0, Plain.size()), Plain);
+  R.WantTiming = true;
+  std::string WithBoth = encodeRequest(R);
+  ASSERT_EQ(WithBoth.size(), Plain.size() + 5);
+
+  // All three forms decode; absence means "no deadline" -- what an
+  // old-format client's bytes look like to a new daemon.
+  Request D;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(Plain, D, Err)) << Err;
+  EXPECT_EQ(D.DeadlineMs, 0u);
+  ASSERT_TRUE(decodeRequest(WithDeadline, D, Err)) << Err;
+  EXPECT_EQ(D.DeadlineMs, 1500u);
+  EXPECT_FALSE(D.WantTiming);
+  ASSERT_TRUE(decodeRequest(WithBoth, D, Err)) << Err;
+  EXPECT_EQ(D.DeadlineMs, 1500u);
+  EXPECT_TRUE(D.WantTiming);
+
+  // A reused message does not leak the previous request's deadline.
+  ASSERT_TRUE(decodeRequest(Plain, D, Err)) << Err;
+  EXPECT_EQ(D.DeadlineMs, 0u);
+
+  // Malformed tails: a zero deadline is never encoded so it never
+  // decodes, and truncated or over-long tails are rejected.
+  ByteWriter Zero;
+  Zero.u8(0);
+  Zero.u32(0);
+  EXPECT_FALSE(decodeRequest(Plain + Zero.take(), D, Err));
+  EXPECT_FALSE(
+      decodeRequest(WithDeadline.substr(0, WithDeadline.size() - 1), D, Err));
+  EXPECT_FALSE(decodeRequest(WithDeadline + "x", D, Err));
+
+  // The daemon stamps an absolute expiry at decode time.
+  GenOptions O;
+  service::RequestOptions Req;
+  Request SR = potrfRequest("ddl", avxIsa());
+  ASSERT_TRUE(requestToServiceArgs(SR, O, Req, Err)) << Err;
+  EXPECT_EQ(Req.DeadlineUs, 0);
+  SR.DeadlineMs = 50;
+  ASSERT_TRUE(requestToServiceArgs(SR, O, Req, Err)) << Err;
+  EXPECT_GT(Req.DeadlineUs, 0);
+}
+
 TEST(Protocol, ArtifactTimingTextIsOptionalAndTrailing) {
   ArtifactMsg A;
   A.Key = "00deadbeef001122";
@@ -989,6 +1044,80 @@ TEST(SldServer, ServerTimingArrivesOnMissAndHit) {
   EXPECT_NE(Stats.find("mem-entries=1"), std::string::npos) << Stats;
   EXPECT_NE(Stats.find("disk-entries="), std::string::npos) << Stats;
   EXPECT_NE(Stats.find("disk-bytes="), std::string::npos) << Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Overload shedding and idle reaping
+//===----------------------------------------------------------------------===//
+
+TEST(SldServer, ConnectionCapShedsWithOverloaded) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  ServerConfig NC;
+  NC.MaxConns = 2;
+  TestDaemon D(SC, NC);
+  ASSERT_TRUE(D.Ok);
+  std::string Err;
+
+  {
+    Client C1 = D.client(), C2 = D.client();
+    ASSERT_TRUE(C1.ping(Err)) << Err; // both registered server-side
+    ASSERT_TRUE(C2.ping(Err)) << Err;
+
+    // The third connection is accepted only to be told "overloaded" and
+    // hung up on -- before it sends anything.
+    int Fd = rawConnect(D.Srv->unixPath());
+    ASSERT_GE(Fd, 0);
+    Frame F;
+    ASSERT_EQ(readFrame(Fd, F, Err), ReadStatus::Ok) << Err;
+    EXPECT_EQ(F.verb(), Verb::Error);
+    std::optional<service::Errc> Code;
+    std::string Msg;
+    decodeErrorPayload(F.Payload, Code, Msg);
+    ASSERT_TRUE(Code.has_value()) << F.Payload;
+    EXPECT_EQ(*Code, service::Errc::Overloaded);
+    EXPECT_EQ(readFrame(Fd, F, Err), ReadStatus::Eof);
+    close(Fd);
+  }
+
+  // Capacity comes back once the old connections close (the accept loop
+  // reaps them lazily, so allow a few attempts).
+  bool Served = false;
+  for (int I = 0; I < 100 && !Served; ++I) {
+    std::string E2;
+    auto C = Client::connect(D.Srv->unixPath(), E2);
+    Served = C && C->ping(E2);
+    if (!Served)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(Served) << "capacity never recovered after clients left";
+}
+
+TEST(SldServer, IdleConnectionsAreReapedAfterTimeout) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  ServerConfig NC;
+  NC.IdleTimeoutMs = 150;
+  TestDaemon D(SC, NC);
+  ASSERT_TRUE(D.Ok);
+  std::string Err;
+
+  // A connection that never sends a request is hung up on -- in bounded
+  // time, not at server shutdown.
+  int Fd = rawConnect(D.Srv->unixPath());
+  ASSERT_GE(Fd, 0);
+  auto Start = std::chrono::steady_clock::now();
+  Frame F;
+  EXPECT_EQ(readFrame(Fd, F, Err), ReadStatus::Eof);
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_LT(ElapsedMs, 5000);
+  close(Fd);
+
+  // An active client is unaffected as long as it keeps talking.
+  Client C = D.client();
+  EXPECT_TRUE(C.ping(Err)) << Err;
 }
 
 } // namespace

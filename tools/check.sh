@@ -179,6 +179,69 @@ SLD_PID=""
   > "$SMOKE_CACHE/session_auto.out" 2> /dev/null
 grep -q "cache key:" "$SMOKE_CACHE/session_auto.out"
 
+echo "== chaos smoke =="
+# A fault-armed daemon -- every generation stalls 300ms and at most one
+# runs at a time -- under 8 concurrent deadline-carrying clients on
+# distinct keys. Everything must come back in bounded wall clock with
+# typed outcomes only (served, overloaded, or deadline-exceeded), and the
+# daemon must survive to serve a clean request afterwards.
+SLD3_SOCK="$SMOKE_CACHE/sld3.sock"
+SLINGEN_FAULTS="slow-generate:0:300" "$BUILD/sld" -socket "$SLD3_SOCK" \
+  -max-concurrent-gen 1 -max-conns 32 -idle-timeout-ms 10000 \
+  -service use-compiler=0 2> "$SMOKE_CACHE/sld3.log" &
+SLD_PID=$!
+for _ in $(seq 100); do
+  [ -S "$SLD3_SOCK" ] && break
+  kill -0 "$SLD_PID" 2>/dev/null || { cat "$SMOKE_CACHE/sld3.log"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SLD3_SOCK" ]
+CHAOS_START=$(date +%s)
+CHAOS_PIDS=""
+for I in $(seq 8); do
+  "$BUILD/slc" -connect "$SLD3_SOCK" -timeout-ms 10000 -retries 3 \
+    -name "chaos_$I" "$ROOT/examples/potrf.la" \
+    > "$SMOKE_CACHE/chaos_$I.out" 2> "$SMOKE_CACHE/chaos_$I.err" &
+  CHAOS_PIDS="$CHAOS_PIDS $!"
+done
+SERVED=0
+SHED=0
+I=0
+for PID in $CHAOS_PIDS; do
+  I=$((I + 1))
+  if wait "$PID"; then
+    SERVED=$((SERVED + 1))
+    grep -q "cache key:" "$SMOKE_CACHE/chaos_$I.out"
+  else
+    SHED=$((SHED + 1))
+    # Failures must be the documented resilience verdicts, nothing else.
+    grep -Eq "overloaded|deadline" "$SMOKE_CACHE/chaos_$I.err"
+  fi
+done
+CHAOS_ELAPSED=$(( $(date +%s) - CHAOS_START ))
+echo "-- chaos: $SERVED served, $SHED shed/expired in ${CHAOS_ELAPSED}s"
+[ $((SERVED + SHED)) -eq 8 ]
+[ "$SERVED" -ge 1 ]
+[ "$CHAOS_ELAPSED" -lt 60 ]
+# The daemon survived the storm: a fresh request serves, and the STATS
+# document carries the resilience counters.
+"$BUILD/slc" -connect "$SLD3_SOCK" -timeout-ms 30000 \
+  "$ROOT/examples/potrf.la" > "$SMOKE_OUT"
+grep -q "cache key:" "$SMOKE_OUT"
+"$BUILD/slc" -connect "$SLD3_SOCK" -stats > "$SMOKE_CACHE/chaos_stats.out"
+grep -q "shed=" "$SMOKE_CACHE/chaos_stats.out"
+grep -q "deadline-expired=" "$SMOKE_CACHE/chaos_stats.out"
+grep -q "quarantined=" "$SMOKE_CACHE/chaos_stats.out"
+kill "$SLD_PID"
+for _ in $(seq 100); do
+  kill -0 "$SLD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SLD_PID" 2>/dev/null; then
+  echo "sld did not shut down cleanly after the chaos run"; exit 1
+fi
+SLD_PID=""
+
 echo "== batch strategy bench smoke =="
 # One (size, count) point; the binary itself skips cleanly when no native
 # compiler or no vector ISA is available, so this passes everywhere.

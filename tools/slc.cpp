@@ -32,6 +32,12 @@
 //     -service k=v     any ServiceConfig key (local service mode)
 //     -connect <addr>  serve the request from the sld daemon at <addr>
 //                      (a unix socket path, unix:<path>, or host:port)
+//     -timeout-ms <n>  per-request deadline: fail with deadline-exceeded
+//                      after <n> ms instead of waiting forever (the daemon
+//                      sheds the work too when it speaks the deadline
+//                      field)
+//     -retries <n>     transport/overload retry budget per request
+//                      (default 2; 0 disables retries)
 //     -so-out <file>   also write the compiled shared object (from the
 //                      daemon with -connect, from the local JIT otherwise)
 //     -warm <file>     queue a prefetch for every .la path listed in
@@ -88,6 +94,8 @@ void usage(const char *Argv0) {
           "  -set k=v          set any GenOptions key\n"
           "  -service k=v      set any ServiceConfig key\n"
           "  -connect <addr>   request from the sld daemon at <addr>\n"
+          "  -timeout-ms <n>   per-request deadline in milliseconds\n"
+          "  -retries <n>      transport/overload retry budget (default 2)\n"
           "  -so-out <file>    save the compiled shared object\n"
           "  -warm <file>      prefetch every .la listed in <file>\n"
           "  -stats            print serving-side counters + hit rates\n"
@@ -162,7 +170,7 @@ int main(int argc, char **argv) {
   // Requests only override what the user explicitly set, so a bare
   // `slc -connect` defers strategy/measure/threads policy to the daemon.
   bool MeasureSet = false, NameSet = false, ThreadsSet = false;
-  int MaxVariants = 16, BatchThreads = 0;
+  int MaxVariants = 16, BatchThreads = 0, TimeoutMs = 0, Retries = -1;
   // Flags that configure a *local* service and do not travel over the
   // wire; remote modes warn when they were set.
   bool LocalServiceFlags = false;
@@ -244,6 +252,18 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "-connect")
       ConnectAddr = Next();
+    else if (Arg == "-timeout-ms") {
+      std::string N = Next();
+      TimeoutMs = atoi(N.c_str());
+      if (TimeoutMs <= 0 ||
+          N.find_first_not_of("0123456789") != std::string::npos)
+        return fail("-timeout-ms takes a positive millisecond budget");
+    } else if (Arg == "-retries") {
+      std::string N = Next();
+      Retries = atoi(N.c_str());
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos)
+        return fail("-retries takes a retry count (0 disables retries)");
+    }
     else if (Arg == "-so-out")
       SoOut = Next();
     else if (Arg == "-warm")
@@ -277,6 +297,9 @@ int main(int argc, char **argv) {
             "warning: -cache-dir/-max-variants/-service configure a local "
             "service and are ignored with -connect (the daemon uses its "
             "own config)\n");
+  if (Retries >= 0 && ConnectAddr.empty())
+    fprintf(stderr,
+            "warning: -retries only affects daemon requests (-connect)\n");
   if (!StrategyName.empty() && !Batch)
     fprintf(stderr, "warning: -batch-strategy has no effect without -batch\n");
   if (ThreadsSet && !Batch)
@@ -316,6 +339,8 @@ int main(int argc, char **argv) {
     }
     if (MeasureSet)
       B.measure();
+    if (TimeoutMs > 0)
+      B.deadlineMs(TimeoutMs);
     B.wantObject(!SoOut.empty());
     if (TimingSet)
       B.wantTiming();
@@ -328,8 +353,12 @@ int main(int argc, char **argv) {
   /// cache worth persisting, -so-out); a plain `slc foo.la` stays a pure
   /// source-to-source run exactly as before.
   auto openSession = [&]() -> sl::Result<sl::Session> {
-    if (!ConnectAddr.empty())
-      return sl::Session::open(ConnectAddr);
+    if (!ConnectAddr.empty()) {
+      sl::SessionConfig C;
+      if (Retries >= 0)
+        C.MaxRetries = Retries;
+      return sl::Session::open(ConnectAddr, C);
+    }
     sl::SessionConfig C;
     if (!MeasureSet && CacheDir.empty() && SoOut.empty())
       C.ServiceOptions.emplace_back("use-compiler", "0");

@@ -18,6 +18,13 @@
 //     -cache-dir <dir>   disk cache tier (strongly recommended)
 //     -measure           rank variants by measured cycles
 //     -workers <n>       prefetch worker threads (default 2)
+//     -max-conns <n>     shed connections beyond <n> with an immediate
+//                        overloaded reply (0 = unlimited, the default)
+//     -idle-timeout-ms <n> close connections idle for <n> ms between
+//                        requests (0 = never, the default)
+//     -max-concurrent-gen <k> admit at most <k> concurrent generations;
+//                        excess cache misses get overloaded (0 =
+//                        unlimited, the default; cache hits always serve)
 //     -service k=v       any ServiceConfig option by name (see
 //                        serializeServiceConfig keys)
 //     -stats-interval <s> print a one-line serving summary to stderr
@@ -63,6 +70,9 @@ void usage(const char *Argv0) {
           "  -cache-dir <dir> persistent kernel cache directory\n"
           "  -measure         rank variants by measured cycles\n"
           "  -workers <n>     prefetch worker threads (default 2)\n"
+          "  -max-conns <n>   shed connections beyond <n> (0 = unlimited)\n"
+          "  -idle-timeout-ms <n>  close idle connections after <n> ms\n"
+          "  -max-concurrent-gen <k>  concurrent generation cap (0 = off)\n"
           "  -service k=v     set any ServiceConfig option by key\n"
           "  -stats-interval <s>  periodic one-line serving summary\n"
           "  -print-config    print the effective config and exit\n",
@@ -136,6 +146,19 @@ int main(int argc, char **argv) {
       Apply("measure", "1");
     else if (Arg == "-workers")
       Apply("prefetch-workers", Next());
+    else if (Arg == "-max-conns" || Arg == "-idle-timeout-ms") {
+      std::string N = Next();
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        fprintf(stderr, "error: %s takes a non-negative count (0 = off)\n",
+                Arg.c_str());
+        return 1;
+      }
+      if (Arg == "-max-conns")
+        NC.MaxConns = atoi(N.c_str());
+      else
+        NC.IdleTimeoutMs = atoi(N.c_str());
+    } else if (Arg == "-max-concurrent-gen")
+      Apply("max-concurrent-gen", Next());
     else if (Arg == "-service") {
       std::string KV = Next();
       size_t Eq = KV.find('=');
