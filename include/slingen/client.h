@@ -468,6 +468,13 @@ public:
   /// generations, ...; one schema for local and remote).
   Result<std::string> stats();
 
+  /// The serving side's full metrics scrape: every registry metric as
+  /// globally sorted `key=value` lines (histograms expanded to
+  /// count/sum/min/max/p50/p90/p99), plus -- against a daemon -- its
+  /// bounded per-kernel / per-peer top-K tables. Old daemons that predate
+  /// the METRICS verb answer InvalidRequest.
+  Result<std::string> metrics();
+
   BackendKind backend() const;
   const std::string &address() const;
 

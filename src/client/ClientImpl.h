@@ -84,6 +84,7 @@ public:
   virtual Status drain() = 0;
   virtual Status ping() = 0;
   virtual Result<std::string> stats() = 0;
+  virtual Result<std::string> metrics() = 0;
   virtual Session::BackendKind kind() const = 0;
 };
 

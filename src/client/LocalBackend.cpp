@@ -14,6 +14,7 @@
 #include "client/ClientImpl.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 using namespace slingen;
 using namespace slingen::client;
@@ -29,6 +30,10 @@ public:
     GenOptions Options;
     service::RequestOptions Req;
     toServiceArgs(R, Options, Req);
+    // Same per-request stamping as the remote path: every span this get
+    // produces (service phases included -- same process, same thread)
+    // shares one fresh trace id in the exported trace.
+    obs::ScopedTraceId Scope(obs::newTraceId());
     // "Round trip" degenerates to the service call itself here; keeping
     // the field populated means RoundTripUs - TotalUs is comparable
     // across backends (near zero locally, wire cost remotely).
@@ -58,6 +63,11 @@ public:
 
   Result<std::string> stats() override {
     return service::serializeServiceStats(Svc.stats());
+  }
+
+  Result<std::string> metrics() override {
+    // No daemon in the loop: the scrape is this process's own registry.
+    return obs::Registry::global().renderText();
   }
 
   Session::BackendKind kind() const override {

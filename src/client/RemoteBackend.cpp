@@ -16,6 +16,7 @@
 #include "client/ClientImpl.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -101,6 +102,14 @@ public:
   Result<Kernel> get(const Request &R) override {
     net::ArtifactMsg Msg;
     net::Request W = toWireRequest(R);
+    // Every request gets a trace id + root span id: the daemon tags its
+    // spans and flight-recorder records with it, and (under WantTiming)
+    // ships its span list back so the exported trace merges both sides.
+    W.TraceId = obs::newTraceId();
+    W.SpanId = obs::newTraceId();
+    // ... and the same id tags everything this thread records locally
+    // (the client-roundtrip span) while the request runs.
+    obs::ScopedTraceId TraceScope(W.TraceId);
     const int64_t DeadlineUs =
         W.DeadlineMs > 0
             ? obs::nowUs() + static_cast<int64_t>(W.DeadlineMs) * 1000
@@ -123,15 +132,18 @@ public:
     };
     long Start = obs::nowUs();
     Status St = withConnection(Attempt, DeadlineUs);
-    if (!St && (W.WantTiming || SendDeadline) &&
+    if (!St && (W.WantTiming || SendDeadline || W.TraceId != 0) &&
         St.code() == Code::InvalidRequest) {
-      // A daemon that predates the trailing want-timing/deadline fields
-      // rejects the whole request as malformed. Those fields are optional,
-      // the kernel is not: ask again in the old format -- no daemon-side
-      // shedding, no breakdown, but the kernel gets served and the
-      // client-side deadline still bounds the wait.
+      // A daemon that predates the trailing want-timing/deadline/trace
+      // fields rejects the whole request as malformed. Those fields are
+      // optional, the kernel is not: ask again in the old format -- no
+      // daemon-side shedding, no breakdown, no cross-process trace, but
+      // the kernel gets served and the client-side deadline still bounds
+      // the wait.
       W.WantTiming = false;
       W.DeadlineMs = 0;
+      W.TraceId = 0;
+      W.SpanId = 0;
       SendDeadline = false;
       St = withConnection(Attempt, DeadlineUs);
     }
@@ -167,6 +179,16 @@ public:
     std::string Text;
     Status St = withConnection([&](net::Client &C, net::ClientError &E) {
       return C.stats(Text, E);
+    });
+    if (!St)
+      return St;
+    return Text;
+  }
+
+  Result<std::string> metrics() override {
+    std::string Text;
+    Status St = withConnection([&](net::Client &C, net::ClientError &E) {
+      return C.metrics(Text, E);
     });
     if (!St)
       return St;
@@ -249,6 +271,14 @@ public:
       return R;
     Backend *L = local();
     return L ? L->stats() : R;
+  }
+
+  Result<std::string> metrics() override {
+    Result<std::string> R = Remote.metrics();
+    if (R || !transportish(R.code()))
+      return R;
+    Backend *L = local();
+    return L ? L->metrics() : R;
   }
 
   Session::BackendKind kind() const override {

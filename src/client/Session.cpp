@@ -305,6 +305,7 @@ Status Session::warm(const Request &R) { return B->warm(R); }
 Status Session::drain() { return B->drain(); }
 Status Session::ping() { return B->ping(); }
 Result<std::string> Session::stats() { return B->stats(); }
+Result<std::string> Session::metrics() { return B->metrics(); }
 Session::BackendKind Session::backend() const { return B->kind(); }
 const std::string &Session::address() const { return Addr; }
 

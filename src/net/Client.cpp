@@ -11,7 +11,9 @@
 #include "obs/Trace.h"
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 
 #include <arpa/inet.h>
@@ -221,6 +223,7 @@ bool Client::roundTrip(Verb V, const std::string &Payload, Verb ExpectReply,
 }
 
 bool Client::get(const Request &R, ArtifactMsg &Out, ClientError &Err) {
+  int64_t Start = obs::nowUs();
   std::string Reply;
   if (!roundTrip(Verb::Get, encodeRequest(R), Verb::Artifact, Reply, Err))
     return false;
@@ -228,6 +231,29 @@ bool Client::get(const Request &R, ArtifactMsg &Out, ClientError &Err) {
     Err.Category = ErrorCategory::Protocol;
     Err.Code = std::nullopt;
     return false;
+  }
+  // Merge the daemon's spans into the local trace: its steady clock is
+  // not ours, so rebase the server window to sit centered inside this
+  // round trip (left-aligned when clock skew makes it look wider). Tids
+  // are offset so server threads get their own rows next to ours.
+  if (!Out.ServerSpans.empty() && R.TraceId &&
+      obs::Tracer::global().enabled()) {
+    int64_t ClientDur = obs::nowUs() - Start;
+    int64_t SrvMin = INT64_MAX, SrvMax = INT64_MIN;
+    for (const obs::Span &S : Out.ServerSpans) {
+      SrvMin = std::min(SrvMin, S.StartUs);
+      SrvMax = std::max(SrvMax, S.StartUs + S.DurUs);
+    }
+    int64_t Window = SrvMax - SrvMin;
+    int64_t Offset =
+        Start + (Window < ClientDur ? (ClientDur - Window) / 2 : 0) - SrvMin;
+    for (const obs::Span &S : Out.ServerSpans) {
+      obs::Span Local = S;
+      Local.StartUs += Offset;
+      Local.Tid += 1000;
+      Local.TraceId = R.TraceId;
+      obs::Tracer::global().record(Local);
+    }
   }
   return true;
 }
@@ -244,6 +270,10 @@ bool Client::ping(ClientError &Err) {
 
 bool Client::stats(std::string &Out, ClientError &Err) {
   return roundTrip(Verb::Stats, "", Verb::Ok, Out, Err);
+}
+
+bool Client::metrics(std::string &Out, ClientError &Err) {
+  return roundTrip(Verb::Metrics, "", Verb::Ok, Out, Err);
 }
 
 bool Client::get(const Request &R, ArtifactMsg &Out, std::string &Err) {
@@ -273,6 +303,14 @@ bool Client::ping(std::string &Err) {
 bool Client::stats(std::string &Out, std::string &Err) {
   ClientError E;
   if (stats(Out, E))
+    return true;
+  Err = std::move(E.Message);
+  return false;
+}
+
+bool Client::metrics(std::string &Out, std::string &Err) {
+  ClientError E;
+  if (metrics(Out, E))
     return true;
   Err = std::move(E.Message);
   return false;

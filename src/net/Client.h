@@ -80,12 +80,17 @@ public:
   /// STATS: the daemon's ServiceStats as `key=value` lines.
   bool stats(std::string &Out, ClientError &Err);
 
+  /// METRICS: the daemon's full metrics scrape (sorted registry text plus
+  /// top-K dimension tables). Old daemons answer ERR invalid-request.
+  bool metrics(std::string &Out, ClientError &Err);
+
   /// Flattened-string conveniences (the message only; callers that branch
   /// on the failure class use the ClientError forms above).
   bool get(const Request &R, ArtifactMsg &Out, std::string &Err);
   bool warm(const Request &R, std::string &Err);
   bool ping(std::string &Err);
   bool stats(std::string &Out, std::string &Err);
+  bool metrics(std::string &Out, std::string &Err);
 
   /// Payload cap applied to incoming response frames. Artifact responses
   /// carry C source and .so bytes, so the default is deliberately roomy.

@@ -25,10 +25,16 @@ std::string net::encodeRequest(const Request &R) {
   W.u8(R.WantSo ? 1 : 0);
   // Trailing optional fields, written only when set: a default request is
   // byte-identical to the pre-timing format (old daemons keep decoding
-  // every client that asks for neither timing nor a deadline). A deadline
-  // always writes the want-timing byte first, even when 0 -- the decoder
-  // tells the two tails apart by what follows the byte.
-  if (R.DeadlineMs > 0) {
+  // every client that asks for nothing extra). A deadline always writes
+  // the want-timing byte first, even when 0, and a trace id always writes
+  // both earlier fields -- the decoder tells the three tails apart by
+  // what follows the byte (nothing / u32 / u32+u64+u64).
+  if (R.TraceId != 0) {
+    W.u8(R.WantTiming ? 1 : 0);
+    W.u32(R.DeadlineMs);
+    W.u64(R.TraceId);
+    W.u64(R.SpanId);
+  } else if (R.DeadlineMs > 0) {
     W.u8(R.WantTiming ? 1 : 0);
     W.u32(R.DeadlineMs);
   } else if (R.WantTiming) {
@@ -50,10 +56,13 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
   }
   // Optional trailing fields: nothing (pre-timing client or no extras), a
   // lone want-timing byte (must be 1 -- that form is only encoded when
-  // set), or a want-timing byte (0 or 1) followed by a nonzero u32
-  // deadline. Anything else is garbage, not a field.
+  // set), a want-timing byte (0 or 1) followed by a nonzero u32 deadline,
+  // or the full tail -- want-timing byte, u32 deadline (0 allowed only
+  // here), u64 trace id (nonzero), u64 span id. Anything else is garbage,
+  // not a field.
   uint8_t WantTiming = 0;
   uint32_t DeadlineMs = 0;
+  uint64_t TraceId = 0, SpanId = 0;
   if (!B.atEnd()) {
     if (!B.u8(WantTiming) || WantTiming > 1) {
       Err = "malformed request payload";
@@ -64,7 +73,16 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
         Err = "malformed request payload";
         return false;
       }
-    } else if (!B.u32(DeadlineMs) || DeadlineMs == 0 || !B.atEnd()) {
+    } else if (!B.u32(DeadlineMs)) {
+      Err = "malformed request payload";
+      return false;
+    } else if (B.atEnd()) {
+      if (DeadlineMs == 0) {
+        Err = "malformed request payload";
+        return false;
+      }
+    } else if (!B.u64(TraceId) || TraceId == 0 || !B.u64(SpanId) ||
+               !B.atEnd()) {
       Err = "malformed request payload";
       return false;
     }
@@ -82,6 +100,8 @@ bool net::decodeRequest(const std::string &Payload, Request &R,
   R.WantSo = WantSo == 1;
   R.WantTiming = WantTiming == 1;
   R.DeadlineMs = DeadlineMs;
+  R.TraceId = TraceId;
+  R.SpanId = SpanId;
   return true;
 }
 
@@ -129,11 +149,24 @@ std::string net::encodeArtifact(const ArtifactMsg &A) {
   W.f64(A.MeasuredCycles);
   W.str(A.CSource);
   W.str(A.SoBytes);
-  // Trailing optional field, written only when the daemon has a breakdown
-  // to ship: a response without one is byte-identical to the pre-timing
-  // format, so old clients never see bytes they cannot decode.
-  if (!A.TimingText.empty())
+  // Trailing optional fields, written only when the daemon has something
+  // to ship: a response without them is byte-identical to the pre-timing
+  // format, so old clients never see bytes they cannot decode. The span
+  // list can only follow a timing document (it is gated on the request
+  // carrying a trace id, which implies a client new enough for both).
+  if (!A.TimingText.empty()) {
     W.str(A.TimingText);
+    if (!A.ServerSpans.empty()) {
+      W.u32(static_cast<uint32_t>(A.ServerSpans.size()));
+      for (const obs::Span &S : A.ServerSpans) {
+        W.str(S.Name);
+        W.str(S.Cat);
+        W.u64(static_cast<uint64_t>(S.StartUs));
+        W.u64(static_cast<uint64_t>(S.DurUs));
+        W.u32(S.Tid);
+      }
+    }
+  }
   return W.take();
 }
 
@@ -170,12 +203,42 @@ bool net::decodeArtifact(const std::string &Payload, ArtifactMsg &A,
     Err = "malformed artifact payload";
     return false;
   }
-  // Optional trailing server-timing document: absent on old-format
-  // responses (atEnd right here), otherwise it must be the final field.
+  // Optional trailing server-timing document, optionally followed by the
+  // daemon's span list: absent on old-format responses (atEnd right
+  // here); present, the spans (when any) must run exactly to the end.
   A.TimingText.clear();
-  if (!B.atEnd() && (!B.str(A.TimingText) || !B.atEnd())) {
-    Err = "malformed artifact payload";
-    return false;
+  A.ServerSpans.clear();
+  if (!B.atEnd()) {
+    if (!B.str(A.TimingText)) {
+      Err = "malformed artifact payload";
+      return false;
+    }
+    if (!B.atEnd()) {
+      uint32_t NumSpans;
+      // Each span costs >= 28 payload bytes, so 4096 comfortably exceeds
+      // anything a real daemon ships (SpanCollector caps at 128) while a
+      // hostile count still cannot reserve past the frame.
+      if (!B.u32(NumSpans) || NumSpans == 0 || NumSpans > 4096) {
+        Err = "malformed artifact payload";
+        return false;
+      }
+      for (uint32_t I = 0; I < NumSpans; ++I) {
+        obs::Span S;
+        uint64_t Start, Dur;
+        if (!B.str(S.Name) || !B.str(S.Cat) || !B.u64(Start) ||
+            !B.u64(Dur) || !B.u32(S.Tid)) {
+          Err = "malformed artifact payload";
+          return false;
+        }
+        S.StartUs = static_cast<int64_t>(Start);
+        S.DurUs = static_cast<int64_t>(Dur);
+        A.ServerSpans.push_back(std::move(S));
+      }
+      if (!B.atEnd()) {
+        Err = "malformed artifact payload";
+        return false;
+      }
+    }
   }
   if (Batched > 1 || Measured > 1) {
     Err = "malformed artifact payload";

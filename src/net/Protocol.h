@@ -27,6 +27,7 @@
 #ifndef SLINGEN_NET_PROTOCOL_H
 #define SLINGEN_NET_PROTOCOL_H
 
+#include "obs/Trace.h"
 #include "service/KernelService.h"
 
 #include <optional>
@@ -73,6 +74,17 @@ struct Request {
   /// deadline-free requests stay byte-identical to the older formats, and
   /// an old daemon rejecting the tail makes the client retry without it.
   uint32_t DeadlineMs = 0;
+  /// Request trace id for cross-process span correlation; 0 = untraced.
+  /// Extends the trailing-field scheme a third step: when nonzero, the
+  /// full tail is always written -- want-timing byte, u32 deadline (0
+  /// allowed in this form only), u64 trace id (nonzero), u64 span id --
+  /// so the decoder again tells the three tails apart by length (1, 5,
+  /// or 21 bytes). Old daemons reject the long tail; the client strips
+  /// the ids and retries once, exactly the DeadlineMs downgrade dance.
+  uint64_t TraceId = 0;
+  /// The client's root span id under TraceId (informational; the daemon
+  /// currently echoes it into nothing but future parenting may use it).
+  uint64_t SpanId = 0;
 };
 
 std::string encodeRequest(const Request &R);
@@ -110,6 +122,13 @@ struct ArtifactMsg {
   /// new daemons and new clients decode old daemons (absence simply means
   /// "no breakdown").
   std::string TimingText;
+  /// The daemon's span list for this request (server clock timestamps),
+  /// shipped so the client can merge one cross-process Chrome trace.
+  /// Encoded after TimingText and only when TimingText is also present --
+  /// the daemon attaches spans only for requests that sent both
+  /// WantTiming and a trace id, and a trace id is precisely what old
+  /// clients never send, so they never see this field.
+  std::vector<obs::Span> ServerSpans;
 };
 
 std::string encodeArtifact(const ArtifactMsg &A);

@@ -8,10 +8,14 @@
 
 #include "la/Lower.h"
 #include "net/Protocol.h"
+#include "obs/EventLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/File.h"
 #include "support/Format.h"
+
+#include <optional>
 
 #include <cerrno>
 #include <cstring>
@@ -230,11 +234,20 @@ void Server::reapFinishedConnections() {
 
 void Server::acceptLoop(int ListenFd) {
   while (!Stopping.load()) {
-    int Fd = accept(ListenFd, nullptr, nullptr);
+    sockaddr_storage Ss{};
+    socklen_t SsLen = sizeof(Ss);
+    int Fd = accept(ListenFd, reinterpret_cast<sockaddr *>(&Ss), &SsLen);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
       return; // listener closed (stop()) or broken beyond repair
+    }
+    std::string Peer = "unix";
+    if (Ss.ss_family == AF_INET) {
+      auto *In = reinterpret_cast<sockaddr_in *>(&Ss);
+      char Ip[INET_ADDRSTRLEN] = {};
+      inet_ntop(AF_INET, &In->sin_addr, Ip, sizeof(Ip));
+      Peer = formatf("%s:%d", Ip, ntohs(In->sin_port));
     }
     if (Stopping.load()) {
       close(Fd);
@@ -254,6 +267,9 @@ void Server::acceptLoop(int ListenFd) {
         static obs::Counter &ShedCount =
             obs::Registry::global().counter("net.shed");
         ShedCount.add();
+        obs::EventLog::global().log(obs::EventLog::Level::Warn, 0, "shed",
+                                    {{"peer", Peer},
+                                     {"reason", "connection capacity"}});
         std::string Ignored;
         writeFrame(Fd, Verb::Error,
                    encodeErrorPayload(service::Errc::Overloaded,
@@ -265,6 +281,7 @@ void Server::acceptLoop(int ListenFd) {
     }
     auto Conn = std::make_unique<Connection>();
     Conn->Fd = Fd;
+    Conn->Peer = std::move(Peer);
     Connection *Raw = Conn.get();
     {
       // The thread member is assigned under the same lock the reaper and
@@ -299,7 +316,7 @@ void Server::serveConnection(Connection &Conn) {
       break;
     }
     Conn.InRequest = true;
-    bool Keep = handleFrame(Conn.Fd, F);
+    bool Keep = handleFrame(Conn, F);
     Conn.InRequest = false;
     // Checked after the reply: a drain that began mid-request still gets
     // its answer out before the connection goes away.
@@ -330,8 +347,14 @@ struct ServerMetrics {
   obs::Histogram &GetUs = obs::Registry::global().histogram("server.get.us");
   obs::Histogram &WarmUs =
       obs::Registry::global().histogram("server.warm.us");
+  obs::Histogram &MetricsUs =
+      obs::Registry::global().histogram("server.metrics.us");
   obs::Histogram &OtherUs =
       obs::Registry::global().histogram("server.other.us");
+  /// Per-dimension top-K accounting (bounded: see LabelTable); scraped by
+  /// the METRICS verb.
+  obs::LabelTable PerKernel{64};
+  obs::LabelTable PerPeer{64};
 
   obs::Histogram &forVerb(Verb V) {
     switch (V) {
@@ -343,6 +366,8 @@ struct ServerMetrics {
       return GetUs;
     case Verb::Warm:
       return WarmUs;
+    case Verb::Metrics:
+      return MetricsUs;
     default:
       return OtherUs;
     }
@@ -364,23 +389,74 @@ const char *spanNameForVerb(Verb V) {
     return "serve-get";
   case Verb::Warm:
     return "serve-warm";
+  case Verb::Metrics:
+    return "serve-metrics";
   default:
     return "serve-other";
   }
 }
 
+const char *verbToken(Verb V) {
+  switch (V) {
+  case Verb::Ping:
+    return "ping";
+  case Verb::Stats:
+    return "stats";
+  case Verb::Get:
+    return "get";
+  case Verb::Warm:
+    return "warm";
+  case Verb::Metrics:
+    return "metrics";
+  default:
+    return "other";
+  }
+}
+
+/// A short greppable fingerprint of a request before its cache key is
+/// known: the head of the LA program with everything outside
+/// [A-Za-z0-9_-] squashed to '.', so the flight recorder names what was
+/// being generated even when the request never completed.
+std::string kernelLabelFor(const std::string &LaSource) {
+  std::string Out;
+  for (char C : LaSource) {
+    if (Out.size() >= 28)
+      break;
+    if (isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '-')
+      Out += C;
+    else if (!Out.empty() && Out.back() != '.')
+      Out += '.';
+  }
+  return Out.empty() ? "-" : Out;
+}
+
 } // namespace
 
-bool Server::handleFrame(int Fd, const Frame &F) {
+bool Server::handleFrame(Connection &Conn, const Frame &F) {
   ++Served;
   ServerMetrics &M = ServerMetrics::get();
   M.Frames.add();
+  // Connection threads serve many requests: the previous frame's trace id
+  // must not bleed into this one's spans. The Get/Warm path re-stamps it
+  // after decoding; the stamp stays live through Handle's destructor so
+  // the serve-* span is tagged too.
+  obs::setCurrentTraceId(0);
   obs::ScopedSpan Handle(spanNameForVerb(F.verb()), "server",
                          &M.forVerb(F.verb()));
   std::string Err;
   auto Respond = [&](Verb V, const std::string &Payload) {
     std::string WriteErr;
-    return writeFrame(Fd, V, Payload, WriteErr);
+    return writeFrame(Conn.Fd, V, Payload, WriteErr);
+  };
+  auto RespondError = [&](service::Errc Code, const std::string &Msg,
+                          uint64_t TraceId) {
+    obs::EventLog::global().log(obs::EventLog::Level::Error, TraceId,
+                                "error",
+                                {{"verb", verbToken(F.verb())},
+                                 {"errc", service::errcName(Code)},
+                                 {"peer", Conn.Peer},
+                                 {"msg", Msg}});
+    return Respond(Verb::Error, encodeErrorPayload(Code, Msg));
   };
 
   switch (F.verb()) {
@@ -390,33 +466,76 @@ bool Server::handleFrame(int Fd, const Frame &F) {
   case Verb::Stats:
     return Respond(Verb::Ok, serializeServiceStats(Svc.stats()));
 
+  case Verb::Metrics:
+    // The whole registry (globally sorted keys) plus the bounded
+    // top-K dimension tables -- the scrape surface for slc -metrics.
+    return Respond(Verb::Ok, obs::Registry::global().renderText() +
+                                 M.PerKernel.renderText("top.kernel", 10) +
+                                 M.PerPeer.renderText("top.peer", 10));
+
   case Verb::Get:
   case Verb::Warm: {
     Request R;
     if (!decodeRequest(F.Payload, R, Err))
-      return Respond(Verb::Error,
-                     encodeErrorPayload(service::Errc::InvalidRequest, Err));
+      return RespondError(service::Errc::InvalidRequest, Err, 0);
+    obs::setCurrentTraceId(R.TraceId);
     GenOptions Options;
     service::RequestOptions Req;
     if (!requestToServiceArgs(R, Options, Req, Err))
-      return Respond(Verb::Error,
-                     encodeErrorPayload(service::Errc::InvalidRequest, Err));
+      return RespondError(service::Errc::InvalidRequest, Err, R.TraceId);
+
+    std::string Label = kernelLabelFor(R.LaSource);
+    const char *Tok = verbToken(F.verb());
+    obs::FlightRecorder &FR = obs::FlightRecorder::global();
+    // "start" is written before any service work: if the process dies
+    // mid-request, the crash dump still names what was in flight.
+    FR.record(R.TraceId, "start", Tok, Label.c_str(), Conn.Peer.c_str(),
+              "-", "-", -1);
 
     if (F.verb() == Verb::Warm) {
       // Parse the program before queueing (options were validated above),
       // so a malformed warm list fails loudly at the client instead of
       // silently warming nothing; only the generate+compile is async.
-      if (!la::compileLa(R.LaSource, Err))
-        return Respond(Verb::Error,
-                       encodeErrorPayload(service::Errc::ParseError,
-                                          "parse error: " + Err));
+      if (!la::compileLa(R.LaSource, Err)) {
+        FR.record(R.TraceId, "fail", Tok, Label.c_str(), Conn.Peer.c_str(),
+                  "-", service::errcName(service::Errc::ParseError),
+                  Handle.elapsedUs());
+        return RespondError(service::Errc::ParseError,
+                            "parse error: " + Err, R.TraceId);
+      }
       Svc.prefetch(R.LaSource, Options, Req);
+      FR.record(R.TraceId, "done", Tok, Label.c_str(), Conn.Peer.c_str(),
+                "queued", "-", Handle.elapsedUs());
       return Respond(Verb::Ok, "queued");
     }
 
+    // Collect this request's spans for the reply only when the client can
+    // decode them: a trace id is precisely the marker of a client new
+    // enough for the span field (old clients send WantTiming alone).
+    obs::SpanCollector Spans;
+    std::optional<obs::ScopedCollect> Collect;
+    if (R.WantTiming && R.TraceId)
+      Collect.emplace(Spans);
     service::GetResult G = Svc.get(R.LaSource, Options, Req);
-    if (!G)
-      return Respond(Verb::Error, encodeErrorPayload(G.Code, G.Error));
+    Collect.reset();
+    int64_t LatUs = Handle.elapsedUs();
+    M.PerPeer.add(Conn.Peer, LatUs);
+    if (!G) {
+      M.PerKernel.add(Label, LatUs);
+      FR.record(R.TraceId, "fail", Tok, Label.c_str(), Conn.Peer.c_str(),
+                G.Timing.Tier.c_str(), service::errcName(G.Code), LatUs);
+      return RespondError(G.Code, G.Error, R.TraceId);
+    }
+    M.PerKernel.add(G->FuncName, LatUs);
+    FR.record(R.TraceId, "done", Tok, G->FuncName.c_str(),
+              Conn.Peer.c_str(), G.Timing.Tier.c_str(), "-", LatUs);
+    if (Cfg.SlowMs > 0 && LatUs > static_cast<int64_t>(Cfg.SlowMs) * 1000)
+      obs::EventLog::global().log(
+          obs::EventLog::Level::Warn, R.TraceId, "slow",
+          {{"kernel", G->FuncName},
+           {"tier", G.Timing.Tier},
+           {"peer", Conn.Peer},
+           {"lat-us", formatf("%lld", static_cast<long long>(LatUs))}});
     std::string SoBytes;
     if (R.WantSo && G->isCallable()) {
       bool Ok = false;
@@ -425,8 +544,11 @@ bool Server::handleFrame(int Fd, const Frame &F) {
         SoBytes.clear(); // degrade to source-only over the wire
     }
     ArtifactMsg Msg = artifactToMsg(*G.Kernel, std::move(SoBytes));
-    if (R.WantTiming)
+    if (R.WantTiming) {
       Msg.TimingText = service::serializeRequestTiming(G.Timing);
+      if (R.TraceId)
+        Msg.ServerSpans = std::move(Spans.Spans);
+    }
     return Respond(Verb::Artifact, encodeArtifact(Msg));
   }
 
@@ -438,8 +560,6 @@ bool Server::handleFrame(int Fd, const Frame &F) {
   // Unknown or misplaced verb: answer (the frame boundary is intact) but
   // keep serving -- a newer client probing an older daemon deserves a
   // diagnosable error, not a hangup.
-  return Respond(Verb::Error,
-                 encodeErrorPayload(
-                     service::Errc::InvalidRequest,
-                     formatf("unsupported verb 0x%02x", F.VerbByte)));
+  return RespondError(service::Errc::InvalidRequest,
+                      formatf("unsupported verb 0x%02x", F.VerbByte), 0);
 }

@@ -64,6 +64,9 @@ struct ServerConfig {
   /// or wedged clients cannot pin connection slots (and their threads)
   /// forever.
   int IdleTimeoutMs = 0;
+  /// GET requests slower than this (ms) are logged to the structured
+  /// event log (when one is open); 0 disables the slow-request events.
+  int SlowMs = 0;
 };
 
 class Server {
@@ -96,6 +99,9 @@ public:
 private:
   struct Connection {
     int Fd = -1;
+    /// Peer label for accounting and the flight recorder: "unix" on the
+    /// Unix listener, "ip:port" on TCP.
+    std::string Peer;
     std::thread Thread;
     std::atomic<bool> Done{false};
     /// True while handleFrame runs; stop() leaves such connections alone
@@ -107,7 +113,7 @@ private:
   void serveConnection(Connection &Conn);
   /// Handles one decoded frame; returns false when the connection must
   /// close (protocol desync or peer gone).
-  bool handleFrame(int Fd, const Frame &F);
+  bool handleFrame(Connection &Conn, const Frame &F);
   void reapFinishedConnections();
 
   service::KernelService &Svc;

@@ -102,6 +102,7 @@ bool net::verbKnown(uint8_t V) {
   case Verb::Warm:
   case Verb::Ping:
   case Verb::Stats:
+  case Verb::Metrics:
   case Verb::Artifact:
   case Verb::Ok:
   case Verb::Error:

@@ -38,10 +38,11 @@ namespace net {
 
 /// Frame verbs. Requests are low values, responses have the high bit set.
 enum class Verb : uint8_t {
-  Get = 0x01,   ///< request: generate/serve one kernel (payload: Request)
-  Warm = 0x02,  ///< request: queue a prefetch for one kernel (same payload)
-  Ping = 0x03,  ///< request: liveness probe (empty payload)
-  Stats = 0x04, ///< request: service counters (empty payload)
+  Get = 0x01,     ///< request: generate/serve one kernel (payload: Request)
+  Warm = 0x02,    ///< request: queue a prefetch for one kernel (same payload)
+  Ping = 0x03,    ///< request: liveness probe (empty payload)
+  Stats = 0x04,   ///< request: service counters (empty payload)
+  Metrics = 0x05, ///< request: metrics scrape text (empty payload)
 
   Artifact = 0x81, ///< response to Get (payload: ArtifactMsg)
   Ok = 0x82,       ///< response to Warm/Ping/Stats (payload: text)

@@ -1,0 +1,135 @@
+//===- obs/EventLog.cpp - rate-limited structured event log ---------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventLog.h"
+
+#include "obs/Metrics.h"
+#include "support/Format.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace slingen {
+namespace obs {
+
+EventLog &EventLog::global() {
+  static EventLog E;
+  return E;
+}
+
+EventLog::~EventLog() { close(); }
+
+bool EventLog::open(const std::string &Path, std::string &Err) {
+  int NewFd =
+      ::open(Path.c_str(), O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (NewFd < 0) {
+    Err = "cannot open " + Path + ": " + strerror(errno);
+    return false;
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = NewFd;
+  Tokens = Burst;
+  LastRefillUs = nowUs();
+  On.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void EventLog::close() {
+  On.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> L(Mu);
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+static const char *levelName(EventLog::Level L) {
+  switch (L) {
+  case EventLog::Level::Info:
+    return "info";
+  case EventLog::Level::Warn:
+    return "warn";
+  case EventLog::Level::Error:
+    return "error";
+  }
+  return "info";
+}
+
+static void appendJsonString(std::string &Out, const std::string &In) {
+  Out += '"';
+  for (char C : In) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatf("\\u%04x", C);
+    } else {
+      Out += C;
+    }
+  }
+  Out += '"';
+}
+
+void EventLog::log(Level L, uint64_t TraceId, const char *Event,
+                   std::initializer_list<Field> Fields) {
+  if (!enabled())
+    return;
+  // Build the line outside the lock; the sink is for rare events, so the
+  // allocation cost is irrelevant next to keeping the critical section
+  // down to the token check and the write.
+  std::string Line = "{\"ts-us\":";
+  Line += formatf("%lld", static_cast<long long>(nowUs()));
+  Line += ",\"level\":\"";
+  Line += levelName(L);
+  Line += "\"";
+  if (TraceId)
+    Line += formatf(",\"trace\":\"%016llx\"",
+                    static_cast<unsigned long long>(TraceId));
+  Line += ",\"event\":";
+  appendJsonString(Line, Event);
+  for (const Field &F : Fields) {
+    Line += ",";
+    appendJsonString(Line, F.first);
+    Line += ":";
+    appendJsonString(Line, F.second);
+  }
+
+  std::lock_guard<std::mutex> Lk(Mu);
+  if (Fd < 0)
+    return;
+  int64_t Now = nowUs();
+  Tokens += double(Now - LastRefillUs) * MaxPerSec / 1e6;
+  if (Tokens > Burst)
+    Tokens = Burst;
+  LastRefillUs = Now;
+  if (Tokens < 1) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    ++DroppedSinceWrite;
+    Registry::global().counter("obs.events_dropped").add();
+    return;
+  }
+  Tokens -= 1;
+  if (DroppedSinceWrite > 0) {
+    Line += formatf(",\"_dropped\":%lld",
+                    static_cast<long long>(DroppedSinceWrite));
+    DroppedSinceWrite = 0;
+  }
+  Line += "}\n";
+  size_t Off = 0;
+  while (Off < Line.size()) {
+    ssize_t W = ::write(Fd, Line.data() + Off, Line.size() - Off);
+    if (W <= 0)
+      break;
+    Off += static_cast<size_t>(W);
+  }
+}
+
+} // namespace obs
+} // namespace slingen

@@ -1,0 +1,75 @@
+//===- obs/EventLog.h - rate-limited structured event log -----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide JSONL event sink for the notable-but-rare moments a
+/// daemon operator greps for after the fact: errors, sheds, quarantines,
+/// and slow requests over a threshold. Each event is one JSON object per
+/// line -- timestamp, level, trace id, event name, plus free-form string
+/// fields -- appended to a file opened via `sld -log-json <path>`.
+///
+/// The sink is rate-limited by a token bucket (events, not bytes) so a
+/// failure storm cannot turn the log into the bottleneck or fill the
+/// disk; drops are counted in the `obs.events_dropped` metric and in the
+/// periodic `_dropped` summary event the logger emits when the storm
+/// subsides. Disabled (the default) the whole thing is one relaxed load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_OBS_EVENTLOG_H
+#define SLINGEN_OBS_EVENTLOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace slingen {
+namespace obs {
+
+class EventLog {
+public:
+  enum class Level { Info, Warn, Error };
+
+  static EventLog &global();
+  ~EventLog();
+
+  /// Opens (creating/appending) \p Path and enables the sink. False +
+  /// \p Err when the file cannot be opened.
+  bool open(const std::string &Path, std::string &Err);
+  void close();
+
+  bool enabled() const { return On.load(std::memory_order_relaxed); }
+
+  using Field = std::pair<const char *, std::string>;
+
+  /// Appends one event line. No-op when the sink is closed; counted and
+  /// dropped when the rate limit is exhausted.
+  void log(Level L, uint64_t TraceId, const char *Event,
+           std::initializer_list<Field> Fields = {});
+
+  int64_t dropped() const { return Dropped.load(std::memory_order_relaxed); }
+
+  /// Events admitted per second once the burst allowance is spent.
+  static constexpr int MaxPerSec = 200;
+  static constexpr int Burst = 400;
+
+private:
+  std::atomic<bool> On{false};
+  std::atomic<int64_t> Dropped{0};
+  mutable std::mutex Mu;
+  int Fd = -1;
+  double Tokens = Burst;
+  int64_t LastRefillUs = 0;
+  int64_t DroppedSinceWrite = 0;
+};
+
+} // namespace obs
+} // namespace slingen
+
+#endif // SLINGEN_OBS_EVENTLOG_H

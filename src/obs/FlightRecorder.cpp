@@ -1,0 +1,195 @@
+//===- obs/FlightRecorder.cpp - crash-surviving request ring --------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/FlightRecorder.h"
+
+#include "obs/Metrics.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace slingen {
+namespace obs {
+
+FlightRecorder &FlightRecorder::global() {
+  // Call once at process startup (sld does) so the guarded construction
+  // never first happens inside a crash handler.
+  static FlightRecorder F;
+  return F;
+}
+
+static void copyField(char *Dst, size_t Cap, const char *Src) {
+  if (!Src || !*Src)
+    Src = "-";
+  size_t N = strnlen(Src, Cap - 1);
+  memcpy(Dst, Src, N);
+  Dst[N] = '\0';
+}
+
+void FlightRecorder::record(uint64_t TraceId, const char *Phase,
+                            const char *Verb, const char *Kernel,
+                            const char *Peer, const char *Tier,
+                            const char *Errc, int64_t LatencyUs) {
+  uint64_t N = Next.fetch_add(1, std::memory_order_relaxed);
+  size_t Slot = N % Capacity;
+  Record &R = Ring[Slot];
+  // Mark in-progress so snapshot() skips the slot, fill, then publish.
+  SlotSeq[Slot].store(0, std::memory_order_release);
+  R.Seq = N + 1;
+  R.TraceId = TraceId;
+  R.WhenUs = nowUs();
+  R.LatencyUs = LatencyUs;
+  copyField(R.Phase, sizeof(R.Phase), Phase);
+  copyField(R.Verb, sizeof(R.Verb), Verb);
+  copyField(R.Kernel, sizeof(R.Kernel), Kernel);
+  copyField(R.Peer, sizeof(R.Peer), Peer);
+  copyField(R.Tier, sizeof(R.Tier), Tier);
+  copyField(R.Errc, sizeof(R.Errc), Errc);
+  SlotSeq[Slot].store(N + 1, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::snapshot() const {
+  std::vector<Record> Out;
+  Out.reserve(Capacity);
+  for (size_t I = 0; I < Capacity; ++I) {
+    uint64_t Before = SlotSeq[I].load(std::memory_order_acquire);
+    if (Before == 0)
+      continue; // never written, or a writer is mid-flight
+    Record R = Ring[I];
+    uint64_t After = SlotSeq[I].load(std::memory_order_acquire);
+    if (After != Before || R.Seq != Before)
+      continue; // torn by a concurrent writer; drop rather than mangle
+    Out.push_back(R);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const Record &A, const Record &B) { return A.Seq < B.Seq; });
+  return Out;
+}
+
+static std::string renderRecord(const FlightRecorder::Record &R) {
+  return formatf("flight %llu trace=%016llx phase=%s verb=%s kernel=%s "
+                 "peer=%s tier=%s errc=%s lat-us=%lld\n",
+                 static_cast<unsigned long long>(R.Seq),
+                 static_cast<unsigned long long>(R.TraceId), R.Phase, R.Verb,
+                 R.Kernel, R.Peer, R.Tier, R.Errc,
+                 static_cast<long long>(R.LatencyUs));
+}
+
+std::string FlightRecorder::renderText() const {
+  std::string Out;
+  for (const Record &R : snapshot())
+    Out += renderRecord(R);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Async-signal-safe dump
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// A tiny stack-buffer line builder using only memcpy-level operations;
+// everything below is callable from a signal handler.
+struct SafeLine {
+  char Buf[256];
+  size_t Len = 0;
+
+  void str(const char *S) {
+    while (*S && Len < sizeof(Buf) - 1)
+      Buf[Len++] = *S++;
+  }
+  void dec(long long V) {
+    char Tmp[24];
+    size_t N = 0;
+    unsigned long long U;
+    if (V < 0) {
+      str("-");
+      U = static_cast<unsigned long long>(-(V + 1)) + 1;
+    } else {
+      U = static_cast<unsigned long long>(V);
+    }
+    do {
+      Tmp[N++] = char('0' + U % 10);
+      U /= 10;
+    } while (U && N < sizeof(Tmp));
+    while (N && Len < sizeof(Buf) - 1)
+      Buf[Len++] = Tmp[--N];
+  }
+  void hex16(unsigned long long V) {
+    static const char Digits[] = "0123456789abcdef";
+    for (int I = 15; I >= 0 && Len < sizeof(Buf) - 1; --I)
+      Buf[Len++] = Digits[(V >> (I * 4)) & 0xf];
+  }
+  void flush(int Fd) {
+    size_t Off = 0;
+    while (Off < Len) {
+      ssize_t W = ::write(Fd, Buf + Off, Len - Off);
+      if (W <= 0)
+        return;
+      Off += static_cast<size_t>(W);
+    }
+    Len = 0;
+  }
+};
+
+} // namespace
+
+void FlightRecorder::dumpTo(int Fd) const {
+  if (Fd < 0)
+    return;
+  uint64_t Writes = Next.load(std::memory_order_relaxed);
+  {
+    SafeLine L;
+    L.str("flight-recorder dump: ");
+    L.dec(static_cast<long long>(Writes));
+    L.str(" records written, ring capacity ");
+    L.dec(static_cast<long long>(Capacity));
+    L.str("\n");
+    L.flush(Fd);
+  }
+  // Oldest slot first when the ring has wrapped.
+  size_t Start = Writes > Capacity ? Writes % Capacity : 0;
+  for (size_t I = 0; I < Capacity; ++I) {
+    const Record &R = Ring[(Start + I) % Capacity];
+    if (R.Seq == 0)
+      continue;
+    SafeLine L;
+    L.str("flight ");
+    L.dec(static_cast<long long>(R.Seq));
+    L.str(" trace=");
+    L.hex16(R.TraceId);
+    L.str(" phase=");
+    L.str(R.Phase);
+    L.str(" verb=");
+    L.str(R.Verb);
+    L.str(" kernel=");
+    L.str(R.Kernel);
+    L.str(" peer=");
+    L.str(R.Peer);
+    L.str(" tier=");
+    L.str(R.Tier);
+    L.str(" errc=");
+    L.str(R.Errc);
+    L.str(" lat-us=");
+    L.dec(static_cast<long long>(R.LatencyUs));
+    L.str("\n");
+    L.flush(Fd);
+  }
+}
+
+void FlightRecorder::reset() {
+  for (size_t I = 0; I < Capacity; ++I) {
+    SlotSeq[I].store(0, std::memory_order_relaxed);
+    Ring[I] = Record{};
+  }
+  Next.store(0, std::memory_order_relaxed);
+}
+
+} // namespace obs
+} // namespace slingen

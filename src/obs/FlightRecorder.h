@@ -1,0 +1,93 @@
+//===- obs/FlightRecorder.h - crash-surviving request ring ----------------===//
+//
+// Part of the SLinGen reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An always-on, lock-free black-box ring of the last N request records.
+/// The daemon writes one record when a request is admitted ("start") and
+/// one when it completes ("done"/"fail"); when the process dies on
+/// SIGSEGV/SIGABRT the pre-installed handler dumps the ring to a
+/// pre-opened fd with async-signal-safe code only (write(2) plus manual
+/// integer formatting -- no malloc, no stdio, no locks), so the chaos
+/// harness gets a post-mortem artifact naming the in-flight request even
+/// though the process never returned from it.
+///
+/// Records are fixed-size POD: string fields are truncating char arrays,
+/// written with plain stores behind a per-slot sequence word. A reader
+/// that races a writer sees either the old record, the new one, or a
+/// slot marked in-progress; the crash dump additionally accepts torn
+/// records (better a mangled line than no line).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLINGEN_OBS_FLIGHTRECORDER_H
+#define SLINGEN_OBS_FLIGHTRECORDER_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slingen {
+namespace obs {
+
+class FlightRecorder {
+public:
+  static constexpr size_t Capacity = 256;
+
+  /// One request event. Char arrays are NUL-terminated, truncated copies.
+  struct Record {
+    uint64_t Seq = 0; ///< 1-based write number; 0 = never written
+    uint64_t TraceId = 0;
+    int64_t WhenUs = 0;    ///< nowUs() at the event
+    int64_t LatencyUs = 0; ///< -1 on "start" events (not yet known)
+    char Phase[8] = {};    ///< "start" | "done" | "fail"
+    char Verb[8] = {};     ///< wire verb token ("get", "warm", ...)
+    char Kernel[32] = {};  ///< kernel fingerprint / function name
+    char Peer[24] = {};    ///< connection peer label
+    char Tier[12] = {};    ///< serving tier ("mem", "disk", ...) or "-"
+    char Errc[24] = {};    ///< errc token on failure, "-" otherwise
+  };
+
+  static FlightRecorder &global();
+
+  /// Appends one record. Lock-free and wait-free apart from the char
+  /// copies; safe from any thread, NOT from a signal handler.
+  void record(uint64_t TraceId, const char *Phase, const char *Verb,
+              const char *Kernel, const char *Peer, const char *Tier,
+              const char *Errc, int64_t LatencyUs);
+
+  /// Total records ever written.
+  uint64_t writes() const { return Next.load(std::memory_order_acquire); }
+
+  /// Records currently held, oldest first. Slots a writer is mid-update
+  /// on are skipped. Not signal-safe (allocates).
+  std::vector<Record> snapshot() const;
+
+  /// snapshot() as `key=value` lines ("flight <seq> trace=... verb=..."),
+  /// for the SIGUSR1 stats dump. Not signal-safe.
+  std::string renderText() const;
+
+  /// Async-signal-safe dump of the ring to \p Fd: a banner line, then one
+  /// line per record in slot order. Reads slots without synchronization
+  /// (a crash handler cannot wait), so lines may rarely be torn.
+  void dumpTo(int Fd) const;
+
+  /// Forgets all records (tests only; racy against concurrent writers).
+  void reset();
+
+private:
+  std::atomic<uint64_t> Next{0};
+  std::array<Record, Capacity> Ring{};
+  // Per-slot publication word: 0 while a writer is filling the slot,
+  // otherwise the 1-based write number whose record the slot holds.
+  std::array<std::atomic<uint64_t>, Capacity> SlotSeq{};
+};
+
+} // namespace obs
+} // namespace slingen
+
+#endif // SLINGEN_OBS_FLIGHTRECORDER_H

@@ -8,6 +8,7 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace slingen {
@@ -95,6 +96,68 @@ double Histogram::Snapshot::percentile(double P) const {
 }
 
 //===----------------------------------------------------------------------===//
+// LabelTable
+//===----------------------------------------------------------------------===//
+
+void LabelTable::add(const std::string &Label, int64_t Us) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Cells.find(Label);
+  if (It == Cells.end()) {
+    if (Cells.size() >= MaxLabels) {
+      // Evict the least-recently-touched label. O(n) over <= MaxLabels
+      // cells, and only on insertion of a brand-new label at capacity.
+      auto Victim = Cells.begin();
+      for (auto C = Cells.begin(); C != Cells.end(); ++C)
+        if (C->second.Touch < Victim->second.Touch)
+          Victim = C;
+      Cells.erase(Victim);
+      Evicted.fetch_add(1, std::memory_order_relaxed);
+    }
+    It = Cells.emplace(Label, Cell{}).first;
+  }
+  It->second.Count += 1;
+  It->second.SumUs += Us;
+  It->second.Touch = ++Tick;
+}
+
+std::vector<LabelTable::Row> LabelTable::topK(size_t K) const {
+  std::vector<Row> Rows;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Rows.reserve(Cells.size());
+    for (const auto &[Label, C] : Cells)
+      Rows.push_back({Label, C.Count, C.SumUs});
+  }
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.Count != B.Count)
+      return A.Count > B.Count;
+    return A.Label < B.Label;
+  });
+  if (Rows.size() > K)
+    Rows.resize(K);
+  return Rows;
+}
+
+size_t LabelTable::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Cells.size();
+}
+
+std::string LabelTable::renderText(const std::string &Prefix,
+                                   size_t K) const {
+  std::string Out;
+  for (const Row &R : topK(K)) {
+    Out += formatf("%s.%s.count=%lld\n", Prefix.c_str(), R.Label.c_str(),
+                   static_cast<long long>(R.Count));
+    Out += formatf("%s.%s.sum-us=%lld\n", Prefix.c_str(), R.Label.c_str(),
+                   static_cast<long long>(R.SumUs));
+  }
+  Out += formatf("%s.evicted=%lld\n", Prefix.c_str(),
+                 static_cast<long long>(evicted()));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
 // Registry
 //===----------------------------------------------------------------------===//
 
@@ -128,31 +191,30 @@ Histogram &Registry::histogram(const std::string &Name) {
 }
 
 std::string Registry::renderText() const {
-  std::lock_guard<std::mutex> L(Mu);
-  std::string Out;
-  for (const auto &[Name, C] : Counters)
-    Out += formatf("%s=%lld\n", Name.c_str(),
-                   static_cast<long long>(C->value()));
-  for (const auto &[Name, G] : Gauges)
-    Out += formatf("%s=%lld\n", Name.c_str(),
-                   static_cast<long long>(G->value()));
-  for (const auto &[Name, H] : Histograms) {
-    auto S = H->snapshot();
-    Out += formatf("%s.count=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.Count));
-    Out += formatf("%s.sum-us=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.Sum));
-    Out += formatf("%s.min-us=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.Min));
-    Out += formatf("%s.max-us=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.Max));
-    Out += formatf("%s.p50-us=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.p50() + 0.5));
-    Out += formatf("%s.p90-us=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.p90() + 0.5));
-    Out += formatf("%s.p99-us=%lld\n", Name.c_str(),
-                   static_cast<long long>(S.p99() + 0.5));
+  // Merge every metric into one sorted key sequence before emitting, so
+  // two dumps from the same process diff cleanly regardless of which
+  // kind (counter / gauge / histogram) a key happens to be.
+  std::map<std::string, std::string> Lines;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    for (const auto &[Name, C] : Counters)
+      Lines[Name] = formatf("%lld", static_cast<long long>(C->value()));
+    for (const auto &[Name, G] : Gauges)
+      Lines[Name] = formatf("%lld", static_cast<long long>(G->value()));
+    for (const auto &[Name, H] : Histograms) {
+      auto S = H->snapshot();
+      Lines[Name + ".count"] = formatf("%lld", (long long)S.Count);
+      Lines[Name + ".sum-us"] = formatf("%lld", (long long)S.Sum);
+      Lines[Name + ".min-us"] = formatf("%lld", (long long)S.Min);
+      Lines[Name + ".max-us"] = formatf("%lld", (long long)S.Max);
+      Lines[Name + ".p50-us"] = formatf("%lld", (long long)(S.p50() + 0.5));
+      Lines[Name + ".p90-us"] = formatf("%lld", (long long)(S.p90() + 0.5));
+      Lines[Name + ".p99-us"] = formatf("%lld", (long long)(S.p99() + 0.5));
+    }
   }
+  std::string Out;
+  for (const auto &[Key, Val] : Lines)
+    Out += Key + "=" + Val + "\n";
   return Out;
 }
 

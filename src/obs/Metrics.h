@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace slingen {
 namespace obs {
@@ -104,6 +105,48 @@ private:
   std::array<std::atomic<int64_t>, NumBuckets> Buckets{};
 };
 
+/// Capacity-bounded label -> {count, sum-us} table for dimensions whose
+/// label set is caller-controlled (kernel names, peer addresses): at most
+/// MaxLabels live at once, and adding a new label past the cap evicts the
+/// least-recently-touched one, so a hostile or merely diverse client
+/// population cannot grow daemon memory without bound. Eviction loses
+/// that label's counts -- acceptable for a top-K ops surface, and the
+/// evicted() total says how much churn the cap caused.
+class LabelTable {
+public:
+  explicit LabelTable(size_t MaxLabels = 64) : MaxLabels(MaxLabels) {}
+
+  void add(const std::string &Label, int64_t Us);
+
+  struct Row {
+    std::string Label;
+    int64_t Count = 0;
+    int64_t SumUs = 0;
+  };
+
+  /// The K highest-count rows, count-descending, label-ascending on ties.
+  std::vector<Row> topK(size_t K) const;
+
+  size_t size() const;
+  int64_t evicted() const { return Evicted.load(std::memory_order_relaxed); }
+
+  /// Top-K rows as `<Prefix>.<label>.count=` / `.sum-us=` lines, in topK()
+  /// order, followed by a `<Prefix>.evicted=` line.
+  std::string renderText(const std::string &Prefix, size_t K) const;
+
+private:
+  struct Cell {
+    int64_t Count = 0;
+    int64_t SumUs = 0;
+    uint64_t Touch = 0;
+  };
+  mutable std::mutex Mu;
+  std::map<std::string, Cell> Cells;
+  uint64_t Tick = 0;
+  size_t MaxLabels;
+  std::atomic<int64_t> Evicted{0};
+};
+
 /// Name -> metric map with stable addresses: a returned reference lives as
 /// long as the registry, so call sites resolve once (static local) and
 /// record lock-free afterwards. Lookup takes a mutex -- do it outside hot
@@ -117,8 +160,10 @@ public:
   Gauge &gauge(const std::string &Name);
   Histogram &histogram(const std::string &Name);
 
-  /// Every metric as sorted `key=value` lines. Counters and gauges print
-  /// raw values; histogram H expands to H.count, H.sum-us, H.min-us,
+  /// Every metric as `key=value` lines in one globally sorted key order
+  /// (counters, gauges, and histogram expansions interleaved), so two
+  /// dumps diff cleanly line-by-line. Counters and gauges print raw
+  /// values; histogram H expands to H.count, H.sum-us, H.min-us,
   /// H.max-us, H.p50-us, H.p90-us, H.p99-us (percentiles rounded to
   /// integers -- this is a human/ops surface, not an archival format).
   std::string renderText() const;

@@ -9,11 +9,51 @@
 #include "support/Format.h"
 
 #include <cstdio>
+#include <random>
 
 #include <unistd.h>
 
 namespace slingen {
 namespace obs {
+
+uint64_t newTraceId() {
+  // splitmix64 over a per-thread cursor seeded once from random_device:
+  // ids are unique-enough across processes without any locking. The
+  // result is never 0 -- 0 means "no trace" everywhere in this subsystem.
+  static std::atomic<uint64_t> ProcessSeed{0};
+  thread_local uint64_t X = [] {
+    uint64_t S = ProcessSeed.load(std::memory_order_relaxed);
+    if (S == 0) {
+      std::random_device RD;
+      S = (static_cast<uint64_t>(RD()) << 32) ^ RD() ^
+          (static_cast<uint64_t>(getpid()) << 17);
+      ProcessSeed.store(S, std::memory_order_relaxed);
+    }
+    return S + (Tracer::threadId() * 0x9e3779b97f4a7c15ULL);
+  }();
+  uint64_t Z;
+  do {
+    X += 0x9e3779b97f4a7c15ULL;
+    Z = X;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Z = Z ^ (Z >> 31);
+  } while (Z == 0);
+  return Z;
+}
+
+static thread_local uint64_t CurTraceId = 0;
+static thread_local SpanCollector *CurCollector = nullptr;
+
+uint64_t currentTraceId() { return CurTraceId; }
+void setCurrentTraceId(uint64_t Id) { CurTraceId = Id; }
+
+SpanCollector *currentCollector() { return CurCollector; }
+
+ScopedCollect::ScopedCollect(SpanCollector &C) : Prev(CurCollector) {
+  CurCollector = &C;
+}
+ScopedCollect::~ScopedCollect() { CurCollector = Prev; }
 
 Tracer &Tracer::global() {
   static Tracer T;
@@ -33,6 +73,7 @@ void Tracer::record(const Span &S) {
   if (Spans.size() >= MaxSpans) {
     Spans.pop_front();
     Dropped.fetch_add(1, std::memory_order_relaxed);
+    Registry::global().counter("obs.trace_dropped").add();
   }
   Spans.push_back(S);
 }
@@ -48,10 +89,9 @@ void Tracer::clear() {
   Dropped.store(0, std::memory_order_relaxed);
 }
 
-static void appendJsonString(std::string &Out, const char *S) {
+static void appendJsonString(std::string &Out, const std::string &In) {
   Out += '"';
-  for (; *S; ++S) {
-    char C = *S;
+  for (char C : In) {
     if (C == '"' || C == '\\') {
       Out += '\\';
       Out += C;
@@ -78,9 +118,13 @@ std::string Tracer::exportChromeTrace() const {
     Out += ", \"cat\": ";
     appendJsonString(Out, S.Cat);
     Out += formatf(", \"ph\": \"X\", \"ts\": %lld, \"dur\": %lld, "
-                   "\"pid\": %d, \"tid\": %u}",
+                   "\"pid\": %d, \"tid\": %u",
                    static_cast<long long>(S.StartUs),
                    static_cast<long long>(S.DurUs), Pid, S.Tid);
+    if (S.TraceId)
+      Out += formatf(", \"args\": {\"trace\": \"%016llx\"}",
+                     static_cast<unsigned long long>(S.TraceId));
+    Out += "}";
   }
   Out += "\n]}\n";
   return Out;
@@ -111,15 +155,19 @@ int64_t ScopedSpan::finish() {
   Dur = nowUs() - StartUs;
   if (Hist)
     Hist->record(Dur);
-  if (Traced) {
-    Span S;
-    S.Name = Name;
-    S.Cat = Cat;
-    S.StartUs = StartUs;
-    S.DurUs = Dur;
-    S.Tid = Tracer::threadId();
+  if (!Traced && !CurCollector)
+    return Dur;
+  Span S;
+  S.Name = Name;
+  S.Cat = Cat;
+  S.StartUs = StartUs;
+  S.DurUs = Dur;
+  S.Tid = Tracer::threadId();
+  S.TraceId = CurTraceId;
+  if (CurCollector)
+    CurCollector->add(S);
+  if (Traced)
     Tracer::global().record(S);
-  }
   return Dur;
 }
 

@@ -17,6 +17,13 @@
 /// ScopedSpan doubles as the histogram timer: give it a Histogram and the
 /// elapsed time is recorded there regardless of whether tracing is on.
 ///
+/// Spans are request-scoped: a thread-local trace id (set by the client
+/// session per request, and by the daemon from the request's wire field)
+/// stamps every span finished while it is installed, so one logical
+/// request's spans correlate across processes. A thread-local
+/// SpanCollector additionally captures finished spans for shipping back
+/// to the client as part of a timed reply.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLINGEN_OBS_TRACE_H
@@ -29,25 +36,88 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace slingen {
 namespace obs {
 
-/// One completed phase: [StartUs, StartUs + DurUs] on thread Tid.
-/// Name/Cat are expected to be string literals owned by the call site
-/// (every instrumented phase in-tree uses fixed tokens).
+/// One completed phase: [StartUs, StartUs + DurUs] on thread Tid, tagged
+/// with the request trace id that was current when it finished (0 when
+/// the phase ran outside any request scope).
 struct Span {
-  const char *Name = "";
-  const char *Cat = "";
+  std::string Name;
+  std::string Cat;
   int64_t StartUs = 0;
   int64_t DurUs = 0;
   uint32_t Tid = 0;
+  uint64_t TraceId = 0;
+};
+
+/// A fresh nonzero 64-bit id for stamping a request (trace or span id).
+/// Seeded from std::random_device once per process, then a cheap
+/// splitmix64 step per call; uniqueness matters, cryptography does not.
+uint64_t newTraceId();
+
+/// The trace id attached to spans finished on this thread; 0 when no
+/// request scope is active.
+uint64_t currentTraceId();
+void setCurrentTraceId(uint64_t Id);
+
+/// RAII request scope: installs \p Id as the thread's current trace id
+/// and restores the previous one on destruction.
+class ScopedTraceId {
+public:
+  explicit ScopedTraceId(uint64_t Id) : Prev(currentTraceId()) {
+    setCurrentTraceId(Id);
+  }
+  ~ScopedTraceId() { setCurrentTraceId(Prev); }
+  ScopedTraceId(const ScopedTraceId &) = delete;
+  ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+
+private:
+  uint64_t Prev;
+};
+
+/// Collects the spans finished on this thread while installed, regardless
+/// of whether the global tracer is enabled. The daemon wraps each timed
+/// request in one of these to ship its span list back to the client.
+/// Bounded: past MaxSpans further spans are counted but not stored.
+class SpanCollector {
+public:
+  static constexpr size_t MaxSpans = 128;
+
+  std::vector<Span> Spans;
+  size_t Overflow = 0;
+
+  void add(const Span &S) {
+    if (Spans.size() < MaxSpans)
+      Spans.push_back(S);
+    else
+      ++Overflow;
+  }
+};
+
+/// The collector currently installed on this thread, or nullptr.
+SpanCollector *currentCollector();
+
+/// RAII: installs \p C as the thread's span collector, restoring the
+/// previous one on destruction.
+class ScopedCollect {
+public:
+  explicit ScopedCollect(SpanCollector &C);
+  ~ScopedCollect();
+  ScopedCollect(const ScopedCollect &) = delete;
+  ScopedCollect &operator=(const ScopedCollect &) = delete;
+
+private:
+  SpanCollector *Prev;
 };
 
 /// The process-wide span sink. Disabled by default; sl::setTracing() and
 /// `slc -trace-out` flip it on. The ring keeps the most recent MaxSpans
 /// spans (drop-oldest), so a long-running daemon can stay traced without
-/// unbounded growth; dropped() says how many fell off.
+/// unbounded growth; dropped() says how many fell off (also exported as
+/// the `obs.trace_dropped` counter).
 class Tracer {
 public:
   static Tracer &global();
@@ -62,7 +132,8 @@ public:
 
   /// The accumulated spans as a complete Chrome trace-event JSON document:
   /// {"traceEvents": [{"name": ..., "cat": ..., "ph": "X", "ts": ...,
-  /// "dur": ..., "pid": ..., "tid": ...}, ...]}.
+  /// "dur": ..., "pid": ..., "tid": ..., "args": {"trace": "<hex>"}}, ...]}.
+  /// The args block is present only on spans with a nonzero trace id.
   std::string exportChromeTrace() const;
 
   /// exportChromeTrace() to \p Path; false + \p Err on I/O failure.
@@ -81,8 +152,9 @@ private:
 };
 
 /// RAII phase timer: measures steady-clock microseconds from construction
-/// to destruction, records into \p Hist when given one, and appends a Span
-/// to the global tracer when tracing was enabled at construction time.
+/// to destruction, records into \p Hist when given one, appends a Span to
+/// the global tracer when tracing was enabled at construction time, and
+/// feeds the thread's SpanCollector when one is installed.
 class ScopedSpan {
 public:
   explicit ScopedSpan(const char *Name, const char *Cat = "serve",

@@ -7,7 +7,9 @@
 #include "service/KernelCache.h"
 
 #include "isa/ISA.h"
+#include "obs/EventLog.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/FaultInject.h"
 #include "support/File.h"
 #include "support/Format.h"
@@ -248,6 +250,9 @@ void KernelCache::quarantineEntry(const std::string &Key) {
         rename(F.c_str(), (F + ".bad").c_str());
   NumQuarantined.fetch_add(1);
   obs::Registry::global().counter("cache.quarantined").add();
+  obs::EventLog::global().log(obs::EventLog::Level::Error,
+                              obs::currentTraceId(), "quarantine",
+                              {{"key", Key}});
   std::lock_guard<std::mutex> L(DiskMu);
   if (DiskIndexed)
     dropFromIndexLocked(Key);

@@ -30,6 +30,7 @@
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -445,9 +446,11 @@ struct OldDaemon {
           continue;
         }
         net::Request R;
-        // The old decoder's strictness: any tail bytes are garbage.
+        // The old decoder's strictness: any tail bytes are garbage (the
+        // in-process decoder is the new one, so emulate by rejecting every
+        // tail field it now accepts, trace ids included).
         if (!net::decodeRequest(F.Payload, R, Err) || R.WantTiming ||
-            R.DeadlineMs > 0) {
+            R.DeadlineMs > 0 || R.TraceId != 0) {
           ++Rejected;
           net::writeFrame(C, net::Verb::Error,
                           net::encodeErrorPayload(
@@ -499,6 +502,28 @@ TEST(ClientRemote, OldDaemonDowngradeStripsDeadlineAndTiming) {
   ASSERT_TRUE(K) << K.message();
   EXPECT_EQ(K->functionName(), "old_daemon_k");
   EXPECT_EQ(K->timing(), nullptr);
+  EXPECT_EQ(D.Rejected.load(), 1);
+  EXPECT_EQ(D.Served.load(), 1);
+}
+
+TEST(ClientRemote, OldDaemonDowngradeStripsTraceId) {
+  OldDaemon D;
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open("unix:" + D.Path);
+  ASSERT_TRUE(S) << S.message();
+
+  // Even a plain request now rides with a trace id, which the old daemon
+  // rejects as trailing garbage; the downgrade must strip it too -- the
+  // kernel is served untraced rather than not at all.
+  auto R = sl::RequestBuilder()
+               .source(la::potrfSource(8))
+               .name("cl_old_trace")
+               .isa("scalar")
+               .build();
+  ASSERT_TRUE(R) << R.message();
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+  EXPECT_EQ(K->functionName(), "old_daemon_k");
   EXPECT_EQ(D.Rejected.load(), 1);
   EXPECT_EQ(D.Served.load(), 1);
 }
@@ -765,6 +790,48 @@ TEST(ClientTracing, FacadeCollectsAndExportsSpans) {
     EXPECT_EQ(sl::exportTraceJson().find("\"name\": \"generate\""),
               std::string::npos);
   }
+}
+
+TEST(ClientTracing, MergedTraceSharesOneTraceIdAcrossTheWire) {
+  bool WasOn = sl::tracingEnabled();
+  sl::clearTrace();
+  sl::setTracing(true);
+
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  auto S = sl::Session::open(D.Srv->unixPath());
+  ASSERT_TRUE(S) << S.message();
+
+  auto R = sl::RequestBuilder()
+               .source(la::potrfSource(8))
+               .name("merged_trace")
+               .isa("scalar")
+               .wantTiming()
+               .build();
+  ASSERT_TRUE(R) << R.message();
+  auto K = S->get(*R);
+  ASSERT_TRUE(K) << K.message();
+
+  std::string J = sl::exportTraceJson();
+  sl::setTracing(WasOn);
+  sl::clearTrace();
+
+  // One export holds the client's round trip AND the daemon's phases --
+  // the daemon shipped its span list back on the timed reply.
+  EXPECT_NE(J.find("\"name\": \"client-roundtrip\""), std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"name\": \"generate\""), std::string::npos) << J;
+
+  // And every stamped span carries the same request trace id: collect the
+  // distinct "trace" args across both sides of the wire.
+  std::set<std::string> Ids;
+  const char *Marker = "\"trace\": \"";
+  for (size_t P = J.find(Marker); P != std::string::npos;
+       P = J.find(Marker, P + 1))
+    Ids.insert(J.substr(P + strlen(Marker), 16));
+  EXPECT_EQ(Ids.size(), 1u) << J;
 }
 
 } // namespace

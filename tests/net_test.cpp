@@ -1002,6 +1002,108 @@ TEST(Protocol, ArtifactTimingTextIsOptionalAndTrailing) {
   EXPECT_FALSE(decodeArtifact(WithTiming + "x", D, Err));
 }
 
+TEST(Protocol, RequestTraceIdIsOptionalAndTrailing) {
+  Request R;
+  R.LaSource = "Mat A(4,4) <In>;\n";
+  R.OptionsText = "isa=avx\nfunc=k\n";
+
+  // No trace id: byte-identical to the pre-trace format.
+  std::string Plain = encodeRequest(R);
+  R.TraceId = 0x1122334455667788ull;
+  R.SpanId = 0x99aabbccddeeff00ull;
+  std::string WithTrace = encodeRequest(R);
+  // The ids ride behind the timing byte and the deadline word (which may
+  // be zero only in this long form): +1 +4 +8 +8.
+  ASSERT_EQ(WithTrace.size(), Plain.size() + 21);
+  EXPECT_EQ(WithTrace.substr(0, Plain.size()), Plain);
+
+  Request D;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(WithTrace, D, Err)) << Err;
+  EXPECT_EQ(D.TraceId, 0x1122334455667788ull);
+  EXPECT_EQ(D.SpanId, 0x99aabbccddeeff00ull);
+  EXPECT_FALSE(D.WantTiming);
+  EXPECT_EQ(D.DeadlineMs, 0u);
+
+  // All four tail fields together round-trip.
+  R.WantTiming = true;
+  R.DeadlineMs = 250;
+  ASSERT_TRUE(decodeRequest(encodeRequest(R), D, Err)) << Err;
+  EXPECT_TRUE(D.WantTiming);
+  EXPECT_EQ(D.DeadlineMs, 250u);
+  EXPECT_EQ(D.TraceId, 0x1122334455667788ull);
+  EXPECT_EQ(D.SpanId, 0x99aabbccddeeff00ull);
+
+  // A reused message does not leak the previous request's ids.
+  ASSERT_TRUE(decodeRequest(Plain, D, Err)) << Err;
+  EXPECT_EQ(D.TraceId, 0u);
+  EXPECT_EQ(D.SpanId, 0u);
+
+  // A zero trace id is never encoded, so it never decodes: the 21-byte
+  // tail with an all-zero id slot is malformed, not "untraced".
+  ByteWriter Zero;
+  Zero.u8(0);
+  Zero.u32(0);
+  Zero.u64(0);
+  Zero.u64(7);
+  EXPECT_FALSE(decodeRequest(Plain + Zero.take(), D, Err));
+
+  // Truncated and over-long trace tails are rejected, never forgiven.
+  EXPECT_FALSE(
+      decodeRequest(WithTrace.substr(0, WithTrace.size() - 1), D, Err));
+  EXPECT_FALSE(decodeRequest(WithTrace + "x", D, Err));
+}
+
+TEST(Protocol, ArtifactServerSpansAreOptionalAndTrailing) {
+  ArtifactMsg A;
+  A.Key = "00deadbeef001122";
+  A.FuncName = "potrf8";
+  A.IsaName = "avx";
+  A.NumParams = 2;
+  A.CSource = "void potrf8(double*, double*);";
+  service::RequestTiming TM;
+  TM.Tier = "generated";
+  TM.TotalUs = 10;
+  A.TimingText = service::serializeRequestTiming(TM);
+  std::string NoSpans = encodeArtifact(A);
+
+  obs::Span S1{"cache.lookup", "service", 100, 5, 7, 0};
+  obs::Span S2{"generate", "service", 110, 900, 7, 0};
+  A.ServerSpans = {S1, S2};
+  std::string WithSpans = encodeArtifact(A);
+  ASSERT_GT(WithSpans.size(), NoSpans.size());
+  EXPECT_EQ(WithSpans.substr(0, NoSpans.size()), NoSpans);
+
+  ArtifactMsg D;
+  std::string Err;
+  ASSERT_TRUE(decodeArtifact(WithSpans, D, Err)) << Err;
+  ASSERT_EQ(D.ServerSpans.size(), 2u);
+  EXPECT_EQ(D.ServerSpans[0].Name, "cache.lookup");
+  EXPECT_EQ(D.ServerSpans[0].StartUs, 100);
+  EXPECT_EQ(D.ServerSpans[0].DurUs, 5);
+  EXPECT_EQ(D.ServerSpans[1].Name, "generate");
+  EXPECT_EQ(D.ServerSpans[1].Cat, "service");
+  EXPECT_EQ(D.ServerSpans[1].Tid, 7u);
+
+  // A decoded span-free payload into a reused message clears the list.
+  ASSERT_TRUE(decodeArtifact(NoSpans, D, Err)) << Err;
+  EXPECT_TRUE(D.ServerSpans.empty());
+
+  // An empty span list is never encoded, so a zero count never decodes;
+  // a hostile count beyond the cap is rejected before any reserve.
+  ByteWriter ZeroCount;
+  ZeroCount.u32(0);
+  EXPECT_FALSE(decodeArtifact(NoSpans + ZeroCount.take(), D, Err));
+  ByteWriter Huge;
+  Huge.u32(100000);
+  EXPECT_FALSE(decodeArtifact(NoSpans + Huge.take(), D, Err));
+
+  // Truncated and over-long span blobs are malformed.
+  EXPECT_FALSE(
+      decodeArtifact(WithSpans.substr(0, WithSpans.size() - 1), D, Err));
+  EXPECT_FALSE(decodeArtifact(WithSpans + "x", D, Err));
+}
+
 TEST(SldServer, ServerTimingArrivesOnMissAndHit) {
   service::ServiceConfig SC;
   SC.UseCompiler = false;
@@ -1044,6 +1146,87 @@ TEST(SldServer, ServerTimingArrivesOnMissAndHit) {
   EXPECT_NE(Stats.find("mem-entries=1"), std::string::npos) << Stats;
   EXPECT_NE(Stats.find("disk-entries="), std::string::npos) << Stats;
   EXPECT_NE(Stats.find("disk-bytes="), std::string::npos) << Stats;
+}
+
+TEST(SldServer, ServerSpansRideTheReplyOnlyForTracedTimingRequests) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  Client C = D.client();
+  std::string Err;
+
+  // Trace id + want-timing: the daemon ships its span list back, and the
+  // generation phase is in it -- the raw material for the merged trace.
+  Request R = potrfRequest("span_potrf", scalarIsa());
+  R.WantTiming = true;
+  R.TraceId = obs::newTraceId();
+  R.SpanId = obs::newTraceId();
+  ArtifactMsg A;
+  ASSERT_TRUE(C.get(R, A, Err)) << Err;
+  ASSERT_FALSE(A.ServerSpans.empty());
+  bool SawGenerate = false;
+  for (const obs::Span &S : A.ServerSpans)
+    SawGenerate = SawGenerate || S.Name == "generate";
+  EXPECT_TRUE(SawGenerate) << A.ServerSpans.size() << " spans, no generate";
+
+  // Want-timing alone is exactly what an old client sends: it must keep
+  // getting the old reply shape (breakdown text, no span field).
+  Request R2 = potrfRequest("span_potrf2", scalarIsa());
+  R2.WantTiming = true;
+  ASSERT_TRUE(C.get(R2, A, Err)) << Err;
+  EXPECT_FALSE(A.TimingText.empty());
+  EXPECT_TRUE(A.ServerSpans.empty());
+
+  // A trace id without want-timing tags the daemon's own records but
+  // ships nothing back.
+  Request R3 = potrfRequest("span_potrf3", scalarIsa());
+  R3.TraceId = obs::newTraceId();
+  R3.SpanId = obs::newTraceId();
+  ASSERT_TRUE(C.get(R3, A, Err)) << Err;
+  EXPECT_TRUE(A.TimingText.empty());
+  EXPECT_TRUE(A.ServerSpans.empty());
+}
+
+TEST(SldServer, MetricsVerbReturnsTheScrape) {
+  service::ServiceConfig SC;
+  SC.UseCompiler = false;
+  TestDaemon D(SC);
+  ASSERT_TRUE(D.Ok);
+  Client C = D.client();
+  std::string Err;
+
+  ArtifactMsg A;
+  ASSERT_TRUE(C.get(potrfRequest("metrics_potrf", scalarIsa()), A, Err))
+      << Err;
+  std::string Text;
+  ASSERT_TRUE(C.metrics(Text, Err)) << Err;
+  // The registry scrape: the GET above must show up in the server
+  // histogram expansion and in the per-kernel/per-peer top-K tables.
+  EXPECT_NE(Text.find("server.get.us.count="), std::string::npos) << Text;
+  EXPECT_NE(Text.find("server.get.us.p99-us="), std::string::npos);
+  EXPECT_NE(Text.find("top.kernel.metrics_potrf.count=1"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("top.peer.unix.count="), std::string::npos) << Text;
+
+  // Globally sorted keys: every line's key must be >= its predecessor's.
+  std::string Prev;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol == std::string::npos ? Text.size() : Eol + 1;
+    size_t Eq = Line.find('=');
+    ASSERT_NE(Eq, std::string::npos) << "not key=value: " << Line;
+    std::string Key = Line.substr(0, Eq);
+    // The top-K tables are appended after the sorted registry dump and
+    // sort within themselves.
+    if (Key.rfind("top.", 0) == 0)
+      break;
+    EXPECT_LE(Prev, Key) << "unsorted scrape at " << Key;
+    Prev = Key;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -12,13 +12,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/EventLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include "gtest/gtest.h"
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace slingen;
 using obs::Histogram;
@@ -252,11 +259,270 @@ TEST(ObsTracer, RingDropsOldest) {
   TracerGuard Guard;
   obs::Tracer &T = obs::Tracer::global();
   T.setEnabled(true);
+  // Drops must also surface as a scrapeable counter (the registry is
+  // process-global and cumulative, so measure the delta).
+  int64_t CounterBefore =
+      obs::Registry::global().counter("obs.trace_dropped").value();
   constexpr int Recorded = 70000; // > the ring capacity (1 << 16)
   for (int I = 0; I < Recorded; ++I)
     T.record({"obstest-ring", "test", I, 1, 0});
   EXPECT_LT(T.size(), static_cast<size_t>(Recorded));
   EXPECT_EQ(T.dropped(), Recorded - static_cast<int64_t>(T.size()));
+  EXPECT_EQ(obs::Registry::global().counter("obs.trace_dropped").value() -
+                CounterBefore,
+            T.dropped());
   T.clear();
   EXPECT_EQ(T.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace ids and the span collector
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTraceId, NewTraceIdIsNonZeroAndDistinct) {
+  uint64_t A = obs::newTraceId();
+  uint64_t B = obs::newTraceId();
+  EXPECT_NE(A, 0u);
+  EXPECT_NE(B, 0u);
+  EXPECT_NE(A, B);
+}
+
+TEST(ObsTraceId, ScopedTraceIdStampsSpansAndRestores) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(true);
+  obs::SpanCollector C;
+  EXPECT_EQ(obs::currentTraceId(), 0u);
+  {
+    obs::ScopedCollect Install(C);
+    {
+      obs::ScopedTraceId Scope(0x00c0ffee12345678ull);
+      EXPECT_EQ(obs::currentTraceId(), 0x00c0ffee12345678ull);
+      obs::ScopedSpan Span("obstest-stamped", "test");
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    // A span finished outside any scope stays unstamped.
+    obs::ScopedSpan Span("obstest-unstamped", "test");
+  }
+  ASSERT_EQ(C.Spans.size(), 2u);
+  EXPECT_EQ(C.Spans[0].TraceId, 0x00c0ffee12345678ull);
+  EXPECT_EQ(C.Spans[1].TraceId, 0u);
+  // The stamped span carries its id into the Chrome export as an arg; the
+  // unstamped one gets no args clause (count the marker, not just find
+  // it).
+  std::string J = T.exportChromeTrace();
+  EXPECT_NE(J.find("\"trace\": \"00c0ffee12345678\""), std::string::npos)
+      << J;
+  size_t Args = 0;
+  for (size_t P = J.find("\"args\""); P != std::string::npos;
+       P = J.find("\"args\"", P + 1))
+    ++Args;
+  EXPECT_EQ(Args, 1u);
+}
+
+TEST(ObsTraceId, SpanCollectorCapturesEvenWhenTracerDisabled) {
+  TracerGuard Guard;
+  obs::Tracer &T = obs::Tracer::global();
+  T.setEnabled(false);
+  obs::SpanCollector C;
+  {
+    obs::ScopedCollect Install(C);
+    obs::ScopedTraceId Scope(42);
+    obs::ScopedSpan Span("obstest-collected", "test");
+  }
+  // The collector got the span (that is how the daemon ships spans to the
+  // client without enabling its own tracer)...
+  ASSERT_EQ(C.Spans.size(), 1u);
+  EXPECT_EQ(C.Spans[0].Name, "obstest-collected");
+  EXPECT_EQ(C.Spans[0].TraceId, 42u);
+  // ...and the disabled global tracer saw nothing.
+  EXPECT_EQ(T.size(), 0u);
+  // Uninstalled again: spans stop flowing into the collector.
+  {
+    obs::ScopedSpan Span("obstest-uncollected", "test");
+  }
+  EXPECT_EQ(C.Spans.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(ObsFlightRecorder, RecordsFieldsAndOrder) {
+  obs::FlightRecorder &FR = obs::FlightRecorder::global();
+  FR.reset();
+  FR.record(0x1111, "start", "get", "potrf8", "unix", "-", "-", -1);
+  FR.record(0x1111, "done", "get", "potrf8", "unix", "mem", "-", 250);
+  FR.record(0x2222, "fail", "warm", "gemm", "1.2.3.4:5", "-",
+            "parse-error", 90);
+  std::vector<obs::FlightRecorder::Record> S = FR.snapshot();
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0].Seq, 1u);
+  EXPECT_EQ(S[0].TraceId, 0x1111u);
+  EXPECT_STREQ(S[0].Phase, "start");
+  EXPECT_EQ(S[0].LatencyUs, -1);
+  EXPECT_STREQ(S[1].Phase, "done");
+  EXPECT_STREQ(S[1].Tier, "mem");
+  EXPECT_EQ(S[1].LatencyUs, 250);
+  EXPECT_STREQ(S[2].Verb, "warm");
+  EXPECT_STREQ(S[2].Errc, "parse-error");
+  EXPECT_STREQ(S[2].Peer, "1.2.3.4:5");
+  // renderText carries the trace id in the same zero-padded hex as the
+  // trace export, so grep joins the two.
+  std::string Text = FR.renderText();
+  EXPECT_NE(Text.find("trace=0000000000001111"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("errc=parse-error"), std::string::npos);
+  FR.reset();
+}
+
+TEST(ObsFlightRecorder, RingWrapsKeepingNewest) {
+  obs::FlightRecorder &FR = obs::FlightRecorder::global();
+  FR.reset();
+  constexpr int N = static_cast<int>(obs::FlightRecorder::Capacity) + 50;
+  for (int I = 1; I <= N; ++I)
+    FR.record(static_cast<uint64_t>(I), "done", "get", "k", "unix", "mem",
+              "-", I);
+  EXPECT_EQ(FR.writes(), static_cast<uint64_t>(N));
+  std::vector<obs::FlightRecorder::Record> S = FR.snapshot();
+  ASSERT_EQ(S.size(), obs::FlightRecorder::Capacity);
+  // Oldest first, and the oldest surviving record is exactly the one the
+  // 50 extra writes pushed the window up to.
+  EXPECT_EQ(S.front().Seq, 51u);
+  EXPECT_EQ(S.back().Seq, static_cast<uint64_t>(N));
+  for (size_t I = 1; I < S.size(); ++I)
+    EXPECT_EQ(S[I].Seq, S[I - 1].Seq + 1);
+  // Field consistency survived the wrap: latency mirrors the trace id.
+  for (const obs::FlightRecorder::Record &R : S)
+    EXPECT_EQ(static_cast<uint64_t>(R.LatencyUs), R.TraceId);
+  FR.reset();
+}
+
+TEST(ObsFlightRecorder, ConcurrentWritersStayConsistent) {
+  obs::FlightRecorder &FR = obs::FlightRecorder::global();
+  FR.reset();
+  constexpr int NumThreads = 8, PerThread = 4000;
+  // Writer K stamps every field from K, so a torn record (fields from two
+  // writers) is detectable in any snapshot.
+  std::vector<std::thread> Threads;
+  std::atomic<bool> Stop{false};
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      for (const obs::FlightRecorder::Record &R : FR.snapshot()) {
+        int K = static_cast<int>(R.TraceId) - 1;
+        ASSERT_GE(K, 0);
+        ASSERT_LT(K, NumThreads);
+        EXPECT_EQ(R.LatencyUs, K * 1000);
+        EXPECT_EQ(R.Kernel[0], 'k');
+        EXPECT_EQ(R.Kernel[1], '0' + K);
+      }
+    }
+  });
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&FR, T] {
+      char Kernel[3] = {'k', static_cast<char>('0' + T), 0};
+      for (int I = 0; I < PerThread; ++I)
+        FR.record(static_cast<uint64_t>(T) + 1, "done", "get", Kernel,
+                  "unix", "mem", "-", T * 1000);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Stop = true;
+  Reader.join();
+  EXPECT_EQ(FR.writes(), static_cast<uint64_t>(NumThreads) * PerThread);
+  // A quiescent snapshot sees a full, strictly consistent ring.
+  std::vector<obs::FlightRecorder::Record> S = FR.snapshot();
+  EXPECT_EQ(S.size(), obs::FlightRecorder::Capacity);
+  for (const obs::FlightRecorder::Record &R : S)
+    EXPECT_EQ(R.LatencyUs, (static_cast<int64_t>(R.TraceId) - 1) * 1000);
+  FR.reset();
+}
+
+TEST(ObsFlightRecorder, DumpToFdIsParseable) {
+  obs::FlightRecorder &FR = obs::FlightRecorder::global();
+  FR.reset();
+  FR.record(0xabcd, "start", "get", "potrf8", "unix", "-", "-", -1);
+  FR.record(0xabcd, "done", "get", "potrf8", "unix", "generated", "-",
+            1234);
+  char Path[] = "/tmp/slingen_obs_dump_XXXXXX";
+  int Fd = mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  FR.dumpTo(Fd);
+  close(Fd);
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Dump = Buf.str();
+  unlink(Path);
+  EXPECT_NE(Dump.find("flight-recorder dump: 2 records"), std::string::npos)
+      << Dump;
+  EXPECT_NE(Dump.find("trace=000000000000abcd"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("phase=start"), std::string::npos);
+  EXPECT_NE(Dump.find("lat-us=1234"), std::string::npos);
+  EXPECT_NE(Dump.find("lat-us=-1"), std::string::npos);
+  FR.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Event log
+//===----------------------------------------------------------------------===//
+
+TEST(ObsEventLog, WritesJsonLinesWithFields) {
+  obs::EventLog &L = obs::EventLog::global();
+  char Path[] = "/tmp/slingen_obs_events_XXXXXX";
+  int Fd = mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  close(Fd);
+  std::string Err;
+  ASSERT_TRUE(L.open(Path, Err)) << Err;
+  EXPECT_TRUE(L.enabled());
+  L.log(obs::EventLog::Level::Error, 0x2a, "error",
+        {{"verb", "get"}, {"msg", "with \"quotes\" and\nnewline"}});
+  L.log(obs::EventLog::Level::Warn, 0, "shed", {{"peer", "unix"}});
+  L.close();
+  EXPECT_FALSE(L.enabled());
+
+  std::ifstream In(Path);
+  std::string Line1, Line2;
+  ASSERT_TRUE(std::getline(In, Line1));
+  ASSERT_TRUE(std::getline(In, Line2));
+  unlink(Path);
+  EXPECT_NE(Line1.find("\"level\":\"error\""), std::string::npos) << Line1;
+  EXPECT_NE(Line1.find("\"trace\":\"000000000000002a\""), std::string::npos);
+  EXPECT_NE(Line1.find("\"event\":\"error\""), std::string::npos);
+  // Field values arrive JSON-escaped, one event per physical line.
+  EXPECT_NE(Line1.find("\\\"quotes\\\""), std::string::npos) << Line1;
+  EXPECT_NE(Line1.find("\\u000a"), std::string::npos) << Line1;
+  // A zero trace id is omitted, not printed as zeros.
+  EXPECT_EQ(Line2.find("\"trace\""), std::string::npos) << Line2;
+  EXPECT_NE(Line2.find("\"event\":\"shed\""), std::string::npos);
+}
+
+TEST(ObsEventLog, RateLimitDropsAndCounts) {
+  obs::EventLog &L = obs::EventLog::global();
+  char Path[] = "/tmp/slingen_obs_storm_XXXXXX";
+  int Fd = mkstemp(Path);
+  ASSERT_GE(Fd, 0);
+  close(Fd);
+  std::string Err;
+  ASSERT_TRUE(L.open(Path, Err)) << Err;
+  int64_t DroppedBefore = L.dropped();
+  // A storm well past the burst allowance: the file must stay bounded and
+  // the overflow must be counted, not silently vanish.
+  constexpr int Storm = obs::EventLog::Burst + 300;
+  for (int I = 0; I < Storm; ++I)
+    L.log(obs::EventLog::Level::Error, 0, "storm");
+  L.close();
+  int64_t NewDrops = L.dropped() - DroppedBefore;
+  EXPECT_GT(NewDrops, 0);
+
+  std::ifstream In(Path);
+  int Lines = 0;
+  std::string Line;
+  while (std::getline(In, Line))
+    ++Lines;
+  unlink(Path);
+  // Admitted + dropped accounts for every event (the bucket may refill a
+  // few tokens mid-storm, so bound rather than pin the split).
+  EXPECT_EQ(Lines + NewDrops, Storm);
+  EXPECT_LE(Lines, obs::EventLog::Burst + 50);
 }

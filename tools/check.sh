@@ -117,7 +117,14 @@ grep -q "mem-entries=" "$SMOKE_CACHE/stats.out"
 grep -q "disk-entries=" "$SMOKE_CACHE/stats.out"
 grep -q "disk-bytes=" "$SMOKE_CACHE/stats.out"
 grep -q "disk-scans=" "$SMOKE_CACHE/stats.out"
-grep -q "% hit" "$SMOKE_CACHE/stats.out"
+grep -q "# requests=" "$SMOKE_CACHE/stats.out"
+grep -q " hit=" "$SMOKE_CACHE/stats.out"
+# The METRICS verb scrapes the whole registry (sorted keys) plus the
+# per-kernel/per-peer top-K tables over the wire.
+"$BUILD/slc" -connect "$SLD_SOCK" -metrics > "$SMOKE_CACHE/metrics.out"
+grep -q "server.get.us.count=" "$SMOKE_CACHE/metrics.out"
+grep -q "top.kernel." "$SMOKE_CACHE/metrics.out"
+grep -q "top.peer." "$SMOKE_CACHE/metrics.out"
 # SIGUSR1 dumps counters + histograms to stderr without disturbing service.
 kill -USR1 "$SLD_PID"
 sleep 0.3
@@ -242,6 +249,41 @@ if kill -0 "$SLD_PID" 2>/dev/null; then
 fi
 SLD_PID=""
 
+echo "== crash-dump smoke =="
+# A fault-armed daemon with one GET parked in a 20s generation stall is
+# SIGSEGV'd mid-flight. The pre-opened crash-dump file must carry the
+# signal banner plus a parseable flight-recorder ring whose newest record
+# is the in-flight request: phase=start with no matching phase=done.
+SLD4_SOCK="$SMOKE_CACHE/sld4.sock"
+CRASH_DUMP="$SMOKE_CACHE/sld4.crash"
+SLINGEN_FAULTS="slow-generate:0:20000" "$BUILD/sld" -socket "$SLD4_SOCK" \
+  -cache-dir "$SMOKE_CACHE/sld4_cache" -crash-dump "$CRASH_DUMP" \
+  -service use-compiler=0 2> "$SMOKE_CACHE/sld4.log" &
+SLD_PID=$!
+for _ in $(seq 100); do
+  [ -S "$SLD4_SOCK" ] && break
+  kill -0 "$SLD_PID" 2>/dev/null || { cat "$SMOKE_CACHE/sld4.log"; exit 1; }
+  sleep 0.1
+done
+[ -S "$SLD4_SOCK" ]
+"$BUILD/slc" -connect "$SLD4_SOCK" -timeout-ms 30000 -name crash_req \
+  "$ROOT/examples/potrf.la" > /dev/null 2>&1 &
+CRASH_CLIENT=$!
+sleep 1
+kill -SEGV "$SLD_PID"
+for _ in $(seq 100); do
+  kill -0 "$SLD_PID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$CRASH_CLIENT" 2>/dev/null || true
+SLD_PID=""
+grep -q "sld: fatal SIGSEGV" "$CRASH_DUMP"
+grep -q "flight-recorder dump:" "$CRASH_DUMP"
+grep -q "phase=start verb=get" "$CRASH_DUMP"
+if grep -q "phase=done" "$CRASH_DUMP"; then
+  echo "crash dump claims the in-flight request completed"; exit 1
+fi
+
 echo "== batch strategy bench smoke =="
 # One (size, count) point; the binary itself skips cleanly when no native
 # compiler or no vector ISA is available, so this passes everywhere.
@@ -254,5 +296,36 @@ echo "== serve load bench smoke =="
 BENCH_OUT="$SMOKE_CACHE/BENCH_serve.json" "$ROOT/tools/bench_serve.sh" --smoke
 test -s "$SMOKE_CACHE/BENCH_serve.json"
 grep -q '"runs"' "$SMOKE_CACHE/BENCH_serve.json"
+
+echo "== serve bench warm-p99 gate =="
+# The warm pass is pure cache serving, so a large regression there is a
+# serving-stack defect rather than compiler noise. Fail only when the
+# fresh warm p99 is both >2x the committed baseline in BENCH_serve.json
+# and above a 2ms noise floor -- sub-millisecond numbers jitter too much
+# on shared CI machines to gate on the ratio alone.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SMOKE_CACHE/BENCH_serve.json" "$ROOT/BENCH_serve.json" <<'PYEOF'
+import json, sys
+
+def warm_p99(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for run in doc.get("runs", []):
+        if run.get("pass") == "warm":
+            return run["p99_us"]
+    return None
+
+fresh = warm_p99(sys.argv[1])
+committed = warm_p99(sys.argv[2])
+if fresh is None or committed is None:
+    print("p99 gate: warm pass missing (stub bench output); skipping")
+    sys.exit(0)
+print(f"p99 gate: fresh warm p99 {fresh}us vs committed {committed}us")
+if fresh > 2 * committed and fresh > 2000:
+    sys.exit(f"p99 gate: warm p99 regressed ({fresh}us > 2x {committed}us)")
+PYEOF
+else
+  echo "p99 gate: python3 unavailable; skipping"
+fi
 
 echo "check.sh: all green"

@@ -46,6 +46,11 @@
 //                      -cache-dir); exits after queueing/draining
 //     -stats           print the serving side's counters (with -connect:
 //                      the daemon's) plus derived hit rates, then exit
+//     --raw            with -stats: also append the raw METRICS scrape
+//                      text after the stats document
+//     -metrics         print the serving side's metrics registry (the
+//                      METRICS scrape: counters, gauges, histogram
+//                      percentiles, per-kernel/per-peer tables), then exit
 //     -timing          request the per-phase timing breakdown and print
 //                      it to stderr (tier, generation/compile/tune time,
 //                      round trip)
@@ -99,6 +104,8 @@ void usage(const char *Argv0) {
           "  -so-out <file>    save the compiled shared object\n"
           "  -warm <file>      prefetch every .la listed in <file>\n"
           "  -stats            print serving-side counters + hit rates\n"
+          "  --raw             with -stats: append the raw METRICS text\n"
+          "  -metrics          print the serving-side metrics scrape\n"
           "  -timing           print the request's phase breakdown\n"
           "  -trace-out <f>    write Chrome trace JSON for this run\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
@@ -166,7 +173,8 @@ int main(int argc, char **argv) {
   std::string Input, Output, VariantStr, ConnectAddr, SoOut, WarmFile,
       CacheDir, StrategyName, TraceOut;
   bool PrintBasic = false, PrintVariants = false, Batch = false,
-       StatsMode = false, TimingSet = false;
+       StatsMode = false, MetricsMode = false, RawStats = false,
+       TimingSet = false;
   // Requests only override what the user explicitly set, so a bare
   // `slc -connect` defers strategy/measure/threads policy to the daemon.
   bool MeasureSet = false, NameSet = false, ThreadsSet = false;
@@ -270,6 +278,10 @@ int main(int argc, char **argv) {
       WarmFile = Next();
     else if (Arg == "-stats")
       StatsMode = true;
+    else if (Arg == "--raw")
+      RawStats = true;
+    else if (Arg == "-metrics")
+      MetricsMode = true;
     else if (Arg == "-timing")
       TimingSet = true;
     else if (Arg == "-trace-out")
@@ -369,6 +381,31 @@ int main(int argc, char **argv) {
     return sl::Session::open("local:", C);
   };
 
+  if (RawStats && !StatsMode)
+    fprintf(stderr, "warning: --raw only affects -stats output\n");
+
+  //===--------------------------------------------------------------------===//
+  // Metrics mode: dump the serving side's metrics registry (the METRICS
+  // verb against a daemon, this process's registry for local:).
+  //===--------------------------------------------------------------------===//
+  if (MetricsMode) {
+    if (StatsMode)
+      return fail("-stats and -metrics are mutually exclusive");
+    if (!Input.empty())
+      return fail("-metrics takes no positional input");
+    if (ConnectAddr.empty())
+      fprintf(stderr, "warning: -metrics without -connect reports a fresh "
+                      "local process (mostly empty); point it at a daemon\n");
+    auto S = openSession();
+    if (!S)
+      return fail(S.message());
+    auto M = S->metrics();
+    if (!M)
+      return fail(M.message());
+    fputs(M->c_str(), stdout);
+    return 0;
+  }
+
   //===--------------------------------------------------------------------===//
   // Stats mode: dump the serving side's counters plus derived rates.
   //===--------------------------------------------------------------------===//
@@ -386,20 +423,31 @@ int main(int argc, char **argv) {
       return fail(Stats.message());
     fputs(Stats->c_str(), stdout);
     // Derived rates, marked as comments so the raw document above stays
-    // machine-parseable as plain key=value lines.
+    // machine-parseable as plain key=value lines. One fixed field order
+    // (requests, hit, mem, disk, generated), every field always present
+    // -- scripts can cut on position without probing which fields
+    // happened to be nonzero.
     auto KV = parseKeyValueMap(*Stats);
     long MemHits = atol(KV["mem-hits"].c_str());
     long DiskHits = atol(KV["disk-hits"].c_str());
     long Misses = atol(KV["misses"].c_str());
     long Requests = MemHits + DiskHits + Misses;
-    if (Requests > 0)
-      printf("# %ld requests: %.1f%% hit (%.1f%% mem, %.1f%% disk), "
-             "%.1f%% generated\n",
-             Requests, 100.0 * (MemHits + DiskHits) / Requests,
-             100.0 * MemHits / Requests, 100.0 * DiskHits / Requests,
-             100.0 * Misses / Requests);
-    else
-      printf("# no requests served yet\n");
+    auto Pct = [&](long N) {
+      return Requests > 0 ? 100.0 * N / Requests : 0.0;
+    };
+    printf("# requests=%ld hit=%.1f%% mem=%.1f%% disk=%.1f%% "
+           "generated=%.1f%%\n",
+           Requests, Pct(MemHits + DiskHits), Pct(MemHits), Pct(DiskHits),
+           Pct(Misses));
+    if (RawStats) {
+      // The full scrape, same bytes as `slc -metrics`, separated so the
+      // key=value stats document above stays parseable on its own.
+      auto M = S->metrics();
+      if (!M)
+        return fail(M.message());
+      printf("# --- metrics ---\n");
+      fputs(M->c_str(), stdout);
+    }
     return 0;
   }
 

@@ -29,12 +29,21 @@
 //                        serializeServiceConfig keys)
 //     -stats-interval <s> print a one-line serving summary to stderr
 //                        every <s> seconds
+//     -log-json <path>   append rate-limited JSONL events (errors, sheds,
+//                        quarantines, slow requests) to <path>
+//     -slow-ms <k>       log GET requests slower than <k> ms to the event
+//                        log (needs -log-json; 0 = off, the default)
+//     -crash-dump <path> flight-recorder dump file for fatal signals
+//                        (default <socket>.crash)
 //     -print-config      print the effective ServiceConfig and exit
 //
 // Runs in the foreground (a process supervisor owns daemonization);
 // SIGINT/SIGTERM drain the prefetch pool and exit cleanly. SIGUSR1 dumps
-// the full service stats plus every registered metric (histograms with
-// percentiles) to stderr without disturbing service.
+// the full service stats, every registered metric (histograms with
+// percentiles), and the flight-recorder ring to stderr without disturbing
+// service. SIGSEGV/SIGABRT dump the flight recorder to the pre-opened
+// crash file (async-signal-safe: no malloc, no stdio) and re-raise, so
+// even a dying daemon leaves a black-box record of its in-flight work.
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +52,8 @@
 // clients (slc, examples, out-of-tree users) go through slingen/client.h
 // instead and never touch these headers.
 #include "net/Server.h"
+#include "obs/EventLog.h"
+#include "obs/FlightRecorder.h"
 #include "obs/Metrics.h"
 #include "support/Format.h"
 
@@ -54,6 +65,7 @@
 #include <ctime>
 #include <string>
 
+#include <fcntl.h>
 #include <pthread.h>
 #include <unistd.h>
 
@@ -75,16 +87,48 @@ void usage(const char *Argv0) {
           "  -max-concurrent-gen <k>  concurrent generation cap (0 = off)\n"
           "  -service k=v     set any ServiceConfig option by key\n"
           "  -stats-interval <s>  periodic one-line serving summary\n"
+          "  -log-json <path> append JSONL events (errors/sheds/slow/...)\n"
+          "  -slow-ms <k>     event-log GETs slower than <k> ms (0 = off)\n"
+          "  -crash-dump <path>  flight-recorder file for fatal signals\n"
           "  -print-config    print the effective config and exit\n",
           Argv0);
 }
 
-/// The SIGUSR1 dump: full service counters plus every registered metric
-/// (histograms expanded to count/sum/min/max/p50/p90/p99).
+/// The SIGUSR1 dump: full service counters, every registered metric
+/// (histograms expanded to count/sum/min/max/p50/p90/p99), and the
+/// flight-recorder ring of recent requests.
 void dumpStats(service::KernelService &Service) {
-  fprintf(stderr, "sld: --- stats dump ---\n%s--- metrics ---\n%s---\n",
+  fprintf(stderr,
+          "sld: --- stats dump ---\n%s--- metrics ---\n%s--- flight "
+          "recorder ---\n%s---\n",
           service::serializeServiceStats(Service.stats()).c_str(),
-          obs::Registry::global().renderText().c_str());
+          obs::Registry::global().renderText().c_str(),
+          obs::FlightRecorder::global().renderText().c_str());
+}
+
+/// Pre-opened at startup so the fatal-signal handler never calls open()
+/// (which may allocate a descriptor table slot but is async-signal-safe;
+/// the real hazard is path strings and formatting, done here instead).
+int CrashFd = -1;
+
+/// SIGSEGV/SIGABRT: write the flight recorder to the pre-opened fd --
+/// write() and integer formatting only, no malloc, no stdio -- then
+/// restore the default disposition and re-raise so the process still
+/// dies with the right signal (and core dump, where enabled).
+void crashHandler(int Sig) {
+  if (CrashFd >= 0) {
+    const char *Name = Sig == SIGSEGV  ? "sld: fatal SIGSEGV\n"
+                       : Sig == SIGABRT ? "sld: fatal SIGABRT\n"
+                                         : "sld: fatal signal\n";
+    // strlen is not formally async-signal-safe but touches only the
+    // literal above; keep the banner best-effort regardless.
+    ssize_t Ignored = write(CrashFd, Name, strlen(Name));
+    (void)Ignored;
+    obs::FlightRecorder::global().dumpTo(CrashFd);
+    fsync(CrashFd);
+  }
+  signal(Sig, SIG_DFL);
+  raise(Sig);
 }
 
 /// The -stats-interval line: request mix and hit rate at a glance,
@@ -109,6 +153,8 @@ int main(int argc, char **argv) {
   NC.UnixPath = formatf("/tmp/sld.%d.sock", static_cast<int>(getuid()));
   bool PrintConfig = false;
   int StatsInterval = 0;
+  std::string LogJsonPath;
+  std::string CrashDumpPath;
   std::string Err;
 
   for (int I = 1; I < argc; ++I) {
@@ -176,7 +222,19 @@ int main(int argc, char **argv) {
                 "error: -stats-interval takes a positive second count\n");
         return 1;
       }
-    } else if (Arg == "-print-config")
+    } else if (Arg == "-log-json")
+      LogJsonPath = Next();
+    else if (Arg == "-slow-ms") {
+      std::string N = Next();
+      if (N.empty() || N.find_first_not_of("0123456789") != std::string::npos) {
+        fprintf(stderr, "error: -slow-ms takes a non-negative ms count "
+                        "(0 = off)\n");
+        return 1;
+      }
+      NC.SlowMs = atoi(N.c_str());
+    } else if (Arg == "-crash-dump")
+      CrashDumpPath = Next();
+    else if (Arg == "-print-config")
       PrintConfig = true;
     else if (Arg == "-h" || Arg == "--help") {
       usage(argv[0]);
@@ -192,6 +250,34 @@ int main(int argc, char **argv) {
     fputs(service::serializeServiceConfig(SC).c_str(), stdout);
     return 0;
   }
+
+  if (!LogJsonPath.empty()) {
+    if (!obs::EventLog::global().open(LogJsonPath, Err)) {
+      fprintf(stderr, "sld: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  // The black box: force the recorder's construction now (a lazy static
+  // guard inside a signal handler could deadlock), pre-open the dump
+  // file, and hook the fatal signals. These handlers stay *unblocked* --
+  // they must fire on whichever thread faults, not wait in the sigwait
+  // loop below (fatal signals are thread-directed and would otherwise
+  // kill the process with no dump).
+  obs::FlightRecorder::global();
+  if (CrashDumpPath.empty())
+    CrashDumpPath = NC.UnixPath + ".crash";
+  CrashFd = open(CrashDumpPath.c_str(),
+                 O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (CrashFd < 0)
+    fprintf(stderr, "sld: warning: cannot open crash dump %s: %s\n",
+            CrashDumpPath.c_str(), strerror(errno));
+  struct sigaction SA;
+  memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = crashHandler;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGSEGV, &SA, nullptr);
+  sigaction(SIGABRT, &SA, nullptr);
 
   // Block the handled signals BEFORE the server spawns threads: every
   // thread inherits the mask, so SIGINT/SIGTERM/SIGUSR1 can only be
