@@ -8,12 +8,16 @@
 // head to head -- the scalar loop, the packed instance-parallel form
 // ("vec"), and the fused-layout form ("fused", no pack/unpack transposes)
 // -- on potrf across tiny sizes {4, 8, 16} and on the gemm-flavored trsyl
-// {4, 8}, for batch counts {32, 1024}: the workload shape the paper's
-// Sec. 5 "batched computations" sketch targets. On multicore hosts the
-// loop and fused variants additionally get threaded rows ("-mt<k>")
-// dispatched through the runtime batch thread pool. A google-benchmark
-// binary so `tools/bench_batch.sh` can record BENCH_batch.json for the
-// perf trajectory.
+// {4, 8}, for batch counts {32, 1024} plus the remainder-heavy {33, 1025}
+// (count % Nu == 1 for every supported Nu: the worst-case masked-tail
+// path): the workload shape the paper's Sec. 5 "batched computations"
+// sketch targets. On multicore hosts the loop and fused variants
+// additionally get threaded rows ("-mt<k>", workers pinned to cores)
+// and unpinned counterparts ("-mt<k>-nopin") dispatched through the
+// runtime batch thread pool, so the affinity win is itself measured. A
+// google-benchmark binary so `tools/bench_batch.sh` can record
+// BENCH_batch.json for the perf trajectory; CPU/NUMA topology is recorded
+// in the JSON context so rows from different hosts are comparable.
 //
 // Skips cleanly (registering no benchmarks, still writing valid JSON when
 // --benchmark_out is given) when no system C compiler is available or the
@@ -35,7 +39,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 using namespace slingen;
@@ -52,7 +59,7 @@ struct BatchBench {
   BatchBench(runtime::JitKernel K) : Kernel(std::move(K)) {}
 };
 
-constexpr int MaxCount = 1024;
+constexpr int MaxCount = 1025;
 
 /// Structure-respecting inputs: SPD for positive-definite operands,
 /// well-conditioned triangular for triangular ones, general data for other
@@ -146,7 +153,9 @@ void registerKernel(const char *Label, const std::string &Source, int N) {
     std::shared_ptr<BatchBench> B = makeBench(*R, V.Source, IsaFlags);
     if (!B)
       continue;
-    for (int Count : {32, 1024}) {
+    // 33 and 1025 are == 1 (mod 2, 4, and 8): every supported Nu pays the
+    // worst-case one-lane masked tail on top of the full-block loop.
+    for (int Count : {32, 33, 1024, 1025}) {
       std::string Base = std::string(Label) + "/n=" + std::to_string(N) +
                          "/count=" + std::to_string(Count) + "/";
       benchmark::RegisterBenchmark(
@@ -159,19 +168,41 @@ void registerKernel(const char *Label, const std::string &Source, int N) {
           });
       if (V.Threaded && MT > 1 && B->Kernel.hasBatchSpan()) {
         const int Nu = hostIsa().Nu;
-        benchmark::RegisterBenchmark(
-            (Base + V.Name + "-mt" + std::to_string(MT)).c_str(),
-            [B, Count, Nu, MT](benchmark::State &State) {
-              for (auto _ : State) {
-                runtime::callBatchParallel(B->Kernel, Count, B->Bufs.data(),
-                                           Nu, MT);
-                benchmark::ClobberMemory();
-              }
-              State.SetItemsProcessed(State.iterations() * Count);
-            });
+        // Pinned (default) and unpinned pool rows: the delta is the
+        // affinity win for this kernel/count on this host.
+        for (bool Pin : {true, false}) {
+          std::string Name = Base + V.Name + "-mt" + std::to_string(MT) +
+                             (Pin ? "" : "-nopin");
+          benchmark::RegisterBenchmark(
+              Name.c_str(), [B, Count, Nu, MT, Pin](benchmark::State &State) {
+                runtime::BatchPool::setPinning(Pin);
+                for (auto _ : State) {
+                  runtime::callBatchParallel(B->Kernel, Count,
+                                             B->Bufs.data(), Nu, MT);
+                  benchmark::ClobberMemory();
+                }
+                runtime::BatchPool::setPinning(true);
+                State.SetItemsProcessed(State.iterations() * Count);
+              });
+        }
       }
     }
   }
+}
+
+/// NUMA node count from sysfs (no libnuma dependency); 1 when the
+/// topology is not exposed.
+int numaNodeCount() {
+  int Nodes = 0;
+  std::error_code Ec;
+  for (const auto &E : std::filesystem::directory_iterator(
+           "/sys/devices/system/node", Ec)) {
+    const std::string Name = E.path().filename().string();
+    if (Name.rfind("node", 0) == 0 &&
+        Name.find_first_not_of("0123456789", 4) == std::string::npos)
+      ++Nodes;
+  }
+  return Nodes > 0 ? Nodes : 1;
 }
 
 } // namespace
@@ -199,6 +230,15 @@ int main(int argc, char **argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;
+  // Topology context so pinned/unpinned rows from different hosts stay
+  // interpretable in the recorded JSON.
+  benchmark::AddCustomContext(
+      "ncpus", std::to_string(std::thread::hardware_concurrency()));
+  benchmark::AddCustomContext("numa_nodes", std::to_string(numaNodeCount()));
+  benchmark::AddCustomContext(
+      "batch_threads", std::to_string(runtime::defaultBatchThreads()));
+  benchmark::AddCustomContext("pool_max_workers",
+                              std::to_string(runtime::BatchPool::MaxPoolWorkers));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

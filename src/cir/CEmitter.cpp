@@ -19,7 +19,10 @@ namespace {
 
 class Emitter {
 public:
-  explicit Emitter(const Function &F) : F(F), Nu(F.Nu) {}
+  explicit Emitter(const Function &F) : F(F), Nu(F.Nu) {
+    for (const Operand *L : F.Locals)
+      Locals.insert(L);
+  }
 
   std::string run() {
     Sink.line(prototype(F) + " {");
@@ -45,8 +48,9 @@ public:
     // (They are always fully written before being read within a call, so
     // static persistence across calls is unobservable.)
     for (const Operand *L : F.Locals)
-      Sink.line(formatf("static double %s[%d];", L->Name.c_str(),
-                        L->Rows * L->Cols * F.LocalVecWidth));
+      Sink.line(formatf(
+          "static double %s[%d] __attribute__((aligned(64)));",
+          L->Name.c_str(), L->Rows * L->Cols * F.LocalVecWidth));
 
     for (size_t P = 0; P < Parts.size(); ++P) {
       std::string Name = formatf("%s_part%zu", F.Name.c_str(), P);
@@ -67,6 +71,8 @@ public:
       std::string Call = formatf("%s_part%zu(", F.Name.c_str(), P);
       for (size_t I = 0; I < F.Params.size(); ++I)
         Call += formatf("%s%s", I ? ", " : "", F.Params[I]->Name.c_str());
+      if (F.HasTailMask)
+        Call += formatf("%sactive_", F.Params.empty() ? "" : ", ");
       Sink.line(Call + ");");
     }
     Sink.dedent();
@@ -83,7 +89,9 @@ public:
       S += formatf("%s%sdouble *__restrict %s", I ? ", " : "",
                    Writable ? "" : "const ", F.Params[I]->Name.c_str());
     }
-    if (F.Params.empty())
+    if (F.HasTailMask)
+      S += formatf("%sint active_", F.Params.empty() ? "" : ", ");
+    else if (F.Params.empty())
       S += "void";
     S += ")";
     return S;
@@ -93,6 +101,25 @@ private:
   const Function &F;
   int Nu;
   CodeSink Sink;
+  std::set<const Operand *> Locals;
+
+  /// True when the address provably sits at a full-vector boundary of a
+  /// 64-byte-aligned local array: every offset contribution (constant and
+  /// per-variable coefficient) is a multiple of Nu doubles. Such accesses
+  /// use aligned vector moves. Parameters are never eligible -- their
+  /// alignment is the caller's business (the batch ABI asserts it, but
+  /// block base pointers advance by instance strides that need not keep
+  /// 64-byte alignment).
+  bool alignedLocalAddr(const Addr &A) const {
+    if (Nu < 2 || !Locals.count(A.Buf) || A.Const % Nu != 0)
+      return false;
+    for (auto [Var, Coeff] : A.Terms) {
+      (void)Var;
+      if (Coeff % Nu != 0)
+        return false;
+    }
+    return true;
+  }
 
   std::string reg(int Id) const { return formatf("r%d", Id); }
   std::string var(int Id) const { return formatf("i%d", Id); }
@@ -122,10 +149,30 @@ private:
     }
   }
 
+  static bool isMaskedOp(Op K) {
+    return K == Op::VLoadStridedMasked || K == Op::VStoreStridedMasked;
+  }
+
+  bool hasMaskedOps(const std::vector<Node> &Body) const {
+    for (const Node &N : Body) {
+      if (const auto *L = std::get_if<Loop>(&N)) {
+        if (hasMaskedOps(L->Body))
+          return true;
+        continue;
+      }
+      if (isMaskedOp(std::get<Inst>(N).K))
+        return true;
+    }
+    return false;
+  }
+
   void emitLocalDecls() {
+    // Locals are 64-byte aligned so full-width accesses at Nu-multiple
+    // offsets can use aligned vector moves (see alignedLocalAddr).
     for (const Operand *L : F.Locals)
-      Sink.line(formatf("double %s[%d] = {0.0};", L->Name.c_str(),
-                        L->Rows * L->Cols * F.LocalVecWidth));
+      Sink.line(formatf(
+          "double %s[%d] __attribute__((aligned(64))) = {0.0};",
+          L->Name.c_str(), L->Rows * L->Cols * F.LocalVecWidth));
   }
 
   void emitRegDecls() {
@@ -142,11 +189,27 @@ private:
   }
 
   void emitMaskDecls() {
-    if (Nu != 4)
-      return;
-    std::set<int> Lanes;
-    collectMaskLanes(F.Body, Lanes);
-    emitMaskLines(Lanes);
+    if (Nu == 4) {
+      std::set<int> Lanes;
+      collectMaskLanes(F.Body, Lanes);
+      emitMaskLines(Lanes);
+    }
+    if (hasMaskedOps(F.Body))
+      emitActiveMaskLines();
+  }
+
+  /// The runtime tail mask derived from the `int active_` parameter: lanes
+  /// [0, active_) on. AVX-512 wants a k-register mask; AVX wants a per-lane
+  /// all-ones/all-zeros __m256i for maskload/maskstore (built with an AVX2
+  /// compare, which the avx target enables); SSE2 branches on active_
+  /// inline and needs no materialized mask.
+  void emitActiveMaskLines() {
+    if (Nu == 8)
+      Sink.line("const __mmask8 kact_ = (__mmask8)((1u << active_) - 1);");
+    else if (Nu == 4)
+      Sink.line("const __m256i mact_ = "
+                "_mm256_cmpgt_epi64(_mm256_set1_epi64x(active_), "
+                "_mm256_set_epi64x(3, 2, 1, 0));");
   }
 
   void emitMaskLines(const std::set<int> &Lanes) {
@@ -294,15 +357,18 @@ private:
   }
 
   void emitMaskDeclsForRange(size_t First, size_t Last) {
-    if (Nu != 4)
-      return;
+    bool Masked = false;
     std::set<int> Lanes;
     for (size_t I = First; I < Last; ++I)
       forEachInst(F.Body[I], [&](const Inst &In) {
         if ((In.K == Op::VLoad || In.K == Op::VStore) && In.Lanes < Nu)
           Lanes.insert(In.Lanes);
+        Masked |= isMaskedOp(In.K);
       });
-    emitMaskLines(Lanes);
+    if (Nu == 4)
+      emitMaskLines(Lanes);
+    if (Masked)
+      emitActiveMaskLines();
   }
 
   void emitInst(const Inst &I) {
@@ -355,7 +421,8 @@ private:
       break;
     case Op::VLoad:
       if (I.Lanes == Nu) {
-        Sink.line(formatf("r%d = %s_loadu_pd(%s);", I.Dst, pfx(),
+        Sink.line(formatf("r%d = %s_load%s_pd(%s);", I.Dst, pfx(),
+                          alignedLocalAddr(I.Address) ? "" : "u",
                           address(I.Address).c_str()));
       } else if (Nu == 8) {
         // AVX-512 masked loads take an immediate lane mask; masked-off
@@ -373,7 +440,8 @@ private:
       break;
     case Op::VStore:
       if (I.Lanes == Nu) {
-        Sink.line(formatf("%s_storeu_pd(%s, r%d);", pfx(),
+        Sink.line(formatf("%s_store%s_pd(%s, r%d);", pfx(),
+                          alignedLocalAddr(I.Address) ? "" : "u",
                           address(I.Address).c_str(), I.A));
       } else if (Nu == 8) {
         Sink.line(formatf("_mm512_mask_storeu_pd(%s, (__mmask8)0x%x, r%d);",
@@ -415,6 +483,71 @@ private:
       Sink.line("}");
       break;
     }
+    case Op::VLoadStridedMasked:
+      // Runtime-masked lane-strided load for the batch tail: lanes
+      // [0, active_) gather instance data, dead lanes are zeroed so their
+      // garbage can never raise FP exceptions into real results.
+      if (Nu == 8 && I.Stride == 1) {
+        Sink.line(formatf("r%d = _mm512_maskz_loadu_pd(kact_, %s);", I.Dst,
+                          address(I.Address).c_str()));
+      } else if (Nu == 8) {
+        Sink.line(formatf(
+            "r%d = _mm512_mask_i64gather_pd(_mm512_setzero_pd(), kact_, "
+            "_mm512_set_epi64(%d, %d, %d, %d, %d, %d, %d, 0), %s, 8);",
+            I.Dst, 7 * I.Stride, 6 * I.Stride, 5 * I.Stride, 4 * I.Stride,
+            3 * I.Stride, 2 * I.Stride, I.Stride,
+            address(I.Address).c_str()));
+      } else if (Nu == 4 && I.Stride == 1) {
+        Sink.line(formatf("r%d = _mm256_maskload_pd(%s, mact_);", I.Dst,
+                          address(I.Address).c_str()));
+      } else if (Nu == 4) {
+        Sink.line(formatf(
+            "r%d = _mm256_mask_i64gather_pd(_mm256_setzero_pd(), %s, "
+            "_mm256_set_epi64x(%d, %d, %d, 0), _mm256_castsi256_pd(mact_), "
+            "8);",
+            I.Dst, address(I.Address).c_str(), 3 * I.Stride, 2 * I.Stride,
+            I.Stride));
+      } else { // SSE2: lane 0 is always active (active_ >= 1)
+        Sink.line(formatf(
+            "r%d = _mm_set_pd(active_ > 1 ? (%s)[%d] : 0.0, (%s)[0]);",
+            I.Dst, address(I.Address).c_str(), I.Stride,
+            address(I.Address).c_str()));
+      }
+      break;
+    case Op::VStoreStridedMasked:
+      if (Nu == 8 && I.Stride == 1) {
+        Sink.line(formatf("_mm512_mask_storeu_pd(%s, kact_, r%d);",
+                          address(I.Address).c_str(), I.A));
+      } else if (Nu == 8) {
+        Sink.line(formatf(
+            "_mm512_mask_i64scatter_pd(%s, kact_, "
+            "_mm512_set_epi64(%d, %d, %d, %d, %d, %d, %d, 0), r%d, 8);",
+            address(I.Address).c_str(), 7 * I.Stride, 6 * I.Stride,
+            5 * I.Stride, 4 * I.Stride, 3 * I.Stride, 2 * I.Stride, I.Stride,
+            I.A));
+      } else if (Nu == 4 && I.Stride == 1) {
+        Sink.line(formatf("_mm256_maskstore_pd(%s, mact_, r%d);",
+                          address(I.Address).c_str(), I.A));
+      } else if (Nu == 4) {
+        // No AVX scatter: spill and store the active lanes scalarly.
+        Sink.line("{");
+        Sink.indent();
+        Sink.line(formatf("double t%d_[4];", I.A));
+        Sink.line(formatf("_mm256_storeu_pd(t%d_, r%d);", I.A, I.A));
+        Sink.line(formatf("for (int l_ = 0; l_ < active_; ++l_)"));
+        Sink.indent();
+        Sink.line(formatf("(%s)[l_ * %d] = t%d_[l_];",
+                          address(I.Address).c_str(), I.Stride, I.A));
+        Sink.dedent();
+        Sink.dedent();
+        Sink.line("}");
+      } else {
+        Sink.line(formatf("_mm_store_sd(%s, r%d);",
+                          address(I.Address).c_str(), I.A));
+        Sink.line(formatf("if (active_ > 1) _mm_storeh_pd((%s) + %d, r%d);",
+                          address(I.Address).c_str(), I.Stride, I.A));
+      }
+      break;
     case Op::VAdd:
       Sink.line(formatf("r%d = %s_add_pd(r%d, r%d);", I.Dst, pfx(), I.A,
                         I.B));
@@ -459,6 +592,17 @@ private:
       else
         Sink.line(formatf("r%d = _mm_add_pd(_mm_mul_pd(r%d, r%d), r%d);",
                           I.Dst, I.A, I.B, I.C));
+      break;
+    case Op::VFnma:
+      if (Nu == 8)
+        Sink.line(formatf("r%d = _mm512_fnmadd_pd(r%d, r%d, r%d);", I.Dst,
+                          I.A, I.B, I.C));
+      else if (Nu == 4)
+        Sink.line(formatf("r%d = _mm256_fnmadd_pd(r%d, r%d, r%d);", I.Dst,
+                          I.A, I.B, I.C));
+      else
+        Sink.line(formatf("r%d = _mm_sub_pd(r%d, _mm_mul_pd(r%d, r%d));",
+                          I.Dst, I.C, I.A, I.B));
       break;
     case Op::VExtract:
       if (I.Lanes == 0) {

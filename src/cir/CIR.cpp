@@ -14,7 +14,8 @@ using namespace slingen;
 using namespace slingen::cir;
 
 bool cir::isStore(Op O) {
-  return O == Op::SStore || O == Op::VStore || O == Op::VStoreStrided;
+  return O == Op::SStore || O == Op::VStore || O == Op::VStoreStrided ||
+         O == Op::VStoreStridedMasked;
 }
 
 bool cir::hasDst(Op O) { return !isStore(O); }
@@ -24,9 +25,11 @@ bool cir::isPure(Op O) {
   case Op::SStore:
   case Op::VStore:
   case Op::VStoreStrided:
+  case Op::VStoreStridedMasked:
   case Op::SLoad:
   case Op::VLoad:
   case Op::VLoadStrided:
+  case Op::VLoadStridedMasked:
     return false;
   default:
     return true;
@@ -68,10 +71,14 @@ static const char *opName(Op K) {
     return "vload";
   case Op::VLoadStrided:
     return "vload.s";
+  case Op::VLoadStridedMasked:
+    return "vload.sm";
   case Op::VStore:
     return "vstore";
   case Op::VStoreStrided:
     return "vstore.s";
+  case Op::VStoreStridedMasked:
+    return "vstore.sm";
   case Op::VBroadcast:
     return "vbcast";
   case Op::VAdd:
@@ -88,6 +95,8 @@ static const char *opName(Op K) {
     return "vneg";
   case Op::VFma:
     return "vfma";
+  case Op::VFnma:
+    return "vfnma";
   case Op::VExtract:
     return "vextract";
   case Op::VReduceAdd:
@@ -118,6 +127,7 @@ std::string Inst::str() const {
     S += formatf(" %s, lanes=%d", Address.str().c_str(), Lanes);
     break;
   case Op::VLoadStrided:
+  case Op::VLoadStridedMasked:
     S += formatf(" %s, stride=%d, lanes=%d", Address.str().c_str(), Stride,
                  Lanes);
     break;
@@ -125,6 +135,7 @@ std::string Inst::str() const {
     S += formatf(" %s, r%d, lanes=%d", Address.str().c_str(), A, Lanes);
     break;
   case Op::VStoreStrided:
+  case Op::VStoreStridedMasked:
     S += formatf(" %s, r%d, stride=%d, lanes=%d", Address.str().c_str(), A,
                  Stride, Lanes);
     break;
@@ -139,6 +150,7 @@ std::string Inst::str() const {
     break;
   }
   case Op::VFma:
+  case Op::VFnma:
     S += formatf(" r%d, r%d, r%d", A, B, C);
     break;
   default:
@@ -315,6 +327,16 @@ int FuncBuilder::vloadStrided(Addr A, int Stride, int Lanes) {
   return emit(std::move(I));
 }
 
+int FuncBuilder::vloadStridedMasked(Addr A, int Stride, int Lanes) {
+  Inst I;
+  I.K = Op::VLoadStridedMasked;
+  I.Dst = newVReg();
+  I.Address = std::move(A);
+  I.Stride = Stride;
+  I.Lanes = Lanes;
+  return emit(std::move(I));
+}
+
 void FuncBuilder::vstore(Addr A, int Val, int Lanes) {
   Inst I;
     I.K = Op::VStore;
@@ -327,6 +349,17 @@ void FuncBuilder::vstore(Addr A, int Val, int Lanes) {
 void FuncBuilder::vstoreStrided(Addr A, int Val, int Stride, int Lanes) {
   Inst I;
     I.K = Op::VStoreStrided;
+  I.Address = std::move(A);
+  I.A = Val;
+  I.Stride = Stride;
+  I.Lanes = Lanes;
+  emit(std::move(I));
+}
+
+void FuncBuilder::vstoreStridedMasked(Addr A, int Val, int Stride,
+                                      int Lanes) {
+  Inst I;
+  I.K = Op::VStoreStridedMasked;
   I.Address = std::move(A);
   I.A = Val;
   I.Stride = Stride;
@@ -354,6 +387,16 @@ int FuncBuilder::vbin(Op K, int A, int B) {
 int FuncBuilder::vfma(int A, int B, int C) {
   Inst I;
     I.K = Op::VFma;
+  I.Dst = newVReg();
+  I.A = A;
+  I.B = B;
+  I.C = C;
+  return emit(std::move(I));
+}
+
+int FuncBuilder::vfnma(int A, int B, int C) {
+  Inst I;
+  I.K = Op::VFnma;
   I.Dst = newVReg();
   I.A = A;
   I.B = B;

@@ -46,8 +46,14 @@ enum class Op {
   VConst,       ///< Dst = splat(Imm)
   VLoad,        ///< Dst = contiguous load of Lanes elements (rest zero)
   VLoadStrided, ///< Dst[i] = Address[i * Stride], Lanes elements
-  VStore,       ///< store first Lanes lanes of A contiguously
+  /// Runtime-masked strided load: Dst[i] = i < active_ ? Address[i*Stride]
+  /// : 0.0, where active_ is the function's trailing lane-count parameter
+  /// (Function::HasTailMask). This is how one fused block covers the
+  /// count % Nu batch tail without a scalar loop.
+  VLoadStridedMasked,
+  VStore, ///< store first Lanes lanes of A contiguously
   VStoreStrided,
+  VStoreStridedMasked, ///< stores only lanes i < active_
   VBroadcast, ///< Dst = splat(scalar A)
   VAdd,
   VSub,
@@ -55,7 +61,8 @@ enum class Op {
   VDiv,
   VSqrt, ///< Dst = sqrt(A), per lane (instance-parallel batching)
   VNeg,  ///< Dst = -A, per lane
-  VFma,       ///< Dst = A * B + C
+  VFma,       ///< Dst = A * B + C (single rounding when Nu >= 4)
+  VFnma,      ///< Dst = C - A * B (fnmadd; single rounding when Nu >= 4)
   VExtract,   ///< scalar Dst = A[Lane]
   VReduceAdd, ///< scalar Dst = sum of lanes of A
   VShuffle,   ///< Dst[i] = select(Sel[i]): 0..Nu-1 from A, Nu..2Nu-1 from B,
@@ -123,6 +130,10 @@ struct Function {
   std::vector<const Operand *> Locals;
   std::vector<Node> Body;
   int Nu = 1;       ///< vector width the V* instructions assume
+  /// True for masked batch-tail kernels: the C prototype gains a trailing
+  /// `int active_` lane-count parameter consumed by the *Masked ops, and
+  /// the interpreter takes the active lane count as an extra argument.
+  bool HasTailMask = false;
   /// Element-count multiplier for Locals storage. 1 for ordinary kernels;
   /// instance-widened kernels (see cir/Widen.h) keep Nu interleaved copies
   /// of every temporary, so their Locals arrays are Rows*Cols*LocalVecWidth
@@ -166,11 +177,14 @@ public:
   int vconst(double V);
   int vload(Addr A, int Lanes);
   int vloadStrided(Addr A, int Stride, int Lanes);
+  int vloadStridedMasked(Addr A, int Stride, int Lanes);
   void vstore(Addr A, int Val, int Lanes);
   void vstoreStrided(Addr A, int Val, int Stride, int Lanes);
+  void vstoreStridedMasked(Addr A, int Val, int Stride, int Lanes);
   int vbroadcast(int SReg);
   int vbin(Op K, int A, int B);
   int vfma(int A, int B, int C);
+  int vfnma(int A, int B, int C);
   /// Re-assigning forms for loop-carried accumulators (Dst is an existing
   /// register; the only non-SSA construct in generated code).
   void vfmaInto(int Dst, int A, int B, int C);

@@ -6,6 +6,7 @@
 
 #include "cir/Interp.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <vector>
@@ -18,8 +19,8 @@ namespace {
 class Machine {
 public:
   Machine(const Function &F,
-          const std::map<const Operand *, double *> &Buffers)
-      : F(F), Buffers(Buffers), Vars(F.NumVars, 0),
+          const std::map<const Operand *, double *> &Buffers, int Active)
+      : F(F), Buffers(Buffers), Active(Active), Vars(F.NumVars, 0),
         Regs(static_cast<size_t>(F.NumRegs) * F.Nu, 0.0) {}
 
   void run() { runBlock(F.Body); }
@@ -27,6 +28,7 @@ public:
 private:
   const Function &F;
   const std::map<const Operand *, double *> &Buffers;
+  int Active; ///< lanes the runtime-masked ops touch (HasTailMask kernels)
   std::vector<int> Vars;
   // Register file: scalar regs use lane 0 only.
   std::vector<double> Regs;
@@ -103,6 +105,15 @@ private:
         reg(I.Dst)[L] = L < I.Lanes ? P[static_cast<long>(L) * I.Stride] : 0.0;
       break;
     }
+    case Op::VLoadStridedMasked: {
+      // Runtime mask: lanes >= Active load 0.0, exactly like the masked
+      // gather / maskload lowerings (maskz semantics).
+      const double *P = resolve(I.Address);
+      int Act = std::min(I.Lanes, Active);
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = L < Act ? P[static_cast<long>(L) * I.Stride] : 0.0;
+      break;
+    }
     case Op::VStore: {
       double *P = resolve(I.Address);
       for (int L = 0; L < I.Lanes; ++L)
@@ -112,6 +123,15 @@ private:
     case Op::VStoreStrided: {
       double *P = resolve(I.Address);
       for (int L = 0; L < I.Lanes; ++L)
+        P[static_cast<long>(L) * I.Stride] = reg(I.A)[L];
+      break;
+    }
+    case Op::VStoreStridedMasked: {
+      // Only the first Active lanes hit memory; dead lanes' garbage stays
+      // in the register, matching mask-store semantics.
+      double *P = resolve(I.Address);
+      int Act = std::min(I.Lanes, Active);
+      for (int L = 0; L < Act; ++L)
         P[static_cast<long>(L) * I.Stride] = reg(I.A)[L];
       break;
     }
@@ -144,8 +164,18 @@ private:
         reg(I.Dst)[L] = -reg(I.A)[L];
       break;
     case Op::VFma:
+      // Mirrors the C emitter's per-width lowering: single-rounded fmadd on
+      // AVX/AVX-512 (Nu >= 4), unfused mul+add on SSE2 (Nu == 2).
       for (int L = 0; L < Nu; ++L)
-        reg(I.Dst)[L] = reg(I.A)[L] * reg(I.B)[L] + reg(I.C)[L];
+        reg(I.Dst)[L] = Nu >= 4
+                            ? std::fma(reg(I.A)[L], reg(I.B)[L], reg(I.C)[L])
+                            : reg(I.A)[L] * reg(I.B)[L] + reg(I.C)[L];
+      break;
+    case Op::VFnma:
+      for (int L = 0; L < Nu; ++L)
+        reg(I.Dst)[L] = Nu >= 4
+                            ? std::fma(-reg(I.A)[L], reg(I.B)[L], reg(I.C)[L])
+                            : reg(I.C)[L] - reg(I.A)[L] * reg(I.B)[L];
       break;
     case Op::VExtract:
       reg(I.Dst)[0] = reg(I.A)[I.Lanes];
@@ -181,6 +211,13 @@ private:
 
 void cir::interpret(const Function &F,
                     const std::map<const Operand *, double *> &Buffers) {
+  interpret(F, Buffers, F.Nu);
+}
+
+void cir::interpret(const Function &F,
+                    const std::map<const Operand *, double *> &Buffers,
+                    int Active) {
+  assert(Active >= 1 && Active <= F.Nu && "active lane count out of range");
   // Allocate the function's compiler temporaries, mirroring the
   // zero-initialized stack arrays the C emitter declares.
   std::vector<std::vector<double>> LocalStorage;
@@ -192,6 +229,6 @@ void cir::interpret(const Function &F,
         static_cast<size_t>(L->Rows) * L->Cols * F.LocalVecWidth, 0.0);
     All[L] = LocalStorage.back().data();
   }
-  Machine M(F, All);
+  Machine M(F, All, Active);
   M.run();
 }

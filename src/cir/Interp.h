@@ -28,6 +28,15 @@ namespace cir {
 void interpret(const Function &F,
                const std::map<const Operand *, double *> &Buffers);
 
+/// As above with an explicit active lane count for masked batch-tail
+/// kernels (Function::HasTailMask): the runtime-masked ops
+/// (VLoadStridedMasked/VStoreStridedMasked) touch only lanes < \p Active,
+/// mirroring the C emission's `int active_` parameter. \p Active must be
+/// in [1, F.Nu]. The plain overload runs with Active = F.Nu.
+void interpret(const Function &F,
+               const std::map<const Operand *, double *> &Buffers,
+               int Active);
+
 } // namespace cir
 } // namespace slingen
 

@@ -203,6 +203,12 @@ private:
         }
         Out.push_back(std::move(I));
         continue;
+      case Op::VStoreStridedMasked:
+        // Runtime-masked coverage is unknown at compile time: treat as a
+        // may-write of the whole buffer, never a forwarding source.
+        invalidateBuffer(I.Address.Buf);
+        Out.push_back(std::move(I));
+        continue;
       case Op::SLoad: {
         if (I.Address.isConstant()) {
           const LaneVal *V = lookup(I.Address.Buf, I.Address.Const);
@@ -321,6 +327,12 @@ private:
         } else {
           Overwritten.clear();
         }
+        break;
+      case Op::VStoreStridedMasked:
+      case Op::VLoadStridedMasked:
+        // Unknown runtime coverage: may write less than it claims / may
+        // read anything -- never prove an earlier store dead across one.
+        Overwritten.clear();
         break;
       case Op::SLoad:
         if (I.Address.isConstant())

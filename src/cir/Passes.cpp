@@ -271,6 +271,95 @@ void cir::dce(Function &F) {
     ;
 }
 
+//===----------------------------------------------------------------------===//
+// FMA contraction.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FmaContract {
+public:
+  FmaContract(Function &F) : Defs(defCounts(F)), Uses(F.NumRegs, 0) {
+    forEachInst(F.Body, [&](const Inst &I) {
+      if (I.A >= 0)
+        ++Uses[I.A];
+      if (I.B >= 0)
+        ++Uses[I.B];
+      if (I.C >= 0)
+        ++Uses[I.C];
+    });
+    runBlock(F.Body);
+  }
+
+private:
+  std::vector<int> Defs;
+  std::vector<int> Uses;
+
+  bool singleDef(int R) const { return R >= 0 && Defs[R] == 1; }
+
+  /// A VMul is foldable when it is the unique definition of a register with
+  /// exactly one consumer and its operands are single-def (so re-reading
+  /// them at the consumer yields the same values).
+  bool foldable(const Inst &I) const {
+    return I.K == Op::VMul && singleDef(I.Dst) && Uses[I.Dst] == 1 &&
+           singleDef(I.A) && singleDef(I.B);
+  }
+
+  void runBlock(std::vector<Node> &Body) {
+    // Pending[r] = index in Body of the foldable VMul defining r. Entries
+    // die at the register's (unique) first use or at a loop boundary.
+    std::map<int, size_t> Pending;
+    std::set<size_t> Dead;
+    for (size_t Idx = 0; Idx < Body.size(); ++Idx) {
+      if (auto *LP = std::get_if<Loop>(&Body[Idx])) {
+        runBlock(LP->Body);
+        Pending.clear();
+        continue;
+      }
+      Inst &I = std::get<Inst>(Body[Idx]);
+      auto Fuse = [&](int MulReg, Op K, int COperand) {
+        auto It = Pending.find(MulReg);
+        if (It == Pending.end())
+          return false;
+        const Inst &M = std::get<Inst>(Body[It->second]);
+        Dead.insert(It->second);
+        Pending.erase(It);
+        I.K = K;
+        I.A = M.A;
+        I.B = M.B;
+        I.C = COperand;
+        return true;
+      };
+      bool Fused = false;
+      if (I.K == Op::VAdd)
+        Fused = Fuse(I.A, Op::VFma, I.B) || Fuse(I.B, Op::VFma, I.A);
+      else if (I.K == Op::VSub)
+        Fused = Fuse(I.B, Op::VFnma, I.A); // Dst = A - (mul) = C - a*b
+      if (!Fused) {
+        // The unique consumer was not a fusable add/sub: retire pending
+        // entries for any register this instruction reads.
+        for (int R : {I.A, I.B, I.C})
+          if (R >= 0)
+            Pending.erase(R);
+      }
+      if (foldable(I))
+        Pending[I.Dst] = Idx;
+    }
+    if (Dead.empty())
+      return;
+    std::vector<Node> Out;
+    Out.reserve(Body.size() - Dead.size());
+    for (size_t Idx = 0; Idx < Body.size(); ++Idx)
+      if (!Dead.count(Idx))
+        Out.push_back(std::move(Body[Idx]));
+    Body = std::move(Out);
+  }
+};
+
+} // namespace
+
+void cir::contractFma(Function &F) { FmaContract Pass(F); }
+
 void cir::optimize(Function &F, int UnrollMaxTrip) {
   unrollLoops(F, UnrollMaxTrip);
   cse(F);

@@ -44,6 +44,18 @@ void dce(Function &F);
 /// ranges stay local in very large unrolled kernels (0 = unbounded).
 void loadStoreOpt(Function &F, int WindowInsts = 4096);
 
+/// Contracts mul+add chains into fused multiply-adds: a single-use VMul
+/// feeding a VAdd becomes VFma (either operand order), and one feeding the
+/// subtrahend of a VSub becomes VFnma (Dst = C - A*B). Only fires when the
+/// mul and its consumer sit in the same straight-line region and all
+/// involved registers are single-def, so the folded operands provably hold
+/// the same values at the consumer. Changes rounding (one rounding instead
+/// of two on ISAs with hardware FMA), so callers must apply it -- or not --
+/// consistently across every kernel variant they intend to compare
+/// bit-exactly. The batched codegen applies it to all widened variants when
+/// Nu >= 4, matching the interpreter's width-dependent VFma semantics.
+void contractFma(Function &F);
+
 /// Runs the standard post-generation pipeline:
 /// unroll(MaxTrip) -> cse -> loadStoreOpt -> cse -> dce.
 void optimize(Function &F, int UnrollMaxTrip = 8);

@@ -18,8 +18,13 @@ public:
   /// \p Fused selects the fused-layout mode: parameter accesses become
   /// lane-strided (stride = the parameter's instance size) against the
   /// batch ABI instead of contiguous accesses against packed AoSoA blocks.
-  Widener(const Function &F, int Lanes, bool Fused)
-      : F(F), Lanes(Lanes), Fused(Fused) {
+  /// \p Masked additionally makes every parameter access runtime-masked
+  /// (VLoadStridedMasked/VStoreStridedMasked) and marks the function
+  /// HasTailMask: the result is the `count % Lanes` tail kernel, executing
+  /// only the first `active_` lanes' instances. Locals stay full-width
+  /// (dead lanes compute garbage that is never stored).
+  Widener(const Function &F, int Lanes, bool Fused, bool Masked = false)
+      : F(F), Lanes(Lanes), Fused(Fused), Masked(Masked) {
     if (Fused)
       for (const Operand *P : F.Params)
         ParamStride[P] = P->Rows * P->Cols;
@@ -44,6 +49,7 @@ public:
     Out.Func.Name = Name;
     Out.Func.Params = F.Params;
     Out.Func.ParamWritable = F.ParamWritable;
+    Out.Func.HasTailMask = Masked;
     Out.Func.Nu = Lanes;
     Out.Func.LocalVecWidth = Lanes;
     Out.Func.NumRegs = F.NumRegs;
@@ -56,6 +62,7 @@ private:
   const Function &F;
   int Lanes;
   bool Fused;
+  bool Masked;
   std::map<const Operand *, const Operand *> LocalMap;
   std::map<const Operand *, int> ParamStride;
 
@@ -107,7 +114,7 @@ private:
         break;
       case Op::SLoad:
         if (int S = laneStride(W.Address)) {
-          W.K = Op::VLoadStrided;
+          W.K = Masked ? Op::VLoadStridedMasked : Op::VLoadStrided;
           W.Stride = S;
         } else {
           W.K = Op::VLoad;
@@ -117,7 +124,7 @@ private:
         break;
       case Op::SStore:
         if (int S = laneStride(W.Address)) {
-          W.K = Op::VStoreStrided;
+          W.K = Masked ? Op::VStoreStridedMasked : Op::VStoreStrided;
           W.Stride = S;
         } else {
           W.K = Op::VStore;
@@ -169,6 +176,16 @@ cir::widenAcrossInstancesFused(const Function &F, int Lanes,
                                const std::string &Name) {
   WidenedFunction Out;
   Widener W(F, Lanes, /*Fused=*/true);
+  if (!W.run(Out, Name))
+    return std::nullopt;
+  return Out;
+}
+
+std::optional<WidenedFunction>
+cir::widenAcrossInstancesFusedMasked(const Function &F, int Lanes,
+                                     const std::string &Name) {
+  WidenedFunction Out;
+  Widener W(F, Lanes, /*Fused=*/true, /*Masked=*/true);
   if (!W.run(Out, Name))
     return std::nullopt;
   return Out;

@@ -64,6 +64,19 @@ std::optional<WidenedFunction>
 widenAcrossInstancesFused(const Function &F, int Lanes,
                           const std::string &Name);
 
+/// The masked-tail variant of widenAcrossInstancesFused: identical lane
+/// layout and arithmetic, but every parameter access is runtime-masked
+/// (VLoadStridedMasked/VStoreStridedMasked) against the function's trailing
+/// `int active_` parameter (Function::HasTailMask). Calling it with
+/// active_ = r executes exactly instances [0, r) of the block -- the
+/// `count % Lanes` batch tail -- in the first r lanes; dead lanes load 0.0,
+/// compute in parallel, and are never stored. Active lanes run the exact
+/// instruction sequence of the unmasked fused block, so tail results are
+/// bit-identical to running the same instances through a full block.
+std::optional<WidenedFunction>
+widenAcrossInstancesFusedMasked(const Function &F, int Lanes,
+                                const std::string &Name);
+
 } // namespace cir
 } // namespace slingen
 

@@ -69,6 +69,7 @@ struct Counter {
         Add(A.OtherIssued);
         break;
       case Op::VFma:
+      case Op::VFnma:
         Add(A.Flops, 2 * Nu);
         Add(A.OtherIssued);
         break;
@@ -88,6 +89,7 @@ struct Counter {
         Add(A.Loads);
         break;
       case Op::VLoadStrided:
+      case Op::VLoadStridedMasked:
         Add(A.Loads, I.Lanes); // decomposes into scalar accesses
         break;
       case Op::SStore:
@@ -95,6 +97,7 @@ struct Counter {
         Add(A.Stores);
         break;
       case Op::VStoreStrided:
+      case Op::VStoreStridedMasked:
         Add(A.Stores, I.Lanes);
         break;
       case Op::VShuffle:
@@ -142,6 +145,7 @@ struct ChainAnalyzer {
     case Op::SMul:
     case Op::VMul:
     case Op::VFma:
+    case Op::VFnma:
       return M.MulLatency;
     case Op::SAdd:
     case Op::SSub:
@@ -152,6 +156,7 @@ struct ChainAnalyzer {
     case Op::SLoad:
     case Op::VLoad:
     case Op::VLoadStrided:
+    case Op::VLoadStridedMasked:
       return M.LoadLatency;
     case Op::VShuffle:
     case Op::VExtract:

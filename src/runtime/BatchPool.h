@@ -8,11 +8,24 @@
 /// The thread pool behind threaded batched dispatch: a batch of independent
 /// problem instances is split into AoSoA blocks (one vector-width group of
 /// instances each) and the block indices are distributed across cores.
-/// Scheduling is dynamic -- every participating thread, the caller
-/// included, steals the next chunk of block indices from a shared cursor,
-/// so an uneven machine never idles a core on a static partition. The
-/// `count % Nu` instance remainder always runs on the calling thread (see
-/// callBatchParallel).
+///
+/// Scheduling is *sticky*: participant s of a run owns the contiguous block
+/// range [s*Total/P, (s+1)*Total/P) -- slot 0 is the calling thread, slot
+/// s > 0 is pool worker s-1 -- and worker identities are stable across
+/// runs, so repeated dispatch of the same batch lands each block on the
+/// thread (and core, see pinning below) whose caches already hold it.
+/// Work stealing kicks in only on imbalance: a thread that drains its own
+/// range scans the other slots and claims their remaining chunks through
+/// the same per-slot atomic cursor, so an uneven machine still never idles
+/// a core. The `count % Nu` instance remainder always runs on the calling
+/// thread (see callBatchParallel).
+///
+/// Workers pin themselves to core (worker + 1) % ncpus on first dispatch
+/// (Linux; sticky, one syscall per worker), keeping the slot->thread->core
+/// map stable so NUMA-local pages stay local. The caller is never pinned.
+/// `SLINGEN_POOL_PIN=0` or BatchPool::setPinning(false) disables pinning;
+/// BatchPool::setStealing(false) disables stealing (tests and benchmarks
+/// use it to observe the pure sticky assignment).
 ///
 /// Workers are spawned lazily on the first parallel run and parked on a
 /// condition variable between batches, so single-threaded configurations
@@ -39,6 +52,11 @@ class JitKernel;
 
 class BatchPool {
 public:
+  /// Hard cap on pool workers: a threads=k request beyond this is clamped.
+  /// Far above any sane core count for small-kernel batches; exists so a
+  /// hostile `threads=` knob cannot spawn unbounded threads.
+  static constexpr int MaxPoolWorkers = 63;
+
   /// The process-wide pool (sized to the hardware). Never destroyed --
   /// workers are detached daemons parked between batches, so shutdown
   /// ordering with static destructors is a non-issue.
@@ -47,7 +65,7 @@ public:
   /// Runs \p Fn over a partition of [0, NumItems): every call receives a
   /// disjoint [Lo, Hi) chunk, and the union of all chunks is exactly
   /// [0, NumItems). Up to \p Threads threads participate (the caller is
-  /// one of them); Threads <= 1, a single chunk, or a pool with no workers
+  /// one of them); Threads <= 1, a single item, or a pool with no workers
   /// degrades to an inline call. Blocks until every item is processed.
   /// One batch runs at a time; concurrent callers serialize.
   void run(long NumItems, int Threads,
@@ -60,22 +78,40 @@ public:
   /// the pool on small machines).
   int workerCap() const { return MaxWorkers; }
 
+  /// Toggles cross-slot work stealing (default on). With stealing off,
+  /// every item runs on the thread its slot is assigned to -- the pure
+  /// sticky schedule; a straggler then gates the run, so this is a test
+  /// and measurement hook, not a production mode.
+  static void setStealing(bool On);
+
+  /// Toggles worker core pinning (default on unless SLINGEN_POOL_PIN=0 in
+  /// the environment). Takes effect for workers not yet pinned; already
+  /// pinned workers keep their affinity.
+  static void setPinning(bool On);
+
 private:
   BatchPool();
 
-  void workerLoop();
-  /// Steals and runs chunks until the cursor is exhausted. \p Worker marks
-  /// pool-thread participation (vs. the calling thread) for the
-  /// steal-accounting metrics.
-  void drain(bool Worker);
+  void workerLoop(int Id);
+  /// Drains the per-slot cursor \p MySlot, then (if stealing is enabled)
+  /// scans the other participants' slots for leftover chunks.
+  void drain(int MySlot);
 
   struct Job {
-    std::atomic<long> Cursor{0};
+    /// One claim cursor per participant, cache-line padded: the owner and
+    /// any thieves claim [Next, min(Next+Chunk, End)) ranges with a
+    /// fetch_add, so disjointness is unconditional.
+    struct alignas(64) Slot {
+      std::atomic<long> Next{0};
+      long End = 0;
+    };
+    Slot Slots[MaxPoolWorkers + 1];
     long Total = 0;
     long Chunk = 1;
+    int Participants = 1;
     const std::function<void(long, long)> *Fn = nullptr;
-    std::atomic<int> Seats{0};  ///< worker participation budget
-    std::atomic<int> Active{0}; ///< workers currently inside Fn
+    std::atomic<long> Remaining{0}; ///< items not yet processed
+    std::atomic<int> Active{0};     ///< workers currently inside Fn
   };
 
   const int MaxWorkers;

@@ -22,6 +22,8 @@
 #ifndef SLINGEN_RUNTIME_JIT_H
 #define SLINGEN_RUNTIME_JIT_H
 
+#include <cassert>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -102,7 +104,12 @@ public:
 
   /// Invokes `<func>_batch(Count, ...)` over per-parameter instance arrays
   /// (instance b of parameter i lives at Buffers[i] + b * Rows_i * Cols_i).
+  /// Batch base pointers must be 64-byte aligned (support/AlignedBuffer.h
+  /// allocates conformant storage): the emitted block kernels assume
+  /// cache-line-aligned bases, and debug builds assert it here at the ABI
+  /// boundary.
   void callBatch(int Count, double *const *Buffers) const {
+    assertBatchAlignment(Buffers);
     BatchEntry(Count, Buffers);
   }
 
@@ -115,12 +122,25 @@ public:
   /// [Start, Start+Count) of the batch, with Buffers still naming the full
   /// per-parameter instance arrays.
   void callBatchSpan(int Start, int Count, double *const *Buffers) const {
+    assertBatchAlignment(Buffers);
     BatchSpanEntry(Start, Count, Buffers);
   }
 
   int numParams() const { return NumParams; }
 
 private:
+  /// Debug-only 64-byte alignment check on every batch base pointer
+  /// (NDEBUG builds compile this away entirely).
+  void assertBatchAlignment(double *const *Buffers) const {
+#ifndef NDEBUG
+    for (int I = 0; I < NumParams; ++I)
+      assert(reinterpret_cast<uintptr_t>(Buffers[I]) % 64 == 0 &&
+             "batch base pointer not 64-byte aligned (use AlignedBuffer)");
+#else
+    (void)Buffers;
+#endif
+  }
+
   JitKernel() = default;
 
   using EntryFn = void (*)(double *const *);

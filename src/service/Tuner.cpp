@@ -179,9 +179,12 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
 
   VecSource = emitBatchedVectorC(R, &O, &UsedVector, &*Scalar);
 
-  // Not divisible by any supported Nu (2, 4, 8), so the timed batch
-  // includes the scalar remainder path the production ABI pays too.
-  const int Count = 67;
+  // Two probe batches: one divisible by every supported Nu (pure
+  // full-block path) and one remainder-heavy (count % Nu == Nu/2, the
+  // masked-tail path production batches pay on ragged counts). Ranking by
+  // the sum of the two medians keeps a strategy with a fast block loop but
+  // a slow tail from winning on divisible counts alone.
+  const int ProbeCounts[2] = {64, 64 + Nu / 2};
   const std::string FuncName = R.Func.Name;
   const int NumParams = static_cast<int>(R.Func.Params.size());
   runtime::CompileOptions CO;
@@ -210,17 +213,21 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
                                               NumParams, CO, Err);
     if (!Cand.Kernel)
       continue;
-    BatchBuffers B(R, Count);
     obs::ScopedSpan Meas(
         "tuner-measure", "tuner",
         &obs::Registry::global().histogram("tuner.measure.us"));
-    runtime::Measurement M = runtime::measureCycles(
-        [&] {
-          B.refill();
-          Cand.Kernel->callBatch(Count, B.Bufs.data());
-        },
-        T.Measure);
-    Cand.Cycles = *Cand.CyclesOut = M.Median;
+    double Sum = 0.0;
+    for (int Count : ProbeCounts) {
+      BatchBuffers B(R, Count);
+      runtime::Measurement M = runtime::measureCycles(
+          [&] {
+            B.refill();
+            Cand.Kernel->callBatch(Count, B.Bufs.data());
+          },
+          T.Measure);
+      Sum += M.Median;
+    }
+    Cand.Cycles = *Cand.CyclesOut = Sum;
     if (!Best || Cand.Cycles < Best->Cycles)
       Best = &Cand;
   }
@@ -238,7 +245,9 @@ BatchChoice service::chooseBatchStrategy(const GenResult &R,
   if (ThreadsPolicy == 0) {
     const int N = runtime::defaultBatchThreads();
     if (N > 1 && Best->Kernel->hasBatchSpan()) {
-      const int CountMT = std::max(Count, 64 * Nu);
+      // Large enough to amortize the pool wakeup, plus a ragged tail so
+      // the threaded timing includes the masked remainder block.
+      const int CountMT = 64 * Nu + Nu / 2;
       BatchBuffers B(R, CountMT);
       obs::ScopedSpan Meas(
           "tuner-measure", "tuner",

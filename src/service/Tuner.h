@@ -54,8 +54,10 @@ struct BatchChoice {
   /// pool should spread AoSoA blocks across for this kernel. 1 means
   /// single-threaded dispatch.
   int Threads = 1;
-  bool Measured = false;     ///< strategy choice came from real timings
-  double LoopCycles = 0.0;   ///< median cycles per batch (when Measured)
+  bool Measured = false; ///< strategy choice came from real timings
+  /// Sum of the median cycles over the two probe batches (one Nu-divisible,
+  /// one remainder-heavy; when Measured). Lower is better.
+  double LoopCycles = 0.0;
   double VecCycles = 0.0;
   double FusedCycles = 0.0;
   /// True when the thread count was resolved by measurement (an auto
@@ -73,8 +75,10 @@ struct BatchChoice {
 /// \p O: when a compiler, a cycle counter, and a host that can execute the
 /// target ISA are all available (and \p AllowCompile), all three batched
 /// emissions -- the scalar loop, the packed instance-parallel form, and
-/// the fused-layout form -- are JIT-compiled and timed over a
-/// deterministic instance batch and the fastest wins; otherwise the static
+/// the fused-layout form -- are JIT-compiled and timed over two
+/// deterministic instance batches (one divisible by every supported Nu,
+/// one remainder-heavy to exercise the masked tail) and the lowest summed
+/// median wins; otherwise the static
 /// cost model compares the scalar-loop estimate against the widened
 /// estimates (scalar kernel cost over Nu lanes, plus the AoSoA pack/unpack
 /// traffic for the packed form or the strided-access overhead for the

@@ -11,8 +11,11 @@
 // layout-transpose pack/unpack pair preserving the contiguous-per-instance
 // batch ABI; InstanceParallelFused widens with lane-strided parameter
 // accesses so the block kernel reads and writes the batch ABI directly --
-// no transposes, no scratch blocks. Both vector strategies fall back to a
-// ScalarLoop remainder for count % Nu, and every strategy also emits the
+// no transposes, no scratch blocks. InstanceParallel falls back to a
+// ScalarLoop remainder for count % Nu; InstanceParallelFused instead runs
+// the remainder through one runtime-masked widened block (`_fusedtail`,
+// see cir/Widen.h) so odd counts never drop out of vector code. Every
+// strategy also emits the
 // `<name>_batch_span(int start, int count, ...)` sub-range entry the
 // runtime batch thread pool dispatches blocks through.
 //
@@ -21,6 +24,7 @@
 #include "slingen/SLinGen.h"
 
 #include "cir/CEmitter.h"
+#include "cir/Passes.h"
 #include "cir/Widen.h"
 #include "support/Format.h"
 
@@ -170,8 +174,28 @@ std::string emitInstanceParallel(const GenResult &R, const GenOptions *Opts,
             : cir::widenAcrossInstances(Pre->Func, Nu, F.Name + "_vecblk");
   if (!W)
     return emitBatchedC(R);
+  // Fused also gets the runtime-masked tail kernel: one widened block that
+  // executes exactly the first `active_` lanes' instances, replacing the
+  // old per-instance scalar remainder loop for count % Nu.
+  std::optional<cir::WidenedFunction> WTail =
+      Fused ? cir::widenAcrossInstancesFusedMasked(Pre->Func, Nu,
+                                                   F.Name + "_fusedtail")
+            : std::nullopt;
+  if (Fused && !WTail)
+    return emitBatchedC(R);
   if (UsedVector)
     *UsedVector = true;
+
+  // Contract mul+add chains into hardware FMAs on ISAs that have them
+  // (Nu >= 4: AVX/AVX-512). Applied identically to every widened variant so
+  // tail lanes stay bit-identical to full-block lanes; never applied inside
+  // the wideners themselves, keeping the hermetic widen-vs-scalar
+  // interpreter tests exact.
+  if (Nu >= 4) {
+    cir::contractFma(W->Func);
+    if (WTail)
+      cir::contractFma(WTail->Func);
+  }
 
   std::string C;
   C += "#include <math.h>\n";
@@ -186,6 +210,10 @@ std::string emitInstanceParallel(const GenResult &R, const GenOptions *Opts,
   // offset l*s_i + e, gathered/scattered by the strided accesses).
   C += cir::emitFunctionSplit(W->Func, /*MaxInstsPerPart=*/1 << 14);
   C += "\n";
+  if (WTail) {
+    C += cir::emitFunctionSplit(WTail->Func, /*MaxInstsPerPart=*/1 << 14);
+    C += "\n";
+  }
 
   if (!Fused) {
     // Layout-transpose helpers between the batch ABI (count contiguous
@@ -209,39 +237,56 @@ std::string emitInstanceParallel(const GenResult &R, const GenOptions *Opts,
   C += batchHeader(F);
   if (Fused) {
     // No scratch, no transposes: the block kernel is handed the block base
-    // pointers of the caller's buffers directly.
-    C += "  int b = 0;\n";
-    C += formatf("  for (; b + %d <= count; b += %d)\n", Nu, Nu);
-    C += "    " + W->Func.Name + "(";
-    for (size_t I = 0; I < F.Params.size(); ++I)
-      C += formatf("%s%s + b * s_%zu", I ? ", " : "",
-                   F.Params[I]->Name.c_str(), I);
-    C += ");\n";
-  } else {
-    for (size_t I = 0; I < F.Params.size(); ++I)
-      C += formatf("  double blk_%zu[%ld] __attribute__((aligned(64)));\n", I,
-                   paramSize(F, I) * Nu);
-    C += "  int b = 0;\n";
-    C += formatf("  for (; b + %d <= count; b += %d) {\n", Nu, Nu);
-    // Pack every parameter: inputs obviously; outputs too, so elements the
-    // kernel leaves untouched round-trip unchanged, exactly as in the
-    // scalar-loop strategy. This makes output buffers part of the *read*
-    // set under this strategy (documented in README "Batched execution").
-    for (size_t I = 0; I < F.Params.size(); ++I)
-      C += formatf("    %s_aosoa_pack(%s + b * s_%zu, blk_%zu, s_%zu);\n",
-                   F.Name.c_str(), F.Params[I]->Name.c_str(), I, I, I);
-    C += "    " + W->Func.Name + "(";
-    for (size_t I = 0; I < F.Params.size(); ++I)
-      C += formatf("%sblk_%zu", I ? ", " : "", I);
-    C += ");\n";
+    // pointers of the caller's buffers directly. Block bases are kept in
+    // running pointers bumped by the (hoisted, constant) block strides so
+    // the loop body carries no per-iteration multiplies, and the count % Nu
+    // remainder is one masked block call instead of a scalar loop.
     for (size_t I = 0; I < F.Params.size(); ++I) {
       bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
-      if (Writable)
-        C += formatf("    %s_aosoa_unpack(blk_%zu, %s + b * s_%zu, s_%zu);\n",
-                     F.Name.c_str(), I, F.Params[I]->Name.c_str(), I, I);
+      C += formatf("  %sdouble *bp_%zu = %s;\n", Writable ? "" : "const ", I,
+                   F.Params[I]->Name.c_str());
     }
+    C += "  int b = 0;\n";
+    C += formatf("  for (; b + %d <= count; b += %d) {\n", Nu, Nu);
+    C += "    " + W->Func.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("%sbp_%zu", I ? ", " : "", I);
+    C += ");\n";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("    bp_%zu += %d * s_%zu;\n", I, Nu, I);
     C += "  }\n";
+    C += "  if (b < count)\n";
+    C += "    " + WTail->Func.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I)
+      C += formatf("%sbp_%zu", I ? ", " : "", I);
+    C += formatf("%scount - b);\n", F.Params.empty() ? "" : ", ");
+    C += "}\n";
+    C += batchSpan(F);
+    return C;
   }
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("  double blk_%zu[%ld] __attribute__((aligned(64)));\n", I,
+                 paramSize(F, I) * Nu);
+  C += "  int b = 0;\n";
+  C += formatf("  for (; b + %d <= count; b += %d) {\n", Nu, Nu);
+  // Pack every parameter: inputs obviously; outputs too, so elements the
+  // kernel leaves untouched round-trip unchanged, exactly as in the
+  // scalar-loop strategy. This makes output buffers part of the *read*
+  // set under this strategy (documented in README "Batched execution").
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("    %s_aosoa_pack(%s + b * s_%zu, blk_%zu, s_%zu);\n",
+                 F.Name.c_str(), F.Params[I]->Name.c_str(), I, I, I);
+  C += "    " + W->Func.Name + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I)
+    C += formatf("%sblk_%zu", I ? ", " : "", I);
+  C += ");\n";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    bool Writable = F.ParamWritable.empty() || F.ParamWritable[I];
+    if (Writable)
+      C += formatf("    %s_aosoa_unpack(blk_%zu, %s + b * s_%zu, s_%zu);\n",
+                   F.Name.c_str(), I, F.Params[I]->Name.c_str(), I, I);
+  }
+  C += "  }\n";
   C += "  for (; b < count; ++b)\n    " + scalarCall(F, "b") + ";\n}\n";
   C += batchSpan(F);
   return C;

@@ -139,6 +139,8 @@ long instCost(const cir::Inst &I) {
     return 1;
   case Op::VLoadStrided:
   case Op::VStoreStrided:
+  case Op::VLoadStridedMasked:
+  case Op::VStoreStridedMasked:
     return 4; // gathers/scatters decompose into scalar accesses
   case Op::VShuffle:
   case Op::VExtract:
@@ -187,7 +189,13 @@ uint64_t slingen::programFingerprint(const Program &P) {
 }
 
 uint64_t slingen::optionsFingerprint(const GenOptions &O) {
+  // Bumped whenever the emitted C changes for identical (program, options)
+  // inputs -- e.g. new instruction lowerings or batch-driver shapes -- so
+  // cached shared objects keyed on the fingerprint can never serve stale
+  // code. v2: masked fused batch tails, FMA contraction, aligned locals.
+  constexpr uint64_t EmissionVersion = 2;
   Fnv1a64 H;
+  H.num(EmissionVersion);
   H.str(O.Isa->Name);
   H.num(O.BlockSize);
   H.num(O.UnrollTiles);

@@ -69,6 +69,10 @@ public:
   size_t size() const { return N; }
   double &operator[](size_t I) { return P[I]; }
   double operator[](size_t I) const { return P[I]; }
+  double *begin() { return P; }
+  double *end() { return P + N; }
+  const double *begin() const { return P; }
+  const double *end() const { return P + N; }
 
 private:
   double *P = nullptr;

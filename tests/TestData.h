@@ -78,8 +78,10 @@ inline std::vector<double> symmetric(int N, Rng &R) {
   return A;
 }
 
-inline double maxAbsDiff(const std::vector<double> &A,
-                         const std::vector<double> &B) {
+/// Element-wise max |A[i] - B[i]| over any pair of double containers with
+/// size()/operator[] (std::vector, AlignedBuffer, ...).
+template <typename ContainerA, typename ContainerB>
+inline double maxAbsDiff(const ContainerA &A, const ContainerB &B) {
   double M = 0.0;
   for (size_t I = 0; I < A.size(); ++I)
     M = std::max(M, std::fabs(A[I] - B[I]));

@@ -8,7 +8,9 @@
 // required; skipped without a system compiler.
 //===----------------------------------------------------------------------===//
 
+#include "cir/CEmitter.h"
 #include "cir/Interp.h"
+#include "cir/Passes.h"
 #include "cir/Widen.h"
 #include "la/Lower.h"
 #include "la/Programs.h"
@@ -17,6 +19,7 @@
 #include "runtime/Timing.h"
 #include "service/KernelService.h"
 #include "slingen/SLinGen.h"
+#include "support/AlignedBuffer.h"
 #include "support/Random.h"
 
 #include "TestData.h"
@@ -26,6 +29,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <thread>
 
 #include <stdlib.h>
 
@@ -59,14 +63,16 @@ std::optional<GenResult> mustGenerate(const std::string &Source,
 
 /// Per-parameter deterministic instance data for a potrf/trsyl-style
 /// program: SPD for <PD> inputs, well-conditioned triangular for <LoTri>/
-/// <UpTri> inputs, general data otherwise, zeros for outputs.
-std::vector<std::vector<double>> makeInstances(const cir::Function &F,
-                                               int Count, int SeedBase) {
-  std::vector<std::vector<double>> Store;
+/// <UpTri> inputs, general data otherwise, zeros for outputs. Cache-line
+/// aligned: batch base pointers cross the `_batch` ABI, which debug-asserts
+/// 64-byte alignment (see runtime/Jit.h).
+std::vector<AlignedBuffer> makeInstances(const cir::Function &F, int Count,
+                                         int SeedBase) {
+  std::vector<AlignedBuffer> Store;
   for (size_t I = 0; I < F.Params.size(); ++I) {
     const Operand *P = F.Params[I];
     size_t Sz = static_cast<size_t>(P->Rows) * P->Cols;
-    std::vector<double> Buf(static_cast<size_t>(Count) * Sz, 0.0);
+    AlignedBuffer Buf(static_cast<size_t>(Count) * Sz);
     bool NeedsData = P->IO != IOKind::Out; // In/InOut roots carry inputs
     for (int B = 0; B < Count && NeedsData; ++B) {
       Rng Rand(SeedBase + 131 * B + static_cast<int>(I));
@@ -184,8 +190,8 @@ TEST(Widen, InterpreterMatchesScalarPerInstance) {
   EXPECT_EQ(W->Func.LocalVecWidth, Nu);
 
   const auto &Params = R.Func.Params;
-  std::vector<std::vector<double>> Inst = makeInstances(R.Func, Nu, 7000);
-  std::vector<std::vector<double>> Ref = Inst;
+  std::vector<AlignedBuffer> Inst = makeInstances(R.Func, Nu, 7000);
+  std::vector<AlignedBuffer> Ref = Inst;
 
   // Reference: scalar interpretation, one instance at a time.
   for (int B = 0; B < Nu; ++B) {
@@ -238,8 +244,8 @@ TEST(Widen, FusedInterpreterMatchesScalarOnBatchLayout) {
   EXPECT_EQ(W->Func.LocalVecWidth, Nu);
 
   const auto &Params = R.Func.Params;
-  std::vector<std::vector<double>> Inst = makeInstances(R.Func, Nu, 7700);
-  std::vector<std::vector<double>> Ref = Inst;
+  std::vector<AlignedBuffer> Inst = makeInstances(R.Func, Nu, 7700);
+  std::vector<AlignedBuffer> Ref = Inst;
 
   // Reference: scalar interpretation, one instance at a time.
   for (int B = 0; B < Nu; ++B) {
@@ -259,6 +265,47 @@ TEST(Widen, FusedInterpreterMatchesScalarOnBatchLayout) {
 
   for (size_t I = 0; I < Params.size(); ++I)
     EXPECT_EQ(maxAbsDiff(Inst[I], Ref[I]), 0.0) << Params[I]->Name;
+}
+
+// The masked fused widening is the hermetic anchor for the batch tail:
+// interpreting it with active_ = r must reproduce the scalar interpreter
+// bit for bit on the first r instances and leave instances >= r untouched
+// (dead lanes load zeros, compute in parallel, and are never stored).
+TEST(Widen, MaskedFusedInterpreterMatchesScalarOnActivePrefix) {
+  const int N = 6, Nu = 4;
+  auto Gen = mustGenerate(la::potrfSource(N), scalarIsa(), "p6m");
+  ASSERT_TRUE(Gen);
+  GenResult &R = *Gen;
+  auto W = cir::widenAcrossInstancesFusedMasked(R.Func, Nu, "p6m_tail");
+  ASSERT_TRUE(W);
+  EXPECT_TRUE(W->Func.HasTailMask);
+
+  const auto &Params = R.Func.Params;
+  for (int Active = 1; Active < Nu; ++Active) {
+    std::vector<AlignedBuffer> Inst = makeInstances(R.Func, Nu, 8200);
+    std::vector<AlignedBuffer> Ref = Inst;
+
+    // Scalar reference touches exactly the first Active instances, so the
+    // bit-exact whole-buffer comparison below also proves the masked run
+    // left instances >= Active untouched.
+    for (int B = 0; B < Active; ++B) {
+      std::map<const Operand *, double *> Bufs;
+      for (size_t I = 0; I < Params.size(); ++I) {
+        size_t Sz = static_cast<size_t>(Params[I]->Rows) * Params[I]->Cols;
+        Bufs[Params[I]] = Ref[I].data() + B * Sz;
+      }
+      cir::interpret(R.Func, Bufs);
+    }
+
+    std::map<const Operand *, double *> Bufs;
+    for (size_t I = 0; I < Params.size(); ++I)
+      Bufs[Params[I]] = Inst[I].data();
+    cir::interpret(W->Func, Bufs, Active);
+
+    for (size_t I = 0; I < Params.size(); ++I)
+      EXPECT_EQ(maxAbsDiff(Inst[I], Ref[I]), 0.0)
+          << "active=" << Active << ", param " << Params[I]->Name;
+  }
 }
 
 TEST(Widen, RejectsVectorInput) {
@@ -312,15 +359,15 @@ void expectStrategiesAgree(const std::string &Source, const VectorISA &Isa,
     runtime::JitKernel *Kernel;
   } Alts[] = {{"vec", &*KVec}, {"fused", &*KFused}};
   for (int Count : Counts) {
-    std::vector<std::vector<double>> LoopStore =
+    std::vector<AlignedBuffer> LoopStore =
         makeInstances(R.Func, Count, 9000 + Count);
-    std::vector<std::vector<double>> Init = LoopStore;
+    std::vector<AlignedBuffer> Init = LoopStore;
     std::vector<double *> LoopBufs;
     for (auto &S : LoopStore)
       LoopBufs.push_back(S.data());
     KLoop->callBatch(Count, LoopBufs.data());
     for (const Alt &A : Alts) {
-      std::vector<std::vector<double>> Store = Init;
+      std::vector<AlignedBuffer> Store = Init;
       std::vector<double *> Bufs;
       for (auto &S : Store)
         Bufs.push_back(S.data());
@@ -370,6 +417,149 @@ TEST(Batched, TrsylInstanceParallelMatchesScalarLoop) {
   expectStrategiesAgree(la::trsylSource(6), Isa, "trsyl6", Counts, 1e-9);
 }
 
+// The fused emission must run the count % Nu remainder through the masked
+// widened tail block, not a scalar fallback loop.
+TEST(Batched, FusedEmissionHasMaskedTailNotScalarRemainder) {
+  auto Gen = mustGenerate(la::potrfSource(8), avxIsa(), "p8tl");
+  ASSERT_TRUE(Gen);
+  GenOptions O;
+  O.Isa = &avxIsa();
+  O.FuncName = "p8tl";
+  std::string C = emitBatchedVectorFusedC(*Gen, &O);
+  ASSERT_NE(C.find("p8tl_fusedblk"), std::string::npos);
+  EXPECT_NE(C.find("p8tl_fusedtail"), std::string::npos)
+      << "fused batch must emit a masked tail block";
+  EXPECT_NE(C.find("int active_"), std::string::npos);
+  EXPECT_EQ(C.find("for (; b < count; ++b)"), std::string::npos)
+      << "fused batch must not fall back to a scalar remainder loop";
+}
+
+// The masked tail's active lanes run the exact instruction sequence of a
+// full fused block, so a ragged batch must be bit-identical to running the
+// same instances inside a padded Nu-divisible batch -- for every residue
+// on every ISA this host can execute.
+TEST(Batched, MaskedTailBitIdenticalToPaddedFullBlocks) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const int HostNu = hostIsa().Nu;
+  if (HostNu < 2)
+    GTEST_SKIP() << "host has no vector ISA";
+  for (const VectorISA *Isa : {&sse2Isa(), &avxIsa(), &avx512Isa()}) {
+    if (Isa->Nu > HostNu)
+      continue;
+    const int Nu = Isa->Nu;
+    std::string Name = std::string("p6pad_") + Isa->Name;
+    auto Gen = mustGenerate(la::potrfSource(6), *Isa, Name);
+    ASSERT_TRUE(Gen);
+    GenResult &R = *Gen;
+    GenOptions O;
+    O.Isa = Isa;
+    O.FuncName = Name;
+    std::string C = emitBatchedVectorFusedC(R, &O);
+    ASSERT_NE(C.find(Name + "_fusedtail"), std::string::npos)
+        << "fused emission fell back on " << Isa->Name;
+    runtime::CompileOptions CO;
+    CO.ExtraFlags = runtime::isaCompileFlags(*Isa);
+    CO.WithBatchEntry = true;
+    std::string Err;
+    auto K = runtime::JitKernel::compile(
+        C, Name, static_cast<int>(R.Func.Params.size()), CO, Err);
+    ASSERT_TRUE(K) << Err;
+
+    for (int Residue = 1; Residue < Nu; ++Residue) {
+      const int Count = 2 * Nu + Residue, Padded = 3 * Nu;
+      // makeInstances seeds per instance, so the padded batch extends the
+      // ragged one with identical leading instances.
+      std::vector<AlignedBuffer> Ragged =
+          makeInstances(R.Func, Count, 8800 + Nu);
+      std::vector<AlignedBuffer> Full =
+          makeInstances(R.Func, Padded, 8800 + Nu);
+      std::vector<double *> RBufs, FBufs;
+      for (auto &S : Ragged)
+        RBufs.push_back(S.data());
+      for (auto &S : Full)
+        FBufs.push_back(S.data());
+      K->callBatch(Count, RBufs.data());
+      K->callBatch(Padded, FBufs.data());
+      for (size_t I = 0; I < Ragged.size(); ++I) {
+        size_t Sz = static_cast<size_t>(R.Func.Params[I]->Rows) *
+                    R.Func.Params[I]->Cols;
+        double M = 0.0;
+        for (size_t E = 0; E < Sz * Count; ++E)
+          M = std::max(M, std::fabs(Ragged[I][E] - Full[I][E]));
+        EXPECT_EQ(M, 0.0) << Isa->Name << " residue=" << Residue
+                          << ", param " << R.Func.Params[I]->Name;
+      }
+    }
+  }
+}
+
+// Interpreter-vs-JIT oracle for the masked tail function itself: the
+// emitted C (compiled with FMA contraction pinned off, so the only fused
+// multiply-adds are the ones the IR-level contraction placed) must agree
+// bit for bit with the interpreter at every active lane count.
+TEST(Batched, MaskedTailJitMatchesInterpreterBitExactly) {
+  if (!runtime::haveSystemCompiler())
+    GTEST_SKIP() << "no system C compiler";
+  const int HostNu = hostIsa().Nu;
+  if (HostNu < 2)
+    GTEST_SKIP() << "host has no vector ISA";
+  for (const VectorISA *Isa : {&sse2Isa(), &avxIsa(), &avx512Isa()}) {
+    if (Isa->Nu > HostNu)
+      continue;
+    const int Nu = Isa->Nu;
+    std::string Name = std::string("p6orc_") + Isa->Name;
+    auto Gen = mustGenerate(la::potrfSource(6), scalarIsa(), Name);
+    ASSERT_TRUE(Gen);
+    GenResult &R = *Gen;
+    auto W = cir::widenAcrossInstancesFusedMasked(R.Func, Nu,
+                                                  Name + "_tail");
+    ASSERT_TRUE(W);
+    // Same pipeline as the production fused emission: explicit IR-level
+    // contraction on FMA-capable widths (the interpreter mirrors it).
+    if (Nu >= 4)
+      cir::contractFma(W->Func);
+
+    const auto &Params = R.Func.Params;
+    // The uniform trampoline only passes double pointers, so the oracle
+    // wrapper smuggles active_ through a pointed-to double.
+    std::string C = cir::emitTranslationUnit(W->Func);
+    C += "\nvoid " + Name + "_w(";
+    for (const Operand *P : Params)
+      C += "double *" + P->Name + ", ";
+    C += "double *activep) {\n  " + Name + "_tail(";
+    for (const Operand *P : Params)
+      C += P->Name + ", ";
+    C += "(int)*activep);\n}\n";
+    std::string Err;
+    auto K = runtime::JitKernel::compile(
+        C, Name + "_w", static_cast<int>(Params.size()) + 1, Err,
+        runtime::isaCompileFlags(*Isa) + " -ffp-contract=off");
+    ASSERT_TRUE(K) << Err;
+
+    for (int Active = 1; Active < Nu; ++Active) {
+      std::vector<AlignedBuffer> Jit = makeInstances(R.Func, Nu, 8400);
+      std::vector<AlignedBuffer> Itp = Jit;
+      double ActiveD = Active;
+      std::vector<double *> JBufs;
+      for (auto &S : Jit)
+        JBufs.push_back(S.data());
+      JBufs.push_back(&ActiveD);
+      K->call(JBufs.data());
+
+      std::map<const Operand *, double *> Bufs;
+      for (size_t I = 0; I < Params.size(); ++I)
+        Bufs[Params[I]] = Itp[I].data();
+      cir::interpret(W->Func, Bufs, Active);
+
+      for (size_t I = 0; I < Params.size(); ++I)
+        EXPECT_EQ(maxAbsDiff(Jit[I], Itp[I]), 0.0)
+            << Isa->Name << " active=" << Active << ", param "
+            << Params[I]->Name;
+    }
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Batch thread pool and threaded dispatch.
 //===----------------------------------------------------------------------===//
@@ -377,7 +567,9 @@ TEST(Batched, TrsylInstanceParallelMatchesScalarLoop) {
 // Every block index is handed out exactly once, whatever the ratio of
 // items to threads (more threads than items, odd chunking, single item).
 TEST(BatchPool, CoversEveryIndexExactlyOnce) {
-  for (long Items : {1L, 7L, 64L, 1000L}) {
+  // 63/65/1025 straddle block boundaries: off-by-one partitions show up
+  // as a dropped or double-claimed edge index.
+  for (long Items : {1L, 7L, 63L, 64L, 65L, 1000L, 1025L}) {
     for (int Threads : {1, 2, 4, 9}) {
       std::vector<std::atomic<int>> Hits(Items);
       for (auto &H : Hits)
@@ -393,6 +585,33 @@ TEST(BatchPool, CoversEveryIndexExactlyOnce) {
             << " threads=" << Threads;
     }
   }
+}
+
+// Sticky scheduling: repeated runs of the same (items, threads) shape must
+// hand every block index to the same thread, keeping per-thread cache and
+// (pinned) per-core memory locality across repeated callBatchParallel
+// calls. Stealing is disabled so rebalancing noise cannot mask a broken
+// slot->thread map; each slot then drains only under its owner.
+TEST(BatchPool, StickyBlockAssignmentAcrossRuns) {
+  runtime::BatchPool::setStealing(false);
+  const long Items = 64;
+  const int Threads = 4;
+  auto Record = [&] {
+    std::vector<std::thread::id> Owner(Items);
+    runtime::BatchPool::shared().run(Items, Threads, [&](long Lo, long Hi) {
+      for (long I = Lo; I < Hi; ++I)
+        Owner[I] = std::this_thread::get_id();
+    });
+    return Owner;
+  };
+  std::vector<std::thread::id> First = Record();
+  std::vector<std::thread::id> Second = Record();
+  runtime::BatchPool::setStealing(true);
+  ASSERT_EQ(First.size(), Second.size());
+  for (long I = 0; I < Items; ++I)
+    EXPECT_EQ(First[I], Second[I]) << "block " << I << " moved threads";
+  // The caller participates: its slot stays on the calling thread.
+  EXPECT_EQ(First[0], std::this_thread::get_id());
 }
 
 // Threaded dispatch must be a pure scheduling change: instances land in
@@ -422,10 +641,9 @@ TEST(Batched, ThreadedDispatchIsBitIdenticalToSingleThread) {
   ASSERT_TRUE(K->hasBatchSpan()) << "span entry missing from emission";
 
   const int Count = 9 * Isa.Nu + 3; // several blocks plus a remainder
-  std::vector<std::vector<double>> Init =
-      makeInstances(R.Func, Count, 6100);
+  std::vector<AlignedBuffer> Init = makeInstances(R.Func, Count, 6100);
   auto RunWith = [&](int Threads) {
-    std::vector<std::vector<double>> Store = Init;
+    std::vector<AlignedBuffer> Store = Init;
     std::vector<double *> Bufs;
     for (auto &S : Store)
       Bufs.push_back(S.data());
@@ -435,11 +653,11 @@ TEST(Batched, ThreadedDispatchIsBitIdenticalToSingleThread) {
       runtime::callBatchParallel(*K, Count, Bufs.data(), Isa.Nu, Threads);
     return Store;
   };
-  std::vector<std::vector<double>> Single = RunWith(1);
+  std::vector<AlignedBuffer> Single = RunWith(1);
   // 4 threads even on narrower hosts: the pool oversubscribes so the
   // stealing path is exercised everywhere.
   for (int Threads : {2, 4}) {
-    std::vector<std::vector<double>> Threaded = RunWith(Threads);
+    std::vector<AlignedBuffer> Threaded = RunWith(Threads);
     for (size_t I = 0; I < Single.size(); ++I)
       EXPECT_EQ(maxAbsDiff(Threaded[I], Single[I]), 0.0)
           << "threads=" << Threads << ", param "
@@ -447,7 +665,7 @@ TEST(Batched, ThreadedDispatchIsBitIdenticalToSingleThread) {
   }
   // A direct span sanity check: running [0, Count) in two manual halves
   // equals one call.
-  std::vector<std::vector<double>> Store = Init;
+  std::vector<AlignedBuffer> Store = Init;
   std::vector<double *> Bufs;
   for (auto &S : Store)
     Bufs.push_back(S.data());
@@ -623,7 +841,8 @@ TEST(ServiceBatchStrategy, AutoDispatchMatchesIndividualCalls) {
     auto A = spd(N, Rand);
     std::copy(A.begin(), A.end(), ARef.begin() + B * N * N);
   }
-  std::vector<double> ABatch = ARef, XBatch(Count * N * N, 0.0);
+  AlignedBuffer ABatch(Count * N * N), XBatch(Count * N * N);
+  std::copy(ARef.begin(), ARef.end(), ABatch.begin());
   for (int B = 0; B < Count; ++B) {
     double *Bufs[2] = {ARef.data() + B * N * N, XRef.data() + B * N * N};
     Single->call(Bufs);
@@ -636,7 +855,8 @@ TEST(ServiceBatchStrategy, AutoDispatchMatchesIndividualCalls) {
 
   // A per-request pinned dispatch width routes through the thread pool and
   // must agree bit for bit with the single-threaded dispatch above.
-  std::vector<double> AMt = ARef, XMt(Count * N * N, 0.0);
+  AlignedBuffer AMt(Count * N * N), XMt(Count * N * N);
+  std::copy(ARef.begin(), ARef.end(), AMt.begin());
   double *MtBufs[2] = {AMt.data(), XMt.data()};
   service::RequestOptions MtReq;
   MtReq.Threads = 4;

@@ -12,6 +12,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
+#include <map>
+
 using namespace slingen;
 using namespace slingen::cir;
 
@@ -347,6 +351,118 @@ TEST(CEmitter, VectorKernelUsesIntrinsics) {
   EXPECT_NE(C.find("_mm256_blend_pd"), std::string::npos);
   EXPECT_NE(C.find("_mm256_fmadd_pd"), std::string::npos);
   EXPECT_NE(C.find("mk3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// FMA contraction and runtime-masked lane-strided ops.
+//===----------------------------------------------------------------------===//
+
+/// Opcode histogram over the whole function body.
+std::map<Op, int> opCounts(const Function &F) {
+  std::map<Op, int> C;
+  std::function<void(const std::vector<Node> &)> Walk =
+      [&](const std::vector<Node> &Body) {
+        for (const Node &N : Body) {
+          if (const auto *I = std::get_if<Inst>(&N))
+            ++C[I->K];
+          else
+            Walk(std::get<Loop>(N).Body);
+        }
+      };
+  Walk(F.Body);
+  return C;
+}
+
+TEST(CirPasses, ContractFmaFusesMulAddAndMulSub) {
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);
+  int V2 = B.vload(B.addr(K.A, 4), 4);
+  int V3 = B.vload(B.addr(K.A, 8), 4);
+  int M1 = B.vbin(Op::VMul, V1, V2);
+  int S1 = B.vbin(Op::VAdd, M1, V3); // -> VFma(V1, V2, V3)
+  B.vstore(B.addr(K.C, 0), S1, 4);
+  int M2 = B.vbin(Op::VMul, V1, V3);
+  int S2 = B.vbin(Op::VSub, V2, M2); // c - a*b -> VFnma(V1, V3, V2)
+  B.vstore(B.addr(K.C, 4), S2, 4);
+  Function F = B.take({K.A, K.C});
+  contractFma(F);
+  std::map<Op, int> C = opCounts(F);
+  EXPECT_EQ(C[Op::VMul], 0) << F.str();
+  EXPECT_EQ(C[Op::VAdd], 0) << F.str();
+  EXPECT_EQ(C[Op::VSub], 0) << F.str();
+  EXPECT_EQ(C[Op::VFma], 1) << F.str();
+  EXPECT_EQ(C[Op::VFnma], 1) << F.str();
+  interpret(F, K.buffers());
+  for (int L = 0; L < 4; ++L) {
+    EXPECT_DOUBLE_EQ(K.CBuf[L],
+                     std::fma(K.ABuf[L], K.ABuf[4 + L], K.ABuf[8 + L]));
+    EXPECT_DOUBLE_EQ(K.CBuf[4 + L],
+                     std::fma(-K.ABuf[L], K.ABuf[8 + L], K.ABuf[4 + L]));
+  }
+}
+
+TEST(CirPasses, ContractFmaLeavesMultiUseMulAlone) {
+  // The product feeds both an add and a store: fusing would change the
+  // stored value's rounding, so the mul must survive and the add must not
+  // be contracted.
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V1 = B.vload(B.addr(K.A, 0), 4);
+  int V2 = B.vload(B.addr(K.A, 4), 4);
+  int M = B.vbin(Op::VMul, V1, V2);
+  int S = B.vbin(Op::VAdd, M, V1);
+  B.vstore(B.addr(K.C, 0), M, 4);
+  B.vstore(B.addr(K.C, 4), S, 4);
+  Function F = B.take({K.A, K.C});
+  contractFma(F);
+  std::map<Op, int> C = opCounts(F);
+  EXPECT_EQ(C[Op::VMul], 1) << F.str();
+  EXPECT_EQ(C[Op::VAdd], 1) << F.str();
+  EXPECT_EQ(C[Op::VFma], 0) << F.str();
+}
+
+TEST(CirInterp, MaskedStridedOpsHonorActiveLanes) {
+  // Lane-strided masked load/store against a 4-element-stride column;
+  // active_ = 2 must read/write lanes {0, 1} only and zero dead load lanes.
+  Kernel2 K;
+  FuncBuilder B("k", 4);
+  int V = B.vloadStridedMasked(B.addr(K.A, 0), 4, 4);
+  int D = B.vbin(Op::VAdd, V, V);
+  B.vstoreStridedMasked(B.addr(K.C, 0), D, 4, 4);
+  Function F = B.take({K.A, K.C});
+  F.HasTailMask = true;
+  interpret(F, K.buffers(), /*Active=*/2);
+  EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0 * K.ABuf[0]);
+  EXPECT_DOUBLE_EQ(K.CBuf[4], 2.0 * K.ABuf[4]);
+  EXPECT_DOUBLE_EQ(K.CBuf[8], 0.0) << "inactive lane stored";
+  EXPECT_DOUBLE_EQ(K.CBuf[12], 0.0) << "inactive lane stored";
+}
+
+TEST(CEmitter, MaskedOpsTakeActiveParamPerIsa) {
+  // Each width lowers the runtime tail mask differently: AVX-512 k-masks,
+  // AVX2 compare-derived integer masks, SSE2 lane-split scalar moves. All
+  // gain the trailing `int active_` parameter.
+  for (int Nu : {2, 4, 8}) {
+    Kernel2 K;
+    FuncBuilder B("mk", Nu);
+    int V = B.vloadStridedMasked(B.addr(K.A, 0), 4, Nu);
+    B.vstoreStridedMasked(B.addr(K.C, 0), V, 4, Nu);
+    Function F = B.take({K.A, K.C});
+    F.HasTailMask = true;
+    std::string C = emitTranslationUnit(F);
+    EXPECT_NE(C.find("int active_"), std::string::npos) << C;
+    if (Nu == 8) {
+      EXPECT_NE(C.find("kact_"), std::string::npos) << C;
+      EXPECT_NE(C.find("_mm512_mask_i64gather_pd"), std::string::npos) << C;
+      EXPECT_NE(C.find("_mm512_mask_i64scatter_pd"), std::string::npos) << C;
+    } else if (Nu == 4) {
+      EXPECT_NE(C.find("mact_"), std::string::npos) << C;
+      EXPECT_NE(C.find("_mm256_mask_i64gather_pd"), std::string::npos) << C;
+    } else {
+      EXPECT_NE(C.find("active_ > 1"), std::string::npos) << C;
+    }
+  }
 }
 
 } // namespace

@@ -19,6 +19,7 @@
 #include "net/Wire.h"
 #include "runtime/Jit.h"
 #include "service/KernelService.h"
+#include "support/AlignedBuffer.h"
 #include "support/FaultInject.h"
 #include "support/Random.h"
 
@@ -674,15 +675,18 @@ TEST(ClientIdentity, BatchedKernelDispatchesThroughFacade) {
     GTEST_SKIP() << "host cannot run " << K->isa();
 
   // Batch of SPD instances; results must match per-instance single calls.
+  // Batch buffers are cache-line aligned per the `_batch` ABI contract.
   Rng Rand(23);
-  std::vector<double> ABatch, ASingle;
+  AlignedBuffer ABatch(static_cast<size_t>(Count) * N * N);
+  std::vector<double> ASingle;
   for (int B = 0; B < Count; ++B) {
     std::vector<double> A = spd(N, Rand);
-    ABatch.insert(ABatch.end(), A.begin(), A.end());
+    std::copy(A.begin(), A.end(),
+              ABatch.begin() + static_cast<size_t>(B) * N * N);
     ASingle.insert(ASingle.end(), A.begin(), A.end());
   }
-  std::vector<double> XBatch(static_cast<size_t>(Count) * N * N, 0.0),
-      XSingle(static_cast<size_t>(Count) * N * N, 0.0);
+  AlignedBuffer XBatch(static_cast<size_t>(Count) * N * N);
+  std::vector<double> XSingle(static_cast<size_t>(Count) * N * N, 0.0);
   double *BatchBufs[2] = {ABatch.data(), XBatch.data()};
   ASSERT_TRUE(K->callBatch(Count, BatchBufs));
   for (int B = 0; B < Count; ++B) {
@@ -690,7 +694,7 @@ TEST(ClientIdentity, BatchedKernelDispatchesThroughFacade) {
                        XSingle.data() + static_cast<size_t>(B) * N * N};
     ASSERT_TRUE(K->call(Bufs));
   }
-  EXPECT_EQ(XBatch, XSingle);
+  EXPECT_EQ(maxAbsDiff(XBatch, XSingle), 0.0);
 }
 
 //===----------------------------------------------------------------------===//

@@ -14,6 +14,7 @@
 #include "la/Programs.h"
 #include "runtime/Timing.h"
 #include "service/KernelService.h"
+#include "support/AlignedBuffer.h"
 #include "slingen/SLinGen.h"
 #include "support/Hash.h"
 #include "support/Random.h"
@@ -556,13 +557,14 @@ TEST(ServiceBatch, DispatchMatchesIndividualCalls) {
   ASSERT_EQ(Single->NumParams, 2); // A (in), X (out)
 
   std::vector<double> ARef(Count * N * N), XRef(Count * N * N, 0.0);
-  std::vector<double> ABatch, XBatch(Count * N * N, 0.0);
+  // Batch buffers are cache-line aligned per the `_batch` ABI contract.
+  AlignedBuffer ABatch(Count * N * N), XBatch(Count * N * N);
   for (int B = 0; B < Count; ++B) {
     Rng Rand(500 + B);
     auto A = spd(N, Rand);
     std::copy(A.begin(), A.end(), ARef.begin() + B * N * N);
   }
-  ABatch = ARef;
+  std::copy(ARef.begin(), ARef.end(), ABatch.begin());
   for (int B = 0; B < Count; ++B) {
     double *Bufs[2] = {ARef.data() + B * N * N, XRef.data() + B * N * N};
     Single->call(Bufs);
@@ -580,7 +582,7 @@ TEST(ServiceBatch, DispatchMatchesIndividualCalls) {
   // Second dispatch reuses the cached batched kernel.
   long Gens = S.stats().Generations;
   std::fill(XBatch.begin(), XBatch.end(), 0.0);
-  ABatch = ARef;
+  std::copy(ARef.begin(), ARef.end(), ABatch.begin());
   GetResult Again = S.dispatchBatch(Src, O, Count, Bufs);
   ASSERT_TRUE(Again) << Again.Error;
   EXPECT_EQ(S.stats().Generations, Gens);

@@ -2,13 +2,16 @@
 # tools/bench_batch.sh - record the batch-strategy perf comparison.
 #
 # Runs bench/batch_strategies (loop vs vec vs fused on potrf {4,8,16} and
-# trsyl {4,8}, counts {32,1024}, plus threaded "-mt<k>" rows on multicore
-# hosts) and writes BENCH_batch.json at the repo root so the perf
-# trajectory has data across PRs.
+# trsyl {4,8}, counts {32,1024} plus the remainder-heavy {33,1025} that
+# exercise the masked fused tail, plus threaded "-mt<k>" /
+# "-mt<k>-nopin" pinned-vs-unpinned rows on multicore hosts) and writes
+# BENCH_batch.json at the repo root so the perf trajectory has data
+# across PRs. CPU/NUMA topology lands in the JSON context.
 #
 #   bench_batch.sh [--smoke]
 #
-# --smoke trims the run to one (size, count) point with a short measurement
+# --smoke trims the run to one size at two counts (a divisible one and a
+# masked-tail one) with a short measurement
 # window; check.sh uses it as a CI liveness probe. The underlying binary
 # already skips cleanly (valid empty JSON) when no system C compiler or no
 # vector ISA is available, so this script succeeds everywhere.
@@ -22,10 +25,11 @@ BIN="$BUILD/bench/bench_batch_strategies"
 EXTRA=""
 if [ "${1:-}" = "--smoke" ]; then
   # benchmark 1.7 takes bare seconds for --benchmark_min_time. The filter
-  # keeps one (size, count) point but every strategy variant -- including
-  # the threaded -mt rows on multicore hosts, so the pool dispatch path
-  # gets CI coverage.
-  EXTRA="--benchmark_filter=potrf/n=8/count=32 --benchmark_min_time=0.05"
+  # keeps one size at counts 32 (full blocks) and 33 (masked tail) but
+  # every strategy variant -- including the threaded -mt / -mt-nopin rows
+  # on multicore hosts, so the pool dispatch and affinity paths get CI
+  # coverage.
+  EXTRA="--benchmark_filter=potrf/n=8/count=3[23]/ --benchmark_min_time=0.05"
 fi
 
 if [ ! -x "$BIN" ]; then

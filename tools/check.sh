@@ -52,6 +52,11 @@ for LA in "$ROOT"/examples/*.la; do
   "$BUILD/slc" -batch -batch-strategy fused "$LA" > "$SMOKE_OUT"
   grep -q "_batch(int count" "$SMOKE_OUT"
   grep -q "_fusedblk" "$SMOKE_OUT"
+  # The count % nu remainder must run through the runtime-masked fused
+  # tail block, never a scalar fallback loop.
+  grep -q "_fusedtail" "$SMOKE_OUT"
+  grep -q "int active_" "$SMOKE_OUT"
+  ! grep -q "for (; b < count; ++b)" "$SMOKE_OUT"
   "$BUILD/slc" -batch -batch-strategy loop "$LA" > "$SMOKE_OUT"
   grep -q "_batch(int count" "$SMOKE_OUT"
 done
@@ -66,6 +71,15 @@ THREAD_CACHE="$SMOKE_CACHE/threaded_cache"
 grep -q "_fusedblk" "$SMOKE_OUT"
 grep -rq "threads=4" "$THREAD_CACHE"
 grep -rq "strategy=fused" "$THREAD_CACHE"
+# Pinned-pool execution smoke: 4 pool threads (workers pinned to cores by
+# default) over ragged odd counts, exact coverage and sticky assignment.
+"$BUILD/tests/batch_test" \
+  --gtest_filter='BatchPool.*:Batched.ThreadedDispatch*' > "$SMOKE_OUT" \
+  || { cat "$SMOKE_OUT"; exit 1; }
+# And the same dispatch path with pinning disabled via the env knob.
+SLINGEN_POOL_PIN=0 "$BUILD/tests/batch_test" \
+  --gtest_filter='BatchPool.CoversEveryIndexExactlyOnce' > "$SMOKE_OUT" \
+  || { cat "$SMOKE_OUT"; exit 1; }
 
 echo "== sld round-trip smoke =="
 # Spawn a daemon on a temp socket, request a kernel through slc -connect,
