@@ -54,6 +54,9 @@
 ///   CompileFailed      the generated C did not compile
 ///   NoCompiler         a callable kernel was needed, none available
 ///   NotRunnable        the kernel's ISA is wider than this host
+///   InvalidKernelIR    the serving side generated IR that failed its
+///                      static verifier and refused to compile it (a
+///                      generator bug surfaced safely, not a bad request)
 ///   ConnectFailed      the daemon could not be reached at all
 ///   TransportError     the connection died mid-request (reconnect failed)
 ///   ProtocolError      the peer sent frames this client cannot decode
@@ -117,6 +120,7 @@ enum class Code {
   CompileFailed,
   NoCompiler,
   NotRunnable,
+  InvalidKernelIR,
   ConnectFailed,
   TransportError,
   ProtocolError,

@@ -14,6 +14,8 @@
 
 #include "cir/Passes.h"
 
+#include "cir/Verify.h"
+
 #include <cassert>
 #include <functional>
 #include <map>
@@ -367,4 +369,5 @@ private:
 
 void cir::loadStoreOpt(Function &F, int WindowInsts) {
   LoadStorePass Pass(F, WindowInsts);
+  verifyAssert(F, "load-store-opt");
 }

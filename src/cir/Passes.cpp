@@ -6,6 +6,8 @@
 
 #include "cir/Passes.h"
 
+#include "cir/Verify.h"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -358,12 +360,19 @@ private:
 
 } // namespace
 
-void cir::contractFma(Function &F) { FmaContract Pass(F); }
+void cir::contractFma(Function &F) {
+  FmaContract Pass(F);
+  verifyAssert(F, "contract-fma");
+}
 
 void cir::optimize(Function &F, int UnrollMaxTrip) {
   unrollLoops(F, UnrollMaxTrip);
+  verifyAssert(F, "unroll-loops");
   cse(F);
-  loadStoreOpt(F);
+  verifyAssert(F, "cse");
+  loadStoreOpt(F); // hooks internally
   cse(F);
+  verifyAssert(F, "cse-2");
   dce(F);
+  verifyAssert(F, "dce");
 }

@@ -6,6 +6,8 @@
 
 #include "cir/Widen.h"
 
+#include "cir/Verify.h"
+
 #include <map>
 
 using namespace slingen;
@@ -168,6 +170,7 @@ cir::widenAcrossInstances(const Function &F, int Lanes,
   Widener W(F, Lanes, /*Fused=*/false);
   if (!W.run(Out, Name))
     return std::nullopt;
+  verifyAssert(Out.Func, "widen-across-instances");
   return Out;
 }
 
@@ -178,6 +181,7 @@ cir::widenAcrossInstancesFused(const Function &F, int Lanes,
   Widener W(F, Lanes, /*Fused=*/true);
   if (!W.run(Out, Name))
     return std::nullopt;
+  verifyAssert(Out.Func, "widen-across-instances-fused");
   return Out;
 }
 
@@ -188,5 +192,6 @@ cir::widenAcrossInstancesFusedMasked(const Function &F, int Lanes,
   Widener W(F, Lanes, /*Fused=*/true, /*Masked=*/true);
   if (!W.run(Out, Name))
     return std::nullopt;
+  verifyAssert(Out.Func, "widen-across-instances-fused-masked");
   return Out;
 }

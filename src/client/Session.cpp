@@ -43,6 +43,8 @@ const char *client::codeName(Code C) {
     return "no-compiler";
   case Code::NotRunnable:
     return "not-runnable";
+  case Code::InvalidKernelIR:
+    return "invalid-kernel-ir";
   case Code::ConnectFailed:
     return "connect-failed";
   case Code::TransportError:
@@ -85,6 +87,8 @@ Code detail::mapServiceErrc(service::Errc E) {
     return Code::Overloaded;
   case service::Errc::DeadlineExceeded:
     return Code::DeadlineExceeded;
+  case service::Errc::InvalidKernelIR:
+    return Code::InvalidKernelIR;
   case service::Errc::Internal:
     return Code::InternalError;
   }

@@ -32,15 +32,33 @@ static void copyField(char *Dst, size_t Cap, const char *Src) {
   Dst[N] = '\0';
 }
 
+void FlightRecorder::storeSlot(size_t I, const Record &R) {
+  uint64_t W[RecordWords] = {};
+  memcpy(W, &R, sizeof(Record));
+  for (size_t J = 0; J < RecordWords; ++J)
+    Ring[I].Words[J].store(W[J], std::memory_order_relaxed);
+}
+
+FlightRecorder::Record FlightRecorder::loadSlot(size_t I) const {
+  uint64_t W[RecordWords] = {};
+  for (size_t J = 0; J < RecordWords; ++J)
+    W[J] = Ring[I].Words[J].load(std::memory_order_relaxed);
+  Record R;
+  memcpy(&R, W, sizeof(Record));
+  return R;
+}
+
 void FlightRecorder::record(uint64_t TraceId, const char *Phase,
                             const char *Verb, const char *Kernel,
                             const char *Peer, const char *Tier,
                             const char *Errc, int64_t LatencyUs) {
   uint64_t N = Next.fetch_add(1, std::memory_order_relaxed);
   size_t Slot = N % Capacity;
-  Record &R = Ring[Slot];
-  // Mark in-progress so snapshot() skips the slot, fill, then publish.
-  SlotSeq[Slot].store(0, std::memory_order_release);
+  // Build the record privately, mark the slot in-progress so snapshot()
+  // skips it, copy word-wise, then publish. The release on the final
+  // store orders every word store before the new sequence becomes
+  // visible to an acquire reader.
+  Record R;
   R.Seq = N + 1;
   R.TraceId = TraceId;
   R.WhenUs = nowUs();
@@ -51,6 +69,8 @@ void FlightRecorder::record(uint64_t TraceId, const char *Phase,
   copyField(R.Peer, sizeof(R.Peer), Peer);
   copyField(R.Tier, sizeof(R.Tier), Tier);
   copyField(R.Errc, sizeof(R.Errc), Errc);
+  SlotSeq[Slot].store(0, std::memory_order_release);
+  storeSlot(Slot, R);
   SlotSeq[Slot].store(N + 1, std::memory_order_release);
 }
 
@@ -61,10 +81,13 @@ std::vector<FlightRecorder::Record> FlightRecorder::snapshot() const {
     uint64_t Before = SlotSeq[I].load(std::memory_order_acquire);
     if (Before == 0)
       continue; // never written, or a writer is mid-flight
-    Record R = Ring[I];
-    uint64_t After = SlotSeq[I].load(std::memory_order_acquire);
+    Record R = loadSlot(I);
+    // Seqlock reader validation: the fence keeps the word loads above
+    // from sinking past the recheck.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    uint64_t After = SlotSeq[I].load(std::memory_order_relaxed);
     if (After != Before || R.Seq != Before)
-      continue; // torn by a concurrent writer; drop rather than mangle
+      continue; // a writer intervened; drop rather than mangle
     Out.push_back(R);
   }
   std::sort(Out.begin(), Out.end(),
@@ -156,7 +179,9 @@ void FlightRecorder::dumpTo(int Fd) const {
   // Oldest slot first when the ring has wrapped.
   size_t Start = Writes > Capacity ? Writes % Capacity : 0;
   for (size_t I = 0; I < Capacity; ++I) {
-    const Record &R = Ring[(Start + I) % Capacity];
+    // Relaxed lock-free word loads into a stack copy: still
+    // async-signal-safe, and a concurrent writer cannot tear a word.
+    Record R = loadSlot((Start + I) % Capacity);
     if (R.Seq == 0)
       continue;
     SafeLine L;
@@ -186,7 +211,7 @@ void FlightRecorder::dumpTo(int Fd) const {
 void FlightRecorder::reset() {
   for (size_t I = 0; I < Capacity; ++I) {
     SlotSeq[I].store(0, std::memory_order_relaxed);
-    Ring[I] = Record{};
+    storeSlot(I, Record{});
   }
   Next.store(0, std::memory_order_relaxed);
 }

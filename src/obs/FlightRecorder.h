@@ -14,11 +14,15 @@
 /// harness gets a post-mortem artifact naming the in-flight request even
 /// though the process never returned from it.
 ///
-/// Records are fixed-size POD: string fields are truncating char arrays,
-/// written with plain stores behind a per-slot sequence word. A reader
-/// that races a writer sees either the old record, the new one, or a
-/// slot marked in-progress; the crash dump additionally accepts torn
-/// records (better a mangled line than no line).
+/// Records are fixed-size POD: string fields are truncating char arrays.
+/// Each slot stores its record as 64-bit words behind a per-slot
+/// sequence number, seqlock style; the words travel through relaxed
+/// atomics so a racing reader/writer pair is defined behavior (no torn
+/// word, ThreadSanitizer-clean) and the sequence validation discards
+/// logically mixed records. A reader that races a writer sees either
+/// the old record, the new one, or a slot marked in-progress; the crash
+/// dump additionally accepts stale mixes (better a mangled line than no
+/// line).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -80,8 +84,20 @@ public:
   void reset();
 
 private:
+  // One slot holds a Record as relaxed-atomic 64-bit words. Readers and
+  // writers copy word-wise (loadSlot/storeSlot) so concurrent access is
+  // never a data race; the seqlock word decides whether the copy was
+  // consistent.
+  static constexpr size_t RecordWords = (sizeof(Record) + 7) / 8;
+  struct Slot {
+    std::array<std::atomic<uint64_t>, RecordWords> Words{};
+  };
+
+  void storeSlot(size_t I, const Record &R);
+  Record loadSlot(size_t I) const;
+
   std::atomic<uint64_t> Next{0};
-  std::array<Record, Capacity> Ring{};
+  std::array<Slot, Capacity> Ring{};
   // Per-slot publication word: 0 while a writer is filling the slot,
   // otherwise the 1-based write number whose record the slot holds.
   std::array<std::atomic<uint64_t>, Capacity> SlotSeq{};

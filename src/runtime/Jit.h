@@ -128,6 +128,19 @@ public:
 
   int numParams() const { return NumParams; }
 
+  /// The checked form of the 64-byte base-pointer contract: index of the
+  /// first batch base pointer that is not 64-byte aligned, or -1 when all
+  /// conform. The service path runs this on caller-supplied buffers and
+  /// refuses misaligned ones as InvalidRequest instead of letting the
+  /// aligned-move kernels fault (the debug assert below only guards
+  /// in-process callers of callBatch/callBatchSpan).
+  int misalignedBatchParam(double *const *Buffers) const {
+    for (int I = 0; I < NumParams; ++I)
+      if (reinterpret_cast<uintptr_t>(Buffers[I]) % 64 != 0)
+        return I;
+    return -1;
+  }
+
 private:
   /// Debug-only 64-byte alignment check on every batch base pointer
   /// (NDEBUG builds compile this away entirely).

@@ -8,10 +8,12 @@
 
 #include "isa/ISA.h"
 #include "la/Lower.h"
+#include "obs/EventLog.h"
 #include "obs/Trace.h"
 #include "runtime/BatchPool.h"
 #include "service/Tuner.h"
 #include "support/FaultInject.h"
+#include "support/Format.h"
 #include "support/Hash.h"
 #include "support/KeyValue.h"
 
@@ -79,6 +81,8 @@ struct ServiceMetrics {
   obs::Counter &Shed = obs::Registry::global().counter("service.shed");
   obs::Counter &DeadlineExpired =
       obs::Registry::global().counter("service.deadline_expired");
+  obs::Counter &VerifyRejected =
+      obs::Registry::global().counter("cir.verify_rejected");
 
   static ServiceMetrics &get() {
     static ServiceMetrics M;
@@ -440,6 +444,29 @@ ArtifactPtr KernelService::produce(const std::string &Key, const Generator &G,
       BatchedSource = emitBatchedC(Tuned->Result);
   }
 
+  // The verifier gate: no freshly generated C-IR reaches the JIT without
+  // passing cir::verify -- the single-instance kernel and every widened
+  // batch variant the emission lowers. A violation is a generator or pass
+  // bug; it is refused as a structured error, never shipped as a kernel
+  // that could fault inside a dlopen'd object. (The disk-recompile path
+  // above re-compiles persisted C source that was generated from verified
+  // IR; there is no IR left to check there.) The "corrupt-ir" fault point
+  // deliberately breaks the IR so tests can drive this path end to end.
+  if (fault::shouldFire("corrupt-ir"))
+    Tuned->Result.Func.RegIsVec.push_back(false);
+  if (auto VE = verifyEmittedIR(Tuned->Result, &O, Batched, Strat)) {
+    M.VerifyRejected.add();
+    obs::EventLog::global().log(
+        obs::EventLog::Level::Error, obs::currentTraceId(), "verify_rejected",
+        {{"fn", VE->Fn},
+         {"kind", cir::verifyKindName(VE->Kind)},
+         {"detail", VE->Detail},
+         {"instr", std::to_string(VE->InstrIndex)}});
+    Err = "C-IR verification failed: " + VE->str();
+    Code = Errc::InvalidKernelIR;
+    return nullptr;
+  }
+
   auto A = std::make_shared<KernelArtifact>();
   A->Key = Key;
   A->FuncName = Tuned->Result.Func.Name;
@@ -506,6 +533,18 @@ GetResult KernelService::dispatchBatch(const std::string &LaSource,
             "kernel targets " + R->IsaName + ", which this host cannot run",
             Errc::NotRunnable};
   }
+  // The 64-byte base-pointer contract the verifier's alignment analysis
+  // assumes is checked, not asserted, at this boundary: these buffers come
+  // from the caller, and a misaligned one would be UB inside the
+  // aligned-move kernels.
+  if (int P = R->Kernel->misalignedBatchParam(Buffers); P >= 0) {
+    ++Errors;
+    return {nullptr,
+            formatf("batch base pointer %d is not 64-byte aligned (use "
+                    "support/AlignedBuffer.h for batch storage)",
+                    P),
+            Errc::InvalidRequest};
+  }
   // Dispatch width: per-request pin, else service pin, else the artifact's
   // tuned winner (1 when tuning found threading unprofitable).
   int Threads = Req.Threads.value_or(Cfg.BatchThreads);
@@ -541,6 +580,8 @@ const char *service::errcName(Errc E) {
     return "overloaded";
   case Errc::DeadlineExceeded:
     return "deadline-exceeded";
+  case Errc::InvalidKernelIR:
+    return "invalid-kernel-ir";
   case Errc::Internal:
     return "internal";
   }
@@ -551,7 +592,8 @@ std::optional<Errc> service::errcByName(const std::string &Name) {
   for (Errc E : {Errc::None, Errc::InvalidRequest, Errc::ParseError,
                  Errc::InvalidProgram, Errc::GenerationFailed,
                  Errc::CompileFailed, Errc::NoCompiler, Errc::NotRunnable,
-                 Errc::Overloaded, Errc::DeadlineExceeded, Errc::Internal})
+                 Errc::Overloaded, Errc::DeadlineExceeded,
+                 Errc::InvalidKernelIR, Errc::Internal})
     if (Name == errcName(E))
       return E;
   return std::nullopt;

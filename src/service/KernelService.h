@@ -219,6 +219,8 @@ enum class Errc {
   Internal,         ///< unexpected failure inside the service
   Overloaded,       ///< shed under load; safe to retry after backoff
   DeadlineExceeded, ///< the request's deadline expired; retrying is futile
+  InvalidKernelIR,  ///< generated C-IR failed static verification; the
+                    ///< service refuses to JIT-compile it (cir/Verify.h)
 };
 
 /// Stable kebab-case token for \p E ("parse-error", ...); the wire

@@ -25,6 +25,7 @@
 
 #include "cir/CEmitter.h"
 #include "cir/Passes.h"
+#include "cir/Verify.h"
 #include "cir/Widen.h"
 #include "support/Format.h"
 
@@ -196,6 +197,11 @@ std::string emitInstanceParallel(const GenResult &R, const GenOptions *Opts,
     if (WTail)
       cir::contractFma(WTail->Func);
   }
+  // Last IR-producing step before C emission: check the variants exactly as
+  // they will be lowered.
+  cir::verifyAssert(W->Func, "batched-widen");
+  if (WTail)
+    cir::verifyAssert(WTail->Func, "batched-widen-tail");
 
   std::string C;
   C += "#include <math.h>\n";
@@ -306,4 +312,46 @@ std::string slingen::emitBatchedVectorFusedC(const GenResult &R,
                                              bool *UsedVector,
                                              const ScalarRecompile *Pre) {
   return emitInstanceParallel(R, Opts, UsedVector, Pre, /*Fused=*/true);
+}
+
+std::optional<cir::VerifyError>
+slingen::verifyEmittedIR(const GenResult &R, const GenOptions *Opts,
+                         bool Batched, BatchStrategy Strategy) {
+  if (auto E = cir::verifyFirst(R.Func))
+    return E;
+  if (!Batched || (Strategy != BatchStrategy::InstanceParallel &&
+                   Strategy != BatchStrategy::InstanceParallelFused))
+    return std::nullopt;
+  const int Nu = R.Func.Nu;
+  if (Nu < 2)
+    return std::nullopt; // emission degrades to the scalar loop
+  std::optional<ScalarRecompile> Pre = recompileScalar(R, Opts);
+  if (!Pre)
+    return std::nullopt; // ditto
+  if (auto E = cir::verifyFirst(Pre->Func))
+    return E;
+  bool Fused = Strategy == BatchStrategy::InstanceParallelFused;
+  std::optional<cir::WidenedFunction> W =
+      Fused ? cir::widenAcrossInstancesFused(Pre->Func, Nu,
+                                             R.Func.Name + "_fusedblk")
+            : cir::widenAcrossInstances(Pre->Func, Nu,
+                                        R.Func.Name + "_vecblk");
+  if (!W)
+    return std::nullopt;
+  if (Nu >= 4)
+    cir::contractFma(W->Func);
+  if (auto E = cir::verifyFirst(W->Func))
+    return E;
+  if (Fused) {
+    std::optional<cir::WidenedFunction> WTail =
+        cir::widenAcrossInstancesFusedMasked(Pre->Func, Nu,
+                                             R.Func.Name + "_fusedtail");
+    if (!WTail)
+      return std::nullopt;
+    if (Nu >= 4)
+      cir::contractFma(WTail->Func);
+    if (auto E = cir::verifyFirst(WTail->Func))
+      return E;
+  }
+  return std::nullopt;
 }

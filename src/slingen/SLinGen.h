@@ -26,6 +26,7 @@
 #define SLINGEN_SLINGEN_SLINGEN_H
 
 #include "cir/CIR.h"
+#include "cir/Verify.h"
 #include "expr/Program.h"
 #include "flame/Synthesizer.h"
 #include "isa/ISA.h"
@@ -201,6 +202,21 @@ std::string emitBatchedVectorFusedC(const GenResult &R,
                                     const GenOptions *Opts = nullptr,
                                     bool *UsedVector = nullptr,
                                     const ScalarRecompile *Pre = nullptr);
+
+/// Statically verifies every cir::Function the emission for \p R compiles:
+/// the single-instance kernel always, plus -- for the instance-parallel
+/// batch strategies -- the widened block variants, re-derived exactly as
+/// the emission derives them (scalar recompile, widening, FMA contraction
+/// at Nu >= 4). Returns the first violation, or std::nullopt when all
+/// functions verify (including when widening is infeasible and the emission
+/// degrades to the scalar loop). The KernelService runs this once before
+/// every JIT compile of freshly generated IR and maps a violation to
+/// Errc::InvalidKernelIR; the cost is a few IR walks, far below the C
+/// compiler invocation it gates.
+std::optional<cir::VerifyError> verifyEmittedIR(const GenResult &R,
+                                                const GenOptions *Opts,
+                                                bool Batched,
+                                                BatchStrategy Strategy);
 
 } // namespace slingen
 

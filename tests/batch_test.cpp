@@ -10,6 +10,7 @@
 
 #include "cir/CEmitter.h"
 #include "cir/Interp.h"
+#include "cir/Verify.h"
 #include "cir/Passes.h"
 #include "cir/Widen.h"
 #include "la/Lower.h"
@@ -37,6 +38,13 @@ using namespace slingen;
 using namespace slingen::testdata;
 
 namespace {
+
+/// Fixture oracle: widened emissions must pass the static verifier before
+/// the suite interprets or compiles them (cir/Verify.h).
+void expectVerifies(const cir::Function &F) {
+  for (const cir::VerifyError &E : cir::verify(F))
+    ADD_FAILURE() << "verifier rejected " << F.Name << ": " << E.str();
+}
 
 std::optional<GenResult> mustGenerate(const std::string &Source,
                                       const VectorISA &Isa,
@@ -186,6 +194,7 @@ TEST(Widen, InterpreterMatchesScalarPerInstance) {
   GenResult &R = *Gen;
   auto W = cir::widenAcrossInstances(R.Func, Nu, "p6s_blk");
   ASSERT_TRUE(W);
+  expectVerifies(W->Func);
   EXPECT_EQ(W->Func.Nu, Nu);
   EXPECT_EQ(W->Func.LocalVecWidth, Nu);
 
@@ -240,6 +249,7 @@ TEST(Widen, FusedInterpreterMatchesScalarOnBatchLayout) {
   GenResult &R = *Gen;
   auto W = cir::widenAcrossInstancesFused(R.Func, Nu, "p6f_blk");
   ASSERT_TRUE(W);
+  expectVerifies(W->Func);
   EXPECT_EQ(W->Func.Nu, Nu);
   EXPECT_EQ(W->Func.LocalVecWidth, Nu);
 
@@ -278,6 +288,7 @@ TEST(Widen, MaskedFusedInterpreterMatchesScalarOnActivePrefix) {
   GenResult &R = *Gen;
   auto W = cir::widenAcrossInstancesFusedMasked(R.Func, Nu, "p6m_tail");
   ASSERT_TRUE(W);
+  expectVerifies(W->Func);
   EXPECT_TRUE(W->Func.HasTailMask);
 
   const auto &Params = R.Func.Params;
@@ -519,6 +530,7 @@ TEST(Batched, MaskedTailJitMatchesInterpreterBitExactly) {
     // contraction on FMA-capable widths (the interpreter mirrors it).
     if (Nu >= 4)
       cir::contractFma(W->Func);
+    expectVerifies(W->Func);
 
     const auto &Params = R.Func.Params;
     // The uniform trampoline only passes double pointers, so the oracle

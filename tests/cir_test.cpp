@@ -7,6 +7,7 @@
 #include "cir/CEmitter.h"
 #include "cir/CIR.h"
 #include "cir/Interp.h"
+#include "cir/Verify.h"
 #include "cir/Passes.h"
 #include "expr/Program.h"
 
@@ -20,6 +21,27 @@ using namespace slingen;
 using namespace slingen::cir;
 
 namespace {
+
+/// Oracle hook: every function this suite executes must pass the static
+/// verifier first (cir/Verify.h), so the whole hand-built and pass-produced
+/// IR corpus doubles as the verifier's clean set. All interpret() calls
+/// below route through here.
+void interpretVerified(const Function &F,
+                       const std::map<const Operand *, double *> &Buffers) {
+  std::vector<VerifyError> Errors = verify(F);
+  for (const VerifyError &E : Errors)
+    ADD_FAILURE() << "verifier rejected interpreted IR: " << E.str();
+  interpret(F, Buffers);
+}
+
+void interpretVerified(const Function &F,
+                       const std::map<const Operand *, double *> &Buffers,
+                       int Active) {
+  std::vector<VerifyError> Errors = verify(F);
+  for (const VerifyError &E : Errors)
+    ADD_FAILURE() << "verifier rejected interpreted IR: " << E.str();
+  interpret(F, Buffers, Active);
+}
 
 /// Convenience: an environment with one 4x4 input A and one 4x4 output C.
 struct Kernel2 {
@@ -55,7 +77,7 @@ TEST(CirInterp, ScalarLoop) {
   B.sstore(B.addr(K.C, 0, {{IV, 1}}), R);
   B.endLoop();
   Function F = B.take({K.A, K.C});
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   for (int I = 0; I < 16; ++I)
     EXPECT_DOUBLE_EQ(K.CBuf[I], K.ABuf[I] * 2.0 + 1.0);
 }
@@ -69,7 +91,7 @@ TEST(CirInterp, VectorOpsAndMaskedTail) {
   int S = B.vbin(Op::VAdd, V1, V2);
   B.vstore(B.addr(K.C, 0), S, 3);
   Function F = B.take({K.A, K.C});
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   for (int I = 0; I < 3; ++I)
     EXPECT_DOUBLE_EQ(K.CBuf[I], K.ABuf[I] + K.ABuf[4 + I]);
   EXPECT_DOUBLE_EQ(K.CBuf[3], 0.0); // untouched
@@ -84,7 +106,7 @@ TEST(CirInterp, StridedColumnAccessAndShuffle) {
   int Rev = B.vshuffle(Col, Col, {3, 2, 1, 0});
   B.vstore(B.addr(K.C, 0), Rev, 4);
   Function F = B.take({K.A, K.C});
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   for (int L = 0; L < 4; ++L)
     EXPECT_DOUBLE_EQ(K.CBuf[L], K.ABuf[(3 - L) * 4 + 1]);
 }
@@ -97,7 +119,7 @@ TEST(CirInterp, ShuffleZeroAndTwoSource) {
   int Sh = B.vshuffle(V1, V2, {1, 4, -1, 7}); // 2 5 0 8
   B.vstore(B.addr(K.C, 0), Sh, 4);
   Function F = B.take({K.A, K.C});
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0);
   EXPECT_DOUBLE_EQ(K.CBuf[1], 5.0);
   EXPECT_DOUBLE_EQ(K.CBuf[2], 0.0);
@@ -116,7 +138,7 @@ TEST(CirInterp, ReduceExtractBroadcastFma) {
   int Fma = B.vfma(Bc, V1, V1); // 3*A + A = 4A
   B.vstore(B.addr(K.C, 4), Fma, 4);
   Function F = B.take({K.A, K.C});
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[0], 10.0);
   EXPECT_DOUBLE_EQ(K.CBuf[1], 3.0);
   for (int L = 0; L < 4; ++L)
@@ -140,7 +162,7 @@ TEST(CirPasses, UnrollFoldsAddresses) {
   // No loops remain.
   for (const Node &N : F.Body)
     EXPECT_TRUE(std::holds_alternative<Inst>(N));
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   for (int I = 0; I < 4; ++I)
     EXPECT_DOUBLE_EQ(K.CBuf[I * 4], K.ABuf[I * 4]);
 }
@@ -172,7 +194,7 @@ TEST(CirPasses, CseDeduplicates) {
   cse(F);
   dce(F);
   EXPECT_LT(countInsts(F), Before);
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0 * K.ABuf[0] * K.ABuf[1]);
 }
 
@@ -212,7 +234,7 @@ TEST(CirPasses, StoreToLoadForwardingBecomesShuffle) {
   }
   EXPECT_EQ(Loads, 0) << F.str();
   EXPECT_EQ(Shuffles, 1) << F.str();
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[8], 2.0 * K.ABuf[1]);
   EXPECT_DOUBLE_EQ(K.CBuf[9], 2.0 * K.ABuf[2]);
   EXPECT_DOUBLE_EQ(K.CBuf[10], 2.0 * K.ABuf[4]);
@@ -237,7 +259,7 @@ TEST(CirPasses, ScalarForwardingAndExtract) {
     SawExtract |= I.K == Op::VExtract;
   }
   EXPECT_TRUE(SawExtract);
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[4], 2.0 * K.ABuf[2]);
 }
 
@@ -255,7 +277,7 @@ TEST(CirPasses, DeadStoreElimination) {
   for (const Node &N : F.Body)
     Stores += isStore(std::get<Inst>(N).K);
   EXPECT_EQ(Stores, 1);
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[0], K.ABuf[1]);
 }
 
@@ -273,7 +295,7 @@ TEST(CirPasses, RedundantLoadReuse) {
   for (const Node &N : F.Body)
     Loads += std::get<Inst>(N).K == Op::VLoad;
   EXPECT_EQ(Loads, 1);
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0 * K.ABuf[0]);
 }
 
@@ -301,9 +323,9 @@ TEST(CirPasses, OptimizePreservesSemantics) {
     std::vector<double> RefA = K.ABuf, RefC = K.CBuf;
     std::map<const Operand *, double *> RefBufs = {{K.A, RefA.data()},
                                                    {K.C, RefC.data()}};
-    interpret(F, RefBufs);
+    interpretVerified(F, RefBufs);
     optimize(F);
-    interpret(F, K.buffers());
+    interpretVerified(F, K.buffers());
     EXPECT_EQ(RefC, K.CBuf) << "nu=" << Nu;
   }
 }
@@ -393,7 +415,7 @@ TEST(CirPasses, ContractFmaFusesMulAddAndMulSub) {
   EXPECT_EQ(C[Op::VSub], 0) << F.str();
   EXPECT_EQ(C[Op::VFma], 1) << F.str();
   EXPECT_EQ(C[Op::VFnma], 1) << F.str();
-  interpret(F, K.buffers());
+  interpretVerified(F, K.buffers());
   for (int L = 0; L < 4; ++L) {
     EXPECT_DOUBLE_EQ(K.CBuf[L],
                      std::fma(K.ABuf[L], K.ABuf[4 + L], K.ABuf[8 + L]));
@@ -432,7 +454,7 @@ TEST(CirInterp, MaskedStridedOpsHonorActiveLanes) {
   B.vstoreStridedMasked(B.addr(K.C, 0), D, 4, 4);
   Function F = B.take({K.A, K.C});
   F.HasTailMask = true;
-  interpret(F, K.buffers(), /*Active=*/2);
+  interpretVerified(F, K.buffers(), /*Active=*/2);
   EXPECT_DOUBLE_EQ(K.CBuf[0], 2.0 * K.ABuf[0]);
   EXPECT_DOUBLE_EQ(K.CBuf[4], 2.0 * K.ABuf[4]);
   EXPECT_DOUBLE_EQ(K.CBuf[8], 0.0) << "inactive lane stored";

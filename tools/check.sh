@@ -7,10 +7,21 @@
 #
 # CHECK_SANITIZE=address (or thread/undefined) reruns everything in a
 # sanitized build tree (build-<sanitizer>/ unless BUILD_DIR overrides).
+# CHECK_SANITIZE=all runs the address, thread, and undefined legs in
+# sequence (each in its own build-<sanitizer>/ tree; the sanitizers cannot
+# be combined in one binary).
 set -eu
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 SANITIZE="${CHECK_SANITIZE:-}"
+if [ "$SANITIZE" = "all" ]; then
+  for LEG in address thread undefined; do
+    echo "==== sanitizer leg: $LEG ===="
+    CHECK_SANITIZE="$LEG" BUILD_DIR="" sh "$0"
+  done
+  echo "check.sh: all sanitizer legs green"
+  exit 0
+fi
 if [ -n "$SANITIZE" ]; then
   BUILD="${BUILD_DIR:-$ROOT/build-$SANITIZE}"
 else
@@ -18,11 +29,32 @@ else
 fi
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# The thread leg suppresses only the known TSan false positives around
+# dlopen'd JIT kernels (see tools/tsan.supp for the rationale per entry).
+if [ "$SANITIZE" = "thread" ]; then
+  TSAN_OPTIONS="suppressions=$ROOT/tools/tsan.supp ${TSAN_OPTIONS:-}"
+  export TSAN_OPTIONS
+fi
+
 echo "== configure =="
 cmake -B "$BUILD" -S "$ROOT" -DSLINGEN_SANITIZE="$SANITIZE"
 
 echo "== build =="
 cmake --build "$BUILD" -j "$JOBS"
+
+if [ -z "$SANITIZE" ]; then
+  echo "== clang-tidy smoke =="
+  # Static-analysis gate over the IR and runtime layers (the .clang-tidy
+  # at the repo root pins the check set; WarningsAsErrors makes any new
+  # warning fail the run). Uses the compile database the configure step
+  # exports; skipped where clang-tidy is not installed.
+  if command -v clang-tidy > /dev/null 2>&1; then
+    clang-tidy -p "$BUILD" --quiet \
+      "$ROOT"/src/cir/*.cpp "$ROOT"/src/runtime/*.cpp
+  else
+    echo "clang-tidy unavailable; skipping"
+  fi
+fi
 
 echo "== ctest =="
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
@@ -59,6 +91,10 @@ for LA in "$ROOT"/examples/*.la; do
   ! grep -q "for (; b < count; ++b)" "$SMOKE_OUT"
   "$BUILD/slc" -batch -batch-strategy loop "$LA" > "$SMOKE_OUT"
   grep -q "_batch(int count" "$SMOKE_OUT"
+  # The C-IR static verifier must accept every emission -- the scalar
+  # function and all three widened batch variants (exit is non-zero on
+  # any rejection; the per-emission report lands on stderr).
+  "$BUILD/slc" -verify-ir -batch -isa avx "$LA" > /dev/null
 done
 
 echo "== threaded-batch smoke =="
@@ -168,7 +204,11 @@ test -f "$INSTALL/include/slingen/client.h"
 # GNUInstallDirs puts the archive in lib/ or lib64/ depending on platform.
 LIBSLINGEN=$(find "$INSTALL" -name libslingen.a | head -1)
 test -n "$LIBSLINGEN"
-c++ -std=c++20 -I"$INSTALL/include" "$ROOT/examples/client_session.cpp" \
+# Sanitized legs must build the out-of-tree client with the same
+# sanitizer the installed archive was compiled with, or the link drops
+# the runtime (undefined __tsan_init and friends).
+c++ -std=c++20 ${SANITIZE:+-fsanitize=$SANITIZE} -I"$INSTALL/include" \
+  "$ROOT/examples/client_session.cpp" \
   "$LIBSLINGEN" -ldl -lpthread -lm \
   -o "$SMOKE_CACHE/session_demo"
 SLD2_SOCK="$SMOKE_CACHE/sld2.sock"

@@ -58,11 +58,19 @@
 //                      Chrome trace-event JSON to <f>
 //     -print-basic     also print the Stage 1 basic program to stderr
 //     -print-variants  list HLACs and their variant counts, then exit
+//     -verify-ir       run the C-IR static verifier (cir/Verify.h) over the
+//                      generated function -- and, with -batch on a vector
+//                      ISA, over every widened batch variant -- printing a
+//                      per-function report to stderr; nonzero exit on any
+//                      violation
 //
 //===----------------------------------------------------------------------===//
 
 #include "slingen/client.h"
 
+#include "cir/Passes.h"
+#include "cir/Verify.h"
+#include "cir/Widen.h"
 #include "la/Lower.h"
 #include "service/Tuner.h"
 #include "slingen/OptionsIO.h"
@@ -109,7 +117,11 @@ void usage(const char *Argv0) {
           "  -timing           print the request's phase breakdown\n"
           "  -trace-out <f>    write Chrome trace JSON for this run\n"
           "  -print-basic      print the Stage 1 basic program to stderr\n"
-          "  -print-variants   list HLAC variant counts and exit\n",
+          "  -print-variants   list HLAC variant counts and exit\n"
+          "  -verify-ir        print the per-function C-IR verification\n"
+          "                    report (single-instance kernel plus every\n"
+          "                    batched widening with -batch) to stderr;\n"
+          "                    exit nonzero on any violation\n",
           Argv0);
 }
 
@@ -174,7 +186,7 @@ int main(int argc, char **argv) {
       CacheDir, StrategyName, TraceOut;
   bool PrintBasic = false, PrintVariants = false, Batch = false,
        StatsMode = false, MetricsMode = false, RawStats = false,
-       TimingSet = false;
+       TimingSet = false, VerifyIr = false;
   // Requests only override what the user explicitly set, so a bare
   // `slc -connect` defers strategy/measure/threads policy to the daemon.
   bool MeasureSet = false, NameSet = false, ThreadsSet = false;
@@ -290,6 +302,8 @@ int main(int argc, char **argv) {
       PrintBasic = true;
     else if (Arg == "-print-variants")
       PrintVariants = true;
+    else if (Arg == "-verify-ir")
+      VerifyIr = true;
     else if (Arg == "-h" || Arg == "--help") {
       usage(argv[0]);
       return 0;
@@ -531,21 +545,26 @@ int main(int argc, char **argv) {
     return fail(Err);
 
   // Introspection flags run the Generator pipeline directly: explicit
-  // variant choices and Stage-1/variant listings are about *this
-  // process's* generation, not a served artifact.
+  // variant choices, Stage-1/variant listings, and IR verification reports
+  // are about *this process's* generation, not a served artifact.
   bool Legacy = ConnectAddr.empty() &&
                 (!VariantStr.empty() || PrintVariants ||
-                 (PrintBasic && !MeasureSet && CacheDir.empty() &&
-                  SoOut.empty()));
+                 ((PrintBasic || VerifyIr) && !MeasureSet &&
+                  CacheDir.empty() && SoOut.empty()));
 
   if (!Legacy) {
     //===------------------------------------------------------------------===//
     // Serving path: one sl::Session, local or remote.
     //===------------------------------------------------------------------===//
     if (!ConnectAddr.empty() &&
-        (!VariantStr.empty() || PrintVariants || PrintBasic))
-      fprintf(stderr, "warning: -variant/-print-basic/-print-variants are "
-                      "local-only and ignored with -connect\n");
+        (!VariantStr.empty() || PrintVariants || PrintBasic || VerifyIr))
+      fprintf(stderr,
+              "warning: -variant/-print-basic/-print-variants/-verify-ir "
+              "are local-only and ignored with -connect\n");
+    if (VerifyIr && ConnectAddr.empty())
+      fprintf(stderr, "warning: -verify-ir is unavailable with "
+                      "-measure/-cache-dir/-so-out (the service verifies "
+                      "before every compile; see cir.verify_rejected)\n");
 
     auto S = openSession();
     if (!S)
@@ -653,6 +672,41 @@ int main(int argc, char **argv) {
   if (PrintBasic)
     fprintf(stderr, "/* Stage 1 basic program:\n%s*/\n",
             Result->Basic.str().c_str());
+
+  if (VerifyIr) {
+    // The report covers the single-instance kernel and -- with -batch on a
+    // vector ISA -- every widened batch variant the emitters can produce,
+    // replaying the recompile/widen/contract pipeline exactly as emission
+    // does (see slingen::verifyEmittedIR). All strategies are reported, not
+    // just the one the chooser would pick: the report is an audit surface.
+    bool Clean = true;
+    auto Report = [&](const cir::Function &F) {
+      fputs(cir::verifyReportText(F).c_str(), stderr);
+      Clean &= cir::verify(F).empty();
+    };
+    Report(Result->Func);
+    const int Nu = Result->Func.Nu;
+    if (Batch && Nu >= 2) {
+      if (auto Pre = recompileScalar(*Result, &Options)) {
+        Report(Pre->Func);
+        auto Widened = [&](std::optional<cir::WidenedFunction> W) {
+          if (!W)
+            return;
+          if (Nu >= 4)
+            cir::contractFma(W->Func);
+          Report(W->Func);
+        };
+        const std::string &N = Result->Func.Name;
+        Widened(cir::widenAcrossInstances(Pre->Func, Nu, N + "_vecblk"));
+        Widened(cir::widenAcrossInstancesFused(Pre->Func, Nu,
+                                               N + "_fusedblk"));
+        Widened(cir::widenAcrossInstancesFusedMasked(Pre->Func, Nu,
+                                                     N + "_fusedtail"));
+      }
+    }
+    if (!Clean)
+      return fail("C-IR verification failed (see report above)");
+  }
 
   std::string C = headerComment(Input, Options.Isa->Name, "", Result->Cost,
                                 false, 0.0);
